@@ -1,0 +1,118 @@
+// Ablation A3 — chunking parameters: pattern bits q, window size, and node
+// bounds vs dedup effectiveness and tree shape.
+//
+// The §II-A pattern fires when the q low bits of the rolling hash are zero,
+// so E[node size] ≈ 2^q bytes. Small q ⇒ many small chunks ⇒ finer dedup but
+// more per-chunk overhead and taller trees; large q ⇒ the opposite. We sweep
+// q on (a) a 4 MB blob with a 1-byte edit and (b) a 50k-entry map with one
+// updated entry, reporting chunk statistics and the bytes a single edit
+// costs. Also reports rolling-hash throughput per window size.
+#include "bench_common.h"
+#include "chunk/mem_chunk_store.h"
+#include "postree/tree.h"
+#include "util/rolling_hash.h"
+
+namespace forkbase {
+namespace bench {
+namespace {
+
+void RunBlobSweep() {
+  PrintHeader("A3.1 blob chunking: q vs chunk size and edit cost (4 MB blob)");
+  std::string data = Rng(41).NextBytes(4 << 20);
+  std::string edited = data;
+  edited[2 << 20] = static_cast<char>(edited[2 << 20] ^ 0x33);
+
+  std::printf("%-5s %10s %14s %12s %8s %18s\n", "q", "chunks",
+              "avg chunk (B)", "height", "build", "1-byte edit cost");
+  PrintRule();
+  for (uint32_t q : {8u, 10u, 12u, 14u, 16u}) {
+    TreeConfig config = TreeConfig::ForBlob();
+    config.leaf.q_bits = q;
+    config.leaf.min_bytes = (1u << q) / 4;
+    config.leaf.max_bytes = (1u << q) * 4;
+
+    MemChunkStore store;
+    Timer tb;
+    auto info = PosTree::BuildBlob(&store, data, config);
+    double build_ms = tb.ElapsedMs();
+    if (!info.ok()) return;
+    PosTree tree(&store, ChunkType::kBlobLeaf, info->root, config);
+    auto shape = tree.Shape();
+    if (!shape.ok()) return;
+
+    uint64_t before = store.stats().physical_bytes;
+    auto info2 = PosTree::BuildBlob(&store, edited, config);
+    if (!info2.ok()) return;
+    uint64_t edit_cost = store.stats().physical_bytes - before;
+
+    std::printf("%-5u %10llu %14.0f %12u %6.0fms %15.1f KB\n", q,
+                static_cast<unsigned long long>(shape->leaf_nodes),
+                static_cast<double>(shape->total_bytes) /
+                    static_cast<double>(shape->total_nodes),
+                shape->height, build_ms, ToKb(edit_cost));
+  }
+  std::printf("expected: avg chunk tracks 2^q; the 1-byte edit cost grows\n"
+              "with chunk size (one chunk chain must be rewritten).\n");
+}
+
+void RunMapSweep() {
+  PrintHeader("A3.2 map chunking: q vs single-update commit cost (50k keys)");
+  auto kvs = RandomKvs(50000, 42);
+  std::printf("%-5s %10s %12s %20s\n", "q", "pages", "height",
+              "1-update cost (KB)");
+  PrintRule();
+  for (uint32_t q : {9u, 11u, 13u}) {
+    TreeConfig config;
+    config.leaf.q_bits = q;
+    config.leaf.min_bytes = (1u << q) / 4;
+    config.leaf.max_bytes = (1u << q) * 4;
+    config.index = config.leaf;
+
+    MemChunkStore store;
+    auto info = PosTree::BuildKeyed(&store, ChunkType::kMapLeaf, kvs, config);
+    if (!info.ok()) return;
+    PosTree tree(&store, ChunkType::kMapLeaf, info->root, config);
+    auto shape = tree.Shape();
+    if (!shape.ok()) return;
+
+    uint64_t before = store.stats().physical_bytes;
+    auto updated =
+        tree.ApplyKeyedOps({KeyedOp{kvs[25000].first, std::string("x")}});
+    if (!updated.ok()) return;
+    uint64_t cost = store.stats().physical_bytes - before;
+    std::printf("%-5u %10llu %12u %20.2f\n", q,
+                static_cast<unsigned long long>(shape->total_nodes),
+                shape->height, ToKb(cost));
+  }
+}
+
+void RunRollingHashThroughput() {
+  PrintHeader("A3.3 rolling-hash throughput vs window size");
+  std::string data = Rng(43).NextBytes(16 << 20);
+  std::printf("%-10s %14s %14s\n", "window", "MB/s", "pattern rate");
+  PrintRule();
+  for (size_t window : {16u, 32u, 48u, 64u, 128u}) {
+    RollingHash h(window, 12);
+    uint64_t fired = 0;
+    Timer t;
+    for (char c : data) fired += h.Roll(static_cast<uint8_t>(c));
+    double secs = t.ElapsedUs() / 1e6;
+    std::printf("%-10zu %14.0f %13.5f%%\n", window,
+                ToMb(data.size()) / secs,
+                100.0 * static_cast<double>(fired) /
+                    static_cast<double>(data.size()));
+  }
+  std::printf("expected: throughput is window-independent (O(1) per byte);\n"
+              "pattern rate ~ 2^-12 = 0.0244%%.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace forkbase
+
+int main() {
+  forkbase::bench::RunBlobSweep();
+  forkbase::bench::RunMapSweep();
+  forkbase::bench::RunRollingHashThroughput();
+  return 0;
+}

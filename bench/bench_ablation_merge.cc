@@ -1,0 +1,115 @@
+// Ablation A2 — Fig. 3: three-way merge reuses disjointly modified subtrees.
+//
+// Two branches edit disjoint key ranges of an N-entry map; the merge's diff
+// phase is hash-pruned and its merge phase rebuilds only the divergent
+// region — measured as (a) merge latency vs an element-wise merge that
+// rebuilds the whole object from scratch, and (b) the fraction of the merged
+// tree's chunks that are physically reused from the inputs.
+#include <set>
+
+#include "bench_common.h"
+#include "chunk/mem_chunk_store.h"
+#include "postree/diff.h"
+#include "postree/merge.h"
+
+namespace forkbase {
+namespace bench {
+namespace {
+
+// Element-wise merge baseline: materialize all three entry lists, merge
+// key-by-key, rebuild the result tree from scratch.
+StatusOr<TreeInfo> ElementwiseMerge(const PosTree& base, const PosTree& left,
+                                    const PosTree& right, ChunkStore* store) {
+  FB_ASSIGN_OR_RETURN(auto eb, base.Entries());
+  FB_ASSIGN_OR_RETURN(auto el, left.Entries());
+  FB_ASSIGN_OR_RETURN(auto er, right.Entries());
+  std::map<std::string, std::string> mb(eb.begin(), eb.end());
+  std::map<std::string, std::string> ml(el.begin(), el.end());
+  std::map<std::string, std::string> mr(er.begin(), er.end());
+  std::map<std::string, std::string> merged = mr;
+  for (const auto& [k, v] : ml) {
+    auto bit = mb.find(k);
+    if (bit == mb.end() || bit->second != v) merged[k] = v;  // left edited
+  }
+  for (const auto& [k, v] : mb) {
+    (void)v;
+    if (!ml.count(k)) merged.erase(k);  // left deleted
+  }
+  return PosTree::BuildKeyed(
+      store, ChunkType::kMapLeaf,
+      std::vector<std::pair<std::string, std::string>>(merged.begin(),
+                                                       merged.end()));
+}
+
+void Run() {
+  PrintHeader("A2 (Fig. 3): subtree merge vs element-wise merge");
+  std::printf("%-9s %-7s %15s %16s %9s %14s\n", "N", "edits/side",
+              "subtree (us)", "elemwise (us)", "speedup", "chunks reused");
+  PrintRule();
+  for (size_t n : {4096u, 32768u, 131072u}) {
+    auto store = std::make_shared<MemChunkStore>();
+    auto kvs = RandomKvs(n, n + 3);
+    auto info = PosTree::BuildKeyed(store.get(), ChunkType::kMapLeaf, kvs);
+    if (!info.ok()) return;
+    PosTree base(store.get(), ChunkType::kMapLeaf, info->root);
+
+    for (size_t edits : {4u, 64u}) {
+      // Left edits the low key range, right the high range — disjoint.
+      std::vector<KeyedOp> left_ops, right_ops;
+      for (size_t i = 0; i < edits; ++i) {
+        left_ops.push_back(KeyedOp{kvs[i].first, "L" + std::to_string(i)});
+        right_ops.push_back(
+            KeyedOp{kvs[kvs.size() - 1 - i].first, "R" + std::to_string(i)});
+      }
+      auto li = base.ApplyKeyedOps(left_ops);
+      auto ri = base.ApplyKeyedOps(right_ops);
+      if (!li.ok() || !ri.ok()) return;
+      PosTree left(store.get(), ChunkType::kMapLeaf, li->root);
+      PosTree right(store.get(), ChunkType::kMapLeaf, ri->root);
+
+      Timer ts;
+      auto merged = MergeKeyed(base, left, right);
+      double subtree_us = ts.ElapsedUs();
+      if (!merged.ok()) return;
+
+      Timer te;
+      auto elem = ElementwiseMerge(base, left, right, store.get());
+      double elem_us = te.ElapsedUs();
+      if (!elem.ok()) return;
+      if (elem->root != merged->merged.root) {
+        std::printf("MERGE MISMATCH at N=%zu!\n", n);
+        return;
+      }
+
+      // Chunk reuse: merged-tree chunks already present in inputs.
+      PosTree merged_tree(store.get(), ChunkType::kMapLeaf,
+                          merged->merged.root);
+      std::vector<Hash256> merged_pages, input_pages;
+      if (!merged_tree.ReachableChunks(&merged_pages).ok()) return;
+      for (const PosTree* t : {&base, &left, &right}) {
+        std::vector<Hash256> pages;
+        if (!t->ReachableChunks(&pages).ok()) return;
+        input_pages.insert(input_pages.end(), pages.begin(), pages.end());
+      }
+      std::set<Hash256> inputs(input_pages.begin(), input_pages.end());
+      size_t reused = 0;
+      for (const auto& p : merged_pages) reused += inputs.count(p);
+      std::printf("%-9zu %-10zu %15.1f %16.1f %8.1fx %7zu/%zu\n", n, edits,
+                  subtree_us, elem_us, elem_us / subtree_us, reused,
+                  merged_pages.size());
+    }
+  }
+  std::printf(
+      "expected shape: identical merge results; the subtree merge's diff\n"
+      "phase is O(D log N) and its rebuild shares all untouched chunks,\n"
+      "so speedup grows with N/D and reuse stays near 100%%.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace forkbase
+
+int main() {
+  forkbase::bench::Run();
+  return 0;
+}

@@ -1,0 +1,165 @@
+// Ablation A1 — the SIRI properties (Def. 1): POS-Tree vs an ordinary
+// B+-tree.
+//
+//  (1) Structural invariance: identical record sets inserted in different
+//      orders must yield identical page sets (POS-Tree) — a B+-tree's page
+//      set depends on insertion order.
+//  (2) Recursive identity: versions differing by one record share almost
+//      all pages.
+//  (3) Universal reusability: pages of a small instance reappear in larger
+//      instances.
+// Expected shape: POS-Tree shares ~100% / ~all-but-a-path / most pages;
+// the B+-tree shares little in (1), which is why page-level dedup across
+// index instances is ineffective for classical primary indexes (§II-A).
+#include <set>
+
+#include "baselines/bplus_tree.h"
+#include "bench_common.h"
+#include "chunk/mem_chunk_store.h"
+#include "postree/tree.h"
+
+namespace forkbase {
+namespace bench {
+namespace {
+
+size_t SharedPages(const std::vector<Hash256>& a,
+                   const std::vector<Hash256>& b) {
+  std::set<Hash256> sa(a.begin(), a.end());
+  size_t shared = 0;
+  for (const auto& h : b) shared += sa.count(h);
+  return shared;
+}
+
+void RunStructuralInvariance() {
+  PrintHeader("A1.1 structural invariance: shuffled insertion orders");
+  std::printf("%-9s %22s %22s\n", "N", "pos-tree shared pages",
+              "b+-tree shared pages");
+  PrintRule();
+  for (size_t n : {1000u, 10000u, 50000u}) {
+    auto kvs = RandomKvs(n, n);
+
+    // POS-Tree: bulk build vs incremental build in shuffled order.
+    MemChunkStore s1, s2;
+    auto bulk = PosTree::BuildKeyed(&s1, ChunkType::kMapLeaf, kvs);
+    if (!bulk.ok()) return;
+    auto shuffled = kvs;
+    Rng rng(n + 1);
+    for (size_t i = shuffled.size(); i > 1; --i) {
+      std::swap(shuffled[i - 1], shuffled[rng.Uniform(i)]);
+    }
+    // Insert in 10 shuffled batches.
+    auto partial = PosTree::BuildKeyed(&s2, ChunkType::kMapLeaf, {});
+    if (!partial.ok()) return;
+    PosTree tree(&s2, ChunkType::kMapLeaf, partial->root);
+    const size_t batch = shuffled.size() / 10 + 1;
+    for (size_t start = 0; start < shuffled.size(); start += batch) {
+      std::vector<KeyedOp> ops;
+      for (size_t i = start; i < std::min(start + batch, shuffled.size());
+           ++i) {
+        ops.push_back(KeyedOp{shuffled[i].first, shuffled[i].second});
+      }
+      auto next = tree.ApplyKeyedOps(ops);
+      if (!next.ok()) return;
+      tree = PosTree(&s2, ChunkType::kMapLeaf, next->root);
+    }
+    PosTree bulk_tree(&s1, ChunkType::kMapLeaf, bulk->root);
+    std::vector<Hash256> pages_bulk, pages_inc;
+    if (!bulk_tree.ReachableChunks(&pages_bulk).ok()) return;
+    if (!tree.ReachableChunks(&pages_inc).ok()) return;
+    size_t pos_shared = SharedPages(pages_bulk, pages_inc);
+
+    // B+-tree: two insertion orders.
+    BPlusTree bt1(64), bt2(64);
+    for (const auto& [k, v] : kvs) bt1.Insert(k, v);
+    for (const auto& [k, v] : shuffled) bt2.Insert(k, v);
+    auto ph1 = bt1.PageHashes();
+    auto ph2 = bt2.PageHashes();
+    size_t bt_shared = SharedPages(ph1, ph2);
+
+    std::printf("%-9zu %11zu / %-8zu %11zu / %-8zu\n", n, pos_shared,
+                pages_inc.size(), bt_shared, ph2.size());
+  }
+  std::printf("expected: POS-Tree shares 100%% (identical roots); the\n"
+              "B+-tree's page overlap collapses as N grows.\n");
+}
+
+void RunRecursiveIdentity() {
+  PrintHeader("A1.2 recursive identity: page sharing across 100 versions");
+  MemChunkStore store;
+  auto kvs = RandomKvs(20000, 17);
+  auto info = PosTree::BuildKeyed(&store, ChunkType::kMapLeaf, kvs);
+  if (!info.ok()) return;
+  PosTree tree(&store, ChunkType::kMapLeaf, info->root);
+  uint64_t sum_pages = 0;
+  Rng rng(18);
+  std::vector<Hash256> roots{info->root};
+  for (int v = 0; v < 100; ++v) {
+    auto next = tree.ApplyKeyedOps(
+        {KeyedOp{kvs[rng.Uniform(kvs.size())].first,
+                 "v" + std::to_string(v)}});
+    if (!next.ok()) return;
+    tree = PosTree(&store, ChunkType::kMapLeaf, next->root);
+    roots.push_back(next->root);
+  }
+  std::set<Hash256> distinct;
+  for (const auto& root : roots) {
+    PosTree t(&store, ChunkType::kMapLeaf, root);
+    std::vector<Hash256> pages;
+    if (!t.ReachableChunks(&pages).ok()) return;
+    sum_pages += pages.size();
+    distinct.insert(pages.begin(), pages.end());
+  }
+  std::printf("versions: %zu; sum of per-version pages: %llu; distinct "
+              "pages stored: %zu\n",
+              roots.size(), static_cast<unsigned long long>(sum_pages),
+              distinct.size());
+  std::printf("physical page amplification: %.2fx (1.0 = perfect sharing; "
+              "naive copies would be %.0fx)\n",
+              static_cast<double>(distinct.size()) /
+                  (static_cast<double>(sum_pages) /
+                   static_cast<double>(roots.size())),
+              static_cast<double>(roots.size()));
+}
+
+void RunUniversalReusability() {
+  PrintHeader("A1.3 universal reusability: small instance inside larger ones");
+  MemChunkStore store;
+  auto base = RandomKvs(8000, 19);
+  auto small_info = PosTree::BuildKeyed(&store, ChunkType::kMapLeaf, base);
+  if (!small_info.ok()) return;
+  PosTree small(&store, ChunkType::kMapLeaf, small_info->root);
+  std::vector<Hash256> small_pages;
+  if (!small.ReachableChunks(&small_pages).ok()) return;
+
+  std::printf("%-14s %18s %16s\n", "added records", "small pages reused",
+              "of small total");
+  PrintRule();
+  Rng rng(20);
+  for (size_t extra : {1000u, 4000u, 16000u}) {
+    auto big = base;
+    for (size_t i = 0; i < extra; ++i) {
+      big.emplace_back("zzz" + rng.NextString(13), rng.NextString(32));
+    }
+    std::sort(big.begin(), big.end());
+    auto big_info = PosTree::BuildKeyed(&store, ChunkType::kMapLeaf, big);
+    if (!big_info.ok()) return;
+    PosTree big_tree(&store, ChunkType::kMapLeaf, big_info->root);
+    std::vector<Hash256> big_pages;
+    if (!big_tree.ReachableChunks(&big_pages).ok()) return;
+    size_t reused = SharedPages(big_pages, small_pages);
+    std::printf("%-14zu %18zu %15.1f%%\n", extra, reused,
+                100.0 * static_cast<double>(reused) /
+                    static_cast<double>(small_pages.size()));
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace forkbase
+
+int main() {
+  forkbase::bench::RunStructuralInvariance();
+  forkbase::bench::RunRecursiveIdentity();
+  forkbase::bench::RunUniversalReusability();
+  return 0;
+}

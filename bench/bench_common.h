@@ -1,0 +1,63 @@
+// Shared helpers for the experiment harnesses in bench/.
+//
+// Each bench binary regenerates one table or figure of the ICDE'20 paper
+// (see DESIGN.md §3 for the experiment index) and prints paper-reported
+// values next to measured ones where the paper gives numbers.
+#ifndef FORKBASE_BENCH_BENCH_COMMON_H_
+#define FORKBASE_BENCH_BENCH_COMMON_H_
+
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace forkbase {
+namespace bench {
+
+/// Wall-clock stopwatch in microseconds.
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double ElapsedUs() const {
+    auto end = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::micro>(end - start_).count();
+  }
+  double ElapsedMs() const { return ElapsedUs() / 1000.0; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Sorted random key-value records for map/table workloads.
+inline std::vector<std::pair<std::string, std::string>> RandomKvs(
+    size_t n, uint64_t seed, size_t key_len = 16, size_t val_len = 32) {
+  Rng rng(seed);
+  std::map<std::string, std::string> sorted;
+  while (sorted.size() < n) {
+    sorted[rng.NextString(key_len)] = rng.NextString(val_len);
+  }
+  return {sorted.begin(), sorted.end()};
+}
+
+inline double ToKb(uint64_t bytes) {
+  return static_cast<double>(bytes) / 1024.0;
+}
+inline double ToMb(uint64_t bytes) {
+  return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void PrintRule() {
+  std::printf("-----------------------------------------------------------------------\n");
+}
+
+}  // namespace bench
+}  // namespace forkbase
+
+#endif  // FORKBASE_BENCH_BENCH_COMMON_H_

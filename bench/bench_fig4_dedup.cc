@@ -1,0 +1,166 @@
+// Experiment E2 — Fig. 4: fine-grained data deduplication.
+//
+// The demo loads a ~338 KB CSV as dataset-1 (+338.54 KB of storage), then a
+// copy with a single-word difference as dataset-2 (+0.04 KB). We reproduce
+// the scenario with the synthetic CSV generator and additionally sweep the
+// number of edited cells, comparing ForkBase against the CopyStore (no
+// dedup) and DeltaStore (table-oriented delta) baselines.
+//
+// Expected shape: dataset-2 costs orders of magnitude less than dataset-1 in
+// ForkBase (chunk granularity bounds the floor), exactly dataset-1's size in
+// CopyStore, and a small delta in DeltaStore (which, however, pays replay on
+// reads and offers no tamper evidence — see Table I).
+#include "baselines/copy_store.h"
+#include "baselines/delta_store.h"
+#include "bench_common.h"
+#include "chunk/mem_chunk_store.h"
+#include "store/forkbase.h"
+#include "util/datagen.h"
+
+namespace forkbase {
+namespace bench {
+namespace {
+
+DeltaStore::RowMap RowsOf(const CsvDocument& doc) {
+  DeltaStore::RowMap rows;
+  for (const auto& r : doc.rows) {
+    std::string payload;
+    for (const auto& c : r) payload += c + "\x1f";
+    rows[r[0]] = payload;
+  }
+  return rows;
+}
+
+void RunScenario() {
+  PrintHeader("Fig. 4 (E2): fine-grained deduplication, single-word edit");
+  CsvGenOptions opts;
+  opts.target_bytes = 338 * 1024;
+  CsvDocument ds1 = GenerateCsv(opts);
+  CsvDocument ds2 = EditOneWord(ds1, ds1.rows.size() / 2, 2, "VendorX");
+  const double csv_kb = ToKb(CsvBytes(ds1));
+  std::printf("dataset CSV size: %.2f KB, %zu rows x %zu cols\n", csv_kb,
+              ds1.rows.size(), ds1.header.size());
+
+  // --- ForkBase ---
+  auto store = std::make_shared<MemChunkStore>();
+  ForkBase db(store);
+  Timer t1;
+  if (!db.PutTableFromCsv("dataset-1", ds1).ok()) return;
+  double load1_ms = t1.ElapsedMs();
+  uint64_t after1 = store->stats().physical_bytes;
+  Timer t2;
+  if (!db.PutTableFromCsv("dataset-2", ds2).ok()) return;
+  double load2_ms = t2.ElapsedMs();
+  uint64_t delta2 = store->stats().physical_bytes - after1;
+
+  // --- CopyStore ---
+  CopyStore copy;
+  copy.Put("dataset-1", "master", WriteCsv(ds1));
+  uint64_t copy1 = copy.stats().physical_bytes;
+  copy.Put("dataset-2", "master", WriteCsv(ds2));
+  uint64_t copy2 = copy.stats().physical_bytes - copy1;
+
+  // --- DeltaStore (dataset-2 as a delta-versioned chain of dataset-1) ---
+  DeltaStore delta(32);
+  (void)delta.Put("dataset", "master", RowsOf(ds1));
+  uint64_t delta1 = delta.stats().physical_bytes;
+  (void)delta.Put("dataset", "master", RowsOf(ds2));
+  uint64_t delta2_cost = delta.stats().physical_bytes - delta1;
+
+  PrintRule();
+  std::printf("%-28s %14s %14s %9s\n", "system", "load-1 (KB)", "load-2 (KB)",
+              "ratio");
+  PrintRule();
+  std::printf("%-28s %14.2f %14.2f %9s\n", "paper (ForkBase demo)", 338.54,
+              0.04, "8464x");
+  std::printf("%-28s %14.2f %14.2f %8.0fx   [%.1f/%.1f ms]\n",
+              "forkbase (this repo)", ToKb(after1), ToKb(delta2),
+              static_cast<double>(after1) / static_cast<double>(delta2),
+              load1_ms, load2_ms);
+  std::printf("%-28s %14.2f %14.2f %8.1fx\n", "copy baseline (RStore-like)",
+              ToKb(copy1), ToKb(copy2),
+              static_cast<double>(copy1) / static_cast<double>(copy2));
+  std::printf("%-28s %14.2f %14.2f %8.0fx\n",
+              "delta baseline (Orpheus-like)", ToKb(delta1), ToKb(delta2_cost),
+              static_cast<double>(delta1) / static_cast<double>(delta2_cost));
+  std::printf(
+      "note: ForkBase's load-2 floor is one chunk chain (~2^q B pages);\n"
+      "      the paper's 0.04 KB reflects its chunking config. The shape —\n"
+      "      second load orders of magnitude below the first — reproduces.\n");
+}
+
+void RunEditSweep() {
+  PrintHeader("Fig. 4 sweep: storage delta vs number of edited cells");
+  CsvGenOptions opts;
+  opts.target_bytes = 338 * 1024;
+  CsvDocument ds1 = GenerateCsv(opts);
+
+  std::printf("%-12s %18s %16s\n", "edited cells", "forkbase (KB)",
+              "copy (KB)");
+  PrintRule();
+  for (size_t edits : {1u, 4u, 16u, 64u, 256u, 1024u}) {
+    auto store = std::make_shared<MemChunkStore>();
+    ForkBase db(store);
+    if (!db.PutTableFromCsv("base", ds1).ok()) return;
+    uint64_t baseline = store->stats().physical_bytes;
+    CsvDocument edited = EditCells(ds1, edits, /*seed=*/edits * 13 + 1);
+    if (!db.PutTableFromCsv("edited", edited).ok()) return;
+    uint64_t delta = store->stats().physical_bytes - baseline;
+    std::printf("%-12zu %18.2f %16.2f\n", edits, ToKb(delta),
+                ToKb(CsvBytes(edited)));
+  }
+  std::printf("expected shape: ForkBase grows with edit count (sublinearly,\n"
+              "chunk-granular), the copy baseline always pays the full size.\n");
+}
+
+void RunVersionArchive() {
+  PrintHeader("Fig. 4 companion: archiving 100 single-edit versions");
+  CsvGenOptions opts;
+  opts.num_rows = 2000;
+  CsvDocument doc = GenerateCsv(opts);
+  auto store = std::make_shared<MemChunkStore>();
+  ForkBase db(store);
+  if (!db.PutTableFromCsv("archive", doc).ok()) return;
+  uint64_t baseline = store->stats().physical_bytes;
+  CopyStore copy;
+  copy.Put("archive", "master", WriteCsv(doc));
+
+  Rng rng(99);
+  for (int v = 0; v < 100; ++v) {
+    auto table = db.GetTable("archive");
+    if (!table.ok()) return;
+    char key[16];
+    std::snprintf(key, sizeof(key), "r%08d",
+                  static_cast<int>(rng.Uniform(doc.rows.size())));
+    auto edited =
+        table->UpdateCell(key, 1 + rng.Uniform(doc.header.size() - 1),
+                          "edit-" + std::to_string(v));
+    if (!edited.ok()) return;
+    if (!db.Put("archive", Value::OfTable(edited->id())).ok()) return;
+    auto csv = edited->ToCsv();
+    copy.Put("archive", "master", WriteCsv(*csv));
+  }
+  uint64_t fb_total = store->stats().physical_bytes;
+  uint64_t copy_total = copy.stats().physical_bytes;
+  std::printf("dataset: %.1f KB, 101 versions\n", ToKb(baseline));
+  std::printf("%-28s %14s %22s\n", "system", "total (MB)",
+              "bytes per version (KB)");
+  PrintRule();
+  std::printf("%-28s %14.2f %22.2f\n", "forkbase", ToMb(fb_total),
+              ToKb((fb_total - baseline) / 100));
+  std::printf("%-28s %14.2f %22.2f\n", "copy baseline", ToMb(copy_total),
+              ToKb(copy_total / 101));
+  std::printf("dedup ratio (logical/physical): %.1fx\n",
+              store->stats().DedupRatio());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace forkbase
+
+int main() {
+  forkbase::bench::RunScenario();
+  forkbase::bench::RunEditSweep();
+  forkbase::bench::RunVersionArchive();
+  return 0;
+}

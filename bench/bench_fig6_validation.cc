@@ -1,0 +1,175 @@
+// Experiment E4 — Fig. 6: versioning, validation and tamper evidence.
+//
+// The demo stamps each Put with a Base32 uid and validates data by
+// recomputing the Merkle root against the stored version. We reproduce:
+//   (a) the commit chain with per-Put uid stamping (latency distribution),
+//   (b) verification throughput vs object size and history length,
+//   (c) byte-flip injections in a data chunk, an index chunk, and an
+//       ancestor FNode — every one must be detected (the §II-D threat
+//       model: malicious storage, client holds branch-head uids).
+#include <algorithm>
+
+#include "bench_common.h"
+#include "chunk/mem_chunk_store.h"
+#include "postree/tree.h"
+#include "store/forkbase.h"
+#include "util/datagen.h"
+
+namespace forkbase {
+namespace bench {
+namespace {
+
+void RunCommitChain() {
+  PrintHeader("Fig. 6 (E4a): Put latency with uid stamping, 200-commit chain");
+  auto store = std::make_shared<MemChunkStore>();
+  ForkBase db(store);
+  auto kvs = RandomKvs(10000, 3);
+  std::vector<std::pair<std::string, std::string>> pairs(kvs.begin(),
+                                                         kvs.end());
+  if (!db.PutMap("ledger", pairs).ok()) return;
+
+  Rng rng(4);
+  std::vector<double> latencies;
+  Hash256 last_uid;
+  for (int v = 0; v < 200; ++v) {
+    auto map = db.GetMap("ledger");
+    if (!map.ok()) return;
+    Timer t;
+    auto edited = map->Set(kvs[rng.Uniform(kvs.size())].first,
+                           "v" + std::to_string(v));
+    if (!edited.ok()) return;
+    auto uid = db.Put("ledger", Value::OfMap(edited->root()), "master",
+                      {"bench", "commit " + std::to_string(v)});
+    if (!uid.ok()) return;
+    latencies.push_back(t.ElapsedUs());
+    last_uid = *uid;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  std::printf("commits: 200 over a 10k-entry map\n");
+  std::printf("put latency p50 / p95 / p99: %.0f / %.0f / %.0f us\n",
+              latencies[100], latencies[190], latencies[198]);
+  std::printf("head uid (Base32, RFC 4648): %s\n",
+              last_uid.ToBase32().c_str());
+  auto history = db.History("ledger");
+  if (history.ok()) {
+    std::printf("history length via bases chain: %zu\n", history->size());
+  }
+}
+
+void RunVerificationThroughput() {
+  PrintHeader("Fig. 6 (E4b): verification latency vs object size");
+  std::printf("%-12s %14s %16s %14s\n", "rows", "chunks", "verify (ms)",
+              "MB verified");
+  PrintRule();
+  for (size_t rows : {1000u, 4000u, 16000u, 64000u}) {
+    auto store = std::make_shared<MemChunkStore>();
+    ForkBase db(store);
+    CsvGenOptions opts;
+    opts.num_rows = rows;
+    auto uid = db.PutTableFromCsv("ds", GenerateCsv(opts));
+    if (!uid.ok()) return;
+    Timer t;
+    if (!db.Verify(*uid).ok()) return;
+    double ms = t.ElapsedMs();
+    auto stats = store->stats();
+    std::printf("%-12zu %14llu %16.2f %14.2f\n", rows,
+                static_cast<unsigned long long>(stats.chunk_count), ms,
+                ToMb(stats.physical_bytes));
+  }
+
+  PrintHeader("Fig. 6 (E4b'): verification vs history length");
+  auto store = std::make_shared<MemChunkStore>();
+  ForkBase db(store);
+  if (!db.Put("k", Value::String("genesis")).ok()) return;
+  std::printf("%-12s %16s\n", "history", "verify (us)");
+  PrintRule();
+  for (int target : {10, 100, 1000}) {
+    while (true) {
+      auto history = db.History("k", "master", target + 1);
+      if (!history.ok()) return;
+      if (history->size() >= static_cast<size_t>(target)) break;
+      if (!db.Put("k", Value::String("v" + std::to_string(history->size())))
+               .ok())
+        return;
+    }
+    auto head = db.Head("k");
+    if (!head.ok()) return;
+    Timer t;
+    if (!db.Verify(*head).ok()) return;
+    std::printf("%-12d %16.1f\n", target, t.ElapsedUs());
+  }
+}
+
+void RunTamperInjection() {
+  PrintHeader("Fig. 6 (E4c): byte-flip injection — all must be DETECTED");
+  auto store = std::make_shared<MemChunkStore>();
+  ForkBase db(store);
+  CsvGenOptions opts;
+  opts.num_rows = 5000;
+  auto v1 = db.PutTableFromCsv("ds", GenerateCsv(opts), 0, "master",
+                               {"alice", "load"});
+  if (!v1.ok()) return;
+  auto table = db.GetTable("ds");
+  if (!table.ok()) return;
+  auto t2 = table->UpdateCell("r00002500", 2, "edited");
+  if (!t2.ok()) return;
+  auto v2 = db.Put("ds", Value::OfTable(t2->id()), "master", {"bob", "edit"});
+  if (!v2.ok()) return;
+
+  // Classify reachable chunks of the head version's row tree.
+  auto head_table = db.GetTable("ds");
+  if (!head_table.ok()) return;
+  std::vector<Hash256> chunks;
+  if (!head_table->rows().tree().ReachableChunks(&chunks).ok()) return;
+  Hash256 leaf_chunk, index_chunk;
+  bool have_leaf = false, have_index = false;
+  for (const auto& id : chunks) {
+    auto c = store->Get(id);
+    if (!c.ok()) continue;
+    if (c->type() == ChunkType::kMeta && !have_index) {
+      index_chunk = id;
+      have_index = true;
+    } else if (c->type() == ChunkType::kMapLeaf && !have_leaf) {
+      leaf_chunk = id;
+      have_leaf = true;
+    }
+  }
+
+  struct Case {
+    const char* name;
+    Hash256 target;
+  };
+  std::vector<Case> cases;
+  if (have_leaf) cases.push_back({"data chunk (map leaf)", leaf_chunk});
+  if (have_index) cases.push_back({"index chunk (Merkle interior)", index_chunk});
+  cases.push_back({"ancestor FNode (history forgery)", *v1});
+
+  std::printf("%-36s %-10s %s\n", "injection target", "verify", "result");
+  PrintRule();
+  int detected = 0;
+  for (const auto& c : cases) {
+    // Verify clean, tamper, verify again, restore by re-flipping.
+    if (!db.Verify(*v2).ok()) return;
+    store->TamperForTesting(c.target, 8, 0x20);
+    Status verify = db.Verify(*v2);
+    bool caught = verify.IsCorruption();
+    detected += caught;
+    std::printf("%-36s %-10s %s\n", c.name, caught ? "FAILED" : "passed",
+                caught ? "DETECTED" : "*** MISSED ***");
+    store->TamperForTesting(c.target, 8, 0x20);  // undo
+  }
+  std::printf("detected %d / %zu injections "
+              "(paper claim: any tampering is detectable from the uid)\n",
+              detected, cases.size());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace forkbase
+
+int main() {
+  forkbase::bench::RunCommitChain();
+  forkbase::bench::RunVerificationThroughput();
+  forkbase::bench::RunTamperInjection();
+  return 0;
+}

@@ -1,0 +1,189 @@
+// A4 — micro-benchmarks of core primitives and operations, on
+// google-benchmark. Covers: SHA-256 and rolling-hash throughput, POS-Tree
+// build / lookup / commit / scan / diff, blob read, and ForkBase Put/Get.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "chunk/mem_chunk_store.h"
+#include "postree/diff.h"
+#include "store/forkbase.h"
+#include "util/rolling_hash.h"
+#include "util/sha256.h"
+
+namespace forkbase {
+namespace bench {
+namespace {
+
+void BM_Sha256(benchmark::State& state) {
+  std::string data = Rng(1).NextBytes(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_RollingHash(benchmark::State& state) {
+  std::string data = Rng(2).NextBytes(1 << 20);
+  RollingHash h(48, 12);
+  for (auto _ : state) {
+    uint64_t fired = 0;
+    for (char c : data) fired += h.Roll(static_cast<uint8_t>(c));
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_RollingHash);
+
+void BM_MapBuild(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto kvs = RandomKvs(n, n);
+  for (auto _ : state) {
+    MemChunkStore store;
+    auto info = PosTree::BuildKeyed(&store, ChunkType::kMapLeaf, kvs);
+    benchmark::DoNotOptimize(info.ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_MapBuild)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_MapLookup(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  MemChunkStore store;
+  auto kvs = RandomKvs(n, n);
+  auto info = PosTree::BuildKeyed(&store, ChunkType::kMapLeaf, kvs);
+  PosTree tree(&store, ChunkType::kMapLeaf, info->root);
+  Rng rng(7);
+  for (auto _ : state) {
+    auto v = tree.Lookup(kvs[rng.Uniform(kvs.size())].first);
+    benchmark::DoNotOptimize(v.ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MapLookup)->Arg(1000)->Arg(100000);
+
+void BM_MapCommit(benchmark::State& state) {
+  // One-key functional update (the write path of every Put).
+  const size_t n = static_cast<size_t>(state.range(0));
+  MemChunkStore store;
+  auto kvs = RandomKvs(n, n);
+  auto info = PosTree::BuildKeyed(&store, ChunkType::kMapLeaf, kvs);
+  PosTree tree(&store, ChunkType::kMapLeaf, info->root);
+  Rng rng(8);
+  int i = 0;
+  for (auto _ : state) {
+    auto updated = tree.ApplyKeyedOps(
+        {KeyedOp{kvs[rng.Uniform(kvs.size())].first,
+                 "v" + std::to_string(i++)}});
+    benchmark::DoNotOptimize(updated.ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MapCommit)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_MapScan(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  MemChunkStore store;
+  auto kvs = RandomKvs(n, n);
+  auto info = PosTree::BuildKeyed(&store, ChunkType::kMapLeaf, kvs);
+  PosTree tree(&store, ChunkType::kMapLeaf, info->root);
+  for (auto _ : state) {
+    uint64_t count = 0;
+    (void)tree.Scan([&count](const EntryView&) {
+      ++count;
+      return Status::OK();
+    });
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_MapScan)->Arg(10000)->Arg(100000);
+
+void BM_Diff(benchmark::State& state) {
+  const size_t n = 100000;
+  const size_t d = static_cast<size_t>(state.range(0));
+  MemChunkStore store;
+  auto kvs = RandomKvs(n, 9);
+  auto info = PosTree::BuildKeyed(&store, ChunkType::kMapLeaf, kvs);
+  PosTree a(&store, ChunkType::kMapLeaf, info->root);
+  Rng rng(10);
+  std::vector<KeyedOp> ops;
+  for (size_t i = 0; i < d; ++i) {
+    ops.push_back(
+        KeyedOp{kvs[rng.Uniform(kvs.size())].first, rng.NextString(8)});
+  }
+  auto edited = a.ApplyKeyedOps(ops);
+  PosTree b(&store, ChunkType::kMapLeaf, edited->root);
+  for (auto _ : state) {
+    auto deltas = DiffKeyed(a, b);
+    benchmark::DoNotOptimize(deltas.ok());
+  }
+}
+BENCHMARK(BM_Diff)->Arg(1)->Arg(64)->Arg(1024);
+
+void BM_BlobBuild(benchmark::State& state) {
+  std::string data = Rng(11).NextBytes(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    MemChunkStore store;
+    auto info = PosTree::BuildBlob(&store, data);
+    benchmark::DoNotOptimize(info.ok());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_BlobBuild)->Arg(64 << 10)->Arg(1 << 20)->Arg(8 << 20);
+
+void BM_BlobRead(benchmark::State& state) {
+  MemChunkStore store;
+  std::string data = Rng(12).NextBytes(8 << 20);
+  auto info = PosTree::BuildBlob(&store, data);
+  PosTree tree(&store, ChunkType::kBlobLeaf, info->root,
+               TreeConfig::ForBlob());
+  Rng rng(13);
+  std::string out;
+  for (auto _ : state) {
+    uint64_t offset = rng.Uniform((8 << 20) - 65536);
+    (void)tree.ReadBytes(offset, 65536, &out);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 65536);
+}
+BENCHMARK(BM_BlobRead);
+
+void BM_ForkBasePutGetString(benchmark::State& state) {
+  ForkBase db(std::make_shared<MemChunkStore>());
+  Rng rng(14);
+  int i = 0;
+  for (auto _ : state) {
+    std::string key = "key" + std::to_string(i % 64);
+    (void)db.Put(key, Value::String("value-" + std::to_string(i)));
+    auto v = db.Get(key);
+    benchmark::DoNotOptimize(v.ok());
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ForkBasePutGetString);
+
+void BM_Verify(benchmark::State& state) {
+  auto store = std::make_shared<MemChunkStore>();
+  ForkBase db(store);
+  auto kvs = RandomKvs(static_cast<size_t>(state.range(0)), 15);
+  std::vector<std::pair<std::string, std::string>> pairs(kvs.begin(),
+                                                         kvs.end());
+  auto uid = db.PutMap("k", pairs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.Verify(*uid).ok());
+  }
+}
+BENCHMARK(BM_Verify)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace bench
+}  // namespace forkbase
+
+BENCHMARK_MAIN();

@@ -1,0 +1,199 @@
+// Experiment E1 — Table I: comparison with related data-versioning systems.
+//
+// The paper's Table I is qualitative; we reproduce it quantitatively on one
+// workload (10k-row table, 50 single-cell versions, 3 branches) by running
+// ForkBase against two in-repo baselines representing the table's rows:
+//   * CopyStore   — "unstructured, mutable / key-value / none / ad-hoc"
+//                   (RStore-like: full snapshot per version)
+//   * DeltaStore  — "structured (table), mutable / table oriented / none /
+//                   ad-hoc" (DataHub/Decibel/OrpheusDB-like delta chains)
+// Measured columns: physical storage, dedup ratio, read cost of an old
+// version, branch-creation cost, and tamper evidence (demonstrated, not
+// asserted). Expected shape (matching the paper's table): ForkBase is the
+// only system with page-level dedup AND tamper evidence AND Git-like
+// branching, at storage near DeltaStore and reads near CopyStore.
+#include "baselines/copy_store.h"
+#include "baselines/delta_store.h"
+#include "bench_common.h"
+#include "chunk/mem_chunk_store.h"
+#include "store/forkbase.h"
+#include "util/datagen.h"
+
+namespace forkbase {
+namespace bench {
+namespace {
+
+constexpr int kVersions = 50;
+constexpr size_t kRows = 10000;
+
+struct Row {
+  std::string system;
+  double storage_mb = 0;
+  double dedup_ratio = 1.0;
+  double old_read_ms = 0;
+  double branch_us = 0;
+  bool tamper_evident = false;
+  std::string branching;
+};
+
+DeltaStore::RowMap RowsOf(const CsvDocument& doc) {
+  DeltaStore::RowMap rows;
+  for (const auto& r : doc.rows) {
+    std::string payload;
+    for (const auto& c : r) payload += c + "\x1f";
+    rows[r[0]] = payload;
+  }
+  return rows;
+}
+
+void Report(const std::vector<Row>& rows) {
+  PrintRule();
+  std::printf("%-12s %12s %8s %14s %12s %8s %10s\n", "system",
+              "storage(MB)", "dedup", "old-read(ms)", "branch(us)", "tamper",
+              "branching");
+  PrintRule();
+  for (const auto& r : rows) {
+    std::printf("%-12s %12.2f %7.1fx %14.2f %12.1f %8s %10s\n",
+                r.system.c_str(), r.storage_mb, r.dedup_ratio, r.old_read_ms,
+                r.branch_us, r.tamper_evident ? "yes" : "none",
+                r.branching.c_str());
+  }
+  PrintRule();
+  std::printf(
+      "paper Table I: ForkBase = page-level dedup + Merkle-root tamper\n"
+      "evidence + Git-like branching; related systems offer at most\n"
+      "table-oriented dedup with ad-hoc branching and no tamper evidence.\n");
+}
+
+void Run() {
+  PrintHeader("Table I (E1): versioning-system comparison, 10k rows x 50 "
+              "versions x 3 branches");
+  CsvGenOptions opts;
+  opts.num_rows = kRows;
+  CsvDocument doc = GenerateCsv(opts);
+  Rng rng(5);
+
+  std::vector<Row> report;
+
+  // ---------------------------------------------------------- ForkBase --
+  {
+    auto store = std::make_shared<MemChunkStore>();
+    ForkBase db(store);
+    if (!db.PutTableFromCsv("ds", doc).ok()) return;
+    Hash256 first_head = *db.Head("ds");
+    Rng r(6);
+    for (int v = 0; v < kVersions; ++v) {
+      auto table = db.GetTable("ds");
+      if (!table.ok()) return;
+      char key[16];
+      std::snprintf(key, sizeof(key), "r%08d",
+                    static_cast<int>(r.Uniform(kRows)));
+      auto edited = table->UpdateCell(key, 1 + r.Uniform(6),
+                                      "v" + std::to_string(v));
+      if (!edited.ok()) return;
+      if (!db.Put("ds", Value::OfTable(edited->id())).ok()) return;
+    }
+    Timer tb;
+    if (!db.Branch("ds", "b1").ok()) return;
+    if (!db.Branch("ds", "b2").ok()) return;
+    double branch_us = tb.ElapsedUs() / 2;
+
+    Timer tr;
+    auto old_value = db.GetVersion(first_head);
+    if (!old_value.ok()) return;
+    auto old_table = FTable::Attach(store.get(), old_value->root());
+    if (!old_table.ok()) return;
+    uint64_t rows_read = 0;
+    if (!old_table
+             ->Scan([&rows_read](Slice, const std::vector<std::string>&) {
+               ++rows_read;
+               return Status::OK();
+             })
+             .ok())
+      return;
+    double old_read_ms = tr.ElapsedMs();
+
+    // Tamper evidence: flip a byte, expect detection.
+    std::vector<Hash256> chunks;
+    auto head_table = db.GetTable("ds");
+    if (!head_table.ok()) return;
+    if (!head_table->rows().tree().ReachableChunks(&chunks).ok()) return;
+    store->TamperForTesting(chunks[chunks.size() / 2], 3, 0x11);
+    bool detected = db.Verify(*db.Head("ds")).IsCorruption();
+    store->TamperForTesting(chunks[chunks.size() / 2], 3, 0x11);  // undo
+
+    auto stats = store->stats();
+    report.push_back(Row{"forkbase", ToMb(stats.physical_bytes),
+                         stats.DedupRatio(), old_read_ms, branch_us, detected,
+                         "Git-like"});
+  }
+
+  // --------------------------------------------------------- CopyStore --
+  {
+    CopyStore store;
+    CsvDocument current = doc;
+    auto v1 = store.Put("ds", "master", WriteCsv(current));
+    Rng r(6);
+    for (int v = 0; v < kVersions; ++v) {
+      size_t row = r.Uniform(kRows);
+      size_t col = 1 + r.Uniform(6);
+      current.rows[row][col] = "v" + std::to_string(v);
+      store.Put("ds", "master", WriteCsv(current));
+    }
+    Timer tb;
+    (void)store.Branch("ds", "b1", "master");
+    (void)store.Branch("ds", "b2", "master");
+    double branch_us = tb.ElapsedUs() / 2;
+    Timer tr;
+    auto old_payload = store.GetVersion(v1);
+    if (!old_payload.ok()) return;
+    auto parsed = ParseCsv(*old_payload);
+    if (!parsed.ok()) return;
+    double old_read_ms = tr.ElapsedMs();
+    report.push_back(Row{"copy", ToMb(store.stats().physical_bytes), 1.0,
+                         old_read_ms, branch_us, false, "ad-hoc"});
+  }
+
+  // -------------------------------------------------------- DeltaStore --
+  {
+    DeltaStore store(32);
+    CsvDocument current = doc;
+    auto v1 = store.Put("ds", "master", RowsOf(current));
+    if (!v1.ok()) return;
+    Rng r(6);
+    for (int v = 0; v < kVersions; ++v) {
+      size_t row = r.Uniform(kRows);
+      size_t col = 1 + r.Uniform(6);
+      current.rows[row][col] = "v" + std::to_string(v);
+      (void)store.Put("ds", "master", RowsOf(current));
+    }
+    Timer tb;
+    (void)store.Branch("ds", "b1", "master");
+    (void)store.Branch("ds", "b2", "master");
+    double branch_us = tb.ElapsedUs() / 2;
+    Timer tr;
+    auto old_rows = store.GetVersion(*v1);
+    if (!old_rows.ok()) return;
+    double old_read_ms = tr.ElapsedMs();
+    // Dedup ratio analogue: logical bytes (all versions materialized) over
+    // physical (snapshots + deltas).
+    double logical = static_cast<double>(kVersions + 1) *
+                     static_cast<double>(WriteCsv(doc).size());
+    report.push_back(Row{"delta", ToMb(store.stats().physical_bytes),
+                         logical / static_cast<double>(
+                                       store.stats().physical_bytes),
+                         old_read_ms, branch_us, false, "ad-hoc"});
+  }
+
+  Report(report);
+  (void)rng;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace forkbase
+
+int main() {
+  forkbase::bench::Run();
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Dataset management scenario (Fig. 1 "Dataset Management", Fig. 4-5).
+//
+// A data engineer archives evolving CSV snapshots of a dataset. ForkBase
+// stores each snapshot as a relational-table object; identical rows across
+// versions share chunks, old versions stay addressable, differential
+// queries between any two versions are cheap, and the whole thing can be
+// exported back to CSV.
+//
+// Build & run:  ./build/examples/dataset_versioning
+#include <cstdio>
+
+#include "chunk/mem_chunk_store.h"
+#include "store/forkbase.h"
+#include "util/datagen.h"
+
+using namespace forkbase;
+
+int main() {
+  auto store = std::make_shared<MemChunkStore>();
+  ForkBase db(store);
+
+  // Day 0: ingest the initial snapshot (synthetic stand-in for a real CSV).
+  CsvGenOptions opts;
+  opts.num_rows = 5000;
+  CsvDocument snapshot = GenerateCsv(opts);
+  auto v0 = db.PutTableFromCsv("sales", snapshot, 0, "master",
+                               {"etl", "day-0 snapshot"});
+  if (!v0.ok()) {
+    std::printf("load failed: %s\n", v0.status().ToString().c_str());
+    return 1;
+  }
+  uint64_t day0_bytes = store->stats().physical_bytes;
+  std::printf("day 0: %zu rows, storage %.1f KB, uid %s...\n",
+              snapshot.rows.size(), day0_bytes / 1024.0,
+              v0->ToBase32().substr(0, 16).c_str());
+
+  // Days 1..14: small daily edits; each day is one commit.
+  std::vector<Hash256> daily;
+  daily.push_back(*v0);
+  for (int day = 1; day <= 14; ++day) {
+    snapshot = EditCells(snapshot, 25, /*seed=*/day);
+    auto uid = db.PutTableFromCsv("sales", snapshot, 0, "master",
+                                  {"etl", "day-" + std::to_string(day)});
+    if (!uid.ok()) return 1;
+    daily.push_back(*uid);
+  }
+  uint64_t total_bytes = store->stats().physical_bytes;
+  std::printf("after 14 daily versions: storage %.1f KB (naive: %.1f KB), "
+              "dedup %.1fx\n",
+              total_bytes / 1024.0,
+              15.0 * CsvBytes(snapshot) / 1024.0,
+              store->stats().DedupRatio());
+
+  // Differential query: what changed between day 3 and day 11?
+  auto diff = db.DiffVersions(daily[3], daily[11]);
+  if (!diff.ok()) return 1;
+  std::printf("day 3 -> day 11: %zu rows changed (of %zu), diff touched %llu "
+              "nodes\n",
+              diff->rows.size(), snapshot.rows.size(),
+              static_cast<unsigned long long>(diff->metrics.nodes_loaded));
+
+  // Time travel: read one cell as of day 5.
+  auto day5 = db.GetVersion(daily[5]);
+  if (!day5.ok()) return 1;
+  auto day5_table = FTable::Attach(store.get(), day5->root());
+  if (!day5_table.ok()) return 1;
+  auto cell = day5_table->GetCell("r00002500", 3);
+  if (!cell.ok() || !cell->has_value()) return 1;
+  std::printf("cell r00002500[c2] as of day 5: \"%s\"\n", (*cell)->c_str());
+
+  // Export the current head back to CSV.
+  auto head_table = db.GetTable("sales");
+  if (!head_table.ok()) return 1;
+  auto csv = head_table->ToCsv();
+  if (!csv.ok()) return 1;
+  std::printf("exported head snapshot: %zu rows, %.1f KB of CSV\n",
+              csv->rows.size(), WriteCsv(*csv).size() / 1024.0);
+
+  // Every archived version remains verifiable against its uid.
+  for (int day : {0, 7, 14}) {
+    Status verify = db.Verify(daily[day]);
+    std::printf("verify day %-2d: %s\n", day, verify.ToString().c_str());
+    if (!verify.ok()) return 1;
+  }
+  return 0;
+}

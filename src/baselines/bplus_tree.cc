@@ -1,0 +1,166 @@
+#include "baselines/bplus_tree.h"
+
+#include <algorithm>
+
+#include "util/codec.h"
+
+namespace forkbase {
+
+BPlusTree::BPlusTree(size_t fanout) : fanout_(fanout) {
+  root_ = std::make_unique<Node>();
+}
+
+std::optional<std::string> BPlusTree::Lookup(const std::string& key) const {
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    size_t i = static_cast<size_t>(
+        std::upper_bound(node->keys.begin(), node->keys.end(), key) -
+        node->keys.begin());
+    node = node->children[i].get();
+  }
+  auto it = std::lower_bound(node->keys.begin(), node->keys.end(), key);
+  if (it != node->keys.end() && *it == key) {
+    return node->values[static_cast<size_t>(it - node->keys.begin())];
+  }
+  return std::nullopt;
+}
+
+void BPlusTree::InsertRec(Node* node, const std::string& key,
+                          const std::string& value, std::string* up_key,
+                          std::unique_ptr<Node>* up_node) {
+  if (node->leaf) {
+    auto it = std::lower_bound(node->keys.begin(), node->keys.end(), key);
+    size_t pos = static_cast<size_t>(it - node->keys.begin());
+    if (it != node->keys.end() && *it == key) {
+      node->values[pos] = value;  // update in place
+      return;
+    }
+    node->keys.insert(it, key);
+    node->values.insert(node->values.begin() + pos, value);
+    ++size_;
+    if (node->keys.size() > fanout_) {
+      // Half split — this is the order-dependence: the split point depends
+      // on when the overflow happens, not on content.
+      size_t mid = node->keys.size() / 2;
+      auto right = std::make_unique<Node>();
+      right->leaf = true;
+      right->keys.assign(node->keys.begin() + mid, node->keys.end());
+      right->values.assign(node->values.begin() + mid, node->values.end());
+      node->keys.resize(mid);
+      node->values.resize(mid);
+      *up_key = right->keys.front();
+      *up_node = std::move(right);
+    }
+    return;
+  }
+  size_t i = static_cast<size_t>(
+      std::upper_bound(node->keys.begin(), node->keys.end(), key) -
+      node->keys.begin());
+  std::string child_up_key;
+  std::unique_ptr<Node> child_up;
+  InsertRec(node->children[i].get(), key, value, &child_up_key, &child_up);
+  if (child_up) {
+    node->keys.insert(node->keys.begin() + i, child_up_key);
+    node->children.insert(node->children.begin() + i + 1, std::move(child_up));
+    if (node->keys.size() > fanout_) {
+      size_t mid = node->keys.size() / 2;
+      auto right = std::make_unique<Node>();
+      right->leaf = false;
+      *up_key = node->keys[mid];
+      right->keys.assign(node->keys.begin() + mid + 1, node->keys.end());
+      for (size_t c = mid + 1; c < node->children.size(); ++c) {
+        right->children.push_back(std::move(node->children[c]));
+      }
+      node->keys.resize(mid);
+      node->children.resize(mid + 1);
+      *up_node = std::move(right);
+    }
+  }
+}
+
+void BPlusTree::Insert(const std::string& key, const std::string& value) {
+  std::string up_key;
+  std::unique_ptr<Node> up_node;
+  InsertRec(root_.get(), key, value, &up_key, &up_node);
+  if (up_node) {
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    new_root->keys.push_back(up_key);
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(up_node));
+    root_ = std::move(new_root);
+  }
+}
+
+bool BPlusTree::Erase(const std::string& key) {
+  // Tombstone-free lazy erase: remove from the leaf without rebalancing —
+  // sufficient for the ablation workloads (underflow handling does not
+  // change the order-dependence being demonstrated).
+  Node* node = root_.get();
+  while (!node->leaf) {
+    size_t i = static_cast<size_t>(
+        std::upper_bound(node->keys.begin(), node->keys.end(), key) -
+        node->keys.begin());
+    node = node->children[i].get();
+  }
+  auto it = std::lower_bound(node->keys.begin(), node->keys.end(), key);
+  if (it == node->keys.end() || *it != key) return false;
+  size_t pos = static_cast<size_t>(it - node->keys.begin());
+  node->keys.erase(it);
+  node->values.erase(node->values.begin() + pos);
+  --size_;
+  return true;
+}
+
+Hash256 BPlusTree::HashRec(const Node* node, std::vector<Hash256>* out) {
+  std::string page;
+  page.push_back(node->leaf ? 'L' : 'I');
+  if (node->leaf) {
+    for (size_t i = 0; i < node->keys.size(); ++i) {
+      PutLengthPrefixed(&page, node->keys[i]);
+      PutLengthPrefixed(&page, node->values[i]);
+    }
+  } else {
+    for (size_t i = 0; i < node->children.size(); ++i) {
+      Hash256 child = HashRec(node->children[i].get(), out);
+      page.append(reinterpret_cast<const char*>(child.bytes.data()), 32);
+      if (i < node->keys.size()) PutLengthPrefixed(&page, node->keys[i]);
+    }
+  }
+  Hash256 h = Sha256(page);
+  out->push_back(h);
+  return h;
+}
+
+std::vector<Hash256> BPlusTree::PageHashes() const {
+  std::vector<Hash256> out;
+  HashRec(root_.get(), &out);
+  return out;
+}
+
+void BPlusTree::CollectEntries(
+    const Node* node, std::vector<std::pair<std::string, std::string>>* out) {
+  if (node->leaf) {
+    for (size_t i = 0; i < node->keys.size(); ++i) {
+      out->emplace_back(node->keys[i], node->values[i]);
+    }
+    return;
+  }
+  for (const auto& child : node->children) CollectEntries(child.get(), out);
+}
+
+std::vector<std::pair<std::string, std::string>> BPlusTree::Entries() const {
+  std::vector<std::pair<std::string, std::string>> out;
+  CollectEntries(root_.get(), &out);
+  return out;
+}
+
+size_t BPlusTree::CountRec(const Node* node) {
+  size_t n = 1;
+  for (const auto& child : node->children) n += CountRec(child.get());
+  return n;
+}
+
+size_t BPlusTree::PageCount() const { return CountRec(root_.get()); }
+
+}  // namespace forkbase

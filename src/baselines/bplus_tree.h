@@ -1,0 +1,68 @@
+// BPlusTree — an ordinary page-based B+-tree used as the non-SIRI index
+// baseline for the A1 ablation.
+//
+// Its structure depends on insertion order (half-splits), so two instances
+// holding identical record sets generally have different page sets — it
+// violates SIRI property (1), which is why page-level deduplication across
+// versions is ineffective for classical primary indexes (§II-A, first
+// paragraph). PageHashes() serializes every node and hashes it so benches
+// can count distinct pages across instances exactly like the chunk store
+// does for POS-Trees.
+#ifndef FORKBASE_BASELINES_BPLUS_TREE_H_
+#define FORKBASE_BASELINES_BPLUS_TREE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/sha256.h"
+
+namespace forkbase {
+
+class BPlusTree {
+ public:
+  /// @param fanout max entries per node before a half-split
+  explicit BPlusTree(size_t fanout = 32);
+
+  void Insert(const std::string& key, const std::string& value);
+  bool Erase(const std::string& key);
+  std::optional<std::string> Lookup(const std::string& key) const;
+  size_t size() const { return size_; }
+
+  /// All entries in key order.
+  std::vector<std::pair<std::string, std::string>> Entries() const;
+
+  /// Content hash of every node (page), computed bottom-up Merkle-style so
+  /// identical subtrees hash identically. Enables cross-instance page
+  /// sharing accounting.
+  std::vector<Hash256> PageHashes() const;
+
+  /// Number of nodes.
+  size_t PageCount() const;
+
+ private:
+  struct Node {
+    bool leaf = true;
+    std::vector<std::string> keys;             // leaf: entry keys;
+                                               // internal: separators
+    std::vector<std::string> values;           // leaf only
+    std::vector<std::unique_ptr<Node>> children;  // internal only
+  };
+
+  void InsertRec(Node* node, const std::string& key, const std::string& value,
+                 std::string* up_key, std::unique_ptr<Node>* up_node);
+  static Hash256 HashRec(const Node* node, std::vector<Hash256>* out);
+  static void CollectEntries(
+      const Node* node,
+      std::vector<std::pair<std::string, std::string>>* out);
+  static size_t CountRec(const Node* node);
+
+  size_t fanout_;
+  size_t size_ = 0;
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace forkbase
+
+#endif  // FORKBASE_BASELINES_BPLUS_TREE_H_

@@ -1,0 +1,85 @@
+#include "baselines/copy_store.h"
+
+#include <sstream>
+
+namespace forkbase {
+
+CopyStore::VersionId CopyStore::Put(const std::string& key,
+                                    const std::string& branch,
+                                    std::string payload) {
+  VersionId parent = 0;
+  auto it = heads_.find({key, branch});
+  if (it != heads_.end()) parent = it->second;
+  stats_.physical_bytes += payload.size();
+  ++stats_.versions;
+  versions_.push_back(Version{std::move(payload), parent});
+  VersionId id = versions_.size();
+  heads_[{key, branch}] = id;
+  return id;
+}
+
+StatusOr<std::string> CopyStore::Get(const std::string& key,
+                                     const std::string& branch) const {
+  auto it = heads_.find({key, branch});
+  if (it == heads_.end()) return Status::NotFound(key + "@" + branch);
+  return versions_[it->second - 1].payload;
+}
+
+StatusOr<std::string> CopyStore::GetVersion(VersionId version) const {
+  if (version == 0 || version > versions_.size()) {
+    return Status::NotFound("version " + std::to_string(version));
+  }
+  return versions_[version - 1].payload;
+}
+
+StatusOr<CopyStore::VersionId> CopyStore::Head(const std::string& key,
+                                               const std::string& branch) const {
+  auto it = heads_.find({key, branch});
+  if (it == heads_.end()) return Status::NotFound(key + "@" + branch);
+  return it->second;
+}
+
+Status CopyStore::Branch(const std::string& key, const std::string& to,
+                         const std::string& from) {
+  auto fit = heads_.find({key, from});
+  if (fit == heads_.end()) return Status::NotFound(key + "@" + from);
+  auto [it, inserted] = heads_.try_emplace({key, to}, fit->second);
+  (void)it;
+  if (!inserted) return Status::AlreadyExists(key + "@" + to);
+  return Status::OK();
+}
+
+StatusOr<std::vector<CopyStore::VersionId>> CopyStore::History(
+    const std::string& key, const std::string& branch) const {
+  auto it = heads_.find({key, branch});
+  if (it == heads_.end()) return Status::NotFound(key + "@" + branch);
+  std::vector<VersionId> out;
+  for (VersionId v = it->second; v != 0; v = versions_[v - 1].parent) {
+    out.push_back(v);
+  }
+  return out;
+}
+
+StatusOr<std::vector<std::pair<std::string, std::string>>>
+CopyStore::DiffLines(VersionId a, VersionId b) const {
+  FB_ASSIGN_OR_RETURN(std::string pa, GetVersion(a));
+  FB_ASSIGN_OR_RETURN(std::string pb, GetVersion(b));
+  auto split = [](const std::string& s) {
+    std::vector<std::string> lines;
+    std::istringstream ss(s);
+    std::string line;
+    while (std::getline(ss, line)) lines.push_back(line);
+    return lines;
+  };
+  std::vector<std::string> la = split(pa), lb = split(pb);
+  std::vector<std::pair<std::string, std::string>> deltas;
+  size_t n = std::max(la.size(), lb.size());
+  for (size_t i = 0; i < n; ++i) {
+    const std::string& x = i < la.size() ? la[i] : std::string();
+    const std::string& y = i < lb.size() ? lb[i] : std::string();
+    if (x != y) deltas.emplace_back(x, y);
+  }
+  return deltas;
+}
+
+}  // namespace forkbase

@@ -1,0 +1,64 @@
+// CopyStore — the no-deduplication versioning baseline (Table I's
+// "key-value, none" row, RStore-like).
+//
+// Every Put stores the complete serialized dataset; branching copies a head
+// reference. No content addressing: storage grows linearly with the number
+// of versions regardless of overlap, which is exactly what Fig. 4's
+// comparison needs as the contrast to ForkBase's chunk-level dedup.
+#ifndef FORKBASE_BASELINES_COPY_STORE_H_
+#define FORKBASE_BASELINES_COPY_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace forkbase {
+
+class CopyStore {
+ public:
+  using VersionId = uint64_t;
+
+  /// Commits a full payload as the new head of (key, branch).
+  VersionId Put(const std::string& key, const std::string& branch,
+                std::string payload);
+
+  StatusOr<std::string> Get(const std::string& key,
+                            const std::string& branch) const;
+  StatusOr<std::string> GetVersion(VersionId version) const;
+  StatusOr<VersionId> Head(const std::string& key,
+                           const std::string& branch) const;
+
+  Status Branch(const std::string& key, const std::string& to,
+                const std::string& from);
+
+  /// History of (key, branch), newest first.
+  StatusOr<std::vector<VersionId>> History(const std::string& key,
+                                           const std::string& branch) const;
+
+  /// Element-wise (line-wise) diff of two versions — no pruning possible.
+  StatusOr<std::vector<std::pair<std::string, std::string>>> DiffLines(
+      VersionId a, VersionId b) const;
+
+  struct Stats {
+    uint64_t versions = 0;
+    uint64_t physical_bytes = 0;  ///< full copies, no sharing
+  };
+  Stats stats() const { return stats_; }
+
+ private:
+  struct Version {
+    std::string payload;
+    VersionId parent;  ///< 0 = none
+  };
+
+  std::vector<Version> versions_;  // id = index + 1
+  std::map<std::pair<std::string, std::string>, VersionId> heads_;
+  Stats stats_;
+};
+
+}  // namespace forkbase
+
+#endif  // FORKBASE_BASELINES_COPY_STORE_H_

@@ -1,0 +1,133 @@
+#include "baselines/delta_store.h"
+
+namespace forkbase {
+
+uint64_t DeltaStore::DeltaBytes(const std::vector<RowOp>& ops) {
+  uint64_t bytes = 0;
+  for (const auto& op : ops) {
+    bytes += op.key.size() + (op.value ? op.value->size() : 0) + 2;
+  }
+  return bytes;
+}
+
+uint64_t DeltaStore::SnapshotBytes(const RowMap& rows) {
+  uint64_t bytes = 0;
+  for (const auto& [k, v] : rows) bytes += k.size() + v.size() + 2;
+  return bytes;
+}
+
+StatusOr<DeltaStore::VersionId> DeltaStore::Put(const std::string& key,
+                                                const std::string& branch,
+                                                const RowMap& rows) {
+  VersionId parent = 0;
+  auto it = heads_.find({key, branch});
+  if (it != heads_.end()) parent = it->second;
+
+  Version v;
+  v.parent = parent;
+  uint64_t parent_chain = parent ? versions_[parent - 1].chain_length : 0;
+  if (parent == 0 || parent_chain + 1 >= snapshot_interval_) {
+    v.is_snapshot = true;
+    v.snapshot = rows;
+    v.chain_length = 0;
+    stats_.physical_bytes += SnapshotBytes(rows);
+    ++stats_.snapshots;
+  } else {
+    FB_ASSIGN_OR_RETURN(RowMap base, GetVersion(parent));
+    // Row-wise forward delta.
+    for (const auto& [k, val] : rows) {
+      auto bit = base.find(k);
+      if (bit == base.end() || bit->second != val) {
+        v.delta.push_back(RowOp{k, val});
+      }
+    }
+    for (const auto& [k, val] : base) {
+      (void)val;
+      if (!rows.count(k)) v.delta.push_back(RowOp{k, std::nullopt});
+    }
+    v.chain_length = parent_chain + 1;
+    stats_.physical_bytes += DeltaBytes(v.delta);
+  }
+  ++stats_.versions;
+  versions_.push_back(std::move(v));
+  VersionId id = versions_.size();
+  heads_[{key, branch}] = id;
+  return id;
+}
+
+StatusOr<DeltaStore::RowMap> DeltaStore::GetVersion(VersionId version) const {
+  if (version == 0 || version > versions_.size()) {
+    return Status::NotFound("version " + std::to_string(version));
+  }
+  // Walk back to the nearest snapshot, then replay forward.
+  std::vector<VersionId> chain;
+  VersionId v = version;
+  while (true) {
+    chain.push_back(v);
+    const Version& node = versions_[v - 1];
+    if (node.is_snapshot) break;
+    v = node.parent;
+  }
+  RowMap rows = versions_[chain.back() - 1].snapshot;
+  for (auto it = chain.rbegin() + 1; it != chain.rend(); ++it) {
+    const Version& node = versions_[*it - 1];
+    for (const auto& op : node.delta) {
+      ++stats_.replayed_deltas;
+      if (op.value) {
+        rows[op.key] = *op.value;
+      } else {
+        rows.erase(op.key);
+      }
+    }
+  }
+  return rows;
+}
+
+StatusOr<DeltaStore::RowMap> DeltaStore::Get(const std::string& key,
+                                             const std::string& branch) const {
+  auto it = heads_.find({key, branch});
+  if (it == heads_.end()) return Status::NotFound(key + "@" + branch);
+  return GetVersion(it->second);
+}
+
+StatusOr<DeltaStore::VersionId> DeltaStore::Head(
+    const std::string& key, const std::string& branch) const {
+  auto it = heads_.find({key, branch});
+  if (it == heads_.end()) return Status::NotFound(key + "@" + branch);
+  return it->second;
+}
+
+Status DeltaStore::Branch(const std::string& key, const std::string& to,
+                          const std::string& from) {
+  auto fit = heads_.find({key, from});
+  if (fit == heads_.end()) return Status::NotFound(key + "@" + from);
+  auto [it, inserted] = heads_.try_emplace({key, to}, fit->second);
+  (void)it;
+  if (!inserted) return Status::AlreadyExists(key + "@" + to);
+  return Status::OK();
+}
+
+StatusOr<std::vector<std::string>> DeltaStore::DiffKeys(VersionId a,
+                                                        VersionId b) const {
+  FB_ASSIGN_OR_RETURN(RowMap ra, GetVersion(a));
+  FB_ASSIGN_OR_RETURN(RowMap rb, GetVersion(b));
+  std::vector<std::string> keys;
+  auto ia = ra.begin();
+  auto ib = rb.begin();
+  while (ia != ra.end() || ib != rb.end()) {
+    if (ib == rb.end() || (ia != ra.end() && ia->first < ib->first)) {
+      keys.push_back(ia->first);
+      ++ia;
+    } else if (ia == ra.end() || ib->first < ia->first) {
+      keys.push_back(ib->first);
+      ++ib;
+    } else {
+      if (ia->second != ib->second) keys.push_back(ia->first);
+      ++ia;
+      ++ib;
+    }
+  }
+  return keys;
+}
+
+}  // namespace forkbase

@@ -1,0 +1,79 @@
+// DeltaStore — the table-oriented delta-chain baseline (Table I's
+// DataHub/Decibel/OrpheusDB row: "table oriented" dedup, ad-hoc branching).
+//
+// Datasets are row maps. The first version on a chain is a full snapshot;
+// subsequent versions store row-level forward deltas vs their parent, with
+// a periodic full snapshot every `snapshot_interval` versions to bound
+// reconstruction cost. Reads replay the delta chain — the classic
+// storage/latency trade-off ForkBase's structural sharing avoids.
+#ifndef FORKBASE_BASELINES_DELTA_STORE_H_
+#define FORKBASE_BASELINES_DELTA_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace forkbase {
+
+class DeltaStore {
+ public:
+  using VersionId = uint64_t;
+  using RowMap = std::map<std::string, std::string>;
+
+  explicit DeltaStore(size_t snapshot_interval = 32)
+      : snapshot_interval_(snapshot_interval) {}
+
+  /// Commits `rows` as the new head of (key, branch); stores a delta
+  /// computed row-wise against the parent version.
+  StatusOr<VersionId> Put(const std::string& key, const std::string& branch,
+                          const RowMap& rows);
+
+  StatusOr<RowMap> Get(const std::string& key,
+                       const std::string& branch) const;
+  StatusOr<RowMap> GetVersion(VersionId version) const;
+  StatusOr<VersionId> Head(const std::string& key,
+                           const std::string& branch) const;
+
+  Status Branch(const std::string& key, const std::string& to,
+                const std::string& from);
+
+  /// Row-wise diff between two versions (reconstructs both).
+  StatusOr<std::vector<std::string>> DiffKeys(VersionId a, VersionId b) const;
+
+  struct Stats {
+    uint64_t versions = 0;
+    uint64_t physical_bytes = 0;  ///< snapshots + deltas
+    uint64_t snapshots = 0;
+    uint64_t replayed_deltas = 0;  ///< reconstruction work counter
+  };
+  Stats stats() const { return stats_; }
+
+ private:
+  struct RowOp {
+    std::string key;
+    std::optional<std::string> value;  ///< nullopt = delete
+  };
+  struct Version {
+    VersionId parent = 0;
+    bool is_snapshot = false;
+    RowMap snapshot;          ///< when is_snapshot
+    std::vector<RowOp> delta; ///< otherwise
+    uint64_t chain_length = 0;
+  };
+
+  static uint64_t DeltaBytes(const std::vector<RowOp>& ops);
+  static uint64_t SnapshotBytes(const RowMap& rows);
+
+  size_t snapshot_interval_;
+  std::vector<Version> versions_;  // id = index + 1
+  std::map<std::pair<std::string, std::string>, VersionId> heads_;
+  mutable Stats stats_;
+};
+
+}  // namespace forkbase
+
+#endif  // FORKBASE_BASELINES_DELTA_STORE_H_

@@ -1,0 +1,74 @@
+#include "chunk/caching_chunk_store.h"
+
+namespace forkbase {
+
+CachingChunkStore::CachingChunkStore(std::shared_ptr<ChunkStore> base,
+                                     size_t capacity_bytes)
+    : base_(std::move(base)), capacity_bytes_(capacity_bytes) {}
+
+void CachingChunkStore::InsertLocked(const Hash256& id,
+                                     const Chunk& chunk) const {
+  auto it = map_.find(id);
+  if (it != map_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(id, chunk);
+  map_[id] = lru_.begin();
+  cstats_.resident_bytes += chunk.size();
+  while (cstats_.resident_bytes > capacity_bytes_ && lru_.size() > 1) {
+    auto& back = lru_.back();
+    cstats_.resident_bytes -= back.second.size();
+    map_.erase(back.first);
+    lru_.pop_back();
+    ++cstats_.evictions;
+  }
+}
+
+StatusOr<Chunk> CachingChunkStore::Get(const Hash256& id) const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(id);
+    if (it != map_.end()) {
+      ++cstats_.hits;
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return it->second->second;
+    }
+    ++cstats_.misses;
+  }
+  auto result = base_->Get(id);
+  if (result.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    InsertLocked(id, *result);
+  }
+  return result;
+}
+
+Status CachingChunkStore::Put(const Chunk& chunk) {
+  FB_RETURN_IF_ERROR(base_->Put(chunk));
+  std::lock_guard<std::mutex> lock(mu_);
+  InsertLocked(chunk.hash(), chunk);
+  return Status::OK();
+}
+
+bool CachingChunkStore::Contains(const Hash256& id) const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (map_.count(id)) return true;
+  }
+  return base_->Contains(id);
+}
+
+ChunkStoreStats CachingChunkStore::stats() const { return base_->stats(); }
+
+void CachingChunkStore::ForEach(
+    const std::function<void(const Hash256&, const Chunk&)>& fn) const {
+  base_->ForEach(fn);
+}
+
+CachingChunkStore::CacheStats CachingChunkStore::cache_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cstats_;
+}
+
+}  // namespace forkbase

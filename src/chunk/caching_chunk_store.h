@@ -1,0 +1,58 @@
+// LRU read-cache decorator over any ChunkStore.
+//
+// POS-Tree operations repeatedly touch upper-level index chunks; the cache
+// keeps the hot working set in memory above a slow backend (FileChunkStore).
+// Chunks are immutable, so the cache never needs invalidation — the single
+// reason this decorator is trivially correct.
+#ifndef FORKBASE_CHUNK_CACHING_CHUNK_STORE_H_
+#define FORKBASE_CHUNK_CACHING_CHUNK_STORE_H_
+
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "chunk/chunk_store.h"
+
+namespace forkbase {
+
+class CachingChunkStore : public ChunkStore {
+ public:
+  /// @param base      the underlying store (shared; must outlive the cache)
+  /// @param capacity_bytes  max bytes of cached chunks (LRU eviction)
+  CachingChunkStore(std::shared_ptr<ChunkStore> base, size_t capacity_bytes);
+
+  StatusOr<Chunk> Get(const Hash256& id) const override;
+  Status Put(const Chunk& chunk) override;
+  bool Contains(const Hash256& id) const override;
+  ChunkStoreStats stats() const override;
+  void ForEach(const std::function<void(const Hash256&, const Chunk&)>& fn)
+      const override;
+
+  struct CacheStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t resident_bytes = 0;
+  };
+  CacheStats cache_stats() const;
+
+ private:
+  void InsertLocked(const Hash256& id, const Chunk& chunk) const;
+
+  std::shared_ptr<ChunkStore> base_;
+  const size_t capacity_bytes_;
+
+  mutable std::mutex mu_;
+  // LRU: list front = most recent. Map values point into the list.
+  mutable std::list<std::pair<Hash256, Chunk>> lru_;
+  mutable std::unordered_map<Hash256,
+                             std::list<std::pair<Hash256, Chunk>>::iterator,
+                             Hash256Hasher>
+      map_;
+  mutable CacheStats cstats_;
+};
+
+}  // namespace forkbase
+
+#endif  // FORKBASE_CHUNK_CACHING_CHUNK_STORE_H_

@@ -1,0 +1,46 @@
+#include "chunk/chunk.h"
+
+namespace forkbase {
+
+const char* ChunkTypeToString(ChunkType t) {
+  switch (t) {
+    case ChunkType::kMeta:
+      return "Meta";
+    case ChunkType::kMapLeaf:
+      return "MapLeaf";
+    case ChunkType::kSetLeaf:
+      return "SetLeaf";
+    case ChunkType::kListLeaf:
+      return "ListLeaf";
+    case ChunkType::kBlobLeaf:
+      return "BlobLeaf";
+    case ChunkType::kFNode:
+      return "FNode";
+    case ChunkType::kTableMeta:
+      return "TableMeta";
+    case ChunkType::kCell:
+      return "Cell";
+  }
+  return "Unknown";
+}
+
+Chunk Chunk::Make(ChunkType type, Slice payload) {
+  auto buf = std::make_shared<std::string>();
+  buf->reserve(payload.size() + 1);
+  buf->push_back(static_cast<char>(type));
+  buf->append(payload.data(), payload.size());
+  return Chunk(std::move(buf));
+}
+
+Chunk Chunk::FromBytes(std::string bytes) {
+  return Chunk(std::make_shared<std::string>(std::move(bytes)));
+}
+
+const Hash256& Chunk::hash() const {
+  if (!hash_) {
+    hash_ = std::make_shared<Hash256>(Sha256(bytes()));
+  }
+  return *hash_;
+}
+
+}  // namespace forkbase

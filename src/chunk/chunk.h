@@ -1,0 +1,69 @@
+// Immutable, content-addressed chunk — the unit of storage & deduplication.
+//
+// Every persistent object in ForkBase (POS-Tree pages, FNodes, table headers)
+// is a chunk: a one-byte type tag followed by an opaque payload. A chunk's
+// identity is the SHA-256 digest of its full byte sequence (tag + payload),
+// so two chunks are shared iff they are bit-identical (§II-C).
+#ifndef FORKBASE_CHUNK_CHUNK_H_
+#define FORKBASE_CHUNK_CHUNK_H_
+
+#include <memory>
+#include <string>
+
+#include "util/sha256.h"
+#include "util/slice.h"
+
+namespace forkbase {
+
+/// Persistent chunk kinds. The tag participates in the hash, so a map leaf
+/// and a set leaf with identical payloads have different identities.
+enum class ChunkType : uint8_t {
+  kMeta = 0,      ///< POS-Tree index (internal) node
+  kMapLeaf = 1,   ///< ordered key->value entries
+  kSetLeaf = 2,   ///< ordered keys
+  kListLeaf = 3,  ///< positional variable-length elements
+  kBlobLeaf = 4,  ///< raw bytes
+  kFNode = 5,     ///< version node (key, value, bases, metadata)
+  kTableMeta = 6, ///< relational table header (schema + row-map root)
+  kCell = 7,      ///< free-form small value cell (baselines, misc.)
+};
+
+/// Human-readable chunk-type name.
+const char* ChunkTypeToString(ChunkType t);
+
+/// An immutable byte buffer `[type:1][payload...]` plus its lazily computed
+/// content hash. Cheap to copy (shared buffer).
+class Chunk {
+ public:
+  Chunk() = default;
+
+  /// Builds a chunk from a type tag and payload (copies the payload).
+  static Chunk Make(ChunkType type, Slice payload);
+
+  /// Adopts a full pre-assembled buffer (tag already in front). Used by
+  /// stores when reading back from disk.
+  static Chunk FromBytes(std::string bytes);
+
+  bool valid() const { return buf_ != nullptr && !buf_->empty(); }
+  ChunkType type() const {
+    return static_cast<ChunkType>(static_cast<uint8_t>((*buf_)[0]));
+  }
+  /// Payload view (excludes the tag byte).
+  Slice payload() const { return Slice(buf_->data() + 1, buf_->size() - 1); }
+  /// Full on-disk bytes (includes the tag byte).
+  Slice bytes() const { return Slice(buf_->data(), buf_->size()); }
+  size_t size() const { return buf_ ? buf_->size() : 0; }
+
+  /// Content identity: SHA-256 over bytes(). Computed once, cached.
+  const Hash256& hash() const;
+
+ private:
+  explicit Chunk(std::shared_ptr<std::string> buf) : buf_(std::move(buf)) {}
+
+  std::shared_ptr<std::string> buf_;
+  mutable std::shared_ptr<Hash256> hash_;  // cache
+};
+
+}  // namespace forkbase
+
+#endif  // FORKBASE_CHUNK_CHUNK_H_

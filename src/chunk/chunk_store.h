@@ -1,0 +1,60 @@
+// ChunkStore — the physical storage interface (§II, bottom layer of Fig. 1).
+//
+// A chunk store is a content-addressed key-value store: Put is idempotent and
+// deduplicating (a chunk already present costs nothing), Get returns the
+// immutable chunk for a hash. All higher layers (POS-Tree, FNodes) talk only
+// to this interface, so swapping memory / file / distributed backends does
+// not affect any semantics.
+#ifndef FORKBASE_CHUNK_CHUNK_STORE_H_
+#define FORKBASE_CHUNK_CHUNK_STORE_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "chunk/chunk.h"
+#include "util/status.h"
+
+namespace forkbase {
+
+/// Storage-efficiency counters (drive Fig. 4 / Table I reporting).
+struct ChunkStoreStats {
+  uint64_t chunk_count = 0;     ///< distinct chunks resident
+  uint64_t physical_bytes = 0;  ///< bytes actually stored (after dedup)
+  uint64_t put_calls = 0;       ///< total Put invocations
+  uint64_t dedup_hits = 0;      ///< Puts that found the chunk already present
+  uint64_t logical_bytes = 0;   ///< sum of sizes over all Put calls
+  uint64_t get_calls = 0;
+
+  /// logical/physical ratio; 1.0 when nothing deduplicated.
+  double DedupRatio() const {
+    return physical_bytes == 0
+               ? 1.0
+               : static_cast<double>(logical_bytes) /
+                     static_cast<double>(physical_bytes);
+  }
+};
+
+/// Abstract content-addressed store. Implementations must be thread-safe.
+class ChunkStore {
+ public:
+  virtual ~ChunkStore() = default;
+
+  /// Fetches a chunk by id. kNotFound if absent; kCorruption if the stored
+  /// bytes no longer match the id (tampering — §II-D threat model).
+  virtual StatusOr<Chunk> Get(const Hash256& id) const = 0;
+
+  /// Stores a chunk. Idempotent; counts a dedup hit when already present.
+  virtual Status Put(const Chunk& chunk) = 0;
+
+  virtual bool Contains(const Hash256& id) const = 0;
+
+  virtual ChunkStoreStats stats() const = 0;
+
+  /// Visits every resident chunk (diagnostics, GC, integrity sweeps).
+  virtual void ForEach(
+      const std::function<void(const Hash256&, const Chunk&)>& fn) const = 0;
+};
+
+}  // namespace forkbase
+
+#endif  // FORKBASE_CHUNK_CHUNK_STORE_H_

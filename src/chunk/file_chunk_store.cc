@@ -1,0 +1,213 @@
+#include "chunk/file_chunk_store.h"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+namespace forkbase {
+
+namespace {
+constexpr uint32_t kRecordMagic = 0x46424331;  // "FBC1"
+constexpr size_t kHeaderBytes = 4 + 32 + 4;    // magic + hash + len
+}  // namespace
+
+FileChunkStore::FileChunkStore(std::string dir, Options options)
+    : dir_(std::move(dir)), options_(options) {}
+
+FileChunkStore::~FileChunkStore() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (append_file_) {
+    std::fclose(append_file_);
+    append_file_ = nullptr;
+  }
+}
+
+std::string FileChunkStore::SegmentPath(uint32_t seg_no) const {
+  return dir_ + "/segment-" + std::to_string(seg_no) + ".fbc";
+}
+
+StatusOr<std::unique_ptr<FileChunkStore>> FileChunkStore::Open(
+    const std::string& dir) {
+  return Open(dir, Options{});
+}
+
+StatusOr<std::unique_ptr<FileChunkStore>> FileChunkStore::Open(
+    const std::string& dir, Options options) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("create_directories(" + dir + "): " + ec.message());
+  }
+  std::unique_ptr<FileChunkStore> store(new FileChunkStore(dir, options));
+  FB_RETURN_IF_ERROR(store->Recover());
+  return store;
+}
+
+Status FileChunkStore::Recover() {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint32_t last_segment = 0;
+  bool any_segment = false;
+  for (uint32_t seg = 0;; ++seg) {
+    const std::string path = SegmentPath(seg);
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (!f) break;
+    any_segment = true;
+    last_segment = seg;
+    uint64_t offset = 0;
+    uint64_t valid_end = 0;
+    std::string buf;
+    for (;;) {
+      uint8_t header[kHeaderBytes];
+      size_t got = std::fread(header, 1, kHeaderBytes, f);
+      if (got < kHeaderBytes) break;  // torn tail or EOF
+      uint32_t magic = 0, len = 0;
+      std::memcpy(&magic, header, 4);
+      std::memcpy(&len, header + 36, 4);
+      if (magic != kRecordMagic) break;
+      Hash256 id;
+      std::memcpy(id.bytes.data(), header + 4, 32);
+      buf.resize(len);
+      if (std::fread(buf.data(), 1, len, f) < len) break;  // torn record
+      Location loc{seg, offset + kHeaderBytes, len};
+      auto [it, inserted] = index_.try_emplace(id, loc);
+      (void)it;
+      if (inserted) {
+        ++stats_.chunk_count;
+        stats_.physical_bytes += len;
+      }
+      offset += kHeaderBytes + len;
+      valid_end = offset;
+    }
+    std::fclose(f);
+    // Truncate any torn tail so future appends start at a record boundary.
+    std::error_code ec;
+    auto size = std::filesystem::file_size(path, ec);
+    if (!ec && size > valid_end) {
+      std::filesystem::resize_file(path, valid_end, ec);
+    }
+  }
+  const uint32_t seg = any_segment ? last_segment : 0;
+  return OpenSegmentForAppend(seg);
+}
+
+Status FileChunkStore::OpenSegmentForAppend(uint32_t seg_no) {
+  if (append_file_) {
+    std::fclose(append_file_);
+    append_file_ = nullptr;
+  }
+  const std::string path = SegmentPath(seg_no);
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (!f) {
+    return Status::IOError("open " + path + ": " + std::strerror(errno));
+  }
+  append_file_ = f;
+  append_segment_ = seg_no;
+  std::error_code ec;
+  auto size = std::filesystem::file_size(path, ec);
+  append_offset_ = ec ? 0 : size;
+  return Status::OK();
+}
+
+StatusOr<Chunk> FileChunkStore::Get(const Hash256& id) const {
+  Location loc;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++const_cast<ChunkStoreStats&>(stats_).get_calls;
+    auto it = index_.find(id);
+    if (it == index_.end()) {
+      return Status::NotFound("chunk " + id.ToBase32());
+    }
+    loc = it->second;
+    // Reads may hit the segment currently being appended; make sure the
+    // record bytes have left the stdio buffer.
+    if (append_file_ && loc.segment == append_segment_) {
+      std::fflush(append_file_);
+    }
+  }
+  const std::string path = SegmentPath(loc.segment);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) {
+    return Status::IOError("open " + path + ": " + std::strerror(errno));
+  }
+  std::string bytes(loc.length, '\0');
+  bool ok = std::fseek(f, static_cast<long>(loc.offset), SEEK_SET) == 0 &&
+            std::fread(bytes.data(), 1, loc.length, f) == loc.length;
+  std::fclose(f);
+  if (!ok) {
+    return Status::IOError("short read from " + path);
+  }
+  Chunk chunk = Chunk::FromBytes(std::move(bytes));
+  if (options_.verify_on_get && chunk.hash() != id) {
+    return Status::Corruption("chunk bytes do not match id " + id.ToBase32());
+  }
+  return chunk;
+}
+
+Status FileChunkStore::Put(const Chunk& chunk) {
+  if (!chunk.valid()) return Status::InvalidArgument("invalid chunk");
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.put_calls;
+  stats_.logical_bytes += chunk.size();
+  const Hash256& id = chunk.hash();
+  if (index_.count(id)) {
+    ++stats_.dedup_hits;
+    return Status::OK();
+  }
+  if (append_offset_ >= options_.segment_bytes) {
+    FB_RETURN_IF_ERROR(OpenSegmentForAppend(append_segment_ + 1));
+  }
+  uint8_t header[kHeaderBytes];
+  uint32_t len = static_cast<uint32_t>(chunk.size());
+  std::memcpy(header, &kRecordMagic, 4);
+  std::memcpy(header + 4, id.bytes.data(), 32);
+  std::memcpy(header + 36, &len, 4);
+  if (std::fwrite(header, 1, kHeaderBytes, append_file_) != kHeaderBytes ||
+      std::fwrite(chunk.bytes().data(), 1, len, append_file_) != len) {
+    return Status::IOError("append failed: " + std::string(strerror(errno)));
+  }
+  index_.emplace(id, Location{append_segment_,
+                              append_offset_ + kHeaderBytes, len});
+  append_offset_ += kHeaderBytes + len;
+  ++stats_.chunk_count;
+  stats_.physical_bytes += len;
+  return Status::OK();
+}
+
+bool FileChunkStore::Contains(const Hash256& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_.count(id) > 0;
+}
+
+ChunkStoreStats FileChunkStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void FileChunkStore::ForEach(
+    const std::function<void(const Hash256&, const Chunk&)>& fn) const {
+  std::vector<Hash256> ids;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ids.reserve(index_.size());
+    for (const auto& [id, loc] : index_) {
+      (void)loc;
+      ids.push_back(id);
+    }
+  }
+  for (const auto& id : ids) {
+    auto chunk = Get(id);
+    if (chunk.ok()) fn(id, *chunk);
+  }
+}
+
+Status FileChunkStore::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (append_file_ && std::fflush(append_file_) != 0) {
+    return Status::IOError("fflush failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace forkbase

@@ -1,0 +1,73 @@
+// Persistent chunk store backed by append-only segment files.
+//
+// On-disk layout (per directory):
+//   segment-<n>.fbc : sequence of records
+//       [magic u32][hash 32B][len u32][chunk bytes (tag+payload)]
+// Segments roll over at a size threshold. Opening a store scans all segments
+// to rebuild the in-memory hash->location index; torn tails (partial final
+// record after a crash) are truncated away. Chunk immutability makes the
+// format recovery-trivial: records are never updated in place.
+#ifndef FORKBASE_CHUNK_FILE_CHUNK_STORE_H_
+#define FORKBASE_CHUNK_FILE_CHUNK_STORE_H_
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "chunk/chunk_store.h"
+
+namespace forkbase {
+
+class FileChunkStore : public ChunkStore {
+ public:
+  struct Options {
+    uint64_t segment_bytes = 64ull << 20;  ///< roll segments at 64 MiB
+    bool verify_on_get = false;  ///< recompute hash on every read
+  };
+
+  /// Opens (creating if needed) a store rooted at `dir`.
+  static StatusOr<std::unique_ptr<FileChunkStore>> Open(
+      const std::string& dir);
+  static StatusOr<std::unique_ptr<FileChunkStore>> Open(
+      const std::string& dir, Options options);
+
+  ~FileChunkStore() override;
+
+  StatusOr<Chunk> Get(const Hash256& id) const override;
+  Status Put(const Chunk& chunk) override;
+  bool Contains(const Hash256& id) const override;
+  ChunkStoreStats stats() const override;
+  void ForEach(const std::function<void(const Hash256&, const Chunk&)>& fn)
+      const override;
+
+  /// Flushes buffered writes to the OS.
+  Status Flush();
+
+ private:
+  struct Location {
+    uint32_t segment;
+    uint64_t offset;  ///< offset of the chunk bytes (past the header)
+    uint32_t length;  ///< chunk byte length
+  };
+
+  FileChunkStore(std::string dir, Options options);
+  Status Recover();
+  Status OpenSegmentForAppend(uint32_t seg_no);
+  std::string SegmentPath(uint32_t seg_no) const;
+
+  const std::string dir_;
+  const Options options_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<Hash256, Location, Hash256Hasher> index_;
+  std::FILE* append_file_ = nullptr;
+  uint32_t append_segment_ = 0;
+  uint64_t append_offset_ = 0;
+  ChunkStoreStats stats_;
+};
+
+}  // namespace forkbase
+
+#endif  // FORKBASE_CHUNK_FILE_CHUNK_STORE_H_

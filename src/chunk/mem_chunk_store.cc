@@ -1,0 +1,70 @@
+#include "chunk/mem_chunk_store.h"
+
+namespace forkbase {
+
+StatusOr<Chunk> MemChunkStore::Get(const Hash256& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++const_cast<ChunkStoreStats&>(stats_).get_calls;
+  auto it = chunks_.find(id);
+  if (it == chunks_.end()) {
+    return Status::NotFound("chunk " + id.ToBase32());
+  }
+  return Chunk::FromBytes(it->second);
+}
+
+Status MemChunkStore::Put(const Chunk& chunk) {
+  if (!chunk.valid()) return Status::InvalidArgument("invalid chunk");
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.put_calls;
+  stats_.logical_bytes += chunk.size();
+  auto [it, inserted] = chunks_.try_emplace(chunk.hash(),
+                                            chunk.bytes().ToString());
+  (void)it;
+  if (!inserted) {
+    ++stats_.dedup_hits;
+    return Status::OK();
+  }
+  ++stats_.chunk_count;
+  stats_.physical_bytes += chunk.size();
+  return Status::OK();
+}
+
+bool MemChunkStore::Contains(const Hash256& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return chunks_.count(id) > 0;
+}
+
+ChunkStoreStats MemChunkStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void MemChunkStore::ForEach(
+    const std::function<void(const Hash256&, const Chunk&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [id, bytes] : chunks_) {
+    fn(id, Chunk::FromBytes(bytes));
+  }
+}
+
+bool MemChunkStore::TamperForTesting(const Hash256& id, size_t offset,
+                                     uint8_t xor_mask) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = chunks_.find(id);
+  if (it == chunks_.end() || offset >= it->second.size()) return false;
+  it->second[offset] = static_cast<char>(
+      static_cast<uint8_t>(it->second[offset]) ^ xor_mask);
+  return true;
+}
+
+bool MemChunkStore::EraseForTesting(const Hash256& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = chunks_.find(id);
+  if (it == chunks_.end()) return false;
+  stats_.physical_bytes -= it->second.size();
+  --stats_.chunk_count;
+  chunks_.erase(it);
+  return true;
+}
+
+}  // namespace forkbase

@@ -1,0 +1,45 @@
+// In-memory chunk store (hash map), thread-safe.
+//
+// Doubles as the "possibly malicious storage provider" of the §II-D threat
+// model: TamperForTesting() mutates stored bytes in place without touching
+// the index, exactly what a dishonest provider could do. Clients detect this
+// through ForkBase::Verify (Merkle recomputation), not through the store.
+#ifndef FORKBASE_CHUNK_MEM_CHUNK_STORE_H_
+#define FORKBASE_CHUNK_MEM_CHUNK_STORE_H_
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "chunk/chunk_store.h"
+
+namespace forkbase {
+
+class MemChunkStore : public ChunkStore {
+ public:
+  MemChunkStore() = default;
+
+  StatusOr<Chunk> Get(const Hash256& id) const override;
+  Status Put(const Chunk& chunk) override;
+  bool Contains(const Hash256& id) const override;
+  ChunkStoreStats stats() const override;
+  void ForEach(const std::function<void(const Hash256&, const Chunk&)>& fn)
+      const override;
+
+  /// Malicious-provider simulation: XORs `xor_mask` into byte `offset` of the
+  /// chunk stored under `id`, leaving the index untouched. Returns false if
+  /// the chunk is absent or the offset out of range.
+  bool TamperForTesting(const Hash256& id, size_t offset, uint8_t xor_mask);
+
+  /// Drops a chunk (simulates data loss). Returns true if it was present.
+  bool EraseForTesting(const Hash256& id);
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<Hash256, std::string, Hash256Hasher> chunks_;
+  ChunkStoreStats stats_;
+};
+
+}  // namespace forkbase
+
+#endif  // FORKBASE_CHUNK_MEM_CHUNK_STORE_H_

@@ -1,0 +1,397 @@
+#include "cli/cli.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "chunk/file_chunk_store.h"
+#include "store/forkbase.h"
+#include "store/bundle.h"
+#include "store/gc.h"
+
+namespace forkbase {
+
+namespace {
+
+struct CliContext {
+  std::string db_dir = ".forkbase";
+  std::string branch = ForkBase::kDefaultBranch;
+  std::string author = "cli";
+  std::string message;
+  std::vector<std::string> positional;
+};
+
+std::string BranchFilePath(const CliContext& ctx) {
+  return ctx.db_dir + "/branches.tsv";
+}
+
+// Parses --flag value pairs; everything else is positional.
+Status ParseArgs(const std::vector<std::string>& args, CliContext* ctx) {
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto next = [&](std::string* dst) -> Status {
+      if (i + 1 >= args.size()) {
+        return Status::InvalidArgument("missing value for " + a);
+      }
+      *dst = args[++i];
+      return Status::OK();
+    };
+    if (a == "--db") {
+      FB_RETURN_IF_ERROR(next(&ctx->db_dir));
+    } else if (a == "--branch" || a == "-b") {
+      FB_RETURN_IF_ERROR(next(&ctx->branch));
+    } else if (a == "--author") {
+      FB_RETURN_IF_ERROR(next(&ctx->author));
+    } else if (a == "--message" || a == "-m") {
+      FB_RETURN_IF_ERROR(next(&ctx->message));
+    } else if (a.rfind("--", 0) == 0) {
+      return Status::InvalidArgument("unknown flag " + a);
+    } else {
+      ctx->positional.push_back(a);
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot read " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot write " + path);
+  out << content;
+  out.flush();
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+Status RunCommand(const std::string& cmd, CliContext& ctx, ForkBase& db,
+                  std::ostream& out) {
+  const auto& pos = ctx.positional;
+  PutMeta meta{ctx.author, ctx.message};
+
+  if (cmd == "put") {
+    // put KEY VALUE            (string primitive)
+    if (pos.size() != 3) return Status::InvalidArgument("put KEY VALUE");
+    FB_ASSIGN_OR_RETURN(Hash256 uid,
+                        db.Put(pos[1], Value::String(pos[2]), ctx.branch,
+                               meta));
+    out << uid.ToBase32() << "\n";
+    return Status::OK();
+  }
+  if (cmd == "put-blob") {
+    // put-blob KEY FILE
+    if (pos.size() != 3) return Status::InvalidArgument("put-blob KEY FILE");
+    FB_ASSIGN_OR_RETURN(std::string bytes, ReadFile(pos[2]));
+    FB_ASSIGN_OR_RETURN(Hash256 uid, db.PutBlob(pos[1], bytes, ctx.branch,
+                                                meta));
+    out << uid.ToBase32() << "\n";
+    return Status::OK();
+  }
+  if (cmd == "put-csv") {
+    // put-csv KEY FILE   (load a CSV dataset as a table; key column = 0)
+    if (pos.size() != 3) return Status::InvalidArgument("put-csv KEY FILE");
+    FB_ASSIGN_OR_RETURN(std::string text, ReadFile(pos[2]));
+    FB_ASSIGN_OR_RETURN(CsvDocument doc, ParseCsv(text));
+    FB_ASSIGN_OR_RETURN(Hash256 uid, db.PutTableFromCsv(pos[1], doc, 0,
+                                                        ctx.branch, meta));
+    out << uid.ToBase32() << "\n";
+    return Status::OK();
+  }
+  if (cmd == "get") {
+    if (pos.size() != 2) return Status::InvalidArgument("get KEY");
+    FB_ASSIGN_OR_RETURN(Value v, db.Get(pos[1], ctx.branch));
+    out << v.ToString() << "\n";
+    return Status::OK();
+  }
+  if (cmd == "head") {
+    if (pos.size() != 2) return Status::InvalidArgument("head KEY");
+    FB_ASSIGN_OR_RETURN(Hash256 uid, db.Head(pos[1], ctx.branch));
+    out << uid.ToBase32() << "\n";
+    return Status::OK();
+  }
+  if (cmd == "latest") {
+    if (pos.size() != 2) return Status::InvalidArgument("latest KEY");
+    FB_ASSIGN_OR_RETURN(auto heads, db.Latest(pos[1]));
+    for (const auto& [branch, uid] : heads) {
+      out << branch << "\t" << uid.ToBase32() << "\n";
+    }
+    return Status::OK();
+  }
+  if (cmd == "meta") {
+    if (pos.size() != 2) return Status::InvalidArgument("meta UID");
+    Hash256 uid;
+    if (!Hash256::FromBase32(pos[1], &uid)) {
+      return Status::InvalidArgument("malformed uid");
+    }
+    FB_ASSIGN_OR_RETURN(VersionInfo info, db.Meta(uid));
+    out << "key:     " << info.key << "\n"
+        << "type:    " << ValueTypeToString(info.type) << "\n"
+        << "author:  " << info.author << "\n"
+        << "message: " << info.message << "\n"
+        << "time:    " << info.logical_time << "\n";
+    for (const auto& b : info.bases) out << "base:    " << b.ToBase32() << "\n";
+    return Status::OK();
+  }
+  if (cmd == "history") {
+    if (pos.size() != 2) return Status::InvalidArgument("history KEY");
+    FB_ASSIGN_OR_RETURN(auto history, db.History(pos[1], ctx.branch));
+    for (const auto& info : history) {
+      out << info.uid.ToBase32() << "\t" << info.author << "\t"
+          << info.message << "\n";
+    }
+    return Status::OK();
+  }
+  if (cmd == "branch") {
+    // branch KEY NEW [FROM]
+    if (pos.size() != 3 && pos.size() != 4) {
+      return Status::InvalidArgument("branch KEY NEW [FROM]");
+    }
+    const std::string from = pos.size() == 4 ? pos[3] : ctx.branch;
+    return db.Branch(pos[1], pos[2], from);
+  }
+  if (cmd == "rename") {
+    if (pos.size() != 4) return Status::InvalidArgument("rename KEY FROM TO");
+    return db.RenameBranch(pos[1], pos[2], pos[3]);
+  }
+  if (cmd == "delete-branch") {
+    if (pos.size() != 3) return Status::InvalidArgument("delete-branch KEY BRANCH");
+    return db.DeleteBranch(pos[1], pos[2]);
+  }
+  if (cmd == "branches") {
+    if (pos.size() != 2) return Status::InvalidArgument("branches KEY");
+    FB_ASSIGN_OR_RETURN(auto branches, db.ListBranches(pos[1]));
+    for (const auto& b : branches) out << b << "\n";
+    return Status::OK();
+  }
+  if (cmd == "keys") {
+    for (const auto& k : db.ListKeys()) out << k << "\n";
+    return Status::OK();
+  }
+  if (cmd == "merge") {
+    // merge KEY DST SRC
+    if (pos.size() != 4) return Status::InvalidArgument("merge KEY DST SRC");
+    FB_ASSIGN_OR_RETURN(Hash256 uid, db.Merge(pos[1], pos[2], pos[3],
+                                              MergePolicy::kStrict, meta));
+    out << uid.ToBase32() << "\n";
+    return Status::OK();
+  }
+  if (cmd == "diff") {
+    // diff KEY BRANCH_A BRANCH_B
+    if (pos.size() != 4) {
+      return Status::InvalidArgument("diff KEY BRANCH_A BRANCH_B");
+    }
+    FB_ASSIGN_OR_RETURN(ObjectDiff diff, db.Diff(pos[1], pos[2], pos[3]));
+    if (diff.identical) {
+      out << "identical\n";
+      return Status::OK();
+    }
+    for (const auto& d : diff.keyed) {
+      out << (d.added() ? "+ " : d.removed() ? "- " : "~ ") << d.key << "\n";
+    }
+    for (const auto& d : diff.rows) {
+      out << (!d.left ? "+ " : !d.right ? "- " : "~ ") << d.key;
+      if (!d.changed_columns.empty()) {
+        out << " cols:";
+        for (size_t c : d.changed_columns) out << " " << c;
+      }
+      out << "\n";
+    }
+    if (diff.sequence) {
+      out << "~ [" << diff.sequence->left_start << ","
+          << diff.sequence->left_start + diff.sequence->left_count << ") -> ["
+          << diff.sequence->right_start << ","
+          << diff.sequence->right_start + diff.sequence->right_count << ")\n";
+    }
+    return Status::OK();
+  }
+  if (cmd == "export") {
+    // export KEY FILE   (tables -> CSV, blobs -> raw)
+    if (pos.size() != 3) return Status::InvalidArgument("export KEY FILE");
+    FB_ASSIGN_OR_RETURN(Value v, db.Get(pos[1], ctx.branch));
+    if (v.type() == ValueType::kTable) {
+      FB_ASSIGN_OR_RETURN(FTable table, db.GetTable(pos[1], ctx.branch));
+      FB_ASSIGN_OR_RETURN(CsvDocument doc, table.ToCsv());
+      return WriteFile(pos[2], WriteCsv(doc));
+    }
+    if (v.type() == ValueType::kBlob) {
+      FB_ASSIGN_OR_RETURN(FBlob blob, db.GetBlob(pos[1], ctx.branch));
+      FB_ASSIGN_OR_RETURN(std::string bytes, blob.ReadAll());
+      return WriteFile(pos[2], bytes);
+    }
+    return WriteFile(pos[2], v.ToString());
+  }
+  if (cmd == "verify") {
+    if (pos.size() != 2) return Status::InvalidArgument("verify UID|KEY");
+    Hash256 uid;
+    if (!Hash256::FromBase32(pos[1], &uid)) {
+      // Treat as key: verify the branch head.
+      FB_ASSIGN_OR_RETURN(uid, db.Head(pos[1], ctx.branch));
+    }
+    FB_RETURN_IF_ERROR(db.Verify(uid));
+    out << "OK " << uid.ToBase32() << "\n";
+    return Status::OK();
+  }
+  if (cmd == "push") {
+    // push KEY FILE — export the branch head's closure as a bundle file.
+    if (pos.size() != 3) return Status::InvalidArgument("push KEY FILE");
+    FB_ASSIGN_OR_RETURN(Hash256 head, db.Head(pos[1], ctx.branch));
+    FB_ASSIGN_OR_RETURN(std::string bundle, ExportBundle(*db.store(), head));
+    FB_RETURN_IF_ERROR(WriteFile(pos[2], bundle));
+    out << "pushed " << pos[1] << "@" << ctx.branch << " ("
+        << bundle.size() << " bytes) to " << pos[2] << "\n";
+    return Status::OK();
+  }
+  if (cmd == "pull") {
+    // pull FILE — import a bundle; the head becomes the branch head of the
+    // key recorded in its FNode.
+    if (pos.size() != 2) return Status::InvalidArgument("pull FILE");
+    FB_ASSIGN_OR_RETURN(std::string bundle, ReadFile(pos[1]));
+    FB_ASSIGN_OR_RETURN(ImportResult result,
+                        ImportBundle(bundle, db.store()));
+    FB_ASSIGN_OR_RETURN(VersionInfo info, db.Meta(result.head));
+    db.branches().SetHead(info.key, ctx.branch, result.head);
+    out << "pulled " << info.key << "@" << ctx.branch << " = "
+        << result.head.ToBase32() << " (" << result.new_chunks << " new of "
+        << result.chunks << " chunks)\n";
+    return Status::OK();
+  }
+  if (cmd == "verify-all") {
+    // Tamper-evidence sweep over every branch head.
+    size_t checked = 0, failed = 0;
+    for (const auto& key : db.ListKeys()) {
+      FB_ASSIGN_OR_RETURN(auto heads, db.Latest(key));
+      for (const auto& [branch, uid] : heads) {
+        ++checked;
+        Status verify = db.Verify(uid);
+        if (!verify.ok()) {
+          ++failed;
+          out << "FAIL " << key << "@" << branch << ": "
+              << verify.ToString() << "\n";
+        }
+      }
+    }
+    out << checked - failed << "/" << checked << " heads verified\n";
+    if (failed > 0) return Status::Corruption("verification failures");
+    return Status::OK();
+  }
+  if (cmd == "gc") {
+    // gc DEST_DIR — copy-collect live chunks into a fresh database dir.
+    if (pos.size() != 2) return Status::InvalidArgument("gc DEST_DIR");
+    FB_ASSIGN_OR_RETURN(auto dst_store, FileChunkStore::Open(pos[1]));
+    FB_ASSIGN_OR_RETURN(GcStats stats, CopyLive(db, dst_store.get()));
+    FB_RETURN_IF_ERROR(dst_store->Flush());
+    FB_RETURN_IF_ERROR(db.branches().SaveToFile(pos[1] + "/branches.tsv"));
+    out << "live:    " << stats.live_chunks << " chunks, "
+        << stats.live_bytes << " bytes\n"
+        << "garbage: " << stats.garbage_chunks() << " chunks, "
+        << stats.garbage_bytes() << " bytes reclaimed\n"
+        << "compacted database written to " << pos[1] << "\n";
+    return Status::OK();
+  }
+  if (cmd == "stat" && pos.size() == 2) {
+    // stat KEY — per-object statistics (the demo's Stat verb).
+    FB_ASSIGN_OR_RETURN(auto stat, db.StatObject(pos[1], ctx.branch));
+    out << "type:         " << ValueTypeToString(stat.type) << "\n"
+        << "entries:      " << stat.entries << "\n"
+        << "tree height:  " << stat.shape.height << "\n"
+        << "tree nodes:   " << stat.shape.total_nodes << " ("
+        << stat.shape.leaf_nodes << " leaves, " << stat.shape.index_nodes
+        << " index)\n"
+        << "tree bytes:   " << stat.shape.total_bytes << "\n";
+    return Status::OK();
+  }
+  if (cmd == "stat") {
+    ForkBaseStats stats = db.Stat();
+    out << "keys:            " << stats.keys << "\n"
+        << "branches:        " << stats.branches << "\n"
+        << "commits:         " << stats.commits << "\n"
+        << "chunks:          " << stats.chunks.chunk_count << "\n"
+        << "physical_bytes:  " << stats.chunks.physical_bytes << "\n"
+        << "logical_bytes:   " << stats.chunks.logical_bytes << "\n"
+        << "dedup_hits:      " << stats.chunks.dedup_hits << "\n"
+        << "dedup_ratio:     " << stats.chunks.DedupRatio() << "\n";
+    return Status::OK();
+  }
+  return Status::InvalidArgument("unknown command " + cmd + "; see help");
+}
+
+}  // namespace
+
+std::string CliUsage() {
+  return
+      "forkbase_cli [--db DIR] [--branch B] [--author A] [-m MSG] CMD ...\n"
+      "  put KEY VALUE          commit a string value\n"
+      "  put-blob KEY FILE      commit a file as a blob\n"
+      "  put-csv KEY FILE       load a CSV dataset as a table\n"
+      "  get KEY                print head value\n"
+      "  head KEY               print head uid (Base32)\n"
+      "  latest KEY             print every branch head\n"
+      "  meta UID               print version metadata\n"
+      "  history KEY            print first-parent history\n"
+      "  branch KEY NEW [FROM]  create a branch\n"
+      "  rename KEY FROM TO     rename a branch\n"
+      "  delete-branch KEY B    delete a branch\n"
+      "  branches KEY           list branches of a key\n"
+      "  keys                   list all keys\n"
+      "  merge KEY DST SRC      three-way merge SRC into DST\n"
+      "  diff KEY A B           differential query between branches\n"
+      "  export KEY FILE        export table as CSV / blob as bytes\n"
+      "  push KEY FILE          export the branch head as a bundle\n"
+      "  pull FILE              import a bundle and set the branch head\n"
+      "  verify UID|KEY         tamper-evidence check\n"
+      "  verify-all             verify every branch head\n"
+      "  gc DEST_DIR            copy-collect live chunks into DEST_DIR\n"
+      "  stat [KEY]             storage statistics / per-object statistics\n";
+}
+
+int RunCli(const std::vector<std::string>& args, std::ostream& out,
+           std::ostream& err) {
+  CliContext ctx;
+  Status parse = ParseArgs(args, &ctx);
+  if (!parse.ok()) {
+    err << parse.ToString() << "\n" << CliUsage();
+    return 2;
+  }
+  if (ctx.positional.empty() || ctx.positional[0] == "help") {
+    out << CliUsage();
+    return 0;
+  }
+  auto store_or = FileChunkStore::Open(ctx.db_dir);
+  if (!store_or.ok()) {
+    err << store_or.status().ToString() << "\n";
+    return 1;
+  }
+  auto store = std::shared_ptr<ChunkStore>(std::move(*store_or));
+  ForkBase db(store);
+  // Branch heads live in a sidecar file (client-held state, §II-D).
+  const std::string branch_file = BranchFilePath(ctx);
+  {
+    std::ifstream probe(branch_file);
+    if (probe) {
+      Status load = db.branches().LoadFromFile(branch_file);
+      if (!load.ok()) {
+        err << load.ToString() << "\n";
+        return 1;
+      }
+    }
+  }
+  Status status = RunCommand(ctx.positional[0], ctx, db, out);
+  if (!status.ok()) {
+    err << status.ToString() << "\n";
+    return 1;
+  }
+  Status save = db.branches().SaveToFile(branch_file);
+  if (!save.ok()) {
+    err << save.ToString() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace forkbase

@@ -1,0 +1,11 @@
+// Entry point for the forkbase_cli binary.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return forkbase::RunCli(args, std::cout, std::cerr);
+}

@@ -1,0 +1,129 @@
+#include "postree/builder.h"
+
+namespace forkbase {
+
+TreeBuilder::TreeBuilder(ChunkStore* store, ChunkType leaf_type,
+                         TreeConfig config)
+    : store_(store), leaf_type_(leaf_type), config_(config) {}
+
+Status TreeBuilder::AddIndexEntry(size_t level, const IndexEntry& e) {
+  while (levels_.size() <= level) {
+    Level lv;
+    lv.splitter = std::make_unique<NodeSplitter>(
+        levels_.empty() ? config_.leaf : config_.index);
+    levels_.push_back(std::move(lv));
+  }
+  Level& lv = levels_[level];
+  std::string bytes = EncodeIndexEntry(e);
+  lv.buffer.append(bytes);
+  lv.buffer_count += e.count;
+  lv.last_key = e.key;
+  if (lv.buffer_entries == 0) lv.first_pending = e;
+  ++lv.buffer_entries;
+  if (lv.splitter->AddEntry(bytes)) {
+    return CloseNode(level);
+  }
+  return Status::OK();
+}
+
+Status TreeBuilder::AddEntry(Slice entry_bytes, Slice key) {
+  if (finished_) return Status::InvalidArgument("builder already finished");
+  if (levels_.empty()) {
+    Level lv;
+    lv.splitter = std::make_unique<NodeSplitter>(config_.leaf);
+    levels_.push_back(std::move(lv));
+  }
+  Level& lv = levels_[0];
+  lv.buffer.append(entry_bytes.data(), entry_bytes.size());
+  lv.buffer_count += 1;
+  lv.last_key.assign(key.data(), key.size());
+  ++lv.buffer_entries;
+  ++entries_added_;
+  if (lv.splitter->AddEntry(entry_bytes)) {
+    return CloseNode(0);
+  }
+  return Status::OK();
+}
+
+Status TreeBuilder::AddBytes(Slice bytes) {
+  if (finished_) return Status::InvalidArgument("builder already finished");
+  if (leaf_type_ != ChunkType::kBlobLeaf) {
+    return Status::InvalidArgument("AddBytes only valid for blob trees");
+  }
+  if (levels_.empty()) {
+    Level lv;
+    lv.splitter = std::make_unique<NodeSplitter>(config_.leaf);
+    levels_.push_back(std::move(lv));
+  }
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    Level& lv = levels_[0];
+    lv.buffer.push_back(bytes[i]);
+    lv.buffer_count += 1;
+    ++lv.buffer_entries;
+    ++entries_added_;
+    if (lv.splitter->AddByte(bytes.byte(i))) {
+      FB_RETURN_IF_ERROR(CloseNode(0));
+    }
+  }
+  return Status::OK();
+}
+
+Status TreeBuilder::CloseNode(size_t level) {
+  Level& lv = levels_[level];
+  Chunk chunk = Chunk::Make(TypeOfLevel(level), lv.buffer);
+  FB_RETURN_IF_ERROR(store_->Put(chunk));
+  IndexEntry e;
+  e.child = chunk.hash();
+  e.count = lv.buffer_count;
+  e.key = lv.last_key;
+  ++lv.nodes_closed;
+  ++nodes_written_;
+  lv.buffer.clear();
+  lv.buffer_count = 0;
+  lv.buffer_entries = 0;
+  lv.last_key.clear();
+  lv.splitter->ResetNode();
+  return AddIndexEntry(level + 1, e);
+}
+
+StatusOr<TreeInfo> TreeBuilder::Finish() {
+  if (finished_) return Status::InvalidArgument("builder already finished");
+  finished_ = true;
+  if (entries_added_ == 0) {
+    // Empty tree: canonical representation is a single empty leaf chunk.
+    Chunk chunk = Chunk::Make(leaf_type_, Slice());
+    FB_RETURN_IF_ERROR(store_->Put(chunk));
+    ++nodes_written_;
+    TreeInfo info;
+    info.root = chunk.hash();
+    info.count = 0;
+    info.height = 1;
+    info.nodes_written = nodes_written_;
+    return info;
+  }
+  // Close open nodes bottom-up; each close pushes an index entry one level
+  // up. The loop re-reads levels_.size() because closes can create levels.
+  for (size_t level = 0; level < levels_.size(); ++level) {
+    Level& lv = levels_[level];
+    // Collapse rule: a level that never closed a node and holds exactly one
+    // pending index entry is redundant — its single child is the root.
+    // (Such a level is necessarily the topmost: lower levels only push
+    // upward when they close nodes.)
+    if (level > 0 && lv.nodes_closed == 0 && lv.buffer_entries == 1) {
+      TreeInfo info;
+      info.root = lv.first_pending.child;
+      info.count = lv.first_pending.count;
+      info.height = static_cast<uint32_t>(level);
+      info.nodes_written = nodes_written_;
+      return info;
+    }
+    if (lv.buffer_entries > 0) {
+      FB_RETURN_IF_ERROR(CloseNode(level));
+    }
+  }
+  // Unreachable: the final CloseNode always pushes a single pending entry
+  // into a fresh top level, which the collapse rule then returns.
+  return Status::Corruption("tree builder failed to converge to a root");
+}
+
+}  // namespace forkbase

@@ -1,0 +1,98 @@
+// Bottom-up POS-Tree builder.
+//
+// Entries stream in sorted (keyed trees) or positional order; the builder
+// feeds their serialized bytes through a NodeSplitter per level. When a node
+// closes it is written to the chunk store as an immutable chunk and an index
+// entry `(child hash, subtree count, split key)` is pushed into the level
+// above, which is chunked by the same mechanism — recursively up to a single
+// root. Because no state other than the entry stream influences boundaries,
+// any two builds of the same record set yield bit-identical chunks
+// (structural invariance), and builds of overlapping record sets share all
+// chunks outside the divergence region (recursive identity): the chunk
+// store's idempotent Put turns that sharing into physical deduplication.
+#ifndef FORKBASE_POSTREE_BUILDER_H_
+#define FORKBASE_POSTREE_BUILDER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chunk/chunk_store.h"
+#include "postree/node.h"
+#include "postree/splitter.h"
+
+namespace forkbase {
+
+/// Identity and shape of a finished tree.
+struct TreeInfo {
+  Hash256 root;        ///< root chunk id (the Merkle root)
+  uint64_t count = 0;  ///< total leaf entries (blob: bytes)
+  uint32_t height = 1; ///< 1 = a single leaf node
+  uint64_t nodes_written = 0;  ///< chunks produced by this build
+};
+
+/// Splitter configuration for leaf and index levels.
+struct TreeConfig {
+  SplitConfig leaf = SplitConfig::Entries();
+  SplitConfig index = SplitConfig::Entries();
+
+  static TreeConfig ForBlob() {
+    TreeConfig c;
+    c.leaf = SplitConfig::Blob();
+    return c;
+  }
+  static TreeConfig ForEntries() { return TreeConfig{}; }
+};
+
+/// Streaming builder. Usage: construct, Add*() in order, Finish().
+class TreeBuilder {
+ public:
+  /// @param store      destination for produced chunks (not owned)
+  /// @param leaf_type  kMapLeaf / kSetLeaf / kListLeaf / kBlobLeaf
+  TreeBuilder(ChunkStore* store, ChunkType leaf_type, TreeConfig config);
+
+  /// Appends one pre-serialized entry. `key` must be the entry's sort key
+  /// (empty for positional trees); keys must arrive in strictly ascending
+  /// order for keyed trees (not checked here — callers own ordering).
+  Status AddEntry(Slice entry_bytes, Slice key);
+
+  /// Appends raw bytes to a kBlobLeaf tree (each byte is one entry).
+  Status AddBytes(Slice bytes);
+
+  /// Closes all open nodes and returns the root. The builder is then spent.
+  StatusOr<TreeInfo> Finish();
+
+  uint64_t entries_added() const { return entries_added_; }
+
+ private:
+  struct Level {
+    std::unique_ptr<NodeSplitter> splitter;
+    std::string buffer;           ///< serialized bytes of the open node
+    uint64_t buffer_count = 0;    ///< leaf entries covered by the open node
+    uint64_t buffer_entries = 0;  ///< entries in the open node
+    std::string last_key;         ///< max key in the open node
+    IndexEntry first_pending;     ///< first entry of the open node (collapse)
+    uint64_t nodes_closed = 0;
+  };
+
+  /// Closes the open node at `level`, writes its chunk, pushes an index
+  /// entry into level+1 (creating it on demand).
+  Status CloseNode(size_t level);
+  /// Feeds an index entry into level `level` (≥1).
+  Status AddIndexEntry(size_t level, const IndexEntry& e);
+  ChunkType TypeOfLevel(size_t level) const {
+    return level == 0 ? leaf_type_ : ChunkType::kMeta;
+  }
+
+  ChunkStore* store_;
+  ChunkType leaf_type_;
+  TreeConfig config_;
+  std::vector<Level> levels_;
+  uint64_t entries_added_ = 0;
+  uint64_t nodes_written_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace forkbase
+
+#endif  // FORKBASE_POSTREE_BUILDER_H_

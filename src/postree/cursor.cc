@@ -1,0 +1,140 @@
+#include "postree/cursor.h"
+
+namespace forkbase {
+
+StatusOr<TreeCursor> TreeCursor::AtStart(const ChunkStore* store,
+                                         const Hash256& root) {
+  TreeCursor cursor(store);
+  FB_RETURN_IF_ERROR(cursor.DescendToLeaf(root));
+  return cursor;
+}
+
+StatusOr<TreeCursor> TreeCursor::AtKey(const ChunkStore* store,
+                                       const Hash256& root, Slice key) {
+  TreeCursor cursor(store);
+  Hash256 current = root;
+  for (;;) {
+    FB_ASSIGN_OR_RETURN(Chunk chunk, store->Get(current));
+    if (chunk.type() == ChunkType::kMeta) {
+      Frame frame;
+      frame.chunk = chunk;
+      if (!ParseIndexEntries(chunk.payload(), &frame.children)) {
+        return Status::Corruption("malformed index node");
+      }
+      if (frame.children.empty()) {
+        return Status::Corruption("empty index node");
+      }
+      // First child whose split key (subtree max) is >= key.
+      size_t lo = 0, hi = frame.children.size();
+      while (lo < hi) {
+        size_t mid = (lo + hi) / 2;
+        if (Slice(frame.children[mid].key) < key) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      if (lo == frame.children.size()) {
+        // Every key in this subtree is smaller: exhausted.
+        cursor.done_ = true;
+        return cursor;
+      }
+      frame.pos = lo;
+      current = frame.children[lo].child;
+      cursor.stack_.push_back(std::move(frame));
+      continue;
+    }
+    FB_RETURN_IF_ERROR(cursor.LoadLeaf(chunk));
+    break;
+  }
+  // Advance within the leaf to the first entry >= key.
+  while (!cursor.done_ && cursor.entry().key < key) {
+    FB_RETURN_IF_ERROR(cursor.Next());
+  }
+  return cursor;
+}
+
+Status TreeCursor::DescendToLeaf(const Hash256& node) {
+  Hash256 current = node;
+  for (;;) {
+    FB_ASSIGN_OR_RETURN(Chunk chunk, store_->Get(current));
+    if (chunk.type() == ChunkType::kMeta) {
+      Frame frame;
+      frame.chunk = chunk;
+      if (!ParseIndexEntries(chunk.payload(), &frame.children)) {
+        return Status::Corruption("malformed index node");
+      }
+      if (frame.children.empty()) {
+        return Status::Corruption("empty index node");
+      }
+      current = frame.children[0].child;
+      stack_.push_back(std::move(frame));
+      continue;
+    }
+    return LoadLeaf(chunk);
+  }
+}
+
+Status TreeCursor::LoadLeaf(const Chunk& chunk) {
+  if (!IsLeafType(chunk.type())) {
+    return Status::Corruption("expected leaf chunk, got " +
+                              std::string(ChunkTypeToString(chunk.type())));
+  }
+  leaf_ = chunk;
+  entry_pos_ = 0;
+  blob_ = chunk.type() == ChunkType::kBlobLeaf;
+  if (blob_) {
+    entries_.clear();
+    done_ = chunk.payload().empty() ? true : false;
+    if (done_) return AdvanceLeaf();
+    return Status::OK();
+  }
+  if (!ParseLeafEntries(chunk.type(), chunk.payload(), &entries_)) {
+    return Status::Corruption("malformed leaf payload");
+  }
+  if (entries_.empty()) {
+    // Only the canonical empty tree has an empty leaf; any parents would be
+    // structural corruption. Either way there is nothing to yield.
+    return AdvanceLeaf();
+  }
+  return Status::OK();
+}
+
+Status TreeCursor::AdvanceLeaf() {
+  while (!stack_.empty()) {
+    Frame& top = stack_.back();
+    if (top.pos + 1 < top.children.size()) {
+      ++top.pos;
+      return DescendToLeaf(top.children[top.pos].child);
+    }
+    stack_.pop_back();
+  }
+  done_ = true;
+  return Status::OK();
+}
+
+Status TreeCursor::Next() {
+  if (done_) return Status::InvalidArgument("cursor exhausted");
+  if (blob_) {
+    position_ += leaf_.payload().size();
+    return AdvanceLeaf();
+  }
+  ++position_;
+  if (entry_pos_ + 1 < entries_.size()) {
+    ++entry_pos_;
+    return Status::OK();
+  }
+  return AdvanceLeaf();
+}
+
+Status TreeCursor::NextLeaf() {
+  if (done_) return Status::InvalidArgument("cursor exhausted");
+  if (blob_) {
+    position_ += leaf_.payload().size();
+  } else {
+    position_ += entries_.size() - entry_pos_;
+  }
+  return AdvanceLeaf();
+}
+
+}  // namespace forkbase

@@ -1,0 +1,76 @@
+// Forward cursor over the leaf entries of a POS-Tree.
+//
+// Maintains the root-to-leaf descent stack; Next() is amortized O(1) with
+// O(log N) work at node boundaries. Blob trees are iterated leaf-at-a-time
+// (payload = raw bytes); entry trees yield parsed EntryViews.
+#ifndef FORKBASE_POSTREE_CURSOR_H_
+#define FORKBASE_POSTREE_CURSOR_H_
+
+#include <vector>
+
+#include "chunk/chunk_store.h"
+#include "postree/node.h"
+
+namespace forkbase {
+
+class TreeCursor {
+ public:
+  /// Positions at the first entry of the tree rooted at `root`.
+  static StatusOr<TreeCursor> AtStart(const ChunkStore* store,
+                                      const Hash256& root);
+
+  /// Positions at the first entry whose key is >= `key` (keyed trees).
+  /// done() is true when every key is smaller.
+  static StatusOr<TreeCursor> AtKey(const ChunkStore* store,
+                                    const Hash256& root, Slice key);
+
+  /// True when the cursor has passed the last entry.
+  bool done() const { return done_; }
+
+  /// Current entry (valid for map/set/list leaves while !done()).
+  const EntryView& entry() const { return entries_[entry_pos_]; }
+
+  /// Current leaf chunk (valid while !done()).
+  const Chunk& leaf() const { return leaf_; }
+  const Hash256& leaf_hash() const { return leaf_.hash(); }
+  /// True when the cursor sits on the first entry of its leaf.
+  bool at_leaf_start() const { return entry_pos_ == 0; }
+
+  /// Advances one entry (blob trees: one leaf).
+  Status Next();
+
+  /// Skips the remainder of the current leaf, landing on the first entry of
+  /// the next one.
+  Status NextLeaf();
+
+  /// Ordinal of the current entry in the whole tree (blob: byte offset of
+  /// the current leaf start). Only meaningful for cursors from AtStart().
+  uint64_t position() const { return position_; }
+
+ private:
+  struct Frame {
+    Chunk chunk;                     // kMeta node
+    std::vector<IndexEntry> children;
+    size_t pos = 0;                  // current child index
+  };
+
+  TreeCursor(const ChunkStore* store) : store_(store) {}
+  /// Descends from children[pos] of the top frame to the leftmost leaf.
+  Status DescendToLeaf(const Hash256& node);
+  Status LoadLeaf(const Chunk& chunk);
+  /// Moves to the next leaf after the current one (pops exhausted frames).
+  Status AdvanceLeaf();
+
+  const ChunkStore* store_;
+  std::vector<Frame> stack_;
+  Chunk leaf_;
+  std::vector<EntryView> entries_;  // parsed from leaf_ (non-blob)
+  size_t entry_pos_ = 0;
+  uint64_t position_ = 0;
+  bool blob_ = false;
+  bool done_ = false;
+};
+
+}  // namespace forkbase
+
+#endif  // FORKBASE_POSTREE_CURSOR_H_

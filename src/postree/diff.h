@@ -1,0 +1,69 @@
+// Differential queries over POS-Trees (§II-B).
+//
+// Because equal subtrees have equal root ids (Merkle property), Diff prunes
+// every shared subtree by hash comparison and touches only the O(D) leaf
+// nodes that actually differ plus their O(log N) ancestor paths — the
+// paper's O(D log N) bound. DiffMetrics exposes the pruning so benches can
+// report it against the element-wise baseline.
+#ifndef FORKBASE_POSTREE_DIFF_H_
+#define FORKBASE_POSTREE_DIFF_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "postree/tree.h"
+
+namespace forkbase {
+
+/// One keyed difference. Absent side = key not present in that tree.
+struct KeyDelta {
+  std::string key;
+  std::optional<std::string> left;
+  std::optional<std::string> right;
+
+  bool added() const { return !left && right; }     ///< only in right
+  bool removed() const { return left && !right; }   ///< only in left
+  bool modified() const { return left && right; }
+};
+
+/// Work counters for a diff execution.
+struct DiffMetrics {
+  uint64_t nodes_loaded = 0;
+  uint64_t nodes_pruned = 0;     ///< subtrees skipped by equal hash
+  uint64_t entries_compared = 0;
+};
+
+/// Symmetric difference of two keyed trees (map/set) sharing a store.
+/// Results are sorted by key.
+StatusOr<std::vector<KeyDelta>> DiffKeyed(const PosTree& left,
+                                          const PosTree& right,
+                                          DiffMetrics* metrics = nullptr);
+
+/// A contiguous differing region of two sequences (list or blob), after
+/// pruning the longest shared chunk-aligned prefix and suffix.
+struct SeqDelta {
+  uint64_t left_start = 0;   ///< first differing position in left
+  uint64_t left_count = 0;   ///< length of the differing region in left
+  uint64_t right_start = 0;
+  uint64_t right_count = 0;
+  std::vector<std::string> left_elems;   ///< the region's elements (list) or
+  std::vector<std::string> right_elems;  ///< single byte-runs (blob)
+};
+
+/// Positional diff of two sequence trees. nullopt when identical.
+StatusOr<std::optional<SeqDelta>> DiffSequence(const PosTree& left,
+                                               const PosTree& right,
+                                               DiffMetrics* metrics = nullptr);
+
+/// Element-wise diff baseline: materializes both trees and compares entry by
+/// entry, ignoring all hash information. Same output as DiffKeyed; used by
+/// the Fig. 5 bench as the "conventional approach".
+StatusOr<std::vector<KeyDelta>> DiffKeyedElementwise(const PosTree& left,
+                                                     const PosTree& right,
+                                                     DiffMetrics* metrics =
+                                                         nullptr);
+
+}  // namespace forkbase
+
+#endif  // FORKBASE_POSTREE_DIFF_H_

@@ -1,0 +1,159 @@
+#include "postree/merge.h"
+
+#include <algorithm>
+#include <map>
+
+namespace forkbase {
+
+namespace {
+
+// Cheap TreeInfo for an existing root (leftmost-path descent for height).
+StatusOr<TreeInfo> InfoOf(const PosTree& tree) {
+  TreeInfo info;
+  info.root = tree.root();
+  FB_ASSIGN_OR_RETURN(info.count, tree.Count());
+  uint32_t height = 1;
+  Hash256 current = tree.root();
+  for (;;) {
+    FB_ASSIGN_OR_RETURN(Chunk chunk, tree.store()->Get(current));
+    if (chunk.type() != ChunkType::kMeta) break;
+    std::vector<IndexEntry> children;
+    if (!ParseIndexEntries(chunk.payload(), &children) || children.empty()) {
+      return Status::Corruption("malformed index node");
+    }
+    current = children[0].child;
+    ++height;
+  }
+  info.height = height;
+  return info;
+}
+
+std::string JoinKeys(const std::vector<std::string>& keys, size_t limit = 8) {
+  std::string out;
+  for (size_t i = 0; i < keys.size() && i < limit; ++i) {
+    if (i) out += ", ";
+    out += keys[i];
+  }
+  if (keys.size() > limit) out += ", ...";
+  return out;
+}
+
+}  // namespace
+
+StatusOr<TreeMergeResult> MergeKeyed(const PosTree& base, const PosTree& left,
+                                     const PosTree& right, MergePolicy policy,
+                                     DiffMetrics* metrics) {
+  // Diff phase (hash-pruned, subtree-level).
+  FB_ASSIGN_OR_RETURN(auto delta_left, DiffKeyed(base, left, metrics));
+  FB_ASSIGN_OR_RETURN(auto delta_right, DiffKeyed(base, right, metrics));
+
+  // In Diff(base, X): KeyDelta.left = base value, KeyDelta.right = X value.
+  std::map<std::string, std::optional<std::string>> target_right;
+  for (const auto& d : delta_right) target_right[d.key] = d.right;
+
+  TreeMergeResult result;
+  std::vector<KeyedOp> ops;
+  for (const auto& d : delta_left) {
+    auto it = target_right.find(d.key);
+    if (it != target_right.end()) {
+      if (it->second == d.right) continue;  // both sides agree
+      result.conflict_keys.push_back(d.key);
+      switch (policy) {
+        case MergePolicy::kStrict:
+          continue;  // collect all conflicts; fail below
+        case MergePolicy::kPreferLeft:
+          ops.push_back(KeyedOp{d.key, d.right});
+          ++result.applied_from_left;
+          continue;
+        case MergePolicy::kPreferRight:
+          ++result.applied_from_right;
+          continue;  // right's edit already in the right tree
+      }
+    }
+    ops.push_back(KeyedOp{d.key, d.right});
+    ++result.applied_from_left;
+  }
+  result.applied_from_right += delta_right.size() - result.conflict_keys.size();
+  if (policy == MergePolicy::kStrict && !result.conflict_keys.empty()) {
+    return Status::MergeConflict("conflicting keys: " +
+                                 JoinKeys(result.conflict_keys));
+  }
+  // Merge phase: apply the left-side deltas onto the right tree; all of the
+  // right tree's unchanged subtrees are reused.
+  FB_ASSIGN_OR_RETURN(result.merged, right.ApplyKeyedOps(std::move(ops)));
+  return result;
+}
+
+StatusOr<TreeMergeResult> MergeSequence(const PosTree& base,
+                                        const PosTree& left,
+                                        const PosTree& right,
+                                        MergePolicy policy,
+                                        DiffMetrics* metrics) {
+  FB_ASSIGN_OR_RETURN(auto delta_left, DiffSequence(base, left, metrics));
+  FB_ASSIGN_OR_RETURN(auto delta_right, DiffSequence(base, right, metrics));
+
+  TreeMergeResult result;
+  if (!delta_left.has_value()) {
+    FB_ASSIGN_OR_RETURN(result.merged, InfoOf(right));
+    result.applied_from_right = delta_right.has_value() ? 1 : 0;
+    return result;
+  }
+  if (!delta_right.has_value()) {
+    FB_ASSIGN_OR_RETURN(result.merged, InfoOf(left));
+    result.applied_from_left = 1;
+    return result;
+  }
+  // In Diff(base, X): left_* fields describe base, right_* describe X.
+  const uint64_t a_start = delta_left->left_start;
+  const uint64_t a_end = a_start + delta_left->left_count;
+  const uint64_t b_start = delta_right->left_start;
+  const uint64_t b_end = b_start + delta_right->left_count;
+  const bool overlap = a_start < b_end && b_start < a_end;
+  if (overlap) {
+    result.conflict_keys.push_back("[" + std::to_string(a_start) + "," +
+                                   std::to_string(a_end) + ")x[" +
+                                   std::to_string(b_start) + "," +
+                                   std::to_string(b_end) + ")");
+    switch (policy) {
+      case MergePolicy::kStrict:
+        return Status::MergeConflict("overlapping sequence edits: " +
+                                     result.conflict_keys.front());
+      case MergePolicy::kPreferLeft: {
+        FB_ASSIGN_OR_RETURN(result.merged, InfoOf(left));
+        result.applied_from_left = 1;
+        return result;
+      }
+      case MergePolicy::kPreferRight: {
+        FB_ASSIGN_OR_RETURN(result.merged, InfoOf(right));
+        result.applied_from_right = 1;
+        return result;
+      }
+    }
+  }
+  // Disjoint regions: apply the left splice to the right tree. Translate the
+  // base-coordinate region into right-tree coordinates: positions after the
+  // right edit shift by its length delta.
+  int64_t shift = static_cast<int64_t>(delta_right->right_count) -
+                  static_cast<int64_t>(delta_right->left_count);
+  uint64_t splice_start = a_start;
+  if (a_start >= b_end) {
+    splice_start = static_cast<uint64_t>(static_cast<int64_t>(a_start) + shift);
+  }
+  if (base.leaf_type() == ChunkType::kBlobLeaf) {
+    std::string insert_bytes;
+    for (const auto& piece : delta_left->right_elems) insert_bytes += piece;
+    FB_ASSIGN_OR_RETURN(
+        result.merged,
+        right.SpliceBytes(splice_start, delta_left->left_count, insert_bytes));
+  } else {
+    FB_ASSIGN_OR_RETURN(
+        result.merged,
+        right.SpliceElements(splice_start, delta_left->left_count,
+                             delta_left->right_elems));
+  }
+  result.applied_from_left = 1;
+  result.applied_from_right = 1;
+  return result;
+}
+
+}  // namespace forkbase

@@ -1,0 +1,48 @@
+// Three-way merge of POS-Trees (§II-B, Fig. 3).
+//
+// The diff phase runs the hash-pruned Diff against the common base; the
+// merge phase applies the disjoint modifications onto one side, rebuilding
+// only the divergent region. Unchanged subtrees are reused physically via
+// the deduplicating chunk store ("Reused" in Fig. 3).
+#ifndef FORKBASE_POSTREE_MERGE_H_
+#define FORKBASE_POSTREE_MERGE_H_
+
+#include "postree/diff.h"
+
+namespace forkbase {
+
+/// Conflict-resolution policy for overlapping edits.
+enum class MergePolicy {
+  kStrict,   ///< any conflicting key/region fails with kMergeConflict
+  kPreferLeft,
+  kPreferRight,
+};
+
+/// Outcome of a three-way merge.
+struct TreeMergeResult {
+  TreeInfo merged;
+  std::vector<std::string> conflict_keys;  ///< resolved per policy (empty
+                                           ///< when no conflicts occurred)
+  uint64_t applied_from_left = 0;          ///< deltas taken from left
+  uint64_t applied_from_right = 0;
+};
+
+/// Merges keyed trees `left` and `right` against common ancestor `base`.
+/// Edits: ΔL = Diff(base,left), ΔR = Diff(base,right). A key edited on both
+/// sides to different outcomes is a conflict. With kStrict the merge fails
+/// listing conflicts in the status message; otherwise the chosen side wins.
+StatusOr<TreeMergeResult> MergeKeyed(const PosTree& base, const PosTree& left,
+                                     const PosTree& right,
+                                     MergePolicy policy = MergePolicy::kStrict,
+                                     DiffMetrics* metrics = nullptr);
+
+/// Merges sequence trees (list/blob): each side's single differing region
+/// vs base must not overlap the other's (in base coordinates); overlapping
+/// regions conflict. Disjoint splices are both applied.
+StatusOr<TreeMergeResult> MergeSequence(
+    const PosTree& base, const PosTree& left, const PosTree& right,
+    MergePolicy policy = MergePolicy::kStrict, DiffMetrics* metrics = nullptr);
+
+}  // namespace forkbase
+
+#endif  // FORKBASE_POSTREE_MERGE_H_

@@ -1,0 +1,5 @@
+#include "postree/splitter.h"
+
+// NodeSplitter is header-only; this TU anchors the target and keeps room for
+// future out-of-line additions.
+namespace forkbase {}  // namespace forkbase

@@ -1,0 +1,80 @@
+// Entry-aligned content-defined node splitter (§II-A).
+//
+// The splitter consumes the serialized entry stream of one tree level and
+// decides node (page) boundaries. The pattern is the cyclic-polynomial
+// rolling hash with its q low bits zero. Per the paper, if the pattern fires
+// in the middle of an entry, the boundary is extended to the entry end so no
+// entry spans two pages; the node then "ends with a pattern".
+//
+// Two engineering bounds keep pages sane (standard practice in CDC systems):
+// a node never closes below `min_bytes`, and always closes at `max_bytes`.
+// The rolling window resets at every node start, so boundary decisions
+// depend only on bytes within the current node — this is what lets an
+// incremental rebuild resynchronize with an existing chunk sequence at the
+// first coinciding boundary.
+#ifndef FORKBASE_POSTREE_SPLITTER_H_
+#define FORKBASE_POSTREE_SPLITTER_H_
+
+#include <cstddef>
+
+#include "util/rolling_hash.h"
+#include "util/slice.h"
+
+namespace forkbase {
+
+/// Boundary-detection parameters for one tree level.
+struct SplitConfig {
+  size_t window = 32;       ///< rolling window k, bytes
+  uint32_t q_bits = 11;     ///< pattern ⇔ q low bits zero ⇒ E[node] ≈ 2^q B
+  size_t min_bytes = 256;   ///< never close a node smaller than this
+  size_t max_bytes = 8192;  ///< always close a node at/after this size
+
+  /// Defaults for entry-stream levels (map/set/list leaves, index nodes).
+  static SplitConfig Entries() { return SplitConfig{}; }
+  /// Defaults for byte blobs: 4 KiB expected chunks.
+  static SplitConfig Blob() { return SplitConfig{48, 12, 1024, 16384}; }
+};
+
+/// Streaming splitter; feed entries (or raw bytes) in order, reset per node.
+class NodeSplitter {
+ public:
+  explicit NodeSplitter(const SplitConfig& cfg)
+      : cfg_(cfg), roller_(cfg.window, cfg.q_bits) {}
+
+  /// Feeds one whole entry. Returns true iff the node must close after it.
+  bool AddEntry(Slice entry) {
+    bool pattern = false;
+    for (size_t i = 0; i < entry.size(); ++i) {
+      if (roller_.Roll(entry.byte(i))) pattern = true;
+    }
+    node_bytes_ += entry.size();
+    if (node_bytes_ >= cfg_.max_bytes) return true;
+    return pattern && node_bytes_ >= cfg_.min_bytes;
+  }
+
+  /// Feeds one raw byte (blob path). Returns true iff the node closes here.
+  bool AddByte(uint8_t b) {
+    bool pattern = roller_.Roll(b);
+    ++node_bytes_;
+    if (node_bytes_ >= cfg_.max_bytes) return true;
+    return pattern && node_bytes_ >= cfg_.min_bytes;
+  }
+
+  /// Starts a new node: clears size and window state.
+  void ResetNode() {
+    node_bytes_ = 0;
+    roller_.Reset();
+  }
+
+  size_t node_bytes() const { return node_bytes_; }
+  const SplitConfig& config() const { return cfg_; }
+
+ private:
+  SplitConfig cfg_;
+  RollingHash roller_;
+  size_t node_bytes_ = 0;
+};
+
+}  // namespace forkbase
+
+#endif  // FORKBASE_POSTREE_SPLITTER_H_

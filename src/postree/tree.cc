@@ -1,0 +1,460 @@
+#include "postree/tree.h"
+
+#include <algorithm>
+
+namespace forkbase {
+
+PosTree::PosTree(const ChunkStore* store, ChunkType leaf_type, Hash256 root,
+                 TreeConfig config)
+    : store_(store), leaf_type_(leaf_type), root_(root), config_(config) {}
+
+StatusOr<TreeInfo> PosTree::BuildKeyed(
+    ChunkStore* store, ChunkType leaf_type,
+    const std::vector<std::pair<std::string, std::string>>& sorted_kvs,
+    TreeConfig config) {
+  if (leaf_type != ChunkType::kMapLeaf && leaf_type != ChunkType::kSetLeaf) {
+    return Status::InvalidArgument("BuildKeyed requires a keyed leaf type");
+  }
+  TreeBuilder builder(store, leaf_type, config);
+  for (const auto& [key, value] : sorted_kvs) {
+    std::string entry = leaf_type == ChunkType::kMapLeaf
+                            ? EncodeMapEntry(key, value)
+                            : EncodeSetEntry(key);
+    FB_RETURN_IF_ERROR(builder.AddEntry(entry, key));
+  }
+  return builder.Finish();
+}
+
+StatusOr<TreeInfo> PosTree::BuildList(ChunkStore* store,
+                                      const std::vector<std::string>& elements,
+                                      TreeConfig config) {
+  TreeBuilder builder(store, ChunkType::kListLeaf, config);
+  for (const auto& e : elements) {
+    FB_RETURN_IF_ERROR(builder.AddEntry(EncodeListEntry(e), Slice()));
+  }
+  return builder.Finish();
+}
+
+StatusOr<TreeInfo> PosTree::BuildBlob(ChunkStore* store, Slice bytes,
+                                      TreeConfig config) {
+  TreeBuilder builder(store, ChunkType::kBlobLeaf, config);
+  FB_RETURN_IF_ERROR(builder.AddBytes(bytes));
+  return builder.Finish();
+}
+
+StatusOr<uint64_t> PosTree::Count() const {
+  FB_ASSIGN_OR_RETURN(Chunk chunk, store_->Get(root_));
+  if (chunk.type() == ChunkType::kMeta) {
+    std::vector<IndexEntry> children;
+    if (!ParseIndexEntries(chunk.payload(), &children)) {
+      return Status::Corruption("malformed index node");
+    }
+    uint64_t total = 0;
+    for (const auto& c : children) total += c.count;
+    return total;
+  }
+  return LeafEntryCount(chunk.type(), chunk.payload());
+}
+
+StatusOr<std::optional<std::string>> PosTree::Lookup(Slice key) const {
+  Hash256 current = root_;
+  for (;;) {
+    FB_ASSIGN_OR_RETURN(Chunk chunk, store_->Get(current));
+    if (chunk.type() == ChunkType::kMeta) {
+      std::vector<IndexEntry> children;
+      if (!ParseIndexEntries(chunk.payload(), &children)) {
+        return Status::Corruption("malformed index node");
+      }
+      // First child whose split key (subtree max) is >= key.
+      size_t lo = 0, hi = children.size();
+      while (lo < hi) {
+        size_t mid = (lo + hi) / 2;
+        if (Slice(children[mid].key) < key) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      if (lo == children.size()) return std::optional<std::string>{};
+      current = children[lo].child;
+      continue;
+    }
+    std::vector<EntryView> entries;
+    if (!ParseLeafEntries(chunk.type(), chunk.payload(), &entries)) {
+      return Status::Corruption("malformed leaf payload");
+    }
+    size_t lo = 0, hi = entries.size();
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (entries[mid].key < key) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo < entries.size() && entries[lo].key == key) {
+      return std::optional<std::string>(entries[lo].value.ToString());
+    }
+    return std::optional<std::string>{};
+  }
+}
+
+StatusOr<std::string> PosTree::Element(uint64_t index) const {
+  Hash256 current = root_;
+  uint64_t offset = index;
+  for (;;) {
+    FB_ASSIGN_OR_RETURN(Chunk chunk, store_->Get(current));
+    if (chunk.type() == ChunkType::kMeta) {
+      std::vector<IndexEntry> children;
+      if (!ParseIndexEntries(chunk.payload(), &children)) {
+        return Status::Corruption("malformed index node");
+      }
+      bool descended = false;
+      for (const auto& c : children) {
+        if (offset < c.count) {
+          current = c.child;
+          descended = true;
+          break;
+        }
+        offset -= c.count;
+      }
+      if (!descended) return Status::NotFound("index out of range");
+      continue;
+    }
+    if (chunk.type() == ChunkType::kBlobLeaf) {
+      Slice payload = chunk.payload();
+      if (offset >= payload.size()) return Status::NotFound("index out of range");
+      return std::string(1, payload[offset]);
+    }
+    std::vector<EntryView> entries;
+    if (!ParseLeafEntries(chunk.type(), chunk.payload(), &entries)) {
+      return Status::Corruption("malformed leaf payload");
+    }
+    if (offset >= entries.size()) return Status::NotFound("index out of range");
+    return entries[offset].value.ToString();
+  }
+}
+
+Status PosTree::ReadBytes(uint64_t offset, uint64_t len,
+                          std::string* out) const {
+  out->clear();
+  if (len == 0) return Status::OK();
+  FB_ASSIGN_OR_RETURN(uint64_t total, Count());
+  if (offset >= total) return Status::OK();
+  if (offset + len > total) len = total - offset;
+  out->reserve(len);
+  // Descend to the leaf containing `offset`, then stream forward.
+  FB_ASSIGN_OR_RETURN(TreeCursor cursor, TreeCursor::AtStart(store_, root_));
+  // Skip whole leaves before the offset.
+  while (!cursor.done()) {
+    uint64_t leaf_size = cursor.leaf().payload().size();
+    if (cursor.position() + leaf_size > offset) break;
+    FB_RETURN_IF_ERROR(cursor.NextLeaf());
+  }
+  while (!cursor.done() && out->size() < len) {
+    Slice payload = cursor.leaf().payload();
+    uint64_t start =
+        offset > cursor.position() ? offset - cursor.position() : 0;
+    uint64_t take = std::min<uint64_t>(payload.size() - start,
+                                       len - out->size());
+    out->append(payload.data() + start, take);
+    FB_RETURN_IF_ERROR(cursor.NextLeaf());
+  }
+  return Status::OK();
+}
+
+Status PosTree::Scan(
+    const std::function<Status(const EntryView&)>& fn) const {
+  if (leaf_type_ == ChunkType::kBlobLeaf) {
+    return Status::InvalidArgument("Scan is entry-based; blobs use ReadBytes");
+  }
+  FB_ASSIGN_OR_RETURN(TreeCursor cursor, TreeCursor::AtStart(store_, root_));
+  while (!cursor.done()) {
+    FB_RETURN_IF_ERROR(fn(cursor.entry()));
+    FB_RETURN_IF_ERROR(cursor.Next());
+  }
+  return Status::OK();
+}
+
+Status PosTree::ScanRange(
+    Slice begin, Slice end,
+    const std::function<Status(const EntryView&)>& fn) const {
+  if (leaf_type_ != ChunkType::kMapLeaf && leaf_type_ != ChunkType::kSetLeaf) {
+    return Status::InvalidArgument("ScanRange requires a keyed tree");
+  }
+  FB_ASSIGN_OR_RETURN(TreeCursor cursor,
+                      TreeCursor::AtKey(store_, root_, begin));
+  while (!cursor.done()) {
+    if (!end.empty() && !(cursor.entry().key < end)) break;
+    FB_RETURN_IF_ERROR(fn(cursor.entry()));
+    FB_RETURN_IF_ERROR(cursor.Next());
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<std::pair<std::string, std::string>>> PosTree::Entries()
+    const {
+  std::vector<std::pair<std::string, std::string>> out;
+  FB_RETURN_IF_ERROR(Scan([&out](const EntryView& e) {
+    out.emplace_back(e.key.ToString(), e.value.ToString());
+    return Status::OK();
+  }));
+  return out;
+}
+
+StatusOr<TreeInfo> PosTree::ApplyKeyedOps(std::vector<KeyedOp> ops) const {
+  if (leaf_type_ != ChunkType::kMapLeaf && leaf_type_ != ChunkType::kSetLeaf) {
+    return Status::InvalidArgument("ApplyKeyedOps requires a keyed tree");
+  }
+  // Sort; for duplicate keys the last op wins (stable_sort keeps order).
+  std::stable_sort(ops.begin(), ops.end(),
+                   [](const KeyedOp& a, const KeyedOp& b) {
+                     return a.key < b.key;
+                   });
+  // Deduplicate, keeping the last op per key.
+  std::vector<KeyedOp> unique_ops;
+  unique_ops.reserve(ops.size());
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (i + 1 < ops.size() && ops[i + 1].key == ops[i].key) continue;
+    unique_ops.push_back(std::move(ops[i]));
+  }
+
+  TreeBuilder builder(const_cast<ChunkStore*>(store_), leaf_type_, config_);
+  auto emit = [&](Slice key, Slice value) -> Status {
+    std::string entry = leaf_type_ == ChunkType::kMapLeaf
+                            ? EncodeMapEntry(key, value)
+                            : EncodeSetEntry(key);
+    return builder.AddEntry(entry, key);
+  };
+  FB_ASSIGN_OR_RETURN(TreeCursor cursor, TreeCursor::AtStart(store_, root_));
+  size_t op_index = 0;
+  while (!cursor.done()) {
+    const EntryView& entry = cursor.entry();
+    // Emit ops for keys strictly before the current entry.
+    while (op_index < unique_ops.size() &&
+           Slice(unique_ops[op_index].key) < entry.key) {
+      const KeyedOp& op = unique_ops[op_index++];
+      if (op.value.has_value()) {
+        FB_RETURN_IF_ERROR(emit(op.key, *op.value));
+      }
+      // delete of a non-existent key: no-op
+    }
+    if (op_index < unique_ops.size() &&
+        Slice(unique_ops[op_index].key) == entry.key) {
+      const KeyedOp& op = unique_ops[op_index++];
+      if (op.value.has_value()) {
+        FB_RETURN_IF_ERROR(emit(op.key, *op.value));
+      }
+      // deletion: skip the old entry
+    } else {
+      FB_RETURN_IF_ERROR(builder.AddEntry(entry.raw, entry.key));
+    }
+    FB_RETURN_IF_ERROR(cursor.Next());
+  }
+  while (op_index < unique_ops.size()) {
+    const KeyedOp& op = unique_ops[op_index++];
+    if (op.value.has_value()) {
+      FB_RETURN_IF_ERROR(emit(op.key, *op.value));
+    }
+  }
+  return builder.Finish();
+}
+
+StatusOr<TreeInfo> PosTree::SpliceElements(
+    uint64_t start, uint64_t remove,
+    const std::vector<std::string>& inserts) const {
+  if (leaf_type_ != ChunkType::kListLeaf) {
+    return Status::InvalidArgument("SpliceElements requires a list tree");
+  }
+  TreeBuilder builder(const_cast<ChunkStore*>(store_), leaf_type_, config_);
+  FB_ASSIGN_OR_RETURN(TreeCursor cursor, TreeCursor::AtStart(store_, root_));
+  uint64_t index = 0;
+  bool inserted = false;
+  auto emit_inserts = [&]() -> Status {
+    for (const auto& e : inserts) {
+      FB_RETURN_IF_ERROR(builder.AddEntry(EncodeListEntry(e), Slice()));
+    }
+    inserted = true;
+    return Status::OK();
+  };
+  while (!cursor.done()) {
+    if (index == start && !inserted) {
+      FB_RETURN_IF_ERROR(emit_inserts());
+    }
+    if (index >= start && index < start + remove) {
+      // removed element: skip
+    } else {
+      FB_RETURN_IF_ERROR(builder.AddEntry(cursor.entry().raw, Slice()));
+    }
+    ++index;
+    FB_RETURN_IF_ERROR(cursor.Next());
+  }
+  if (!inserted) {
+    FB_RETURN_IF_ERROR(emit_inserts());  // append at/after end
+  }
+  return builder.Finish();
+}
+
+StatusOr<TreeInfo> PosTree::SpliceBytes(uint64_t offset, uint64_t remove,
+                                        Slice insert) const {
+  if (leaf_type_ != ChunkType::kBlobLeaf) {
+    return Status::InvalidArgument("SpliceBytes requires a blob tree");
+  }
+  FB_ASSIGN_OR_RETURN(uint64_t total, Count());
+  if (offset > total) offset = total;
+  if (offset + remove > total) remove = total - offset;
+  TreeBuilder builder(const_cast<ChunkStore*>(store_), leaf_type_, config_);
+  // Stream leaves, carving out the spliced range.
+  FB_ASSIGN_OR_RETURN(TreeCursor cursor, TreeCursor::AtStart(store_, root_));
+  uint64_t pos = 0;
+  bool inserted = false;
+  auto maybe_insert = [&](uint64_t at) -> Status {
+    if (!inserted && at >= offset) {
+      FB_RETURN_IF_ERROR(builder.AddBytes(insert));
+      inserted = true;
+    }
+    return Status::OK();
+  };
+  while (!cursor.done()) {
+    Slice payload = cursor.leaf().payload();
+    uint64_t leaf_start = pos;
+    uint64_t leaf_end = pos + payload.size();
+    if (leaf_end <= offset || leaf_start >= offset + remove) {
+      // Leaf entirely outside the removed range.
+      if (leaf_start >= offset) FB_RETURN_IF_ERROR(maybe_insert(leaf_start));
+      FB_RETURN_IF_ERROR(builder.AddBytes(payload));
+    } else {
+      // Overlaps the removed range: keep the outside pieces.
+      if (leaf_start < offset) {
+        FB_RETURN_IF_ERROR(
+            builder.AddBytes(payload.substr(0, offset - leaf_start)));
+      }
+      FB_RETURN_IF_ERROR(maybe_insert(offset));
+      if (leaf_end > offset + remove) {
+        uint64_t keep_from = offset + remove - leaf_start;
+        FB_RETURN_IF_ERROR(builder.AddBytes(payload.substr(keep_from)));
+      }
+    }
+    pos = leaf_end;
+    FB_RETURN_IF_ERROR(cursor.NextLeaf());
+  }
+  FB_RETURN_IF_ERROR(maybe_insert(pos));
+  return builder.Finish();
+}
+
+StatusOr<PosTree::ValidateResult> PosTree::ValidateNode(const Hash256& id,
+                                                        uint32_t depth) const {
+  if (depth > 64) return Status::Corruption("tree too deep (cycle?)");
+  FB_ASSIGN_OR_RETURN(Chunk chunk, store_->Get(id));
+  if (chunk.hash() != id) {
+    return Status::Corruption("chunk bytes do not hash to id " +
+                              id.ToBase32() + " (tampering detected)");
+  }
+  if (chunk.type() == ChunkType::kMeta) {
+    std::vector<IndexEntry> children;
+    if (!ParseIndexEntries(chunk.payload(), &children)) {
+      return Status::Corruption("malformed index node");
+    }
+    if (children.empty()) return Status::Corruption("empty index node");
+    uint64_t count = 0;
+    std::string max_key;
+    for (size_t i = 0; i < children.size(); ++i) {
+      FB_ASSIGN_OR_RETURN(ValidateResult child,
+                          ValidateNode(children[i].child, depth + 1));
+      if (child.count != children[i].count) {
+        return Status::Corruption("index entry count mismatch");
+      }
+      const bool keyed = leaf_type_ == ChunkType::kMapLeaf ||
+                         leaf_type_ == ChunkType::kSetLeaf;
+      if (keyed && child.max_key != children[i].key) {
+        return Status::Corruption("split key is not the subtree max key");
+      }
+      if (keyed && i > 0 && children[i].key <= children[i - 1].key) {
+        return Status::Corruption("index split keys not ascending");
+      }
+      count += child.count;
+      max_key = children[i].key;
+    }
+    return ValidateResult{count, max_key};
+  }
+  if (!IsLeafType(chunk.type()) || chunk.type() != leaf_type_) {
+    return Status::Corruption("unexpected chunk type in tree");
+  }
+  if (chunk.type() == ChunkType::kBlobLeaf) {
+    return ValidateResult{chunk.payload().size(), std::string()};
+  }
+  std::vector<EntryView> entries;
+  if (!ParseLeafEntries(chunk.type(), chunk.payload(), &entries)) {
+    return Status::Corruption("malformed leaf payload");
+  }
+  const bool keyed = leaf_type_ == ChunkType::kMapLeaf ||
+                     leaf_type_ == ChunkType::kSetLeaf;
+  for (size_t i = 1; keyed && i < entries.size(); ++i) {
+    if (entries[i].key <= entries[i - 1].key) {
+      return Status::Corruption("leaf keys not strictly ascending");
+    }
+  }
+  std::string max_key =
+      entries.empty() ? std::string() : entries.back().key.ToString();
+  return ValidateResult{entries.size(), max_key};
+}
+
+Status PosTree::Validate() const {
+  return ValidateNode(root_, 0).status();
+}
+
+StatusOr<TreeShape> PosTree::Shape() const {
+  TreeShape shape;
+  // BFS by level.
+  std::vector<Hash256> frontier{root_};
+  uint32_t depth = 0;
+  while (!frontier.empty()) {
+    ++depth;
+    std::vector<Hash256> next;
+    for (const auto& id : frontier) {
+      FB_ASSIGN_OR_RETURN(Chunk chunk, store_->Get(id));
+      ++shape.total_nodes;
+      shape.total_bytes += chunk.size();
+      if (chunk.type() == ChunkType::kMeta) {
+        ++shape.index_nodes;
+        std::vector<IndexEntry> children;
+        if (!ParseIndexEntries(chunk.payload(), &children)) {
+          return Status::Corruption("malformed index node");
+        }
+        for (const auto& c : children) next.push_back(c.child);
+      } else {
+        ++shape.leaf_nodes;
+        FB_ASSIGN_OR_RETURN(uint64_t n,
+                            LeafEntryCount(chunk.type(), chunk.payload()));
+        shape.entries += n;
+      }
+    }
+    if (!next.empty() && shape.leaf_nodes > 0) {
+      return Status::Corruption("leaves at multiple depths");
+    }
+    frontier = std::move(next);
+  }
+  shape.height = depth;
+  return shape;
+}
+
+Status PosTree::ReachableChunks(std::vector<Hash256>* out) const {
+  out->clear();
+  std::vector<Hash256> frontier{root_};
+  while (!frontier.empty()) {
+    Hash256 id = frontier.back();
+    frontier.pop_back();
+    out->push_back(id);
+    FB_ASSIGN_OR_RETURN(Chunk chunk, store_->Get(id));
+    if (chunk.type() == ChunkType::kMeta) {
+      std::vector<IndexEntry> children;
+      if (!ParseIndexEntries(chunk.payload(), &children)) {
+        return Status::Corruption("malformed index node");
+      }
+      for (const auto& c : children) frontier.push_back(c.child);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace forkbase

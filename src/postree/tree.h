@@ -1,0 +1,131 @@
+// PosTree — handle over an immutable POS-Tree rooted at a chunk id.
+//
+// All mutating operations are functional: they build a new tree (sharing
+// unchanged chunks with the old one through the deduplicating store) and
+// return its TreeInfo; the receiver is never modified. This is what makes
+// every historical version permanently addressable.
+#ifndef FORKBASE_POSTREE_TREE_H_
+#define FORKBASE_POSTREE_TREE_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chunk/chunk_store.h"
+#include "postree/builder.h"
+#include "postree/cursor.h"
+
+namespace forkbase {
+
+/// One keyed mutation: value present = upsert, absent = delete.
+struct KeyedOp {
+  std::string key;
+  std::optional<std::string> value;
+};
+
+/// Structural statistics of a tree (drives Table I / ablation reporting).
+struct TreeShape {
+  uint64_t total_nodes = 0;
+  uint64_t index_nodes = 0;
+  uint64_t leaf_nodes = 0;
+  uint64_t total_bytes = 0;  ///< sum of chunk sizes
+  uint64_t entries = 0;
+  uint32_t height = 0;
+};
+
+class PosTree {
+ public:
+  /// Wraps an existing root. `store` must outlive the tree.
+  PosTree(const ChunkStore* store, ChunkType leaf_type, Hash256 root,
+          TreeConfig config = TreeConfig::ForEntries());
+
+  const Hash256& root() const { return root_; }
+  ChunkType leaf_type() const { return leaf_type_; }
+  const TreeConfig& config() const { return config_; }
+
+  /// Builds a keyed tree (kMapLeaf/kSetLeaf) from sorted unique (key, value)
+  /// pairs; for sets pass empty values.
+  static StatusOr<TreeInfo> BuildKeyed(
+      ChunkStore* store, ChunkType leaf_type,
+      const std::vector<std::pair<std::string, std::string>>& sorted_kvs,
+      TreeConfig config = TreeConfig::ForEntries());
+
+  /// Builds a positional list tree from elements.
+  static StatusOr<TreeInfo> BuildList(
+      ChunkStore* store, const std::vector<std::string>& elements,
+      TreeConfig config = TreeConfig::ForEntries());
+
+  /// Builds a blob tree from raw bytes.
+  static StatusOr<TreeInfo> BuildBlob(
+      ChunkStore* store, Slice bytes, TreeConfig config = TreeConfig::ForBlob());
+
+  /// Total leaf entries (blob: total bytes). O(1) chunk loads.
+  StatusOr<uint64_t> Count() const;
+
+  /// Point lookup in a keyed tree. nullopt when the key is absent; for sets
+  /// the value is "" when present. O(log N).
+  StatusOr<std::optional<std::string>> Lookup(Slice key) const;
+
+  /// Element at `index` in a list tree. O(log N).
+  StatusOr<std::string> Element(uint64_t index) const;
+
+  /// Reads `len` bytes at `offset` from a blob tree.
+  Status ReadBytes(uint64_t offset, uint64_t len, std::string* out) const;
+
+  /// In-order scan of all entries (non-blob). The callback may return a
+  /// non-OK status to stop early (it is propagated).
+  Status Scan(const std::function<Status(const EntryView&)>& fn) const;
+
+  /// Scans entries with begin <= key < end (keyed trees). An empty `end`
+  /// means "to the last key". O(log N) seek + O(range) scan.
+  Status ScanRange(Slice begin, Slice end,
+                   const std::function<Status(const EntryView&)>& fn) const;
+
+  /// Materializes all entries as (key, value) pairs (non-blob).
+  StatusOr<std::vector<std::pair<std::string, std::string>>> Entries() const;
+
+  /// Applies sorted-agnostic keyed ops (they are sorted and deduped by key,
+  /// last-wins) producing a new tree. Unchanged regions share chunks.
+  StatusOr<TreeInfo> ApplyKeyedOps(std::vector<KeyedOp> ops) const;
+
+  /// Replaces `remove` elements at `start` with `inserts` (list trees).
+  StatusOr<TreeInfo> SpliceElements(
+      uint64_t start, uint64_t remove,
+      const std::vector<std::string>& inserts) const;
+
+  /// Replaces `remove` bytes at `offset` with `insert` (blob trees).
+  StatusOr<TreeInfo> SpliceBytes(uint64_t offset, uint64_t remove,
+                                 Slice insert) const;
+
+  /// Full Merkle + structural validation: every reachable chunk's bytes
+  /// re-hash to its id; keys are strictly ascending; split keys equal
+  /// subtree maxima; counts are consistent. Detects any storage tampering.
+  Status Validate() const;
+
+  /// Walks the tree collecting shape statistics.
+  StatusOr<TreeShape> Shape() const;
+
+  /// Collects the ids of all reachable chunks (dedup accounting).
+  Status ReachableChunks(std::vector<Hash256>* out) const;
+
+  const ChunkStore* store() const { return store_; }
+
+ private:
+  struct ValidateResult {
+    uint64_t count;
+    std::string max_key;
+  };
+  StatusOr<ValidateResult> ValidateNode(const Hash256& id,
+                                        uint32_t depth) const;
+
+  const ChunkStore* store_;
+  ChunkType leaf_type_;
+  Hash256 root_;
+  TreeConfig config_;
+};
+
+}  // namespace forkbase
+
+#endif  // FORKBASE_POSTREE_TREE_H_

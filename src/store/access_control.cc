@@ -1,0 +1,124 @@
+#include "store/access_control.h"
+
+namespace forkbase {
+
+Status AccessController::AddUser(const std::string& user, bool is_admin) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!users_.insert(user).second) {
+    return Status::AlreadyExists("user " + user);
+  }
+  if (is_admin) admins_.insert(user);
+  return Status::OK();
+}
+
+bool AccessController::HasUser(const std::string& user) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return users_.count(user) > 0;
+}
+
+bool AccessController::IsAdminLocked(const std::string& user) const {
+  return admins_.count(user) > 0;
+}
+
+Status AccessController::Grant(const std::string& grantor,
+                               const std::string& user,
+                               const std::string& key,
+                               const std::string& branch, Permission perm) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!IsAdminLocked(grantor)) {
+    return Status::PermissionDenied(grantor + " is not an admin");
+  }
+  if (!users_.count(user)) return Status::NotFound("user " + user);
+  grants_[user].insert(Rule{key, branch, perm});
+  return Status::OK();
+}
+
+Status AccessController::Revoke(const std::string& grantor,
+                                const std::string& user,
+                                const std::string& key,
+                                const std::string& branch, Permission perm) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!IsAdminLocked(grantor)) {
+    return Status::PermissionDenied(grantor + " is not an admin");
+  }
+  auto it = grants_.find(user);
+  if (it == grants_.end() || it->second.erase(Rule{key, branch, perm}) == 0) {
+    return Status::NotFound("grant not found");
+  }
+  return Status::OK();
+}
+
+Status AccessController::Check(const std::string& user, const std::string& key,
+                               const std::string& branch,
+                               Permission perm) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!users_.count(user)) {
+    return Status::PermissionDenied("unknown user " + user);
+  }
+  if (IsAdminLocked(user)) return Status::OK();
+  auto it = grants_.find(user);
+  if (it != grants_.end()) {
+    for (const auto& rule : it->second) {
+      const bool key_ok = rule.key == "*" || rule.key == key;
+      const bool branch_ok = rule.branch == "*" || rule.branch == branch;
+      if (key_ok && branch_ok && rule.perm == perm) return Status::OK();
+    }
+  }
+  return Status::PermissionDenied(user + " lacks " +
+                                  (perm == Permission::kRead ? "read" : "write") +
+                                  " on " + key + "@" + branch);
+}
+
+std::vector<std::string> AccessController::Users() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<std::string>(users_.begin(), users_.end());
+}
+
+StatusOr<Hash256> SecureForkBase::Put(const std::string& user,
+                                      const std::string& key,
+                                      const Value& value,
+                                      const std::string& branch,
+                                      const PutMeta& meta) {
+  FB_RETURN_IF_ERROR(acl_->Check(user, key, branch, Permission::kWrite));
+  PutMeta stamped = meta;
+  if (stamped.author == "anonymous") stamped.author = user;
+  return db_->Put(key, value, branch, stamped);
+}
+
+StatusOr<Value> SecureForkBase::Get(const std::string& user,
+                                    const std::string& key,
+                                    const std::string& branch) const {
+  FB_RETURN_IF_ERROR(acl_->Check(user, key, branch, Permission::kRead));
+  return db_->Get(key, branch);
+}
+
+Status SecureForkBase::Branch(const std::string& user, const std::string& key,
+                              const std::string& new_branch,
+                              const std::string& from_branch) {
+  FB_RETURN_IF_ERROR(acl_->Check(user, key, from_branch, Permission::kRead));
+  FB_RETURN_IF_ERROR(acl_->Check(user, key, new_branch, Permission::kWrite));
+  return db_->Branch(key, new_branch, from_branch);
+}
+
+StatusOr<Hash256> SecureForkBase::Merge(const std::string& user,
+                                        const std::string& key,
+                                        const std::string& dst_branch,
+                                        const std::string& src_branch,
+                                        MergePolicy policy) {
+  FB_RETURN_IF_ERROR(acl_->Check(user, key, src_branch, Permission::kRead));
+  FB_RETURN_IF_ERROR(acl_->Check(user, key, dst_branch, Permission::kWrite));
+  PutMeta meta;
+  meta.author = user;
+  return db_->Merge(key, dst_branch, src_branch, policy, meta);
+}
+
+StatusOr<ObjectDiff> SecureForkBase::Diff(const std::string& user,
+                                          const std::string& key,
+                                          const std::string& branch_a,
+                                          const std::string& branch_b) const {
+  FB_RETURN_IF_ERROR(acl_->Check(user, key, branch_a, Permission::kRead));
+  FB_RETURN_IF_ERROR(acl_->Check(user, key, branch_b, Permission::kRead));
+  return db_->Diff(key, branch_a, branch_b);
+}
+
+}  // namespace forkbase

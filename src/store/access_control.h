@@ -1,0 +1,95 @@
+// Branch-based access control (Fig. 1, "Access Control / branch-based").
+//
+// ForkBase's multi-tenant story: admins register users and grant per-(key,
+// branch) read/write capabilities; "*" wildcards either dimension. The
+// SecureForkBase decorator enforces checks in front of every facade verb —
+// the storage itself needs no trust (tamper evidence handles integrity;
+// ACLs handle authorization).
+#ifndef FORKBASE_STORE_ACCESS_CONTROL_H_
+#define FORKBASE_STORE_ACCESS_CONTROL_H_
+
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "store/forkbase.h"
+
+namespace forkbase {
+
+enum class Permission : uint8_t {
+  kRead = 1,
+  kWrite = 2,
+};
+
+class AccessController {
+ public:
+  /// Registers a user. Admins implicitly hold every permission and may
+  /// grant/revoke.
+  Status AddUser(const std::string& user, bool is_admin = false);
+  bool HasUser(const std::string& user) const;
+
+  /// Grants `perm` on (key, branch) to `user`. Key/branch may be "*".
+  /// Only admins may grant.
+  Status Grant(const std::string& grantor, const std::string& user,
+               const std::string& key, const std::string& branch,
+               Permission perm);
+  Status Revoke(const std::string& grantor, const std::string& user,
+                const std::string& key, const std::string& branch,
+                Permission perm);
+
+  /// kPermissionDenied unless `user` holds `perm` on (key, branch).
+  Status Check(const std::string& user, const std::string& key,
+               const std::string& branch, Permission perm) const;
+
+  std::vector<std::string> Users() const;
+
+ private:
+  struct Rule {
+    std::string key;
+    std::string branch;
+    Permission perm;
+    bool operator<(const Rule& o) const {
+      return std::tie(key, branch, perm) < std::tie(o.key, o.branch, o.perm);
+    }
+  };
+  bool IsAdminLocked(const std::string& user) const;
+
+  mutable std::mutex mu_;
+  std::set<std::string> admins_;
+  std::map<std::string, std::set<Rule>> grants_;  // user -> rules
+  std::set<std::string> users_;
+};
+
+/// Enforcing facade: same verbs as ForkBase, each taking the acting user.
+class SecureForkBase {
+ public:
+  SecureForkBase(ForkBase* db, AccessController* acl) : db_(db), acl_(acl) {}
+
+  StatusOr<Hash256> Put(const std::string& user, const std::string& key,
+                        const Value& value,
+                        const std::string& branch = ForkBase::kDefaultBranch,
+                        const PutMeta& meta = PutMeta{});
+  StatusOr<Value> Get(const std::string& user, const std::string& key,
+                      const std::string& branch = ForkBase::kDefaultBranch) const;
+  Status Branch(const std::string& user, const std::string& key,
+                const std::string& new_branch, const std::string& from_branch);
+  StatusOr<Hash256> Merge(const std::string& user, const std::string& key,
+                          const std::string& dst_branch,
+                          const std::string& src_branch,
+                          MergePolicy policy = MergePolicy::kStrict);
+  StatusOr<ObjectDiff> Diff(const std::string& user, const std::string& key,
+                            const std::string& branch_a,
+                            const std::string& branch_b) const;
+
+  ForkBase* db() { return db_; }
+
+ private:
+  ForkBase* db_;
+  AccessController* acl_;
+};
+
+}  // namespace forkbase
+
+#endif  // FORKBASE_STORE_ACCESS_CONTROL_H_

@@ -1,0 +1,90 @@
+#include "store/bundle.h"
+
+#include <algorithm>
+
+#include "util/codec.h"
+
+namespace forkbase {
+
+namespace {
+constexpr uint32_t kBundleMagic = 0x46424e44;  // "FBND"
+}  // namespace
+
+StatusOr<std::string> ExportBundle(const ChunkStore& store,
+                                   const Hash256& uid) {
+  FB_ASSIGN_OR_RETURN(auto live, MarkLive(store, {uid}));
+  // Deterministic bundle bytes: chunks sorted by id.
+  std::vector<Hash256> ids(live.begin(), live.end());
+  std::sort(ids.begin(), ids.end());
+
+  std::string out;
+  PutFixed32(&out, kBundleMagic);
+  out.append(reinterpret_cast<const char*>(uid.bytes.data()), 32);
+  PutVarint64(&out, ids.size());
+  for (const auto& id : ids) {
+    FB_ASSIGN_OR_RETURN(Chunk chunk, store.Get(id));
+    if (chunk.hash() != id) {
+      return Status::Corruption("chunk " + id.ToBase32() +
+                                " is tampered; refusing to export");
+    }
+    PutLengthPrefixed(&out, chunk.bytes());
+  }
+  return out;
+}
+
+StatusOr<ImportResult> ImportBundle(Slice bundle, ChunkStore* dst) {
+  Decoder dec(bundle);
+  uint32_t magic = 0;
+  if (!dec.GetFixed32(&magic) || magic != kBundleMagic) {
+    return Status::Corruption("not a ForkBase bundle");
+  }
+  Slice head_bytes;
+  if (!dec.GetRaw(32, &head_bytes)) {
+    return Status::Corruption("bundle: missing head uid");
+  }
+  ImportResult result;
+  std::memcpy(result.head.bytes.data(), head_bytes.data(), 32);
+  uint64_t count = 0;
+  if (!dec.GetVarint64(&count)) {
+    return Status::Corruption("bundle: missing chunk count");
+  }
+
+  // Stage and verify every chunk before admitting any.
+  std::vector<Chunk> staged;
+  staged.reserve(count);
+  bool head_present = false;
+  for (uint64_t i = 0; i < count; ++i) {
+    Slice raw;
+    if (!dec.GetLengthPrefixed(&raw) || raw.empty()) {
+      return Status::Corruption("bundle: truncated chunk record");
+    }
+    Chunk chunk = Chunk::FromBytes(raw.ToString());
+    // Self-verification: recompute the id from the bytes.
+    if (chunk.hash() == result.head) head_present = true;
+    staged.push_back(std::move(chunk));
+  }
+  if (!dec.AtEnd()) {
+    return Status::Corruption("bundle: trailing bytes");
+  }
+  if (!head_present && !dst->Contains(result.head)) {
+    return Status::Corruption("bundle does not contain its head uid");
+  }
+
+  for (const auto& chunk : staged) {
+    bool already = dst->Contains(chunk.hash());
+    FB_RETURN_IF_ERROR(dst->Put(chunk));
+    ++result.chunks;
+    result.bytes += chunk.size();
+    if (!already) ++result.new_chunks;
+  }
+
+  // Closure check: the head must now be fully traversable in dst.
+  auto closure = MarkLive(*dst, {result.head});
+  if (!closure.ok()) {
+    return Status::Corruption("bundle closure incomplete: " +
+                              closure.status().message());
+  }
+  return result;
+}
+
+}  // namespace forkbase

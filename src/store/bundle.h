@@ -1,0 +1,39 @@
+// Version bundles — portable replication of a version closure.
+//
+// The published ForkBase runs distributed; this repository substitutes a
+// bundle format (in the spirit of `git bundle`) that carries every chunk a
+// version uid transitively references, so a branch can be pushed/pulled
+// between independent chunk stores without any network substrate. Content
+// addressing makes transfer self-verifying: every chunk must re-hash to its
+// declared id, and the requested uid must be present, before anything is
+// admitted to the destination store.
+#ifndef FORKBASE_STORE_BUNDLE_H_
+#define FORKBASE_STORE_BUNDLE_H_
+
+#include <string>
+
+#include "store/gc.h"
+
+namespace forkbase {
+
+/// Serializes the closure of `uid` (value tree + full derivation history)
+/// from `store` into a self-contained byte bundle.
+StatusOr<std::string> ExportBundle(const ChunkStore& store,
+                                   const Hash256& uid);
+
+/// Result of importing a bundle.
+struct ImportResult {
+  Hash256 head;              ///< the uid the bundle was exported for
+  uint64_t chunks = 0;       ///< chunks carried by the bundle
+  uint64_t new_chunks = 0;   ///< chunks the destination did not already have
+  uint64_t bytes = 0;
+};
+
+/// Validates and imports a bundle into `dst`. Fails with kCorruption if any
+/// chunk's bytes do not hash to its declared id, if the head is missing, or
+/// if the closure is incomplete (a referenced chunk absent from bundle+dst).
+StatusOr<ImportResult> ImportBundle(Slice bundle, ChunkStore* dst);
+
+}  // namespace forkbase
+
+#endif  // FORKBASE_STORE_BUNDLE_H_

@@ -1,0 +1,71 @@
+#include "store/fnode.h"
+
+#include <cstring>
+
+namespace forkbase {
+
+Chunk FNode::ToChunk() const {
+  std::string payload;
+  PutLengthPrefixed(&payload, key);
+  value.Encode(&payload);
+  PutVarint64(&payload, bases.size());
+  for (const auto& b : bases) {
+    payload.append(reinterpret_cast<const char*>(b.bytes.data()), 32);
+  }
+  PutLengthPrefixed(&payload, author);
+  PutLengthPrefixed(&payload, message);
+  PutVarint64(&payload, logical_time);
+  return Chunk::Make(ChunkType::kFNode, payload);
+}
+
+StatusOr<FNode> FNode::FromChunk(const Chunk& chunk) {
+  if (chunk.type() != ChunkType::kFNode) {
+    return Status::Corruption("not an FNode chunk");
+  }
+  FNode node;
+  Decoder dec(chunk.payload());
+  Slice key;
+  if (!dec.GetLengthPrefixed(&key)) {
+    return Status::Corruption("fnode: bad key");
+  }
+  node.key = key.ToString();
+  FB_ASSIGN_OR_RETURN(node.value, Value::Decode(&dec));
+  uint64_t nbases = 0;
+  if (!dec.GetVarint64(&nbases) || nbases > 1u << 20) {
+    return Status::Corruption("fnode: bad base count");
+  }
+  for (uint64_t i = 0; i < nbases; ++i) {
+    Slice raw;
+    if (!dec.GetRaw(32, &raw)) return Status::Corruption("fnode: bad base");
+    Hash256 base;
+    std::memcpy(base.bytes.data(), raw.data(), 32);
+    node.bases.push_back(base);
+  }
+  Slice author, message;
+  if (!dec.GetLengthPrefixed(&author) || !dec.GetLengthPrefixed(&message)) {
+    return Status::Corruption("fnode: bad metadata");
+  }
+  node.author = author.ToString();
+  node.message = message.ToString();
+  if (!dec.GetVarint64(&node.logical_time) || !dec.AtEnd()) {
+    return Status::Corruption("fnode: bad trailer");
+  }
+  return node;
+}
+
+StatusOr<Hash256> FNode::Write(ChunkStore* store) const {
+  Chunk chunk = ToChunk();
+  FB_RETURN_IF_ERROR(store->Put(chunk));
+  return chunk.hash();
+}
+
+StatusOr<FNode> FNode::Load(const ChunkStore* store, const Hash256& uid) {
+  FB_ASSIGN_OR_RETURN(Chunk chunk, store->Get(uid));
+  if (chunk.hash() != uid) {
+    return Status::Corruption("fnode bytes do not hash to uid " +
+                              uid.ToBase32() + " (tampering detected)");
+  }
+  return FromChunk(chunk);
+}
+
+}  // namespace forkbase

@@ -1,0 +1,44 @@
+// FNode — a node of the version derivation graph (§II-D).
+//
+// Each Put/Merge creates an FNode chunk recording: the object key, the typed
+// value (inline primitive or POS-Tree root), the ordered `bases` (parent
+// version uids — two for merges), and commit metadata. The version uid is
+// the SHA-256 of the FNode chunk, so it covers both the full object content
+// (via the Merkle root) and the entire derivation history (via the bases
+// hash chain): two FNodes are equivalent iff value and history coincide.
+#ifndef FORKBASE_STORE_FNODE_H_
+#define FORKBASE_STORE_FNODE_H_
+
+#include <string>
+#include <vector>
+
+#include "chunk/chunk_store.h"
+#include "types/value.h"
+
+namespace forkbase {
+
+struct FNode {
+  std::string key;
+  Value value;
+  std::vector<Hash256> bases;  ///< parent uids, oldest-first; empty = initial
+  std::string author;
+  std::string message;
+  uint64_t logical_time = 0;   ///< per-store monotonic commit counter
+
+  /// Serializes to a kFNode chunk; its hash is the version uid.
+  Chunk ToChunk() const;
+
+  /// Parses a kFNode chunk.
+  static StatusOr<FNode> FromChunk(const Chunk& chunk);
+
+  /// Writes the FNode to the store and returns its uid.
+  StatusOr<Hash256> Write(ChunkStore* store) const;
+
+  /// Loads and parses the FNode with the given uid. Verifies that the
+  /// stored bytes re-hash to `uid` (cheap first line of tamper evidence).
+  static StatusOr<FNode> Load(const ChunkStore* store, const Hash256& uid);
+};
+
+}  // namespace forkbase
+
+#endif  // FORKBASE_STORE_FNODE_H_

@@ -1,0 +1,506 @@
+#include "store/forkbase.h"
+
+#include <queue>
+#include <unordered_set>
+
+#include "store/merge_engine.h"
+
+namespace forkbase {
+
+ForkBase::ForkBase(std::shared_ptr<ChunkStore> store)
+    : store_(std::move(store)) {}
+
+StatusOr<Hash256> ForkBase::Commit(const std::string& key, const Value& value,
+                                   std::vector<Hash256> bases,
+                                   const std::string& branch,
+                                   const PutMeta& meta) {
+  FNode node;
+  node.key = key;
+  node.value = value;
+  node.bases = std::move(bases);
+  node.author = meta.author;
+  node.message = meta.message;
+  node.logical_time = clock_.fetch_add(1) + 1;
+  FB_ASSIGN_OR_RETURN(Hash256 uid, node.Write(store_.get()));
+  branch_table_.SetHead(key, branch, uid);
+  commits_.fetch_add(1);
+  return uid;
+}
+
+StatusOr<Hash256> ForkBase::Put(const std::string& key, const Value& value,
+                                const std::string& branch,
+                                const PutMeta& meta) {
+  if (key.empty()) return Status::InvalidArgument("empty key");
+  std::vector<Hash256> bases;
+  auto head = branch_table_.Head(key, branch);
+  if (head.ok()) bases.push_back(*head);
+  return Commit(key, value, std::move(bases), branch, meta);
+}
+
+StatusOr<Hash256> ForkBase::PutBlob(const std::string& key, Slice bytes,
+                                    const std::string& branch,
+                                    const PutMeta& meta) {
+  FB_ASSIGN_OR_RETURN(FBlob blob, FBlob::Create(store_.get(), bytes));
+  return Put(key, Value::OfBlob(blob.root()), branch, meta);
+}
+
+StatusOr<Hash256> ForkBase::PutMap(
+    const std::string& key,
+    std::vector<std::pair<std::string, std::string>> kvs,
+    const std::string& branch, const PutMeta& meta) {
+  FB_ASSIGN_OR_RETURN(FMap map, FMap::Create(store_.get(), std::move(kvs)));
+  return Put(key, Value::OfMap(map.root()), branch, meta);
+}
+
+StatusOr<Hash256> ForkBase::PutSet(const std::string& key,
+                                   std::vector<std::string> members,
+                                   const std::string& branch,
+                                   const PutMeta& meta) {
+  FB_ASSIGN_OR_RETURN(FSet set, FSet::Create(store_.get(), std::move(members)));
+  return Put(key, Value::OfSet(set.root()), branch, meta);
+}
+
+StatusOr<Hash256> ForkBase::PutList(const std::string& key,
+                                    const std::vector<std::string>& elements,
+                                    const std::string& branch,
+                                    const PutMeta& meta) {
+  FB_ASSIGN_OR_RETURN(FList list, FList::Create(store_.get(), elements));
+  return Put(key, Value::OfList(list.root()), branch, meta);
+}
+
+StatusOr<Hash256> ForkBase::PutTableFromCsv(const std::string& key,
+                                            const CsvDocument& doc,
+                                            size_t key_column,
+                                            const std::string& branch,
+                                            const PutMeta& meta) {
+  FB_ASSIGN_OR_RETURN(FTable table,
+                      FTable::FromCsv(store_.get(), doc, key_column));
+  return Put(key, Value::OfTable(table.id()), branch, meta);
+}
+
+StatusOr<Hash256> ForkBase::UpdateMap(const std::string& key,
+                                      std::vector<KeyedOp> ops,
+                                      const std::string& branch,
+                                      const PutMeta& meta) {
+  FB_ASSIGN_OR_RETURN(FMap map, GetMap(key, branch));
+  FB_ASSIGN_OR_RETURN(FMap updated, map.Apply(std::move(ops)));
+  return Put(key, Value::OfMap(updated.root()), branch, meta);
+}
+
+StatusOr<Hash256> ForkBase::UpdateTableCell(const std::string& key,
+                                            Slice row_key, size_t column,
+                                            const std::string& value,
+                                            const std::string& branch,
+                                            const PutMeta& meta) {
+  FB_ASSIGN_OR_RETURN(FTable table, GetTable(key, branch));
+  FB_ASSIGN_OR_RETURN(FTable updated,
+                      table.UpdateCell(row_key, column, value));
+  return Put(key, Value::OfTable(updated.id()), branch, meta);
+}
+
+StatusOr<Hash256> ForkBase::AppendBlob(const std::string& key, Slice bytes,
+                                       const std::string& branch,
+                                       const PutMeta& meta) {
+  FB_ASSIGN_OR_RETURN(FBlob blob, GetBlob(key, branch));
+  FB_ASSIGN_OR_RETURN(FBlob appended, blob.Append(bytes));
+  return Put(key, Value::OfBlob(appended.root()), branch, meta);
+}
+
+StatusOr<Hash256> ForkBase::AppendList(const std::string& key,
+                                       const std::string& element,
+                                       const std::string& branch,
+                                       const PutMeta& meta) {
+  FB_ASSIGN_OR_RETURN(FList list, GetList(key, branch));
+  FB_ASSIGN_OR_RETURN(FList appended, list.Append(element));
+  return Put(key, Value::OfList(appended.root()), branch, meta);
+}
+
+StatusOr<Value> ForkBase::Get(const std::string& key,
+                              const std::string& branch) const {
+  FB_ASSIGN_OR_RETURN(Hash256 uid, branch_table_.Head(key, branch));
+  return GetVersion(uid);
+}
+
+StatusOr<Value> ForkBase::GetVersion(const Hash256& uid) const {
+  FB_ASSIGN_OR_RETURN(FNode node, FNode::Load(store_.get(), uid));
+  return node.value;
+}
+
+namespace {
+Status ExpectType(const Value& v, ValueType want) {
+  if (v.type() != want) {
+    return Status::InvalidArgument(
+        std::string("object is a ") + ValueTypeToString(v.type()) + ", not a " +
+        ValueTypeToString(want));
+  }
+  return Status::OK();
+}
+}  // namespace
+
+StatusOr<FBlob> ForkBase::GetBlob(const std::string& key,
+                                  const std::string& branch) const {
+  FB_ASSIGN_OR_RETURN(Value v, Get(key, branch));
+  FB_RETURN_IF_ERROR(ExpectType(v, ValueType::kBlob));
+  return FBlob::Attach(store_.get(), v.root());
+}
+
+StatusOr<FMap> ForkBase::GetMap(const std::string& key,
+                                const std::string& branch) const {
+  FB_ASSIGN_OR_RETURN(Value v, Get(key, branch));
+  FB_RETURN_IF_ERROR(ExpectType(v, ValueType::kMap));
+  return FMap::Attach(store_.get(), v.root());
+}
+
+StatusOr<FSet> ForkBase::GetSet(const std::string& key,
+                                const std::string& branch) const {
+  FB_ASSIGN_OR_RETURN(Value v, Get(key, branch));
+  FB_RETURN_IF_ERROR(ExpectType(v, ValueType::kSet));
+  return FSet::Attach(store_.get(), v.root());
+}
+
+StatusOr<FList> ForkBase::GetList(const std::string& key,
+                                  const std::string& branch) const {
+  FB_ASSIGN_OR_RETURN(Value v, Get(key, branch));
+  FB_RETURN_IF_ERROR(ExpectType(v, ValueType::kList));
+  return FList::Attach(store_.get(), v.root());
+}
+
+StatusOr<FTable> ForkBase::GetTable(const std::string& key,
+                                    const std::string& branch) const {
+  FB_ASSIGN_OR_RETURN(Value v, Get(key, branch));
+  FB_RETURN_IF_ERROR(ExpectType(v, ValueType::kTable));
+  return FTable::Attach(store_.get(), v.root());
+}
+
+StatusOr<Hash256> ForkBase::Head(const std::string& key,
+                                 const std::string& branch) const {
+  return branch_table_.Head(key, branch);
+}
+
+StatusOr<std::vector<std::pair<std::string, Hash256>>> ForkBase::Latest(
+    const std::string& key) const {
+  auto heads = branch_table_.Heads(key);
+  if (heads.empty()) return Status::NotFound("key " + key);
+  return heads;
+}
+
+bool ForkBase::IsBranchHead(const std::string& key, const Hash256& uid) const {
+  for (const auto& [branch, head] : branch_table_.Heads(key)) {
+    (void)branch;
+    if (head == uid) return true;
+  }
+  return false;
+}
+
+StatusOr<VersionInfo> ForkBase::Meta(const Hash256& uid) const {
+  FB_ASSIGN_OR_RETURN(FNode node, FNode::Load(store_.get(), uid));
+  VersionInfo info;
+  info.uid = uid;
+  info.key = node.key;
+  info.type = node.value.type();
+  info.bases = node.bases;
+  info.author = node.author;
+  info.message = node.message;
+  info.logical_time = node.logical_time;
+  return info;
+}
+
+StatusOr<std::vector<VersionInfo>> ForkBase::History(const std::string& key,
+                                                     const std::string& branch,
+                                                     size_t limit) const {
+  FB_ASSIGN_OR_RETURN(Hash256 uid, branch_table_.Head(key, branch));
+  std::vector<VersionInfo> out;
+  while (out.size() < limit) {
+    FB_ASSIGN_OR_RETURN(VersionInfo info, Meta(uid));
+    out.push_back(info);
+    if (info.bases.empty()) break;
+    uid = info.bases.front();  // first-parent walk
+  }
+  return out;
+}
+
+Status ForkBase::Branch(const std::string& key, const std::string& new_branch,
+                        const std::string& from_branch) {
+  return branch_table_.Fork(key, new_branch, from_branch);
+}
+
+Status ForkBase::BranchFromVersion(const std::string& key,
+                                   const std::string& new_branch,
+                                   const Hash256& uid) {
+  if (branch_table_.Exists(key, new_branch)) {
+    return Status::AlreadyExists("branch " + new_branch + " of key " + key);
+  }
+  FB_ASSIGN_OR_RETURN(FNode node, FNode::Load(store_.get(), uid));
+  if (node.key != key) {
+    return Status::InvalidArgument("version belongs to key " + node.key);
+  }
+  branch_table_.SetHead(key, new_branch, uid);
+  return Status::OK();
+}
+
+Status ForkBase::RenameBranch(const std::string& key, const std::string& from,
+                              const std::string& to) {
+  return branch_table_.Rename(key, from, to);
+}
+
+Status ForkBase::DeleteBranch(const std::string& key,
+                              const std::string& branch) {
+  return branch_table_.Delete(key, branch);
+}
+
+StatusOr<std::vector<std::string>> ForkBase::ListBranches(
+    const std::string& key) const {
+  auto branches = branch_table_.Branches(key);
+  if (branches.empty()) return Status::NotFound("key " + key);
+  return branches;
+}
+
+std::vector<std::string> ForkBase::ListKeys() const {
+  return branch_table_.Keys();
+}
+
+StatusOr<ObjectDiff> ForkBase::Diff(const std::string& key,
+                                    const std::string& branch_a,
+                                    const std::string& branch_b) const {
+  FB_ASSIGN_OR_RETURN(Hash256 ua, branch_table_.Head(key, branch_a));
+  FB_ASSIGN_OR_RETURN(Hash256 ub, branch_table_.Head(key, branch_b));
+  return DiffVersions(ua, ub);
+}
+
+StatusOr<ObjectDiff> ForkBase::DiffVersions(const Hash256& uid_a,
+                                            const Hash256& uid_b) const {
+  FB_ASSIGN_OR_RETURN(Value va, GetVersion(uid_a));
+  FB_ASSIGN_OR_RETURN(Value vb, GetVersion(uid_b));
+  ObjectDiff diff;
+  diff.left = va;
+  diff.right = vb;
+  if (va.type() != vb.type()) {
+    diff.type = va.type();
+    diff.identical = false;
+    return diff;
+  }
+  diff.type = va.type();
+  if (va == vb) {
+    diff.identical = true;
+    return diff;
+  }
+  const ChunkStore* cs = store_.get();
+  switch (va.type()) {
+    case ValueType::kMap: {
+      FB_ASSIGN_OR_RETURN(diff.keyed,
+                          DiffKeyed(PosTree(cs, ChunkType::kMapLeaf, va.root()),
+                                    PosTree(cs, ChunkType::kMapLeaf, vb.root()),
+                                    &diff.metrics));
+      diff.identical = diff.keyed.empty();
+      return diff;
+    }
+    case ValueType::kSet: {
+      FB_ASSIGN_OR_RETURN(diff.keyed,
+                          DiffKeyed(PosTree(cs, ChunkType::kSetLeaf, va.root()),
+                                    PosTree(cs, ChunkType::kSetLeaf, vb.root()),
+                                    &diff.metrics));
+      diff.identical = diff.keyed.empty();
+      return diff;
+    }
+    case ValueType::kList: {
+      FB_ASSIGN_OR_RETURN(
+          diff.sequence,
+          DiffSequence(PosTree(cs, ChunkType::kListLeaf, va.root()),
+                       PosTree(cs, ChunkType::kListLeaf, vb.root()),
+                       &diff.metrics));
+      diff.identical = !diff.sequence.has_value();
+      return diff;
+    }
+    case ValueType::kBlob: {
+      FB_ASSIGN_OR_RETURN(
+          diff.sequence,
+          DiffSequence(PosTree(cs, ChunkType::kBlobLeaf, va.root(),
+                               TreeConfig::ForBlob()),
+                       PosTree(cs, ChunkType::kBlobLeaf, vb.root(),
+                               TreeConfig::ForBlob()),
+                       &diff.metrics));
+      diff.identical = !diff.sequence.has_value();
+      return diff;
+    }
+    case ValueType::kTable: {
+      FB_ASSIGN_OR_RETURN(FTable ta, FTable::Attach(cs, va.root()));
+      FB_ASSIGN_OR_RETURN(FTable tb, FTable::Attach(cs, vb.root()));
+      FB_ASSIGN_OR_RETURN(diff.rows, ta.Diff(tb, &diff.metrics));
+      diff.identical = diff.rows.empty();
+      return diff;
+    }
+    default:
+      diff.identical = va == vb;
+      return diff;
+  }
+}
+
+StatusOr<Hash256> ForkBase::CommonAncestor(const Hash256& a,
+                                           const Hash256& b) const {
+  // Bidirectional BFS over the bases DAG; first version reached from both
+  // sides (by generation order) is the merge base.
+  std::unordered_set<Hash256, Hash256Hasher> seen_a{a}, seen_b{b};
+  std::queue<Hash256> qa, qb;
+  qa.push(a);
+  qb.push(b);
+  if (a == b) return a;
+  auto step = [this](std::queue<Hash256>* q,
+                     std::unordered_set<Hash256, Hash256Hasher>* mine,
+                     const std::unordered_set<Hash256, Hash256Hasher>& other,
+                     std::optional<Hash256>* found) -> Status {
+    size_t n = q->size();
+    for (size_t i = 0; i < n; ++i) {
+      Hash256 uid = q->front();
+      q->pop();
+      FB_ASSIGN_OR_RETURN(FNode node, FNode::Load(store_.get(), uid));
+      for (const auto& base : node.bases) {
+        if (other.count(base)) {
+          *found = base;
+          return Status::OK();
+        }
+        if (mine->insert(base).second) q->push(base);
+      }
+    }
+    return Status::OK();
+  };
+  while (!qa.empty() || !qb.empty()) {
+    std::optional<Hash256> found;
+    if (!qa.empty()) {
+      FB_RETURN_IF_ERROR(step(&qa, &seen_a, seen_b, &found));
+      if (found) return *found;
+    }
+    if (!qb.empty()) {
+      FB_RETURN_IF_ERROR(step(&qb, &seen_b, seen_a, &found));
+      if (found) return *found;
+    }
+  }
+  return Status::NotFound("versions share no common ancestor");
+}
+
+StatusOr<Hash256> ForkBase::Merge(const std::string& key,
+                                  const std::string& dst_branch,
+                                  const std::string& src_branch,
+                                  MergePolicy policy, const PutMeta& meta) {
+  FB_ASSIGN_OR_RETURN(Hash256 dst_head, branch_table_.Head(key, dst_branch));
+  FB_ASSIGN_OR_RETURN(Hash256 src_head, branch_table_.Head(key, src_branch));
+  if (dst_head == src_head) return dst_head;  // nothing to merge
+
+  FB_ASSIGN_OR_RETURN(Hash256 base_uid, CommonAncestor(dst_head, src_head));
+  if (base_uid == src_head) return dst_head;  // src already in dst history
+  if (base_uid == dst_head) {
+    // Fast-forward: dst is an ancestor of src.
+    branch_table_.SetHead(key, dst_branch, src_head);
+    return src_head;
+  }
+  FB_ASSIGN_OR_RETURN(Value base_value, GetVersion(base_uid));
+  FB_ASSIGN_OR_RETURN(Value dst_value, GetVersion(dst_head));
+  FB_ASSIGN_OR_RETURN(Value src_value, GetVersion(src_head));
+  FB_ASSIGN_OR_RETURN(Value merged,
+                      MergeValues(store_.get(), base_value, dst_value,
+                                  src_value, policy));
+  PutMeta merge_meta = meta;
+  if (merge_meta.message.empty()) {
+    merge_meta.message = "merge " + src_branch + " into " + dst_branch;
+  }
+  return Commit(key, merged, {dst_head, src_head}, dst_branch, merge_meta);
+}
+
+Status ForkBase::VerifyValue(const Value& value) const {
+  const ChunkStore* cs = store_.get();
+  switch (value.type()) {
+    case ValueType::kMap:
+      return PosTree(cs, ChunkType::kMapLeaf, value.root()).Validate();
+    case ValueType::kSet:
+      return PosTree(cs, ChunkType::kSetLeaf, value.root()).Validate();
+    case ValueType::kList:
+      return PosTree(cs, ChunkType::kListLeaf, value.root()).Validate();
+    case ValueType::kBlob:
+      return PosTree(cs, ChunkType::kBlobLeaf, value.root(),
+                     TreeConfig::ForBlob())
+          .Validate();
+    case ValueType::kTable: {
+      FB_ASSIGN_OR_RETURN(FTable table, FTable::Attach(cs, value.root()));
+      return table.Validate();
+    }
+    default:
+      return Status::OK();  // primitives are covered by the FNode hash
+  }
+}
+
+Status ForkBase::Verify(const Hash256& uid) const {
+  // 1. The FNode itself (Load re-hashes the chunk).
+  FB_ASSIGN_OR_RETURN(FNode node, FNode::Load(store_.get(), uid));
+  // 2. The full value tree at this version.
+  FB_RETURN_IF_ERROR(VerifyValue(node.value));
+  // 3. The derivation history: every ancestor FNode chunk must re-hash to
+  //    its uid (the bases fields form a hash chain, so one pass suffices).
+  std::unordered_set<Hash256, Hash256Hasher> visited{uid};
+  std::queue<Hash256> frontier;
+  for (const auto& b : node.bases) frontier.push(b);
+  while (!frontier.empty()) {
+    Hash256 current = frontier.front();
+    frontier.pop();
+    if (!visited.insert(current).second) continue;
+    FB_ASSIGN_OR_RETURN(FNode ancestor, FNode::Load(store_.get(), current));
+    for (const auto& b : ancestor.bases) {
+      if (!visited.count(b)) frontier.push(b);
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<ForkBase::ObjectStat> ForkBase::StatObject(
+    const std::string& key, const std::string& branch) const {
+  FB_ASSIGN_OR_RETURN(Value value, Get(key, branch));
+  ObjectStat stat;
+  stat.type = value.type();
+  if (!value.is_container()) {
+    stat.entries = 1;
+    return stat;
+  }
+  const ChunkStore* cs = store_.get();
+  Hash256 tree_root = value.root();
+  ChunkType leaf_type;
+  TreeConfig config;
+  switch (value.type()) {
+    case ValueType::kMap:
+      leaf_type = ChunkType::kMapLeaf;
+      break;
+    case ValueType::kSet:
+      leaf_type = ChunkType::kSetLeaf;
+      break;
+    case ValueType::kList:
+      leaf_type = ChunkType::kListLeaf;
+      break;
+    case ValueType::kBlob:
+      leaf_type = ChunkType::kBlobLeaf;
+      config = TreeConfig::ForBlob();
+      break;
+    case ValueType::kTable: {
+      FB_ASSIGN_OR_RETURN(FTable table, FTable::Attach(cs, value.root()));
+      tree_root = table.rows().root();
+      leaf_type = ChunkType::kMapLeaf;
+      break;
+    }
+    default:
+      return Status::Unimplemented("stat for this value type");
+  }
+  PosTree tree(cs, leaf_type, tree_root, config);
+  FB_ASSIGN_OR_RETURN(stat.shape, tree.Shape());
+  stat.entries = stat.shape.entries;
+  return stat;
+}
+
+ForkBaseStats ForkBase::Stat() const {
+  ForkBaseStats stats;
+  stats.chunks = store_->stats();
+  auto keys = branch_table_.Keys();
+  stats.keys = keys.size();
+  for (const auto& key : keys) {
+    stats.branches += branch_table_.Branches(key).size();
+  }
+  stats.commits = commits_.load();
+  return stats;
+}
+
+}  // namespace forkbase

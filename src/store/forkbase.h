@@ -1,0 +1,242 @@
+// ForkBase — the public facade: Git-like version & branch management over an
+// extended key-value model (Fig. 1, "Data Access APIs").
+//
+// Every object is addressed by a key; a key has branches; each branch head
+// is the uid of an FNode whose bases chain is the branch history. All verbs
+// of the paper's API surface are here: Put, Get, Branch, Merge, Diff, Head,
+// Latest, Meta, Rename, List, Stat, Export (CSV via FTable), plus Verify for
+// tamper evidence.
+#ifndef FORKBASE_STORE_FORKBASE_H_
+#define FORKBASE_STORE_FORKBASE_H_
+
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "postree/diff.h"
+#include "postree/merge.h"
+#include "store/branch_table.h"
+#include "store/fnode.h"
+#include "types/blob.h"
+#include "types/list.h"
+#include "types/map.h"
+#include "types/set.h"
+#include "types/table.h"
+
+namespace forkbase {
+
+/// Commit metadata attached to Put/Merge.
+struct PutMeta {
+  std::string author = "anonymous";
+  std::string message;
+};
+
+/// Descriptive record of one version (the demo's Meta view, Fig. 6).
+struct VersionInfo {
+  Hash256 uid;
+  std::string key;
+  ValueType type = ValueType::kNull;
+  std::vector<Hash256> bases;
+  std::string author;
+  std::string message;
+  uint64_t logical_time = 0;
+
+  std::string uid_base32() const { return uid.ToBase32(); }
+};
+
+/// Typed result of ForkBase::Diff, populated by value type.
+struct ObjectDiff {
+  ValueType type = ValueType::kNull;
+  bool identical = false;
+  /// map/set diffs.
+  std::vector<KeyDelta> keyed;
+  /// table diffs.
+  std::vector<RowDelta> rows;
+  /// list/blob diff (nullopt = identical region-wise).
+  std::optional<SeqDelta> sequence;
+  /// primitive values on both sides (set when type is non-container).
+  Value left, right;
+  DiffMetrics metrics;
+};
+
+/// Aggregate storage statistics (the demo's Stat view).
+struct ForkBaseStats {
+  ChunkStoreStats chunks;
+  uint64_t keys = 0;
+  uint64_t branches = 0;
+  uint64_t commits = 0;  ///< FNodes written by this instance
+};
+
+class ForkBase {
+ public:
+  static constexpr const char* kDefaultBranch = "master";
+
+  /// @param store shared chunk storage (memory or file backed)
+  explicit ForkBase(std::shared_ptr<ChunkStore> store);
+
+  ChunkStore* store() { return store_.get(); }
+  const ChunkStore* store() const { return store_.get(); }
+  BranchTable& branches() { return branch_table_; }
+
+  // -- Writes ---------------------------------------------------------------
+
+  /// Commits `value` as the new head of (key, branch). The branch is created
+  /// on first Put. Returns the new version uid.
+  StatusOr<Hash256> Put(const std::string& key, const Value& value,
+                        const std::string& branch = kDefaultBranch,
+                        const PutMeta& meta = PutMeta{});
+
+  /// Convenience typed writers: build the object, then Put.
+  StatusOr<Hash256> PutBlob(const std::string& key, Slice bytes,
+                            const std::string& branch = kDefaultBranch,
+                            const PutMeta& meta = PutMeta{});
+  StatusOr<Hash256> PutMap(
+      const std::string& key,
+      std::vector<std::pair<std::string, std::string>> kvs,
+      const std::string& branch = kDefaultBranch,
+      const PutMeta& meta = PutMeta{});
+  StatusOr<Hash256> PutSet(const std::string& key,
+                           std::vector<std::string> members,
+                           const std::string& branch = kDefaultBranch,
+                           const PutMeta& meta = PutMeta{});
+  StatusOr<Hash256> PutList(const std::string& key,
+                            const std::vector<std::string>& elements,
+                            const std::string& branch = kDefaultBranch,
+                            const PutMeta& meta = PutMeta{});
+  /// Loads a CSV document as a table object (the demo's dataset load).
+  StatusOr<Hash256> PutTableFromCsv(const std::string& key,
+                                    const CsvDocument& doc,
+                                    size_t key_column = 0,
+                                    const std::string& branch = kDefaultBranch,
+                                    const PutMeta& meta = PutMeta{});
+
+  /// One-call functional updates: load the branch head, apply, commit.
+  /// The object must already exist with the matching type.
+  StatusOr<Hash256> UpdateMap(const std::string& key,
+                              std::vector<KeyedOp> ops,
+                              const std::string& branch = kDefaultBranch,
+                              const PutMeta& meta = PutMeta{});
+  StatusOr<Hash256> UpdateTableCell(const std::string& key, Slice row_key,
+                                    size_t column, const std::string& value,
+                                    const std::string& branch = kDefaultBranch,
+                                    const PutMeta& meta = PutMeta{});
+  StatusOr<Hash256> AppendBlob(const std::string& key, Slice bytes,
+                               const std::string& branch = kDefaultBranch,
+                               const PutMeta& meta = PutMeta{});
+  StatusOr<Hash256> AppendList(const std::string& key,
+                               const std::string& element,
+                               const std::string& branch = kDefaultBranch,
+                               const PutMeta& meta = PutMeta{});
+
+  // -- Reads ----------------------------------------------------------------
+
+  /// Value at the head of (key, branch).
+  StatusOr<Value> Get(const std::string& key,
+                      const std::string& branch = kDefaultBranch) const;
+  /// Value of an explicit version.
+  StatusOr<Value> GetVersion(const Hash256& uid) const;
+
+  /// Typed accessors over heads (object handles share the store).
+  StatusOr<FBlob> GetBlob(const std::string& key,
+                          const std::string& branch = kDefaultBranch) const;
+  StatusOr<FMap> GetMap(const std::string& key,
+                        const std::string& branch = kDefaultBranch) const;
+  StatusOr<FSet> GetSet(const std::string& key,
+                        const std::string& branch = kDefaultBranch) const;
+  StatusOr<FList> GetList(const std::string& key,
+                          const std::string& branch = kDefaultBranch) const;
+  StatusOr<FTable> GetTable(const std::string& key,
+                            const std::string& branch = kDefaultBranch) const;
+
+  /// Head uid of (key, branch).
+  StatusOr<Hash256> Head(const std::string& key,
+                         const std::string& branch = kDefaultBranch) const;
+  /// All branch heads of a key (the demo's Latest view).
+  StatusOr<std::vector<std::pair<std::string, Hash256>>> Latest(
+      const std::string& key) const;
+  /// True iff `uid` is the head of some branch of `key`.
+  bool IsBranchHead(const std::string& key, const Hash256& uid) const;
+
+  /// Version metadata (the demo's Meta view).
+  StatusOr<VersionInfo> Meta(const Hash256& uid) const;
+
+  /// First-parent history of (key, branch), newest first, up to `limit`.
+  StatusOr<std::vector<VersionInfo>> History(
+      const std::string& key, const std::string& branch = kDefaultBranch,
+      size_t limit = SIZE_MAX) const;
+
+  // -- Branch management ----------------------------------------------------
+
+  /// Creates `new_branch` at the head of `from_branch`.
+  Status Branch(const std::string& key, const std::string& new_branch,
+                const std::string& from_branch = kDefaultBranch);
+  /// Creates `new_branch` at an explicit version.
+  Status BranchFromVersion(const std::string& key,
+                           const std::string& new_branch, const Hash256& uid);
+  Status RenameBranch(const std::string& key, const std::string& from,
+                      const std::string& to);
+  Status DeleteBranch(const std::string& key, const std::string& branch);
+  StatusOr<std::vector<std::string>> ListBranches(const std::string& key) const;
+  std::vector<std::string> ListKeys() const;
+
+  // -- Diff & merge ---------------------------------------------------------
+
+  /// Differential query between two branch heads of the same key (Fig. 5).
+  StatusOr<ObjectDiff> Diff(const std::string& key,
+                            const std::string& branch_a,
+                            const std::string& branch_b) const;
+  /// Differential query between two explicit versions.
+  StatusOr<ObjectDiff> DiffVersions(const Hash256& uid_a,
+                                    const Hash256& uid_b) const;
+
+  /// Three-way merge of `src_branch` into `dst_branch` (Fig. 3): finds the
+  /// lowest common ancestor over the derivation DAG, merges the values, and
+  /// commits an FNode with both heads as bases. Fast-forwards when possible.
+  StatusOr<Hash256> Merge(const std::string& key,
+                          const std::string& dst_branch,
+                          const std::string& src_branch,
+                          MergePolicy policy = MergePolicy::kStrict,
+                          const PutMeta& meta = PutMeta{});
+
+  /// Lowest common ancestor of two versions (BFS over bases).
+  StatusOr<Hash256> CommonAncestor(const Hash256& a, const Hash256& b) const;
+
+  // -- Integrity ------------------------------------------------------------
+
+  /// Tamper-evidence check (§II-D): re-derives every hash covering the
+  /// version — the FNode chunk itself, the full value POS-Tree, and every
+  /// ancestor FNode chunk along the bases chain. Any byte the storage
+  /// provider altered yields kCorruption.
+  Status Verify(const Hash256& uid) const;
+
+  /// Storage + catalogue statistics.
+  ForkBaseStats Stat() const;
+
+  /// Per-object statistics (the demo's Stat verb): value type, logical
+  /// entry count and physical tree shape of a branch head.
+  struct ObjectStat {
+    ValueType type = ValueType::kNull;
+    uint64_t entries = 0;  ///< map/set/list entries, blob bytes, table rows
+    TreeShape shape;       ///< zeroed for primitives
+  };
+  StatusOr<ObjectStat> StatObject(
+      const std::string& key,
+      const std::string& branch = kDefaultBranch) const;
+
+ private:
+  StatusOr<Hash256> Commit(const std::string& key, const Value& value,
+                           std::vector<Hash256> bases,
+                           const std::string& branch, const PutMeta& meta);
+  Status VerifyValue(const Value& value) const;
+
+  std::shared_ptr<ChunkStore> store_;
+  BranchTable branch_table_;
+  std::atomic<uint64_t> clock_{0};
+  std::atomic<uint64_t> commits_{0};
+};
+
+}  // namespace forkbase
+
+#endif  // FORKBASE_STORE_FORKBASE_H_

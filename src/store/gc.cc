@@ -1,0 +1,108 @@
+#include "store/gc.h"
+
+#include <queue>
+
+#include "postree/node.h"
+
+namespace forkbase {
+
+namespace {
+
+// Pushes the chunk ids directly referenced by `chunk` onto the frontier.
+Status ExpandReferences(const Chunk& chunk, std::queue<Hash256>* frontier) {
+  switch (chunk.type()) {
+    case ChunkType::kMeta: {
+      std::vector<IndexEntry> children;
+      if (!ParseIndexEntries(chunk.payload(), &children)) {
+        return Status::Corruption("malformed index node during GC mark");
+      }
+      for (const auto& c : children) frontier->push(c.child);
+      return Status::OK();
+    }
+    case ChunkType::kFNode: {
+      FB_ASSIGN_OR_RETURN(FNode node, FNode::FromChunk(chunk));
+      for (const auto& base : node.bases) frontier->push(base);
+      if (node.value.is_container()) frontier->push(node.value.root());
+      return Status::OK();
+    }
+    case ChunkType::kTableMeta: {
+      // Last 32 payload bytes are the rows root (see FTable::WriteHeader).
+      Slice payload = chunk.payload();
+      if (payload.size() < 32) {
+        return Status::Corruption("malformed table header during GC mark");
+      }
+      Hash256 rows_root;
+      std::memcpy(rows_root.bytes.data(),
+                  payload.data() + payload.size() - 32, 32);
+      frontier->push(rows_root);
+      return Status::OK();
+    }
+    default:
+      return Status::OK();  // leaves and cells reference nothing
+  }
+}
+
+}  // namespace
+
+StatusOr<std::unordered_set<Hash256, Hash256Hasher>> MarkLive(
+    const ChunkStore& store, const std::vector<Hash256>& roots) {
+  std::unordered_set<Hash256, Hash256Hasher> live;
+  std::queue<Hash256> frontier;
+  for (const auto& root : roots) frontier.push(root);
+  while (!frontier.empty()) {
+    Hash256 id = frontier.front();
+    frontier.pop();
+    if (!live.insert(id).second) continue;
+    FB_ASSIGN_OR_RETURN(Chunk chunk, store.Get(id));
+    FB_RETURN_IF_ERROR(ExpandReferences(chunk, &frontier));
+  }
+  return live;
+}
+
+StatusOr<GcStats> CopyLive(const ForkBase& db, ChunkStore* dst) {
+  const ChunkStore& src = *db.store();
+  std::vector<Hash256> roots;
+  for (const auto& key : db.ListKeys()) {
+    auto heads = db.Latest(key);
+    if (!heads.ok()) return heads.status();
+    for (const auto& [branch, uid] : *heads) {
+      (void)branch;
+      roots.push_back(uid);
+    }
+  }
+  FB_ASSIGN_OR_RETURN(auto live, MarkLive(src, roots));
+
+  GcStats stats;
+  stats.roots = roots.size();
+  for (const auto& id : live) {
+    FB_ASSIGN_OR_RETURN(Chunk chunk, src.Get(id));
+    FB_RETURN_IF_ERROR(dst->Put(chunk));
+    ++stats.live_chunks;
+    stats.live_bytes += chunk.size();
+  }
+  src.ForEach([&stats](const Hash256&, const Chunk& chunk) {
+    ++stats.total_chunks;
+    stats.total_bytes += chunk.size();
+  });
+  return stats;
+}
+
+StatusOr<std::vector<Hash256>> FindGarbage(const ForkBase& db) {
+  std::vector<Hash256> roots;
+  for (const auto& key : db.ListKeys()) {
+    auto heads = db.Latest(key);
+    if (!heads.ok()) return heads.status();
+    for (const auto& [branch, uid] : *heads) {
+      (void)branch;
+      roots.push_back(uid);
+    }
+  }
+  FB_ASSIGN_OR_RETURN(auto live, MarkLive(*db.store(), roots));
+  std::vector<Hash256> garbage;
+  db.store()->ForEach([&](const Hash256& id, const Chunk&) {
+    if (!live.count(id)) garbage.push_back(id);
+  });
+  return garbage;
+}
+
+}  // namespace forkbase

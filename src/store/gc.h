@@ -1,0 +1,48 @@
+// Garbage collection for the content-addressed chunk space.
+//
+// ForkBase never mutates or deletes chunks in the hot path — immutability is
+// the source of its guarantees — but deleted branches and abandoned objects
+// eventually leave unreachable chunks behind. The collector computes the set
+// of chunks reachable from a set of roots (typically every branch head,
+// including full derivation history) and copy-collects the live set into a
+// destination store. Copy collection composes with every ChunkStore backend
+// (memory, file, cached) without a delete API and is trivially crash-safe:
+// the source is read-only throughout.
+#ifndef FORKBASE_STORE_GC_H_
+#define FORKBASE_STORE_GC_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "store/forkbase.h"
+
+namespace forkbase {
+
+/// Live-set and sweep accounting.
+struct GcStats {
+  uint64_t roots = 0;
+  uint64_t live_chunks = 0;
+  uint64_t live_bytes = 0;
+  uint64_t total_chunks = 0;   ///< chunks in the source store
+  uint64_t total_bytes = 0;
+  uint64_t garbage_chunks() const { return total_chunks - live_chunks; }
+  uint64_t garbage_bytes() const { return total_bytes - live_bytes; }
+};
+
+/// Computes every chunk reachable from `roots` in `store`: FNodes pull in
+/// their bases (history) and their value trees; trees pull in all pages;
+/// tables pull in header + row tree. Unknown root ids are an error.
+StatusOr<std::unordered_set<Hash256, Hash256Hasher>> MarkLive(
+    const ChunkStore& store, const std::vector<Hash256>& roots);
+
+/// Marks from all branch heads of `db` (with full history) and copies the
+/// live set into `dst`. Returns accounting for both sides. `dst` may be
+/// non-empty; Put is idempotent.
+StatusOr<GcStats> CopyLive(const ForkBase& db, ChunkStore* dst);
+
+/// Lists the garbage (unreachable) chunk ids of `db`'s store.
+StatusOr<std::vector<Hash256>> FindGarbage(const ForkBase& db);
+
+}  // namespace forkbase
+
+#endif  // FORKBASE_STORE_GC_H_

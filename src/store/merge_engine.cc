@@ -1,0 +1,95 @@
+#include "store/merge_engine.h"
+
+#include "types/blob.h"
+#include "types/list.h"
+#include "types/map.h"
+#include "types/set.h"
+#include "types/table.h"
+
+namespace forkbase {
+
+StatusOr<Value> MergeValues(ChunkStore* store, const Value& base,
+                            const Value& left, const Value& right,
+                            MergePolicy policy, DiffMetrics* metrics) {
+  // Trivial resolutions first: one side unchanged (or both equal).
+  if (left == right) return left;
+  if (left == base) return right;
+  if (right == base) return left;
+
+  if (left.type() != right.type()) {
+    switch (policy) {
+      case MergePolicy::kStrict:
+        return Status::MergeConflict("value types diverged: " +
+                                     std::string(ValueTypeToString(left.type())) +
+                                     " vs " + ValueTypeToString(right.type()));
+      case MergePolicy::kPreferLeft:
+        return left;
+      case MergePolicy::kPreferRight:
+        return right;
+    }
+  }
+  if (!left.is_container() || base.type() != left.type()) {
+    // Primitive double-edit, or the type itself changed on both sides:
+    // there is no sub-structure to reconcile.
+    switch (policy) {
+      case MergePolicy::kStrict:
+        return Status::MergeConflict("both branches modified a " +
+                                     std::string(ValueTypeToString(left.type())) +
+                                     " value");
+      case MergePolicy::kPreferLeft:
+        return left;
+      case MergePolicy::kPreferRight:
+        return right;
+    }
+  }
+
+  switch (left.type()) {
+    case ValueType::kMap: {
+      PosTree tb(store, ChunkType::kMapLeaf, base.root());
+      PosTree tl(store, ChunkType::kMapLeaf, left.root());
+      PosTree tr(store, ChunkType::kMapLeaf, right.root());
+      FB_ASSIGN_OR_RETURN(TreeMergeResult r,
+                          MergeKeyed(tb, tl, tr, policy, metrics));
+      return Value::OfMap(r.merged.root);
+    }
+    case ValueType::kSet: {
+      PosTree tb(store, ChunkType::kSetLeaf, base.root());
+      PosTree tl(store, ChunkType::kSetLeaf, left.root());
+      PosTree tr(store, ChunkType::kSetLeaf, right.root());
+      FB_ASSIGN_OR_RETURN(TreeMergeResult r,
+                          MergeKeyed(tb, tl, tr, policy, metrics));
+      return Value::OfSet(r.merged.root);
+    }
+    case ValueType::kList: {
+      PosTree tb(store, ChunkType::kListLeaf, base.root());
+      PosTree tl(store, ChunkType::kListLeaf, left.root());
+      PosTree tr(store, ChunkType::kListLeaf, right.root());
+      FB_ASSIGN_OR_RETURN(TreeMergeResult r,
+                          MergeSequence(tb, tl, tr, policy, metrics));
+      return Value::OfList(r.merged.root);
+    }
+    case ValueType::kBlob: {
+      PosTree tb(store, ChunkType::kBlobLeaf, base.root(),
+                 TreeConfig::ForBlob());
+      PosTree tl(store, ChunkType::kBlobLeaf, left.root(),
+                 TreeConfig::ForBlob());
+      PosTree tr(store, ChunkType::kBlobLeaf, right.root(),
+                 TreeConfig::ForBlob());
+      FB_ASSIGN_OR_RETURN(TreeMergeResult r,
+                          MergeSequence(tb, tl, tr, policy, metrics));
+      return Value::OfBlob(r.merged.root);
+    }
+    case ValueType::kTable: {
+      FB_ASSIGN_OR_RETURN(FTable tb, FTable::Attach(store, base.root()));
+      FB_ASSIGN_OR_RETURN(FTable tl, FTable::Attach(store, left.root()));
+      FB_ASSIGN_OR_RETURN(FTable tr, FTable::Attach(store, right.root()));
+      FB_ASSIGN_OR_RETURN(FTable merged,
+                          FTable::Merge3(tb, tl, tr, policy, metrics));
+      return Value::OfTable(merged.id());
+    }
+    default:
+      return Status::Unimplemented("merge for this value type");
+  }
+}
+
+}  // namespace forkbase

@@ -1,0 +1,24 @@
+// Type-dispatched three-way merge of Values (drives ForkBase::Merge).
+#ifndef FORKBASE_STORE_MERGE_ENGINE_H_
+#define FORKBASE_STORE_MERGE_ENGINE_H_
+
+#include "postree/merge.h"
+#include "types/value.h"
+
+namespace forkbase {
+
+/// Merges `left` and `right` against common ancestor `base`:
+///  * primitives: unchanged sides yield the other side; two different edits
+///    conflict (resolved per policy);
+///  * map/set: per-key three-way merge (MergeKeyed);
+///  * list/blob: region-splice merge (MergeSequence);
+///  * table: per-row merge refined per column (FTable::Merge3).
+/// All inputs must have the same ValueType unless one side equals base.
+StatusOr<Value> MergeValues(ChunkStore* store, const Value& base,
+                            const Value& left, const Value& right,
+                            MergePolicy policy = MergePolicy::kStrict,
+                            DiffMetrics* metrics = nullptr);
+
+}  // namespace forkbase
+
+#endif  // FORKBASE_STORE_MERGE_ENGINE_H_

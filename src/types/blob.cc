@@ -1,0 +1,44 @@
+#include "types/blob.h"
+
+namespace forkbase {
+
+StatusOr<FBlob> FBlob::Create(ChunkStore* store, Slice bytes) {
+  FB_ASSIGN_OR_RETURN(TreeInfo info, PosTree::BuildBlob(store, bytes));
+  return FBlob(PosTree(store, ChunkType::kBlobLeaf, info.root,
+                       TreeConfig::ForBlob()));
+}
+
+FBlob FBlob::Attach(const ChunkStore* store, const Hash256& root) {
+  return FBlob(PosTree(store, ChunkType::kBlobLeaf, root,
+                       TreeConfig::ForBlob()));
+}
+
+StatusOr<std::string> FBlob::Read(uint64_t offset, uint64_t len) const {
+  std::string out;
+  FB_RETURN_IF_ERROR(tree_.ReadBytes(offset, len, &out));
+  return out;
+}
+
+StatusOr<std::string> FBlob::ReadAll() const {
+  FB_ASSIGN_OR_RETURN(uint64_t size, Size());
+  return Read(0, size);
+}
+
+StatusOr<FBlob> FBlob::Splice(uint64_t offset, uint64_t remove,
+                              Slice insert) const {
+  FB_ASSIGN_OR_RETURN(TreeInfo info, tree_.SpliceBytes(offset, remove, insert));
+  return FBlob(PosTree(tree_.store(), ChunkType::kBlobLeaf, info.root,
+                       TreeConfig::ForBlob()));
+}
+
+StatusOr<FBlob> FBlob::Append(Slice bytes) const {
+  FB_ASSIGN_OR_RETURN(uint64_t size, Size());
+  return Splice(size, 0, bytes);
+}
+
+StatusOr<std::optional<SeqDelta>> FBlob::Diff(const FBlob& other,
+                                              DiffMetrics* metrics) const {
+  return DiffSequence(tree_, other.tree_, metrics);
+}
+
+}  // namespace forkbase

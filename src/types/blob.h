@@ -1,0 +1,46 @@
+// FBlob — an immutable byte-sequence object backed by a blob POS-Tree.
+#ifndef FORKBASE_TYPES_BLOB_H_
+#define FORKBASE_TYPES_BLOB_H_
+
+#include <string>
+
+#include "postree/diff.h"
+#include "postree/merge.h"
+#include "postree/tree.h"
+
+namespace forkbase {
+
+class FBlob {
+ public:
+  /// Builds a new blob from raw bytes.
+  static StatusOr<FBlob> Create(ChunkStore* store, Slice bytes);
+  /// Wraps an existing blob root.
+  static FBlob Attach(const ChunkStore* store, const Hash256& root);
+
+  const Hash256& root() const { return tree_.root(); }
+  const PosTree& tree() const { return tree_; }
+
+  StatusOr<uint64_t> Size() const { return tree_.Count(); }
+  /// Reads `len` bytes at `offset` (clamped to the blob end).
+  StatusOr<std::string> Read(uint64_t offset, uint64_t len) const;
+  /// Materializes the whole blob.
+  StatusOr<std::string> ReadAll() const;
+
+  /// Functional splice: replaces `remove` bytes at `offset` with `insert`.
+  StatusOr<FBlob> Splice(uint64_t offset, uint64_t remove, Slice insert) const;
+  StatusOr<FBlob> Append(Slice bytes) const;
+
+  /// Chunk-pruned positional diff (nullopt = identical).
+  StatusOr<std::optional<SeqDelta>> Diff(const FBlob& other,
+                                         DiffMetrics* metrics = nullptr) const;
+
+  Status Validate() const { return tree_.Validate(); }
+
+ private:
+  explicit FBlob(PosTree tree) : tree_(std::move(tree)) {}
+  PosTree tree_;
+};
+
+}  // namespace forkbase
+
+#endif  // FORKBASE_TYPES_BLOB_H_

@@ -1,0 +1,54 @@
+// FSet — an immutable ordered set of strings.
+#ifndef FORKBASE_TYPES_SET_H_
+#define FORKBASE_TYPES_SET_H_
+
+#include <string>
+#include <vector>
+
+#include "postree/diff.h"
+#include "postree/merge.h"
+#include "postree/tree.h"
+
+namespace forkbase {
+
+class FSet {
+ public:
+  static StatusOr<FSet> Create(ChunkStore* store,
+                               std::vector<std::string> members);
+  static FSet Attach(const ChunkStore* store, const Hash256& root);
+
+  const Hash256& root() const { return tree_.root(); }
+  const PosTree& tree() const { return tree_; }
+
+  StatusOr<uint64_t> Size() const { return tree_.Count(); }
+  StatusOr<bool> Contains(Slice member) const;
+  StatusOr<std::vector<std::string>> Members() const;
+
+  StatusOr<FSet> Insert(const std::string& member) const;
+  StatusOr<FSet> Erase(const std::string& member) const;
+  StatusOr<FSet> Apply(std::vector<KeyedOp> ops) const;
+
+  StatusOr<std::vector<KeyDelta>> Diff(const FSet& other,
+                                       DiffMetrics* metrics = nullptr) const;
+
+  /// Set algebra (bulk, functional). Results share chunks with the inputs
+  /// wherever runs of members coincide.
+  StatusOr<FSet> Union(const FSet& other) const;
+  StatusOr<FSet> Intersect(const FSet& other) const;
+  StatusOr<FSet> Subtract(const FSet& other) const;
+
+  static StatusOr<TreeMergeResult> Merge3(
+      const FSet& base, const FSet& left, const FSet& right,
+      MergePolicy policy = MergePolicy::kStrict,
+      DiffMetrics* metrics = nullptr);
+
+  Status Validate() const { return tree_.Validate(); }
+
+ private:
+  explicit FSet(PosTree tree) : tree_(std::move(tree)) {}
+  PosTree tree_;
+};
+
+}  // namespace forkbase
+
+#endif  // FORKBASE_TYPES_SET_H_

@@ -1,0 +1,214 @@
+#include "types/value.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace forkbase {
+
+const char* ValueTypeToString(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kBool:
+      return "bool";
+    case ValueType::kInt:
+      return "int";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+    case ValueType::kBlob:
+      return "blob";
+    case ValueType::kList:
+      return "list";
+    case ValueType::kMap:
+      return "map";
+    case ValueType::kSet:
+      return "set";
+    case ValueType::kTable:
+      return "table";
+  }
+  return "unknown";
+}
+
+bool IsContainerType(ValueType t) {
+  return t == ValueType::kBlob || t == ValueType::kList ||
+         t == ValueType::kMap || t == ValueType::kSet ||
+         t == ValueType::kTable;
+}
+
+Value Value::Bool(bool v) {
+  Value value;
+  value.type_ = ValueType::kBool;
+  value.int_ = v ? 1 : 0;
+  return value;
+}
+
+Value Value::Int(int64_t v) {
+  Value value;
+  value.type_ = ValueType::kInt;
+  value.int_ = v;
+  return value;
+}
+
+Value Value::Double(double v) {
+  Value value;
+  value.type_ = ValueType::kDouble;
+  value.double_ = v;
+  return value;
+}
+
+Value Value::String(std::string v) {
+  Value value;
+  value.type_ = ValueType::kString;
+  value.str_ = std::move(v);
+  return value;
+}
+
+Value Value::OfBlob(const Hash256& root) {
+  Value value;
+  value.type_ = ValueType::kBlob;
+  value.root_ = root;
+  return value;
+}
+
+Value Value::OfList(const Hash256& root) {
+  Value value;
+  value.type_ = ValueType::kList;
+  value.root_ = root;
+  return value;
+}
+
+Value Value::OfMap(const Hash256& root) {
+  Value value;
+  value.type_ = ValueType::kMap;
+  value.root_ = root;
+  return value;
+}
+
+Value Value::OfSet(const Hash256& root) {
+  Value value;
+  value.type_ = ValueType::kSet;
+  value.root_ = root;
+  return value;
+}
+
+Value Value::OfTable(const Hash256& header) {
+  Value value;
+  value.type_ = ValueType::kTable;
+  value.root_ = header;
+  return value;
+}
+
+void Value::Encode(std::string* dst) const {
+  dst->push_back(static_cast<char>(type_));
+  switch (type_) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kBool:
+      dst->push_back(int_ ? 1 : 0);
+      break;
+    case ValueType::kInt:
+      PutFixed64(dst, static_cast<uint64_t>(int_));
+      break;
+    case ValueType::kDouble: {
+      uint64_t bits;
+      std::memcpy(&bits, &double_, sizeof(bits));
+      PutFixed64(dst, bits);
+      break;
+    }
+    case ValueType::kString:
+      PutLengthPrefixed(dst, str_);
+      break;
+    default:
+      dst->append(reinterpret_cast<const char*>(root_.bytes.data()), 32);
+      break;
+  }
+}
+
+StatusOr<Value> Value::Decode(Decoder* dec) {
+  Slice tag;
+  if (!dec->GetRaw(1, &tag)) {
+    return Status::Corruption("value: missing type tag");
+  }
+  ValueType type = static_cast<ValueType>(tag.byte(0));
+  Value value;
+  value.type_ = type;
+  switch (type) {
+    case ValueType::kNull:
+      return value;
+    case ValueType::kBool: {
+      Slice b;
+      if (!dec->GetRaw(1, &b)) return Status::Corruption("value: bool");
+      value.int_ = b.byte(0) != 0;
+      return value;
+    }
+    case ValueType::kInt: {
+      uint64_t v;
+      if (!dec->GetFixed64(&v)) return Status::Corruption("value: int");
+      value.int_ = static_cast<int64_t>(v);
+      return value;
+    }
+    case ValueType::kDouble: {
+      uint64_t bits;
+      if (!dec->GetFixed64(&bits)) return Status::Corruption("value: double");
+      std::memcpy(&value.double_, &bits, sizeof(bits));
+      return value;
+    }
+    case ValueType::kString: {
+      Slice s;
+      if (!dec->GetLengthPrefixed(&s)) {
+        return Status::Corruption("value: string");
+      }
+      value.str_ = s.ToString();
+      return value;
+    }
+    case ValueType::kBlob:
+    case ValueType::kList:
+    case ValueType::kMap:
+    case ValueType::kSet:
+    case ValueType::kTable: {
+      Slice h;
+      if (!dec->GetRaw(32, &h)) return Status::Corruption("value: root");
+      std::memcpy(value.root_.bytes.data(), h.data(), 32);
+      return value;
+    }
+  }
+  return Status::Corruption("value: unknown type tag");
+}
+
+std::string Value::ToString() const {
+  switch (type_) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kBool:
+      return int_ ? "true" : "false";
+    case ValueType::kInt:
+      return std::to_string(int_);
+    case ValueType::kDouble:
+      return std::to_string(double_);
+    case ValueType::kString:
+      return str_;
+    default:
+      return std::string(ValueTypeToString(type_)) + "@" + root_.ToBase32();
+  }
+}
+
+bool Value::operator==(const Value& o) const {
+  if (type_ != o.type_) return false;
+  switch (type_) {
+    case ValueType::kNull:
+      return true;
+    case ValueType::kBool:
+    case ValueType::kInt:
+      return int_ == o.int_;
+    case ValueType::kDouble:
+      return double_ == o.double_;
+    case ValueType::kString:
+      return str_ == o.str_;
+    default:
+      return root_ == o.root_;
+  }
+}
+
+}  // namespace forkbase

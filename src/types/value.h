@@ -1,0 +1,83 @@
+// Value — the typed payload of an FNode (§II: "each object is identified by
+// a key, and contains a value of a specific type").
+//
+// Primitives (null/bool/int/double/string) are stored inline in the FNode;
+// container values (blob/list/map/set/table) hold the root chunk id of their
+// POS-Tree (tables: their header chunk), which is how the FNode uid comes to
+// cover the entire object content via the Merkle property.
+#ifndef FORKBASE_TYPES_VALUE_H_
+#define FORKBASE_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/codec.h"
+#include "util/sha256.h"
+#include "util/status.h"
+
+namespace forkbase {
+
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kBool = 1,
+  kInt = 2,
+  kDouble = 3,
+  kString = 4,
+  kBlob = 5,
+  kList = 6,
+  kMap = 7,
+  kSet = 8,
+  kTable = 9,
+};
+
+const char* ValueTypeToString(ValueType t);
+bool IsContainerType(ValueType t);
+
+/// Immutable tagged value. Cheap to copy.
+class Value {
+ public:
+  Value() : type_(ValueType::kNull) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool v);
+  static Value Int(int64_t v);
+  static Value Double(double v);
+  static Value String(std::string v);
+  /// Container constructors: `root` is the POS-Tree root (table: header id).
+  static Value OfBlob(const Hash256& root);
+  static Value OfList(const Hash256& root);
+  static Value OfMap(const Hash256& root);
+  static Value OfSet(const Hash256& root);
+  static Value OfTable(const Hash256& header);
+
+  ValueType type() const { return type_; }
+  bool is_container() const { return IsContainerType(type_); }
+
+  bool bool_value() const { return int_ != 0; }
+  int64_t int_value() const { return int_; }
+  double double_value() const { return double_; }
+  const std::string& string_value() const { return str_; }
+  /// Root chunk id for container values.
+  const Hash256& root() const { return root_; }
+
+  /// Canonical binary encoding (embedded in FNodes).
+  void Encode(std::string* dst) const;
+  static StatusOr<Value> Decode(Decoder* dec);
+
+  /// Human-readable rendering (CLI / examples).
+  std::string ToString() const;
+
+  bool operator==(const Value& o) const;
+  bool operator!=(const Value& o) const { return !(*this == o); }
+
+ private:
+  ValueType type_;
+  int64_t int_ = 0;
+  double double_ = 0;
+  std::string str_;
+  Hash256 root_;
+};
+
+}  // namespace forkbase
+
+#endif  // FORKBASE_TYPES_VALUE_H_

@@ -1,0 +1,59 @@
+#include "util/base32.h"
+
+#include <cstdint>
+
+namespace forkbase {
+
+namespace {
+constexpr char kAlphabet[] = "ABCDEFGHIJKLMNOPQRSTUVWXYZ234567";
+
+// -1 for invalid characters; indexed by ASCII code.
+int DecodeChar(char c) {
+  if (c >= 'A' && c <= 'Z') return c - 'A';
+  if (c >= 'a' && c <= 'z') return c - 'a';
+  if (c >= '2' && c <= '7') return c - '2' + 26;
+  return -1;
+}
+}  // namespace
+
+std::string Base32Encode(Slice data) {
+  std::string out;
+  out.reserve((data.size() * 8 + 4) / 5);
+  uint32_t acc = 0;
+  int bits = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    acc = (acc << 8) | data.byte(i);
+    bits += 8;
+    while (bits >= 5) {
+      bits -= 5;
+      out.push_back(kAlphabet[(acc >> bits) & 0x1f]);
+    }
+  }
+  if (bits > 0) {
+    out.push_back(kAlphabet[(acc << (5 - bits)) & 0x1f]);
+  }
+  return out;
+}
+
+bool Base32Decode(Slice text, std::string* out) {
+  out->clear();
+  uint32_t acc = 0;
+  int bits = 0;
+  size_t end = text.size();
+  while (end > 0 && text[end - 1] == '=') --end;  // tolerate padding
+  for (size_t i = 0; i < end; ++i) {
+    int v = DecodeChar(text[i]);
+    if (v < 0) return false;
+    acc = (acc << 5) | static_cast<uint32_t>(v);
+    bits += 5;
+    if (bits >= 8) {
+      bits -= 8;
+      out->push_back(static_cast<char>((acc >> bits) & 0xff));
+    }
+  }
+  // Leftover bits must be zero for a canonical encoding.
+  if (bits > 0 && (acc & ((1u << bits) - 1)) != 0) return false;
+  return true;
+}
+
+}  // namespace forkbase

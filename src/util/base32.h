@@ -1,0 +1,21 @@
+// RFC 4648 Base32 encoding — the rendering the paper uses for version uids
+// (§III-C: "encoded using the RFC 4648 Base32 alphabet").
+#ifndef FORKBASE_UTIL_BASE32_H_
+#define FORKBASE_UTIL_BASE32_H_
+
+#include <string>
+
+#include "util/slice.h"
+
+namespace forkbase {
+
+/// Encodes bytes with the RFC 4648 alphabet (A-Z, 2-7), without '=' padding.
+std::string Base32Encode(Slice data);
+
+/// Decodes Base32Encode output (padding optional, case-insensitive).
+/// Returns false on characters outside the alphabet or impossible lengths.
+bool Base32Decode(Slice text, std::string* out);
+
+}  // namespace forkbase
+
+#endif  // FORKBASE_UTIL_BASE32_H_

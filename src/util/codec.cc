@@ -1,0 +1,89 @@
+#include "util/codec.h"
+
+namespace forkbase {
+
+void PutFixed32(std::string* dst, uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  dst->append(buf, 4);
+}
+
+void PutFixed64(std::string* dst, uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  dst->append(buf, 8);
+}
+
+void PutVarint64(std::string* dst, uint64_t v) {
+  while (v >= 0x80) {
+    dst->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  dst->push_back(static_cast<char>(v));
+}
+
+void PutLengthPrefixed(std::string* dst, Slice s) {
+  PutVarint64(dst, s.size());
+  dst->append(s.data(), s.size());
+}
+
+size_t VarintLength(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+bool Decoder::GetFixed32(uint32_t* v) {
+  if (remaining() < 4) return false;
+  uint32_t r = 0;
+  for (int i = 0; i < 4; ++i) {
+    r |= static_cast<uint32_t>(in_.byte(pos_ + i)) << (8 * i);
+  }
+  pos_ += 4;
+  *v = r;
+  return true;
+}
+
+bool Decoder::GetFixed64(uint64_t* v) {
+  if (remaining() < 8) return false;
+  uint64_t r = 0;
+  for (int i = 0; i < 8; ++i) {
+    r |= static_cast<uint64_t>(in_.byte(pos_ + i)) << (8 * i);
+  }
+  pos_ += 8;
+  *v = r;
+  return true;
+}
+
+bool Decoder::GetVarint64(uint64_t* v) {
+  uint64_t r = 0;
+  int shift = 0;
+  while (pos_ < in_.size() && shift <= 63) {
+    uint8_t b = in_.byte(pos_++);
+    r |= static_cast<uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) {
+      *v = r;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+bool Decoder::GetLengthPrefixed(Slice* s) {
+  uint64_t len;
+  if (!GetVarint64(&len)) return false;
+  return GetRaw(static_cast<size_t>(len), s);
+}
+
+bool Decoder::GetRaw(size_t n, Slice* s) {
+  if (remaining() < n) return false;
+  *s = in_.substr(pos_, n);
+  pos_ += n;
+  return true;
+}
+
+}  // namespace forkbase

@@ -1,0 +1,133 @@
+#include "util/csv.h"
+
+namespace forkbase {
+
+StatusOr<CsvDocument> ParseCsv(Slice text) {
+  CsvDocument doc;
+  std::vector<std::string> record;
+  std::string cell;
+  bool in_quotes = false;
+  bool cell_started = false;
+  bool record_started = false;
+
+  auto end_cell = [&]() {
+    record.push_back(std::move(cell));
+    cell.clear();
+    cell_started = false;
+  };
+  auto end_record = [&]() {
+    end_cell();
+    if (doc.header.empty() && doc.rows.empty() && !record_started) {
+      // skip: only happens for fully empty input
+    }
+    if (doc.header.empty()) {
+      doc.header = std::move(record);
+    } else {
+      doc.rows.push_back(std::move(record));
+    }
+    record.clear();
+    record_started = false;
+  };
+
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < n && text[i + 1] == '"') {
+          cell.push_back('"');
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      cell.push_back(c);
+      ++i;
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (!cell_started && cell.empty()) {
+          in_quotes = true;
+          cell_started = true;
+          record_started = true;
+        } else {
+          cell.push_back(c);  // stray quote mid-cell: keep literally
+        }
+        ++i;
+        break;
+      case ',':
+        record_started = true;
+        end_cell();
+        ++i;
+        break;
+      case '\r':
+        ++i;
+        break;
+      case '\n':
+        if (record_started || !cell.empty() || !record.empty()) {
+          end_record();
+        }
+        ++i;
+        break;
+      default:
+        cell.push_back(c);
+        cell_started = true;
+        record_started = true;
+        ++i;
+        break;
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("CSV ends inside a quoted cell");
+  }
+  if (record_started || !cell.empty() || !record.empty()) {
+    end_record();
+  }
+  if (doc.header.empty()) {
+    return Status::InvalidArgument("CSV has no header record");
+  }
+  for (const auto& r : doc.rows) {
+    if (r.size() != doc.header.size()) {
+      return Status::InvalidArgument("CSV row width differs from header");
+    }
+  }
+  return doc;
+}
+
+std::string CsvQuote(const std::string& cell) {
+  bool needs = false;
+  for (char c : cell) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+      needs = true;
+      break;
+    }
+  }
+  if (!needs) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string WriteCsv(const CsvDocument& doc) {
+  std::string out;
+  auto write_record = [&out](const std::vector<std::string>& rec) {
+    for (size_t i = 0; i < rec.size(); ++i) {
+      if (i) out.push_back(',');
+      out += CsvQuote(rec[i]);
+    }
+    out.push_back('\n');
+  };
+  write_record(doc.header);
+  for (const auto& r : doc.rows) write_record(r);
+  return out;
+}
+
+}  // namespace forkbase

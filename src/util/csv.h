@@ -1,0 +1,32 @@
+// Minimal RFC 4180-style CSV reader/writer used by the table type, the CLI
+// and the Fig. 4 dataset workload.
+#ifndef FORKBASE_UTIL_CSV_H_
+#define FORKBASE_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace forkbase {
+
+/// One parsed CSV document: a header row plus data rows (all cells strings).
+struct CsvDocument {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// Parses CSV text. Supports quoted cells with embedded commas/newlines and
+/// doubled-quote escapes. The first record is the header.
+StatusOr<CsvDocument> ParseCsv(Slice text);
+
+/// Serializes a document back to CSV text (quoting only when needed).
+std::string WriteCsv(const CsvDocument& doc);
+
+/// Quotes a single cell if it contains a comma, quote or newline.
+std::string CsvQuote(const std::string& cell);
+
+}  // namespace forkbase
+
+#endif  // FORKBASE_UTIL_CSV_H_

@@ -1,0 +1,95 @@
+#include "util/datagen.h"
+
+#include <cstdio>
+
+#include "util/random.h"
+
+namespace forkbase {
+
+namespace {
+
+const char* kDictionary[] = {
+    "analytics",  "pipeline",  "vendor",   "storage",   "ledger",
+    "dataset",    "version",   "branch",   "commit",    "merge",
+    "collaborate", "immutable", "tamper",   "evident",   "chunk",
+    "pattern",    "oriented",  "split",    "tree",      "merkle",
+    "provenance", "replica",   "quorum",   "schema",    "column",
+    "record",     "tenant",    "access",   "control",   "export"};
+constexpr size_t kDictSize = sizeof(kDictionary) / sizeof(kDictionary[0]);
+
+std::string MakeCell(Rng* rng, size_t words) {
+  std::string cell;
+  for (size_t w = 0; w < words; ++w) {
+    if (w) cell.push_back(' ');
+    cell += kDictionary[rng->Uniform(kDictSize)];
+  }
+  return cell;
+}
+
+std::string RowId(size_t i) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "r%08zu", i);
+  return buf;
+}
+
+}  // namespace
+
+CsvDocument GenerateCsv(const CsvGenOptions& opts) {
+  Rng rng(opts.seed);
+  CsvDocument doc;
+  doc.header.push_back("id");
+  for (size_t c = 0; c < opts.num_columns; ++c) {
+    doc.header.push_back("c" + std::to_string(c));
+  }
+  size_t approx_bytes = 0;
+  for (const auto& h : doc.header) approx_bytes += h.size() + 1;
+
+  size_t row_index = 0;
+  auto want_more = [&]() {
+    if (opts.target_bytes > 0) return approx_bytes < opts.target_bytes;
+    return row_index < opts.num_rows;
+  };
+  while (want_more()) {
+    std::vector<std::string> row;
+    row.push_back(RowId(row_index));
+    approx_bytes += row.back().size() + 1;
+    for (size_t c = 0; c < opts.num_columns; ++c) {
+      row.push_back(MakeCell(&rng, opts.words_per_cell));
+      approx_bytes += row.back().size() + 1;
+    }
+    doc.rows.push_back(std::move(row));
+    ++row_index;
+  }
+  return doc;
+}
+
+CsvDocument EditOneWord(const CsvDocument& base, size_t row, size_t col,
+                        const std::string& new_word) {
+  CsvDocument out = base;
+  if (row >= out.rows.size() || col >= out.header.size()) return out;
+  std::string& cell = out.rows[row][col];
+  // Replace the first word of the cell.
+  size_t sp = cell.find(' ');
+  if (sp == std::string::npos) {
+    cell = new_word;
+  } else {
+    cell = new_word + cell.substr(sp);
+  }
+  return out;
+}
+
+CsvDocument EditCells(const CsvDocument& base, size_t n, uint64_t seed) {
+  CsvDocument out = base;
+  if (out.rows.empty()) return out;
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    size_t r = rng.Uniform(out.rows.size());
+    size_t c = 1 + rng.Uniform(out.header.size() - 1);  // never the id column
+    out.rows[r][c] = "edited" + std::to_string(rng.Uniform(100000));
+  }
+  return out;
+}
+
+size_t CsvBytes(const CsvDocument& doc) { return WriteCsv(doc).size(); }
+
+}  // namespace forkbase

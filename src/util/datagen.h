@@ -1,0 +1,45 @@
+// Deterministic synthetic dataset generation.
+//
+// The ICDE'20 demo loads two proprietary CSV datasets (~338 KB) differing by
+// one word (Fig. 4). We substitute a deterministic generator that produces a
+// CSV of a target size from a word dictionary, plus edit helpers that apply
+// the same fine-grained modifications the demo narrates. See DESIGN.md §5.
+#ifndef FORKBASE_UTIL_DATAGEN_H_
+#define FORKBASE_UTIL_DATAGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/csv.h"
+
+namespace forkbase {
+
+/// Parameters for the synthetic CSV dataset.
+struct CsvGenOptions {
+  uint64_t seed = 7;
+  size_t num_columns = 6;        ///< data columns in addition to the id key
+  size_t target_bytes = 0;       ///< if non-zero, rows are added until ~size
+  size_t num_rows = 1000;        ///< used when target_bytes == 0
+  size_t words_per_cell = 3;     ///< prose-like cells built from a dictionary
+};
+
+/// Generates a CSV document: header "id,c0,..,cK", key column "id" holds
+/// zero-padded row numbers (stable primary keys), cells hold dictionary
+/// words. Deterministic in (seed, options).
+CsvDocument GenerateCsv(const CsvGenOptions& opts);
+
+/// Replaces a single word in one cell of one row — the Fig. 4 "single-word
+/// difference" edit. Returns the edited copy.
+CsvDocument EditOneWord(const CsvDocument& base, size_t row, size_t col,
+                        const std::string& new_word);
+
+/// Applies `n` single-cell edits at deterministic positions (for sweeps).
+CsvDocument EditCells(const CsvDocument& base, size_t n, uint64_t seed);
+
+/// Serialized size of the document in bytes, as written to CSV.
+size_t CsvBytes(const CsvDocument& doc);
+
+}  // namespace forkbase
+
+#endif  // FORKBASE_UTIL_DATAGEN_H_

@@ -1,0 +1,59 @@
+// Deterministic PRNG for tests, benches and workload generation.
+//
+// std::mt19937_64 output is standardized, but distribution adapters are not;
+// this PRNG plus the helpers below give bit-identical workloads on every
+// platform, which EXPERIMENTS.md relies on.
+#ifndef FORKBASE_UTIL_RANDOM_H_
+#define FORKBASE_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace forkbase {
+
+/// xoshiro-style splitmix64 generator. Header-only, trivially copyable.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform in [lo, hi].
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  double NextDouble() {  // [0, 1)
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Random lowercase alphanumeric string of the given length.
+  std::string NextString(size_t len) {
+    static const char kChars[] = "abcdefghijklmnopqrstuvwxyz0123456789";
+    std::string s(len, ' ');
+    for (auto& c : s) c = kChars[Uniform(36)];
+    return s;
+  }
+
+  /// Random raw byte string.
+  std::string NextBytes(size_t len) {
+    std::string s(len, '\0');
+    for (auto& c : s) c = static_cast<char>(Uniform(256));
+    return s;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace forkbase
+
+#endif  // FORKBASE_UTIL_RANDOM_H_

@@ -1,0 +1,61 @@
+#include "util/rolling_hash.h"
+
+#include <array>
+
+namespace forkbase {
+
+namespace {
+
+// splitmix64: deterministic expansion of a fixed seed into the Gamma table.
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::array<uint64_t, 256> MakeTable() {
+  std::array<uint64_t, 256> t{};
+  uint64_t seed = 0x464f524b42415345ull;  // "FORKBASE"
+  for (auto& v : t) v = SplitMix64(&seed);
+  return t;
+}
+
+}  // namespace
+
+const uint64_t* BuzhashTable() {
+  static const std::array<uint64_t, 256> kTable = MakeTable();
+  return kTable.data();
+}
+
+uint64_t RollingHash::RotlN(uint64_t x, unsigned n) {
+  n &= 63;
+  if (n == 0) return x;
+  return (x << n) | (x >> (64 - n));
+}
+
+RollingHash::RollingHash(size_t window, uint32_t q_bits)
+    : window_(window),
+      q_bits_(q_bits),
+      mask_((q_bits >= 64) ? ~0ull : ((1ull << q_bits) - 1)),
+      hash_(0),
+      pos_(0),
+      filled_(0),
+      ring_(window, 0),
+      table_(BuzhashTable()) {
+  // delta^k applied to the evicted byte's Gamma value: after k shifts the
+  // contribution of the oldest byte has been rotated k times; XOR-ing the
+  // same rotation removes it.
+  for (int b = 0; b < 256; ++b) {
+    table_k_[b] = RotlN(table_[b], static_cast<unsigned>(window_ % 64));
+  }
+}
+
+void RollingHash::Reset() {
+  hash_ = 0;
+  pos_ = 0;
+  filled_ = 0;
+  std::fill(ring_.begin(), ring_.end(), 0);
+}
+
+}  // namespace forkbase

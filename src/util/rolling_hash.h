@@ -1,0 +1,76 @@
+// Cyclic-polynomial (buzhash) rolling hash — the pattern detector of §II-A.
+//
+// Given a k-byte window (b1..bk), the pattern occurs iff
+//     Phi(b1..bk) MOD 2^q == 0,
+// i.e. the q least-significant bits of the rolling hash are zero. Phi is the
+// cyclic polynomial recurrence
+//     Phi(b1..bk) = delta(Phi(b0..b{k-1})) XOR delta^k(Gamma(b0))
+//                                          XOR delta^0(Gamma(bk))
+// where Gamma maps a byte to a pseudo-random word (a fixed table) and delta
+// is a 1-bit cyclic left shift. Each step evicts the oldest byte and admits
+// the newest, giving O(1) per-byte cost with good bit diffusion.
+//
+// The table Gamma is a compile-time deterministic PRNG expansion so that
+// chunk boundaries — and therefore every chunk id in the system — are stable
+// across processes and machines.
+#ifndef FORKBASE_UTIL_ROLLING_HASH_H_
+#define FORKBASE_UTIL_ROLLING_HASH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/slice.h"
+
+namespace forkbase {
+
+/// Streaming cyclic-polynomial hash over a sliding byte window.
+class RollingHash {
+ public:
+  /// @param window  k, the number of bytes the hash covers.
+  /// @param q_bits  q, pattern when the q low bits of the hash are zero.
+  RollingHash(size_t window, uint32_t q_bits);
+
+  /// Clears window state (as at a chunk start).
+  void Reset();
+
+  /// Feeds one byte; returns true iff the window is full and the pattern
+  /// fires at this position.
+  bool Roll(uint8_t b) {
+    const bool full = filled_ >= window_;
+    hash_ = Rotl1(hash_);
+    if (full) {
+      hash_ ^= table_k_[ring_[pos_]];  // delta^k removes the oldest byte
+    } else {
+      ++filled_;
+    }
+    hash_ ^= table_[b];
+    ring_[pos_] = b;
+    pos_ = pos_ + 1 == window_ ? 0 : pos_ + 1;
+    return filled_ >= window_ && (hash_ & mask_) == 0;
+  }
+
+  uint64_t hash() const { return hash_; }
+  size_t window() const { return window_; }
+  uint32_t q_bits() const { return q_bits_; }
+
+ private:
+  static uint64_t Rotl1(uint64_t x) { return (x << 1) | (x >> 63); }
+  static uint64_t RotlN(uint64_t x, unsigned n);
+
+  size_t window_;
+  uint32_t q_bits_;
+  uint64_t mask_;
+  uint64_t hash_;
+  size_t pos_;
+  size_t filled_;
+  std::vector<uint8_t> ring_;
+  const uint64_t* table_;    // Gamma
+  uint64_t table_k_[256];    // delta^k(Gamma(b)) precomputed per byte
+};
+
+/// The fixed 256-entry Gamma table shared by all RollingHash instances.
+const uint64_t* BuzhashTable();
+
+}  // namespace forkbase
+
+#endif  // FORKBASE_UTIL_ROLLING_HASH_H_

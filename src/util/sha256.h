@@ -1,0 +1,79 @@
+// SHA-256 (FIPS 180-4), implemented from scratch, plus the 32-byte Hash256
+// identity used for every chunk id and version uid in ForkBase.
+#ifndef FORKBASE_UTIL_SHA256_H_
+#define FORKBASE_UTIL_SHA256_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <string>
+
+#include "util/slice.h"
+
+namespace forkbase {
+
+/// A 32-byte content hash. Value type; compares byte-wise.
+struct Hash256 {
+  std::array<uint8_t, 32> bytes{};
+
+  /// The all-zero hash, used as "no value" sentinel (never a real digest).
+  static Hash256 Null() { return Hash256{}; }
+  bool IsNull() const {
+    for (uint8_t b : bytes)
+      if (b != 0) return false;
+    return true;
+  }
+
+  bool operator==(const Hash256& o) const { return bytes == o.bytes; }
+  bool operator!=(const Hash256& o) const { return bytes != o.bytes; }
+  bool operator<(const Hash256& o) const { return bytes < o.bytes; }
+
+  /// Lowercase hex rendering (64 chars).
+  std::string ToHex() const;
+  /// RFC 4648 Base32 rendering (the paper's uid encoding), 52 chars, no pad.
+  std::string ToBase32() const;
+  /// Parses ToBase32() output. Returns false on malformed input.
+  static bool FromBase32(Slice s, Hash256* out);
+
+  Slice slice() const {
+    return Slice(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+  }
+};
+
+/// Hash functor for unordered containers (uses the first 8 digest bytes —
+/// already uniformly distributed).
+struct Hash256Hasher {
+  size_t operator()(const Hash256& h) const {
+    uint64_t v;
+    std::memcpy(&v, h.bytes.data(), sizeof(v));
+    return static_cast<size_t>(v);
+  }
+};
+
+/// Incremental SHA-256 hasher.
+class Sha256Hasher {
+ public:
+  Sha256Hasher() { Reset(); }
+
+  void Reset();
+  void Update(Slice data);
+  /// Finalizes and returns the digest. The hasher must be Reset() before
+  /// reuse.
+  Hash256 Finish();
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t state_[8];
+  uint64_t bit_count_;
+  uint8_t buffer_[64];
+  size_t buffer_len_;
+};
+
+/// One-shot digest.
+Hash256 Sha256(Slice data);
+
+}  // namespace forkbase
+
+#endif  // FORKBASE_UTIL_SHA256_H_

@@ -1,0 +1,72 @@
+// Non-owning byte view used throughout ForkBase.
+//
+// Buffers in ForkBase are std::string (byte containers); Slice provides a
+// cheap view with comparison helpers. Analogous to rocksdb::Slice.
+#ifndef FORKBASE_UTIL_SLICE_H_
+#define FORKBASE_UTIL_SLICE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace forkbase {
+
+/// A pointer + length view over immutable bytes. Does not own storage.
+class Slice {
+ public:
+  Slice() : data_(nullptr), size_(0) {}
+  Slice(const char* data, size_t size) : data_(data), size_(size) {}
+  Slice(const uint8_t* data, size_t size)
+      : data_(reinterpret_cast<const char*>(data)), size_(size) {}
+  /// View over a string buffer; the string must outlive the slice.
+  Slice(const std::string& s) : data_(s.data()), size_(s.size()) {}
+  /// View over a NUL-terminated C string.
+  Slice(const char* cstr) : data_(cstr), size_(std::strlen(cstr)) {}
+
+  const char* data() const { return data_; }
+  const uint8_t* udata() const {
+    return reinterpret_cast<const uint8_t*>(data_);
+  }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  char operator[](size_t i) const { return data_[i]; }
+  uint8_t byte(size_t i) const { return static_cast<uint8_t>(data_[i]); }
+
+  /// Sub-view [pos, pos+len); len clamped to the remaining bytes.
+  Slice substr(size_t pos, size_t len = SIZE_MAX) const {
+    if (pos > size_) pos = size_;
+    if (len > size_ - pos) len = size_ - pos;
+    return Slice(data_ + pos, len);
+  }
+
+  std::string ToString() const { return std::string(data_, size_); }
+  std::string_view view() const { return std::string_view(data_, size_); }
+
+  /// Lexicographic byte-wise comparison: <0, 0, >0.
+  int compare(const Slice& other) const {
+    const size_t n = size_ < other.size_ ? size_ : other.size_;
+    int r = n == 0 ? 0 : std::memcmp(data_, other.data_, n);
+    if (r != 0) return r;
+    if (size_ < other.size_) return -1;
+    if (size_ > other.size_) return 1;
+    return 0;
+  }
+
+  bool operator==(const Slice& o) const { return compare(o) == 0; }
+  bool operator!=(const Slice& o) const { return compare(o) != 0; }
+  bool operator<(const Slice& o) const { return compare(o) < 0; }
+  bool operator<=(const Slice& o) const { return compare(o) <= 0; }
+  bool operator>(const Slice& o) const { return compare(o) > 0; }
+  bool operator>=(const Slice& o) const { return compare(o) >= 0; }
+
+ private:
+  const char* data_;
+  size_t size_;
+};
+
+}  // namespace forkbase
+
+#endif  // FORKBASE_UTIL_SLICE_H_

@@ -1,0 +1,37 @@
+#include "util/status.h"
+
+namespace forkbase {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kMergeConflict:
+      return "MergeConflict";
+    case StatusCode::kPermissionDenied:
+      return "PermissionDenied";
+    case StatusCode::kIOError:
+      return "IOError";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string s = StatusCodeToString(code_);
+  s += ": ";
+  s += msg_;
+  return s;
+}
+
+}  // namespace forkbase

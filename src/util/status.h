@@ -1,0 +1,149 @@
+// Status / StatusOr error-handling primitives for ForkBase.
+//
+// ForkBase follows the Arrow/RocksDB idiom: no exceptions cross public API
+// boundaries; fallible operations return Status, and value-producing
+// operations return StatusOr<T>.
+#ifndef FORKBASE_UTIL_STATUS_H_
+#define FORKBASE_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace forkbase {
+
+/// Canonical error codes used across the ForkBase stack.
+enum class StatusCode : int {
+  kOk = 0,
+  kNotFound = 1,         ///< key / branch / version / chunk absent
+  kAlreadyExists = 2,    ///< branch or key creation collides
+  kInvalidArgument = 3,  ///< malformed input from the caller
+  kCorruption = 4,       ///< decode failure, hash mismatch, tampering
+  kMergeConflict = 5,    ///< three-way merge found conflicting edits
+  kPermissionDenied = 6, ///< access control rejected the operation
+  kIOError = 7,          ///< filesystem-level failure
+  kUnimplemented = 8,    ///< operation not supported for this type
+};
+
+/// Human-readable name of a status code (e.g. "NotFound").
+const char* StatusCodeToString(StatusCode code);
+
+/// A lightweight success-or-error result, cheap to copy on the OK path.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status AlreadyExists(std::string m) {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status Corruption(std::string m) {
+    return Status(StatusCode::kCorruption, std::move(m));
+  }
+  static Status MergeConflict(std::string m) {
+    return Status(StatusCode::kMergeConflict, std::move(m));
+  }
+  static Status PermissionDenied(std::string m) {
+    return Status(StatusCode::kPermissionDenied, std::move(m));
+  }
+  static Status IOError(std::string m) {
+    return Status(StatusCode::kIOError, std::move(m));
+  }
+  static Status Unimplemented(std::string m) {
+    return Status(StatusCode::kUnimplemented, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsMergeConflict() const { return code_ == StatusCode::kMergeConflict; }
+  bool IsPermissionDenied() const {
+    return code_ == StatusCode::kPermissionDenied;
+  }
+
+  /// Formats as "Code: message" ("OK" when successful).
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// Either a value of type T or an error Status. Never both.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from value (OK).
+  StatusOr(T value) : status_(), value_(std::move(value)) {}
+  /// Implicit from error status; must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "StatusOr constructed from OK status w/o value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Value access. Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when in error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace forkbase
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define FB_RETURN_IF_ERROR(expr)                   \
+  do {                                             \
+    ::forkbase::Status _fb_st = (expr);            \
+    if (!_fb_st.ok()) return _fb_st;               \
+  } while (0)
+
+/// Evaluates a StatusOr expression, propagating errors, else binds the value.
+#define FB_ASSIGN_OR_RETURN(lhs, expr)             \
+  FB_ASSIGN_OR_RETURN_IMPL_(                       \
+      FB_STATUS_MACRO_CONCAT_(_fb_sor, __LINE__), lhs, expr)
+
+#define FB_ASSIGN_OR_RETURN_IMPL_(var, lhs, expr)  \
+  auto var = (expr);                               \
+  if (!var.ok()) return var.status();              \
+  lhs = std::move(var).value()
+
+#define FB_STATUS_MACRO_CONCAT_INNER_(x, y) x##y
+#define FB_STATUS_MACRO_CONCAT_(x, y) FB_STATUS_MACRO_CONCAT_INNER_(x, y)
+
+#endif  // FORKBASE_UTIL_STATUS_H_

@@ -1,0 +1,143 @@
+// Tests for branch-based access control and the enforcing facade.
+#include <gtest/gtest.h>
+
+#include "chunk/mem_chunk_store.h"
+#include "store/access_control.h"
+
+namespace forkbase {
+namespace {
+
+class AccessControlTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(acl_.AddUser("admin", /*is_admin=*/true).ok());
+    ASSERT_TRUE(acl_.AddUser("alice").ok());
+    ASSERT_TRUE(acl_.AddUser("bob").ok());
+  }
+  AccessController acl_;
+};
+
+TEST_F(AccessControlTest, AdminHasEverything) {
+  EXPECT_TRUE(acl_.Check("admin", "any", "branch", Permission::kRead).ok());
+  EXPECT_TRUE(acl_.Check("admin", "any", "branch", Permission::kWrite).ok());
+}
+
+TEST_F(AccessControlTest, UnknownUserDenied) {
+  EXPECT_TRUE(acl_.Check("mallory", "k", "master", Permission::kRead)
+                  .IsPermissionDenied());
+}
+
+TEST_F(AccessControlTest, DuplicateUserRejected) {
+  EXPECT_EQ(acl_.AddUser("alice").code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(AccessControlTest, GrantIsBranchScoped) {
+  ASSERT_TRUE(
+      acl_.Grant("admin", "alice", "dataset", "dev", Permission::kWrite).ok());
+  EXPECT_TRUE(acl_.Check("alice", "dataset", "dev", Permission::kWrite).ok());
+  EXPECT_TRUE(acl_.Check("alice", "dataset", "master", Permission::kWrite)
+                  .IsPermissionDenied())
+      << "grant on dev must not leak to master";
+  EXPECT_TRUE(acl_.Check("alice", "dataset", "dev", Permission::kRead)
+                  .IsPermissionDenied())
+      << "write grant does not imply read";
+}
+
+TEST_F(AccessControlTest, WildcardGrants) {
+  ASSERT_TRUE(acl_.Grant("admin", "alice", "*", "master", Permission::kRead)
+                  .ok());
+  EXPECT_TRUE(acl_.Check("alice", "anything", "master", Permission::kRead).ok());
+  EXPECT_TRUE(acl_.Check("alice", "anything", "dev", Permission::kRead)
+                  .IsPermissionDenied());
+  ASSERT_TRUE(acl_.Grant("admin", "bob", "ds", "*", Permission::kRead).ok());
+  EXPECT_TRUE(acl_.Check("bob", "ds", "whatever", Permission::kRead).ok());
+}
+
+TEST_F(AccessControlTest, NonAdminCannotGrant) {
+  EXPECT_TRUE(acl_.Grant("alice", "bob", "k", "b", Permission::kRead)
+                  .IsPermissionDenied());
+}
+
+TEST_F(AccessControlTest, RevokeRemovesAccess) {
+  ASSERT_TRUE(acl_.Grant("admin", "alice", "k", "b", Permission::kRead).ok());
+  ASSERT_TRUE(acl_.Check("alice", "k", "b", Permission::kRead).ok());
+  ASSERT_TRUE(acl_.Revoke("admin", "alice", "k", "b", Permission::kRead).ok());
+  EXPECT_TRUE(
+      acl_.Check("alice", "k", "b", Permission::kRead).IsPermissionDenied());
+  EXPECT_TRUE(acl_.Revoke("admin", "alice", "k", "b", Permission::kRead)
+                  .IsNotFound());
+}
+
+class SecureForkBaseTest : public ::testing::Test {
+ protected:
+  SecureForkBaseTest()
+      : db_(std::make_shared<MemChunkStore>()), secure_(&db_, &acl_) {}
+
+  void SetUp() override {
+    ASSERT_TRUE(acl_.AddUser("admin", true).ok());
+    ASSERT_TRUE(acl_.AddUser("analyst").ok());
+    ASSERT_TRUE(
+        secure_.Put("admin", "ds", Value::String("v1"), "master").ok());
+  }
+
+  AccessController acl_;
+  ForkBase db_;
+  SecureForkBase secure_;
+};
+
+TEST_F(SecureForkBaseTest, ReadRequiresGrant) {
+  EXPECT_TRUE(secure_.Get("analyst", "ds").status().IsPermissionDenied());
+  ASSERT_TRUE(
+      acl_.Grant("admin", "analyst", "ds", "master", Permission::kRead).ok());
+  auto v = secure_.Get("analyst", "ds");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->string_value(), "v1");
+}
+
+TEST_F(SecureForkBaseTest, WriteRequiresGrant) {
+  EXPECT_TRUE(secure_.Put("analyst", "ds", Value::String("x"), "master")
+                  .status()
+                  .IsPermissionDenied());
+  ASSERT_TRUE(
+      acl_.Grant("admin", "analyst", "ds", "master", Permission::kWrite).ok());
+  auto uid = secure_.Put("analyst", "ds", Value::String("x"), "master");
+  ASSERT_TRUE(uid.ok());
+  // The commit is attributed to the acting user.
+  auto meta = db_.Meta(*uid);
+  ASSERT_TRUE(meta.ok());
+  EXPECT_EQ(meta->author, "analyst");
+}
+
+TEST_F(SecureForkBaseTest, BranchNeedsReadOnSourceWriteOnTarget) {
+  EXPECT_FALSE(secure_.Branch("analyst", "ds", "dev", "master").ok());
+  ASSERT_TRUE(
+      acl_.Grant("admin", "analyst", "ds", "master", Permission::kRead).ok());
+  EXPECT_FALSE(secure_.Branch("analyst", "ds", "dev", "master").ok());
+  ASSERT_TRUE(
+      acl_.Grant("admin", "analyst", "ds", "dev", Permission::kWrite).ok());
+  EXPECT_TRUE(secure_.Branch("analyst", "ds", "dev", "master").ok());
+}
+
+TEST_F(SecureForkBaseTest, MergeAndDiffChecks) {
+  ASSERT_TRUE(secure_.Branch("admin", "ds", "dev", "master").ok());
+  ASSERT_TRUE(secure_.Put("admin", "ds", Value::String("v2"), "dev").ok());
+  EXPECT_TRUE(secure_.Diff("analyst", "ds", "master", "dev")
+                  .status()
+                  .IsPermissionDenied());
+  EXPECT_TRUE(secure_.Merge("analyst", "ds", "master", "dev")
+                  .status()
+                  .IsPermissionDenied());
+  ASSERT_TRUE(
+      acl_.Grant("admin", "analyst", "ds", "*", Permission::kRead).ok());
+  EXPECT_TRUE(secure_.Diff("analyst", "ds", "master", "dev").ok());
+  // Merge additionally needs write on dst.
+  EXPECT_TRUE(secure_.Merge("analyst", "ds", "master", "dev")
+                  .status()
+                  .IsPermissionDenied());
+  ASSERT_TRUE(
+      acl_.Grant("admin", "analyst", "ds", "master", Permission::kWrite).ok());
+  EXPECT_TRUE(secure_.Merge("analyst", "ds", "master", "dev").ok());
+}
+
+}  // namespace
+}  // namespace forkbase

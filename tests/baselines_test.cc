@@ -1,0 +1,210 @@
+// Tests for the comparison baselines: CopyStore (full snapshots),
+// DeltaStore (delta chains), BPlusTree (order-dependent index).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "baselines/bplus_tree.h"
+#include "baselines/copy_store.h"
+#include "baselines/delta_store.h"
+#include "util/random.h"
+
+namespace forkbase {
+namespace {
+
+// ------------------------------------------------------------- CopyStore --
+
+TEST(CopyStoreTest, PutGetBranchHistory) {
+  CopyStore store;
+  auto v1 = store.Put("ds", "master", "payload-1");
+  auto v2 = store.Put("ds", "master", "payload-2");
+  EXPECT_EQ(*store.Get("ds", "master"), "payload-2");
+  EXPECT_EQ(*store.GetVersion(v1), "payload-1");
+  ASSERT_TRUE(store.Branch("ds", "dev", "master").ok());
+  store.Put("ds", "dev", "payload-3");
+  EXPECT_EQ(*store.Get("ds", "dev"), "payload-3");
+  EXPECT_EQ(*store.Get("ds", "master"), "payload-2");
+  auto history = store.History("ds", "dev");
+  ASSERT_TRUE(history.ok());
+  EXPECT_EQ(history->size(), 3u);
+  EXPECT_EQ(*store.Head("ds", "master"), v2);
+}
+
+TEST(CopyStoreTest, StorageGrowsLinearly) {
+  CopyStore store;
+  std::string payload(10000, 'x');
+  for (int i = 0; i < 10; ++i) {
+    payload[0] = static_cast<char>('a' + i);  // tiny change each version
+    store.Put("ds", "master", payload);
+  }
+  EXPECT_EQ(store.stats().physical_bytes, 100000u)
+      << "no dedup: every version stored in full";
+}
+
+TEST(CopyStoreTest, DiffLinesIsElementwise) {
+  CopyStore store;
+  auto v1 = store.Put("ds", "master", "a\nb\nc\n");
+  auto v2 = store.Put("ds", "master", "a\nX\nc\n");
+  auto deltas = store.DiffLines(v1, v2);
+  ASSERT_TRUE(deltas.ok());
+  ASSERT_EQ(deltas->size(), 1u);
+  EXPECT_EQ((*deltas)[0].first, "b");
+  EXPECT_EQ((*deltas)[0].second, "X");
+}
+
+TEST(CopyStoreTest, ErrorsOnMissing) {
+  CopyStore store;
+  EXPECT_TRUE(store.Get("nope", "master").status().IsNotFound());
+  EXPECT_TRUE(store.GetVersion(99).status().IsNotFound());
+  EXPECT_FALSE(store.Branch("nope", "a", "b").ok());
+}
+
+// ------------------------------------------------------------ DeltaStore --
+
+DeltaStore::RowMap MakeRows(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  DeltaStore::RowMap rows;
+  for (size_t i = 0; i < n; ++i) {
+    rows["row" + std::to_string(i)] = rng.NextString(20);
+  }
+  return rows;
+}
+
+TEST(DeltaStoreTest, ReconstructionMatchesInput) {
+  DeltaStore store(/*snapshot_interval=*/4);
+  DeltaStore::RowMap rows = MakeRows(100, 1);
+  std::vector<DeltaStore::VersionId> ids;
+  std::vector<DeltaStore::RowMap> snapshots;
+  Rng rng(2);
+  for (int v = 0; v < 12; ++v) {
+    rows["row" + std::to_string(rng.Uniform(100))] = rng.NextString(20);
+    if (v % 3 == 0) rows.erase("row" + std::to_string(rng.Uniform(100)));
+    if (v % 4 == 0) rows["extra" + std::to_string(v)] = "added";
+    auto id = store.Put("ds", "master", rows);
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+    snapshots.push_back(rows);
+  }
+  for (size_t i = 0; i < ids.size(); ++i) {
+    auto got = store.GetVersion(ids[i]);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, snapshots[i]) << "version " << i;
+  }
+  EXPECT_GT(store.stats().snapshots, 1u) << "periodic snapshots expected";
+}
+
+TEST(DeltaStoreTest, DeltasSmallerThanSnapshots) {
+  DeltaStore store(/*snapshot_interval=*/1000);  // snapshot only the first
+  DeltaStore::RowMap rows = MakeRows(1000, 3);
+  ASSERT_TRUE(store.Put("ds", "master", rows).ok());
+  uint64_t after_first = store.stats().physical_bytes;
+  rows["row5"] = "tiny edit";
+  ASSERT_TRUE(store.Put("ds", "master", rows).ok());
+  uint64_t delta_cost = store.stats().physical_bytes - after_first;
+  EXPECT_LT(delta_cost, after_first / 100)
+      << "a one-row delta must be ~1/1000 the snapshot cost";
+}
+
+TEST(DeltaStoreTest, BranchSharesChain) {
+  DeltaStore store(8);
+  DeltaStore::RowMap rows = MakeRows(50, 4);
+  ASSERT_TRUE(store.Put("ds", "master", rows).ok());
+  ASSERT_TRUE(store.Branch("ds", "dev", "master").ok());
+  rows["row1"] = "dev edit";
+  ASSERT_TRUE(store.Put("ds", "dev", rows).ok());
+  auto master = store.Get("ds", "master");
+  auto dev = store.Get("ds", "dev");
+  ASSERT_TRUE(master.ok());
+  ASSERT_TRUE(dev.ok());
+  EXPECT_NE((*master)["row1"], "dev edit");
+  EXPECT_EQ((*dev)["row1"], "dev edit");
+}
+
+TEST(DeltaStoreTest, DiffKeysFindsChanges) {
+  DeltaStore store(8);
+  DeltaStore::RowMap rows = MakeRows(50, 5);
+  auto v1 = store.Put("ds", "master", rows);
+  rows["row7"] = "changed";
+  rows.erase("row9");
+  rows["new-row"] = "added";
+  auto v2 = store.Put("ds", "master", rows);
+  ASSERT_TRUE(v1.ok() && v2.ok());
+  auto keys = store.DiffKeys(*v1, *v2);
+  ASSERT_TRUE(keys.ok());
+  EXPECT_EQ(keys->size(), 3u);
+}
+
+// ------------------------------------------------------------- BPlusTree --
+
+TEST(BPlusTreeTest, CrudMatchesStdMap) {
+  BPlusTree tree(16);
+  std::map<std::string, std::string> reference;
+  Rng rng(6);
+  for (int i = 0; i < 5000; ++i) {
+    std::string k = rng.NextString(10), v = rng.NextString(10);
+    tree.Insert(k, v);
+    reference[k] = v;
+  }
+  EXPECT_EQ(tree.size(), reference.size());
+  for (int i = 0; i < 200; ++i) {
+    auto it = reference.begin();
+    std::advance(it, rng.Uniform(reference.size()));
+    auto found = tree.Lookup(it->first);
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(*found, it->second);
+  }
+  EXPECT_FALSE(tree.Lookup("missing-key").has_value());
+  EXPECT_EQ(tree.Entries(),
+            (std::vector<std::pair<std::string, std::string>>(
+                reference.begin(), reference.end())));
+}
+
+TEST(BPlusTreeTest, EraseRemoves) {
+  BPlusTree tree(8);
+  for (int i = 0; i < 100; ++i) {
+    tree.Insert("k" + std::to_string(i), "v");
+  }
+  EXPECT_TRUE(tree.Erase("k50"));
+  EXPECT_FALSE(tree.Lookup("k50").has_value());
+  EXPECT_FALSE(tree.Erase("k50"));
+  EXPECT_EQ(tree.size(), 99u);
+}
+
+TEST(BPlusTreeTest, UpdateInPlace) {
+  BPlusTree tree(8);
+  tree.Insert("k", "v1");
+  tree.Insert("k", "v2");
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(*tree.Lookup("k"), "v2");
+}
+
+TEST(BPlusTreeTest, StructureDependsOnInsertionOrder) {
+  // The anti-SIRI property: same record set, different page sets.
+  Rng rng(7);
+  std::vector<std::pair<std::string, std::string>> kvs;
+  for (int i = 0; i < 2000; ++i) {
+    kvs.emplace_back(rng.NextString(10), rng.NextString(6));
+  }
+  BPlusTree forward(16), shuffled(16);
+  for (const auto& [k, v] : kvs) forward.Insert(k, v);
+  // Shuffle deterministically.
+  auto mixed = kvs;
+  for (size_t i = mixed.size(); i > 1; --i) {
+    std::swap(mixed[i - 1], mixed[rng.Uniform(i)]);
+  }
+  for (const auto& [k, v] : mixed) shuffled.Insert(k, v);
+
+  EXPECT_EQ(forward.Entries(), shuffled.Entries())
+      << "logical content identical";
+  auto pages_a = forward.PageHashes();
+  auto pages_b = shuffled.PageHashes();
+  std::set<Hash256> set_a(pages_a.begin(), pages_a.end());
+  size_t shared = 0;
+  for (const auto& h : pages_b) shared += set_a.count(h);
+  EXPECT_LT(shared, pages_b.size() / 2)
+      << "an order-dependent index cannot share most pages";
+}
+
+}  // namespace
+}  // namespace forkbase

@@ -1,0 +1,183 @@
+// Tests for version bundles: export/import closure transfer between
+// independent chunk stores, self-verification, corruption rejection — the
+// repo's substitution for the paper's distributed replication.
+#include <gtest/gtest.h>
+
+#include "chunk/mem_chunk_store.h"
+#include "store/bundle.h"
+#include "util/datagen.h"
+
+namespace forkbase {
+namespace {
+
+TEST(BundleTest, RoundTripReplicatesBranch) {
+  auto src_store = std::make_shared<MemChunkStore>();
+  ForkBase src(src_store);
+  CsvGenOptions opts;
+  opts.num_rows = 800;
+  ASSERT_TRUE(src.PutTableFromCsv("ds", GenerateCsv(opts), 0, "master",
+                                  {"alice", "v1"})
+                  .ok());
+  ASSERT_TRUE(src.UpdateTableCell("ds", "r00000100", 2, "edited", "master",
+                                  {"alice", "v2"})
+                  .ok());
+  auto head = src.Head("ds");
+  ASSERT_TRUE(head.ok());
+
+  auto bundle = ExportBundle(*src_store, *head);
+  ASSERT_TRUE(bundle.ok());
+  EXPECT_GT(bundle->size(), 1000u);
+
+  // Pull into a completely fresh store.
+  auto dst_store = std::make_shared<MemChunkStore>();
+  auto import = ImportBundle(*bundle, dst_store.get());
+  ASSERT_TRUE(import.ok());
+  EXPECT_EQ(import->head, *head);
+  EXPECT_EQ(import->new_chunks, import->chunks);
+
+  ForkBase dst(dst_store);
+  dst.branches().SetHead("ds", "master", import->head);
+  EXPECT_TRUE(dst.Verify(*head).ok());
+  auto table = dst.GetTable("ds");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(**table->GetCell("r00000100", 2), "edited");
+  // Full history travelled with the bundle.
+  auto history = dst.History("ds");
+  ASSERT_TRUE(history.ok());
+  EXPECT_EQ(history->size(), 2u);
+  EXPECT_EQ((*history)[1].author, "alice");
+}
+
+TEST(BundleTest, IncrementalPushSendsOnlyNewChunks) {
+  auto src_store = std::make_shared<MemChunkStore>();
+  ForkBase src(src_store);
+  auto dst_store = std::make_shared<MemChunkStore>();
+
+  CsvGenOptions opts;
+  opts.num_rows = 1500;
+  ASSERT_TRUE(src.PutTableFromCsv("ds", GenerateCsv(opts)).ok());
+  auto v1 = src.Head("ds");
+  ASSERT_TRUE(v1.ok());
+  auto b1 = ExportBundle(*src_store, *v1);
+  ASSERT_TRUE(b1.ok());
+  auto i1 = ImportBundle(*b1, dst_store.get());
+  ASSERT_TRUE(i1.ok());
+
+  // Small edit; the second bundle still carries the closure, but only a few
+  // chunks are NEW on the destination.
+  ASSERT_TRUE(src.UpdateTableCell("ds", "r00000750", 3, "x").ok());
+  auto v2 = src.Head("ds");
+  ASSERT_TRUE(v2.ok());
+  auto b2 = ExportBundle(*src_store, *v2);
+  ASSERT_TRUE(b2.ok());
+  auto i2 = ImportBundle(*b2, dst_store.get());
+  ASSERT_TRUE(i2.ok());
+  EXPECT_LT(i2->new_chunks, i2->chunks / 4)
+      << "most chunks were already present (content-addressed transfer)";
+}
+
+TEST(BundleTest, RejectsGarbage) {
+  MemChunkStore dst;
+  EXPECT_TRUE(ImportBundle(Slice("not a bundle"), &dst).status().IsCorruption());
+  EXPECT_TRUE(ImportBundle(Slice(""), &dst).status().IsCorruption());
+}
+
+TEST(BundleTest, RejectsTamperedChunk) {
+  auto src_store = std::make_shared<MemChunkStore>();
+  ForkBase src(src_store);
+  ASSERT_TRUE(src.PutMap("k", {{"a", "1"}, {"b", "2"}}).ok());
+  auto head = src.Head("k");
+  ASSERT_TRUE(head.ok());
+  auto bundle = ExportBundle(*src_store, *head);
+  ASSERT_TRUE(bundle.ok());
+
+  // Flip one byte inside the bundle body (past magic + head).
+  std::string corrupted = *bundle;
+  corrupted[corrupted.size() - 5] ^= 0x10;
+  MemChunkStore dst;
+  auto import = ImportBundle(corrupted, &dst);
+  ASSERT_FALSE(import.ok());
+  EXPECT_TRUE(import.status().IsCorruption());
+}
+
+TEST(BundleTest, RejectsMissingHead) {
+  auto src_store = std::make_shared<MemChunkStore>();
+  ForkBase src(src_store);
+  ASSERT_TRUE(src.PutMap("k", {{"a", "1"}}).ok());
+  auto head = src.Head("k");
+  ASSERT_TRUE(head.ok());
+  auto bundle = ExportBundle(*src_store, *head);
+  ASSERT_TRUE(bundle.ok());
+  // Swap the head uid for a different hash: closure can't contain it.
+  std::string forged = *bundle;
+  Hash256 fake = Sha256(Slice("fake"));
+  std::memcpy(forged.data() + 4, fake.bytes.data(), 32);
+  MemChunkStore dst;
+  auto import = ImportBundle(forged, &dst);
+  ASSERT_FALSE(import.ok());
+  EXPECT_TRUE(import.status().IsCorruption());
+}
+
+TEST(BundleTest, ExportRefusesTamperedSource) {
+  auto src_store = std::make_shared<MemChunkStore>();
+  ForkBase src(src_store);
+  ASSERT_TRUE(src.PutMap("k", {{"a", "1"}, {"b", "2"}, {"c", "3"}}).ok());
+  auto head = src.Head("k");
+  ASSERT_TRUE(head.ok());
+  auto map = src.GetMap("k");
+  ASSERT_TRUE(map.ok());
+  src_store->TamperForTesting(map->root(), 2, 0x01);
+  auto bundle = ExportBundle(*src_store, *head);
+  ASSERT_FALSE(bundle.ok());
+  EXPECT_TRUE(bundle.status().IsCorruption());
+}
+
+TEST(BundleTest, DeterministicBytes) {
+  auto store = std::make_shared<MemChunkStore>();
+  ForkBase db(store);
+  ASSERT_TRUE(db.PutMap("k", {{"x", "1"}, {"y", "2"}}).ok());
+  auto head = db.Head("k");
+  ASSERT_TRUE(head.ok());
+  auto b1 = ExportBundle(*store, *head);
+  auto b2 = ExportBundle(*store, *head);
+  ASSERT_TRUE(b1.ok() && b2.ok());
+  EXPECT_EQ(*b1, *b2);
+}
+
+// ------------------------------------------- typed update conveniences --
+
+TEST(FacadeUpdateTest, UpdateMapCommits) {
+  ForkBase db(std::make_shared<MemChunkStore>());
+  ASSERT_TRUE(db.PutMap("m", {{"a", "1"}}).ok());
+  ASSERT_TRUE(db.UpdateMap("m", {KeyedOp{"b", std::string("2")},
+                                 KeyedOp{"a", std::nullopt}})
+                  .ok());
+  auto map = db.GetMap("m");
+  ASSERT_TRUE(map.ok());
+  EXPECT_FALSE((*map->Get("a")).has_value());
+  EXPECT_EQ(**map->Get("b"), "2");
+  auto history = db.History("m");
+  ASSERT_TRUE(history.ok());
+  EXPECT_EQ(history->size(), 2u);
+}
+
+TEST(FacadeUpdateTest, AppendBlobAndList) {
+  ForkBase db(std::make_shared<MemChunkStore>());
+  ASSERT_TRUE(db.PutBlob("b", "hello").ok());
+  ASSERT_TRUE(db.AppendBlob("b", " world").ok());
+  EXPECT_EQ(*db.GetBlob("b")->ReadAll(), "hello world");
+
+  ASSERT_TRUE(db.PutList("l", {"one"}).ok());
+  ASSERT_TRUE(db.AppendList("l", "two").ok());
+  EXPECT_EQ(*db.GetList("l")->Get(1), "two");
+}
+
+TEST(FacadeUpdateTest, UpdateRequiresMatchingType) {
+  ForkBase db(std::make_shared<MemChunkStore>());
+  ASSERT_TRUE(db.Put("s", Value::String("not a map")).ok());
+  EXPECT_FALSE(db.UpdateMap("s", {KeyedOp{"k", std::string("v")}}).ok());
+  EXPECT_FALSE(db.AppendBlob("s", "x").ok());
+}
+
+}  // namespace
+}  // namespace forkbase

@@ -1,0 +1,305 @@
+// Unit tests for the chunk storage layer: content addressing, dedup
+// accounting, file-store persistence/recovery, LRU caching.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "chunk/caching_chunk_store.h"
+#include "chunk/file_chunk_store.h"
+#include "chunk/mem_chunk_store.h"
+#include "util/random.h"
+
+namespace forkbase {
+namespace {
+
+Chunk MakeTestChunk(const std::string& payload,
+                    ChunkType type = ChunkType::kCell) {
+  return Chunk::Make(type, payload);
+}
+
+// ----------------------------------------------------------------- Chunk --
+
+TEST(ChunkTest, HashCoversTypeTagAndPayload) {
+  Chunk a = MakeTestChunk("same", ChunkType::kMapLeaf);
+  Chunk b = MakeTestChunk("same", ChunkType::kSetLeaf);
+  Chunk c = MakeTestChunk("same", ChunkType::kMapLeaf);
+  EXPECT_NE(a.hash(), b.hash()) << "type tag must participate in identity";
+  EXPECT_EQ(a.hash(), c.hash());
+}
+
+TEST(ChunkTest, PayloadExcludesTag) {
+  Chunk c = MakeTestChunk("hello");
+  EXPECT_EQ(c.payload().ToString(), "hello");
+  EXPECT_EQ(c.bytes().size(), 6u);
+  EXPECT_EQ(c.type(), ChunkType::kCell);
+}
+
+TEST(ChunkTest, FromBytesRoundTrips) {
+  Chunk a = MakeTestChunk("payload", ChunkType::kBlobLeaf);
+  Chunk b = Chunk::FromBytes(a.bytes().ToString());
+  EXPECT_EQ(a.hash(), b.hash());
+  EXPECT_EQ(b.type(), ChunkType::kBlobLeaf);
+}
+
+// --------------------------------------------------------- MemChunkStore --
+
+TEST(MemChunkStoreTest, PutGetRoundTrip) {
+  MemChunkStore store;
+  Chunk c = MakeTestChunk("data");
+  ASSERT_TRUE(store.Put(c).ok());
+  auto got = store.Get(c.hash());
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->payload().ToString(), "data");
+  EXPECT_TRUE(store.Contains(c.hash()));
+}
+
+TEST(MemChunkStoreTest, GetMissingIsNotFound) {
+  MemChunkStore store;
+  EXPECT_TRUE(store.Get(Sha256(Slice("nope"))).status().IsNotFound());
+}
+
+TEST(MemChunkStoreTest, PutIsIdempotentAndCountsDedup) {
+  MemChunkStore store;
+  Chunk c = MakeTestChunk("dup");
+  ASSERT_TRUE(store.Put(c).ok());
+  ASSERT_TRUE(store.Put(c).ok());
+  ASSERT_TRUE(store.Put(c).ok());
+  ChunkStoreStats stats = store.stats();
+  EXPECT_EQ(stats.chunk_count, 1u);
+  EXPECT_EQ(stats.put_calls, 3u);
+  EXPECT_EQ(stats.dedup_hits, 2u);
+  EXPECT_EQ(stats.physical_bytes, c.size());
+  EXPECT_EQ(stats.logical_bytes, 3 * c.size());
+  EXPECT_DOUBLE_EQ(stats.DedupRatio(), 3.0);
+}
+
+TEST(MemChunkStoreTest, ForEachVisitsEveryChunk) {
+  MemChunkStore store;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(store.Put(MakeTestChunk("chunk" + std::to_string(i))).ok());
+  }
+  int visited = 0;
+  store.ForEach([&](const Hash256& id, const Chunk& chunk) {
+    EXPECT_EQ(chunk.hash(), id);
+    ++visited;
+  });
+  EXPECT_EQ(visited, 10);
+}
+
+TEST(MemChunkStoreTest, TamperSimulatesMaliciousProvider) {
+  MemChunkStore store;
+  Chunk c = MakeTestChunk("integrity");
+  ASSERT_TRUE(store.Put(c).ok());
+  ASSERT_TRUE(store.TamperForTesting(c.hash(), 3, 0x40));
+  auto got = store.Get(c.hash());
+  ASSERT_TRUE(got.ok()) << "a malicious store serves tampered bytes silently";
+  EXPECT_NE(got->hash(), c.hash()) << "client-side re-hash detects it";
+}
+
+TEST(MemChunkStoreTest, TamperRejectsBadTargets) {
+  MemChunkStore store;
+  Chunk c = MakeTestChunk("x");
+  ASSERT_TRUE(store.Put(c).ok());
+  EXPECT_FALSE(store.TamperForTesting(Sha256(Slice("absent")), 0, 1));
+  EXPECT_FALSE(store.TamperForTesting(c.hash(), 1000, 1));
+}
+
+TEST(MemChunkStoreTest, EraseForTesting) {
+  MemChunkStore store;
+  Chunk c = MakeTestChunk("gone");
+  ASSERT_TRUE(store.Put(c).ok());
+  EXPECT_TRUE(store.EraseForTesting(c.hash()));
+  EXPECT_FALSE(store.Contains(c.hash()));
+  EXPECT_EQ(store.stats().chunk_count, 0u);
+}
+
+// -------------------------------------------------------- FileChunkStore --
+
+class FileChunkStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/fbstore_" +
+           std::to_string(reinterpret_cast<uintptr_t>(this));
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string dir_;
+};
+
+TEST_F(FileChunkStoreTest, PutGetRoundTrip) {
+  auto store = FileChunkStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  Chunk c = MakeTestChunk("persistent");
+  ASSERT_TRUE((*store)->Put(c).ok());
+  auto got = (*store)->Get(c.hash());
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->payload().ToString(), "persistent");
+}
+
+TEST_F(FileChunkStoreTest, SurvivesReopen) {
+  Hash256 id;
+  {
+    auto store = FileChunkStore::Open(dir_);
+    ASSERT_TRUE(store.ok());
+    Chunk c = MakeTestChunk("durable");
+    ASSERT_TRUE((*store)->Put(c).ok());
+    id = c.hash();
+    ASSERT_TRUE((*store)->Flush().ok());
+  }
+  auto reopened = FileChunkStore::Open(dir_);
+  ASSERT_TRUE(reopened.ok());
+  auto got = (*reopened)->Get(id);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->payload().ToString(), "durable");
+  EXPECT_EQ((*reopened)->stats().chunk_count, 1u);
+}
+
+TEST_F(FileChunkStoreTest, DedupAcrossReopen) {
+  Chunk c = MakeTestChunk("dedup-me");
+  {
+    auto store = FileChunkStore::Open(dir_);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Put(c).ok());
+  }
+  auto reopened = FileChunkStore::Open(dir_);
+  ASSERT_TRUE(reopened.ok());
+  ASSERT_TRUE((*reopened)->Put(c).ok());
+  ChunkStoreStats stats = (*reopened)->stats();
+  EXPECT_EQ(stats.chunk_count, 1u);
+  EXPECT_EQ(stats.dedup_hits, 1u);
+}
+
+TEST_F(FileChunkStoreTest, RecoversFromTornTail) {
+  Hash256 id;
+  std::string segment;
+  {
+    auto store = FileChunkStore::Open(dir_);
+    ASSERT_TRUE(store.ok());
+    Chunk c = MakeTestChunk("good record");
+    ASSERT_TRUE((*store)->Put(c).ok());
+    id = c.hash();
+    ASSERT_TRUE((*store)->Flush().ok());
+    segment = dir_ + "/segment-0.fbc";
+  }
+  // Simulate a crash mid-append: write garbage header bytes at the tail.
+  {
+    std::ofstream out(segment, std::ios::binary | std::ios::app);
+    out.write("\x31\x43\x42\x46garbage", 11);  // magic + torn bytes
+  }
+  auto reopened = FileChunkStore::Open(dir_);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->stats().chunk_count, 1u);
+  EXPECT_TRUE((*reopened)->Get(id).ok());
+  // The store remains appendable after truncating the torn tail.
+  Chunk c2 = MakeTestChunk("after recovery");
+  ASSERT_TRUE((*reopened)->Put(c2).ok());
+  EXPECT_TRUE((*reopened)->Get(c2.hash()).ok());
+}
+
+TEST_F(FileChunkStoreTest, RollsSegments) {
+  FileChunkStore::Options options;
+  options.segment_bytes = 1024;  // tiny segments to force rolling
+  auto store = FileChunkStore::Open(dir_, options);
+  ASSERT_TRUE(store.ok());
+  Rng rng(21);
+  std::vector<Hash256> ids;
+  for (int i = 0; i < 20; ++i) {
+    Chunk c = MakeTestChunk(rng.NextBytes(300));
+    ASSERT_TRUE((*store)->Put(c).ok());
+    ids.push_back(c.hash());
+  }
+  int segments = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    if (entry.path().extension() == ".fbc") ++segments;
+  }
+  EXPECT_GT(segments, 1);
+  for (const auto& id : ids) EXPECT_TRUE((*store)->Get(id).ok());
+}
+
+TEST_F(FileChunkStoreTest, VerifyOnGetDetectsDiskCorruption) {
+  FileChunkStore::Options options;
+  options.verify_on_get = true;
+  Hash256 id;
+  {
+    auto store = FileChunkStore::Open(dir_, options);
+    ASSERT_TRUE(store.ok());
+    Chunk c = MakeTestChunk("to be corrupted");
+    ASSERT_TRUE((*store)->Put(c).ok());
+    id = c.hash();
+  }
+  // Flip a byte inside the stored record (past the 40-byte header).
+  {
+    std::fstream f(dir_ + "/segment-0.fbc",
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(45);
+    f.put('X');
+  }
+  auto reopened = FileChunkStore::Open(dir_, options);
+  ASSERT_TRUE(reopened.ok());
+  auto got = (*reopened)->Get(id);
+  // Either the recovery scan dropped the record (hash mismatch in index is
+  // not checked, so normally we detect at Get).
+  if (got.ok()) {
+    FAIL() << "corrupted chunk served verbatim despite verify_on_get";
+  } else {
+    EXPECT_TRUE(got.status().IsCorruption() || got.status().IsNotFound());
+  }
+}
+
+TEST_F(FileChunkStoreTest, ForEachVisitsAll) {
+  auto store = FileChunkStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE((*store)->Put(MakeTestChunk("c" + std::to_string(i))).ok());
+  }
+  int visited = 0;
+  (*store)->ForEach([&](const Hash256&, const Chunk&) { ++visited; });
+  EXPECT_EQ(visited, 5);
+}
+
+// ----------------------------------------------------- CachingChunkStore --
+
+TEST(CachingChunkStoreTest, ServesFromCacheAfterFirstGet) {
+  auto base = std::make_shared<MemChunkStore>();
+  CachingChunkStore cache(base, 1 << 20);
+  Chunk c = MakeTestChunk("cached");
+  ASSERT_TRUE(cache.Put(c).ok());
+  ASSERT_TRUE(cache.Get(c.hash()).ok());
+  ASSERT_TRUE(cache.Get(c.hash()).ok());
+  auto cstats = cache.cache_stats();
+  EXPECT_EQ(cstats.hits, 2u);  // Put pre-populates the cache
+  EXPECT_EQ(cstats.misses, 0u);
+}
+
+TEST(CachingChunkStoreTest, EvictsLruUnderPressure) {
+  auto base = std::make_shared<MemChunkStore>();
+  CachingChunkStore cache(base, 2048);
+  Rng rng(31);
+  std::vector<Hash256> ids;
+  for (int i = 0; i < 10; ++i) {
+    Chunk c = MakeTestChunk(rng.NextBytes(512));
+    ASSERT_TRUE(cache.Put(c).ok());
+    ids.push_back(c.hash());
+  }
+  auto cstats = cache.cache_stats();
+  EXPECT_GT(cstats.evictions, 0u);
+  EXPECT_LE(cstats.resident_bytes, 2048u + 513u);  // one overshoot allowed
+  // Every chunk still retrievable through the cache (fetched from base).
+  for (const auto& id : ids) EXPECT_TRUE(cache.Get(id).ok());
+}
+
+TEST(CachingChunkStoreTest, MissFallsThroughToBase) {
+  auto base = std::make_shared<MemChunkStore>();
+  Chunk c = MakeTestChunk("in base only");
+  ASSERT_TRUE(base->Put(c).ok());
+  CachingChunkStore cache(base, 1 << 20);
+  auto got = cache.Get(c.hash());
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(cache.cache_stats().misses, 1u);
+  ASSERT_TRUE(cache.Get(c.hash()).ok());
+  EXPECT_EQ(cache.cache_stats().hits, 1u);
+}
+
+}  // namespace
+}  // namespace forkbase

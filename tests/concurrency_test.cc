@@ -1,0 +1,183 @@
+// Thread-safety tests: concurrent chunk-store access, parallel ForkBase
+// writers on distinct keys/branches, and concurrent readers during writes.
+// Chunk immutability makes most of this easy — these tests guard the
+// mutable edges (store maps, stats, branch table).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "chunk/caching_chunk_store.h"
+#include "chunk/mem_chunk_store.h"
+#include "store/forkbase.h"
+#include "util/random.h"
+
+namespace forkbase {
+namespace {
+
+constexpr int kThreads = 8;
+constexpr int kOpsPerThread = 200;
+
+TEST(ConcurrencyTest, ParallelPutsToMemStore) {
+  MemChunkStore store;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&store, &failures, t] {
+      Rng rng(t);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        // Half the chunks collide across threads (same content) to
+        // exercise the dedup path concurrently.
+        std::string payload = i % 2 ? rng.NextBytes(100)
+                                    : "shared-" + std::to_string(i);
+        Chunk chunk = Chunk::Make(ChunkType::kCell, payload);
+        if (!store.Put(chunk).ok()) ++failures;
+        auto got = store.Get(chunk.hash());
+        if (!got.ok() || got->payload().ToString() != payload) ++failures;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  ChunkStoreStats stats = store.stats();
+  EXPECT_EQ(stats.put_calls, static_cast<uint64_t>(kThreads * kOpsPerThread));
+  EXPECT_EQ(stats.chunk_count + stats.dedup_hits, stats.put_calls);
+}
+
+TEST(ConcurrencyTest, ParallelPutsThroughCache) {
+  auto base = std::make_shared<MemChunkStore>();
+  CachingChunkStore cache(base, 16 * 1024);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &failures, t] {
+      Rng rng(100 + t);
+      std::vector<Hash256> mine;
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        Chunk chunk = Chunk::Make(ChunkType::kCell, rng.NextBytes(256));
+        if (!cache.Put(chunk).ok()) ++failures;
+        mine.push_back(chunk.hash());
+        // Re-read a random earlier chunk (may be evicted -> base fetch).
+        const Hash256& probe = mine[rng.Uniform(mine.size())];
+        if (!cache.Get(probe).ok()) ++failures;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(ConcurrencyTest, ParallelForkBaseWritersDistinctKeys) {
+  ForkBase db(std::make_shared<MemChunkStore>());
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&db, &failures, t] {
+      std::string key = "key-" + std::to_string(t);
+      for (int i = 0; i < 50; ++i) {
+        if (!db.Put(key, Value::String("v" + std::to_string(i))).ok()) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(db.ListKeys().size(), static_cast<size_t>(kThreads));
+  for (int t = 0; t < kThreads; ++t) {
+    std::string key = "key-" + std::to_string(t);
+    auto history = db.History(key);
+    ASSERT_TRUE(history.ok());
+    EXPECT_EQ(history->size(), 50u) << key;
+    EXPECT_EQ(db.Get(key)->string_value(), "v49");
+  }
+}
+
+TEST(ConcurrencyTest, ParallelBranchWritersOneKey) {
+  ForkBase db(std::make_shared<MemChunkStore>());
+  ASSERT_TRUE(db.PutMap("shared", {{"seed", "0"}}).ok());
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_TRUE(db.Branch("shared", "b" + std::to_string(t)).ok());
+  }
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&db, &failures, t] {
+      std::string branch = "b" + std::to_string(t);
+      for (int i = 0; i < 25; ++i) {
+        auto map = db.GetMap("shared", branch);
+        if (!map.ok()) {
+          ++failures;
+          return;
+        }
+        auto edited = map->Set("k" + std::to_string(t), std::to_string(i));
+        if (!edited.ok() ||
+            !db.Put("shared", Value::OfMap(edited->root()), branch).ok()) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  for (int t = 0; t < kThreads; ++t) {
+    auto map = db.GetMap("shared", "b" + std::to_string(t));
+    ASSERT_TRUE(map.ok());
+    EXPECT_EQ(**map->Get("k" + std::to_string(t)), "24");
+  }
+}
+
+TEST(ConcurrencyTest, ReadersDuringWrites) {
+  auto store = std::make_shared<MemChunkStore>();
+  ForkBase db(store);
+  auto seed_kvs = std::vector<std::pair<std::string, std::string>>();
+  Rng rng(55);
+  for (int i = 0; i < 2000; ++i) {
+    seed_kvs.emplace_back(rng.NextString(10), rng.NextString(10));
+  }
+  ASSERT_TRUE(db.PutMap("live", seed_kvs).ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::thread writer([&] {
+    for (int i = 0; i < 100; ++i) {
+      auto map = db.GetMap("live");
+      if (!map.ok()) {
+        ++failures;
+        break;
+      }
+      auto edited = map->Set("hot-key", std::to_string(i));
+      if (!edited.ok() ||
+          !db.Put("live", Value::OfMap(edited->root())).ok()) {
+        ++failures;
+        break;
+      }
+    }
+    stop = true;
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!stop) {
+        auto map = db.GetMap("live");
+        if (!map.ok()) {
+          ++failures;
+          return;
+        }
+        // A snapshot read must always see a consistent tree.
+        auto size = map->Size();
+        if (!size.ok() || *size < 2000) {
+          ++failures;
+          return;
+        }
+      }
+    });
+  }
+  writer.join();
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(**db.GetMap("live")->Get("hot-key"), "99");
+}
+
+}  // namespace
+}  // namespace forkbase

@@ -1,0 +1,251 @@
+// Edge-case and robustness tests across layers: binary keys, oversize
+// entries, degenerate splitter configs, malformed persistent bytes, empty
+// objects, unicode-ish content, and decode hardening.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "chunk/mem_chunk_store.h"
+#include "postree/diff.h"
+#include "store/forkbase.h"
+#include "types/table.h"
+#include "util/random.h"
+
+namespace forkbase {
+namespace {
+
+// ----------------------------------------------------------- binary keys --
+
+TEST(EdgeCaseTest, KeysWithEmbeddedNulAndHighBytes) {
+  MemChunkStore store;
+  std::vector<std::pair<std::string, std::string>> kvs = {
+      {std::string("\x00\x01", 2), "low"},
+      {std::string("\x00\xff", 2), "mixed"},
+      {std::string("\xff\xff", 2), "high"},
+      {std::string("plain"), "ascii"},
+  };
+  std::sort(kvs.begin(), kvs.end());
+  auto info = PosTree::BuildKeyed(&store, ChunkType::kMapLeaf, kvs);
+  ASSERT_TRUE(info.ok());
+  PosTree tree(&store, ChunkType::kMapLeaf, info->root);
+  for (const auto& [k, v] : kvs) {
+    auto found = tree.Lookup(k);
+    ASSERT_TRUE(found.ok());
+    ASSERT_TRUE(found->has_value());
+    EXPECT_EQ(**found, v);
+  }
+  ASSERT_TRUE(tree.Validate().ok());
+}
+
+TEST(EdgeCaseTest, EmptyKeyAndEmptyValue) {
+  MemChunkStore store;
+  auto info = PosTree::BuildKeyed(&store, ChunkType::kMapLeaf,
+                                  {{"", ""}, {"k", ""}});
+  ASSERT_TRUE(info.ok());
+  PosTree tree(&store, ChunkType::kMapLeaf, info->root);
+  auto empty_key = tree.Lookup("");
+  ASSERT_TRUE(empty_key.ok());
+  ASSERT_TRUE(empty_key->has_value());
+  EXPECT_EQ(**empty_key, "");
+}
+
+// ------------------------------------------------------- oversize entries --
+
+TEST(EdgeCaseTest, EntryLargerThanMaxNodeBytes) {
+  MemChunkStore store;
+  // A single 100 KB value — far above max_bytes (8 KB). It must land in its
+  // own oversized page (no entry ever spans pages).
+  std::string huge = Rng(1).NextBytes(100 * 1024);
+  auto info = PosTree::BuildKeyed(
+      &store, ChunkType::kMapLeaf,
+      {{"aaa", "small"}, {"big", huge}, {"zzz", "small"}});
+  ASSERT_TRUE(info.ok());
+  PosTree tree(&store, ChunkType::kMapLeaf, info->root);
+  auto found = tree.Lookup("big");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(**found, huge);
+  ASSERT_TRUE(tree.Validate().ok());
+
+  // And the oversize page still dedups across rebuilds.
+  MemChunkStore store2;
+  auto info2 = PosTree::BuildKeyed(
+      &store2, ChunkType::kMapLeaf,
+      {{"aaa", "small"}, {"big", huge}, {"zzz", "small"}});
+  ASSERT_TRUE(info2.ok());
+  EXPECT_EQ(info->root, info2->root);
+}
+
+TEST(EdgeCaseTest, ManyIdenticalValues) {
+  // Identical values across keys: chunks still differ (keys embedded), but
+  // build and lookup must be correct, and two builds identical.
+  MemChunkStore store;
+  std::vector<std::pair<std::string, std::string>> kvs;
+  for (int i = 0; i < 5000; ++i) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "k%06d", i);
+    kvs.emplace_back(key, std::string(100, 'x'));
+  }
+  auto info = PosTree::BuildKeyed(&store, ChunkType::kMapLeaf, kvs);
+  ASSERT_TRUE(info.ok());
+  PosTree tree(&store, ChunkType::kMapLeaf, info->root);
+  EXPECT_EQ(*tree.Count(), 5000u);
+  ASSERT_TRUE(tree.Validate().ok());
+}
+
+// ------------------------------------------------- degenerate split config --
+
+TEST(EdgeCaseTest, TinyPagesMakeTallTrees) {
+  MemChunkStore store;
+  TreeConfig config;
+  config.leaf = SplitConfig{8, 4, 16, 64};   // ~16 B pages
+  config.index = SplitConfig{8, 4, 64, 256};
+  auto kvs = std::vector<std::pair<std::string, std::string>>();
+  Rng rng(2);
+  std::map<std::string, std::string> sorted;
+  while (sorted.size() < 2000) sorted[rng.NextString(8)] = rng.NextString(8);
+  kvs.assign(sorted.begin(), sorted.end());
+  auto info = PosTree::BuildKeyed(&store, ChunkType::kMapLeaf, kvs, config);
+  ASSERT_TRUE(info.ok());
+  EXPECT_GE(info->height, 3u);
+  PosTree tree(&store, ChunkType::kMapLeaf, info->root, config);
+  ASSERT_TRUE(tree.Validate().ok());
+  for (int i = 0; i < 50; ++i) {
+    const auto& [k, v] = kvs[rng.Uniform(kvs.size())];
+    auto found = tree.Lookup(k);
+    ASSERT_TRUE(found.ok());
+    EXPECT_EQ(**found, v);
+  }
+  // Diff still works on tall trees.
+  auto edited = tree.ApplyKeyedOps({KeyedOp{kvs[1000].first,
+                                            std::string("changed")}});
+  ASSERT_TRUE(edited.ok());
+  PosTree tree2(&store, ChunkType::kMapLeaf, edited->root, config);
+  auto deltas = DiffKeyed(tree, tree2);
+  ASSERT_TRUE(deltas.ok());
+  EXPECT_EQ(deltas->size(), 1u);
+}
+
+TEST(EdgeCaseTest, HugeQNeverFiresPattern) {
+  // q=63: the pattern effectively never fires; everything is max-size pages.
+  MemChunkStore store;
+  TreeConfig config = TreeConfig::ForBlob();
+  config.leaf.q_bits = 63;
+  std::string data = Rng(3).NextBytes(200000);
+  auto info = PosTree::BuildBlob(&store, data, config);
+  ASSERT_TRUE(info.ok());
+  PosTree tree(&store, ChunkType::kBlobLeaf, info->root, config);
+  auto shape = tree.Shape();
+  ASSERT_TRUE(shape.ok());
+  // ceil(200000 / max_bytes) leaves.
+  EXPECT_EQ(shape->leaf_nodes,
+            (data.size() + config.leaf.max_bytes - 1) / config.leaf.max_bytes);
+  std::string out;
+  ASSERT_TRUE(tree.ReadBytes(0, data.size(), &out).ok());
+  EXPECT_EQ(out, data);
+}
+
+// ---------------------------------------------------- malformed persistence --
+
+TEST(EdgeCaseTest, MalformedLeafPayloadRejected) {
+  MemChunkStore store;
+  // A map leaf whose payload is a truncated entry.
+  std::string bad;
+  PutVarint64(&bad, 100);  // promises a 100-byte key that is not there
+  Chunk chunk = Chunk::Make(ChunkType::kMapLeaf, bad);
+  ASSERT_TRUE(store.Put(chunk).ok());
+  PosTree tree(&store, ChunkType::kMapLeaf, chunk.hash());
+  EXPECT_FALSE(tree.Entries().ok());
+  EXPECT_FALSE(tree.Validate().ok());
+}
+
+TEST(EdgeCaseTest, MalformedIndexNodeRejected) {
+  MemChunkStore store;
+  Chunk chunk = Chunk::Make(ChunkType::kMeta, std::string("short"));
+  ASSERT_TRUE(store.Put(chunk).ok());
+  PosTree tree(&store, ChunkType::kMapLeaf, chunk.hash());
+  EXPECT_FALSE(tree.Count().ok());
+  EXPECT_FALSE(tree.Validate().ok());
+}
+
+TEST(EdgeCaseTest, FNodeDecodeHardening) {
+  // Truncations at every prefix length must fail cleanly, never crash.
+  FNode node;
+  node.key = "k";
+  node.value = Value::String("v");
+  node.bases = {Sha256(Slice("b"))};
+  node.author = "a";
+  node.message = "m";
+  node.logical_time = 1;
+  Chunk good = node.ToChunk();
+  std::string bytes = good.bytes().ToString();
+  for (size_t len = 1; len < bytes.size(); ++len) {
+    Chunk truncated = Chunk::FromBytes(bytes.substr(0, len));
+    auto result = FNode::FromChunk(truncated);
+    EXPECT_FALSE(result.ok()) << "accepted truncation at " << len;
+  }
+  // And with trailing garbage appended.
+  Chunk padded = Chunk::FromBytes(bytes + "extra");
+  EXPECT_FALSE(FNode::FromChunk(padded).ok());
+}
+
+TEST(EdgeCaseTest, TableHeaderDecodeHardening) {
+  MemChunkStore store;
+  auto table = FTable::Create(&store, {"id", "v"}, {{"r", "1"}});
+  ASSERT_TRUE(table.ok());
+  auto header = store.Get(table->id());
+  ASSERT_TRUE(header.ok());
+  std::string bytes = header->bytes().ToString();
+  for (size_t len = 1; len + 1 < bytes.size(); ++len) {
+    Chunk truncated = Chunk::FromBytes(bytes.substr(0, len));
+    ASSERT_TRUE(store.Put(truncated).ok());
+    EXPECT_FALSE(FTable::Attach(&store, truncated.hash()).ok())
+        << "accepted truncation at " << len;
+  }
+}
+
+// ---------------------------------------------------------- facade edges --
+
+TEST(EdgeCaseTest, BranchNamesAreFreeform) {
+  ForkBase db(std::make_shared<MemChunkStore>());
+  ASSERT_TRUE(db.Put("k", Value::Int(1), "feature/with/slashes").ok());
+  ASSERT_TRUE(db.Put("k", Value::Int(2), "unicode-ÆØÅ").ok());
+  auto branches = db.ListBranches("k");
+  ASSERT_TRUE(branches.ok());
+  EXPECT_EQ(branches->size(), 2u);
+}
+
+TEST(EdgeCaseTest, SelfMergeIsIdentity) {
+  ForkBase db(std::make_shared<MemChunkStore>());
+  auto uid = db.Put("k", Value::Int(1));
+  ASSERT_TRUE(uid.ok());
+  auto merged = db.Merge("k", "master", "master");
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(*merged, *uid);
+}
+
+TEST(EdgeCaseTest, HistoryLimitRespected) {
+  ForkBase db(std::make_shared<MemChunkStore>());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(db.Put("k", Value::Int(i)).ok());
+  }
+  auto history = db.History("k", "master", 5);
+  ASSERT_TRUE(history.ok());
+  EXPECT_EQ(history->size(), 5u);
+  EXPECT_EQ((*history)[0].logical_time, 20u);
+}
+
+TEST(EdgeCaseTest, LargeValuesThroughFacade) {
+  ForkBase db(std::make_shared<MemChunkStore>());
+  std::string big = Rng(9).NextBytes(3 << 20);  // 3 MB blob
+  ASSERT_TRUE(db.PutBlob("big", big).ok());
+  auto blob = db.GetBlob("big");
+  ASSERT_TRUE(blob.ok());
+  EXPECT_EQ(*blob->Size(), big.size());
+  auto middle = blob->Read(1 << 20, 128);
+  ASSERT_TRUE(middle.ok());
+  EXPECT_EQ(*middle, big.substr(1 << 20, 128));
+  EXPECT_TRUE(db.Verify(*db.Head("big")).ok());
+}
+
+}  // namespace
+}  // namespace forkbase

@@ -1,0 +1,148 @@
+// Tests for the garbage collector: mark reachability, copy collection,
+// garbage identification after branch deletion, history retention.
+#include <gtest/gtest.h>
+
+#include "chunk/mem_chunk_store.h"
+#include "store/gc.h"
+#include "util/datagen.h"
+
+namespace forkbase {
+namespace {
+
+TEST(GcTest, MarkLiveCoversValueTreeAndHistory) {
+  auto store = std::make_shared<MemChunkStore>();
+  ForkBase db(store);
+  auto v1 = db.PutMap("k", {{"a", "1"}, {"b", "2"}});
+  auto v2 = db.PutMap("k", {{"a", "1"}, {"b", "3"}});
+  ASSERT_TRUE(v1.ok() && v2.ok());
+  auto live = MarkLive(*store, {*v2});
+  ASSERT_TRUE(live.ok());
+  // Both FNodes (history!) plus both map roots must be live.
+  EXPECT_TRUE(live->count(*v1));
+  EXPECT_TRUE(live->count(*v2));
+  auto map1 = db.GetVersion(*v1);
+  auto map2 = db.GetVersion(*v2);
+  ASSERT_TRUE(map1.ok() && map2.ok());
+  EXPECT_TRUE(live->count(map1->root()));
+  EXPECT_TRUE(live->count(map2->root()));
+}
+
+TEST(GcTest, MarkLiveFailsOnMissingRoot) {
+  MemChunkStore store;
+  EXPECT_FALSE(MarkLive(store, {Sha256(Slice("ghost"))}).ok());
+}
+
+TEST(GcTest, NoGarbageWhileEverythingReferenced) {
+  auto store = std::make_shared<MemChunkStore>();
+  ForkBase db(store);
+  CsvGenOptions opts;
+  opts.num_rows = 500;
+  ASSERT_TRUE(db.PutTableFromCsv("ds", GenerateCsv(opts)).ok());
+  ASSERT_TRUE(db.Branch("ds", "dev").ok());
+  auto garbage = FindGarbage(db);
+  ASSERT_TRUE(garbage.ok());
+  EXPECT_TRUE(garbage->empty());
+}
+
+TEST(GcTest, DeletedBranchCreatesGarbage) {
+  auto store = std::make_shared<MemChunkStore>();
+  ForkBase db(store);
+  CsvGenOptions opts;
+  opts.num_rows = 1000;
+  ASSERT_TRUE(db.PutTableFromCsv("ds", GenerateCsv(opts)).ok());
+  ASSERT_TRUE(db.Branch("ds", "scratch").ok());
+  // Large divergent edit on the scratch branch.
+  auto table = db.GetTable("ds", "scratch");
+  ASSERT_TRUE(table.ok());
+  FTable current = *table;
+  for (int i = 0; i < 200; ++i) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "r%08d", i);
+    auto next = current.UpdateCell(key, 2, "scratch-" + std::to_string(i));
+    ASSERT_TRUE(next.ok());
+    current = *next;
+  }
+  ASSERT_TRUE(
+      db.Put("ds", Value::OfTable(current.id()), "scratch").ok());
+
+  auto garbage_before = FindGarbage(db);
+  ASSERT_TRUE(garbage_before.ok());
+  // Intermediate FTable states of the loop are unreferenced already.
+  ASSERT_TRUE(db.DeleteBranch("ds", "scratch").ok());
+  auto garbage_after = FindGarbage(db);
+  ASSERT_TRUE(garbage_after.ok());
+  EXPECT_GT(garbage_after->size(), garbage_before->size())
+      << "dropping the branch must strand its divergent chunks";
+}
+
+TEST(GcTest, CopyLivePreservesAllHeadsAndHistory) {
+  auto store = std::make_shared<MemChunkStore>();
+  ForkBase db(store);
+  CsvGenOptions opts;
+  opts.num_rows = 800;
+  ASSERT_TRUE(db.PutTableFromCsv("ds", GenerateCsv(opts)).ok());
+  ASSERT_TRUE(db.Branch("ds", "dev").ok());
+  auto t = db.GetTable("ds", "dev");
+  ASSERT_TRUE(t.ok());
+  auto edited = t->UpdateCell("r00000400", 1, "dev-edit");
+  ASSERT_TRUE(edited.ok());
+  ASSERT_TRUE(db.Put("ds", Value::OfTable(edited->id()), "dev").ok());
+  // Strand some chunks.
+  ASSERT_TRUE(db.PutMap("temp", {{"x", "y"}}).ok());
+  ASSERT_TRUE(db.DeleteBranch("temp", "master").ok());
+
+  auto dst = std::make_shared<MemChunkStore>();
+  auto stats = CopyLive(db, dst.get());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats->garbage_chunks(), 0u);
+  EXPECT_LT(stats->live_chunks, stats->total_chunks);
+
+  // Rebuild a ForkBase over the compacted store: all heads verify.
+  ForkBase compacted(dst);
+  compacted.branches().SetHead("ds", "master", *db.Head("ds", "master"));
+  compacted.branches().SetHead("ds", "dev", *db.Head("ds", "dev"));
+  EXPECT_TRUE(compacted.Verify(*compacted.Head("ds", "master")).ok());
+  EXPECT_TRUE(compacted.Verify(*compacted.Head("ds", "dev")).ok());
+  auto dev_table = compacted.GetTable("ds", "dev");
+  ASSERT_TRUE(dev_table.ok());
+  EXPECT_EQ(**dev_table->GetCell("r00000400", 1), "dev-edit");
+}
+
+TEST(GcTest, CopyLiveIsIdempotent) {
+  auto store = std::make_shared<MemChunkStore>();
+  ForkBase db(store);
+  ASSERT_TRUE(db.PutMap("k", {{"a", "1"}}).ok());
+  auto dst = std::make_shared<MemChunkStore>();
+  auto s1 = CopyLive(db, dst.get());
+  ASSERT_TRUE(s1.ok());
+  uint64_t chunks_after_first = dst->stats().chunk_count;
+  auto s2 = CopyLive(db, dst.get());
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(dst->stats().chunk_count, chunks_after_first);
+}
+
+TEST(GcTest, SharedChunksSurviveWhenOneReferenceDies) {
+  // Two keys share content; deleting one key must not orphan the shared
+  // chunks of the other.
+  auto store = std::make_shared<MemChunkStore>();
+  ForkBase db(store);
+  CsvGenOptions opts;
+  opts.num_rows = 600;
+  CsvDocument doc = GenerateCsv(opts);
+  ASSERT_TRUE(db.PutTableFromCsv("a", doc).ok());
+  ASSERT_TRUE(db.PutTableFromCsv("b", doc).ok());  // shares all data chunks
+  ASSERT_TRUE(db.DeleteBranch("a", "master").ok());
+
+  auto dst = std::make_shared<MemChunkStore>();
+  auto stats = CopyLive(db, dst.get());
+  ASSERT_TRUE(stats.ok());
+  ForkBase survivor(dst);
+  survivor.branches().SetHead("b", "master", *db.Head("b", "master"));
+  EXPECT_TRUE(survivor.Verify(*survivor.Head("b")).ok());
+  auto table = survivor.GetTable("b");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(*table->NumRows(), 600u);
+}
+
+}  // namespace
+}  // namespace forkbase

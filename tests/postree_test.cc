@@ -1,0 +1,397 @@
+// Unit tests for the POS-Tree: builder canonicalization, lookup/positional
+// access against reference containers, functional mutation, validation and
+// tamper detection.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "chunk/mem_chunk_store.h"
+#include "postree/tree.h"
+#include "util/random.h"
+
+namespace forkbase {
+namespace {
+
+std::vector<std::pair<std::string, std::string>> MakeKvs(size_t n,
+                                                         uint64_t seed = 1) {
+  Rng rng(seed);
+  std::map<std::string, std::string> sorted;
+  while (sorted.size() < n) {
+    sorted["key" + rng.NextString(12)] = rng.NextString(24);
+  }
+  return {sorted.begin(), sorted.end()};
+}
+
+// --------------------------------------------------------------- Builder --
+
+TEST(TreeBuilderTest, EmptyTreeIsCanonicalEmptyLeaf) {
+  MemChunkStore store;
+  auto info = PosTree::BuildKeyed(&store, ChunkType::kMapLeaf, {});
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->count, 0u);
+  EXPECT_EQ(info->height, 1u);
+  auto chunk = store.Get(info->root);
+  ASSERT_TRUE(chunk.ok());
+  EXPECT_EQ(chunk->type(), ChunkType::kMapLeaf);
+  EXPECT_TRUE(chunk->payload().empty());
+}
+
+TEST(TreeBuilderTest, EmptyTreesOfDifferentTypesDiffer) {
+  MemChunkStore store;
+  auto map_info = PosTree::BuildKeyed(&store, ChunkType::kMapLeaf, {});
+  auto set_info = PosTree::BuildKeyed(&store, ChunkType::kSetLeaf, {});
+  ASSERT_TRUE(map_info.ok());
+  ASSERT_TRUE(set_info.ok());
+  EXPECT_NE(map_info->root, set_info->root);
+}
+
+TEST(TreeBuilderTest, SingleEntryRootIsLeaf) {
+  MemChunkStore store;
+  auto info = PosTree::BuildKeyed(&store, ChunkType::kMapLeaf,
+                                  {{"only", "entry"}});
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->count, 1u);
+  EXPECT_EQ(info->height, 1u);
+  auto chunk = store.Get(info->root);
+  ASSERT_TRUE(chunk.ok());
+  EXPECT_EQ(chunk->type(), ChunkType::kMapLeaf);
+}
+
+TEST(TreeBuilderTest, LargeTreeGrowsHeightAndValidates) {
+  MemChunkStore store;
+  auto kvs = MakeKvs(20000);
+  auto info = PosTree::BuildKeyed(&store, ChunkType::kMapLeaf, kvs);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->count, kvs.size());
+  EXPECT_GE(info->height, 2u);
+  PosTree tree(&store, ChunkType::kMapLeaf, info->root);
+  ASSERT_TRUE(tree.Validate().ok());
+  auto shape = tree.Shape();
+  ASSERT_TRUE(shape.ok());
+  EXPECT_EQ(shape->entries, kvs.size());
+  EXPECT_GT(shape->leaf_nodes, 1u);
+  EXPECT_EQ(shape->height, info->height);
+}
+
+TEST(TreeBuilderTest, RebuildIsBitIdentical) {
+  MemChunkStore s1, s2;
+  auto kvs = MakeKvs(5000);
+  auto a = PosTree::BuildKeyed(&s1, ChunkType::kMapLeaf, kvs);
+  auto b = PosTree::BuildKeyed(&s2, ChunkType::kMapLeaf, kvs);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->root, b->root) << "same records must give the same root";
+  EXPECT_EQ(a->nodes_written, b->nodes_written);
+}
+
+TEST(TreeBuilderTest, NodesRespectSizeBounds) {
+  MemChunkStore store;
+  auto kvs = MakeKvs(20000);
+  auto info = PosTree::BuildKeyed(&store, ChunkType::kMapLeaf, kvs);
+  ASSERT_TRUE(info.ok());
+  SplitConfig cfg = SplitConfig::Entries();
+  size_t oversize = 0, total = 0;
+  store.ForEach([&](const Hash256&, const Chunk& chunk) {
+    ++total;
+    // +1 tag byte; the final node of a level may be undersized, and an
+    // entry straddling max_bytes may overshoot by one entry length.
+    if (chunk.size() > cfg.max_bytes + 256) ++oversize;
+  });
+  EXPECT_EQ(oversize, 0u);
+  EXPECT_GT(total, 10u);
+}
+
+// --------------------------------------------------------------- Lookup --
+
+class PosTreeLookupTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PosTreeLookupTest, MatchesReferenceMap) {
+  MemChunkStore store;
+  auto kvs = MakeKvs(GetParam(), /*seed=*/GetParam());
+  auto info = PosTree::BuildKeyed(&store, ChunkType::kMapLeaf, kvs);
+  ASSERT_TRUE(info.ok());
+  PosTree tree(&store, ChunkType::kMapLeaf, info->root);
+
+  // Every present key is found with its value.
+  Rng rng(7);
+  for (size_t trial = 0; trial < std::min<size_t>(kvs.size(), 200); ++trial) {
+    const auto& [key, value] = kvs[rng.Uniform(kvs.size())];
+    auto found = tree.Lookup(key);
+    ASSERT_TRUE(found.ok());
+    ASSERT_TRUE(found->has_value()) << key;
+    EXPECT_EQ(**found, value);
+  }
+  // Absent keys (outside and inside the key range) are not found.
+  auto missing_low = tree.Lookup("kex");
+  ASSERT_TRUE(missing_low.ok());
+  EXPECT_FALSE(missing_low->has_value());
+  auto missing_high = tree.Lookup("kez");
+  ASSERT_TRUE(missing_high.ok());
+  EXPECT_FALSE(missing_high->has_value());
+  auto count = tree.Count();
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, kvs.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PosTreeLookupTest,
+                         ::testing::Values(1, 2, 10, 100, 1000, 20000));
+
+TEST(PosTreeScanTest, ScanReturnsEntriesInKeyOrder) {
+  MemChunkStore store;
+  auto kvs = MakeKvs(3000);
+  auto info = PosTree::BuildKeyed(&store, ChunkType::kMapLeaf, kvs);
+  ASSERT_TRUE(info.ok());
+  PosTree tree(&store, ChunkType::kMapLeaf, info->root);
+  auto entries = tree.Entries();
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(*entries, kvs);
+}
+
+TEST(PosTreeScanTest, EarlyStopPropagates) {
+  MemChunkStore store;
+  auto info = PosTree::BuildKeyed(&store, ChunkType::kMapLeaf, MakeKvs(100));
+  ASSERT_TRUE(info.ok());
+  PosTree tree(&store, ChunkType::kMapLeaf, info->root);
+  int seen = 0;
+  Status s = tree.Scan([&seen](const EntryView&) {
+    if (++seen == 5) return Status::InvalidArgument("stop");
+    return Status::OK();
+  });
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(seen, 5);
+}
+
+// -------------------------------------------------------------- Keyed ops --
+
+TEST(PosTreeApplyOpsTest, UpsertAndDeleteMatchReference) {
+  MemChunkStore store;
+  auto kvs = MakeKvs(2000, 3);
+  std::map<std::string, std::string> reference(kvs.begin(), kvs.end());
+  auto info = PosTree::BuildKeyed(&store, ChunkType::kMapLeaf, kvs);
+  ASSERT_TRUE(info.ok());
+  PosTree tree(&store, ChunkType::kMapLeaf, info->root);
+
+  Rng rng(9);
+  std::vector<KeyedOp> ops;
+  // Updates of existing keys.
+  for (int i = 0; i < 50; ++i) {
+    const auto& key = kvs[rng.Uniform(kvs.size())].first;
+    std::string value = rng.NextString(10);
+    ops.push_back(KeyedOp{key, value});
+    reference[key] = value;
+  }
+  // Inserts of new keys.
+  for (int i = 0; i < 50; ++i) {
+    std::string key = "zzz" + rng.NextString(8);
+    std::string value = rng.NextString(10);
+    ops.push_back(KeyedOp{key, value});
+    reference[key] = value;
+  }
+  // Deletes (existing and non-existing).
+  for (int i = 0; i < 25; ++i) {
+    const auto& key = kvs[rng.Uniform(kvs.size())].first;
+    ops.push_back(KeyedOp{key, std::nullopt});
+    reference.erase(key);
+  }
+  ops.push_back(KeyedOp{"not-present", std::nullopt});
+
+  auto updated = tree.ApplyKeyedOps(ops);
+  ASSERT_TRUE(updated.ok());
+  PosTree new_tree(&store, ChunkType::kMapLeaf, updated->root);
+  auto entries = new_tree.Entries();
+  ASSERT_TRUE(entries.ok());
+  std::vector<std::pair<std::string, std::string>> expected(reference.begin(),
+                                                            reference.end());
+  EXPECT_EQ(*entries, expected);
+  ASSERT_TRUE(new_tree.Validate().ok());
+}
+
+TEST(PosTreeApplyOpsTest, UpdateEqualsFromScratchBuild) {
+  // Structural invariance under mutation: applying ops must give the exact
+  // tree a from-scratch build of the resulting record set gives.
+  MemChunkStore store;
+  auto kvs = MakeKvs(4000, 5);
+  auto info = PosTree::BuildKeyed(&store, ChunkType::kMapLeaf, kvs);
+  ASSERT_TRUE(info.ok());
+  PosTree tree(&store, ChunkType::kMapLeaf, info->root);
+
+  std::map<std::string, std::string> reference(kvs.begin(), kvs.end());
+  std::vector<KeyedOp> ops{{kvs[100].first, std::string("new-value")},
+                           {kvs[200].first, std::nullopt},
+                           {std::string("brand-new-key"), std::string("v")}};
+  for (const auto& op : ops) {
+    if (op.value) reference[op.key] = *op.value;
+    else reference.erase(op.key);
+  }
+  auto incremental = tree.ApplyKeyedOps(ops);
+  ASSERT_TRUE(incremental.ok());
+
+  MemChunkStore fresh;
+  auto scratch = PosTree::BuildKeyed(
+      &fresh, ChunkType::kMapLeaf,
+      std::vector<std::pair<std::string, std::string>>(reference.begin(),
+                                                       reference.end()));
+  ASSERT_TRUE(scratch.ok());
+  EXPECT_EQ(incremental->root, scratch->root);
+}
+
+TEST(PosTreeApplyOpsTest, LastWinsForDuplicateOps) {
+  MemChunkStore store;
+  auto info = PosTree::BuildKeyed(&store, ChunkType::kMapLeaf, {});
+  ASSERT_TRUE(info.ok());
+  PosTree tree(&store, ChunkType::kMapLeaf, info->root);
+  auto updated = tree.ApplyKeyedOps({{std::string("k"), std::string("first")},
+                                     {std::string("k"), std::string("last")}});
+  ASSERT_TRUE(updated.ok());
+  PosTree t2(&store, ChunkType::kMapLeaf, updated->root);
+  auto v = t2.Lookup("k");
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(v->has_value());
+  EXPECT_EQ(**v, "last");
+}
+
+// ----------------------------------------------------------- List / blob --
+
+TEST(PosTreeListTest, ElementAccessMatchesVector) {
+  MemChunkStore store;
+  Rng rng(11);
+  std::vector<std::string> elems;
+  for (int i = 0; i < 5000; ++i) elems.push_back(rng.NextString(16));
+  auto info = PosTree::BuildList(&store, elems);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->count, elems.size());
+  PosTree tree(&store, ChunkType::kListLeaf, info->root);
+  for (uint64_t i : {0ull, 1ull, 999ull, 4999ull}) {
+    auto e = tree.Element(i);
+    ASSERT_TRUE(e.ok()) << i;
+    EXPECT_EQ(*e, elems[i]);
+  }
+  EXPECT_TRUE(tree.Element(5000).status().IsNotFound());
+  ASSERT_TRUE(tree.Validate().ok());
+}
+
+TEST(PosTreeListTest, SpliceMatchesVectorSplice) {
+  MemChunkStore store;
+  Rng rng(13);
+  std::vector<std::string> elems;
+  for (int i = 0; i < 1000; ++i) elems.push_back(rng.NextString(8));
+  auto info = PosTree::BuildList(&store, elems);
+  ASSERT_TRUE(info.ok());
+  PosTree tree(&store, ChunkType::kListLeaf, info->root);
+
+  std::vector<std::string> inserts{"alpha", "beta", "gamma"};
+  auto spliced = tree.SpliceElements(200, 50, inserts);
+  ASSERT_TRUE(spliced.ok());
+
+  std::vector<std::string> expected(elems.begin(), elems.begin() + 200);
+  expected.insert(expected.end(), inserts.begin(), inserts.end());
+  expected.insert(expected.end(), elems.begin() + 250, elems.end());
+
+  MemChunkStore fresh;
+  auto scratch = PosTree::BuildList(&fresh, expected);
+  ASSERT_TRUE(scratch.ok());
+  EXPECT_EQ(spliced->root, scratch->root)
+      << "splice must equal from-scratch build (structural invariance)";
+}
+
+TEST(PosTreeBlobTest, ReadBytesMatchesSource) {
+  MemChunkStore store;
+  std::string data = Rng(15).NextBytes(200000);
+  auto info = PosTree::BuildBlob(&store, data);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->count, data.size());
+  PosTree tree(&store, ChunkType::kBlobLeaf, info->root,
+               TreeConfig::ForBlob());
+  std::string out;
+  ASSERT_TRUE(tree.ReadBytes(0, data.size(), &out).ok());
+  EXPECT_EQ(out, data);
+  ASSERT_TRUE(tree.ReadBytes(12345, 678, &out).ok());
+  EXPECT_EQ(out, data.substr(12345, 678));
+  ASSERT_TRUE(tree.ReadBytes(199999, 100, &out).ok());
+  EXPECT_EQ(out, data.substr(199999));  // clamped at the end
+  ASSERT_TRUE(tree.Validate().ok());
+}
+
+TEST(PosTreeBlobTest, SpliceBytesEqualsFromScratch) {
+  MemChunkStore store;
+  std::string data = Rng(17).NextBytes(100000);
+  auto info = PosTree::BuildBlob(&store, data);
+  ASSERT_TRUE(info.ok());
+  PosTree tree(&store, ChunkType::kBlobLeaf, info->root,
+               TreeConfig::ForBlob());
+  std::string insert = Rng(18).NextBytes(777);
+  auto spliced = tree.SpliceBytes(50000, 1000, insert);
+  ASSERT_TRUE(spliced.ok());
+
+  std::string expected = data.substr(0, 50000) + insert + data.substr(51000);
+  MemChunkStore fresh;
+  auto scratch = PosTree::BuildBlob(&fresh, expected);
+  ASSERT_TRUE(scratch.ok());
+  EXPECT_EQ(spliced->root, scratch->root);
+  EXPECT_EQ(spliced->count, expected.size());
+}
+
+TEST(PosTreeBlobTest, AppendViaSpliceAtEnd) {
+  MemChunkStore store;
+  std::string data = Rng(19).NextBytes(10000);
+  auto info = PosTree::BuildBlob(&store, data);
+  ASSERT_TRUE(info.ok());
+  PosTree tree(&store, ChunkType::kBlobLeaf, info->root,
+               TreeConfig::ForBlob());
+  auto appended = tree.SpliceBytes(data.size(), 0, "TAIL");
+  ASSERT_TRUE(appended.ok());
+  PosTree t2(&store, ChunkType::kBlobLeaf, appended->root,
+             TreeConfig::ForBlob());
+  std::string out;
+  ASSERT_TRUE(t2.ReadBytes(data.size(), 4, &out).ok());
+  EXPECT_EQ(out, "TAIL");
+}
+
+// ------------------------------------------------------------ Validation --
+
+TEST(PosTreeValidateTest, DetectsTamperedLeaf) {
+  MemChunkStore store;
+  auto kvs = MakeKvs(5000, 23);
+  auto info = PosTree::BuildKeyed(&store, ChunkType::kMapLeaf, kvs);
+  ASSERT_TRUE(info.ok());
+  PosTree tree(&store, ChunkType::kMapLeaf, info->root);
+  ASSERT_TRUE(tree.Validate().ok());
+
+  // Tamper with some reachable non-root chunk.
+  std::vector<Hash256> chunks;
+  ASSERT_TRUE(tree.ReachableChunks(&chunks).ok());
+  ASSERT_GT(chunks.size(), 2u);
+  ASSERT_TRUE(store.TamperForTesting(chunks[chunks.size() / 2], 5, 0x01));
+  Status tampered = tree.Validate();
+  EXPECT_TRUE(tampered.IsCorruption()) << tampered.ToString();
+}
+
+TEST(PosTreeValidateTest, DetectsMissingChunk) {
+  MemChunkStore store;
+  auto kvs = MakeKvs(5000, 29);
+  auto info = PosTree::BuildKeyed(&store, ChunkType::kMapLeaf, kvs);
+  ASSERT_TRUE(info.ok());
+  PosTree tree(&store, ChunkType::kMapLeaf, info->root);
+  std::vector<Hash256> chunks;
+  ASSERT_TRUE(tree.ReachableChunks(&chunks).ok());
+  ASSERT_TRUE(store.EraseForTesting(chunks.back()));
+  EXPECT_FALSE(tree.Validate().ok());
+}
+
+TEST(PosTreeShapeTest, CountsAddUp) {
+  MemChunkStore store;
+  auto kvs = MakeKvs(10000, 31);
+  auto info = PosTree::BuildKeyed(&store, ChunkType::kMapLeaf, kvs);
+  ASSERT_TRUE(info.ok());
+  PosTree tree(&store, ChunkType::kMapLeaf, info->root);
+  auto shape = tree.Shape();
+  ASSERT_TRUE(shape.ok());
+  EXPECT_EQ(shape->total_nodes, shape->leaf_nodes + shape->index_nodes);
+  EXPECT_EQ(shape->entries, kvs.size());
+  std::vector<Hash256> chunks;
+  ASSERT_TRUE(tree.ReachableChunks(&chunks).ok());
+  EXPECT_EQ(chunks.size(), shape->total_nodes);
+}
+
+}  // namespace
+}  // namespace forkbase

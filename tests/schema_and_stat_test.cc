@@ -1,0 +1,167 @@
+// Tests for table schema evolution (AddColumn/DropColumn/RenameColumn) and
+// the per-object Stat verb.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "chunk/mem_chunk_store.h"
+#include "store/forkbase.h"
+#include "util/datagen.h"
+
+namespace forkbase {
+namespace {
+
+StatusOr<FTable> SampleTable(ChunkStore* store) {
+  return FTable::Create(store, {"id", "name", "qty"},
+                        {{"r1", "widget", "5"},
+                         {"r2", "gadget", "7"},
+                         {"r3", "doodad", "0"}});
+}
+
+// -------------------------------------------------------- schema evolution --
+
+TEST(SchemaEvolutionTest, AddColumnAppendsDefault) {
+  MemChunkStore store;
+  auto table = SampleTable(&store);
+  ASSERT_TRUE(table.ok());
+  auto evolved = table->AddColumn("price", "0.00");
+  ASSERT_TRUE(evolved.ok());
+  EXPECT_EQ(evolved->columns(),
+            (std::vector<std::string>{"id", "name", "qty", "price"}));
+  auto row = evolved->GetRow("r2");
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(**row, (std::vector<std::string>{"r2", "gadget", "7", "0.00"}));
+  // Old version untouched (schema is versioned like everything else).
+  EXPECT_EQ(table->columns().size(), 3u);
+  ASSERT_TRUE(evolved->Validate().ok());
+}
+
+TEST(SchemaEvolutionTest, AddColumnRejectsDuplicateName) {
+  MemChunkStore store;
+  auto table = SampleTable(&store);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->AddColumn("name").status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaEvolutionTest, DropColumnRemovesCells) {
+  MemChunkStore store;
+  auto table = SampleTable(&store);
+  ASSERT_TRUE(table.ok());
+  auto dropped = table->DropColumn(1);
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_EQ(dropped->columns(), (std::vector<std::string>{"id", "qty"}));
+  auto row = dropped->GetRow("r1");
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(**row, (std::vector<std::string>{"r1", "5"}));
+  EXPECT_FALSE(table->DropColumn(0).ok()) << "key column must be protected";
+  EXPECT_FALSE(table->DropColumn(9).ok());
+  ASSERT_TRUE(dropped->Validate().ok());
+}
+
+TEST(SchemaEvolutionTest, DropBeforeKeyColumnAdjustsIndex) {
+  MemChunkStore store;
+  auto table = FTable::Create(&store, {"extra", "id", "v"},
+                              {{"x1", "r1", "a"}, {"x2", "r2", "b"}},
+                              /*key_column=*/1);
+  ASSERT_TRUE(table.ok());
+  auto dropped = table->DropColumn(0);
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_EQ(dropped->key_column(), 0u);
+  auto row = dropped->GetRow("r1");
+  ASSERT_TRUE(row.ok());
+  ASSERT_TRUE(row->has_value());
+  EXPECT_EQ(**row, (std::vector<std::string>{"r1", "a"}));
+  ASSERT_TRUE(dropped->Validate().ok());
+}
+
+TEST(SchemaEvolutionTest, RenameColumnSharesRowTree) {
+  MemChunkStore store;
+  CsvGenOptions opts;
+  opts.num_rows = 2000;
+  auto table = FTable::FromCsv(&store, GenerateCsv(opts));
+  ASSERT_TRUE(table.ok());
+  uint64_t before = store.stats().physical_bytes;
+  auto renamed = table->RenameColumn(2, "renamed");
+  ASSERT_TRUE(renamed.ok());
+  uint64_t delta = store.stats().physical_bytes - before;
+  EXPECT_LT(delta, 256u) << "a rename must only rewrite the header chunk";
+  EXPECT_EQ(renamed->rows().root(), table->rows().root());
+  EXPECT_EQ(renamed->columns()[2], "renamed");
+  EXPECT_FALSE(table->RenameColumn(0, "c1").ok()) << "collision rejected";
+}
+
+TEST(SchemaEvolutionTest, EvolutionIsVersionedThroughFacade) {
+  ForkBase db(std::make_shared<MemChunkStore>());
+  CsvGenOptions opts;
+  opts.num_rows = 100;
+  ASSERT_TRUE(db.PutTableFromCsv("ds", GenerateCsv(opts)).ok());
+  auto v1 = db.Head("ds");
+  ASSERT_TRUE(v1.ok());
+  auto table = db.GetTable("ds");
+  ASSERT_TRUE(table.ok());
+  auto evolved = table->AddColumn("flag", "n");
+  ASSERT_TRUE(evolved.ok());
+  ASSERT_TRUE(db.Put("ds", Value::OfTable(evolved->id())).ok());
+
+  // Time travel across the schema change.
+  auto old_value = db.GetVersion(*v1);
+  ASSERT_TRUE(old_value.ok());
+  auto old_table = FTable::Attach(db.store(), old_value->root());
+  ASSERT_TRUE(old_table.ok());
+  EXPECT_EQ(old_table->columns().size(), 7u);
+  EXPECT_EQ(db.GetTable("ds")->columns().size(), 8u);
+}
+
+TEST(SchemaEvolutionTest, DiffAcrossSchemaChangeRejected) {
+  MemChunkStore store;
+  auto table = SampleTable(&store);
+  ASSERT_TRUE(table.ok());
+  auto evolved = table->AddColumn("extra");
+  ASSERT_TRUE(evolved.ok());
+  EXPECT_FALSE(table->Diff(*evolved).ok()) << "schemas differ";
+}
+
+// ------------------------------------------------------------- object stat --
+
+TEST(StatObjectTest, ReportsShapePerType) {
+  ForkBase db(std::make_shared<MemChunkStore>());
+  ASSERT_TRUE(db.Put("prim", Value::Int(42)).ok());
+  auto prim = db.StatObject("prim");
+  ASSERT_TRUE(prim.ok());
+  EXPECT_EQ(prim->type, ValueType::kInt);
+  EXPECT_EQ(prim->entries, 1u);
+
+  std::vector<std::pair<std::string, std::string>> kvs;
+  for (int i = 0; i < 5000; ++i) {
+    kvs.emplace_back("k" + std::to_string(100000 + i), "v");
+  }
+  ASSERT_TRUE(db.PutMap("map", kvs).ok());
+  auto map_stat = db.StatObject("map");
+  ASSERT_TRUE(map_stat.ok());
+  EXPECT_EQ(map_stat->type, ValueType::kMap);
+  EXPECT_EQ(map_stat->entries, 5000u);
+  EXPECT_GT(map_stat->shape.leaf_nodes, 1u);
+  EXPECT_GE(map_stat->shape.height, 2u);
+
+  ASSERT_TRUE(db.PutBlob("blob", std::string(100000, 'b')).ok());
+  auto blob_stat = db.StatObject("blob");
+  ASSERT_TRUE(blob_stat.ok());
+  EXPECT_EQ(blob_stat->entries, 100000u);
+
+  CsvGenOptions opts;
+  opts.num_rows = 500;
+  ASSERT_TRUE(db.PutTableFromCsv("table", GenerateCsv(opts)).ok());
+  auto table_stat = db.StatObject("table");
+  ASSERT_TRUE(table_stat.ok());
+  EXPECT_EQ(table_stat->type, ValueType::kTable);
+  EXPECT_EQ(table_stat->entries, 500u);
+}
+
+TEST(StatObjectTest, MissingKeyIsNotFound) {
+  ForkBase db(std::make_shared<MemChunkStore>());
+  EXPECT_TRUE(db.StatObject("ghost").status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace forkbase

@@ -1,0 +1,220 @@
+// Unit tests for FTable: schema handling, CSV round trips, row/cell CRUD,
+// selection, row+column diff, and column-refined three-way merge.
+#include <gtest/gtest.h>
+
+#include "chunk/mem_chunk_store.h"
+#include "types/table.h"
+#include "util/datagen.h"
+#include "util/random.h"
+
+namespace forkbase {
+namespace {
+
+FTable MakeTable(MemChunkStore* store, size_t rows = 100, uint64_t seed = 1) {
+  CsvGenOptions opts;
+  opts.num_rows = rows;
+  opts.seed = seed;
+  auto table = FTable::FromCsv(store, GenerateCsv(opts));
+  EXPECT_TRUE(table.ok());
+  return *table;
+}
+
+TEST(FTableTest, CreateAndLookup) {
+  MemChunkStore store;
+  auto table = FTable::Create(&store, {"id", "name", "qty"},
+                              {{"r1", "widget", "5"},
+                               {"r2", "gadget", "7"},
+                               {"r3", "doodad", "0"}});
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(*table->NumRows(), 3u);
+  auto row = table->GetRow("r2");
+  ASSERT_TRUE(row.ok());
+  ASSERT_TRUE(row->has_value());
+  EXPECT_EQ(**row, (std::vector<std::string>{"r2", "gadget", "7"}));
+  auto cell = table->GetCell("r3", 1);
+  ASSERT_TRUE(cell.ok());
+  EXPECT_EQ(**cell, "doodad");
+  auto missing = table->GetRow("r9");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_FALSE(missing->has_value());
+}
+
+TEST(FTableTest, RejectsBadInputs) {
+  MemChunkStore store;
+  EXPECT_FALSE(FTable::Create(&store, {}, {}).ok());
+  EXPECT_FALSE(FTable::Create(&store, {"id"}, {}, 5).ok());
+  EXPECT_FALSE(FTable::Create(&store, {"id", "v"}, {{"r1"}}).ok());
+  EXPECT_FALSE(
+      FTable::Create(&store, {"id", "v"}, {{"r1", "a"}, {"r1", "b"}}).ok())
+      << "duplicate primary keys must be rejected";
+}
+
+TEST(FTableTest, AttachByIdRestoresSchema) {
+  MemChunkStore store;
+  FTable table = MakeTable(&store);
+  auto attached = FTable::Attach(&store, table.id());
+  ASSERT_TRUE(attached.ok());
+  EXPECT_EQ(attached->columns(), table.columns());
+  EXPECT_EQ(attached->key_column(), table.key_column());
+  EXPECT_EQ(*attached->NumRows(), *table.NumRows());
+}
+
+TEST(FTableTest, CsvRoundTrip) {
+  MemChunkStore store;
+  CsvGenOptions opts;
+  opts.num_rows = 200;
+  CsvDocument doc = GenerateCsv(opts);
+  auto table = FTable::FromCsv(&store, doc);
+  ASSERT_TRUE(table.ok());
+  auto exported = table->ToCsv();
+  ASSERT_TRUE(exported.ok());
+  EXPECT_EQ(exported->header, doc.header);
+  // Row ids are generated pre-sorted, so order survives.
+  EXPECT_EQ(exported->rows, doc.rows);
+}
+
+TEST(FTableTest, UpsertDeleteUpdateCell) {
+  MemChunkStore store;
+  FTable table = MakeTable(&store, 50);
+  auto upserted = table.UpsertRow({"zz-new", "a", "b", "c", "d", "e", "f"});
+  ASSERT_TRUE(upserted.ok());
+  EXPECT_EQ(*upserted->NumRows(), 51u);
+
+  auto updated = upserted->UpdateCell("zz-new", 2, "CHANGED");
+  ASSERT_TRUE(updated.ok());
+  EXPECT_EQ(**updated->GetCell("zz-new", 2), "CHANGED");
+  EXPECT_FALSE(updated->UpdateCell("zz-new", 0, "nope").ok())
+      << "primary key updates must be rejected";
+  EXPECT_TRUE(updated->UpdateCell("absent", 2, "x").status().IsNotFound());
+
+  auto deleted = updated->DeleteRow("zz-new");
+  ASSERT_TRUE(deleted.ok());
+  EXPECT_EQ(*deleted->NumRows(), 50u);
+  // Original table unchanged (immutability).
+  EXPECT_EQ(*table.NumRows(), 50u);
+}
+
+TEST(FTableTest, SelectFiltersRows) {
+  MemChunkStore store;
+  auto table = FTable::Create(&store, {"id", "qty"},
+                              {{"a", "1"}, {"b", "2"}, {"c", "3"}});
+  ASSERT_TRUE(table.ok());
+  auto selected = table->Select([](const std::vector<std::string>& row) {
+    return row[1] >= "2";
+  });
+  ASSERT_TRUE(selected.ok());
+  EXPECT_EQ(selected->size(), 2u);
+}
+
+TEST(FTableTest, DiffRefinesColumns) {
+  MemChunkStore store;
+  FTable table = MakeTable(&store, 300, 9);
+  auto edited = table.UpdateCell("r00000042", 3, "EDITED");
+  ASSERT_TRUE(edited.ok());
+  auto deltas = table.Diff(*edited);
+  ASSERT_TRUE(deltas.ok());
+  ASSERT_EQ(deltas->size(), 1u);
+  EXPECT_EQ((*deltas)[0].key, "r00000042");
+  EXPECT_EQ((*deltas)[0].changed_columns, (std::vector<size_t>{3}));
+}
+
+TEST(FTableTest, DiffSchemasMustMatch) {
+  MemChunkStore store;
+  auto a = FTable::Create(&store, {"id", "x"}, {{"r", "1"}});
+  auto b = FTable::Create(&store, {"id", "y"}, {{"r", "1"}});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(a->Diff(*b).ok());
+}
+
+TEST(FTableTest, IdCoversContentAndSchema) {
+  MemChunkStore store;
+  auto a = FTable::Create(&store, {"id", "v"}, {{"r", "1"}});
+  auto b = FTable::Create(&store, {"id", "v"}, {{"r", "1"}});
+  auto c = FTable::Create(&store, {"id", "w"}, {{"r", "1"}});
+  auto d = FTable::Create(&store, {"id", "v"}, {{"r", "2"}});
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok() && d.ok());
+  EXPECT_EQ(a->id(), b->id());
+  EXPECT_NE(a->id(), c->id()) << "schema participates in identity";
+  EXPECT_NE(a->id(), d->id()) << "content participates in identity";
+}
+
+TEST(FTableMergeTest, DisjointRowsMerge) {
+  MemChunkStore store;
+  FTable base = MakeTable(&store, 100, 10);
+  auto left = base.UpdateCell("r00000010", 1, "LEFT");
+  auto right = base.UpdateCell("r00000090", 2, "RIGHT");
+  ASSERT_TRUE(left.ok());
+  ASSERT_TRUE(right.ok());
+  auto merged = FTable::Merge3(base, *left, *right);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(**merged->GetCell("r00000010", 1), "LEFT");
+  EXPECT_EQ(**merged->GetCell("r00000090", 2), "RIGHT");
+}
+
+TEST(FTableMergeTest, SameRowDifferentColumnsMerges) {
+  // The column-refinement the paper's data model enables: both sides touch
+  // the same row but different columns — no conflict.
+  MemChunkStore store;
+  FTable base = MakeTable(&store, 100, 11);
+  auto left = base.UpdateCell("r00000050", 1, "LEFT");
+  auto right = base.UpdateCell("r00000050", 4, "RIGHT");
+  ASSERT_TRUE(left.ok());
+  ASSERT_TRUE(right.ok());
+  auto merged = FTable::Merge3(base, *left, *right);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_EQ(**merged->GetCell("r00000050", 1), "LEFT");
+  EXPECT_EQ(**merged->GetCell("r00000050", 4), "RIGHT");
+}
+
+TEST(FTableMergeTest, SameCellConflictsStrict) {
+  MemChunkStore store;
+  FTable base = MakeTable(&store, 100, 12);
+  auto left = base.UpdateCell("r00000050", 1, "LEFT");
+  auto right = base.UpdateCell("r00000050", 1, "RIGHT");
+  ASSERT_TRUE(left.ok());
+  ASSERT_TRUE(right.ok());
+  auto strict = FTable::Merge3(base, *left, *right, MergePolicy::kStrict);
+  EXPECT_TRUE(strict.status().IsMergeConflict());
+  auto prefer = FTable::Merge3(base, *left, *right, MergePolicy::kPreferLeft);
+  ASSERT_TRUE(prefer.ok());
+  EXPECT_EQ(**prefer->GetCell("r00000050", 1), "LEFT");
+}
+
+TEST(FTableMergeTest, DeleteVsUntouchedMerges) {
+  MemChunkStore store;
+  FTable base = MakeTable(&store, 50, 13);
+  auto left = base.DeleteRow("r00000025");
+  auto right = base.UpdateCell("r00000030", 1, "R");
+  ASSERT_TRUE(left.ok());
+  ASSERT_TRUE(right.ok());
+  auto merged = FTable::Merge3(base, *left, *right);
+  ASSERT_TRUE(merged.ok());
+  auto gone = merged->GetRow("r00000025");
+  ASSERT_TRUE(gone.ok());
+  EXPECT_FALSE(gone->has_value());
+  EXPECT_EQ(**merged->GetCell("r00000030", 1), "R");
+}
+
+TEST(FTableTest, ValidateDetectsRowTampering) {
+  MemChunkStore store;
+  FTable table = MakeTable(&store, 2000, 14);
+  ASSERT_TRUE(table.Validate().ok());
+  std::vector<Hash256> chunks;
+  ASSERT_TRUE(table.rows().tree().ReachableChunks(&chunks).ok());
+  ASSERT_TRUE(store.TamperForTesting(chunks[chunks.size() / 2], 7, 0x02));
+  EXPECT_FALSE(table.Validate().ok());
+}
+
+TEST(FTableTest, RowCodecRejectsMalformed) {
+  std::vector<std::string> cells;
+  EXPECT_FALSE(FTable::DecodeRow(Slice("\x05nope", 5), 2, &cells));
+  std::string good = FTable::EncodeRow({"a", "bb"});
+  EXPECT_TRUE(FTable::DecodeRow(good, 2, &cells));
+  EXPECT_EQ(cells, (std::vector<std::string>{"a", "bb"}));
+  EXPECT_FALSE(FTable::DecodeRow(good, 3, &cells));
+  EXPECT_FALSE(FTable::DecodeRow(good, 1, &cells)) << "trailing bytes";
+}
+
+}  // namespace
+}  // namespace forkbase
