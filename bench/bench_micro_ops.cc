@@ -1,9 +1,15 @@
 // A4 — micro-benchmarks of core primitives and operations, on
 // google-benchmark. Covers: SHA-256 and rolling-hash throughput, POS-Tree
-// build / lookup / commit / scan / diff, blob read, and ForkBase Put/Get.
+// build / lookup / commit / scan / diff, blob read, ForkBase Put/Get, and
+// batched vs. scalar chunk-store I/O (the baseline for the sharded batch
+// subsystem).
 #include <benchmark/benchmark.h>
+#include <unistd.h>
+
+#include <filesystem>
 
 #include "bench_common.h"
+#include "chunk/file_chunk_store.h"
 #include "chunk/mem_chunk_store.h"
 #include "postree/diff.h"
 #include "store/forkbase.h"
@@ -168,6 +174,132 @@ void BM_ForkBasePutGetString(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_ForkBasePutGetString);
+
+// ---- batched vs. scalar chunk-store I/O ----------------------------------
+//
+// The pairs below are the throughput baseline for FileChunkStore's batch
+// subsystem: scalar Put pays one record append + fflush per chunk, PutMany
+// one per batch; scalar Get opens its segment per call, GetMany opens each
+// touched segment once per batch. Chunk payloads are small (256 B) so the
+// per-call overhead, not the payload copy, dominates — the regime every
+// POS-Tree node write/read lives in.
+
+constexpr size_t kIoChunkBytes = 256;
+
+// Fresh unique chunks, pre-hashed so the SHA cost stays out of the timed
+// region for both sides of each comparison.
+std::vector<Chunk> MakeUniqueChunks(size_t n, uint64_t* counter) {
+  std::vector<Chunk> chunks;
+  chunks.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::string payload = "unique-" + std::to_string((*counter)++);
+    payload.resize(kIoChunkBytes, 'x');
+    chunks.push_back(Chunk::Make(ChunkType::kCell, payload));
+    chunks.back().hash();
+  }
+  return chunks;
+}
+
+class ScopedStoreDir {
+ public:
+  explicit ScopedStoreDir(const std::string& tag)
+      : dir_(std::filesystem::temp_directory_path() /
+             ("fb_bench_" + tag + std::to_string(::getpid()))) {
+    std::filesystem::remove_all(dir_);
+  }
+  ~ScopedStoreDir() { std::filesystem::remove_all(dir_); }
+  std::string path() const { return dir_.string(); }
+
+ private:
+  std::filesystem::path dir_;
+};
+
+void BM_FileStorePutScalar(benchmark::State& state) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  ScopedStoreDir dir("put_scalar");
+  auto store = FileChunkStore::Open(dir.path());
+  uint64_t counter = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto chunks = MakeUniqueChunks(batch, &counter);
+    state.ResumeTiming();
+    for (const auto& c : chunks) {
+      benchmark::DoNotOptimize((*store)->Put(c).ok());
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch * kIoChunkBytes));
+}
+BENCHMARK(BM_FileStorePutScalar)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_FileStorePutBatched(benchmark::State& state) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  ScopedStoreDir dir("put_batched");
+  auto store = FileChunkStore::Open(dir.path());
+  uint64_t counter = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto chunks = MakeUniqueChunks(batch, &counter);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize((*store)->PutMany(chunks).ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch * kIoChunkBytes));
+}
+BENCHMARK(BM_FileStorePutBatched)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_FileStoreGetScalar(benchmark::State& state) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  ScopedStoreDir dir("get_scalar");
+  auto store = FileChunkStore::Open(dir.path());
+  uint64_t counter = 0;
+  auto chunks = MakeUniqueChunks(4096, &counter);
+  (void)(*store)->PutMany(chunks);
+  Rng rng(21);
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<Hash256> ids;
+    ids.reserve(batch);
+    for (size_t i = 0; i < batch; ++i) {
+      ids.push_back(chunks[rng.Uniform(chunks.size())].hash());
+    }
+    state.ResumeTiming();
+    for (const auto& id : ids) {
+      benchmark::DoNotOptimize((*store)->Get(id).ok());
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_FileStoreGetScalar)->Arg(64)->Arg(256);
+
+void BM_FileStoreGetBatched(benchmark::State& state) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  ScopedStoreDir dir("get_batched");
+  auto store = FileChunkStore::Open(dir.path());
+  uint64_t counter = 0;
+  auto chunks = MakeUniqueChunks(4096, &counter);
+  (void)(*store)->PutMany(chunks);
+  Rng rng(22);
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<Hash256> ids;
+    ids.reserve(batch);
+    for (size_t i = 0; i < batch; ++i) {
+      ids.push_back(chunks[rng.Uniform(chunks.size())].hash());
+    }
+    state.ResumeTiming();
+    auto results = (*store)->GetMany(ids);
+    benchmark::DoNotOptimize(results.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_FileStoreGetBatched)->Arg(64)->Arg(256);
 
 void BM_Verify(benchmark::State& state) {
   auto store = std::make_shared<MemChunkStore>();

@@ -1,60 +1,139 @@
 #include "chunk/caching_chunk_store.h"
 
+#include <optional>
+
 namespace forkbase {
 
-CachingChunkStore::CachingChunkStore(std::shared_ptr<ChunkStore> base,
-                                     size_t capacity_bytes)
-    : base_(std::move(base)), capacity_bytes_(capacity_bytes) {}
+namespace {
+uint32_t NormalizeShardCount(uint32_t requested, size_t capacity_bytes) {
+  if (requested == 0) {
+    uint64_t auto_shards = capacity_bytes / (256u << 10);
+    requested = static_cast<uint32_t>(
+        auto_shards < 1 ? 1 : (auto_shards > 16 ? 16 : auto_shards));
+  }
+  uint32_t n = 1;
+  while (n < requested && n < 1024) n <<= 1;
+  return n;
+}
+}  // namespace
 
-void CachingChunkStore::InsertLocked(const Hash256& id,
+CachingChunkStore::CachingChunkStore(std::shared_ptr<ChunkStore> base,
+                                     size_t capacity_bytes, uint32_t shards)
+    : base_(std::move(base)),
+      shards_(NormalizeShardCount(shards, capacity_bytes)) {
+  shard_capacity_bytes_ = capacity_bytes / shards_.size();
+  if (shard_capacity_bytes_ == 0) shard_capacity_bytes_ = 1;
+}
+
+CachingChunkStore::Shard& CachingChunkStore::ShardFor(
+    const Hash256& id) const {
+  // Different digest bytes than FileChunkStore's stripe selector, so the
+  // two layers do not share contention patterns; two bytes cover the full
+  // 1024-stripe range NormalizeShardCount permits.
+  const size_t v = static_cast<size_t>(id.bytes[1]) |
+                   (static_cast<size_t>(id.bytes[3]) << 8);
+  return shards_[v & (shards_.size() - 1)];
+}
+
+void CachingChunkStore::InsertLocked(Shard& shard, const Hash256& id,
                                      const Chunk& chunk) const {
-  auto it = map_.find(id);
-  if (it != map_.end()) {
-    lru_.splice(lru_.begin(), lru_, it->second);
+  auto it = shard.map.find(id);
+  if (it != shard.map.end()) {
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
-  lru_.emplace_front(id, chunk);
-  map_[id] = lru_.begin();
-  cstats_.resident_bytes += chunk.size();
-  while (cstats_.resident_bytes > capacity_bytes_ && lru_.size() > 1) {
-    auto& back = lru_.back();
-    cstats_.resident_bytes -= back.second.size();
-    map_.erase(back.first);
-    lru_.pop_back();
-    ++cstats_.evictions;
+  shard.lru.emplace_front(id, chunk);
+  shard.map[id] = shard.lru.begin();
+  shard.stats.resident_bytes += chunk.size();
+  while (shard.stats.resident_bytes > shard_capacity_bytes_ &&
+         shard.lru.size() > 1) {
+    auto& back = shard.lru.back();
+    shard.stats.resident_bytes -= back.second.size();
+    shard.map.erase(back.first);
+    shard.lru.pop_back();
+    ++shard.stats.evictions;
   }
 }
 
 StatusOr<Chunk> CachingChunkStore::Get(const Hash256& id) const {
+  Shard& shard = ShardFor(id);
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = map_.find(id);
-    if (it != map_.end()) {
-      ++cstats_.hits;
-      lru_.splice(lru_.begin(), lru_, it->second);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(id);
+    if (it != shard.map.end()) {
+      ++shard.stats.hits;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
       return it->second->second;
     }
-    ++cstats_.misses;
+    ++shard.stats.misses;
   }
   auto result = base_->Get(id);
   if (result.ok()) {
-    std::lock_guard<std::mutex> lock(mu_);
-    InsertLocked(id, *result);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    InsertLocked(shard, id, *result);
   }
   return result;
 }
 
+std::vector<StatusOr<Chunk>> CachingChunkStore::GetMany(
+    std::span<const Hash256> ids) const {
+  std::vector<std::optional<StatusOr<Chunk>>> slots(ids.size());
+  std::vector<Hash256> miss_ids;
+  std::vector<size_t> miss_slots;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    Shard& shard = ShardFor(ids[i]);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(ids[i]);
+    if (it != shard.map.end()) {
+      ++shard.stats.hits;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      slots[i] = StatusOr<Chunk>(it->second->second);
+    } else {
+      ++shard.stats.misses;
+      miss_ids.push_back(ids[i]);
+      miss_slots.push_back(i);
+    }
+  }
+  if (!miss_ids.empty()) {
+    auto fetched = base_->GetMany(miss_ids);
+    for (size_t j = 0; j < fetched.size(); ++j) {
+      if (fetched[j].ok()) {
+        Shard& shard = ShardFor(miss_ids[j]);
+        std::lock_guard<std::mutex> lock(shard.mu);
+        InsertLocked(shard, miss_ids[j], *fetched[j]);
+      }
+      slots[miss_slots[j]] = std::move(fetched[j]);
+    }
+  }
+  std::vector<StatusOr<Chunk>> out;
+  out.reserve(slots.size());
+  for (auto& slot : slots) out.push_back(std::move(*slot));
+  return out;
+}
+
 Status CachingChunkStore::Put(const Chunk& chunk) {
   FB_RETURN_IF_ERROR(base_->Put(chunk));
-  std::lock_guard<std::mutex> lock(mu_);
-  InsertLocked(chunk.hash(), chunk);
+  Shard& shard = ShardFor(chunk.hash());
+  std::lock_guard<std::mutex> lock(shard.mu);
+  InsertLocked(shard, chunk.hash(), chunk);
+  return Status::OK();
+}
+
+Status CachingChunkStore::PutMany(std::span<const Chunk> chunks) {
+  FB_RETURN_IF_ERROR(base_->PutMany(chunks));
+  for (const Chunk& chunk : chunks) {
+    Shard& shard = ShardFor(chunk.hash());
+    std::lock_guard<std::mutex> lock(shard.mu);
+    InsertLocked(shard, chunk.hash(), chunk);
+  }
   return Status::OK();
 }
 
 bool CachingChunkStore::Contains(const Hash256& id) const {
+  Shard& shard = ShardFor(id);
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (map_.count(id)) return true;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.map.count(id)) return true;
   }
   return base_->Contains(id);
 }
@@ -67,8 +146,15 @@ void CachingChunkStore::ForEach(
 }
 
 CachingChunkStore::CacheStats CachingChunkStore::cache_stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return cstats_;
+  CacheStats total;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total.hits += shard.stats.hits;
+    total.misses += shard.stats.misses;
+    total.evictions += shard.stats.evictions;
+    total.resident_bytes += shard.stats.resident_bytes;
+  }
+  return total;
 }
 
 }  // namespace forkbase

@@ -1,9 +1,15 @@
-// LRU read-cache decorator over any ChunkStore.
+// Sharded LRU read-cache decorator over any ChunkStore.
 //
 // POS-Tree operations repeatedly touch upper-level index chunks; the cache
 // keeps the hot working set in memory above a slow backend (FileChunkStore).
 // Chunks are immutable, so the cache never needs invalidation — the single
 // reason this decorator is trivially correct.
+//
+// The cache is striped into N independent LRU shards, each with its own
+// mutex, list, and byte budget (capacity_bytes / N). Concurrent readers on
+// different shards never contend, and a batched miss fill (GetMany) fetches
+// every absent chunk from the backend in one call before distributing the
+// results across shards.
 #ifndef FORKBASE_CHUNK_CACHING_CHUNK_STORE_H_
 #define FORKBASE_CHUNK_CACHING_CHUNK_STORE_H_
 
@@ -11,6 +17,7 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "chunk/chunk_store.h"
 
@@ -20,10 +27,21 @@ class CachingChunkStore : public ChunkStore {
  public:
   /// @param base      the underlying store (shared; must outlive the cache)
   /// @param capacity_bytes  max bytes of cached chunks (LRU eviction)
-  CachingChunkStore(std::shared_ptr<ChunkStore> base, size_t capacity_bytes);
+  /// @param shards    LRU stripes (rounded up to a power of two). 0 = auto:
+  ///                  one stripe per 256 KiB of capacity, capped at 16, so
+  ///                  small caches keep the strict single-LRU byte bound
+  ///                  while large ones gain concurrency. Each shard always
+  ///                  retains its most recent chunk, so with S stripes the
+  ///                  resident total may overshoot capacity by up to S-1
+  ///                  max-sized chunks.
+  CachingChunkStore(std::shared_ptr<ChunkStore> base, size_t capacity_bytes,
+                    uint32_t shards = 0);
 
   StatusOr<Chunk> Get(const Hash256& id) const override;
+  std::vector<StatusOr<Chunk>> GetMany(
+      std::span<const Hash256> ids) const override;
   Status Put(const Chunk& chunk) override;
+  Status PutMany(std::span<const Chunk> chunks) override;
   bool Contains(const Hash256& id) const override;
   ChunkStoreStats stats() const override;
   void ForEach(const std::function<void(const Hash256&, const Chunk&)>& fn)
@@ -35,22 +53,31 @@ class CachingChunkStore : public ChunkStore {
     uint64_t evictions = 0;
     uint64_t resident_bytes = 0;
   };
+  /// Aggregated over all shards.
   CacheStats cache_stats() const;
 
+  size_t shard_count() const { return shards_.size(); }
+
  private:
-  void InsertLocked(const Hash256& id, const Chunk& chunk) const;
+  struct Shard {
+    mutable std::mutex mu;
+    // LRU: list front = most recent. Map values point into the list.
+    std::list<std::pair<Hash256, Chunk>> lru;
+    std::unordered_map<Hash256,
+                       std::list<std::pair<Hash256, Chunk>>::iterator,
+                       Hash256Hasher>
+        map;
+    CacheStats stats;
+  };
+
+  Shard& ShardFor(const Hash256& id) const;
+  /// Inserts (or refreshes) under the shard lock, evicting past the shard's
+  /// byte budget.
+  void InsertLocked(Shard& shard, const Hash256& id, const Chunk& chunk) const;
 
   std::shared_ptr<ChunkStore> base_;
-  const size_t capacity_bytes_;
-
-  mutable std::mutex mu_;
-  // LRU: list front = most recent. Map values point into the list.
-  mutable std::list<std::pair<Hash256, Chunk>> lru_;
-  mutable std::unordered_map<Hash256,
-                             std::list<std::pair<Hash256, Chunk>>::iterator,
-                             Hash256Hasher>
-      map_;
-  mutable CacheStats cstats_;
+  size_t shard_capacity_bytes_;
+  mutable std::vector<Shard> shards_;
 };
 
 }  // namespace forkbase

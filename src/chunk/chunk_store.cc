@@ -1,0 +1,22 @@
+#include "chunk/chunk_store.h"
+
+namespace forkbase {
+
+std::vector<StatusOr<Chunk>> ChunkStore::GetMany(
+    std::span<const Hash256> ids) const {
+  std::vector<StatusOr<Chunk>> out;
+  out.reserve(ids.size());
+  for (const Hash256& id : ids) {
+    out.push_back(Get(id));
+  }
+  return out;
+}
+
+Status ChunkStore::PutMany(std::span<const Chunk> chunks) {
+  for (const Chunk& chunk : chunks) {
+    FB_RETURN_IF_ERROR(Put(chunk));
+  }
+  return Status::OK();
+}
+
+}  // namespace forkbase

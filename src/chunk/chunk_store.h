@@ -8,8 +8,11 @@
 #ifndef FORKBASE_CHUNK_CHUNK_STORE_H_
 #define FORKBASE_CHUNK_CHUNK_STORE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <span>
+#include <vector>
 
 #include "chunk/chunk.h"
 #include "util/status.h"
@@ -46,6 +49,21 @@ class ChunkStore {
   /// Stores a chunk. Idempotent; counts a dedup hit when already present.
   virtual Status Put(const Chunk& chunk) = 0;
 
+  /// Batched fetch: one result slot per id, in request order. A missing id
+  /// yields kNotFound in its slot (it does not fail the whole batch), so a
+  /// caller can probe speculatively. Backends override this to amortize
+  /// locking and file I/O across the batch; the default loops over Get.
+  virtual std::vector<StatusOr<Chunk>> GetMany(
+      std::span<const Hash256> ids) const;
+
+  /// Batched store with Put semantics per element: idempotent, and
+  /// duplicates — whether already resident or repeated within the batch —
+  /// count as dedup hits. Not atomic: on an I/O error a prefix of the batch
+  /// may have been applied (harmless under content addressing; retry the
+  /// whole batch). Backends override this to write one segment run per
+  /// batch instead of one record per chunk.
+  virtual Status PutMany(std::span<const Chunk> chunks);
+
   virtual bool Contains(const Hash256& id) const = 0;
 
   virtual ChunkStoreStats stats() const = 0;
@@ -54,6 +72,29 @@ class ChunkStore {
   virtual void ForEach(
       const std::function<void(const Hash256&, const Chunk&)>& fn) const = 0;
 };
+
+/// Default batch size for memory-capped sweeps over many ids.
+inline constexpr size_t kChunkSweepBatch = 256;
+
+/// Reads `ids` through GetMany in batches of `batch_size`, invoking
+/// `fn(index, slot)` for every id in order (`slot` is the id's
+/// StatusOr<Chunk>, movable). Stops and propagates the first non-OK status
+/// `fn` returns; slot errors are `fn`'s to judge. Keeps sweeps over huge id
+/// sets from buffering every chunk at once.
+template <typename Fn>
+Status ForEachChunkBatch(const ChunkStore& store,
+                         std::span<const Hash256> ids, size_t batch_size,
+                         Fn&& fn) {
+  for (size_t start = 0; start < ids.size(); start += batch_size) {
+    const size_t n = std::min(batch_size, ids.size() - start);
+    auto chunks = store.GetMany(ids.subspan(start, n));
+    for (size_t i = 0; i < n; ++i) {
+      Status s = fn(start + i, chunks[i]);
+      if (!s.ok()) return s;
+    }
+  }
+  return Status::OK();
+}
 
 }  // namespace forkbase
 

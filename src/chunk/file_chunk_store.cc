@@ -2,22 +2,43 @@
 
 #include <sys/stat.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <filesystem>
+#include <optional>
+#include <unordered_set>
 
 namespace forkbase {
 
 namespace {
 constexpr uint32_t kRecordMagic = 0x46424331;  // "FBC1"
 constexpr size_t kHeaderBytes = 4 + 32 + 4;    // magic + hash + len
+
+uint32_t NormalizeShardCount(uint32_t requested) {
+  uint32_t n = 1;
+  while (n < requested && n < 1024) n <<= 1;
+  return n;
+}
+
+void AppendRecord(std::string* buf, const Hash256& id, Slice bytes) {
+  uint8_t header[kHeaderBytes];
+  uint32_t len = static_cast<uint32_t>(bytes.size());
+  std::memcpy(header, &kRecordMagic, 4);
+  std::memcpy(header + 4, id.bytes.data(), 32);
+  std::memcpy(header + 36, &len, 4);
+  buf->append(reinterpret_cast<const char*>(header), kHeaderBytes);
+  buf->append(bytes.data(), bytes.size());
+}
 }  // namespace
 
 FileChunkStore::FileChunkStore(std::string dir, Options options)
-    : dir_(std::move(dir)), options_(options) {}
+    : dir_(std::move(dir)),
+      options_(options),
+      shards_(NormalizeShardCount(options.index_shards)) {}
 
 FileChunkStore::~FileChunkStore() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(append_mu_);
   if (append_file_) {
     std::fclose(append_file_);
     append_file_ = nullptr;
@@ -26,6 +47,27 @@ FileChunkStore::~FileChunkStore() {
 
 std::string FileChunkStore::SegmentPath(uint32_t seg_no) const {
   return dir_ + "/segment-" + std::to_string(seg_no) + ".fbc";
+}
+
+size_t FileChunkStore::ShardIndexOf(const Hash256& id) const {
+  // Digest bytes are uniformly distributed; two bytes cover the full 1024-
+  // stripe range NormalizeShardCount permits.
+  const size_t v = static_cast<size_t>(id.bytes[0]) |
+                   (static_cast<size_t>(id.bytes[2]) << 8);
+  return v & (shards_.size() - 1);
+}
+
+FileChunkStore::Shard& FileChunkStore::ShardFor(const Hash256& id) const {
+  return shards_[ShardIndexOf(id)];
+}
+
+bool FileChunkStore::Lookup(const Hash256& id, Location* loc) const {
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(id);
+  if (it == shard.index.end()) return false;
+  *loc = it->second;
+  return true;
 }
 
 StatusOr<std::unique_ptr<FileChunkStore>> FileChunkStore::Open(
@@ -46,7 +88,7 @@ StatusOr<std::unique_ptr<FileChunkStore>> FileChunkStore::Open(
 }
 
 Status FileChunkStore::Recover() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(append_mu_);
   uint32_t last_segment = 0;
   bool any_segment = false;
   for (uint32_t seg = 0;; ++seg) {
@@ -71,11 +113,13 @@ Status FileChunkStore::Recover() {
       buf.resize(len);
       if (std::fread(buf.data(), 1, len, f) < len) break;  // torn record
       Location loc{seg, offset + kHeaderBytes, len};
-      auto [it, inserted] = index_.try_emplace(id, loc);
+      Shard& shard = ShardFor(id);
+      std::lock_guard<std::mutex> shard_lock(shard.mu);
+      auto [it, inserted] = shard.index.try_emplace(id, loc);
       (void)it;
       if (inserted) {
-        ++stats_.chunk_count;
-        stats_.physical_bytes += len;
+        chunk_count_.fetch_add(1, std::memory_order_relaxed);
+        physical_bytes_.fetch_add(len, std::memory_order_relaxed);
       }
       offset += kHeaderBytes + len;
       valid_end = offset;
@@ -110,32 +154,13 @@ Status FileChunkStore::OpenSegmentForAppend(uint32_t seg_no) {
   return Status::OK();
 }
 
-StatusOr<Chunk> FileChunkStore::Get(const Hash256& id) const {
-  Location loc;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++const_cast<ChunkStoreStats&>(stats_).get_calls;
-    auto it = index_.find(id);
-    if (it == index_.end()) {
-      return Status::NotFound("chunk " + id.ToBase32());
-    }
-    loc = it->second;
-    // Reads may hit the segment currently being appended; make sure the
-    // record bytes have left the stdio buffer.
-    if (append_file_ && loc.segment == append_segment_) {
-      std::fflush(append_file_);
-    }
-  }
-  const std::string path = SegmentPath(loc.segment);
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (!f) {
-    return Status::IOError("open " + path + ": " + std::strerror(errno));
-  }
+StatusOr<Chunk> FileChunkStore::ReadRecord(std::FILE* f,
+                                           const std::string& path,
+                                           const Hash256& id,
+                                           const Location& loc) const {
   std::string bytes(loc.length, '\0');
-  bool ok = std::fseek(f, static_cast<long>(loc.offset), SEEK_SET) == 0 &&
-            std::fread(bytes.data(), 1, loc.length, f) == loc.length;
-  std::fclose(f);
-  if (!ok) {
+  if (std::fseek(f, static_cast<long>(loc.offset), SEEK_SET) != 0 ||
+      std::fread(bytes.data(), 1, loc.length, f) != loc.length) {
     return Status::IOError("short read from " + path);
   }
   Chunk chunk = Chunk::FromBytes(std::move(bytes));
@@ -145,65 +170,266 @@ StatusOr<Chunk> FileChunkStore::Get(const Hash256& id) const {
   return chunk;
 }
 
+StatusOr<Chunk> FileChunkStore::ReadAt(const Hash256& id,
+                                       const Location& loc) const {
+  const std::string path = SegmentPath(loc.segment);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) {
+    return Status::IOError("open " + path + ": " + std::strerror(errno));
+  }
+  auto chunk = ReadRecord(f, path, id, loc);
+  std::fclose(f);
+  return chunk;
+}
+
+StatusOr<Chunk> FileChunkStore::Get(const Hash256& id) const {
+  get_calls_.fetch_add(1, std::memory_order_relaxed);
+  Location loc;
+  if (!Lookup(id, &loc)) {
+    return Status::NotFound("chunk " + id.ToBase32());
+  }
+  return ReadAt(id, loc);
+}
+
+std::vector<StatusOr<Chunk>> FileChunkStore::GetMany(
+    std::span<const Hash256> ids) const {
+  get_calls_.fetch_add(ids.size(), std::memory_order_relaxed);
+  std::vector<std::optional<StatusOr<Chunk>>> slots(ids.size());
+
+  // Resolve locations first, then group the hits by segment so each segment
+  // file is opened once and read in ascending-offset order.
+  struct Pending {
+    size_t slot;
+    Location loc;
+  };
+  std::unordered_map<uint32_t, std::vector<Pending>> by_segment;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    Location loc;
+    if (!Lookup(ids[i], &loc)) {
+      slots[i] = StatusOr<Chunk>(
+          Status::NotFound("chunk " + ids[i].ToBase32()));
+      continue;
+    }
+    by_segment[loc.segment].push_back(Pending{i, loc});
+  }
+
+  for (auto& [segment, pendings] : by_segment) {
+    std::sort(pendings.begin(), pendings.end(),
+              [](const Pending& a, const Pending& b) {
+                return a.loc.offset < b.loc.offset;
+              });
+    const std::string path = SegmentPath(segment);
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (!f) {
+      Status err = Status::IOError("open " + path + ": " +
+                                   std::strerror(errno));
+      for (const Pending& p : pendings) slots[p.slot] = StatusOr<Chunk>(err);
+      continue;
+    }
+    for (const Pending& p : pendings) {
+      slots[p.slot] = ReadRecord(f, path, ids[p.slot], p.loc);
+    }
+    std::fclose(f);
+  }
+
+  std::vector<StatusOr<Chunk>> out;
+  out.reserve(slots.size());
+  for (auto& slot : slots) out.push_back(std::move(*slot));
+  return out;
+}
+
 Status FileChunkStore::Put(const Chunk& chunk) {
-  if (!chunk.valid()) return Status::InvalidArgument("invalid chunk");
-  std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.put_calls;
-  stats_.logical_bytes += chunk.size();
-  const Hash256& id = chunk.hash();
-  if (index_.count(id)) {
-    ++stats_.dedup_hits;
+  const Chunk* one = &chunk;
+  return PutMany(std::span<const Chunk>(one, 1));
+}
+
+Status FileChunkStore::PutMany(std::span<const Chunk> chunks) {
+  for (const Chunk& chunk : chunks) {
+    if (!chunk.valid()) return Status::InvalidArgument("invalid chunk");
+  }
+  put_calls_.fetch_add(chunks.size(), std::memory_order_relaxed);
+
+  // Phase 1 (no append lock): drop duplicates within the batch, keeping the
+  // first occurrence in its original position (append order must follow
+  // batch order). Sort-based dedup over an 8-byte hash prefix beats a node-
+  // allocating hash set at batch sizes. Chunks already resident in the
+  // store are filtered by the authoritative check under the append lock
+  // below — checking here too would just do every shard lookup twice.
+  std::vector<const Chunk*> candidates;
+  candidates.reserve(chunks.size());
+  uint64_t batch_logical = 0;
+  for (const Chunk& chunk : chunks) batch_logical += chunk.size();
+  logical_bytes_.fetch_add(batch_logical, std::memory_order_relaxed);
+  if (chunks.size() == 1) {
+    candidates.push_back(&chunks[0]);
+  } else {
+    struct PrefixKey {
+      uint64_t prefix;
+      uint32_t idx;
+    };
+    std::vector<PrefixKey> keys(chunks.size());
+    for (size_t i = 0; i < chunks.size(); ++i) {
+      uint64_t prefix;
+      std::memcpy(&prefix, chunks[i].hash().bytes.data(), sizeof(prefix));
+      keys[i] = PrefixKey{prefix, static_cast<uint32_t>(i)};
+    }
+    std::sort(keys.begin(), keys.end(),
+              [&](const PrefixKey& a, const PrefixKey& b) {
+                if (a.prefix != b.prefix) return a.prefix < b.prefix;
+                const Hash256& ha = chunks[a.idx].hash();
+                const Hash256& hb = chunks[b.idx].hash();
+                if (ha != hb) return ha < hb;
+                return a.idx < b.idx;  // first occurrence sorts first
+              });
+    std::vector<bool> duplicate(chunks.size(), false);
+    for (size_t i = 1; i < keys.size(); ++i) {
+      if (keys[i].prefix == keys[i - 1].prefix &&
+          chunks[keys[i].idx].hash() == chunks[keys[i - 1].idx].hash()) {
+        duplicate[keys[i].idx] = true;
+      }
+    }
+    for (size_t i = 0; i < chunks.size(); ++i) {
+      if (duplicate[i]) {
+        dedup_hits_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        candidates.push_back(&chunks[i]);
+      }
+    }
+  }
+
+  // Phase 2: serialize the surviving records into one buffer and append it
+  // with a single fwrite+fflush. Index entries are published only after the
+  // flush succeeds, so readers never chase bytes still in the stdio buffer.
+  std::lock_guard<std::mutex> lock(append_mu_);
+  std::string buffer;
+  std::vector<std::pair<Hash256, Location>> pending;
+  {
+    size_t projected = 0;
+    for (const Chunk* chunk : candidates) {
+      projected += kHeaderBytes + chunk->size();
+    }
+    buffer.reserve(projected);
+    pending.reserve(candidates.size());
+  }
+  uint64_t offset = append_offset_;
+
+  auto flush = [&]() -> Status {
+    if (buffer.empty()) return Status::OK();
+    if (!append_file_) {
+      return Status::IOError("append segment unavailable after prior failure");
+    }
+    if (std::fwrite(buffer.data(), 1, buffer.size(), append_file_) !=
+            buffer.size() ||
+        std::fflush(append_file_) != 0) {
+      Status err = Status::IOError("append failed: " +
+                                   std::string(strerror(errno)));
+      // A partial run may have reached the file, desyncing append_offset_
+      // from the true EOF — and later successful appends behind a torn
+      // record would be discarded by the next Recover. Truncate back to the
+      // last published record boundary and reopen so a retry appends at a
+      // consistent offset; if that fails too, poison the append stream
+      // (checked above) rather than corrupt locations.
+      std::fclose(append_file_);
+      append_file_ = nullptr;
+      std::error_code ec;
+      std::filesystem::resize_file(SegmentPath(append_segment_),
+                                   append_offset_, ec);
+      if (!ec) (void)OpenSegmentForAppend(append_segment_);
+      return err;
+    }
+    append_offset_ = offset;
+    // Publish grouped by stripe so each shard mutex is taken once per
+    // batch, not once per chunk: counting-sort the entry indices by stripe,
+    // then walk each stripe's contiguous run under its lock.
+    uint64_t batch_bytes = 0;
+    std::vector<uint32_t> counts(shards_.size() + 1, 0);
+    for (const auto& entry : pending) {
+      ++counts[ShardIndexOf(entry.first) + 1];
+      batch_bytes += entry.second.length;
+    }
+    for (size_t s = 1; s < counts.size(); ++s) counts[s] += counts[s - 1];
+    std::vector<uint32_t> order(pending.size());
+    {
+      std::vector<uint32_t> cursor(counts.begin(), counts.end() - 1);
+      for (uint32_t i = 0; i < pending.size(); ++i) {
+        order[cursor[ShardIndexOf(pending[i].first)]++] = i;
+      }
+    }
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      if (counts[s] == counts[s + 1]) continue;
+      std::lock_guard<std::mutex> shard_lock(shards_[s].mu);
+      for (uint32_t k = counts[s]; k < counts[s + 1]; ++k) {
+        const auto& entry = pending[order[k]];
+        shards_[s].index.emplace(entry.first, entry.second);
+      }
+    }
+    chunk_count_.fetch_add(pending.size(), std::memory_order_relaxed);
+    physical_bytes_.fetch_add(batch_bytes, std::memory_order_relaxed);
+    buffer.clear();
+    pending.clear();
     return Status::OK();
+  };
+
+  for (const Chunk* chunk : candidates) {
+    const Hash256& id = chunk->hash();
+    // Re-check under the append lock: only append-lock holders insert, so a
+    // present entry here is final and the write can be skipped.
+    Location existing;
+    if (Lookup(id, &existing)) {
+      dedup_hits_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (offset >= options_.segment_bytes) {
+      FB_RETURN_IF_ERROR(flush());
+      FB_RETURN_IF_ERROR(OpenSegmentForAppend(append_segment_ + 1));
+      offset = append_offset_;
+    }
+    uint32_t len = static_cast<uint32_t>(chunk->size());
+    AppendRecord(&buffer, id, chunk->bytes());
+    pending.emplace_back(id, Location{append_segment_,
+                                      offset + kHeaderBytes, len});
+    offset += kHeaderBytes + len;
   }
-  if (append_offset_ >= options_.segment_bytes) {
-    FB_RETURN_IF_ERROR(OpenSegmentForAppend(append_segment_ + 1));
-  }
-  uint8_t header[kHeaderBytes];
-  uint32_t len = static_cast<uint32_t>(chunk.size());
-  std::memcpy(header, &kRecordMagic, 4);
-  std::memcpy(header + 4, id.bytes.data(), 32);
-  std::memcpy(header + 36, &len, 4);
-  if (std::fwrite(header, 1, kHeaderBytes, append_file_) != kHeaderBytes ||
-      std::fwrite(chunk.bytes().data(), 1, len, append_file_) != len) {
-    return Status::IOError("append failed: " + std::string(strerror(errno)));
-  }
-  index_.emplace(id, Location{append_segment_,
-                              append_offset_ + kHeaderBytes, len});
-  append_offset_ += kHeaderBytes + len;
-  ++stats_.chunk_count;
-  stats_.physical_bytes += len;
-  return Status::OK();
+  return flush();
 }
 
 bool FileChunkStore::Contains(const Hash256& id) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return index_.count(id) > 0;
+  Location loc;
+  return Lookup(id, &loc);
 }
 
 ChunkStoreStats FileChunkStore::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  ChunkStoreStats s;
+  s.chunk_count = chunk_count_.load(std::memory_order_relaxed);
+  s.physical_bytes = physical_bytes_.load(std::memory_order_relaxed);
+  s.put_calls = put_calls_.load(std::memory_order_relaxed);
+  s.dedup_hits = dedup_hits_.load(std::memory_order_relaxed);
+  s.logical_bytes = logical_bytes_.load(std::memory_order_relaxed);
+  s.get_calls = get_calls_.load(std::memory_order_relaxed);
+  return s;
 }
 
 void FileChunkStore::ForEach(
     const std::function<void(const Hash256&, const Chunk&)>& fn) const {
   std::vector<Hash256> ids;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ids.reserve(index_.size());
-    for (const auto& [id, loc] : index_) {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    ids.reserve(ids.size() + shard.index.size());
+    for (const auto& [id, loc] : shard.index) {
       (void)loc;
       ids.push_back(id);
     }
   }
-  for (const auto& id : ids) {
-    auto chunk = Get(id);
-    if (chunk.ok()) fn(id, *chunk);
-  }
+  (void)ForEachChunkBatch(
+      *this, ids, kChunkSweepBatch,
+      [&](size_t i, StatusOr<Chunk>& chunk) {
+        if (chunk.ok()) fn(ids[i], *chunk);
+        return Status::OK();  // diagnostics sweep: skip unreadable chunks
+      });
 }
 
 Status FileChunkStore::Flush() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(append_mu_);
   if (append_file_ && std::fflush(append_file_) != 0) {
     return Status::IOError("fflush failed");
   }

@@ -7,10 +7,24 @@
 // to rebuild the in-memory hash->location index; torn tails (partial final
 // record after a crash) are truncated away. Chunk immutability makes the
 // format recovery-trivial: records are never updated in place.
+//
+// Concurrency: the hash->location index is striped across N shards, each
+// behind its own mutex, so lookups (Get/Contains) from different threads
+// rarely contend. Appends are serialized by a single append mutex — there is
+// one active segment — but PutMany batches an entire record run into a
+// single fwrite+fflush under that mutex, amortizing both the lock and the
+// syscalls. Put/PutMany flush to the OS before publishing index entries, so
+// a reader can never observe an index entry whose bytes are still trapped in
+// the stdio buffer, and every Put that returned OK survives a process crash
+// (though not a power failure — there is no fsync).
+//
+// Lock order (where both are held): append_mu_ before any shard mutex.
 #ifndef FORKBASE_CHUNK_FILE_CHUNK_STORE_H_
 #define FORKBASE_CHUNK_FILE_CHUNK_STORE_H_
 
+#include <atomic>
 #include <cstdio>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -25,6 +39,7 @@ class FileChunkStore : public ChunkStore {
   struct Options {
     uint64_t segment_bytes = 64ull << 20;  ///< roll segments at 64 MiB
     bool verify_on_get = false;  ///< recompute hash on every read
+    uint32_t index_shards = 16;  ///< mutex stripes for the index (power of 2)
   };
 
   /// Opens (creating if needed) a store rooted at `dir`.
@@ -36,13 +51,17 @@ class FileChunkStore : public ChunkStore {
   ~FileChunkStore() override;
 
   StatusOr<Chunk> Get(const Hash256& id) const override;
+  std::vector<StatusOr<Chunk>> GetMany(
+      std::span<const Hash256> ids) const override;
   Status Put(const Chunk& chunk) override;
+  Status PutMany(std::span<const Chunk> chunks) override;
   bool Contains(const Hash256& id) const override;
   ChunkStoreStats stats() const override;
   void ForEach(const std::function<void(const Hash256&, const Chunk&)>& fn)
       const override;
 
-  /// Flushes buffered writes to the OS.
+  /// Flushes buffered writes to the OS. (Put/PutMany already flush before
+  /// returning; this remains for explicit barriers and tests.)
   Status Flush();
 
  private:
@@ -52,20 +71,43 @@ class FileChunkStore : public ChunkStore {
     uint32_t length;  ///< chunk byte length
   };
 
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<Hash256, Location, Hash256Hasher> index;
+  };
+
   FileChunkStore(std::string dir, Options options);
   Status Recover();
   Status OpenSegmentForAppend(uint32_t seg_no);
   std::string SegmentPath(uint32_t seg_no) const;
+  size_t ShardIndexOf(const Hash256& id) const;
+  Shard& ShardFor(const Hash256& id) const;
+  /// Looks up `id` in its shard. Returns true and fills `loc` when present.
+  bool Lookup(const Hash256& id, Location* loc) const;
+  /// Reads one record at `loc` from an already-open segment stream and
+  /// re-verifies when configured. `path` is for error messages only.
+  StatusOr<Chunk> ReadRecord(std::FILE* f, const std::string& path,
+                             const Hash256& id, const Location& loc) const;
+  /// Opens the segment of `loc`, reads the record, closes it.
+  StatusOr<Chunk> ReadAt(const Hash256& id, const Location& loc) const;
 
   const std::string dir_;
   const Options options_;
 
-  mutable std::mutex mu_;
-  std::unordered_map<Hash256, Location, Hash256Hasher> index_;
+  mutable std::vector<Shard> shards_;
+
+  std::mutex append_mu_;  ///< serializes all segment appends and rolls
   std::FILE* append_file_ = nullptr;
   uint32_t append_segment_ = 0;
   uint64_t append_offset_ = 0;
-  ChunkStoreStats stats_;
+
+  // Stats are plain atomics so hot paths never take a dedicated stats lock.
+  mutable std::atomic<uint64_t> chunk_count_{0};
+  mutable std::atomic<uint64_t> physical_bytes_{0};
+  mutable std::atomic<uint64_t> put_calls_{0};
+  mutable std::atomic<uint64_t> dedup_hits_{0};
+  mutable std::atomic<uint64_t> logical_bytes_{0};
+  mutable std::atomic<uint64_t> get_calls_{0};
 };
 
 }  // namespace forkbase

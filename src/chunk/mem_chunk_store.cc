@@ -12,6 +12,23 @@ StatusOr<Chunk> MemChunkStore::Get(const Hash256& id) const {
   return Chunk::FromBytes(it->second);
 }
 
+std::vector<StatusOr<Chunk>> MemChunkStore::GetMany(
+    std::span<const Hash256> ids) const {
+  std::vector<StatusOr<Chunk>> out;
+  out.reserve(ids.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  const_cast<ChunkStoreStats&>(stats_).get_calls += ids.size();
+  for (const Hash256& id : ids) {
+    auto it = chunks_.find(id);
+    if (it == chunks_.end()) {
+      out.push_back(Status::NotFound("chunk " + id.ToBase32()));
+    } else {
+      out.push_back(Chunk::FromBytes(it->second));
+    }
+  }
+  return out;
+}
+
 Status MemChunkStore::Put(const Chunk& chunk) {
   if (!chunk.valid()) return Status::InvalidArgument("invalid chunk");
   std::lock_guard<std::mutex> lock(mu_);
@@ -26,6 +43,27 @@ Status MemChunkStore::Put(const Chunk& chunk) {
   }
   ++stats_.chunk_count;
   stats_.physical_bytes += chunk.size();
+  return Status::OK();
+}
+
+Status MemChunkStore::PutMany(std::span<const Chunk> chunks) {
+  for (const Chunk& chunk : chunks) {
+    if (!chunk.valid()) return Status::InvalidArgument("invalid chunk");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Chunk& chunk : chunks) {
+    ++stats_.put_calls;
+    stats_.logical_bytes += chunk.size();
+    auto [it, inserted] = chunks_.try_emplace(chunk.hash(),
+                                              chunk.bytes().ToString());
+    (void)it;
+    if (!inserted) {
+      ++stats_.dedup_hits;
+      continue;
+    }
+    ++stats_.chunk_count;
+    stats_.physical_bytes += chunk.size();
+  }
   return Status::OK();
 }
 

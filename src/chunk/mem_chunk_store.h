@@ -20,7 +20,10 @@ class MemChunkStore : public ChunkStore {
   MemChunkStore() = default;
 
   StatusOr<Chunk> Get(const Hash256& id) const override;
+  std::vector<StatusOr<Chunk>> GetMany(
+      std::span<const Hash256> ids) const override;
   Status Put(const Chunk& chunk) override;
+  Status PutMany(std::span<const Chunk> chunks) override;
   bool Contains(const Hash256& id) const override;
   ChunkStoreStats stats() const override;
   void ForEach(const std::function<void(const Hash256&, const Chunk&)>& fn)

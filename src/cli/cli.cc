@@ -362,13 +362,12 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
     out << CliUsage();
     return 0;
   }
-  auto store_or = FileChunkStore::Open(ctx.db_dir);
-  if (!store_or.ok()) {
-    err << store_or.status().ToString() << "\n";
+  auto db_or = ForkBase::OpenPersistent(ctx.db_dir);
+  if (!db_or.ok()) {
+    err << db_or.status().ToString() << "\n";
     return 1;
   }
-  auto store = std::shared_ptr<ChunkStore>(std::move(*store_or));
-  ForkBase db(store);
+  ForkBase& db = **db_or;
   // Branch heads live in a sidecar file (client-held state, §II-D).
   const std::string branch_file = BranchFilePath(ctx);
   {

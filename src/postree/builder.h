@@ -75,9 +75,13 @@ class TreeBuilder {
     uint64_t nodes_closed = 0;
   };
 
-  /// Closes the open node at `level`, writes its chunk, pushes an index
-  /// entry into level+1 (creating it on demand).
+  /// Closes the open node at `level`, stages its chunk for a batched write,
+  /// pushes an index entry into level+1 (creating it on demand).
   Status CloseNode(size_t level);
+  /// Writes all staged chunks to the store in one PutMany batch. Called when
+  /// the staging buffer fills and before Finish() returns, so every chunk a
+  /// returned TreeInfo references is resident.
+  Status FlushPending();
   /// Feeds an index entry into level `level` (≥1).
   Status AddIndexEntry(size_t level, const IndexEntry& e);
   ChunkType TypeOfLevel(size_t level) const {
@@ -88,6 +92,7 @@ class TreeBuilder {
   ChunkType leaf_type_;
   TreeConfig config_;
   std::vector<Level> levels_;
+  std::vector<Chunk> pending_chunks_;  ///< closed nodes staged for PutMany
   uint64_t entries_added_ = 0;
   uint64_t nodes_written_ = 0;
   bool finished_ = false;

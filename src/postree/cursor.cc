@@ -1,5 +1,7 @@
 #include "postree/cursor.h"
 
+#include <algorithm>
+
 namespace forkbase {
 
 StatusOr<TreeCursor> TreeCursor::AtStart(const ChunkStore* store,
@@ -55,9 +57,12 @@ StatusOr<TreeCursor> TreeCursor::AtKey(const ChunkStore* store,
 }
 
 Status TreeCursor::DescendToLeaf(const Hash256& node) {
-  Hash256 current = node;
+  FB_ASSIGN_OR_RETURN(Chunk chunk, store_->Get(node));
+  return DescendWithChunk(std::move(chunk));
+}
+
+Status TreeCursor::DescendWithChunk(Chunk chunk) {
   for (;;) {
-    FB_ASSIGN_OR_RETURN(Chunk chunk, store_->Get(current));
     if (chunk.type() == ChunkType::kMeta) {
       Frame frame;
       frame.chunk = chunk;
@@ -67,8 +72,9 @@ Status TreeCursor::DescendToLeaf(const Hash256& node) {
       if (frame.children.empty()) {
         return Status::Corruption("empty index node");
       }
-      current = frame.children[0].child;
+      Hash256 next = frame.children[0].child;
       stack_.push_back(std::move(frame));
+      FB_ASSIGN_OR_RETURN(chunk, store_->Get(next));
       continue;
     }
     return LoadLeaf(chunk);
@@ -101,11 +107,31 @@ Status TreeCursor::LoadLeaf(const Chunk& chunk) {
 }
 
 Status TreeCursor::AdvanceLeaf() {
+  // Siblings batch-loaded per window; 16 leaves keeps memory bounded while
+  // letting the store coalesce its per-read locking and file opens.
+  constexpr size_t kPrefetchWindow = 16;
   while (!stack_.empty()) {
     Frame& top = stack_.back();
     if (top.pos + 1 < top.children.size()) {
       ++top.pos;
-      return DescendToLeaf(top.children[top.pos].child);
+      if (top.pos >= top.prefetch_start + top.prefetched.size() ||
+          top.pos < top.prefetch_start) {
+        const size_t end =
+            std::min(top.children.size(), top.pos + kPrefetchWindow);
+        std::vector<Hash256> ids;
+        ids.reserve(end - top.pos);
+        for (size_t i = top.pos; i < end; ++i) {
+          ids.push_back(top.children[i].child);
+        }
+        top.prefetched = store_->GetMany(ids);
+        top.prefetch_start = top.pos;
+      }
+      // Moving out of the slot is safe: pos only advances within a frame,
+      // so each window slot is consumed at most once.
+      StatusOr<Chunk> next =
+          std::move(top.prefetched[top.pos - top.prefetch_start]);
+      if (!next.ok()) return next.status();
+      return DescendWithChunk(std::move(*next));
     }
     stack_.pop_back();
   }

@@ -3,6 +3,12 @@
 // Maintains the root-to-leaf descent stack; Next() is amortized O(1) with
 // O(log N) work at node boundaries. Blob trees are iterated leaf-at-a-time
 // (payload = raw bytes); entry trees yield parsed EntryViews.
+//
+// Sequential scans batch their chunk reads: when the cursor crosses into the
+// next child of an index frame, it prefetches a window of that frame's
+// remaining children with one ChunkStore::GetMany call, so leaf loads arrive
+// in store-level batches instead of one Get per leaf. Point positioning
+// (AtKey) touches single children and never over-fetches.
 #ifndef FORKBASE_POSTREE_CURSOR_H_
 #define FORKBASE_POSTREE_CURSOR_H_
 
@@ -52,11 +58,19 @@ class TreeCursor {
     Chunk chunk;                     // kMeta node
     std::vector<IndexEntry> children;
     size_t pos = 0;                  // current child index
+    // Children [prefetch_start, prefetch_start + prefetched.size()) batch-
+    // loaded by AdvanceLeaf; consumed instead of scalar Gets. Slots keep
+    // per-chunk status so an unreadable far sibling only fails the advance
+    // that actually reaches it.
+    std::vector<StatusOr<Chunk>> prefetched;
+    size_t prefetch_start = 0;
   };
 
   TreeCursor(const ChunkStore* store) : store_(store) {}
   /// Descends from children[pos] of the top frame to the leftmost leaf.
   Status DescendToLeaf(const Hash256& node);
+  /// Same, starting from an already-loaded chunk (prefetch path).
+  Status DescendWithChunk(Chunk chunk);
   Status LoadLeaf(const Chunk& chunk);
   /// Moves to the next leaf after the current one (pops exhausted frames).
   Status AdvanceLeaf();

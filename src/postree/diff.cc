@@ -12,34 +12,42 @@ struct NodeRef {
   std::string max_key;  // known max key (filled from parent index entries)
 };
 
-// Loads a surviving (non-pruned) node. Meta: its children are appended to
-// `next` for the following round. Leaf: its entries are appended to `out`.
-// Only differing paths ever reach this function, which is what bounds the
-// loads to O(D log N).
-Status ExpandOrCollect(const ChunkStore* store, const NodeRef& ref,
-                       std::vector<NodeRef>* next,
-                       std::vector<std::pair<std::string, std::string>>* out,
-                       DiffMetrics* metrics) {
-  auto chunk_or = store->Get(ref.id);
-  if (!chunk_or.ok()) return chunk_or.status();
-  const Chunk& chunk = *chunk_or;
-  if (metrics) ++metrics->nodes_loaded;
-  if (chunk.type() == ChunkType::kMeta) {
-    std::vector<IndexEntry> children;
-    if (!ParseIndexEntries(chunk.payload(), &children)) {
-      return Status::Corruption("malformed index node");
+// Loads all surviving (non-pruned) nodes of one frontier with a single
+// batched read. Metas: children are appended to `next` for the following
+// round. Leaves: entries are appended to `out`. Only differing paths ever
+// reach this function, which is what bounds the loads to O(D log N); the
+// batch turns each round's loads into one store call instead of one per
+// node.
+Status ExpandFrontier(const ChunkStore* store,
+                      const std::vector<NodeRef>& refs,
+                      std::vector<NodeRef>* next,
+                      std::vector<std::pair<std::string, std::string>>* out,
+                      DiffMetrics* metrics) {
+  std::vector<Hash256> ids;
+  ids.reserve(refs.size());
+  for (const auto& ref : refs) ids.push_back(ref.id);
+  auto chunks = store->GetMany(ids);
+  for (size_t i = 0; i < chunks.size(); ++i) {
+    if (!chunks[i].ok()) return chunks[i].status();
+    const Chunk& chunk = *chunks[i];
+    if (metrics) ++metrics->nodes_loaded;
+    if (chunk.type() == ChunkType::kMeta) {
+      std::vector<IndexEntry> children;
+      if (!ParseIndexEntries(chunk.payload(), &children)) {
+        return Status::Corruption("malformed index node");
+      }
+      for (auto& c : children) {
+        next->push_back(NodeRef{c.child, std::move(c.key)});
+      }
+      continue;
     }
-    for (auto& c : children) {
-      next->push_back(NodeRef{c.child, std::move(c.key)});
+    std::vector<EntryView> entries;
+    if (!ParseLeafEntries(chunk.type(), chunk.payload(), &entries)) {
+      return Status::Corruption("malformed leaf payload");
     }
-    return Status::OK();
-  }
-  std::vector<EntryView> entries;
-  if (!ParseLeafEntries(chunk.type(), chunk.payload(), &entries)) {
-    return Status::Corruption("malformed leaf payload");
-  }
-  for (const auto& e : entries) {
-    out->emplace_back(e.key.ToString(), e.value.ToString());
+    for (const auto& e : entries) {
+      out->emplace_back(e.key.ToString(), e.value.ToString());
+    }
   }
   return Status::OK();
 }
@@ -127,17 +135,13 @@ StatusOr<std::vector<KeyDelta>> DiffKeyed(const PosTree& left,
     const bool expand_b = !lb.empty() && (db >= da || la.empty());
     if (expand_a) {
       std::vector<NodeRef> na;
-      for (const auto& ref : la) {
-        FB_RETURN_IF_ERROR(ExpandOrCollect(ls, ref, &na, &ea, metrics));
-      }
+      FB_RETURN_IF_ERROR(ExpandFrontier(ls, la, &na, &ea, metrics));
       la = std::move(na);
       --da;
     }
     if (expand_b) {
       std::vector<NodeRef> nb;
-      for (const auto& ref : lb) {
-        FB_RETURN_IF_ERROR(ExpandOrCollect(rs, ref, &nb, &eb, metrics));
-      }
+      FB_RETURN_IF_ERROR(ExpandFrontier(rs, lb, &nb, &eb, metrics));
       lb = std::move(nb);
       --db;
     }
@@ -208,41 +212,47 @@ Status CollectLeafSpans(const ChunkStore* store, const Hash256& root,
     uint64_t start;
     uint64_t count;  // 0 = unknown (root)
   };
-  std::vector<Item> stack{{root, 0, 0}};
-  // DFS preserving order: process with explicit index.
+  // Level-order sweep: every leaf sits at the same depth, so expanding each
+  // level left-to-right emits spans in position order, and chunk reads come
+  // in capped batches. The Item list for a level is O(level width) — same
+  // order as the spans output this function produces anyway — but chunk
+  // payloads are never all resident at once.
+  std::vector<Item> level{{root, 0, 0}};
   std::vector<LeafSpan>& spans = *out;
-  // Recursive lambda via explicit stack of (node, start); children pushed in
-  // reverse order.
-  while (!stack.empty()) {
-    Item item = stack.back();
-    stack.pop_back();
-    auto chunk_or = store->Get(item.id);
-    if (!chunk_or.ok()) return chunk_or.status();
-    if (metrics) ++metrics->nodes_loaded;
-    const Chunk& chunk = *chunk_or;
-    if (chunk.type() == ChunkType::kMeta) {
-      std::vector<IndexEntry> children;
-      if (!ParseIndexEntries(chunk.payload(), &children)) {
-        return Status::Corruption("malformed index node");
-      }
-      uint64_t offset = item.start;
-      std::vector<Item> items;
-      for (const auto& c : children) {
-        items.push_back(Item{c.child, offset, c.count});
-        offset += c.count;
-      }
-      for (auto it = items.rbegin(); it != items.rend(); ++it) {
-        stack.push_back(*it);
-      }
-    } else {
-      uint64_t len = item.count;
-      if (len == 0) {  // root leaf: compute from payload
-        auto count_or = LeafEntryCount(chunk.type(), chunk.payload());
-        if (!count_or.ok()) return count_or.status();
-        len = *count_or;
-      }
-      spans.push_back(LeafSpan{item.id, item.start, len});
-    }
+  while (!level.empty()) {
+    std::vector<Item> next;
+    std::vector<Hash256> ids;
+    ids.reserve(level.size());
+    for (const auto& item : level) ids.push_back(item.id);
+    FB_RETURN_IF_ERROR(ForEachChunkBatch(
+        *store, ids, kChunkSweepBatch,
+        [&](size_t i, StatusOr<Chunk>& chunk_or) -> Status {
+          if (!chunk_or.ok()) return chunk_or.status();
+          if (metrics) ++metrics->nodes_loaded;
+          const Chunk& chunk = *chunk_or;
+          const Item& item = level[i];
+          if (chunk.type() == ChunkType::kMeta) {
+            std::vector<IndexEntry> children;
+            if (!ParseIndexEntries(chunk.payload(), &children)) {
+              return Status::Corruption("malformed index node");
+            }
+            uint64_t offset = item.start;
+            for (const auto& c : children) {
+              next.push_back(Item{c.child, offset, c.count});
+              offset += c.count;
+            }
+          } else {
+            uint64_t len = item.count;
+            if (len == 0) {  // root leaf: compute from payload
+              auto count_or = LeafEntryCount(chunk.type(), chunk.payload());
+              if (!count_or.ok()) return count_or.status();
+              len = *count_or;
+            }
+            spans.push_back(LeafSpan{item.id, item.start, len});
+          }
+          return Status::OK();
+        }));
+    level = std::move(next);
   }
   return Status::OK();
 }
@@ -252,21 +262,28 @@ Status MaterializeRange(const ChunkStore* store, ChunkType leaf_type,
                         const std::vector<LeafSpan>& spans, size_t from,
                         size_t to, std::vector<std::string>* out,
                         DiffMetrics* metrics) {
-  for (size_t i = from; i < to; ++i) {
-    auto chunk_or = store->Get(spans[i].id);
-    if (!chunk_or.ok()) return chunk_or.status();
-    if (metrics) ++metrics->nodes_loaded;
-    if (leaf_type == ChunkType::kBlobLeaf) {
-      out->push_back(chunk_or->payload().ToString());
-    } else {
-      std::vector<EntryView> entries;
-      if (!ParseLeafEntries(chunk_or->type(), chunk_or->payload(), &entries)) {
-        return Status::Corruption("malformed leaf payload");
-      }
-      for (const auto& e : entries) out->push_back(e.value.ToString());
-    }
-  }
-  return Status::OK();
+  // Batched reads, capped so a wide range doesn't buffer every leaf chunk
+  // on top of the materialized values.
+  std::vector<Hash256> ids;
+  ids.reserve(to - from);
+  for (size_t i = from; i < to; ++i) ids.push_back(spans[i].id);
+  return ForEachChunkBatch(
+      *store, ids, kChunkSweepBatch,
+      [&](size_t, StatusOr<Chunk>& chunk_or) -> Status {
+        if (!chunk_or.ok()) return chunk_or.status();
+        if (metrics) ++metrics->nodes_loaded;
+        if (leaf_type == ChunkType::kBlobLeaf) {
+          out->push_back(chunk_or->payload().ToString());
+        } else {
+          std::vector<EntryView> entries;
+          if (!ParseLeafEntries(chunk_or->type(), chunk_or->payload(),
+                                &entries)) {
+            return Status::Corruption("malformed leaf payload");
+          }
+          for (const auto& e : entries) out->push_back(e.value.ToString());
+        }
+        return Status::OK();
+      });
 }
 
 }  // namespace

@@ -3,12 +3,22 @@
 #include <queue>
 #include <unordered_set>
 
+#include "chunk/caching_chunk_store.h"
+#include "chunk/file_chunk_store.h"
 #include "store/merge_engine.h"
 
 namespace forkbase {
 
 ForkBase::ForkBase(std::shared_ptr<ChunkStore> store)
     : store_(std::move(store)) {}
+
+StatusOr<std::unique_ptr<ForkBase>> ForkBase::OpenPersistent(
+    const std::string& dir, size_t cache_bytes) {
+  FB_ASSIGN_OR_RETURN(auto file_store, FileChunkStore::Open(dir));
+  auto cache = std::make_shared<CachingChunkStore>(
+      std::shared_ptr<ChunkStore>(std::move(file_store)), cache_bytes);
+  return std::make_unique<ForkBase>(std::move(cache));
+}
 
 StatusOr<Hash256> ForkBase::Commit(const std::string& key, const Value& value,
                                    std::vector<Hash256> bases,

@@ -76,6 +76,13 @@ class ForkBase {
   /// @param store shared chunk storage (memory or file backed)
   explicit ForkBase(std::shared_ptr<ChunkStore> store);
 
+  /// Opens a production-shaped instance at `dir`: a sharded-index
+  /// FileChunkStore under a sharded LRU read cache. This is the stack the
+  /// CLI and any long-lived server should use; tests that need a bare
+  /// backend keep constructing ForkBase directly.
+  static StatusOr<std::unique_ptr<ForkBase>> OpenPersistent(
+      const std::string& dir, size_t cache_bytes = 64ull << 20);
+
   ChunkStore* store() { return store_.get(); }
   const ChunkStore* store() const { return store_.get(); }
   BranchTable& branches() { return branch_table_; }

@@ -1,5 +1,6 @@
 #include "store/gc.h"
 
+#include <algorithm>
 #include <queue>
 
 #include "postree/node.h"
@@ -47,14 +48,27 @@ Status ExpandReferences(const Chunk& chunk, std::queue<Hash256>* frontier) {
 StatusOr<std::unordered_set<Hash256, Hash256Hasher>> MarkLive(
     const ChunkStore& store, const std::vector<Hash256>& roots) {
   std::unordered_set<Hash256, Hash256Hasher> live;
-  std::queue<Hash256> frontier;
-  for (const auto& root : roots) frontier.push(root);
-  while (!frontier.empty()) {
-    Hash256 id = frontier.front();
-    frontier.pop();
-    if (!live.insert(id).second) continue;
-    FB_ASSIGN_OR_RETURN(Chunk chunk, store.Get(id));
-    FB_RETURN_IF_ERROR(ExpandReferences(chunk, &frontier));
+  // BFS in waves: each wave's unseen ids are fetched with one batched read,
+  // and their references form the next wave.
+  std::vector<Hash256> wave(roots.begin(), roots.end());
+  while (!wave.empty()) {
+    std::vector<Hash256> to_load;
+    to_load.reserve(wave.size());
+    for (const auto& id : wave) {
+      if (live.insert(id).second) to_load.push_back(id);
+    }
+    if (to_load.empty()) break;
+    auto chunks = store.GetMany(to_load);
+    std::queue<Hash256> frontier;
+    for (auto& chunk_or : chunks) {
+      if (!chunk_or.ok()) return chunk_or.status();
+      FB_RETURN_IF_ERROR(ExpandReferences(*chunk_or, &frontier));
+    }
+    wave.clear();
+    while (!frontier.empty()) {
+      wave.push_back(frontier.front());
+      frontier.pop();
+    }
   }
   return live;
 }
@@ -74,12 +88,28 @@ StatusOr<GcStats> CopyLive(const ForkBase& db, ChunkStore* dst) {
 
   GcStats stats;
   stats.roots = roots.size();
-  for (const auto& id : live) {
-    FB_ASSIGN_OR_RETURN(Chunk chunk, src.Get(id));
-    FB_RETURN_IF_ERROR(dst->Put(chunk));
-    ++stats.live_chunks;
-    stats.live_bytes += chunk.size();
-  }
+  // Copy in batches: one GetMany from the source and one PutMany into the
+  // destination per wave of live ids.
+  std::vector<Hash256> live_ids(live.begin(), live.end());
+  std::vector<Chunk> batch;
+  batch.reserve(kChunkSweepBatch);
+  auto flush_batch = [&]() -> Status {
+    if (batch.empty()) return Status::OK();
+    FB_RETURN_IF_ERROR(dst->PutMany(batch));
+    batch.clear();
+    return Status::OK();
+  };
+  FB_RETURN_IF_ERROR(ForEachChunkBatch(
+      src, live_ids, kChunkSweepBatch,
+      [&](size_t, StatusOr<Chunk>& chunk_or) -> Status {
+        if (!chunk_or.ok()) return chunk_or.status();
+        ++stats.live_chunks;
+        stats.live_bytes += chunk_or->size();
+        batch.push_back(std::move(*chunk_or));
+        if (batch.size() >= kChunkSweepBatch) return flush_batch();
+        return Status::OK();
+      }));
+  FB_RETURN_IF_ERROR(flush_batch());
   src.ForEach([&stats](const Hash256&, const Chunk& chunk) {
     ++stats.total_chunks;
     stats.total_bytes += chunk.size();

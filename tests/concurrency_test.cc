@@ -5,9 +5,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <filesystem>
 #include <thread>
 
 #include "chunk/caching_chunk_store.h"
+#include "chunk/file_chunk_store.h"
 #include "chunk/mem_chunk_store.h"
 #include "store/forkbase.h"
 #include "util/random.h"
@@ -65,6 +67,132 @@ TEST(ConcurrencyTest, ParallelPutsThroughCache) {
   }
   for (auto& t : threads) t.join();
   EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(ConcurrencyTest, ShardedLruEvictionUnderConcurrentAccess) {
+  // Small per-shard budgets force continuous eviction while all threads
+  // hammer Get/Put across every shard. Guards the per-shard accounting
+  // (resident_bytes, list/map agreement) under contention.
+  auto base = std::make_shared<MemChunkStore>();
+  CachingChunkStore cache(base, 32 * 1024, /*shards=*/8);
+  ASSERT_EQ(cache.shard_count(), 8u);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &failures, t] {
+      Rng rng(500 + t);
+      std::vector<Hash256> mine;
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        Chunk chunk = Chunk::Make(ChunkType::kCell, rng.NextBytes(512));
+        if (!cache.Put(chunk).ok()) ++failures;
+        mine.push_back(chunk.hash());
+        // Batch-read a window of earlier chunks: some cached, most evicted
+        // (refilled from base through the batched miss path).
+        if (i % 8 == 7) {
+          size_t n = std::min<size_t>(mine.size(), 16);
+          std::vector<Hash256> probe(mine.end() - n, mine.end());
+          for (const auto& r : cache.GetMany(probe)) {
+            if (!r.ok()) ++failures;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  auto cstats = cache.cache_stats();
+  EXPECT_GT(cstats.evictions, 0u);
+  // Bound: capacity plus at most one max-sized chunk overshoot per shard
+  // (each shard always retains its most recent insert).
+  EXPECT_LE(cstats.resident_bytes, 32u * 1024u + 8u * 513u);
+}
+
+TEST(ConcurrencyTest, ConcurrentBatchedFileStoreOps) {
+  const std::string dir = ::testing::TempDir() + "/fb_conc_batch";
+  std::filesystem::remove_all(dir);
+  auto store_or = FileChunkStore::Open(dir);
+  ASSERT_TRUE(store_or.ok());
+  auto& store = **store_or;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&store, &failures, t] {
+      Rng rng(900 + t);
+      for (int round = 0; round < 10; ++round) {
+        std::vector<Chunk> batch;
+        for (int i = 0; i < 20; ++i) {
+          // Half the content collides across threads to race the
+          // append-lock re-check that prevents duplicate records.
+          std::string payload =
+              i % 2 ? rng.NextBytes(128)
+                    : "shared-" + std::to_string(round) + "-" +
+                          std::to_string(i);
+          batch.push_back(Chunk::Make(ChunkType::kCell, payload));
+        }
+        if (!store.PutMany(batch).ok()) ++failures;
+        std::vector<Hash256> ids;
+        for (const auto& c : batch) ids.push_back(c.hash());
+        auto results = store.GetMany(ids);
+        for (size_t i = 0; i < results.size(); ++i) {
+          if (!results[i].ok() ||
+              results[i]->bytes().ToString() != batch[i].bytes().ToString()) {
+            ++failures;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  ChunkStoreStats stats = store.stats();
+  EXPECT_EQ(stats.put_calls,
+            static_cast<uint64_t>(kThreads) * 10u * 20u);
+  // Every put either created a chunk or hit dedup; nothing was lost.
+  EXPECT_EQ(stats.chunk_count + stats.dedup_hits, stats.put_calls);
+  // Racing writers must not have appended duplicate records: with one
+  // 40-byte header per record, the bytes on disk must equal exactly one
+  // record per distinct chunk.
+  uint64_t on_disk = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".fbc") on_disk += entry.file_size();
+  }
+  EXPECT_EQ(on_disk, stats.physical_bytes + 40u * stats.chunk_count);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ConcurrencyTest, DedupRacePersistsNoDuplicateRecords) {
+  // All threads put the SAME batch; after a reopen the on-disk record count
+  // must equal the distinct chunk count.
+  const std::string dir = ::testing::TempDir() + "/fb_dedup_race";
+  std::filesystem::remove_all(dir);
+  std::vector<Chunk> batch;
+  Rng rng(77);
+  for (int i = 0; i < 50; ++i) {
+    batch.push_back(Chunk::Make(ChunkType::kCell, rng.NextBytes(100)));
+  }
+  {
+    auto store_or = FileChunkStore::Open(dir);
+    ASSERT_TRUE(store_or.ok());
+    auto& store = **store_or;
+    std::vector<std::thread> threads;
+    std::atomic<int> failures{0};
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&store, &batch, &failures] {
+        if (!store.PutMany(batch).ok()) ++failures;
+      });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(failures.load(), 0);
+    EXPECT_EQ(store.stats().chunk_count, 50u);
+  }
+  // Duplicate appended records would show up directly in the segment size:
+  // exactly 50 records of header (40) + tag+payload (101) must exist.
+  EXPECT_EQ(std::filesystem::file_size(dir + "/segment-0.fbc"),
+            50u * (40u + 101u));
+  auto reopened_or = FileChunkStore::Open(dir);
+  ASSERT_TRUE(reopened_or.ok());
+  EXPECT_EQ((*reopened_or)->stats().chunk_count, 50u);
+  std::filesystem::remove_all(dir);
 }
 
 TEST(ConcurrencyTest, ParallelForkBaseWritersDistinctKeys) {
