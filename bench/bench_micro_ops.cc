@@ -7,6 +7,8 @@
 #include <unistd.h>
 
 #include <filesystem>
+#include <mutex>
+#include <thread>
 
 #include "bench_common.h"
 #include "chunk/file_chunk_store.h"
@@ -15,6 +17,7 @@
 #include "store/forkbase.h"
 #include "util/rolling_hash.h"
 #include "util/sha256.h"
+#include "util/worker_pool.h"
 
 namespace forkbase {
 namespace bench {
@@ -300,6 +303,196 @@ void BM_FileStoreGetBatched(benchmark::State& state) {
                           static_cast<int64_t>(batch));
 }
 BENCHMARK(BM_FileStoreGetBatched)->Arg(64)->Arg(256);
+
+// ---- async prefetch: double-buffered scans ------------------------------
+//
+// The scan pipeline's win is latency hiding: while the consumer parses
+// window N, the store reads window N+1. The File pair measures the real
+// file store (page-cache-warm reads, so the hidden latency is small); the
+// SlowDevice pair adds a fixed per-batch device latency (seek/network
+// class) on top of the file store, the regime the prefetcher exists for.
+
+/// Fixed per-read latency on top of a real store. GetManyAsync pays the
+/// same latency, but on a background worker — exactly what a device with
+/// queue depth > 1 offers — so a double-buffered consumer can hide it.
+class SlowChunkStore : public ChunkStore {
+ public:
+  /// `workers` models the device's queue depth: that many batch reads can
+  /// be "in the device" concurrently. 0 = synchronous store.
+  SlowChunkStore(std::shared_ptr<ChunkStore> base, unsigned latency_us,
+                 size_t workers)
+      : base_(std::move(base)), latency_us_(latency_us), pool_(workers) {}
+
+  StatusOr<Chunk> Get(const Hash256& id) const override {
+    Delay();
+    return base_->Get(id);
+  }
+  std::vector<StatusOr<Chunk>> GetMany(
+      std::span<const Hash256> ids) const override {
+    Delay();
+    return base_->GetMany(ids);
+  }
+  AsyncChunkBatch GetManyAsync(std::span<const Hash256> ids) const override {
+    if (pool_.thread_count() == 0) return ChunkStore::GetManyAsync(ids);
+    return AsyncChunkBatch::OnPool(
+        pool_, [this, owned = std::vector<Hash256>(ids.begin(), ids.end())] {
+          Delay();
+          return base_->GetMany(owned);
+        });
+  }
+  bool SupportsAsyncGet() const override { return pool_.thread_count() > 0; }
+  Status Put(const Chunk& chunk) override { return base_->Put(chunk); }
+  Status PutMany(std::span<const Chunk> chunks) override {
+    return base_->PutMany(chunks);
+  }
+  bool Contains(const Hash256& id) const override {
+    return base_->Contains(id);
+  }
+  ChunkStoreStats stats() const override { return base_->stats(); }
+  void ForEach(const std::function<void(const Hash256&, const Chunk&)>& fn)
+      const override {
+    base_->ForEach(fn);
+  }
+
+ private:
+  void Delay() const {
+    std::this_thread::sleep_for(std::chrono::microseconds(latency_us_));
+  }
+  std::shared_ptr<ChunkStore> base_;
+  const unsigned latency_us_;
+  mutable WorkerPool pool_;
+};
+
+constexpr size_t kScanEntries = 100000;
+constexpr unsigned kDeviceLatencyUs = 150;
+
+void RunMapScan(benchmark::State& state, const ChunkStore* store,
+                const Hash256& root) {
+  PosTree tree(store, ChunkType::kMapLeaf, root);
+  for (auto _ : state) {
+    uint64_t count = 0;
+    (void)tree.Scan([&count](const EntryView&) {
+      ++count;
+      return Status::OK();
+    });
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kScanEntries));
+}
+
+void BM_MapScanFileSync(benchmark::State& state) {
+  ScopedStoreDir dir("scan_sync");
+  FileChunkStore::Options options;
+  options.prefetch_threads = 0;
+  auto store = FileChunkStore::Open(dir.path(), options);
+  auto kvs = RandomKvs(kScanEntries, 31);
+  auto built = PosTree::BuildKeyed(store->get(), ChunkType::kMapLeaf, kvs);
+  RunMapScan(state, store->get(), built->root);
+}
+BENCHMARK(BM_MapScanFileSync)->UseRealTime();
+
+void BM_MapScanFileAsync(benchmark::State& state) {
+  ScopedStoreDir dir("scan_async");
+  FileChunkStore::Options options;
+  options.prefetch_threads = 1;
+  auto store = FileChunkStore::Open(dir.path(), options);
+  auto kvs = RandomKvs(kScanEntries, 31);
+  auto built = PosTree::BuildKeyed(store->get(), ChunkType::kMapLeaf, kvs);
+  RunMapScan(state, store->get(), built->root);
+}
+BENCHMARK(BM_MapScanFileAsync)->UseRealTime();
+
+void RunSlowDeviceScan(benchmark::State& state, size_t workers) {
+  ScopedStoreDir dir("scan_slow" + std::to_string(workers));
+  FileChunkStore::Options options;
+  options.prefetch_threads = 0;  // the decorator owns the async workers
+  auto file = FileChunkStore::Open(dir.path(), options);
+  auto kvs = RandomKvs(kScanEntries, 32);
+  auto built = PosTree::BuildKeyed(file->get(), ChunkType::kMapLeaf, kvs);
+  SlowChunkStore store(std::shared_ptr<ChunkStore>(std::move(*file)),
+                       kDeviceLatencyUs, workers);
+  const size_t depth = GetScanPrefetchDepth();
+  SetScanPrefetchDepth(workers > 0 ? 2 * workers : depth);
+  RunMapScan(state, &store, built->root);
+  SetScanPrefetchDepth(depth);
+}
+
+void BM_MapScanSlowDeviceSync(benchmark::State& state) {
+  RunSlowDeviceScan(state, 0);
+}
+BENCHMARK(BM_MapScanSlowDeviceSync)->UseRealTime();
+
+void BM_MapScanSlowDeviceAsync(benchmark::State& state) {
+  RunSlowDeviceScan(state, 4);
+}
+BENCHMARK(BM_MapScanSlowDeviceAsync)->UseRealTime();
+
+// ---- group commit: concurrent FNode writers -----------------------------
+//
+// range(0) = 0: scalar commits (each Put pays its own append + flush).
+// range(0) = 1: group commit (racing Puts drain as one PutMany + flush).
+// Run at 1 and 4 threads; the 4-thread pair is the aggregate-throughput
+// criterion for the commit queue.
+
+class CommitBench : public benchmark::Fixture {
+ public:
+  void SetUp(const benchmark::State& state) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (refs_++ == 0) {
+      const bool grouped = state.range(0) != 0;
+      dir_ = std::make_unique<ScopedStoreDir>(grouped ? "commit_grouped"
+                                                      : "commit_scalar");
+      ForkBase::OpenOptions open;
+      open.prefetch_threads = 0;
+      // Power-loss durability: every commit run fsyncs. This is the cost
+      // the queue amortizes — scalar pays one sync per commit, the group
+      // pays one per drain.
+      open.fsync = true;
+      open.options.group_commit = grouped;
+      auto db = ForkBase::OpenPersistent(dir_->path(), open);
+      db_ = std::move(*db);
+    }
+  }
+  void TearDown(const benchmark::State&) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--refs_ == 0) {
+      db_.reset();
+      dir_.reset();
+    }
+  }
+
+ protected:
+  static std::mutex mu_;
+  static int refs_;
+  static std::unique_ptr<ScopedStoreDir> dir_;
+  static std::unique_ptr<ForkBase> db_;
+};
+
+std::mutex CommitBench::mu_;
+int CommitBench::refs_ = 0;
+std::unique_ptr<ScopedStoreDir> CommitBench::dir_;
+std::unique_ptr<ForkBase> CommitBench::db_;
+
+BENCHMARK_DEFINE_F(CommitBench, FNodeCommit)(benchmark::State& state) {
+  // One branch per writer: heads race in the table, records race for the
+  // append lock (scalar) or coalesce in the queue (grouped).
+  const std::string branch = "w" + std::to_string(state.thread_index());
+  uint64_t i = 0;
+  for (auto _ : state) {
+    auto uid = db_->Put("bench-key",
+                        Value::String(branch + "-" + std::to_string(i++)),
+                        branch);
+    benchmark::DoNotOptimize(uid.ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK_REGISTER_F(CommitBench, FNodeCommit)
+    ->Arg(0)
+    ->Arg(1)
+    ->Threads(1)
+    ->Threads(4)
+    ->UseRealTime();
 
 void BM_Verify(benchmark::State& state) {
   auto store = std::make_shared<MemChunkStore>();

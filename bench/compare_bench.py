@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Bench regression gate for bench_micro_ops JSON output.
+
+Compares a fresh google-benchmark JSON run against the checked-in
+bench/baseline.json in two ways:
+
+1. RATIO GATE (fails CI): for each tracked pair below, the speedup ratio
+   faster-path / slower-path (items_per_second) is computed in BOTH runs
+   from their own same-machine measurements. The new ratio must not fall
+   more than --threshold percent below the baseline ratio, and must stay
+   above the pair's hard floor where one is set (the PR acceptance
+   criteria: async scans >= 1.5x sync on a latency-bound store, grouped
+   4-thread commits >= 1x the 4 independent scalar commits). Ratios are
+   machine-independent, so this gate is meaningful on any runner.
+
+2. ABSOLUTE DRIFT (warns by default, fails with --strict): per-benchmark
+   items_per_second against the baseline. Absolute numbers move with the
+   runner's hardware, so this is advisory unless you know both runs came
+   from comparable machines.
+
+Note on the checked-in baseline: it is recorded from a Release
+(-O3 -DNDEBUG) build of this repo; the JSON's "library_build_type":
+"debug" describes the distro's libbenchmark package, not the code under
+test. The recording host may still differ from the CI runner (core
+count, disk), which is why only same-run ratios gate hard, pairs whose
+ratio depends on core count are floor-only, and absolute numbers warn
+unless --strict. Regenerate with:
+  ./build/bench_micro_ops --benchmark_min_time=0.2 \
+      --benchmark_format=json --benchmark_out=bench/baseline.json
+
+Usage: compare_bench.py BASELINE.json NEW.json [--threshold 25] [--strict]
+"""
+
+import argparse
+import json
+import sys
+
+# (faster path, slower path, hard floor on the ratio or None,
+#  compare against the baseline ratio?)
+# Pairs whose ratio depends on the host's core count / sync cost (thread
+# scaling, fsync amortization) keep only their machine-independent floor;
+# comparing their baseline ratio across different runners would be noise.
+TRACKED_PAIRS = [
+    ("BM_FileStorePutBatched/64", "BM_FileStorePutScalar/64", 1.5, True),
+    ("BM_FileStorePutBatched/256", "BM_FileStorePutScalar/256", 1.5, True),
+    # 1024-chunk batches are write-bandwidth-bound; the advantage varies
+    # with the disk, so this pair is regression-tracked without a floor.
+    ("BM_FileStorePutBatched/1024", "BM_FileStorePutScalar/1024", None, True),
+    ("BM_FileStoreGetBatched/64", "BM_FileStoreGetScalar/64", 1.5, True),
+    ("BM_FileStoreGetBatched/256", "BM_FileStoreGetScalar/256", 1.5, True),
+    # Tentpole criteria of the async I/O pipeline PR. The slow-device scan
+    # is dominated by the simulated latency, so its ratio travels well; the
+    # commit pair's ratio moves with cores and fsync cost, floor only.
+    ("BM_MapScanSlowDeviceAsync/real_time",
+     "BM_MapScanSlowDeviceSync/real_time", 1.5, True),
+    ("CommitBench/FNodeCommit/1/real_time/threads:4",
+     "CommitBench/FNodeCommit/0/real_time/threads:4", 1.0, False),
+]
+
+
+def load_rates(path):
+    with open(path) as f:
+        doc = json.load(f)
+    rates = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        rate = bench.get("items_per_second")
+        if rate:
+            rates[bench["name"]] = rate
+    return rates
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--threshold", type=float, default=25.0,
+                        help="max tolerated ratio regression, percent")
+    parser.add_argument("--strict", action="store_true",
+                        help="fail on absolute per-benchmark drift too")
+    args = parser.parse_args()
+
+    base = load_rates(args.baseline)
+    new = load_rates(args.fresh)
+    tolerance = 1.0 - args.threshold / 100.0
+    failures = []
+    warnings = []
+
+    print(f"== ratio gate (threshold {args.threshold:.0f}%) ==")
+    for fast, slow, floor, vs_baseline in TRACKED_PAIRS:
+        if fast not in new or slow not in new:
+            failures.append(f"pair missing from new run: {fast} / {slow}")
+            continue
+        new_ratio = new[fast] / new[slow]
+        line = f"{fast} / {slow}: {new_ratio:.2f}x"
+        if not vs_baseline:
+            line += " (floor-only pair)"
+        elif fast in base and slow in base:
+            base_ratio = base[fast] / base[slow]
+            line += f" (baseline {base_ratio:.2f}x)"
+            if new_ratio < base_ratio * tolerance:
+                failures.append(
+                    f"ratio regression: {fast}/{slow} fell to {new_ratio:.2f}x "
+                    f"from {base_ratio:.2f}x (>{args.threshold:.0f}%)")
+        else:
+            warnings.append(f"pair not in baseline: {fast} / {slow}")
+        if floor is not None and new_ratio < floor:
+            failures.append(
+                f"floor violated: {fast}/{slow} = {new_ratio:.2f}x "
+                f"< required {floor:.2f}x")
+        print("  " + line)
+
+    print("== absolute drift ==")
+    for name in sorted(set(base) & set(new)):
+        drift = new[name] / base[name]
+        if drift < tolerance:
+            msg = (f"absolute regression: {name} at {drift * 100:.0f}% "
+                   f"of baseline throughput")
+            (failures if args.strict else warnings).append(msg)
+        print(f"  {name}: {drift * 100:.0f}% of baseline")
+
+    for w in warnings:
+        print(f"WARNING: {w}")
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}")
+        return 1
+    print("OK: all tracked ratios within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

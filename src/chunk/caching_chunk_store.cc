@@ -75,40 +75,98 @@ StatusOr<Chunk> CachingChunkStore::Get(const Hash256& id) const {
   return result;
 }
 
-std::vector<StatusOr<Chunk>> CachingChunkStore::GetMany(
+CachingChunkStore::BatchProbe CachingChunkStore::ProbeShards(
     std::span<const Hash256> ids) const {
-  std::vector<std::optional<StatusOr<Chunk>>> slots(ids.size());
-  std::vector<Hash256> miss_ids;
-  std::vector<size_t> miss_slots;
+  BatchProbe probe;
+  probe.slots.resize(ids.size());
+  // Maps a pending miss id to its index in miss_ids, so a duplicate id
+  // later in the batch is served by the same base fetch. Its hit/miss is
+  // accounted in MergeMisses once the fetch outcome is known — exactly as
+  // the scalar sequence Get(x); Get(x) would count it (a successful first
+  // call fills the cache so the second hits; a NotFound fills nothing, so
+  // the second misses again).
+  std::unordered_map<Hash256, size_t, Hash256Hasher> pending;
   for (size_t i = 0; i < ids.size(); ++i) {
+    auto seen = pending.find(ids[i]);
+    if (seen != pending.end()) {
+      probe.miss_slots[seen->second].push_back(i);
+      continue;
+    }
     Shard& shard = ShardFor(ids[i]);
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.map.find(ids[i]);
     if (it != shard.map.end()) {
       ++shard.stats.hits;
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-      slots[i] = StatusOr<Chunk>(it->second->second);
+      probe.slots[i] = StatusOr<Chunk>(it->second->second);
     } else {
       ++shard.stats.misses;
-      miss_ids.push_back(ids[i]);
-      miss_slots.push_back(i);
+      pending.emplace(ids[i], probe.miss_ids.size());
+      probe.miss_ids.push_back(ids[i]);
+      probe.miss_slots.push_back({i});
     }
   }
-  if (!miss_ids.empty()) {
-    auto fetched = base_->GetMany(miss_ids);
-    for (size_t j = 0; j < fetched.size(); ++j) {
-      if (fetched[j].ok()) {
-        Shard& shard = ShardFor(miss_ids[j]);
-        std::lock_guard<std::mutex> lock(shard.mu);
-        InsertLocked(shard, miss_ids[j], *fetched[j]);
-      }
-      slots[miss_slots[j]] = std::move(fetched[j]);
-    }
-  }
+  return probe;
+}
+
+std::vector<StatusOr<Chunk>> CachingChunkStore::UnwrapSlots(
+    std::vector<std::optional<StatusOr<Chunk>>> slots) {
   std::vector<StatusOr<Chunk>> out;
   out.reserve(slots.size());
   for (auto& slot : slots) out.push_back(std::move(*slot));
   return out;
+}
+
+std::vector<StatusOr<Chunk>> CachingChunkStore::MergeMisses(
+    BatchProbe probe, std::vector<StatusOr<Chunk>> fetched) const {
+  for (size_t j = 0; j < fetched.size(); ++j) {
+    const auto& targets = probe.miss_slots[j];
+    {
+      Shard& shard = ShardFor(probe.miss_ids[j]);
+      std::lock_guard<std::mutex> lock(shard.mu);
+      if (fetched[j].ok()) {
+        InsertLocked(shard, probe.miss_ids[j], *fetched[j]);
+      }
+      // Deferred accounting for intra-batch duplicates (slots past the
+      // first): a successful fetch means the duplicate would have hit the
+      // just-filled cache; a failure means it would have missed again.
+      if (fetched[j].ok()) {
+        shard.stats.hits += targets.size() - 1;
+      } else {
+        shard.stats.misses += targets.size() - 1;
+      }
+    }
+    for (size_t k = 0; k + 1 < targets.size(); ++k) {
+      probe.slots[targets[k]] = fetched[j];
+    }
+    probe.slots[targets.back()] = std::move(fetched[j]);
+  }
+  return UnwrapSlots(std::move(probe.slots));
+}
+
+std::vector<StatusOr<Chunk>> CachingChunkStore::GetMany(
+    std::span<const Hash256> ids) const {
+  BatchProbe probe = ProbeShards(ids);
+  if (probe.miss_ids.empty()) {
+    return UnwrapSlots(std::move(probe.slots));
+  }
+  auto fetched = base_->GetMany(probe.miss_ids);
+  return MergeMisses(std::move(probe), std::move(fetched));
+}
+
+AsyncChunkBatch CachingChunkStore::GetManyAsync(
+    std::span<const Hash256> ids) const {
+  BatchProbe probe = ProbeShards(ids);
+  if (probe.miss_ids.empty()) {
+    return AsyncChunkBatch::Ready(UnwrapSlots(std::move(probe.slots)));
+  }
+  AsyncChunkBatch base_batch = base_->GetManyAsync(probe.miss_ids);
+  return AsyncChunkBatch::Mapped(
+      std::move(base_batch),
+      [this, probe = std::move(probe)](
+          std::vector<StatusOr<Chunk>> fetched) mutable {
+        return MergeMisses(std::move(probe), std::move(fetched));
+      });
 }
 
 Status CachingChunkStore::Put(const Chunk& chunk) {

@@ -25,22 +25,37 @@ const char* ChunkTypeToString(ChunkType t) {
 }
 
 Chunk Chunk::Make(ChunkType type, Slice payload) {
-  auto buf = std::make_shared<std::string>();
-  buf->reserve(payload.size() + 1);
-  buf->push_back(static_cast<char>(type));
-  buf->append(payload.data(), payload.size());
-  return Chunk(std::move(buf));
+  auto rep = std::make_shared<Rep>();
+  rep->bytes.reserve(payload.size() + 1);
+  rep->bytes.push_back(static_cast<char>(type));
+  rep->bytes.append(payload.data(), payload.size());
+  return Chunk(std::move(rep));
 }
 
 Chunk Chunk::FromBytes(std::string bytes) {
-  return Chunk(std::make_shared<std::string>(std::move(bytes)));
+  auto rep = std::make_shared<Rep>();
+  rep->bytes = std::move(bytes);
+  return Chunk(std::move(rep));
 }
 
 const Hash256& Chunk::hash() const {
-  if (!hash_) {
-    hash_ = std::make_shared<Hash256>(Sha256(bytes()));
+  const Hash256* h = rep_->hash.load(std::memory_order_acquire);
+  if (!h) {
+    const Hash256* computed = new Hash256(Sha256(bytes()));
+    const Hash256* expected = nullptr;
+    // First store wins; a losing racer frees its copy and adopts the
+    // winner's, so every caller returns a reference into one pinned
+    // allocation (freed by ~Rep).
+    if (rep_->hash.compare_exchange_strong(expected, computed,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+      h = computed;
+    } else {
+      delete computed;
+      h = expected;
+    }
   }
-  return *hash_;
+  return *h;
 }
 
 }  // namespace forkbase

@@ -7,6 +7,7 @@
 #ifndef FORKBASE_CHUNK_CHUNK_H_
 #define FORKBASE_CHUNK_CHUNK_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 
@@ -32,7 +33,17 @@ enum class ChunkType : uint8_t {
 const char* ChunkTypeToString(ChunkType t);
 
 /// An immutable byte buffer `[type:1][payload...]` plus its lazily computed
-/// content hash. Cheap to copy (shared buffer).
+/// content hash. Cheap to copy (shared representation — copies also share
+/// the hash cache, so a chunk's identity is computed once no matter how
+/// many handles exist).
+///
+/// Thread-safety: a single Chunk (or any set of its copies) may be hashed
+/// from many threads at once — batched writers share const chunk spans, and
+/// the async pipeline hands chunks between pool and caller threads. The
+/// lazy cache is an atomic pointer inside the shared rep: concurrent first
+/// calls may both compute, the CAS winner's result is adopted (the loser's
+/// allocation is freed), and the reference stays stable for the rep's
+/// lifetime.
 class Chunk {
  public:
   Chunk() = default;
@@ -44,24 +55,31 @@ class Chunk {
   /// stores when reading back from disk.
   static Chunk FromBytes(std::string bytes);
 
-  bool valid() const { return buf_ != nullptr && !buf_->empty(); }
+  bool valid() const { return rep_ != nullptr && !rep_->bytes.empty(); }
   ChunkType type() const {
-    return static_cast<ChunkType>(static_cast<uint8_t>((*buf_)[0]));
+    return static_cast<ChunkType>(static_cast<uint8_t>(rep_->bytes[0]));
   }
   /// Payload view (excludes the tag byte).
-  Slice payload() const { return Slice(buf_->data() + 1, buf_->size() - 1); }
+  Slice payload() const {
+    return Slice(rep_->bytes.data() + 1, rep_->bytes.size() - 1);
+  }
   /// Full on-disk bytes (includes the tag byte).
-  Slice bytes() const { return Slice(buf_->data(), buf_->size()); }
-  size_t size() const { return buf_ ? buf_->size() : 0; }
+  Slice bytes() const { return Slice(rep_->bytes.data(), rep_->bytes.size()); }
+  size_t size() const { return rep_ ? rep_->bytes.size() : 0; }
 
   /// Content identity: SHA-256 over bytes(). Computed once, cached.
   const Hash256& hash() const;
 
  private:
-  explicit Chunk(std::shared_ptr<std::string> buf) : buf_(std::move(buf)) {}
+  struct Rep {
+    std::string bytes;
+    std::atomic<const Hash256*> hash{nullptr};
+    ~Rep() { delete hash.load(std::memory_order_relaxed); }
+  };
 
-  std::shared_ptr<std::string> buf_;
-  mutable std::shared_ptr<Hash256> hash_;  // cache
+  explicit Chunk(std::shared_ptr<Rep> rep) : rep_(std::move(rep)) {}
+
+  std::shared_ptr<Rep> rep_;
 };
 
 }  // namespace forkbase

@@ -11,6 +11,9 @@
 #include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <future>
+#include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -18,6 +21,81 @@
 #include "util/status.h"
 
 namespace forkbase {
+
+class WorkerPool;
+
+/// Handle to an in-flight (or already complete) batched read — the unit of
+/// the async prefetch pipeline. Move-only and single-shot: Take() blocks
+/// until the slots are ready and surrenders them. A default-constructed
+/// handle is empty (valid() == false); taking it is a programming error.
+///
+/// Three flavours compose the store stack:
+///   Ready     — slots computed inline (the synchronous default / MemStore)
+///   Deferred  — a future fulfilled by a WorkerPool task (FileChunkStore)
+///   Mapped    — another handle plus a post-processing step that runs on
+///               the taker's thread (CachingChunkStore merges its hits and
+///               fills its shards there, so cache mutation never happens on
+///               a store's I/O thread; the deliberate cost is that a Mapped
+///               handle abandoned without Take() discards the completed
+///               base read instead of caching it)
+class AsyncChunkBatch {
+ public:
+  using Slots = std::vector<StatusOr<Chunk>>;
+  using MapFn = std::function<Slots(Slots)>;
+
+  AsyncChunkBatch() = default;
+  AsyncChunkBatch(AsyncChunkBatch&&) = default;
+  AsyncChunkBatch& operator=(AsyncChunkBatch&&) = default;
+
+  static AsyncChunkBatch Ready(Slots slots) {
+    AsyncChunkBatch batch;
+    batch.ready_ = std::move(slots);
+    batch.valid_ = true;
+    return batch;
+  }
+  static AsyncChunkBatch Deferred(std::future<Slots> future) {
+    AsyncChunkBatch batch;
+    batch.future_ = std::move(future);
+    batch.valid_ = true;
+    return batch;
+  }
+  static AsyncChunkBatch Mapped(AsyncChunkBatch inner, MapFn fn) {
+    AsyncChunkBatch batch;
+    batch.inner_ = std::make_unique<AsyncChunkBatch>(std::move(inner));
+    batch.map_ = std::move(fn);
+    batch.valid_ = true;
+    return batch;
+  }
+  /// Deferred batch that runs `read` on `pool` — the one place the
+  /// packaged-task wiring lives for every pooled async store.
+  static AsyncChunkBatch OnPool(WorkerPool& pool, std::function<Slots()> read);
+
+  bool valid() const { return valid_; }
+
+  /// Blocks until the batch is complete and returns the slots (one per
+  /// requested id, in request order). Invalidates the handle.
+  Slots Take() {
+    valid_ = false;
+    if (inner_) {
+      Slots base = inner_->Take();
+      inner_.reset();
+      return map_(std::move(base));
+    }
+    if (ready_) {
+      Slots slots = std::move(*ready_);
+      ready_.reset();
+      return slots;
+    }
+    return future_.get();
+  }
+
+ private:
+  std::optional<Slots> ready_;
+  std::future<Slots> future_;
+  std::unique_ptr<AsyncChunkBatch> inner_;
+  MapFn map_;
+  bool valid_ = false;
+};
 
 /// Storage-efficiency counters (drive Fig. 4 / Table I reporting).
 struct ChunkStoreStats {
@@ -56,6 +134,21 @@ class ChunkStore {
   virtual std::vector<StatusOr<Chunk>> GetMany(
       std::span<const Hash256> ids) const;
 
+  /// Starts a batched fetch without waiting for it: the returned handle's
+  /// Take() yields exactly what GetMany(ids) would have. The default
+  /// implementation performs the read inline and returns a ready handle, so
+  /// every backend is async-callable; backends with real I/O latency
+  /// (FileChunkStore) overlap the read with the caller's work on a
+  /// background pool, and decorators (CachingChunkStore) pass the miss set
+  /// through to their base's async path.
+  virtual AsyncChunkBatch GetManyAsync(std::span<const Hash256> ids) const;
+
+  /// True when GetManyAsync actually overlaps I/O with the caller (rather
+  /// than the inline default). Pipelined readers (TreeCursor, diff, GC)
+  /// only issue speculative next-window reads when this holds, so purely
+  /// synchronous stores never pay for prefetch the consumer may not reach.
+  virtual bool SupportsAsyncGet() const { return false; }
+
   /// Batched store with Put semantics per element: idempotent, and
   /// duplicates — whether already resident or repeated within the batch —
   /// count as dedup hits. Not atomic: on an I/O error a prefix of the batch
@@ -76,22 +169,43 @@ class ChunkStore {
 /// Default batch size for memory-capped sweeps over many ids.
 inline constexpr size_t kChunkSweepBatch = 256;
 
-/// Reads `ids` through GetMany in batches of `batch_size`, invoking
-/// `fn(index, slot)` for every id in order (`slot` is the id's
-/// StatusOr<Chunk>, movable). Stops and propagates the first non-OK status
-/// `fn` returns; slot errors are `fn`'s to judge. Keeps sweeps over huge id
-/// sets from buffering every chunk at once.
+/// Reads `ids` in batches of `batch_size`, invoking `fn(index, slot)` for
+/// every id in order (`slot` is the id's StatusOr<Chunk>, movable). Stops
+/// and propagates the first non-OK status `fn` returns; slot errors are
+/// `fn`'s to judge. Keeps sweeps over huge id sets from buffering every
+/// chunk at once.
+///
+/// On stores with real async reads (SupportsAsyncGet), batches are
+/// double-buffered: batch k+1 is issued through GetManyAsync before batch
+/// k is handed to `fn`, so the next read overlaps with consumption (diff
+/// level sweeps, GC mark waves, chunk copies). Every id fetched is one
+/// `fn` will receive — the only speculative read wasted is the in-flight
+/// batch when `fn` aborts the sweep with an error. Synchronous stores keep
+/// the plain one-batch-at-a-time loop: no eager read ahead of an abort,
+/// and only one batch resident.
 template <typename Fn>
 Status ForEachChunkBatch(const ChunkStore& store,
                          std::span<const Hash256> ids, size_t batch_size,
                          Fn&& fn) {
-  for (size_t start = 0; start < ids.size(); start += batch_size) {
+  if (ids.empty()) return Status::OK();
+  const bool pipelined = store.SupportsAsyncGet();
+  auto slice = [&](size_t start) {
+    return ids.subspan(start, std::min(batch_size, ids.size() - start));
+  };
+  AsyncChunkBatch pending;
+  if (pipelined) pending = store.GetManyAsync(slice(0));
+  for (size_t start = 0; start < ids.size();) {
     const size_t n = std::min(batch_size, ids.size() - start);
-    auto chunks = store.GetMany(ids.subspan(start, n));
+    auto chunks = pipelined ? pending.Take() : store.GetMany(slice(start));
+    const size_t next = start + n;
+    if (pipelined && next < ids.size()) {
+      pending = store.GetManyAsync(slice(next));
+    }
     for (size_t i = 0; i < n; ++i) {
       Status s = fn(start + i, chunks[i]);
       if (!s.ok()) return s;
     }
+    start = next;
   }
   return Status::OK();
 }

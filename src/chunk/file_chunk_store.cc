@@ -1,6 +1,7 @@
 #include "chunk/file_chunk_store.h"
 
 #include <sys/stat.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
@@ -35,9 +36,12 @@ void AppendRecord(std::string* buf, const Hash256& id, Slice bytes) {
 FileChunkStore::FileChunkStore(std::string dir, Options options)
     : dir_(std::move(dir)),
       options_(options),
-      shards_(NormalizeShardCount(options.index_shards)) {}
+      shards_(NormalizeShardCount(options.index_shards)),
+      prefetch_pool_(options.prefetch_threads) {}
 
 FileChunkStore::~FileChunkStore() {
+  // Run out any in-flight async reads before tearing down the index/stream.
+  prefetch_pool_.Shutdown();
   std::lock_guard<std::mutex> lock(append_mu_);
   if (append_file_) {
     std::fclose(append_file_);
@@ -238,6 +242,17 @@ std::vector<StatusOr<Chunk>> FileChunkStore::GetMany(
   return out;
 }
 
+AsyncChunkBatch FileChunkStore::GetManyAsync(
+    std::span<const Hash256> ids) const {
+  if (options_.prefetch_threads == 0) return ChunkStore::GetManyAsync(ids);
+  // The span is borrowed from the caller; the task owns a copy.
+  return AsyncChunkBatch::OnPool(
+      prefetch_pool_,
+      [this, owned = std::vector<Hash256>(ids.begin(), ids.end())] {
+        return GetMany(owned);
+      });
+}
+
 Status FileChunkStore::Put(const Chunk& chunk) {
   const Chunk* one = &chunk;
   return PutMany(std::span<const Chunk>(one, 1));
@@ -320,7 +335,8 @@ Status FileChunkStore::PutMany(std::span<const Chunk> chunks) {
     }
     if (std::fwrite(buffer.data(), 1, buffer.size(), append_file_) !=
             buffer.size() ||
-        std::fflush(append_file_) != 0) {
+        std::fflush(append_file_) != 0 ||
+        (options_.fsync_on_flush && ::fsync(fileno(append_file_)) != 0)) {
       Status err = Status::IOError("append failed: " +
                                    std::string(strerror(errno)));
       // A partial run may have reached the file, desyncing append_offset_
@@ -432,6 +448,10 @@ Status FileChunkStore::Flush() {
   std::lock_guard<std::mutex> lock(append_mu_);
   if (append_file_ && std::fflush(append_file_) != 0) {
     return Status::IOError("fflush failed");
+  }
+  if (options_.fsync_on_flush && append_file_ &&
+      ::fsync(fileno(append_file_)) != 0) {
+    return Status::IOError("fsync failed");
   }
   return Status::OK();
 }

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "chunk/chunk_store.h"
+#include "util/worker_pool.h"
 
 namespace forkbase {
 
@@ -40,6 +41,19 @@ class FileChunkStore : public ChunkStore {
     uint64_t segment_bytes = 64ull << 20;  ///< roll segments at 64 MiB
     bool verify_on_get = false;  ///< recompute hash on every read
     uint32_t index_shards = 16;  ///< mutex stripes for the index (power of 2)
+    /// Background readers serving GetManyAsync. Threads spawn lazily on the
+    /// first async read. 0 (the default — bare stores keep their purely
+    /// synchronous semantics, which is also faster on page-cache-warm
+    /// data) makes GetManyAsync fall back to the inline path and
+    /// SupportsAsyncGet() false, so pipelined readers never speculate.
+    /// ForkBase::OpenPersistent turns prefetch on for the production
+    /// stack, where cold reads have latency worth hiding.
+    uint32_t prefetch_threads = 0;
+    /// fsync the segment after every flushed append run. Upgrades Put's
+    /// durability from crash-safe (survives the process dying) to
+    /// power-loss-safe, at one disk sync per Put/PutMany — the cost the
+    /// group-commit queue exists to amortize (N commits, one sync).
+    bool fsync_on_flush = false;
   };
 
   /// Opens (creating if needed) a store rooted at `dir`.
@@ -53,6 +67,12 @@ class FileChunkStore : public ChunkStore {
   StatusOr<Chunk> Get(const Hash256& id) const override;
   std::vector<StatusOr<Chunk>> GetMany(
       std::span<const Hash256> ids) const override;
+  /// Runs GetMany on the prefetch pool; the caller consumes the previous
+  /// window while this one reads disk.
+  AsyncChunkBatch GetManyAsync(std::span<const Hash256> ids) const override;
+  bool SupportsAsyncGet() const override {
+    return options_.prefetch_threads > 0;
+  }
   Status Put(const Chunk& chunk) override;
   Status PutMany(std::span<const Chunk> chunks) override;
   bool Contains(const Hash256& id) const override;
@@ -100,6 +120,10 @@ class FileChunkStore : public ChunkStore {
   std::FILE* append_file_ = nullptr;
   uint32_t append_segment_ = 0;
   uint64_t append_offset_ = 0;
+
+  // Serves GetManyAsync. Shut down first in the destructor so no background
+  // read can outlive the shards or the append stream.
+  mutable WorkerPool prefetch_pool_;
 
   // Stats are plain atomics so hot paths never take a dedicated stats lock.
   mutable std::atomic<uint64_t> chunk_count_{0};

@@ -18,11 +18,33 @@ struct CliContext {
   std::string branch = ForkBase::kDefaultBranch;
   std::string author = "cli";
   std::string message;
+  ForkBase::OpenOptions open;  // I/O pipeline knobs
   std::vector<std::string> positional;
 };
 
 std::string BranchFilePath(const CliContext& ctx) {
   return ctx.db_dir + "/branches.tsv";
+}
+
+StatusOr<uint64_t> ParseCount(const std::string& flag,
+                              const std::string& value, uint64_t max) {
+  uint64_t n = 0;
+  for (char c : value) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument(flag + " expects a number, got " + value);
+    }
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (n > (max - digit) / 10) {
+      return Status::InvalidArgument(flag + " value " + value +
+                                     " exceeds the maximum of " +
+                                     std::to_string(max));
+    }
+    n = n * 10 + digit;
+  }
+  if (value.empty()) {
+    return Status::InvalidArgument(flag + " expects a number");
+  }
+  return n;
 }
 
 // Parses --flag value pairs; everything else is positional.
@@ -44,6 +66,28 @@ Status ParseArgs(const std::vector<std::string>& args, CliContext* ctx) {
       FB_RETURN_IF_ERROR(next(&ctx->author));
     } else if (a == "--message" || a == "-m") {
       FB_RETURN_IF_ERROR(next(&ctx->message));
+    } else if (a == "--prefetch-threads") {
+      std::string v;
+      FB_RETURN_IF_ERROR(next(&v));
+      FB_ASSIGN_OR_RETURN(uint64_t n, ParseCount(a, v, 256));
+      ctx->open.prefetch_threads = static_cast<uint32_t>(n);
+    } else if (a == "--prefetch-depth") {
+      std::string v;
+      FB_RETURN_IF_ERROR(next(&v));
+      FB_ASSIGN_OR_RETURN(uint64_t n, ParseCount(a, v, 64));
+      if (n == 0) {
+        return Status::InvalidArgument("--prefetch-depth must be >= 1");
+      }
+      SetScanPrefetchDepth(n);
+    } else if (a == "--cache-mb") {
+      std::string v;
+      FB_RETURN_IF_ERROR(next(&v));
+      FB_ASSIGN_OR_RETURN(uint64_t n, ParseCount(a, v, 1u << 20));
+      ctx->open.cache_bytes = n << 20;
+    } else if (a == "--group-commit") {
+      ctx->open.options.group_commit = true;
+    } else if (a == "--fsync") {
+      ctx->open.fsync = true;
     } else if (a.rfind("--", 0) == 0) {
       return Status::InvalidArgument("unknown flag " + a);
     } else {
@@ -325,7 +369,9 @@ Status RunCommand(const std::string& cmd, CliContext& ctx, ForkBase& db,
 
 std::string CliUsage() {
   return
-      "forkbase_cli [--db DIR] [--branch B] [--author A] [-m MSG] CMD ...\n"
+      "forkbase_cli [--db DIR] [--branch B] [--author A] [-m MSG]\n"
+      "             [--prefetch-threads N] [--prefetch-depth N]\n"
+      "             [--cache-mb N] [--group-commit] [--fsync] CMD ...\n"
       "  put KEY VALUE          commit a string value\n"
       "  put-blob KEY FILE      commit a file as a blob\n"
       "  put-csv KEY FILE       load a CSV dataset as a table\n"
@@ -362,7 +408,7 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
     out << CliUsage();
     return 0;
   }
-  auto db_or = ForkBase::OpenPersistent(ctx.db_dir);
+  auto db_or = ForkBase::OpenPersistent(ctx.db_dir, ctx.open);
   if (!db_or.ok()) {
     err << db_or.status().ToString() << "\n";
     return 1;

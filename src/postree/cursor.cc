@@ -1,6 +1,7 @@
 #include "postree/cursor.h"
 
 #include <algorithm>
+#include <atomic>
 
 namespace forkbase {
 
@@ -56,6 +57,42 @@ StatusOr<TreeCursor> TreeCursor::AtKey(const ChunkStore* store,
   return cursor;
 }
 
+// Siblings batch-loaded per window; 16 leaves keeps memory bounded while
+// letting the store coalesce its per-read locking and file opens.
+constexpr size_t kPrefetchWindow = 16;
+
+namespace {
+std::atomic<size_t> g_scan_prefetch_depth{2};
+}  // namespace
+
+void SetScanPrefetchDepth(size_t windows) {
+  g_scan_prefetch_depth.store(std::clamp<size_t>(windows, 1, 64),
+                              std::memory_order_relaxed);
+}
+
+size_t GetScanPrefetchDepth() {
+  return g_scan_prefetch_depth.load(std::memory_order_relaxed);
+}
+
+void TreeCursor::FillPipeline(Frame* frame) {
+  if (!store_->SupportsAsyncGet()) return;
+  const size_t depth = GetScanPrefetchDepth();
+  while (frame->inflight.size() < depth &&
+         frame->next_issue < frame->children.size()) {
+    const size_t from = frame->next_issue;
+    const size_t end =
+        std::min(frame->children.size(), from + kPrefetchWindow);
+    std::vector<Hash256> ids;
+    ids.reserve(end - from);
+    for (size_t i = from; i < end; ++i) {
+      ids.push_back(frame->children[i].child);
+    }
+    frame->inflight.push_back(
+        Frame::Window{from, store_->GetManyAsync(ids)});
+    frame->next_issue = end;
+  }
+}
+
 Status TreeCursor::DescendToLeaf(const Hash256& node) {
   FB_ASSIGN_OR_RETURN(Chunk chunk, store_->Get(node));
   return DescendWithChunk(std::move(chunk));
@@ -73,7 +110,12 @@ Status TreeCursor::DescendWithChunk(Chunk chunk) {
         return Status::Corruption("empty index node");
       }
       Hash256 next = frame.children[0].child;
+      frame.next_issue = 1;
       stack_.push_back(std::move(frame));
+      // Overlap the rest of this frame's early windows with the descent
+      // and consumption of child 0 (async stores only — a synchronous
+      // store would pay for leaves a short scan may never reach).
+      FillPipeline(&stack_.back());
       FB_ASSIGN_OR_RETURN(chunk, store_->Get(next));
       continue;
     }
@@ -107,24 +149,40 @@ Status TreeCursor::LoadLeaf(const Chunk& chunk) {
 }
 
 Status TreeCursor::AdvanceLeaf() {
-  // Siblings batch-loaded per window; 16 leaves keeps memory bounded while
-  // letting the store coalesce its per-read locking and file opens.
-  constexpr size_t kPrefetchWindow = 16;
   while (!stack_.empty()) {
     Frame& top = stack_.back();
     if (top.pos + 1 < top.children.size()) {
       ++top.pos;
       if (top.pos >= top.prefetch_start + top.prefetched.size() ||
           top.pos < top.prefetch_start) {
-        const size_t end =
-            std::min(top.children.size(), top.pos + kPrefetchWindow);
-        std::vector<Hash256> ids;
-        ids.reserve(end - top.pos);
-        for (size_t i = top.pos; i < end; ++i) {
-          ids.push_back(top.children[i].child);
+        if (!top.inflight.empty() && top.inflight.front().start == top.pos) {
+          // Pipelined path: this window was reading while the previous
+          // windows' entries were consumed.
+          top.prefetched = top.inflight.front().batch.Take();
+          top.inflight.pop_front();
+        } else {
+          // Cold window (first advance in this frame on a synchronous
+          // store, or a frame positioned by AtKey — inflight empty in both
+          // cases): fetch inline. Windows are issued contiguously and
+          // consumed in order, so a non-empty inflight whose front does
+          // not start at pos is unreachable by construction; the clear()
+          // is a backstop that keeps the contiguity invariant self-healing
+          // rather than silently wrong if that ever changes.
+          top.inflight.clear();
+          const size_t end =
+              std::min(top.children.size(), top.pos + kPrefetchWindow);
+          std::vector<Hash256> ids;
+          ids.reserve(end - top.pos);
+          for (size_t i = top.pos; i < end; ++i) {
+            ids.push_back(top.children[i].child);
+          }
+          top.prefetched = store_->GetMany(ids);
+          top.next_issue = end;
         }
-        top.prefetched = store_->GetMany(ids);
         top.prefetch_start = top.pos;
+        // Replace the consumed window before any entry is consumed, so the
+        // pipeline stays at depth.
+        FillPipeline(&top);
       }
       // Moving out of the slot is safe: pos only advances within a frame,
       // so each window slot is consumed at most once.

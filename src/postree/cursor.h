@@ -7,17 +7,31 @@
 // Sequential scans batch their chunk reads: when the cursor crosses into the
 // next child of an index frame, it prefetches a window of that frame's
 // remaining children with one ChunkStore::GetMany call, so leaf loads arrive
-// in store-level batches instead of one Get per leaf. Point positioning
-// (AtKey) touches single children and never over-fetches.
+// in store-level batches instead of one Get per leaf. On stores with real
+// async reads (SupportsAsyncGet) the windows are double-buffered: as soon
+// as window N materializes, window N+1's GetManyAsync is issued, so the
+// store reads window N+1 from disk while the caller consumes window N's
+// entries. Point positioning (AtKey) touches single children and never
+// over-fetches; synchronous stores keep the plain windowed behavior with no
+// speculative reads.
 #ifndef FORKBASE_POSTREE_CURSOR_H_
 #define FORKBASE_POSTREE_CURSOR_H_
 
+#include <deque>
 #include <vector>
 
 #include "chunk/chunk_store.h"
 #include "postree/node.h"
 
 namespace forkbase {
+
+/// Scan pipeline depth: how many sibling windows a cursor keeps in flight
+/// per index frame on async stores. 1 = classic double buffering (window
+/// N+1 reads while window N is consumed); deeper pipelines keep a device
+/// with queue depth > 1 (or several prefetch threads) busy. Process-wide
+/// knob (the CLI exposes it as --prefetch-depth); clamped to [1, 64].
+void SetScanPrefetchDepth(size_t windows);
+size_t GetScanPrefetchDepth();
 
 class TreeCursor {
  public:
@@ -55,6 +69,16 @@ class TreeCursor {
 
  private:
   struct Frame {
+    // Move-only, and explicitly so: the in-flight window handles are
+    // single-owner, and the deleted copy keeps vector relocation on the
+    // move path (deque's move is not noexcept, so move_if_noexcept would
+    // otherwise try the — uninstantiable — copy).
+    Frame() = default;
+    Frame(const Frame&) = delete;
+    Frame& operator=(const Frame&) = delete;
+    Frame(Frame&&) = default;
+    Frame& operator=(Frame&&) = default;
+
     Chunk chunk;                     // kMeta node
     std::vector<IndexEntry> children;
     size_t pos = 0;                  // current child index
@@ -64,9 +88,23 @@ class TreeCursor {
     // that actually reaches it.
     std::vector<StatusOr<Chunk>> prefetched;
     size_t prefetch_start = 0;
+    // In-flight window reads, front = next to consume (async stores only).
+    // Windows are contiguous: inflight.front().start continues the current
+    // window, and next_issue is the child index after the last one issued.
+    // A handle abandoned by a frame pop completes harmlessly on the
+    // store's pool.
+    struct Window {
+      size_t start;
+      AsyncChunkBatch batch;
+    };
+    std::deque<Window> inflight;
+    size_t next_issue = 0;
   };
 
   TreeCursor(const ChunkStore* store) : store_(store) {}
+  /// Tops the frame's pipeline up to the configured depth, issuing async
+  /// window reads from `frame->next_issue` on (no-op on sync stores).
+  void FillPipeline(Frame* frame);
   /// Descends from children[pos] of the top frame to the leftmost leaf.
   Status DescendToLeaf(const Hash256& node);
   /// Same, starting from an already-loaded chunk (prefetch path).

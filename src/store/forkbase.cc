@@ -5,29 +5,70 @@
 
 #include "chunk/caching_chunk_store.h"
 #include "chunk/file_chunk_store.h"
+#include "store/commit_queue.h"
 #include "store/merge_engine.h"
 
 namespace forkbase {
 
 ForkBase::ForkBase(std::shared_ptr<ChunkStore> store)
-    : store_(std::move(store)) {}
+    : ForkBase(std::move(store), Options{}) {}
+
+ForkBase::ForkBase(std::shared_ptr<ChunkStore> store, const Options& options)
+    : store_(std::move(store)) {
+  if (options.group_commit) {
+    commit_queue_ = std::make_unique<CommitQueue>(
+        store_.get(), &branch_table_, &clock_, &commits_,
+        options.group_commit_max_batch);
+  }
+}
+
+ForkBase::~ForkBase() = default;
 
 StatusOr<std::unique_ptr<ForkBase>> ForkBase::OpenPersistent(
     const std::string& dir, size_t cache_bytes) {
-  FB_ASSIGN_OR_RETURN(auto file_store, FileChunkStore::Open(dir));
+  OpenOptions open_options;
+  open_options.cache_bytes = cache_bytes;
+  return OpenPersistent(dir, open_options);
+}
+
+StatusOr<std::unique_ptr<ForkBase>> ForkBase::OpenPersistent(
+    const std::string& dir, const OpenOptions& open_options) {
+  FileChunkStore::Options store_options;
+  store_options.prefetch_threads = open_options.prefetch_threads;
+  store_options.fsync_on_flush = open_options.fsync;
+  FB_ASSIGN_OR_RETURN(auto file_store,
+                      FileChunkStore::Open(dir, store_options));
   auto cache = std::make_shared<CachingChunkStore>(
-      std::shared_ptr<ChunkStore>(std::move(file_store)), cache_bytes);
-  return std::make_unique<ForkBase>(std::move(cache));
+      std::shared_ptr<ChunkStore>(std::move(file_store)),
+      open_options.cache_bytes);
+  return std::make_unique<ForkBase>(std::move(cache), open_options.options);
 }
 
 StatusOr<Hash256> ForkBase::Commit(const std::string& key, const Value& value,
-                                   std::vector<Hash256> bases,
+                                   std::optional<std::vector<Hash256>> bases,
                                    const std::string& branch,
-                                   const PutMeta& meta) {
+                                   const PutMeta& meta,
+                                   std::optional<Hash256> expected_head) {
+  if (commit_queue_) {
+    CommitQueue::Request req;
+    req.key = key;
+    req.value = value;
+    req.bases = std::move(bases);
+    req.expected_head = expected_head;
+    req.branch = branch;
+    req.author = meta.author;
+    req.message = meta.message;
+    return commit_queue_->Commit(std::move(req));
+  }
   FNode node;
   node.key = key;
   node.value = value;
-  node.bases = std::move(bases);
+  if (bases) {
+    node.bases = std::move(*bases);
+  } else {
+    auto head = branch_table_.Head(key, branch);
+    if (head.ok()) node.bases.push_back(*head);
+  }
   node.author = meta.author;
   node.message = meta.message;
   node.logical_time = clock_.fetch_add(1) + 1;
@@ -41,10 +82,7 @@ StatusOr<Hash256> ForkBase::Put(const std::string& key, const Value& value,
                                 const std::string& branch,
                                 const PutMeta& meta) {
   if (key.empty()) return Status::InvalidArgument("empty key");
-  std::vector<Hash256> bases;
-  auto head = branch_table_.Head(key, branch);
-  if (head.ok()) bases.push_back(*head);
-  return Commit(key, value, std::move(bases), branch, meta);
+  return Commit(key, value, std::nullopt, branch, meta);
 }
 
 StatusOr<Hash256> ForkBase::PutBlob(const std::string& key, Slice bytes,
@@ -391,28 +429,58 @@ StatusOr<Hash256> ForkBase::Merge(const std::string& key,
                                   const std::string& dst_branch,
                                   const std::string& src_branch,
                                   MergePolicy policy, const PutMeta& meta) {
-  FB_ASSIGN_OR_RETURN(Hash256 dst_head, branch_table_.Head(key, dst_branch));
-  FB_ASSIGN_OR_RETURN(Hash256 src_head, branch_table_.Head(key, src_branch));
-  if (dst_head == src_head) return dst_head;  // nothing to merge
+  // With group commit, a fast-forward is a queue-ordered compare-and-
+  // advance; when it loses a race against a commit in the drain, the whole
+  // merge is recomputed against the new head. Bounded retries: contention
+  // this sustained means the caller should be merging less eagerly.
+  constexpr int kMaxRaceRetries = 16;
+  for (int attempt = 0; attempt < kMaxRaceRetries; ++attempt) {
+    FB_ASSIGN_OR_RETURN(Hash256 dst_head, branch_table_.Head(key, dst_branch));
+    FB_ASSIGN_OR_RETURN(Hash256 src_head, branch_table_.Head(key, src_branch));
+    if (dst_head == src_head) return dst_head;  // nothing to merge
 
-  FB_ASSIGN_OR_RETURN(Hash256 base_uid, CommonAncestor(dst_head, src_head));
-  if (base_uid == src_head) return dst_head;  // src already in dst history
-  if (base_uid == dst_head) {
-    // Fast-forward: dst is an ancestor of src.
-    branch_table_.SetHead(key, dst_branch, src_head);
-    return src_head;
+    FB_ASSIGN_OR_RETURN(Hash256 base_uid, CommonAncestor(dst_head, src_head));
+    if (base_uid == src_head) return dst_head;  // src already in dst history
+    if (base_uid == dst_head) {
+      // Fast-forward: dst is an ancestor of src.
+      if (commit_queue_) {
+        auto advanced =
+            commit_queue_->AdvanceHead(key, dst_branch, dst_head, src_head);
+        if (advanced.ok()) return *advanced;
+        if (advanced.status().code() != StatusCode::kAlreadyExists) {
+          return advanced.status();
+        }
+        continue;  // head moved underneath us: recompute the merge
+      }
+      branch_table_.SetHead(key, dst_branch, src_head);
+      return src_head;
+    }
+    FB_ASSIGN_OR_RETURN(Value base_value, GetVersion(base_uid));
+    FB_ASSIGN_OR_RETURN(Value dst_value, GetVersion(dst_head));
+    FB_ASSIGN_OR_RETURN(Value src_value, GetVersion(src_head));
+    FB_ASSIGN_OR_RETURN(Value merged,
+                        MergeValues(store_.get(), base_value, dst_value,
+                                    src_value, policy));
+    PutMeta merge_meta = meta;
+    if (merge_meta.message.empty()) {
+      merge_meta.message = "merge " + src_branch + " into " + dst_branch;
+    }
+    auto committed = Commit(key, merged,
+                            std::vector<Hash256>{dst_head, src_head},
+                            dst_branch, merge_meta,
+                            commit_queue_ ? std::optional<Hash256>(dst_head)
+                                          : std::nullopt);
+    if (commit_queue_ && !committed.ok() &&
+        committed.status().code() == StatusCode::kAlreadyExists) {
+      continue;  // a commit landed after our head read: remerge against it
+    }
+    return committed;
   }
-  FB_ASSIGN_OR_RETURN(Value base_value, GetVersion(base_uid));
-  FB_ASSIGN_OR_RETURN(Value dst_value, GetVersion(dst_head));
-  FB_ASSIGN_OR_RETURN(Value src_value, GetVersion(src_head));
-  FB_ASSIGN_OR_RETURN(Value merged,
-                      MergeValues(store_.get(), base_value, dst_value,
-                                  src_value, policy));
-  PutMeta merge_meta = meta;
-  if (merge_meta.message.empty()) {
-    merge_meta.message = "merge " + src_branch + " into " + dst_branch;
-  }
-  return Commit(key, merged, {dst_head, src_head}, dst_branch, merge_meta);
+  // Distinct from the per-attempt kAlreadyExists race signal so a caller's
+  // own retry-on-AlreadyExists loop terminates here.
+  return Status::MergeConflict("merge of " + src_branch + " into " +
+                               dst_branch +
+                               " kept racing concurrent commits; retry later");
 }
 
 Status ForkBase::VerifyValue(const Value& value) const {

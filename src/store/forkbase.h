@@ -69,19 +69,49 @@ struct ForkBaseStats {
   uint64_t commits = 0;  ///< FNodes written by this instance
 };
 
+class CommitQueue;
+
 class ForkBase {
  public:
   static constexpr const char* kDefaultBranch = "master";
 
+  struct Options {
+    /// Batch concurrent Commit/Put calls into single PutMany runs behind a
+    /// group-commit queue (see store/commit_queue.h). Off by default: the
+    /// scalar path keeps its existing single-threaded semantics and spawns
+    /// no thread. With the queue on, racing same-branch Puts chain into a
+    /// linear history instead of last-writer-wins.
+    bool group_commit = false;
+    /// Max FNodes landed per PutMany drain when group_commit is on.
+    size_t group_commit_max_batch = 128;
+  };
+
   /// @param store shared chunk storage (memory or file backed)
   explicit ForkBase(std::shared_ptr<ChunkStore> store);
+  ForkBase(std::shared_ptr<ChunkStore> store, const Options& options);
+  ~ForkBase();
+
+  /// Knobs for the persistent production stack (OpenPersistent).
+  struct OpenOptions {
+    size_t cache_bytes = 64ull << 20;  ///< sharded LRU read-cache budget
+    /// Background readers in the FileChunkStore (async scan prefetch);
+    /// 0 = fully synchronous I/O.
+    uint32_t prefetch_threads = 1;
+    /// fsync every append run (power-loss durability). Pair with
+    /// options.group_commit so concurrent writers share one sync.
+    bool fsync = false;
+    Options options;  ///< group-commit etc.
+  };
 
   /// Opens a production-shaped instance at `dir`: a sharded-index
-  /// FileChunkStore under a sharded LRU read cache. This is the stack the
-  /// CLI and any long-lived server should use; tests that need a bare
-  /// backend keep constructing ForkBase directly.
+  /// FileChunkStore (with async prefetch workers) under a sharded LRU read
+  /// cache. This is the stack the CLI and any long-lived server should
+  /// use; tests that need a bare backend keep constructing ForkBase
+  /// directly.
   static StatusOr<std::unique_ptr<ForkBase>> OpenPersistent(
       const std::string& dir, size_t cache_bytes = 64ull << 20);
+  static StatusOr<std::unique_ptr<ForkBase>> OpenPersistent(
+      const std::string& dir, const OpenOptions& open_options);
 
   ChunkStore* store() { return store_.get(); }
   const ChunkStore* store() const { return store_.get(); }
@@ -233,15 +263,25 @@ class ForkBase {
       const std::string& branch = kDefaultBranch) const;
 
  private:
+  /// `bases` nullopt = commit on top of the branch head at commit time
+  /// (Put); explicit bases record a merge's parents, with `expected_head`
+  /// as the drain-time precondition that the merged-against head has not
+  /// moved (group commit only — kAlreadyExists means recompute). Routes
+  /// through the group-commit queue when enabled, else writes and
+  /// publishes inline.
   StatusOr<Hash256> Commit(const std::string& key, const Value& value,
-                           std::vector<Hash256> bases,
-                           const std::string& branch, const PutMeta& meta);
+                           std::optional<std::vector<Hash256>> bases,
+                           const std::string& branch, const PutMeta& meta,
+                           std::optional<Hash256> expected_head = {});
   Status VerifyValue(const Value& value) const;
 
   std::shared_ptr<ChunkStore> store_;
   BranchTable branch_table_;
   std::atomic<uint64_t> clock_{0};
   std::atomic<uint64_t> commits_{0};
+  // Declared last: destroyed first, so a draining group commit can still
+  // reach the store, branch table and counters above.
+  std::unique_ptr<CommitQueue> commit_queue_;
 };
 
 }  // namespace forkbase

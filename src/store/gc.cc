@@ -48,8 +48,10 @@ Status ExpandReferences(const Chunk& chunk, std::queue<Hash256>* frontier) {
 StatusOr<std::unordered_set<Hash256, Hash256Hasher>> MarkLive(
     const ChunkStore& store, const std::vector<Hash256>& roots) {
   std::unordered_set<Hash256, Hash256Hasher> live;
-  // BFS in waves: each wave's unseen ids are fetched with one batched read,
-  // and their references form the next wave.
+  // BFS in waves: each wave's unseen ids are read in capped batches, with
+  // the next batch's read in flight (on async stores) while the previous
+  // batch's references are expanded — so the mark phase streams instead of
+  // stalling on one giant read per wave.
   std::vector<Hash256> wave(roots.begin(), roots.end());
   while (!wave.empty()) {
     std::vector<Hash256> to_load;
@@ -58,12 +60,13 @@ StatusOr<std::unordered_set<Hash256, Hash256Hasher>> MarkLive(
       if (live.insert(id).second) to_load.push_back(id);
     }
     if (to_load.empty()) break;
-    auto chunks = store.GetMany(to_load);
     std::queue<Hash256> frontier;
-    for (auto& chunk_or : chunks) {
-      if (!chunk_or.ok()) return chunk_or.status();
-      FB_RETURN_IF_ERROR(ExpandReferences(*chunk_or, &frontier));
-    }
+    FB_RETURN_IF_ERROR(ForEachChunkBatch(
+        store, to_load, kChunkSweepBatch,
+        [&](size_t, StatusOr<Chunk>& chunk_or) -> Status {
+          if (!chunk_or.ok()) return chunk_or.status();
+          return ExpandReferences(*chunk_or, &frontier);
+        }));
     wave.clear();
     while (!frontier.empty()) {
       wave.push_back(frontier.front());

@@ -1,0 +1,53 @@
+#include "util/worker_pool.h"
+
+namespace forkbase {
+
+WorkerPool::WorkerPool(size_t threads) : threads_(threads) {}
+
+WorkerPool::~WorkerPool() { Shutdown(); }
+
+void WorkerPool::Submit(std::function<void()> fn) {
+  if (threads_ > 0) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!stop_) {
+      if (workers_.empty()) {
+        workers_.reserve(threads_);
+        for (size_t i = 0; i < threads_; ++i) {
+          workers_.emplace_back([this] { WorkerMain(); });
+        }
+      }
+      tasks_.push_back(std::move(fn));
+      lock.unlock();
+      cv_.notify_one();
+      return;
+    }
+  }
+  fn();  // 0 threads or already shut down: degrade to synchronous
+}
+
+void WorkerPool::Shutdown() {
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    workers.swap(workers_);
+  }
+  cv_.notify_all();
+  for (auto& w : workers) w.join();
+}
+
+void WorkerPool::WorkerMain() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stop_ and drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace forkbase

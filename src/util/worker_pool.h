@@ -1,0 +1,59 @@
+// WorkerPool — the one thread primitive behind the async I/O pipeline.
+//
+// Both halves of the pipeline are built on this class: chunk stores submit
+// background GetMany batches here (read prefetch), and ForkBase's commit
+// queue runs its drain loop on a single-thread pool (group commit). Keeping
+// one primitive means one place to reason about lifetime: a pool joins its
+// workers in the destructor after running every task already submitted, so
+// an owner that destroys its pool before its other members can never leak a
+// task into freed state.
+//
+// Threads are spawned lazily on the first Submit, so constructing a pool
+// (e.g. inside every FileChunkStore) costs nothing until async work is
+// actually requested.
+#ifndef FORKBASE_UTIL_WORKER_POOL_H_
+#define FORKBASE_UTIL_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace forkbase {
+
+class WorkerPool {
+ public:
+  /// @param threads  worker count; 0 makes Submit run tasks inline.
+  explicit WorkerPool(size_t threads);
+  ~WorkerPool();  // Shutdown()
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Enqueues `fn` for a worker thread. Spawns the workers on first use.
+  /// After Shutdown (or with 0 threads) the task runs inline instead —
+  /// submission never fails, it only loses asynchrony.
+  void Submit(std::function<void()> fn);
+
+  /// Runs every task already submitted, then joins the workers. Idempotent.
+  void Shutdown();
+
+  size_t thread_count() const { return threads_; }
+
+ private:
+  void WorkerMain();
+
+  const size_t threads_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+}  // namespace forkbase
+
+#endif  // FORKBASE_UTIL_WORKER_POOL_H_

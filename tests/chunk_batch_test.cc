@@ -218,6 +218,22 @@ TEST_F(FileBatchTest, ScalarPutIsDurableWithoutExplicitFlush) {
   EXPECT_NE(on_disk.find("flushed before publish"), std::string::npos);
 }
 
+TEST_F(FileBatchTest, FsyncOnFlushRoundTrips) {
+  FileChunkStore::Options options;
+  options.fsync_on_flush = true;
+  auto store_or = FileChunkStore::Open(dir_, options);
+  ASSERT_TRUE(store_or.ok());
+  auto& store = **store_or;
+  auto chunks = MakeChunks(8, 13);
+  ASSERT_TRUE(store.PutMany(chunks).ok());
+  ASSERT_TRUE(store.Flush().ok());
+  for (const auto& c : chunks) {
+    auto got = store.Get(c.hash());
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got->bytes().ToString(), c.bytes().ToString());
+  }
+}
+
 // ----------------------------------------------------- CachingChunkStore --
 
 TEST(CacheBatchTest, GetManyFillsCacheFromBaseInOneCall) {
@@ -268,6 +284,57 @@ TEST(CacheBatchTest, PutManyWritesThroughAndCaches) {
   for (const auto& c : chunks) ids.push_back(c.hash());
   for (const auto& r : cache.GetMany(ids)) ASSERT_TRUE(r.ok());
   EXPECT_EQ(cache.cache_stats().misses, 0u) << "PutMany must prefill";
+}
+
+TEST(CacheBatchTest, BatchStatsMatchScalarSemantics) {
+  // A batch with duplicate ids must account exactly like the equivalent
+  // scalar sequence: the first occurrence of a cold id is a miss, every
+  // later occurrence in the same batch is a hit (it is served by the fill
+  // the first occurrence triggers), and the base store is asked once per
+  // distinct id.
+  auto base = std::make_shared<MemChunkStore>();
+  auto chunks = MakeChunks(3, 12);
+  ASSERT_TRUE(base->PutMany(chunks).ok());
+  CachingChunkStore cache(base, 1 << 20);
+
+  std::vector<Hash256> ids{chunks[0].hash(), chunks[1].hash(),
+                           chunks[0].hash(), chunks[2].hash(),
+                           chunks[0].hash(), chunks[1].hash()};
+  auto results = cache.GetMany(ids);
+  ASSERT_EQ(results.size(), 6u);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << i;
+    EXPECT_EQ(results[i]->hash(), ids[i]) << i;
+  }
+  auto cstats = cache.cache_stats();
+  EXPECT_EQ(cstats.misses, 3u) << "one miss per distinct cold id";
+  EXPECT_EQ(cstats.hits, 3u) << "duplicates count as hits, like scalar Get";
+  EXPECT_EQ(cstats.hits + cstats.misses, ids.size());
+  EXPECT_EQ(base->stats().get_calls, 3u)
+      << "the base must be asked once per distinct id";
+
+  // Scalar replay of the same access pattern on a fresh cache agrees.
+  CachingChunkStore scalar_cache(base, 1 << 20);
+  for (const auto& id : ids) ASSERT_TRUE(scalar_cache.Get(id).ok());
+  auto sstats = scalar_cache.cache_stats();
+  EXPECT_EQ(sstats.misses, cstats.misses);
+  EXPECT_EQ(sstats.hits, cstats.hits);
+}
+
+TEST(CacheBatchTest, DuplicateMissOfAbsentIdPropagatesPerSlot) {
+  auto base = std::make_shared<MemChunkStore>();
+  CachingChunkStore cache(base, 1 << 20);
+  Hash256 ghost = Sha256(Slice("not-there"));
+  std::vector<Hash256> ids{ghost, ghost};
+  auto results = cache.GetMany(ids);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].status().IsNotFound());
+  EXPECT_TRUE(results[1].status().IsNotFound());
+  // Scalar parity for the absent case too: Get(ghost); Get(ghost) is two
+  // misses (NotFound never fills the cache), so the batch must be as well.
+  auto cstats = cache.cache_stats();
+  EXPECT_EQ(cstats.misses, 2u);
+  EXPECT_EQ(cstats.hits, 0u);
 }
 
 TEST(CacheBatchTest, ExplicitShardingSpreadsEntries)  {
