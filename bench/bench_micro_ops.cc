@@ -13,6 +13,8 @@
 #include "bench_common.h"
 #include "chunk/file_chunk_store.h"
 #include "chunk/mem_chunk_store.h"
+#include "chunk/remote_chunk_store.h"
+#include "chunk/tiered_chunk_store.h"
 #include "postree/diff.h"
 #include "store/forkbase.h"
 #include "util/rolling_hash.h"
@@ -427,6 +429,68 @@ void BM_MapScanSlowDeviceAsync(benchmark::State& state) {
   RunSlowDeviceScan(state, 4);
 }
 BENCHMARK(BM_MapScanSlowDeviceAsync)->UseRealTime();
+
+// ---- tiered store: hot-resident and cold-resident scans ------------------
+//
+// TieredHot measures the tier machinery's overhead when the working set is
+// local: the scan pays one hot-tier Contains probe per id on top of the
+// plain file-store scan. The TieredCold pair is the tiered acceptance
+// criterion: the tree lives only on a slow remote cold tier (the same
+// 150us/batch device class as the SlowDevice pair), and the async scan —
+// cursor prefetch windows riding the remote's connection pool through
+// TieredChunkStore::GetManyAsync — must beat the synchronous scan by the
+// compare_bench.py floor. Promotion is off so every iteration measures
+// steady cold reads, not a one-shot migration.
+
+void BM_MapScanTieredHot(benchmark::State& state) {
+  ScopedStoreDir dir("scan_tiered_hot");
+  auto hot = FileChunkStore::Open(dir.path() + "/hot");
+  auto kvs = RandomKvs(kScanEntries, 33);
+  auto built = PosTree::BuildKeyed(hot->get(), ChunkType::kMapLeaf, kvs);
+  auto cold_file = FileChunkStore::Open(dir.path() + "/cold");
+  RemoteChunkStore::Options remote_options;
+  remote_options.batch_latency_us = kDeviceLatencyUs;
+  auto cold = std::make_shared<RemoteChunkStore>(
+      std::shared_ptr<ChunkStore>(std::move(*cold_file)), remote_options);
+  TieredChunkStore store(std::shared_ptr<ChunkStore>(std::move(*hot)),
+                         std::move(cold));
+  RunMapScan(state, &store, built->root);
+}
+BENCHMARK(BM_MapScanTieredHot)->UseRealTime();
+
+void RunTieredColdScan(benchmark::State& state, size_t connections) {
+  ScopedStoreDir dir("scan_tiered_cold" + std::to_string(connections));
+  // The tree is built directly into the cold backend; the hot tier starts
+  // (and stays) empty — the "fresh local disk over a populated remote"
+  // state.
+  auto cold_file = FileChunkStore::Open(dir.path() + "/cold");
+  auto kvs = RandomKvs(kScanEntries, 34);
+  auto built = PosTree::BuildKeyed(cold_file->get(), ChunkType::kMapLeaf, kvs);
+  RemoteChunkStore::Options remote_options;
+  remote_options.batch_latency_us = kDeviceLatencyUs;
+  remote_options.connections = connections;
+  auto cold = std::make_shared<RemoteChunkStore>(
+      std::shared_ptr<ChunkStore>(std::move(*cold_file)), remote_options);
+  auto hot = FileChunkStore::Open(dir.path() + "/hot");
+  TieredChunkStore::Options tier_options;
+  tier_options.promote_on_read = false;
+  TieredChunkStore store(std::shared_ptr<ChunkStore>(std::move(*hot)),
+                         std::move(cold), tier_options);
+  const size_t depth = GetScanPrefetchDepth();
+  SetScanPrefetchDepth(connections > 0 ? 2 * connections : depth);
+  RunMapScan(state, &store, built->root);
+  SetScanPrefetchDepth(depth);
+}
+
+void BM_MapScanTieredColdSync(benchmark::State& state) {
+  RunTieredColdScan(state, 0);
+}
+BENCHMARK(BM_MapScanTieredColdSync)->UseRealTime();
+
+void BM_MapScanTieredColdAsync(benchmark::State& state) {
+  RunTieredColdScan(state, 4);
+}
+BENCHMARK(BM_MapScanTieredColdAsync)->UseRealTime();
 
 // ---- group commit: concurrent FNode writers -----------------------------
 //

@@ -53,6 +53,12 @@ TRACKED_PAIRS = [
     # commit pair's ratio moves with cores and fsync cost, floor only.
     ("BM_MapScanSlowDeviceAsync/real_time",
      "BM_MapScanSlowDeviceSync/real_time", 1.5, True),
+    # Tentpole criterion of the tiered-store PR: scanning a tree resident
+    # only on a slow cold tier, the prefetching tiered scan must beat the
+    # synchronous one. Latency-dominated like the SlowDevice pair, so the
+    # ratio is portable across runners.
+    ("BM_MapScanTieredColdAsync/real_time",
+     "BM_MapScanTieredColdSync/real_time", 1.5, True),
     ("CommitBench/FNodeCommit/1/real_time/threads:4",
      "CommitBench/FNodeCommit/0/real_time/threads:4", 1.0, False),
 ]

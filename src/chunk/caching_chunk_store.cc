@@ -124,6 +124,12 @@ std::vector<StatusOr<Chunk>> CachingChunkStore::MergeMisses(
     {
       Shard& shard = ShardFor(probe.miss_ids[j]);
       std::lock_guard<std::mutex> lock(shard.mu);
+      // Invariant (tiered-store contract): only an ok() fetch enters the
+      // cache. kNotFound caches nothing (no negative caching — a later Put
+      // must become visible), and a transient cold-tier error (timeout,
+      // connection reset) caches nothing AND keeps its error status in
+      // every slot it feeds — it must surface to the caller, never be
+      // remembered as "absent". Covered by the CacheErrorPropagation tests.
       if (fetched[j].ok()) {
         InsertLocked(shard, probe.miss_ids[j], *fetched[j]);
       }

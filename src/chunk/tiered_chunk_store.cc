@@ -1,0 +1,443 @@
+#include "chunk/tiered_chunk_store.h"
+
+#include <algorithm>
+#include <optional>
+
+namespace forkbase {
+
+namespace {
+// One promotion per distinct chunk: duplicate ids in a batch each produce
+// their own cold-hit slot, but the hot tier stores (and the promotions
+// counter reports) one copy.
+void DedupByHash(std::vector<Chunk>* chunks) {
+  std::unordered_set<Hash256, Hash256Hasher> seen;
+  size_t w = 0;
+  for (auto& chunk : *chunks) {
+    if (seen.insert(chunk.hash()).second) (*chunks)[w++] = std::move(chunk);
+  }
+  chunks->resize(w);
+}
+}  // namespace
+
+TieredChunkStore::TieredChunkStore(std::shared_ptr<ChunkStore> hot,
+                                   std::shared_ptr<ChunkStore> cold)
+    : TieredChunkStore(std::move(hot), std::move(cold), Options{}) {}
+
+TieredChunkStore::TieredChunkStore(std::shared_ptr<ChunkStore> hot,
+                                   std::shared_ptr<ChunkStore> cold,
+                                   Options options)
+    : hot_(std::move(hot)),
+      cold_(std::move(cold)),
+      options_(options),
+      demote_pool_(1) {}
+
+TieredChunkStore::~TieredChunkStore() {
+  (void)FlushColdTier();  // best effort; failures leave chunks hot-only
+  demote_pool_.Shutdown();
+}
+
+// ---- writes ---------------------------------------------------------------
+
+Status TieredChunkStore::Put(const Chunk& chunk) {
+  const Chunk* one = &chunk;
+  return PutMany(std::span<const Chunk>(one, 1));
+}
+
+Status TieredChunkStore::PutMany(std::span<const Chunk> chunks) {
+  FB_RETURN_IF_ERROR(hot_->PutMany(chunks));
+  if (options_.policy == TierPolicy::kWriteThrough) {
+    return cold_->PutMany(chunks);
+  }
+  MarkDirty(chunks);
+  return Status::OK();
+}
+
+void TieredChunkStore::MarkDirty(std::span<const Chunk> chunks) {
+  std::vector<Hash256> batch;
+  {
+    std::lock_guard<std::mutex> lock(dirty_mu_);
+    for (const Chunk& chunk : chunks) dirty_.insert(chunk.hash());
+    if (!options_.background_demotion) return;
+    if (dirty_.size() < options_.write_back_watermark) return;
+    // One drain in flight at a time; the set keeps absorbing new ids while
+    // the previous drain runs, and the drain's completion re-checks the
+    // watermark itself (ScheduleDemotion), so a burst that outruns one
+    // drain still demotes without waiting for the next Put.
+    if (demotions_in_flight_ > 0) return;
+    batch.assign(dirty_.begin(), dirty_.end());
+    dirty_.clear();
+    ++demotions_in_flight_;
+  }
+  ScheduleDemotion(std::move(batch));
+}
+
+void TieredChunkStore::ScheduleDemotion(std::vector<Hash256> batch) {
+  // Precondition: the caller holds one demotions_in_flight_ slot.
+  demote_pool_.Submit([this, batch = std::move(batch)]() mutable {
+    const bool drained = DemoteIds(std::move(batch)).ok();
+    std::vector<Hash256> next;
+    {
+      std::lock_guard<std::mutex> lock(dirty_mu_);
+      // Chain into the ids that accumulated during this drain — but only
+      // after a clean drain: a failure re-marked its ids dirty, and
+      // re-submitting immediately would spin against a down cold tier
+      // (the next Put or FlushColdTier retries instead).
+      if (drained && dirty_.size() >= options_.write_back_watermark) {
+        next.assign(dirty_.begin(), dirty_.end());
+        dirty_.clear();
+      } else {
+        --demotions_in_flight_;
+      }
+      demote_cv_.notify_all();
+    }
+    if (!next.empty()) ScheduleDemotion(std::move(next));
+  });
+}
+
+Status TieredChunkStore::DemoteIds(std::vector<Hash256> ids) {
+  for (size_t start = 0; start < ids.size();) {
+    const size_t n = std::min(options_.demote_batch, ids.size() - start);
+    std::span<const Hash256> sub(ids.data() + start, n);
+    auto slots = hot_->GetMany(sub);
+    std::vector<Chunk> chunks;
+    chunks.reserve(n);
+    Status read_error;
+    for (auto& slot : slots) {
+      if (slot.ok()) {
+        chunks.push_back(std::move(*slot));
+      } else if (read_error.ok() && !slot.status().IsNotFound()) {
+        read_error = slot.status();
+      }
+      // kNotFound: the chunk left the hot tier (external cleanup); there is
+      // nothing to copy, so it is dropped rather than retried forever.
+    }
+    Status status = read_error;
+    if (status.ok() && !chunks.empty()) {
+      status = cold_->PutMany(chunks);  // skip the round trip for a batch
+                                        // of vanished ids
+    }
+    if (!status.ok()) {
+      // Nothing from this run landed (PutMany faults before applying, and a
+      // read error skips the cold write): everything from `start` on stays
+      // dirty for the next drain. Chunks remain readable from the hot tier.
+      std::lock_guard<std::mutex> lock(dirty_mu_);
+      dirty_.insert(ids.begin() + static_cast<ptrdiff_t>(start), ids.end());
+      return status;
+    }
+    demotions_.fetch_add(chunks.size(), std::memory_order_relaxed);
+    start += n;
+  }
+  return Status::OK();
+}
+
+Status TieredChunkStore::FlushColdTier() {
+  if (options_.policy == TierPolicy::kWriteThrough) return Status::OK();
+  std::vector<Hash256> ids;
+  {
+    std::unique_lock<std::mutex> lock(dirty_mu_);
+    demote_cv_.wait(lock, [&] { return demotions_in_flight_ == 0; });
+    ids.assign(dirty_.begin(), dirty_.end());
+    dirty_.clear();
+  }
+  return DemoteIds(std::move(ids));
+}
+
+// ---- reads ----------------------------------------------------------------
+
+StatusOr<Chunk> TieredChunkStore::Get(const Hash256& id) const {
+  // One hot-tier lookup, not Contains + Get: the read itself is the probe.
+  auto hot = hot_->Get(id);
+  if (hot.ok()) {
+    hot_hits_.fetch_add(1, std::memory_order_relaxed);
+    return hot;
+  }
+  // Surface a real hot-tier error; only kNotFound goes to the cold tier.
+  if (!hot.status().IsNotFound()) return hot;
+  auto cold = cold_->Get(id);
+  if (cold.ok()) {
+    cold_hits_.fetch_add(1, std::memory_order_relaxed);
+    if (options_.promote_on_read) {
+      const Chunk* one = &*cold;
+      // Promotion is advisory: a hot-tier hiccup must not fail a read the
+      // cold tier already served.
+      if (hot_->PutMany(std::span<const Chunk>(one, 1)).ok()) {
+        promotions_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    return cold;
+  }
+  if (cold.status().IsNotFound()) {
+    // A concurrent Put may have landed in the hot tier after the partition
+    // probe; one local re-probe closes the race. A hot-tier ERROR on that
+    // re-probe surfaces too — "unreachable" must never collapse into
+    // cold's "absent".
+    auto retry = hot_->Get(id);
+    if (retry.ok()) {
+      hot_hits_.fetch_add(1, std::memory_order_relaxed);
+      return retry;
+    }
+    if (!retry.status().IsNotFound()) return retry;
+  }
+  return cold;  // cold-tier errors (timeout, transient) surface as-is
+}
+
+TieredChunkStore::Partition TieredChunkStore::Split(
+    std::span<const Hash256> ids) const {
+  // The per-id Contains probe is what lets GetMany issue the cold ranged
+  // fetch BEFORE the hot read — an index lookup buys the overlap window.
+  // Reading hot first and cold-fetching its kNotFound slots would save the
+  // probe but serialize the tiers, which is the wrong trade whenever the
+  // cold tier has real latency. Races the probe can lose are healed in
+  // MergeTiers (hot-miss → cold retry, cold-miss → hot retry).
+  Partition partition;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (hot_->Contains(ids[i])) {
+      partition.hot_ids.push_back(ids[i]);
+      partition.hot_slots.push_back(i);
+    } else {
+      partition.cold_ids.push_back(ids[i]);
+      partition.cold_slots.push_back(i);
+    }
+  }
+  return partition;
+}
+
+std::vector<StatusOr<Chunk>> TieredChunkStore::MergeTiers(
+    const Partition& partition, size_t total,
+    std::vector<StatusOr<Chunk>> hot_slots,
+    std::vector<StatusOr<Chunk>> cold_slots) const {
+  std::vector<std::optional<StatusOr<Chunk>>> out(total);
+  uint64_t hot_hits = 0;
+  // A hot-probed id whose read came back kNotFound (the hot copy vanished
+  // between the partition probe and the read) gets one cold retry below —
+  // the mirror of the cold-miss → hot retry — so the batch paths never
+  // report absent for a chunk the scalar path would serve.
+  std::vector<Hash256> hot_miss_ids;
+  std::vector<size_t> hot_miss_out;
+  for (size_t i = 0; i < hot_slots.size(); ++i) {
+    if (hot_slots[i].ok()) {
+      ++hot_hits;
+    } else if (hot_slots[i].status().IsNotFound()) {
+      hot_miss_ids.push_back(partition.hot_ids[i]);
+      hot_miss_out.push_back(partition.hot_slots[i]);
+    }
+    out[partition.hot_slots[i]] = std::move(hot_slots[i]);
+  }
+  std::vector<Chunk> promoted;
+  uint64_t cold_hits = 0;
+  for (size_t j = 0; j < cold_slots.size(); ++j) {
+    auto& slot = cold_slots[j];
+    if (slot.ok()) {
+      ++cold_hits;
+      if (options_.promote_on_read) promoted.push_back(*slot);
+      out[partition.cold_slots[j]] = std::move(slot);
+      continue;
+    }
+    if (slot.status().IsNotFound()) {
+      auto retry = hot_->Get(partition.cold_ids[j]);  // concurrent-put race
+      if (retry.ok()) {
+        ++hot_hits;
+        out[partition.cold_slots[j]] = std::move(retry);
+        continue;
+      }
+      if (!retry.status().IsNotFound()) {  // hot error: surface, not absent
+        out[partition.cold_slots[j]] = std::move(retry);
+        continue;
+      }
+    }
+    // Anything else — timeout, transient error, short read — stays an error
+    // in its slot. It is never rewritten to kNotFound: a caller (or the
+    // cache above) must be able to tell "absent" from "unreachable".
+    out[partition.cold_slots[j]] = std::move(slot);
+  }
+  if (!hot_miss_ids.empty()) {
+    // Same retry/promote/accounting rules as the fast path — one shared
+    // implementation. The placeholder slots are all kNotFound, so the
+    // helper cold-fetches every one.
+    std::vector<StatusOr<Chunk>> miss_slots;
+    miss_slots.reserve(hot_miss_ids.size());
+    for (size_t j = 0; j < hot_miss_ids.size(); ++j) {
+      miss_slots.emplace_back(Status::NotFound("hot tier lost the chunk"));
+    }
+    ResolveHotMisses(hot_miss_ids, &miss_slots);
+    for (size_t j = 0; j < miss_slots.size(); ++j) {
+      out[hot_miss_out[j]] = std::move(miss_slots[j]);
+    }
+  }
+  DedupByHash(&promoted);
+  if (!promoted.empty() && hot_->PutMany(promoted).ok()) {
+    promotions_.fetch_add(promoted.size(), std::memory_order_relaxed);
+  }
+  hot_hits_.fetch_add(hot_hits, std::memory_order_relaxed);
+  cold_hits_.fetch_add(cold_hits, std::memory_order_relaxed);
+
+  std::vector<StatusOr<Chunk>> result;
+  result.reserve(total);
+  for (auto& slot : out) result.push_back(std::move(*slot));
+  return result;
+}
+
+void TieredChunkStore::ResolveHotMisses(
+    std::span<const Hash256> ids, std::vector<StatusOr<Chunk>>* slots) const {
+  uint64_t hits = 0;
+  std::vector<Hash256> miss_ids;
+  std::vector<size_t> miss_slots;
+  for (size_t i = 0; i < slots->size(); ++i) {
+    if ((*slots)[i].ok()) {
+      ++hits;
+    } else if ((*slots)[i].status().IsNotFound()) {
+      miss_ids.push_back(ids[i]);
+      miss_slots.push_back(i);
+    }
+  }
+  hot_hits_.fetch_add(hits, std::memory_order_relaxed);
+  if (miss_ids.empty()) return;
+  auto fetched = cold_->GetMany(miss_ids);
+  std::vector<Chunk> promoted;
+  uint64_t cold_hits = 0;
+  for (size_t j = 0; j < fetched.size(); ++j) {
+    if (fetched[j].ok()) {
+      ++cold_hits;
+      if (options_.promote_on_read) promoted.push_back(*fetched[j]);
+    }
+    (*slots)[miss_slots[j]] = std::move(fetched[j]);
+  }
+  DedupByHash(&promoted);
+  if (!promoted.empty() && hot_->PutMany(promoted).ok()) {
+    promotions_.fetch_add(promoted.size(), std::memory_order_relaxed);
+  }
+  cold_hits_.fetch_add(cold_hits, std::memory_order_relaxed);
+}
+
+std::vector<StatusOr<Chunk>> TieredChunkStore::GetMany(
+    std::span<const Hash256> ids) const {
+  Partition partition = Split(ids);
+  if (partition.cold_ids.empty()) {
+    // Fully hot-resident (the common steady state): one local batched
+    // read, with any racy kNotFound slot resolved against the cold tier.
+    auto slots = hot_->GetMany(ids);
+    ResolveHotMisses(ids, &slots);
+    return slots;
+  }
+  if (cold_->SupportsAsyncGet()) {
+    // Start the cold ranged fetch first, read the hot part while it is in
+    // flight, then merge — the local read rides under the remote latency.
+    AsyncChunkBatch cold_batch = cold_->GetManyAsync(partition.cold_ids);
+    auto hot_slots = hot_->GetMany(partition.hot_ids);
+    return MergeTiers(partition, ids.size(), std::move(hot_slots),
+                      cold_batch.Take());
+  }
+  auto hot_slots = hot_->GetMany(partition.hot_ids);
+  auto cold_slots = cold_->GetMany(partition.cold_ids);
+  return MergeTiers(partition, ids.size(), std::move(hot_slots),
+                    std::move(cold_slots));
+}
+
+AsyncChunkBatch TieredChunkStore::GetManyAsync(
+    std::span<const Hash256> ids) const {
+  if (!SupportsAsyncGet()) return ChunkStore::GetManyAsync(ids);
+  Partition partition = Split(ids);
+  const size_t total = ids.size();
+  if (partition.cold_ids.empty()) {
+    if (hot_->SupportsAsyncGet()) {
+      return AsyncChunkBatch::Mapped(
+          hot_->GetManyAsync(ids),
+          [this, owned = std::vector<Hash256>(ids.begin(), ids.end())](
+              std::vector<StatusOr<Chunk>> slots) {
+            ResolveHotMisses(owned, &slots);
+            return slots;
+          });
+    }
+    // Synchronous hot tier: running its GetManyAsync here would execute
+    // the read inline at issue, blocking the speculating caller for zero
+    // overlap. Defer the whole read to Take() instead.
+    return AsyncChunkBatch::Mapped(
+        AsyncChunkBatch::Ready({}),
+        [this, owned = std::vector<Hash256>(ids.begin(), ids.end())](
+            std::vector<StatusOr<Chunk>>) {
+          auto slots = hot_->GetMany(owned);
+          ResolveHotMisses(owned, &slots);
+          return slots;
+        });
+  }
+  if (!cold_->SupportsAsyncGet()) {
+    // Async hot tier over a synchronous cold store: the cold store's
+    // GetManyAsync would execute the whole cold read inline AT ISSUE,
+    // blocking the speculating caller — worse than not prefetching. Ride
+    // the hot tier's pool and defer the cold read to Take() instead, so
+    // issuing stays cheap and the hot read still overlaps. The hot handle
+    // is issued before the Mapped call: the capture's move of `partition`
+    // and an argument reading partition.hot_ids must not share one full
+    // expression (unspecified evaluation order).
+    AsyncChunkBatch hot_only = hot_->GetManyAsync(partition.hot_ids);
+    return AsyncChunkBatch::Mapped(
+        std::move(hot_only),
+        [this, partition = std::move(partition),
+         total](std::vector<StatusOr<Chunk>> hot_slots) {
+          auto cold_slots = cold_->GetMany(partition.cold_ids);
+          return MergeTiers(partition, total, std::move(hot_slots),
+                            std::move(cold_slots));
+        });
+  }
+  // Both tiers' reads go out now — cold first, so that when the hot tier
+  // is synchronous (its GetManyAsync runs inline at issue) the remote
+  // ranged fetch is already in flight underneath it. The taker's thread
+  // merges and promotes (same placement rule as the cache's miss fill:
+  // tier mutation never runs on another store's I/O thread). The hot
+  // handle rides in a shared_ptr because MapFn is a copyable
+  // std::function.
+  AsyncChunkBatch cold_batch = cold_->GetManyAsync(partition.cold_ids);
+  auto hot_batch =
+      std::make_shared<AsyncChunkBatch>(hot_->GetManyAsync(partition.hot_ids));
+  return AsyncChunkBatch::Mapped(
+      std::move(cold_batch),
+      [this, partition = std::move(partition), total,
+       hot_batch](std::vector<StatusOr<Chunk>> cold_slots) {
+        return MergeTiers(partition, total, hot_batch->Take(),
+                          std::move(cold_slots));
+      });
+}
+
+// ---- bookkeeping ----------------------------------------------------------
+
+bool TieredChunkStore::Contains(const Hash256& id) const {
+  return hot_->Contains(id) || cold_->Contains(id);
+}
+
+ChunkStoreStats TieredChunkStore::stats() const {
+  ChunkStoreStats hot = hot_->stats();
+  ChunkStoreStats cold = cold_->stats();
+  ChunkStoreStats s = hot;
+  // Lower bound on distinct chunks: exact whenever one tier holds a
+  // superset (steady write-through, write-back before reopening), an
+  // undercount in the mixed state (reopened fresh hot + new undemoted
+  // writes). Counting the union would cost a full ForEach sweep.
+  s.chunk_count = std::max(hot.chunk_count, cold.chunk_count);
+  s.physical_bytes = hot.physical_bytes + cold.physical_bytes;
+  return s;
+}
+
+void TieredChunkStore::ForEach(
+    const std::function<void(const Hash256&, const Chunk&)>& fn) const {
+  std::unordered_set<Hash256, Hash256Hasher> seen;
+  hot_->ForEach([&](const Hash256& id, const Chunk& chunk) {
+    seen.insert(id);
+    fn(id, chunk);
+  });
+  cold_->ForEach([&](const Hash256& id, const Chunk& chunk) {
+    if (!seen.count(id)) fn(id, chunk);
+  });
+}
+
+TieredChunkStore::TierStats TieredChunkStore::tier_stats() const {
+  TierStats stats;
+  stats.hot_hits = hot_hits_.load(std::memory_order_relaxed);
+  stats.cold_hits = cold_hits_.load(std::memory_order_relaxed);
+  stats.promotions = promotions_.load(std::memory_order_relaxed);
+  stats.demotions = demotions_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(dirty_mu_);
+  stats.dirty_pending = dirty_.size();
+  return stats;
+}
+
+}  // namespace forkbase

@@ -1,0 +1,187 @@
+// TieredChunkStore — two-level store: a hot local tier over a cold backend.
+//
+// The multi-backend milestone: any ChunkStore can be the hot tier (a
+// FileChunkStore on local disk, a MemChunkStore in tests) and any other the
+// cold tier (a RemoteChunkStore over a second directory today; S3 or an
+// io_uring-backed store later — they only need the ChunkStore interface).
+// Chunk immutability keeps tiering trivially coherent: a chunk resident in
+// both tiers is bit-identical in both, so there is no invalidation, only
+// placement.
+//
+// Write policies:
+//   * write-through — Put lands in the hot tier, then in the cold tier,
+//     before returning. An error from either tier surfaces (the chunk may
+//     be resident in one tier only; retrying the batch is idempotent).
+//   * write-back — Put lands in the hot tier only and the chunk id joins
+//     the dirty set. Demotion copies dirty chunks to the cold tier in
+//     batches of `demote_batch` (one ranged cold PutMany per batch): a
+//     background drain on a 1-thread WorkerPool fires when the dirty set
+//     passes `write_back_watermark`, FlushColdTier() drains synchronously,
+//     and the destructor makes a best-effort final flush. A failed demotion
+//     returns its ids to the dirty set — chunks stay readable from the hot
+//     tier and the next drain retries them, so a crash mid-demotion loses
+//     no data that Put acknowledged (the hot tier's own durability covers
+//     it).
+//
+// Reads split each batch by tier: ids the hot tier holds (index probe, no
+// I/O) are read locally while the cold ids ride one ranged cold fetch —
+// issued through the cold store's async path (GetManyAsync) so the two
+// tiers' reads overlap. Cold hits are promoted into the hot tier in one
+// batched put per read (`promote_on_read`), so a working set migrates to
+// local disk as it is touched. A cold miss is re-probed against the hot
+// tier once before reporting kNotFound, closing the race with a concurrent
+// Put that landed between the partition and the cold fetch. A cold-tier
+// error (timeout, transient) surfaces in the affected slots as a Status —
+// it is never converted to kNotFound and never promoted.
+#ifndef FORKBASE_CHUNK_TIERED_CHUNK_STORE_H_
+#define FORKBASE_CHUNK_TIERED_CHUNK_STORE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <unordered_set>
+#include <vector>
+
+#include "chunk/chunk_store.h"
+#include "util/worker_pool.h"
+
+namespace forkbase {
+
+/// When a written chunk reaches the cold tier.
+enum class TierPolicy {
+  kWriteThrough,  ///< on Put, before it returns
+  kWriteBack,     ///< later: watermark drain, FlushColdTier, or destructor
+};
+
+class TieredChunkStore : public ChunkStore {
+ public:
+  struct Options {
+    TierPolicy policy = TierPolicy::kWriteThrough;
+    /// Copy cold hits into the hot tier (one batched put per read).
+    bool promote_on_read = true;
+    /// Chunks per cold PutMany during demotion (batch-grouped demotion).
+    size_t demote_batch = 64;
+    /// Dirty-set size that triggers a background drain (write-back only).
+    size_t write_back_watermark = 256;
+    /// Drain at the watermark on a background thread. Off = dirty chunks
+    /// move only on FlushColdTier() / destruction (deterministic tests).
+    bool background_demotion = true;
+  };
+
+  /// Both tiers are shared and must be thread-safe; the hot tier is assumed
+  /// cheap to probe (Contains) — it is consulted once per id to split every
+  /// batch.
+  TieredChunkStore(std::shared_ptr<ChunkStore> hot,
+                   std::shared_ptr<ChunkStore> cold);
+  TieredChunkStore(std::shared_ptr<ChunkStore> hot,
+                   std::shared_ptr<ChunkStore> cold, Options options);
+  /// Best-effort FlushColdTier(); a failure leaves the remaining dirty
+  /// chunks hot-only. They stay readable through the hot tier, but the
+  /// dirty set is in-memory only: a reopened store does not rediscover
+  /// them, so they reach the cold tier only via a later write-through of
+  /// the same chunks. A persistent dirty manifest (or reopen-time
+  /// hot-vs-cold reconciliation) is future work — see ROADMAP.
+  ~TieredChunkStore() override;
+
+  StatusOr<Chunk> Get(const Hash256& id) const override;
+  std::vector<StatusOr<Chunk>> GetMany(
+      std::span<const Hash256> ids) const override;
+  /// Splits the batch by tier at issue time and starts both tiers' reads
+  /// (the cold ranged fetch on the cold store's pool, the hot read through
+  /// the hot store's async path); Take() merges and promotes on the taker's
+  /// thread, like CachingChunkStore's miss fill.
+  AsyncChunkBatch GetManyAsync(std::span<const Hash256> ids) const override;
+  bool SupportsAsyncGet() const override {
+    return hot_->SupportsAsyncGet() || cold_->SupportsAsyncGet();
+  }
+  Status Put(const Chunk& chunk) override;
+  Status PutMany(std::span<const Chunk> chunks) override;
+  bool Contains(const Hash256& id) const override;
+  /// Put/Get counters come from the hot tier; chunk_count is the larger
+  /// tier's count — a lower bound on the distinct-chunk union, exact
+  /// whenever one tier holds a superset; physical_bytes sums both tiers —
+  /// the true cross-tier footprint.
+  ChunkStoreStats stats() const override;
+  /// Visits the union of both tiers once per chunk (hot copy preferred).
+  /// The cold-only pass matters after reopening a stack whose hot tier is
+  /// fresh (or lost) while the cold backend holds the history.
+  void ForEach(const std::function<void(const Hash256&, const Chunk&)>& fn)
+      const override;
+
+  /// Demotes every dirty chunk to the cold tier and waits for background
+  /// drains. On failure the undemoted ids stay dirty for the next attempt.
+  /// No-op (OK) under write-through.
+  Status FlushColdTier();
+
+  struct TierStats {
+    uint64_t hot_hits = 0;     ///< slots served by the hot tier
+    uint64_t cold_hits = 0;    ///< slots served by the cold tier
+    uint64_t promotions = 0;   ///< cold hits copied into the hot tier
+    uint64_t demotions = 0;    ///< chunks copied to the cold tier by drains
+    /// Chunks still awaiting demotion. Excludes ids snapshotted by an
+    /// in-flight background drain (which may yet fail and re-mark them),
+    /// so 0 here does not mean "everything reached the cold tier" — call
+    /// FlushColdTier(), which waits out drains, before relying on that.
+    uint64_t dirty_pending = 0;
+  };
+  TierStats tier_stats() const;
+
+  ChunkStore* hot() { return hot_.get(); }
+  ChunkStore* cold() { return cold_.get(); }
+
+ private:
+  /// Batch split: every id goes to exactly one tier's fetch, and each
+  /// pending list remembers which result slots it fills.
+  struct Partition {
+    std::vector<Hash256> hot_ids;
+    std::vector<size_t> hot_slots;
+    std::vector<Hash256> cold_ids;
+    std::vector<size_t> cold_slots;
+  };
+  Partition Split(std::span<const Hash256> ids) const;
+  /// Scatters both tiers' fetch results into request order, retries cold
+  /// misses against the hot tier (concurrent-put race) and hot misses
+  /// against the cold tier (hot copy vanished after the partition probe),
+  /// and promotes cold hits. Runs on the calling (or taking) thread.
+  std::vector<StatusOr<Chunk>> MergeTiers(
+      const Partition& partition, size_t total,
+      std::vector<StatusOr<Chunk>> hot_slots,
+      std::vector<StatusOr<Chunk>> cold_slots) const;
+  /// Fully-hot fast path companion: counts hits in `slots` (parallel to
+  /// `ids`) and replaces kNotFound slots with one batched cold retry,
+  /// promoting what it recovers.
+  void ResolveHotMisses(std::span<const Hash256> ids,
+                        std::vector<StatusOr<Chunk>>* slots) const;
+
+  /// Marks freshly written chunks dirty and schedules a watermark drain.
+  void MarkDirty(std::span<const Chunk> chunks);
+  /// Runs one background drain over `batch` (caller holds the in-flight
+  /// slot) and chains into ids that crossed the watermark meanwhile.
+  void ScheduleDemotion(std::vector<Hash256> batch);
+  /// Copies `ids` from hot to cold in demote_batch-sized PutMany runs.
+  /// On error, re-marks the unfinished remainder dirty and returns it.
+  Status DemoteIds(std::vector<Hash256> ids);
+
+  std::shared_ptr<ChunkStore> hot_;
+  std::shared_ptr<ChunkStore> cold_;
+  const Options options_;
+
+  mutable std::mutex dirty_mu_;
+  std::condition_variable demote_cv_;
+  std::unordered_set<Hash256, Hash256Hasher> dirty_;
+  size_t demotions_in_flight_ = 0;
+
+  mutable std::atomic<uint64_t> hot_hits_{0};
+  mutable std::atomic<uint64_t> cold_hits_{0};
+  mutable std::atomic<uint64_t> promotions_{0};
+  mutable std::atomic<uint64_t> demotions_{0};
+
+  // Declared last; explicitly shut down first in the destructor so no drain
+  // outlives the dirty set or the tiers.
+  WorkerPool demote_pool_;
+};
+
+}  // namespace forkbase
+
+#endif  // FORKBASE_CHUNK_TIERED_CHUNK_STORE_H_

@@ -49,6 +49,7 @@ StatusOr<uint64_t> ParseCount(const std::string& flag,
 
 // Parses --flag value pairs; everything else is positional.
 Status ParseArgs(const std::vector<std::string>& args, CliContext* ctx) {
+  bool saw_tier_policy = false;
   for (size_t i = 0; i < args.size(); ++i) {
     const std::string& a = args[i];
     auto next = [&](std::string* dst) -> Status {
@@ -84,6 +85,20 @@ Status ParseArgs(const std::vector<std::string>& args, CliContext* ctx) {
       FB_RETURN_IF_ERROR(next(&v));
       FB_ASSIGN_OR_RETURN(uint64_t n, ParseCount(a, v, 1u << 20));
       ctx->open.cache_bytes = n << 20;
+    } else if (a == "--tier-cold") {
+      FB_RETURN_IF_ERROR(next(&ctx->open.tier_cold_dir));
+    } else if (a == "--tier-policy") {
+      saw_tier_policy = true;
+      std::string v;
+      FB_RETURN_IF_ERROR(next(&v));
+      if (v == "write-through") {
+        ctx->open.tier_write_back = false;
+      } else if (v == "write-back") {
+        ctx->open.tier_write_back = true;
+      } else {
+        return Status::InvalidArgument(
+            "--tier-policy expects write-through or write-back, got " + v);
+      }
     } else if (a == "--group-commit") {
       ctx->open.options.group_commit = true;
     } else if (a == "--fsync") {
@@ -93,6 +108,10 @@ Status ParseArgs(const std::vector<std::string>& args, CliContext* ctx) {
     } else {
       ctx->positional.push_back(a);
     }
+  }
+  if (saw_tier_policy && ctx->open.tier_cold_dir.empty()) {
+    return Status::InvalidArgument(
+        "--tier-policy requires --tier-cold DIR (no cold tier configured)");
   }
   return Status::OK();
 }
@@ -371,7 +390,9 @@ std::string CliUsage() {
   return
       "forkbase_cli [--db DIR] [--branch B] [--author A] [-m MSG]\n"
       "             [--prefetch-threads N] [--prefetch-depth N]\n"
-      "             [--cache-mb N] [--group-commit] [--fsync] CMD ...\n"
+      "             [--cache-mb N] [--group-commit] [--fsync]\n"
+      "             [--tier-cold DIR] [--tier-policy write-through|write-back]\n"
+      "             CMD ...\n"
       "  put KEY VALUE          commit a string value\n"
       "  put-blob KEY FILE      commit a file as a blob\n"
       "  put-csv KEY FILE       load a CSV dataset as a table\n"

@@ -5,6 +5,7 @@
 
 #include "chunk/caching_chunk_store.h"
 #include "chunk/file_chunk_store.h"
+#include "chunk/tiered_chunk_store.h"
 #include "store/commit_queue.h"
 #include "store/merge_engine.h"
 
@@ -38,9 +39,29 @@ StatusOr<std::unique_ptr<ForkBase>> ForkBase::OpenPersistent(
   store_options.fsync_on_flush = open_options.fsync;
   FB_ASSIGN_OR_RETURN(auto file_store,
                       FileChunkStore::Open(dir, store_options));
-  auto cache = std::make_shared<CachingChunkStore>(
-      std::shared_ptr<ChunkStore>(std::move(file_store)),
-      open_options.cache_bytes);
+  std::shared_ptr<ChunkStore> backing(std::move(file_store));
+  if (!open_options.tier_cold_dir.empty()) {
+    // Tiered stack: `dir` is the hot tier, tier_cold_dir the cold backend.
+    // The cold store keeps a prefetch worker even when the hot tier runs
+    // synchronously — TieredChunkStore::GetMany overlaps the cold ranged
+    // fetch with the hot read through it.
+    FileChunkStore::Options cold_options;
+    cold_options.prefetch_threads =
+        open_options.prefetch_threads > 0 ? open_options.prefetch_threads : 1;
+    cold_options.fsync_on_flush = open_options.fsync;
+    FB_ASSIGN_OR_RETURN(
+        auto cold_store,
+        FileChunkStore::Open(open_options.tier_cold_dir, cold_options));
+    TieredChunkStore::Options tier_options;
+    tier_options.policy = open_options.tier_write_back
+                              ? TierPolicy::kWriteBack
+                              : TierPolicy::kWriteThrough;
+    backing = std::make_shared<TieredChunkStore>(
+        std::move(backing), std::shared_ptr<ChunkStore>(std::move(cold_store)),
+        tier_options);
+  }
+  auto cache = std::make_shared<CachingChunkStore>(std::move(backing),
+                                                   open_options.cache_bytes);
   return std::make_unique<ForkBase>(std::move(cache), open_options.options);
 }
 

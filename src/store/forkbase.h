@@ -100,6 +100,15 @@ class ForkBase {
     /// fsync every append run (power-loss durability). Pair with
     /// options.group_commit so concurrent writers share one sync.
     bool fsync = false;
+    /// Non-empty = tiered storage: `dir` becomes the hot tier and a second
+    /// FileChunkStore at this path the cold tier, composed through a
+    /// TieredChunkStore under the read cache. The cold store gets its own
+    /// prefetch worker so cold ranged fetches overlap hot reads.
+    std::string tier_cold_dir;
+    /// Cold-tier write policy: false = write-through (every commit reaches
+    /// both tiers before returning), true = write-back (commits land hot
+    /// and demote in batches at the watermark / on close).
+    bool tier_write_back = false;
     Options options;  ///< group-commit etc.
   };
 

@@ -9,6 +9,7 @@
 #include "chunk/caching_chunk_store.h"
 #include "chunk/file_chunk_store.h"
 #include "chunk/mem_chunk_store.h"
+#include "chunk/remote_chunk_store.h"
 #include "util/random.h"
 
 namespace forkbase {
@@ -345,6 +346,144 @@ TEST(CacheBatchTest, ExplicitShardingSpreadsEntries)  {
   ASSERT_TRUE(cache.PutMany(chunks).ok());
   EXPECT_EQ(cache.cache_stats().resident_bytes,
             64u * chunks[0].size());
+}
+
+// ------------------------------------ cache error propagation (audit) ----
+//
+// Regression tests for the miss-path Status audit: a transient cold-tier
+// error reaching CachingChunkStore must surface in the caller's slots and
+// must never be cached — not as a value, and not as "absent". The flaky
+// base is a RemoteChunkStore over memory with a scripted fault schedule.
+
+struct FlakyCacheRig {
+  FlakyCacheRig() {
+    backend = std::make_shared<MemChunkStore>();
+    faults = std::make_shared<FaultSchedule>();
+    RemoteChunkStore::Options options;
+    options.faults = faults;
+    remote = std::make_shared<RemoteChunkStore>(backend, options);
+    cache = std::make_unique<CachingChunkStore>(remote, 1 << 20);
+  }
+  std::shared_ptr<MemChunkStore> backend;
+  std::shared_ptr<FaultSchedule> faults;
+  std::shared_ptr<RemoteChunkStore> remote;
+  std::unique_ptr<CachingChunkStore> cache;
+};
+
+TEST(CacheErrorPropagation, ScalarTransientErrorSurfacesAndIsNotCached) {
+  FlakyCacheRig rig;
+  auto chunk = MakeTestChunk("cold-resident");
+  ASSERT_TRUE(rig.backend->Put(chunk).ok());
+
+  rig.faults->InjectOnce(FaultSchedule::Op::kGet,
+                         {FaultSchedule::Kind::kTransient});
+  auto failed = rig.cache->Get(chunk.hash());
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kIOError)
+      << "transient error must surface as an error, not kNotFound";
+  EXPECT_EQ(rig.cache->cache_stats().misses, 1u);
+
+  // The error was not cached in either direction: the retry goes back to
+  // the base (a second miss) and succeeds.
+  auto retried = rig.cache->Get(chunk.hash());
+  ASSERT_TRUE(retried.ok());
+  EXPECT_EQ(retried->bytes().ToString(), chunk.bytes().ToString());
+  auto stats = rig.cache->cache_stats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.hits, 0u);
+
+  // Now it is cached — served without another base round trip.
+  ASSERT_TRUE(rig.cache->Get(chunk.hash()).ok());
+  EXPECT_EQ(rig.cache->cache_stats().hits, 1u);
+}
+
+TEST(CacheErrorPropagation, BatchTransientErrorSurfacesPerMissSlot) {
+  FlakyCacheRig rig;
+  auto chunks = MakeChunks(3, 40);
+  ASSERT_TRUE(rig.backend->PutMany(chunks).ok());
+  // Warm one entry so the batch mixes a hit with two faulted misses.
+  ASSERT_TRUE(rig.cache->Get(chunks[0].hash()).ok());
+
+  std::vector<Hash256> ids{chunks[0].hash(), chunks[1].hash(),
+                           chunks[2].hash()};
+  rig.faults->InjectOnce(FaultSchedule::Op::kGetBatch,
+                         {FaultSchedule::Kind::kTransient});
+  auto slots = rig.cache->GetMany(ids);
+  ASSERT_EQ(slots.size(), 3u);
+  EXPECT_TRUE(slots[0].ok()) << "cached hit must not be poisoned";
+  for (size_t i = 1; i < 3; ++i) {
+    ASSERT_FALSE(slots[i].ok()) << i;
+    EXPECT_EQ(slots[i].status().code(), StatusCode::kIOError) << i;
+  }
+
+  // Fault cleared: the same batch fully resolves, re-fetching the two
+  // failed slots (they were never negatively cached).
+  auto retried = rig.cache->GetMany(ids);
+  for (size_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(retried[i].ok()) << i;
+    EXPECT_EQ(retried[i]->bytes().ToString(),
+              chunks[i].bytes().ToString());
+  }
+}
+
+TEST(CacheErrorPropagation, AsyncMissPathPropagatesErrors) {
+  FlakyCacheRig rig;
+  auto chunks = MakeChunks(4, 41);
+  ASSERT_TRUE(rig.backend->PutMany(chunks).ok());
+  std::vector<Hash256> ids;
+  for (const auto& c : chunks) ids.push_back(c.hash());
+
+  rig.faults->InjectOnce(FaultSchedule::Op::kGetBatch,
+                         {FaultSchedule::Kind::kTimeout});
+  auto handle = rig.cache->GetManyAsync(ids);
+  ASSERT_TRUE(handle.valid());
+  auto slots = handle.Take();
+  ASSERT_EQ(slots.size(), ids.size());
+  for (const auto& slot : slots) {
+    ASSERT_FALSE(slot.ok());
+    EXPECT_EQ(slot.status().code(), StatusCode::kIOError);
+  }
+
+  auto retried = rig.cache->GetManyAsync(ids).Take();
+  for (size_t i = 0; i < retried.size(); ++i) {
+    ASSERT_TRUE(retried[i].ok()) << i;
+    EXPECT_EQ(retried[i]->hash(), ids[i]);
+  }
+}
+
+TEST(CacheErrorPropagation, NotFoundIsNotNegativelyCached) {
+  FlakyCacheRig rig;
+  auto chunk = MakeTestChunk("late-arrival");
+  auto miss = rig.cache->Get(chunk.hash());
+  EXPECT_TRUE(miss.status().IsNotFound());
+  // The chunk appears in the backend later (another writer); the cache must
+  // see it on the next read.
+  ASSERT_TRUE(rig.backend->Put(chunk).ok());
+  auto found = rig.cache->Get(chunk.hash());
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found->bytes().ToString(), chunk.bytes().ToString());
+}
+
+TEST(CacheErrorPropagation, DuplicateMissSlotsAllCarryTheError) {
+  // In-batch duplicates of a faulted miss: every slot fed by the failed
+  // fetch carries the error, and the deferred duplicate accounting counts
+  // misses (the duplicate would have missed again), not hits.
+  FlakyCacheRig rig;
+  auto chunk = MakeTestChunk("dup-error");
+  ASSERT_TRUE(rig.backend->Put(chunk).ok());
+  std::vector<Hash256> ids{chunk.hash(), chunk.hash(), chunk.hash()};
+
+  rig.faults->InjectOnce(FaultSchedule::Op::kGetBatch,
+                         {FaultSchedule::Kind::kTransient});
+  auto slots = rig.cache->GetMany(ids);
+  ASSERT_EQ(slots.size(), 3u);
+  for (const auto& slot : slots) {
+    ASSERT_FALSE(slot.ok());
+    EXPECT_EQ(slot.status().code(), StatusCode::kIOError);
+  }
+  auto stats = rig.cache->cache_stats();
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.hits, 0u);
 }
 
 }  // namespace

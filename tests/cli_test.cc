@@ -265,5 +265,54 @@ TEST_F(CliTest, KeysListsEverything) {
   EXPECT_EQ(keys, "alpha\nbeta\n");
 }
 
+TEST_F(CliTest, TieredFlagsRunTheWholeWorkloadOnTwoTiers) {
+  const std::string cold = ::testing::TempDir() + "/fb_cli_cold";
+  std::filesystem::remove_all(cold);
+  auto tiered = [&](std::vector<std::string> args) {
+    args.insert(args.begin(), {"--tier-cold", cold});
+    return args;
+  };
+  // Write-through: the commit reaches both tiers before the CLI exits.
+  EXPECT_EQ(Run(tiered({"put", "doc", "tiered value"})), 0);
+  EXPECT_TRUE(std::filesystem::exists(cold + "/segment-0.fbc"));
+  EXPECT_GT(std::filesystem::file_size(cold + "/segment-0.fbc"), 0u);
+
+  std::string value;
+  EXPECT_EQ(Run(tiered({"get", "doc"}), &value), 0);
+  EXPECT_EQ(value, "tiered value\n");
+
+  // The hot tier dies; the cold backend alone serves the next invocation.
+  for (const auto& entry : std::filesystem::directory_iterator(db_dir_)) {
+    if (entry.path().extension() == ".fbc") {
+      std::filesystem::remove(entry.path());
+    }
+  }
+  value.clear();
+  EXPECT_EQ(Run(tiered({"get", "doc"}), &value), 0);
+  EXPECT_EQ(value, "tiered value\n");
+
+  // Write-back: the destructor's flush demotes before the process exits,
+  // so the cold tier keeps accumulating history.
+  const auto cold_bytes = std::filesystem::file_size(cold + "/segment-0.fbc");
+  EXPECT_EQ(
+      Run(tiered({"--tier-policy", "write-back", "put", "doc2", "v2"})), 0);
+  EXPECT_GT(std::filesystem::file_size(cold + "/segment-0.fbc"), cold_bytes);
+
+  std::string err;
+  EXPECT_NE(Run(tiered({"--tier-policy", "bogus", "put", "x", "y"}), nullptr,
+                &err),
+            0);
+  EXPECT_NE(err.find("--tier-policy"), std::string::npos);
+
+  // --tier-policy without --tier-cold is a configuration error, not a
+  // silently untiered store.
+  err.clear();
+  EXPECT_NE(Run({"--tier-policy", "write-back", "put", "x", "y"}, nullptr,
+                &err),
+            0);
+  EXPECT_NE(err.find("requires --tier-cold"), std::string::npos);
+  std::filesystem::remove_all(cold);
+}
+
 }  // namespace
 }  // namespace forkbase

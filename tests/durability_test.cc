@@ -12,6 +12,8 @@
 #include <thread>
 
 #include "chunk/file_chunk_store.h"
+#include "chunk/remote_chunk_store.h"
+#include "chunk/tiered_chunk_store.h"
 #include "store/forkbase.h"
 #include "util/random.h"
 
@@ -186,6 +188,86 @@ TEST_F(DurabilityTest, GroupCommitRunsAreCrashDurable) {
     ASSERT_TRUE(history.ok());
     EXPECT_EQ(history->size(), 25u);
   }
+}
+
+TEST_F(DurabilityTest, CrashDuringDemotionLeavesEveryChunkReachable) {
+  // Write-back tiering, then a "kill" mid write-back: the demotion drain
+  // dies after landing only a prefix of its batches on the cold tier (a
+  // scripted remote fault models the process dying between round trips,
+  // since a real kill can land anywhere a fault can), and the cold tier's
+  // active segment additionally takes a torn tail. Recovery must find every
+  // acknowledged chunk in at least one tier — the hot tier still holds what
+  // never demoted (torn-tail recovery already covers hot-tier appends).
+  const std::string cold_dir = ::testing::TempDir() + "/fb_durability_cold";
+  std::filesystem::remove_all(cold_dir);
+  auto faults = std::make_shared<FaultSchedule>();
+
+  auto open_tiered = [&]() -> std::shared_ptr<TieredChunkStore> {
+    auto hot_or = FileChunkStore::Open(dir_);
+    EXPECT_TRUE(hot_or.ok());
+    auto cold_or = FileChunkStore::Open(cold_dir);
+    EXPECT_TRUE(cold_or.ok());
+    RemoteChunkStore::Options remote_options;
+    remote_options.faults = faults;
+    auto cold = std::make_shared<RemoteChunkStore>(
+        std::shared_ptr<ChunkStore>(std::move(*cold_or)), remote_options);
+    TieredChunkStore::Options tier_options;
+    tier_options.policy = TierPolicy::kWriteBack;
+    tier_options.background_demotion = false;  // the test is the drain
+    tier_options.demote_batch = 16;
+    return std::make_shared<TieredChunkStore>(
+        std::shared_ptr<ChunkStore>(std::move(*hot_or)), std::move(cold),
+        tier_options);
+  };
+
+  std::vector<Hash256> returned;
+  {
+    auto tiered = open_tiered();
+    ForkBase db(tiered);
+    for (int i = 0; i < 60; ++i) {
+      auto uid = db.Put("demote-key", Value::String("v" + std::to_string(i)),
+                        "b" + std::to_string(i % 3));
+      ASSERT_TRUE(uid.ok());
+      returned.push_back(*uid);
+    }
+    ASSERT_TRUE(db.branches().SaveToFile(dir_ + "/branches.tsv").ok());
+    // The drain dies after its second cold round trip.
+    faults->InjectOnce(FaultSchedule::Op::kPutBatch,
+                       {FaultSchedule::Kind::kTransient}, /*skip=*/2);
+    Status flush = tiered->FlushColdTier();
+    ASSERT_FALSE(flush.ok()) << "fault schedule never fired";
+    auto stats = tiered->tier_stats();
+    EXPECT_GT(stats.demotions, 0u) << "no batch landed before the crash";
+    EXPECT_GT(stats.dirty_pending, 0u) << "nothing left undemoted";
+    // Simulated kill: the stack is torn down with faults still armed, so
+    // the destructor's best-effort flush dies on the same schedule instead
+    // of quietly completing the demotion.
+    faults->InjectOnce(FaultSchedule::Op::kPutBatch,
+                       {FaultSchedule::Kind::kTransient});
+  }
+  // The crash also tore the tail of the cold tier's active segment.
+  {
+    std::ofstream seg(cold_dir + "/segment-0.fbc",
+                      std::ios::binary | std::ios::app);
+    const uint32_t magic = 0x46424331;
+    seg.write(reinterpret_cast<const char*>(&magic), 4);
+    seg.write("torn", 4);
+  }
+
+  faults->Clear();
+  auto tiered = open_tiered();
+  ForkBase db(tiered);
+  ASSERT_TRUE(db.branches().LoadFromFile(dir_ + "/branches.tsv").ok());
+  for (const auto& uid : returned) {
+    EXPECT_TRUE(db.GetVersion(uid).ok()) << uid.ToBase32();
+    EXPECT_TRUE(db.Verify(uid).ok()) << uid.ToBase32();
+  }
+  for (int b = 0; b < 3; ++b) {
+    auto history = db.History("demote-key", "b" + std::to_string(b));
+    ASSERT_TRUE(history.ok());
+    EXPECT_EQ(history->size(), 20u);
+  }
+  std::filesystem::remove_all(cold_dir);
 }
 
 TEST_F(DurabilityTest, ColdCacheReadsAfterReopen) {
