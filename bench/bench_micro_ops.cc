@@ -492,6 +492,40 @@ void BM_MapScanTieredColdAsync(benchmark::State& state) {
 }
 BENCHMARK(BM_MapScanTieredColdAsync)->UseRealTime();
 
+// Bounded-tier churn: the tree lives on the slow cold tier and the hot
+// budget holds only ~half of it, with promotion ON — so every scan
+// continuously promotes the chunks it touches while the evictor erases
+// (and the hot store's segment rewrite reclaims) the least-recent half
+// behind it. This is the steady state of a working set larger than local
+// disk; the async scan must still beat the synchronous unbounded cold scan
+// (compare_bench.py floors it against BM_MapScanTieredColdSync).
+void BM_MapScanTieredEvicting(benchmark::State& state) {
+  ScopedStoreDir dir("scan_tiered_evicting");
+  auto cold_file = FileChunkStore::Open(dir.path() + "/cold");
+  auto kvs = RandomKvs(kScanEntries, 35);
+  auto built = PosTree::BuildKeyed(cold_file->get(), ChunkType::kMapLeaf, kvs);
+  const uint64_t tree_bytes = (*cold_file)->stats().physical_bytes;
+  RemoteChunkStore::Options remote_options;
+  remote_options.batch_latency_us = kDeviceLatencyUs;
+  remote_options.connections = 4;
+  auto cold = std::make_shared<RemoteChunkStore>(
+      std::shared_ptr<ChunkStore>(std::move(*cold_file)), remote_options);
+  FileChunkStore::Options hot_options;
+  hot_options.segment_bytes = 256 << 10;  // rewrite at fine granularity
+  auto hot = FileChunkStore::Open(dir.path() + "/hot", hot_options);
+  TieredChunkStore::Options tier_options;
+  tier_options.hot_bytes_budget = tree_bytes / 2;  // working set 2x budget
+  TieredChunkStore store(std::shared_ptr<ChunkStore>(std::move(*hot)),
+                         std::move(cold), tier_options);
+  const size_t depth = GetScanPrefetchDepth();
+  SetScanPrefetchDepth(8);
+  RunMapScan(state, &store, built->root);
+  SetScanPrefetchDepth(depth);
+  state.counters["evictions"] = static_cast<double>(
+      store.tier_stats().evictions);
+}
+BENCHMARK(BM_MapScanTieredEvicting)->UseRealTime();
+
 // ---- group commit: concurrent FNode writers -----------------------------
 //
 // range(0) = 0: scalar commits (each Put pays its own append + flush).

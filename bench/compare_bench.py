@@ -59,6 +59,14 @@ TRACKED_PAIRS = [
     # ratio is portable across runners.
     ("BM_MapScanTieredColdAsync/real_time",
      "BM_MapScanTieredColdSync/real_time", 1.5, True),
+    # Bounded-tier criterion: scanning a working set 2x the hot budget —
+    # every chunk promoted, evicted and its segment rewritten each cycle —
+    # must cost at most ~2x the plain synchronous cold scan. The evicting
+    # side is CPU-heavy (promotion hashing, tombstones, rewrites) while the
+    # sync side is latency-bound, so the ratio moves with the runner's CPU:
+    # floor only, no baseline comparison.
+    ("BM_MapScanTieredEvicting/real_time",
+     "BM_MapScanTieredColdSync/real_time", 0.5, False),
     ("CommitBench/FNodeCommit/1/real_time/threads:4",
      "CommitBench/FNodeCommit/0/real_time/threads:4", 1.0, False),
 ]

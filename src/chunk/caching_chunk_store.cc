@@ -202,6 +202,21 @@ bool CachingChunkStore::Contains(const Hash256& id) const {
   return base_->Contains(id);
 }
 
+Status CachingChunkStore::Erase(std::span<const Hash256> ids) {
+  // Drop cached copies first so no reader refills a hit for a chunk the
+  // base is about to reclaim, then erase below.
+  for (const Hash256& id : ids) {
+    Shard& shard = ShardFor(id);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(id);
+    if (it == shard.map.end()) continue;
+    shard.stats.resident_bytes -= it->second->second.size();
+    shard.lru.erase(it->second);
+    shard.map.erase(it);
+  }
+  return base_->Erase(ids);
+}
+
 ChunkStoreStats CachingChunkStore::stats() const { return base_->stats(); }
 
 void CachingChunkStore::ForEach(

@@ -49,9 +49,18 @@ class CachingChunkStore : public ChunkStore {
   Status Put(const Chunk& chunk) override;
   Status PutMany(std::span<const Chunk> chunks) override;
   bool Contains(const Hash256& id) const override;
+  /// Erase passes through to the base store after dropping any cached
+  /// copies, so the decorator never serves a chunk its backend reclaimed.
+  bool SupportsErase() const override { return base_->SupportsErase(); }
+  Status Erase(std::span<const Hash256> ids) override;
+  uint64_t space_used() const override { return base_->space_used(); }
   ChunkStoreStats stats() const override;
   void ForEach(const std::function<void(const Hash256&, const Chunk&)>& fn)
       const override;
+  void ForEachId(
+      const std::function<void(const Hash256&, uint64_t)>& fn) const override {
+    base_->ForEachId(fn);
+  }
 
   struct CacheStats {
     uint64_t hits = 0;

@@ -33,4 +33,14 @@ Status ChunkStore::PutMany(std::span<const Chunk> chunks) {
   return Status::OK();
 }
 
+Status ChunkStore::Erase(std::span<const Hash256> ids) {
+  (void)ids;
+  return Status::Unimplemented("this chunk store cannot erase chunks");
+}
+
+void ChunkStore::ForEachId(
+    const std::function<void(const Hash256&, uint64_t)>& fn) const {
+  ForEach([&](const Hash256& id, const Chunk& chunk) { fn(id, chunk.size()); });
+}
+
 }  // namespace forkbase

@@ -159,11 +159,41 @@ class ChunkStore {
 
   virtual bool Contains(const Hash256& id) const = 0;
 
+  /// True when Erase() actually reclaims space. The base interface is
+  /// append-only (content addressing never requires deletion); stores that
+  /// can give space back — the memory store, the segment-file store — opt
+  /// in, and capacity managers (a bounded hot tier) probe this before
+  /// planning eviction.
+  virtual bool SupportsErase() const { return false; }
+
+  /// Drops `ids` from the store, releasing their space. Erasing an absent
+  /// id is a no-op (mirroring Put's idempotence); the call fails only on
+  /// I/O errors. Erase is a capacity operation, not a consistency one: a
+  /// crash may resurrect chunks whose erase was in flight (harmless under
+  /// content addressing — identical bytes, and an evictor simply erases
+  /// them again). Default: kUnimplemented — see SupportsErase().
+  virtual Status Erase(std::span<const Hash256> ids);
+
+  /// Bytes this store currently occupies, as its capacity manager should
+  /// count them. For in-memory stores this equals stats().physical_bytes
+  /// (the default); stores with on-disk framing or not-yet-reclaimed dead
+  /// space (FileChunkStore tombstones awaiting segment rewrite) report
+  /// their real footprint so budgets bound actual disk usage.
+  virtual uint64_t space_used() const { return stats().physical_bytes; }
+
   virtual ChunkStoreStats stats() const = 0;
 
   /// Visits every resident chunk (diagnostics, GC, integrity sweeps).
   virtual void ForEach(
       const std::function<void(const Hash256&, const Chunk&)>& fn) const = 0;
+
+  /// Visits every resident chunk id with its byte size, WITHOUT reading the
+  /// chunk bytes — an index walk, not an I/O sweep. This is what makes
+  /// reopen-time reconciliation and eviction bookkeeping affordable over a
+  /// large store. The default adapts ForEach (and so does pay the reads);
+  /// every index-backed store overrides it.
+  virtual void ForEachId(
+      const std::function<void(const Hash256&, uint64_t)>& fn) const;
 };
 
 /// Default batch size for memory-capped sweeps over many ids.

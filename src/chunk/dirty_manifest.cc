@@ -1,0 +1,200 @@
+#include "chunk/dirty_manifest.h"
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+namespace forkbase {
+
+namespace {
+constexpr uint32_t kManifestMagic = 0x46424d31;  // "FBM1"
+constexpr char kOpMark = 'D';
+constexpr char kOpClear = 'C';
+constexpr size_t kRecordBytes = 4 + 1 + 32;  // magic + op + hash
+
+void AppendManifestRecord(std::string* buf, char op, const Hash256& id) {
+  char header[5];
+  std::memcpy(header, &kManifestMagic, 4);
+  header[4] = op;
+  buf->append(header, 5);
+  buf->append(reinterpret_cast<const char*>(id.bytes.data()), 32);
+}
+}  // namespace
+
+DirtyManifest::DirtyManifest(std::string path) : path_(std::move(path)) {}
+
+DirtyManifest::~DirtyManifest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+StatusOr<std::unique_ptr<DirtyManifest>> DirtyManifest::Open(
+    const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("create_directories(" + dir + "): " + ec.message());
+  }
+  std::unique_ptr<DirtyManifest> manifest(
+      new DirtyManifest(dir + "/dirty-manifest.fbm"));
+  manifest->existed_ = std::filesystem::exists(manifest->path_, ec) && !ec;
+  FB_RETURN_IF_ERROR(manifest->Replay());
+  return manifest;
+}
+
+Status DirtyManifest::Replay() {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t valid_end = 0;
+  if (existed_) {
+    std::FILE* f = std::fopen(path_.c_str(), "rb");
+    if (!f) {
+      return Status::IOError("open " + path_ + ": " + std::strerror(errno));
+    }
+    char record[kRecordBytes];
+    for (;;) {
+      size_t got = std::fread(record, 1, kRecordBytes, f);
+      if (got < kRecordBytes) break;  // torn tail or EOF
+      uint32_t magic = 0;
+      std::memcpy(&magic, record, 4);
+      const char op = record[4];
+      if (magic != kManifestMagic || (op != kOpMark && op != kOpClear)) {
+        break;  // corruption: treat like a torn tail, keep the good prefix
+      }
+      Hash256 id;
+      std::memcpy(id.bytes.data(), record + 5, 32);
+      if (op == kOpMark) {
+        dirty_.insert(id);
+      } else {
+        dirty_.erase(id);
+      }
+      ++records_;
+      valid_end += kRecordBytes;
+    }
+    std::fclose(f);
+    std::error_code ec;
+    auto size = std::filesystem::file_size(path_, ec);
+    if (!ec && size > valid_end) {
+      // Drop the torn tail so future appends start at a record boundary.
+      std::filesystem::resize_file(path_, valid_end, ec);
+    }
+  }
+  std::FILE* f = std::fopen(path_.c_str(), "ab");
+  if (!f) {
+    return Status::IOError("open " + path_ + ": " + std::strerror(errno));
+  }
+  file_ = f;
+  return Status::OK();
+}
+
+Status DirtyManifest::AppendLocked(char op, std::span<const Hash256> ids,
+                                   size_t count) {
+  if (count == 0) return Status::OK();
+  if (!file_) {
+    return Status::IOError("manifest unavailable after prior failure");
+  }
+  std::string buffer;
+  buffer.reserve(count * kRecordBytes);
+  for (const Hash256& id : ids) {
+    const bool present = dirty_.count(id) > 0;
+    if ((op == kOpMark) == present) continue;  // idempotent per id
+    AppendManifestRecord(&buffer, op, id);
+  }
+  if (buffer.empty()) return Status::OK();
+  if (std::fwrite(buffer.data(), 1, buffer.size(), file_) != buffer.size() ||
+      std::fflush(file_) != 0) {
+    Status err = Status::IOError("manifest append failed: " +
+                                 std::string(std::strerror(errno)));
+    // A partial record at the tail would desynchronize every later append
+    // (replay stops at the first bad record). Truncate back to the last
+    // good boundary and reopen; on failure poison the handle.
+    std::fclose(file_);
+    file_ = nullptr;
+    std::error_code ec;
+    std::filesystem::resize_file(path_, records_ * kRecordBytes, ec);
+    if (!ec) file_ = std::fopen(path_.c_str(), "ab");
+    return err;
+  }
+  records_ += buffer.size() / kRecordBytes;
+  return Status::OK();
+}
+
+Status DirtyManifest::MarkDirty(std::span<const Hash256> ids) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FB_RETURN_IF_ERROR(AppendLocked(kOpMark, ids, ids.size()));
+  for (const Hash256& id : ids) dirty_.insert(id);
+  return Status::OK();
+}
+
+Status DirtyManifest::MarkClean(std::span<const Hash256> ids) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FB_RETURN_IF_ERROR(AppendLocked(kOpClear, ids, ids.size()));
+  for (const Hash256& id : ids) dirty_.erase(id);
+  // Once MARK/CLEAR churn dominates the live set, fold the journal down to
+  // the live marks. The floor keeps small stores from compacting on every
+  // drain.
+  if (records_ > 2 * dirty_.size() + 1024) return CompactLocked();
+  return Status::OK();
+}
+
+Status DirtyManifest::CompactLocked() {
+  const std::string tmp = path_ + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f) {
+    return Status::IOError("open " + tmp + ": " + std::strerror(errno));
+  }
+  std::string buffer;
+  buffer.reserve(dirty_.size() * kRecordBytes);
+  for (const Hash256& id : dirty_) {
+    AppendManifestRecord(&buffer, kOpMark, id);
+  }
+  if ((!buffer.empty() &&
+       std::fwrite(buffer.data(), 1, buffer.size(), f) != buffer.size()) ||
+      std::fflush(f) != 0) {
+    std::fclose(f);
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    return Status::IOError("manifest compaction write failed");
+  }
+  std::fclose(f);
+  // Atomic swap: the journal is either the old file or the complete new
+  // one, never a half-state.
+  std::error_code ec;
+  std::filesystem::rename(tmp, path_, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return Status::IOError("manifest compaction rename failed");
+  }
+  if (file_) std::fclose(file_);
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (!file_) {
+    return Status::IOError("reopen " + path_ + ": " + std::strerror(errno));
+  }
+  records_ = dirty_.size();
+  ++compactions_;
+  return Status::OK();
+}
+
+std::vector<Hash256> DirtyManifest::DirtyIds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<Hash256>(dirty_.begin(), dirty_.end());
+}
+
+size_t DirtyManifest::dirty_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dirty_.size();
+}
+
+uint64_t DirtyManifest::record_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+uint64_t DirtyManifest::compactions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return compactions_;
+}
+
+}  // namespace forkbase

@@ -13,8 +13,9 @@
 namespace forkbase {
 
 namespace {
-constexpr uint32_t kRecordMagic = 0x46424331;  // "FBC1"
-constexpr size_t kHeaderBytes = 4 + 32 + 4;    // magic + hash + len
+constexpr uint32_t kRecordMagic = 0x46424331;     // "FBC1"
+constexpr uint32_t kTombstoneMagic = 0x46425431;  // "FBT1"
+constexpr size_t kHeaderBytes = 4 + 32 + 4;       // magic + hash + len
 
 uint32_t NormalizeShardCount(uint32_t requested) {
   uint32_t n = 1;
@@ -22,25 +23,34 @@ uint32_t NormalizeShardCount(uint32_t requested) {
   return n;
 }
 
-void AppendRecord(std::string* buf, const Hash256& id, Slice bytes) {
+void AppendHeader(std::string* buf, uint32_t magic, const Hash256& id,
+                  uint32_t len) {
   uint8_t header[kHeaderBytes];
-  uint32_t len = static_cast<uint32_t>(bytes.size());
-  std::memcpy(header, &kRecordMagic, 4);
+  std::memcpy(header, &magic, 4);
   std::memcpy(header + 4, id.bytes.data(), 32);
   std::memcpy(header + 36, &len, 4);
   buf->append(reinterpret_cast<const char*>(header), kHeaderBytes);
+}
+
+void AppendRecord(std::string* buf, const Hash256& id, Slice bytes) {
+  AppendHeader(buf, kRecordMagic, id, static_cast<uint32_t>(bytes.size()));
   buf->append(bytes.data(), bytes.size());
 }
+
+uint64_t RecordBytes(uint32_t len) { return kHeaderBytes + len; }
 }  // namespace
 
 FileChunkStore::FileChunkStore(std::string dir, Options options)
     : dir_(std::move(dir)),
       options_(options),
       shards_(NormalizeShardCount(options.index_shards)),
-      prefetch_pool_(options.prefetch_threads) {}
+      prefetch_pool_(options.prefetch_threads),
+      compact_pool_(options.background_compaction ? 1 : 0) {}
 
 FileChunkStore::~FileChunkStore() {
-  // Run out any in-flight async reads before tearing down the index/stream.
+  // Scheduled rewrites still need the index and the append stream; run them
+  // out first, then the async readers, then close the stream.
+  compact_pool_.Shutdown();
   prefetch_pool_.Shutdown();
   std::lock_guard<std::mutex> lock(append_mu_);
   if (append_file_) {
@@ -88,6 +98,18 @@ StatusOr<std::unique_ptr<FileChunkStore>> FileChunkStore::Open(
   }
   std::unique_ptr<FileChunkStore> store(new FileChunkStore(dir, options));
   FB_RETURN_IF_ERROR(store->Recover());
+  // Schedule rewrites for segments that were already dead-heavy on disk
+  // (e.g. a crash interrupted the previous store's compaction). Outside
+  // Recover: scheduling must not run inline under the append lock.
+  std::vector<uint32_t> candidates;
+  {
+    std::lock_guard<std::mutex> seg_lock(store->seg_mu_);
+    for (const auto& [seg, space] : store->segments_) {
+      (void)space;
+      candidates.push_back(seg);
+    }
+  }
+  for (uint32_t seg : candidates) store->MaybeScheduleCompaction(seg);
   return store;
 }
 
@@ -111,19 +133,32 @@ Status FileChunkStore::Recover() {
       uint32_t magic = 0, len = 0;
       std::memcpy(&magic, header, 4);
       std::memcpy(&len, header + 36, 4);
-      if (magic != kRecordMagic) break;
+      if (magic != kRecordMagic && magic != kTombstoneMagic) break;
       Hash256 id;
       std::memcpy(id.bytes.data(), header + 4, 32);
       buf.resize(len);
       if (std::fread(buf.data(), 1, len, f) < len) break;  // torn record
-      Location loc{seg, offset + kHeaderBytes, len};
       Shard& shard = ShardFor(id);
-      std::lock_guard<std::mutex> shard_lock(shard.mu);
-      auto [it, inserted] = shard.index.try_emplace(id, loc);
-      (void)it;
-      if (inserted) {
-        chunk_count_.fetch_add(1, std::memory_order_relaxed);
-        physical_bytes_.fetch_add(len, std::memory_order_relaxed);
+      if (magic == kTombstoneMagic) {
+        // Replay in append order: the tombstone undoes any earlier record of
+        // this id. (A later re-Put appends a fresh record after it.)
+        std::lock_guard<std::mutex> shard_lock(shard.mu);
+        auto it = shard.index.find(id);
+        if (it != shard.index.end()) {
+          chunk_count_.fetch_sub(1, std::memory_order_relaxed);
+          physical_bytes_.fetch_sub(it->second.length,
+                                    std::memory_order_relaxed);
+          shard.index.erase(it);
+        }
+      } else {
+        Location loc{seg, offset + kHeaderBytes, len};
+        std::lock_guard<std::mutex> shard_lock(shard.mu);
+        auto [it, inserted] = shard.index.try_emplace(id, loc);
+        (void)it;
+        if (inserted) {
+          chunk_count_.fetch_add(1, std::memory_order_relaxed);
+          physical_bytes_.fetch_add(len, std::memory_order_relaxed);
+        }
       }
       offset += kHeaderBytes + len;
       valid_end = offset;
@@ -134,6 +169,19 @@ Status FileChunkStore::Recover() {
     auto size = std::filesystem::file_size(path, ec);
     if (!ec && size > valid_end) {
       std::filesystem::resize_file(path, valid_end, ec);
+    }
+    std::lock_guard<std::mutex> seg_lock(seg_mu_);
+    segments_[seg].total_bytes = valid_end;
+  }
+  // Second pass: live bytes per segment come from what the replayed index
+  // still points at (everything else — tombstoned records, duplicates left
+  // by an interrupted rewrite — is dead space).
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> shard_lock(shard.mu);
+    std::lock_guard<std::mutex> seg_lock(seg_mu_);
+    for (const auto& [id, loc] : shard.index) {
+      (void)id;
+      segments_[loc.segment].live_bytes += RecordBytes(loc.length);
     }
   }
   const uint32_t seg = any_segment ? last_segment : 0;
@@ -152,6 +200,7 @@ Status FileChunkStore::OpenSegmentForAppend(uint32_t seg_no) {
   }
   append_file_ = f;
   append_segment_ = seg_no;
+  active_segment_.store(seg_no, std::memory_order_relaxed);
   std::error_code ec;
   auto size = std::filesystem::file_size(path, ec);
   append_offset_ = ec ? 0 : size;
@@ -186,13 +235,33 @@ StatusOr<Chunk> FileChunkStore::ReadAt(const Hash256& id,
   return chunk;
 }
 
+StatusOr<Chunk> FileChunkStore::ReadAtWithRetry(const Hash256& id,
+                                                const Location& loc) const {
+  auto chunk = ReadAt(id, loc);
+  if (chunk.ok()) return chunk;
+  // A segment rewrite may have moved the record (and truncated its old
+  // segment) between our index lookup and the file read. If the index now
+  // disagrees with the location we used, the record has a new home; if the
+  // id left the index entirely, it was erased mid-read — linearize after
+  // the erase and report absent, not a phantom I/O error. A real disk
+  // error keeps its index entry and surfaces unchanged.
+  Location now;
+  if (!Lookup(id, &now)) {
+    return Status::NotFound("chunk " + id.ToBase32() + " (erased mid-read)");
+  }
+  if (now.segment != loc.segment || now.offset != loc.offset) {
+    return ReadAt(id, now);
+  }
+  return chunk;
+}
+
 StatusOr<Chunk> FileChunkStore::Get(const Hash256& id) const {
   get_calls_.fetch_add(1, std::memory_order_relaxed);
   Location loc;
   if (!Lookup(id, &loc)) {
     return Status::NotFound("chunk " + id.ToBase32());
   }
-  return ReadAt(id, loc);
+  return ReadAtWithRetry(id, loc);
 }
 
 std::vector<StatusOr<Chunk>> FileChunkStore::GetMany(
@@ -234,6 +303,20 @@ std::vector<StatusOr<Chunk>> FileChunkStore::GetMany(
       slots[p.slot] = ReadRecord(f, path, ids[p.slot], p.loc);
     }
     std::fclose(f);
+    // Heal the read-vs-rewrite race per slot: a record that moved while we
+    // were reading re-resolves through the index once, and one erased
+    // mid-read reports absent (see ReadAtWithRetry for the reasoning).
+    for (const Pending& p : pendings) {
+      if (slots[p.slot]->ok()) continue;
+      Location now;
+      if (!Lookup(ids[p.slot], &now)) {
+        slots[p.slot] = StatusOr<Chunk>(Status::NotFound(
+            "chunk " + ids[p.slot].ToBase32() + " (erased mid-read)"));
+      } else if (now.segment != p.loc.segment ||
+                 now.offset != p.loc.offset) {
+        slots[p.slot] = ReadAt(ids[p.slot], now);
+      }
+    }
   }
 
   std::vector<StatusOr<Chunk>> out;
@@ -315,103 +398,407 @@ Status FileChunkStore::PutMany(std::span<const Chunk> chunks) {
   // Phase 2: serialize the surviving records into one buffer and append it
   // with a single fwrite+fflush. Index entries are published only after the
   // flush succeeds, so readers never chase bytes still in the stdio buffer.
-  std::lock_guard<std::mutex> lock(append_mu_);
-  std::string buffer;
-  std::vector<std::pair<Hash256, Location>> pending;
+  Status status;
+  std::vector<uint32_t> rolled;
   {
-    size_t projected = 0;
-    for (const Chunk* chunk : candidates) {
-      projected += kHeaderBytes + chunk->size();
-    }
-    buffer.reserve(projected);
-    pending.reserve(candidates.size());
-  }
-  uint64_t offset = append_offset_;
-
-  auto flush = [&]() -> Status {
-    if (buffer.empty()) return Status::OK();
-    if (!append_file_) {
-      return Status::IOError("append segment unavailable after prior failure");
-    }
-    if (std::fwrite(buffer.data(), 1, buffer.size(), append_file_) !=
-            buffer.size() ||
-        std::fflush(append_file_) != 0 ||
-        (options_.fsync_on_flush && ::fsync(fileno(append_file_)) != 0)) {
-      Status err = Status::IOError("append failed: " +
-                                   std::string(strerror(errno)));
-      // A partial run may have reached the file, desyncing append_offset_
-      // from the true EOF — and later successful appends behind a torn
-      // record would be discarded by the next Recover. Truncate back to the
-      // last published record boundary and reopen so a retry appends at a
-      // consistent offset; if that fails too, poison the append stream
-      // (checked above) rather than corrupt locations.
-      std::fclose(append_file_);
-      append_file_ = nullptr;
-      std::error_code ec;
-      std::filesystem::resize_file(SegmentPath(append_segment_),
-                                   append_offset_, ec);
-      if (!ec) (void)OpenSegmentForAppend(append_segment_);
-      return err;
-    }
-    append_offset_ = offset;
-    // Publish grouped by stripe so each shard mutex is taken once per
-    // batch, not once per chunk: counting-sort the entry indices by stripe,
-    // then walk each stripe's contiguous run under its lock.
-    uint64_t batch_bytes = 0;
-    std::vector<uint32_t> counts(shards_.size() + 1, 0);
-    for (const auto& entry : pending) {
-      ++counts[ShardIndexOf(entry.first) + 1];
-      batch_bytes += entry.second.length;
-    }
-    for (size_t s = 1; s < counts.size(); ++s) counts[s] += counts[s - 1];
-    std::vector<uint32_t> order(pending.size());
+    std::lock_guard<std::mutex> lock(append_mu_);
+    std::string buffer;
+    std::vector<std::pair<Hash256, Location>> pending;
     {
-      std::vector<uint32_t> cursor(counts.begin(), counts.end() - 1);
-      for (uint32_t i = 0; i < pending.size(); ++i) {
-        order[cursor[ShardIndexOf(pending[i].first)]++] = i;
+      size_t projected = 0;
+      for (const Chunk* chunk : candidates) {
+        projected += kHeaderBytes + chunk->size();
       }
+      buffer.reserve(projected);
+      pending.reserve(candidates.size());
     }
-    for (size_t s = 0; s < shards_.size(); ++s) {
-      if (counts[s] == counts[s + 1]) continue;
-      std::lock_guard<std::mutex> shard_lock(shards_[s].mu);
-      for (uint32_t k = counts[s]; k < counts[s + 1]; ++k) {
-        const auto& entry = pending[order[k]];
-        shards_[s].index.emplace(entry.first, entry.second);
-      }
-    }
-    chunk_count_.fetch_add(pending.size(), std::memory_order_relaxed);
-    physical_bytes_.fetch_add(batch_bytes, std::memory_order_relaxed);
-    buffer.clear();
-    pending.clear();
-    return Status::OK();
-  };
+    uint64_t offset = append_offset_;
 
-  for (const Chunk* chunk : candidates) {
-    const Hash256& id = chunk->hash();
-    // Re-check under the append lock: only append-lock holders insert, so a
-    // present entry here is final and the write can be skipped.
-    Location existing;
-    if (Lookup(id, &existing)) {
-      dedup_hits_.fetch_add(1, std::memory_order_relaxed);
-      continue;
-    }
-    if (offset >= options_.segment_bytes) {
-      FB_RETURN_IF_ERROR(flush());
-      FB_RETURN_IF_ERROR(OpenSegmentForAppend(append_segment_ + 1));
-      offset = append_offset_;
-    }
-    uint32_t len = static_cast<uint32_t>(chunk->size());
-    AppendRecord(&buffer, id, chunk->bytes());
-    pending.emplace_back(id, Location{append_segment_,
-                                      offset + kHeaderBytes, len});
-    offset += kHeaderBytes + len;
+    auto flush = [&]() -> Status {
+      if (buffer.empty()) return Status::OK();
+      if (!append_file_) {
+        return Status::IOError(
+            "append segment unavailable after prior failure");
+      }
+      if (std::fwrite(buffer.data(), 1, buffer.size(), append_file_) !=
+              buffer.size() ||
+          std::fflush(append_file_) != 0 ||
+          (options_.fsync_on_flush && ::fsync(fileno(append_file_)) != 0)) {
+        Status err = Status::IOError("append failed: " +
+                                     std::string(strerror(errno)));
+        // A partial run may have reached the file, desyncing append_offset_
+        // from the true EOF — and later successful appends behind a torn
+        // record would be discarded by the next Recover. Truncate back to the
+        // last published record boundary and reopen so a retry appends at a
+        // consistent offset; if that fails too, poison the append stream
+        // (checked above) rather than corrupt locations.
+        std::fclose(append_file_);
+        append_file_ = nullptr;
+        std::error_code ec;
+        std::filesystem::resize_file(SegmentPath(append_segment_),
+                                     append_offset_, ec);
+        if (!ec) (void)OpenSegmentForAppend(append_segment_);
+        return err;
+      }
+      const uint64_t flushed = buffer.size();
+      append_offset_ = offset;
+      // Publish grouped by stripe so each shard mutex is taken once per
+      // batch, not once per chunk: counting-sort the entry indices by stripe,
+      // then walk each stripe's contiguous run under its lock.
+      uint64_t batch_bytes = 0;
+      std::vector<uint32_t> counts(shards_.size() + 1, 0);
+      for (const auto& entry : pending) {
+        ++counts[ShardIndexOf(entry.first) + 1];
+        batch_bytes += entry.second.length;
+      }
+      for (size_t s = 1; s < counts.size(); ++s) counts[s] += counts[s - 1];
+      std::vector<uint32_t> order(pending.size());
+      {
+        std::vector<uint32_t> cursor(counts.begin(), counts.end() - 1);
+        for (uint32_t i = 0; i < pending.size(); ++i) {
+          order[cursor[ShardIndexOf(pending[i].first)]++] = i;
+        }
+      }
+      for (size_t s = 0; s < shards_.size(); ++s) {
+        if (counts[s] == counts[s + 1]) continue;
+        std::lock_guard<std::mutex> shard_lock(shards_[s].mu);
+        for (uint32_t k = counts[s]; k < counts[s + 1]; ++k) {
+          const auto& entry = pending[order[k]];
+          shards_[s].index.emplace(entry.first, entry.second);
+        }
+      }
+      chunk_count_.fetch_add(pending.size(), std::memory_order_relaxed);
+      physical_bytes_.fetch_add(batch_bytes, std::memory_order_relaxed);
+      NoteAppend(append_segment_, flushed, flushed);
+      buffer.clear();
+      pending.clear();
+      return Status::OK();
+    };
+
+    status = [&]() -> Status {
+      for (const Chunk* chunk : candidates) {
+        const Hash256& id = chunk->hash();
+        // Re-check under the append lock: only append-lock holders insert,
+        // so a present entry here is final and the write can be skipped.
+        Location existing;
+        if (Lookup(id, &existing)) {
+          dedup_hits_.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        if (offset >= options_.segment_bytes) {
+          FB_RETURN_IF_ERROR(flush());
+          rolled.push_back(append_segment_);
+          FB_RETURN_IF_ERROR(OpenSegmentForAppend(append_segment_ + 1));
+          offset = append_offset_;
+        }
+        uint32_t len = static_cast<uint32_t>(chunk->size());
+        AppendRecord(&buffer, id, chunk->bytes());
+        pending.emplace_back(id, Location{append_segment_,
+                                          offset + kHeaderBytes, len});
+        offset += kHeaderBytes + len;
+      }
+      return flush();
+    }();
   }
-  return flush();
+  // A just-closed segment may already be dead-heavy (erases land in closed
+  // segments' accounting while the records sit anywhere).
+  for (uint32_t seg : rolled) MaybeScheduleCompaction(seg);
+  return status;
 }
 
 bool FileChunkStore::Contains(const Hash256& id) const {
   Location loc;
   return Lookup(id, &loc);
+}
+
+// ---- erase & segment rewrite ---------------------------------------------
+
+Status FileChunkStore::Erase(std::span<const Hash256> ids) {
+  // Phase 1: drop index entries. From here the chunks are unreadable; the
+  // journal record below only makes that survive a reopen.
+  std::vector<std::pair<Hash256, Location>> erased;
+  erased.reserve(ids.size());
+  uint64_t erased_bytes = 0;
+  for (const Hash256& id : ids) {
+    Shard& shard = ShardFor(id);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(id);
+    if (it == shard.index.end()) continue;  // absent: a no-op, like Put
+    erased.emplace_back(id, it->second);
+    erased_bytes += it->second.length;
+    shard.index.erase(it);
+  }
+  if (erased.empty()) return Status::OK();
+  chunk_count_.fetch_sub(erased.size(), std::memory_order_relaxed);
+  physical_bytes_.fetch_sub(erased_bytes, std::memory_order_relaxed);
+  erased_chunks_.fetch_add(erased.size(), std::memory_order_relaxed);
+
+  // Phase 2: journal one tombstone per erased id, in one append run. Ids
+  // that were re-Put between phase 1 and here are skipped — their fresh
+  // record was appended under the same lock we now hold, and a tombstone
+  // journaled after it would erase it on replay.
+  Status journal;
+  {
+    std::lock_guard<std::mutex> lock(append_mu_);
+    std::string buffer;
+    size_t tombstones = 0;
+    for (const auto& [id, loc] : erased) {
+      (void)loc;
+      Location current;
+      if (Lookup(id, &current)) continue;  // re-added: keep it
+      AppendHeader(&buffer, kTombstoneMagic, id, 0);
+      ++tombstones;
+    }
+    journal = [&]() -> Status {
+      if (buffer.empty()) return Status::OK();
+      if (!append_file_) {
+        return Status::IOError(
+            "append segment unavailable after prior failure");
+      }
+      if (std::fwrite(buffer.data(), 1, buffer.size(), append_file_) !=
+              buffer.size() ||
+          std::fflush(append_file_) != 0 ||
+          (options_.fsync_on_flush && ::fsync(fileno(append_file_)) != 0)) {
+        Status err = Status::IOError("tombstone append failed: " +
+                                     std::string(strerror(errno)));
+        std::fclose(append_file_);
+        append_file_ = nullptr;
+        std::error_code ec;
+        std::filesystem::resize_file(SegmentPath(append_segment_),
+                                     append_offset_, ec);
+        if (!ec) (void)OpenSegmentForAppend(append_segment_);
+        return err;
+      }
+      append_offset_ += buffer.size();
+      NoteAppend(append_segment_, buffer.size(), 0);  // tombstones are dead
+      tombstone_records_.fetch_add(tombstones, std::memory_order_relaxed);
+      return Status::OK();
+    }();
+  }
+  // Even when the journal failed, the in-memory erase stands (a reopen may
+  // resurrect the chunks — harmless, the evictor erases them again), and
+  // the dead-space accounting below is true either way.
+
+  // Phase 3: the erased records are dead space in their segments; rewrite
+  // any segment that crossed the threshold.
+  std::vector<uint32_t> affected;
+  for (const auto& [id, loc] : erased) {
+    (void)id;
+    NoteDead(loc.segment, RecordBytes(loc.length));
+    if (std::find(affected.begin(), affected.end(), loc.segment) ==
+        affected.end()) {
+      affected.push_back(loc.segment);
+    }
+  }
+  for (uint32_t seg : affected) MaybeScheduleCompaction(seg);
+  return journal;
+}
+
+void FileChunkStore::NoteAppend(uint32_t segment, uint64_t appended,
+                                uint64_t live) {
+  std::lock_guard<std::mutex> lock(seg_mu_);
+  SegmentSpace& space = segments_[segment];
+  space.total_bytes += appended;
+  space.live_bytes += live;
+}
+
+void FileChunkStore::NoteDead(uint32_t segment, uint64_t record_bytes) {
+  std::lock_guard<std::mutex> lock(seg_mu_);
+  auto it = segments_.find(segment);
+  if (it == segments_.end()) return;
+  it->second.live_bytes -=
+      std::min<uint64_t>(it->second.live_bytes, record_bytes);
+}
+
+bool FileChunkStore::BelowLiveRatio(const SegmentSpace& space) const {
+  if (options_.compact_live_ratio <= 0 || space.total_bytes == 0) return false;
+  return static_cast<double>(space.live_bytes) <
+         options_.compact_live_ratio * static_cast<double>(space.total_bytes);
+}
+
+void FileChunkStore::MaybeScheduleCompaction(uint32_t segment) {
+  if (options_.compact_live_ratio <= 0) return;
+  if (segment == active_segment_.load(std::memory_order_relaxed)) return;
+  {
+    std::lock_guard<std::mutex> lock(seg_mu_);
+    auto it = segments_.find(segment);
+    if (it == segments_.end() || it->second.compaction_scheduled ||
+        !BelowLiveRatio(it->second)) {
+      return;
+    }
+    it->second.compaction_scheduled = true;
+    ++compactions_pending_;
+  }
+  // With background_compaction off, Submit runs this inline — which is why
+  // callers must not hold store locks here.
+  compact_pool_.Submit([this, segment] {
+    CompactSegment(segment);
+    std::lock_guard<std::mutex> lock(seg_mu_);
+    --compactions_pending_;
+    compact_cv_.notify_all();
+  });
+}
+
+void FileChunkStore::CompactSegment(uint32_t segment) {
+  // Snapshot the entries the index still maps into this segment. The
+  // segment is closed (appends only reach the active one), so the snapshot
+  // can only shrink concurrently (erases), never grow.
+  std::vector<std::pair<Hash256, Location>> entries;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [id, loc] : shard.index) {
+      if (loc.segment == segment) entries.emplace_back(id, loc);
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) {
+              return a.second.offset < b.second.offset;
+            });
+
+  const std::string path = SegmentPath(segment);
+  bool aborted = false;
+  uint64_t moved_live = 0;
+  if (!entries.empty()) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (!f) {
+      aborted = true;
+    } else {
+      // Stream the live records in bounded batches (the same shape as GC's
+      // CopyLive sweep): read a run from the old file, append it to the
+      // active segment in one flushed run, then repoint the index entries
+      // that still reference their old location.
+      const size_t kBatch = 128;
+      std::string payload;
+      for (size_t start = 0; start < entries.size() && !aborted;
+           start += kBatch) {
+        const size_t n = std::min(kBatch, entries.size() - start);
+        std::string buffer;
+        std::vector<uint32_t> lens(n);
+        for (size_t i = 0; i < n; ++i) {
+          const auto& [id, loc] = entries[start + i];
+          payload.resize(loc.length);
+          if (std::fseek(f, static_cast<long>(loc.offset), SEEK_SET) != 0 ||
+              std::fread(payload.data(), 1, loc.length, f) != loc.length) {
+            // Unreadable live record: leave the whole segment in place
+            // rather than truncate data the index still points at.
+            aborted = true;
+            break;
+          }
+          lens[i] = loc.length;
+          AppendRecord(&buffer, id, Slice(payload));
+        }
+        if (aborted) break;
+
+        std::lock_guard<std::mutex> lock(append_mu_);
+        if (!append_file_) {
+          aborted = true;
+          break;
+        }
+        if (append_offset_ >= options_.segment_bytes) {
+          // Roll without a pending put buffer; the closed segment is fully
+          // accounted already.
+          if (!OpenSegmentForAppend(append_segment_ + 1).ok()) {
+            aborted = true;
+            break;
+          }
+        }
+        if (std::fwrite(buffer.data(), 1, buffer.size(), append_file_) !=
+                buffer.size() ||
+            std::fflush(append_file_) != 0 ||
+            (options_.fsync_on_flush &&
+             ::fsync(fileno(append_file_)) != 0)) {
+          std::fclose(append_file_);
+          append_file_ = nullptr;
+          std::error_code ec;
+          std::filesystem::resize_file(SegmentPath(append_segment_),
+                                       append_offset_, ec);
+          if (!ec) (void)OpenSegmentForAppend(append_segment_);
+          aborted = true;
+          break;
+        }
+        uint64_t offset = append_offset_;
+        append_offset_ += buffer.size();
+        uint64_t batch_live = 0;
+        for (size_t i = 0; i < n; ++i) {
+          const auto& [id, old_loc] = entries[start + i];
+          Location fresh{append_segment_, offset + kHeaderBytes, lens[i]};
+          offset += RecordBytes(lens[i]);
+          Shard& shard = ShardFor(id);
+          std::lock_guard<std::mutex> shard_lock(shard.mu);
+          auto it = shard.index.find(id);
+          // Repoint only if the entry still references the record we
+          // copied; an id erased (or tombstoned-and-re-put) meanwhile
+          // leaves its copy as immediately-dead bytes in the new segment.
+          if (it != shard.index.end() &&
+              it->second.segment == old_loc.segment &&
+              it->second.offset == old_loc.offset) {
+            it->second = fresh;
+            batch_live += RecordBytes(lens[i]);
+          }
+        }
+        NoteAppend(append_segment_, buffer.size(), batch_live);
+        // The moved records are no longer live in the old segment. Keeping
+        // its accounting honest batch-by-batch matters on the abort path:
+        // an overcounted old segment could stop qualifying for rewrite
+        // until a reopen recomputes live bytes.
+        NoteDead(segment, batch_live);
+        moved_live += batch_live;
+      }
+      std::fclose(f);
+    }
+  }
+
+  if (aborted) {
+    // Give back the scheduled slot; a later erase (or reopen) retries.
+    std::lock_guard<std::mutex> lock(seg_mu_);
+    auto it = segments_.find(segment);
+    if (it != segments_.end()) it->second.compaction_scheduled = false;
+    return;
+  }
+  // Every live record has a new home (or was erased): release the disk.
+  // Truncate to zero rather than unlink so Recover's contiguous segment
+  // scan still sees the file.
+  std::error_code ec;
+  std::filesystem::resize_file(path, 0, ec);
+  uint64_t reclaimed = 0;
+  {
+    std::lock_guard<std::mutex> lock(seg_mu_);
+    auto it = segments_.find(segment);
+    if (it != segments_.end()) {
+      reclaimed = it->second.total_bytes;
+      segments_.erase(it);
+    }
+  }
+  segments_rewritten_.fetch_add(1, std::memory_order_relaxed);
+  rewritten_bytes_.fetch_add(moved_live, std::memory_order_relaxed);
+  reclaimed_bytes_.fetch_add(reclaimed, std::memory_order_relaxed);
+}
+
+uint64_t FileChunkStore::space_used() const {
+  std::lock_guard<std::mutex> lock(seg_mu_);
+  uint64_t total = 0;
+  for (const auto& [seg, space] : segments_) {
+    (void)seg;
+    total += space.total_bytes;
+  }
+  return total;
+}
+
+void FileChunkStore::WaitForMaintenance() {
+  std::unique_lock<std::mutex> lock(seg_mu_);
+  compact_cv_.wait(lock, [&] { return compactions_pending_ == 0; });
+}
+
+FileChunkStore::MaintenanceStats FileChunkStore::maintenance_stats() const {
+  MaintenanceStats stats;
+  stats.erased_chunks = erased_chunks_.load(std::memory_order_relaxed);
+  stats.tombstone_records =
+      tombstone_records_.load(std::memory_order_relaxed);
+  stats.segments_rewritten =
+      segments_rewritten_.load(std::memory_order_relaxed);
+  stats.rewritten_bytes = rewritten_bytes_.load(std::memory_order_relaxed);
+  stats.reclaimed_bytes = reclaimed_bytes_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 ChunkStoreStats FileChunkStore::stats() const {
@@ -442,6 +829,24 @@ void FileChunkStore::ForEach(
         if (chunk.ok()) fn(ids[i], *chunk);
         return Status::OK();  // diagnostics sweep: skip unreadable chunks
       });
+}
+
+void FileChunkStore::ForEachId(
+    const std::function<void(const Hash256&, uint64_t)>& fn) const {
+  // Pure index walk — no segment I/O — so reconciliation and eviction
+  // bookkeeping over a big store stay cheap.
+  for (Shard& shard : shards_) {
+    std::vector<std::pair<Hash256, uint64_t>> snapshot;
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      snapshot.reserve(shard.index.size());
+      for (const auto& [id, loc] : shard.index) {
+        snapshot.emplace_back(id, loc.length);
+      }
+    }
+    // fn runs outside the shard lock: it may call back into the store.
+    for (const auto& [id, len] : snapshot) fn(id, len);
+  }
 }
 
 Status FileChunkStore::Flush() {

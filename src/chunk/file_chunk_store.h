@@ -3,10 +3,24 @@
 // On-disk layout (per directory):
 //   segment-<n>.fbc : sequence of records
 //       [magic u32][hash 32B][len u32][chunk bytes (tag+payload)]
+//       tombstone: [tombstone-magic u32][hash 32B][len=0]
 // Segments roll over at a size threshold. Opening a store scans all segments
 // to rebuild the in-memory hash->location index; torn tails (partial final
 // record after a crash) are truncated away. Chunk immutability makes the
 // format recovery-trivial: records are never updated in place.
+//
+// Space reclamation (the Erase capability): erasing a chunk removes its
+// index entry and appends a tombstone record, so the erase survives reopen
+// (replay drops tombstoned ids in append order). The chunk's bytes become
+// dead space in their segment; per-segment live-byte accounting notices
+// when a closed segment's live ratio falls below Options::compact_live_ratio
+// and rewrites it — live records are streamed in batches into the active
+// segment (the same batch streaming GC's CopyLive uses), their index
+// entries are repointed, and the old segment file is truncated to zero. A
+// crash mid-rewrite leaves duplicate records; replay keeps the first copy
+// and the rewrite simply runs again. Readers race rewrites benignly: a read
+// that loses the location it looked up re-checks the index once and retries
+// at the chunk's new home.
 //
 // Concurrency: the hash->location index is striped across N shards, each
 // behind its own mutex, so lookups (Get/Contains) from different threads
@@ -18,11 +32,14 @@
 // the stdio buffer, and every Put that returned OK survives a process crash
 // (though not a power failure — there is no fsync).
 //
-// Lock order (where both are held): append_mu_ before any shard mutex.
+// Lock order (where several are held): append_mu_ before any shard mutex
+// before seg_mu_ (the per-segment accounting lock is innermost and never
+// calls out).
 #ifndef FORKBASE_CHUNK_FILE_CHUNK_STORE_H_
 #define FORKBASE_CHUNK_FILE_CHUNK_STORE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdio>
 #include <memory>
 #include <mutex>
@@ -54,6 +71,16 @@ class FileChunkStore : public ChunkStore {
     /// power-loss-safe, at one disk sync per Put/PutMany — the cost the
     /// group-commit queue exists to amortize (N commits, one sync).
     bool fsync_on_flush = false;
+    /// Rewrite a closed segment once its live bytes fall below this fraction
+    /// of its file size (erases and tombstones are dead space). 0 disables
+    /// compaction: Erase still drops index entries and appends tombstones,
+    /// but disk space is never given back.
+    double compact_live_ratio = 0.5;
+    /// Run segment rewrites on a background maintenance thread (spawned
+    /// lazily on the first rewrite). Off = rewrites run inline inside the
+    /// Erase/PutMany call that crossed the threshold — deterministic for
+    /// tests, and what keeps space_used() exact for tight budget loops.
+    bool background_compaction = true;
   };
 
   /// Opens (creating if needed) a store rooted at `dir`.
@@ -76,19 +103,52 @@ class FileChunkStore : public ChunkStore {
   Status Put(const Chunk& chunk) override;
   Status PutMany(std::span<const Chunk> chunks) override;
   bool Contains(const Hash256& id) const override;
+  bool SupportsErase() const override { return true; }
+  /// Tombstoned erase: drops each id's index entry and journals a tombstone
+  /// so the erase survives reopen. Dead bytes are reclaimed by segment
+  /// rewrite once a segment's live ratio crosses the threshold.
+  Status Erase(std::span<const Hash256> ids) override;
   ChunkStoreStats stats() const override;
+  /// Actual disk footprint: the sum of all segment file sizes, dead bytes
+  /// included (what a hot-tier budget must bound).
+  uint64_t space_used() const override;
   void ForEach(const std::function<void(const Hash256&, const Chunk&)>& fn)
       const override;
+  void ForEachId(
+      const std::function<void(const Hash256&, uint64_t)>& fn) const override;
 
   /// Flushes buffered writes to the OS. (Put/PutMany already flush before
   /// returning; this remains for explicit barriers and tests.)
   Status Flush();
+
+  /// Blocks until every scheduled background segment rewrite has completed.
+  /// No-op with background_compaction off. Tests (and budget-sensitive
+  /// callers about to measure disk) use this as the quiesce barrier.
+  void WaitForMaintenance();
+
+  struct MaintenanceStats {
+    uint64_t erased_chunks = 0;      ///< ids dropped by Erase
+    uint64_t tombstone_records = 0;  ///< tombstones appended (journal size)
+    uint64_t segments_rewritten = 0;
+    uint64_t rewritten_bytes = 0;    ///< live bytes moved by rewrites
+    uint64_t reclaimed_bytes = 0;    ///< file bytes released by rewrites
+  };
+  MaintenanceStats maintenance_stats() const;
 
  private:
   struct Location {
     uint32_t segment;
     uint64_t offset;  ///< offset of the chunk bytes (past the header)
     uint32_t length;  ///< chunk byte length
+  };
+
+  /// Per-segment space accounting. `total_bytes` tracks the file size (every
+  /// record appended, live or dead); `live_bytes` the records the index
+  /// still points at (headers included). Guarded by seg_mu_.
+  struct SegmentSpace {
+    uint64_t total_bytes = 0;
+    uint64_t live_bytes = 0;
+    bool compaction_scheduled = false;
   };
 
   struct Shard {
@@ -110,6 +170,25 @@ class FileChunkStore : public ChunkStore {
                              const Hash256& id, const Location& loc) const;
   /// Opens the segment of `loc`, reads the record, closes it.
   StatusOr<Chunk> ReadAt(const Hash256& id, const Location& loc) const;
+  /// ReadAt, healing the read-vs-rewrite race: if the read fails and the
+  /// index meanwhile points the id somewhere else (a segment rewrite moved
+  /// it), retry once at the new location.
+  StatusOr<Chunk> ReadAtWithRetry(const Hash256& id, const Location& loc) const;
+
+  /// Records `appended` flushed bytes against `segment` (`live` of them
+  /// index-reachable) under seg_mu_.
+  void NoteAppend(uint32_t segment, uint64_t appended, uint64_t live);
+  /// Subtracts a dropped record's bytes from its segment's live count.
+  void NoteDead(uint32_t segment, uint64_t record_bytes);
+  /// True when `space` is rewrite-worthy (dead-heavy). Caller holds seg_mu_.
+  bool BelowLiveRatio(const SegmentSpace& space) const;
+  /// Queues `segment` for rewrite if it is closed, dead-heavy, and not
+  /// already queued (runs inline when background_compaction is off).
+  /// Caller must hold NO store locks.
+  void MaybeScheduleCompaction(uint32_t segment);
+  /// Streams the live records of `segment` into the active segment,
+  /// repoints their index entries, truncates the old file.
+  void CompactSegment(uint32_t segment);
 
   const std::string dir_;
   const Options options_;
@@ -120,10 +199,20 @@ class FileChunkStore : public ChunkStore {
   std::FILE* append_file_ = nullptr;
   uint32_t append_segment_ = 0;
   uint64_t append_offset_ = 0;
+  /// Mirror of append_segment_ readable without append_mu_ (the compaction
+  /// scheduler must never rewrite the active segment).
+  std::atomic<uint32_t> active_segment_{0};
+
+  mutable std::mutex seg_mu_;  ///< innermost: per-segment space accounting
+  std::unordered_map<uint32_t, SegmentSpace> segments_;
+  std::condition_variable compact_cv_;
+  size_t compactions_pending_ = 0;
 
   // Serves GetManyAsync. Shut down first in the destructor so no background
   // read can outlive the shards or the append stream.
   mutable WorkerPool prefetch_pool_;
+  // Runs segment rewrites; shut down before the append stream closes.
+  WorkerPool compact_pool_;
 
   // Stats are plain atomics so hot paths never take a dedicated stats lock.
   mutable std::atomic<uint64_t> chunk_count_{0};
@@ -132,6 +221,11 @@ class FileChunkStore : public ChunkStore {
   mutable std::atomic<uint64_t> dedup_hits_{0};
   mutable std::atomic<uint64_t> logical_bytes_{0};
   mutable std::atomic<uint64_t> get_calls_{0};
+  std::atomic<uint64_t> erased_chunks_{0};
+  std::atomic<uint64_t> tombstone_records_{0};
+  std::atomic<uint64_t> segments_rewritten_{0};
+  std::atomic<uint64_t> rewritten_bytes_{0};
+  std::atomic<uint64_t> reclaimed_bytes_{0};
 };
 
 }  // namespace forkbase

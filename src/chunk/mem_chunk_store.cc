@@ -95,14 +95,31 @@ bool MemChunkStore::TamperForTesting(const Hash256& id, size_t offset,
   return true;
 }
 
-bool MemChunkStore::EraseForTesting(const Hash256& id) {
+void MemChunkStore::ForEachId(
+    const std::function<void(const Hash256&, uint64_t)>& fn) const {
+  // Snapshot first: fn runs outside the lock so it may call back into the
+  // store — the same re-entrancy contract FileChunkStore::ForEachId gives.
+  std::vector<std::pair<Hash256, uint64_t>> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot.reserve(chunks_.size());
+    for (const auto& [id, bytes] : chunks_) {
+      snapshot.emplace_back(id, bytes.size());
+    }
+  }
+  for (const auto& [id, size] : snapshot) fn(id, size);
+}
+
+Status MemChunkStore::Erase(std::span<const Hash256> ids) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = chunks_.find(id);
-  if (it == chunks_.end()) return false;
-  stats_.physical_bytes -= it->second.size();
-  --stats_.chunk_count;
-  chunks_.erase(it);
-  return true;
+  for (const Hash256& id : ids) {
+    auto it = chunks_.find(id);
+    if (it == chunks_.end()) continue;
+    stats_.physical_bytes -= it->second.size();
+    --stats_.chunk_count;
+    chunks_.erase(it);
+  }
+  return Status::OK();
 }
 
 }  // namespace forkbase

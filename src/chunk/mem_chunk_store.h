@@ -25,17 +25,21 @@ class MemChunkStore : public ChunkStore {
   Status Put(const Chunk& chunk) override;
   Status PutMany(std::span<const Chunk> chunks) override;
   bool Contains(const Hash256& id) const override;
+  /// Erase support (the former test-only hook, promoted to the interface so
+  /// capacity managers can reclaim memory): drops each present id and its
+  /// bytes; absent ids are no-ops.
+  bool SupportsErase() const override { return true; }
+  Status Erase(std::span<const Hash256> ids) override;
   ChunkStoreStats stats() const override;
   void ForEach(const std::function<void(const Hash256&, const Chunk&)>& fn)
       const override;
+  void ForEachId(
+      const std::function<void(const Hash256&, uint64_t)>& fn) const override;
 
   /// Malicious-provider simulation: XORs `xor_mask` into byte `offset` of the
   /// chunk stored under `id`, leaving the index untouched. Returns false if
   /// the chunk is absent or the offset out of range.
   bool TamperForTesting(const Hash256& id, size_t offset, uint8_t xor_mask);
-
-  /// Drops a chunk (simulates data loss). Returns true if it was present.
-  bool EraseForTesting(const Hash256& id);
 
  private:
   mutable std::mutex mu_;

@@ -67,10 +67,21 @@ class RemoteChunkStore : public ChunkStore {
   Status PutMany(std::span<const Chunk> chunks) override;
   /// Local index probe (the client-side manifest); no round trip simulated.
   bool Contains(const Hash256& id) const override;
+  /// Administrative space reclamation (a server-side delete); bypasses the
+  /// network sim like ForEach.
+  bool SupportsErase() const override { return backend_->SupportsErase(); }
+  Status Erase(std::span<const Hash256> ids) override {
+    return backend_->Erase(ids);
+  }
+  uint64_t space_used() const override { return backend_->space_used(); }
   ChunkStoreStats stats() const override { return backend_->stats(); }
   /// Administrative sweep (GC, integrity checks); bypasses the network sim.
   void ForEach(const std::function<void(const Hash256&, const Chunk&)>& fn)
       const override;
+  void ForEachId(
+      const std::function<void(const Hash256&, uint64_t)>& fn) const override {
+    backend_->ForEachId(fn);
+  }
 
  private:
   /// Sleeps out the round-trip latency plus the transfer time of

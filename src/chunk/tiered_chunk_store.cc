@@ -28,12 +28,202 @@ TieredChunkStore::TieredChunkStore(std::shared_ptr<ChunkStore> hot,
                                    Options options)
     : hot_(std::move(hot)),
       cold_(std::move(cold)),
-      options_(options),
-      demote_pool_(1) {}
+      options_(std::move(options)),
+      meta_(kMetaShards),
+      demote_pool_(1) {
+  // Restore the dirty set a previous incarnation left behind. With a
+  // manifest that replayed an existing journal, its word is authoritative:
+  // demotion resumes exactly where the crash left it. With a manifest whose
+  // file was missing (first open, or the journal was lost with the disk),
+  // fall back to reconciling the tiers: anything hot-resident the cold tier
+  // lacks is an undemoted write-back chunk.
+  std::vector<Hash256> restored;
+  if (options_.policy == TierPolicy::kWriteBack && options_.dirty_manifest) {
+    DirtyManifest& manifest = *options_.dirty_manifest;
+    if (manifest.existed()) {
+      restored = manifest.DirtyIds();
+    } else {
+      hot_->ForEachId([&](const Hash256& id, uint64_t size) {
+        (void)size;
+        if (!cold_->Contains(id)) restored.push_back(id);
+      });
+      if (!restored.empty()) (void)manifest.MarkDirty(restored);
+    }
+  }
+  std::unordered_set<Hash256, Hash256Hasher> restored_set(restored.begin(),
+                                                          restored.end());
+  // Seed the eviction tracker from the hot tier's index (an id walk, no
+  // chunk reads): restored-dirty chunks enter pinned, the rest clean.
+  if (tracking()) {
+    hot_->ForEachId([&](const Hash256& id, uint64_t size) {
+      NoteHot(id, size, restored_set.count(id) > 0);
+    });
+  }
+  if (!restored.empty()) {
+    std::vector<Hash256> batch;
+    {
+      std::lock_guard<std::mutex> lock(dirty_mu_);
+      dirty_.insert(restored.begin(), restored.end());
+      if (options_.background_demotion &&
+          dirty_.size() >= options_.write_back_watermark) {
+        batch.assign(dirty_.begin(), dirty_.end());
+        dirty_.clear();
+        ++demotions_in_flight_;
+      }
+    }
+    if (!batch.empty()) ScheduleDemotion(std::move(batch));
+  }
+  EnforceHotBudget();
+}
 
 TieredChunkStore::~TieredChunkStore() {
   (void)FlushColdTier();  // best effort; failures leave chunks hot-only
   demote_pool_.Shutdown();
+}
+
+// ---- hot-residency tracker ------------------------------------------------
+
+TieredChunkStore::MetaShard& TieredChunkStore::MetaShardFor(
+    const Hash256& id) const {
+  return meta_[id.bytes[1] % kMetaShards];
+}
+
+bool TieredChunkStore::NoteHot(const Hash256& id, uint64_t size,
+                               bool dirty) const {
+  if (!tracking()) return dirty;  // untracked: every write-back put queues
+  MetaShard& shard = MetaShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(id);
+  if (it != shard.map.end()) {
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    // Never clean -> dirty: a clean entry is cold-resident (same id, same
+    // bytes — the demotion already happened), and a dirty entry is already
+    // queued or riding an in-flight drain.
+    return false;
+  }
+  shard.lru.push_front(MetaEntry{id, size, dirty});
+  shard.map.emplace(id, shard.lru.begin());
+  hot_bytes_.fetch_add(size, std::memory_order_relaxed);
+  if (dirty) pinned_dirty_bytes_.fetch_add(size, std::memory_order_relaxed);
+  return dirty;
+}
+
+void TieredChunkStore::TouchHot(const Hash256& id) const {
+  if (!tracking()) return;
+  MetaShard& shard = MetaShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(id);
+  if (it != shard.map.end()) {
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  }
+}
+
+void TieredChunkStore::MarkCleanMeta(std::span<const Hash256> ids) const {
+  if (!tracking()) return;
+  for (const Hash256& id : ids) {
+    MetaShard& shard = MetaShardFor(id);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(id);
+    if (it == shard.map.end() || !it->second->dirty) continue;
+    it->second->dirty = false;
+    pinned_dirty_bytes_.fetch_sub(it->second->size,
+                                  std::memory_order_relaxed);
+  }
+}
+
+void TieredChunkStore::ForgetHot(std::span<const Hash256> ids) const {
+  if (!tracking()) return;
+  for (const Hash256& id : ids) {
+    MetaShard& shard = MetaShardFor(id);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(id);
+    if (it == shard.map.end()) continue;
+    hot_bytes_.fetch_sub(it->second->size, std::memory_order_relaxed);
+    if (it->second->dirty) {
+      pinned_dirty_bytes_.fetch_sub(it->second->size,
+                                    std::memory_order_relaxed);
+    }
+    shard.lru.erase(it->second);
+    shard.map.erase(it);
+  }
+}
+
+std::vector<std::pair<Hash256, uint64_t>> TieredChunkStore::CollectVictims(
+    size_t max_n) const {
+  std::vector<std::pair<Hash256, uint64_t>> victims;
+  // Rotate the starting shard so repeated passes spread wear instead of
+  // draining shard 0 first.
+  const size_t start =
+      evict_cursor_.fetch_add(1, std::memory_order_relaxed) % kMetaShards;
+  for (size_t s = 0; s < kMetaShards && victims.size() < max_n; ++s) {
+    MetaShard& shard = meta_[(start + s) % kMetaShards];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.lru.end();
+    while (it != shard.lru.begin() && victims.size() < max_n) {
+      --it;
+      if (it->dirty) continue;  // pinned until demotion lands
+      victims.emplace_back(it->id, it->size);
+      hot_bytes_.fetch_sub(it->size, std::memory_order_relaxed);
+      shard.map.erase(it->id);
+      it = shard.lru.erase(it);
+    }
+  }
+  return victims;
+}
+
+void TieredChunkStore::EnforceHotBudget() const {
+  if (!tracking() || !hot_->SupportsErase()) return;
+  // One pass at a time; a racing caller's over-budget state is this pass's
+  // to fix.
+  if (!evict_mu_.try_lock()) return;
+  std::lock_guard<std::mutex> lock(evict_mu_, std::adopt_lock);
+  const uint64_t budget = options_.hot_bytes_budget;
+  const uint64_t space = hot_->space_used();
+  if (space <= budget) return;
+  // Evict as if each erase frees its chunk immediately; the hot tier's own
+  // reclamation (segment rewrite) catches up, and the next pass re-reads
+  // the real footprint. Estimating by chunk size (without framing overhead)
+  // under-counts, which errs toward evicting slightly more — the safe side
+  // of a budget.
+  uint64_t need = space - budget;
+  uint64_t freed = 0;
+  while (freed < need) {
+    auto victims = CollectVictims(options_.evict_batch);
+    if (victims.empty()) break;  // everything left is pinned dirty
+    std::vector<Hash256> confirmed;
+    std::vector<uint64_t> confirmed_sizes;
+    confirmed.reserve(victims.size());
+    confirmed_sizes.reserve(victims.size());
+    for (const auto& [id, size] : victims) {
+      // Final safety check: only erase what the cold tier provably holds.
+      // A clean entry whose chunk the cold tier lacks (a lost manifest, a
+      // cold tier swapped out from under us) re-enters the dirty pipeline
+      // instead of being dropped.
+      if (cold_->Contains(id)) {
+        confirmed.push_back(id);
+        confirmed_sizes.push_back(size);
+        freed += size;
+      } else {
+        NoteHot(id, size, true);
+        std::lock_guard<std::mutex> dirty_lock(dirty_mu_);
+        dirty_.insert(id);
+      }
+    }
+    if (confirmed.empty()) continue;
+    if (!hot_->Erase(confirmed).ok()) {
+      // The erase may have partially applied (FileChunkStore's in-memory
+      // erase stands even when its tombstone journal fails), so put the
+      // victims back in the tracker as clean rather than losing them from
+      // the budget's books: a still-resident chunk stays evictable, and a
+      // tracker entry for one that did go is harmless (the next eviction
+      // pass forgets it again via an idempotent erase).
+      for (size_t i = 0; i < confirmed.size(); ++i) {
+        NoteHot(confirmed[i], confirmed_sizes[i], false);
+      }
+      break;
+    }
+    evictions_.fetch_add(confirmed.size(), std::memory_order_relaxed);
+  }
 }
 
 // ---- writes ---------------------------------------------------------------
@@ -46,29 +236,59 @@ Status TieredChunkStore::Put(const Chunk& chunk) {
 Status TieredChunkStore::PutMany(std::span<const Chunk> chunks) {
   FB_RETURN_IF_ERROR(hot_->PutMany(chunks));
   if (options_.policy == TierPolicy::kWriteThrough) {
-    return cold_->PutMany(chunks);
+    // Track hot residency before attempting the cold write: the chunks
+    // occupy hot-tier space whether or not the cold tier accepts them, and
+    // an untracked chunk is invisible to the budget until reopen. Marking
+    // them clean is safe even when the cold write then fails — the
+    // evictor's final cold_->Contains check refuses to drop a chunk the
+    // cold tier does not hold.
+    for (const Chunk& chunk : chunks) {
+      NoteHot(chunk.hash(), chunk.size(), /*dirty=*/false);
+    }
+    Status cold_status = cold_->PutMany(chunks);
+    EnforceHotBudget();
+    return cold_status;
   }
-  MarkDirty(chunks);
-  return Status::OK();
+  Status status = MarkDirty(chunks);
+  EnforceHotBudget();
+  return status;
 }
 
-void TieredChunkStore::MarkDirty(std::span<const Chunk> chunks) {
+Status TieredChunkStore::MarkDirty(std::span<const Chunk> chunks) {
+  // The tracker decides which chunks truly need demotion: re-puts of clean
+  // (already-demoted) chunks and of already-queued dirty ones are skipped.
+  std::vector<Hash256> newly_dirty;
+  newly_dirty.reserve(chunks.size());
+  for (const Chunk& chunk : chunks) {
+    if (NoteHot(chunk.hash(), chunk.size(), /*dirty=*/true)) {
+      newly_dirty.push_back(chunk.hash());
+    }
+  }
+  // Journal before acknowledging: an id must be recoverable as dirty the
+  // instant its Put returns. On journal failure the in-memory pipeline
+  // still runs (this process will demote), but the caller learns its
+  // durability guarantee degraded.
+  Status journal;
+  if (!newly_dirty.empty() && options_.dirty_manifest) {
+    journal = options_.dirty_manifest->MarkDirty(newly_dirty);
+  }
   std::vector<Hash256> batch;
   {
     std::lock_guard<std::mutex> lock(dirty_mu_);
-    for (const Chunk& chunk : chunks) dirty_.insert(chunk.hash());
-    if (!options_.background_demotion) return;
-    if (dirty_.size() < options_.write_back_watermark) return;
+    dirty_.insert(newly_dirty.begin(), newly_dirty.end());
+    if (!options_.background_demotion) return journal;
+    if (dirty_.size() < options_.write_back_watermark) return journal;
     // One drain in flight at a time; the set keeps absorbing new ids while
     // the previous drain runs, and the drain's completion re-checks the
     // watermark itself (ScheduleDemotion), so a burst that outruns one
     // drain still demotes without waiting for the next Put.
-    if (demotions_in_flight_ > 0) return;
+    if (demotions_in_flight_ > 0) return journal;
     batch.assign(dirty_.begin(), dirty_.end());
     dirty_.clear();
     ++demotions_in_flight_;
   }
   ScheduleDemotion(std::move(batch));
+  return journal;
 }
 
 void TieredChunkStore::ScheduleDemotion(std::vector<Hash256> batch) {
@@ -108,8 +328,9 @@ Status TieredChunkStore::DemoteIds(std::vector<Hash256> ids) {
       } else if (read_error.ok() && !slot.status().IsNotFound()) {
         read_error = slot.status();
       }
-      // kNotFound: the chunk left the hot tier (external cleanup); there is
-      // nothing to copy, so it is dropped rather than retried forever.
+      // kNotFound: the chunk left the hot tier (evicted after its earlier
+      // demotion, or external cleanup); there is nothing to copy, so it is
+      // dropped rather than retried forever.
     }
     Status status = read_error;
     if (status.ok() && !chunks.empty()) {
@@ -124,7 +345,16 @@ Status TieredChunkStore::DemoteIds(std::vector<Hash256> ids) {
       dirty_.insert(ids.begin() + static_cast<ptrdiff_t>(start), ids.end());
       return status;
     }
+    // The whole sub-batch is settled: landed chunks are cold-resident, and
+    // vanished ids have nothing left to demote. Clear the journal, unpin
+    // the tracker entries, and let the evictor reclaim what the drain just
+    // made evictable.
+    if (options_.dirty_manifest) {
+      (void)options_.dirty_manifest->MarkClean(sub);
+    }
+    MarkCleanMeta(sub);
     demotions_.fetch_add(chunks.size(), std::memory_order_relaxed);
+    EnforceHotBudget();
     start += n;
   }
   return Status::OK();
@@ -142,6 +372,33 @@ Status TieredChunkStore::FlushColdTier() {
   return DemoteIds(std::move(ids));
 }
 
+Status TieredChunkStore::Erase(std::span<const Hash256> ids) {
+  // An erased chunk must not come back as a demotion: wait out any
+  // in-flight drain (its batch snapshot may hold these ids and would
+  // re-write them to the cold tier — or, on failure, re-queue them —
+  // after our erase), then clear the pipeline, then the tiers. Erase is
+  // an administrative operation; pausing it behind a drain is fine.
+  {
+    std::unique_lock<std::mutex> lock(dirty_mu_);
+    demote_cv_.wait(lock, [&] { return demotions_in_flight_ == 0; });
+    for (const Hash256& id : ids) dirty_.erase(id);
+  }
+  if (options_.dirty_manifest) {
+    (void)options_.dirty_manifest->MarkClean(ids);
+  }
+  ForgetHot(ids);
+  Status status;
+  if (hot_->SupportsErase()) {
+    Status hot_status = hot_->Erase(ids);
+    if (status.ok()) status = hot_status;
+  }
+  if (cold_->SupportsErase()) {
+    Status cold_status = cold_->Erase(ids);
+    if (status.ok()) status = cold_status;
+  }
+  return status;
+}
+
 // ---- reads ----------------------------------------------------------------
 
 StatusOr<Chunk> TieredChunkStore::Get(const Hash256& id) const {
@@ -149,6 +406,7 @@ StatusOr<Chunk> TieredChunkStore::Get(const Hash256& id) const {
   auto hot = hot_->Get(id);
   if (hot.ok()) {
     hot_hits_.fetch_add(1, std::memory_order_relaxed);
+    TouchHot(id);
     return hot;
   }
   // Surface a real hot-tier error; only kNotFound goes to the cold tier.
@@ -162,6 +420,8 @@ StatusOr<Chunk> TieredChunkStore::Get(const Hash256& id) const {
       // cold tier already served.
       if (hot_->PutMany(std::span<const Chunk>(one, 1)).ok()) {
         promotions_.fetch_add(1, std::memory_order_relaxed);
+        NoteHot(id, cold->size(), /*dirty=*/false);
+        EnforceHotBudget();
       }
     }
     return cold;
@@ -209,14 +469,16 @@ std::vector<StatusOr<Chunk>> TieredChunkStore::MergeTiers(
   std::vector<std::optional<StatusOr<Chunk>>> out(total);
   uint64_t hot_hits = 0;
   // A hot-probed id whose read came back kNotFound (the hot copy vanished
-  // between the partition probe and the read) gets one cold retry below —
-  // the mirror of the cold-miss → hot retry — so the batch paths never
-  // report absent for a chunk the scalar path would serve.
+  // between the partition probe and the read — eviction races do exactly
+  // this) gets one cold retry below — the mirror of the cold-miss → hot
+  // retry — so the batch paths never report absent for a chunk the scalar
+  // path would serve.
   std::vector<Hash256> hot_miss_ids;
   std::vector<size_t> hot_miss_out;
   for (size_t i = 0; i < hot_slots.size(); ++i) {
     if (hot_slots[i].ok()) {
       ++hot_hits;
+      TouchHot(partition.hot_ids[i]);
     } else if (hot_slots[i].status().IsNotFound()) {
       hot_miss_ids.push_back(partition.hot_ids[i]);
       hot_miss_out.push_back(partition.hot_slots[i]);
@@ -267,6 +529,10 @@ std::vector<StatusOr<Chunk>> TieredChunkStore::MergeTiers(
   DedupByHash(&promoted);
   if (!promoted.empty() && hot_->PutMany(promoted).ok()) {
     promotions_.fetch_add(promoted.size(), std::memory_order_relaxed);
+    for (const Chunk& chunk : promoted) {
+      NoteHot(chunk.hash(), chunk.size(), /*dirty=*/false);
+    }
+    EnforceHotBudget();
   }
   hot_hits_.fetch_add(hot_hits, std::memory_order_relaxed);
   cold_hits_.fetch_add(cold_hits, std::memory_order_relaxed);
@@ -285,6 +551,7 @@ void TieredChunkStore::ResolveHotMisses(
   for (size_t i = 0; i < slots->size(); ++i) {
     if ((*slots)[i].ok()) {
       ++hits;
+      TouchHot(ids[i]);
     } else if ((*slots)[i].status().IsNotFound()) {
       miss_ids.push_back(ids[i]);
       miss_slots.push_back(i);
@@ -305,6 +572,10 @@ void TieredChunkStore::ResolveHotMisses(
   DedupByHash(&promoted);
   if (!promoted.empty() && hot_->PutMany(promoted).ok()) {
     promotions_.fetch_add(promoted.size(), std::memory_order_relaxed);
+    for (const Chunk& chunk : promoted) {
+      NoteHot(chunk.hash(), chunk.size(), /*dirty=*/false);
+    }
+    EnforceHotBudget();
   }
   cold_hits_.fetch_add(cold_hits, std::memory_order_relaxed);
 }
@@ -408,11 +679,23 @@ ChunkStoreStats TieredChunkStore::stats() const {
   ChunkStoreStats hot = hot_->stats();
   ChunkStoreStats cold = cold_->stats();
   ChunkStoreStats s = hot;
-  // Lower bound on distinct chunks: exact whenever one tier holds a
-  // superset (steady write-through, write-back before reopening), an
-  // undercount in the mixed state (reopened fresh hot + new undemoted
-  // writes). Counting the union would cost a full ForEach sweep.
-  s.chunk_count = std::max(hot.chunk_count, cold.chunk_count);
+  // Exact distinct-chunk union via two index walks and a seen-set (no
+  // chunk reads) — where the old max(hot, cold) lower bound undercounted
+  // mixed states. Counting this way (rather than cold.chunk_count +
+  // hot-only probes) is also stable under racing drains and evictions: a
+  // chunk mid-demotion or mid-promotion is resident in at least one walked
+  // tier for the whole walk, and the seen-set collapses double residency.
+  std::unordered_set<Hash256, Hash256Hasher> seen;
+  hot_->ForEachId([&](const Hash256& id, uint64_t size) {
+    (void)size;
+    seen.insert(id);
+  });
+  uint64_t cold_only = 0;
+  cold_->ForEachId([&](const Hash256& id, uint64_t size) {
+    (void)size;
+    if (!seen.count(id)) ++cold_only;
+  });
+  s.chunk_count = seen.size() + cold_only;
   s.physical_bytes = hot.physical_bytes + cold.physical_bytes;
   return s;
 }
@@ -429,12 +712,28 @@ void TieredChunkStore::ForEach(
   });
 }
 
+void TieredChunkStore::ForEachId(
+    const std::function<void(const Hash256&, uint64_t)>& fn) const {
+  std::unordered_set<Hash256, Hash256Hasher> seen;
+  hot_->ForEachId([&](const Hash256& id, uint64_t size) {
+    seen.insert(id);
+    fn(id, size);
+  });
+  cold_->ForEachId([&](const Hash256& id, uint64_t size) {
+    if (!seen.count(id)) fn(id, size);
+  });
+}
+
 TieredChunkStore::TierStats TieredChunkStore::tier_stats() const {
   TierStats stats;
   stats.hot_hits = hot_hits_.load(std::memory_order_relaxed);
   stats.cold_hits = cold_hits_.load(std::memory_order_relaxed);
   stats.promotions = promotions_.load(std::memory_order_relaxed);
   stats.demotions = demotions_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.hot_bytes = hot_bytes_.load(std::memory_order_relaxed);
+  stats.pinned_dirty_bytes =
+      pinned_dirty_bytes_.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(dirty_mu_);
   stats.dirty_pending = dirty_.size();
   return stats;

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "chunk/file_chunk_store.h"
+#include "chunk/tiered_chunk_store.h"
 #include "store/forkbase.h"
 #include "store/bundle.h"
 #include "store/gc.h"
@@ -99,6 +100,16 @@ Status ParseArgs(const std::vector<std::string>& args, CliContext* ctx) {
         return Status::InvalidArgument(
             "--tier-policy expects write-through or write-back, got " + v);
       }
+    } else if (a == "--tier-hot-budget-mb") {
+      std::string v;
+      FB_RETURN_IF_ERROR(next(&v));
+      FB_ASSIGN_OR_RETURN(uint64_t n, ParseCount(a, v, 1u << 20));
+      if (n == 0) {
+        return Status::InvalidArgument(
+            "--tier-hot-budget-mb must be >= 1 (omit the flag for an "
+            "unbounded hot tier)");
+      }
+      ctx->open.hot_bytes_budget = n << 20;
     } else if (a == "--group-commit") {
       ctx->open.options.group_commit = true;
     } else if (a == "--fsync") {
@@ -112,6 +123,11 @@ Status ParseArgs(const std::vector<std::string>& args, CliContext* ctx) {
   if (saw_tier_policy && ctx->open.tier_cold_dir.empty()) {
     return Status::InvalidArgument(
         "--tier-policy requires --tier-cold DIR (no cold tier configured)");
+  }
+  if (ctx->open.hot_bytes_budget > 0 && ctx->open.tier_cold_dir.empty()) {
+    return Status::InvalidArgument(
+        "--tier-hot-budget-mb requires --tier-cold DIR (an unbounded "
+        "single-tier store has nowhere to evict to)");
   }
   return Status::OK();
 }
@@ -379,6 +395,19 @@ Status RunCommand(const std::string& cmd, CliContext& ctx, ForkBase& db,
         << "logical_bytes:   " << stats.chunks.logical_bytes << "\n"
         << "dedup_hits:      " << stats.chunks.dedup_hits << "\n"
         << "dedup_ratio:     " << stats.chunks.DedupRatio() << "\n";
+    if (TieredChunkStore* tiered = db.tiered()) {
+      auto tier = tiered->tier_stats();
+      out << "tier_hot_space:  " << tiered->hot()->space_used() << "\n"
+          << "tier_hot_budget: " << ctx.open.hot_bytes_budget << "\n"
+          << "tier_hot_bytes:  " << tier.hot_bytes << "\n"
+          << "tier_pinned_dirty_bytes: " << tier.pinned_dirty_bytes << "\n"
+          << "tier_dirty_pending:      " << tier.dirty_pending << "\n"
+          << "tier_hot_hits:   " << tier.hot_hits << "\n"
+          << "tier_cold_hits:  " << tier.cold_hits << "\n"
+          << "tier_promotions: " << tier.promotions << "\n"
+          << "tier_demotions:  " << tier.demotions << "\n"
+          << "tier_evictions:  " << tier.evictions << "\n";
+    }
     return Status::OK();
   }
   return Status::InvalidArgument("unknown command " + cmd + "; see help");
@@ -392,6 +421,7 @@ std::string CliUsage() {
       "             [--prefetch-threads N] [--prefetch-depth N]\n"
       "             [--cache-mb N] [--group-commit] [--fsync]\n"
       "             [--tier-cold DIR] [--tier-policy write-through|write-back]\n"
+      "             [--tier-hot-budget-mb N]\n"
       "             CMD ...\n"
       "  put KEY VALUE          commit a string value\n"
       "  put-blob KEY FILE      commit a file as a blob\n"

@@ -1,5 +1,6 @@
 #include "store/forkbase.h"
 
+#include <algorithm>
 #include <queue>
 #include <unordered_set>
 
@@ -37,9 +38,18 @@ StatusOr<std::unique_ptr<ForkBase>> ForkBase::OpenPersistent(
   FileChunkStore::Options store_options;
   store_options.prefetch_threads = open_options.prefetch_threads;
   store_options.fsync_on_flush = open_options.fsync;
+  if (open_options.hot_bytes_budget > 0) {
+    // A bounded hot tier wants segments much smaller than the budget:
+    // eviction reclaims disk at segment-rewrite granularity, and the
+    // budget's slack is "one active segment". Keep several segments per
+    // budget, within sane bounds.
+    store_options.segment_bytes = std::clamp<uint64_t>(
+        open_options.hot_bytes_budget / 8, 1ull << 20, 64ull << 20);
+  }
   FB_ASSIGN_OR_RETURN(auto file_store,
                       FileChunkStore::Open(dir, store_options));
   std::shared_ptr<ChunkStore> backing(std::move(file_store));
+  std::shared_ptr<TieredChunkStore> tiered;
   if (!open_options.tier_cold_dir.empty()) {
     // Tiered stack: `dir` is the hot tier, tier_cold_dir the cold backend.
     // The cold store keeps a prefetch worker even when the hot tier runs
@@ -56,13 +66,24 @@ StatusOr<std::unique_ptr<ForkBase>> ForkBase::OpenPersistent(
     tier_options.policy = open_options.tier_write_back
                               ? TierPolicy::kWriteBack
                               : TierPolicy::kWriteThrough;
-    backing = std::make_shared<TieredChunkStore>(
+    tier_options.hot_bytes_budget = open_options.hot_bytes_budget;
+    if (open_options.tier_write_back) {
+      // The persistent dirty manifest lives beside the hot segments: a
+      // reopened write-back stack resumes demotion where the last process
+      // stopped (crash included) instead of silently abandoning it.
+      FB_ASSIGN_OR_RETURN(auto manifest, DirtyManifest::Open(dir));
+      tier_options.dirty_manifest = std::move(manifest);
+    }
+    tiered = std::make_shared<TieredChunkStore>(
         std::move(backing), std::shared_ptr<ChunkStore>(std::move(cold_store)),
-        tier_options);
+        std::move(tier_options));
+    backing = tiered;
   }
   auto cache = std::make_shared<CachingChunkStore>(std::move(backing),
                                                    open_options.cache_bytes);
-  return std::make_unique<ForkBase>(std::move(cache), open_options.options);
+  auto db = std::make_unique<ForkBase>(std::move(cache), open_options.options);
+  db->tiered_store_ = std::move(tiered);
+  return db;
 }
 
 StatusOr<Hash256> ForkBase::Commit(const std::string& key, const Value& value,

@@ -70,6 +70,7 @@ struct ForkBaseStats {
 };
 
 class CommitQueue;
+class TieredChunkStore;
 
 class ForkBase {
  public:
@@ -107,8 +108,16 @@ class ForkBase {
     std::string tier_cold_dir;
     /// Cold-tier write policy: false = write-through (every commit reaches
     /// both tiers before returning), true = write-back (commits land hot
-    /// and demote in batches at the watermark / on close).
+    /// and demote in batches at the watermark / on close). Write-back
+    /// stacks persist their dirty set in a manifest journaled beside the
+    /// hot segments, so a reopened store resumes demotion where a crash
+    /// left it.
     bool tier_write_back = false;
+    /// Hot-tier disk budget in bytes (tiered stacks only; 0 = unbounded).
+    /// Caps the hot directory's segment usage: cold-resident clean chunks
+    /// are evicted LRU-first past the budget, dirty chunks stay pinned
+    /// until demoted. See TieredChunkStore::Options::hot_bytes_budget.
+    uint64_t hot_bytes_budget = 0;
     Options options;  ///< group-commit etc.
   };
 
@@ -124,6 +133,11 @@ class ForkBase {
 
   ChunkStore* store() { return store_.get(); }
   const ChunkStore* store() const { return store_.get(); }
+  /// The tiered layer of an OpenPersistent stack opened with a cold tier
+  /// (null otherwise) — the CLI surfaces its tier_stats() and tests drive
+  /// flushes through it.
+  TieredChunkStore* tiered() { return tiered_store_.get(); }
+  const TieredChunkStore* tiered() const { return tiered_store_.get(); }
   BranchTable& branches() { return branch_table_; }
 
   // -- Writes ---------------------------------------------------------------
@@ -285,6 +299,9 @@ class ForkBase {
   Status VerifyValue(const Value& value) const;
 
   std::shared_ptr<ChunkStore> store_;
+  /// Set by OpenPersistent for tiered stacks; aliases a layer inside
+  /// store_'s decorator chain.
+  std::shared_ptr<TieredChunkStore> tiered_store_;
   BranchTable branch_table_;
   std::atomic<uint64_t> clock_{0};
   std::atomic<uint64_t> commits_{0};

@@ -2,8 +2,10 @@
 // accounting, file-store persistence/recovery, LRU caching.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 
 #include "chunk/caching_chunk_store.h"
 #include "chunk/file_chunk_store.h"
@@ -105,13 +107,24 @@ TEST(MemChunkStoreTest, TamperRejectsBadTargets) {
   EXPECT_FALSE(store.TamperForTesting(c.hash(), 1000, 1));
 }
 
-TEST(MemChunkStoreTest, EraseForTesting) {
+TEST(MemChunkStoreTest, EraseReclaimsSpaceAndIgnoresAbsentIds) {
   MemChunkStore store;
+  ASSERT_TRUE(store.SupportsErase());
   Chunk c = MakeTestChunk("gone");
+  Chunk kept = MakeTestChunk("kept");
   ASSERT_TRUE(store.Put(c).ok());
-  EXPECT_TRUE(store.EraseForTesting(c.hash()));
+  ASSERT_TRUE(store.Put(kept).ok());
+  // Erasing a present id and an absent one in one batch: the present chunk
+  // goes, the absent id is a no-op (mirroring Put's idempotence).
+  std::vector<Hash256> ids{c.hash(), Sha256(Slice("never-stored"))};
+  ASSERT_TRUE(store.Erase(ids).ok());
   EXPECT_FALSE(store.Contains(c.hash()));
-  EXPECT_EQ(store.stats().chunk_count, 0u);
+  EXPECT_TRUE(store.Contains(kept.hash()));
+  EXPECT_EQ(store.stats().chunk_count, 1u);
+  EXPECT_EQ(store.space_used(), kept.size());
+  // Erase is idempotent.
+  ASSERT_TRUE(store.Erase(ids).ok());
+  EXPECT_EQ(store.stats().chunk_count, 1u);
 }
 
 // -------------------------------------------------------- FileChunkStore --
@@ -299,6 +312,202 @@ TEST(CachingChunkStoreTest, MissFallsThroughToBase) {
   EXPECT_EQ(cache.cache_stats().misses, 1u);
   ASSERT_TRUE(cache.Get(c.hash()).ok());
   EXPECT_EQ(cache.cache_stats().hits, 1u);
+}
+
+TEST(CachingChunkStoreTest, EraseDropsCachedCopyAndPassesThrough) {
+  auto base = std::make_shared<MemChunkStore>();
+  CachingChunkStore cache(base, 1 << 20);
+  Chunk c = MakeTestChunk("cached then erased");
+  ASSERT_TRUE(cache.Put(c).ok());
+  ASSERT_TRUE(cache.Get(c.hash()).ok());  // resident in the cache shard
+  ASSERT_TRUE(cache.SupportsErase());
+  ASSERT_TRUE(cache.Erase(std::vector<Hash256>{c.hash()}).ok());
+  // Gone from the base AND not served from a stale cache entry.
+  EXPECT_FALSE(base->Contains(c.hash()));
+  EXPECT_TRUE(cache.Get(c.hash()).status().IsNotFound());
+}
+
+// ---------------------------------------- FileChunkStore erase & rewrite --
+
+TEST_F(FileChunkStoreTest, EraseSurvivesReopenViaTombstones) {
+  FileChunkStore::Options options;
+  options.compact_live_ratio = 0;  // isolate the tombstone journal
+  std::vector<Hash256> kept, erased;
+  {
+    auto store = FileChunkStore::Open(dir_, options);
+    ASSERT_TRUE(store.ok());
+    for (int i = 0; i < 10; ++i) {
+      Chunk c = MakeTestChunk("erase-reopen-" + std::to_string(i));
+      ASSERT_TRUE((*store)->Put(c).ok());
+      (i % 2 ? kept : erased).push_back(c.hash());
+    }
+    ASSERT_TRUE((*store)->SupportsErase());
+    ASSERT_TRUE((*store)->Erase(erased).ok());
+    for (const auto& id : erased) {
+      EXPECT_FALSE((*store)->Contains(id));
+      EXPECT_TRUE((*store)->Get(id).status().IsNotFound());
+    }
+    EXPECT_EQ((*store)->stats().chunk_count, kept.size());
+    EXPECT_EQ((*store)->maintenance_stats().erased_chunks, erased.size());
+    EXPECT_EQ((*store)->maintenance_stats().tombstone_records, erased.size());
+  }
+  // The tombstones replay on reopen: erased stays erased, kept stays kept.
+  auto reopened = FileChunkStore::Open(dir_, options);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->stats().chunk_count, kept.size());
+  for (const auto& id : erased) EXPECT_FALSE((*reopened)->Contains(id));
+  for (const auto& id : kept) EXPECT_TRUE((*reopened)->Get(id).ok());
+}
+
+TEST_F(FileChunkStoreTest, RePutAfterEraseSurvivesReopen) {
+  // Record, tombstone, fresh record — replay must land on "present".
+  FileChunkStore::Options options;
+  options.compact_live_ratio = 0;
+  Chunk c = MakeTestChunk("phoenix");
+  {
+    auto store = FileChunkStore::Open(dir_, options);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Put(c).ok());
+    ASSERT_TRUE((*store)->Erase(std::vector<Hash256>{c.hash()}).ok());
+    ASSERT_FALSE((*store)->Contains(c.hash()));
+    ASSERT_TRUE((*store)->Put(c).ok());
+    ASSERT_TRUE((*store)->Get(c.hash()).ok());
+  }
+  auto reopened = FileChunkStore::Open(dir_, options);
+  ASSERT_TRUE(reopened.ok());
+  auto got = (*reopened)->Get(c.hash());
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->payload().ToString(), "phoenix");
+}
+
+TEST_F(FileChunkStoreTest, SegmentRewriteReclaimsDiskSpace) {
+  FileChunkStore::Options options;
+  options.segment_bytes = 4096;         // many small segments
+  options.compact_live_ratio = 0.5;
+  options.background_compaction = false;  // deterministic: rewrite inline
+  auto store_or = FileChunkStore::Open(dir_, options);
+  ASSERT_TRUE(store_or.ok());
+  auto& store = **store_or;
+
+  Rng rng(77);
+  std::vector<Hash256> ids;
+  std::vector<std::string> payloads;
+  for (int i = 0; i < 80; ++i) {
+    payloads.push_back(rng.NextBytes(256));
+    Chunk c = MakeTestChunk(payloads.back());
+    ASSERT_TRUE(store.Put(c).ok());
+    ids.push_back(c.hash());
+  }
+  const uint64_t before = store.space_used();
+  ASSERT_GT(before, 0u);
+
+  // Erase three out of every four chunks: most closed segments drop under
+  // the live ratio and get rewritten on the spot.
+  std::vector<Hash256> victims;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i % 4 != 0) victims.push_back(ids[i]);
+  }
+  ASSERT_TRUE(store.Erase(victims).ok());
+  const uint64_t after = store.space_used();
+  EXPECT_LT(after, before / 2) << "rewrites did not reclaim disk";
+  EXPECT_GT(store.maintenance_stats().segments_rewritten, 0u);
+  EXPECT_GT(store.maintenance_stats().reclaimed_bytes, 0u);
+
+  // The survivors moved to new locations; every read and the reopen path
+  // must still find them.
+  for (size_t i = 0; i < ids.size(); i += 4) {
+    auto got = store.Get(ids[i]);
+    ASSERT_TRUE(got.ok()) << i;
+    EXPECT_EQ(got->payload().ToString(), payloads[i]);
+  }
+  store_or->reset();
+  auto reopened = FileChunkStore::Open(dir_, options);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->stats().chunk_count, (ids.size() + 3) / 4);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i % 4 == 0) {
+      EXPECT_TRUE((*reopened)->Get(ids[i]).ok()) << i;
+    } else {
+      EXPECT_FALSE((*reopened)->Contains(ids[i])) << i;
+    }
+  }
+}
+
+TEST_F(FileChunkStoreTest, TornTombstoneTailIsDiscardedOnReopen) {
+  FileChunkStore::Options options;
+  options.compact_live_ratio = 0;
+  Chunk kept = MakeTestChunk("kept-through-tear");
+  Chunk erased = MakeTestChunk("erased-before-tear");
+  {
+    auto store = FileChunkStore::Open(dir_, options);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->PutMany(std::vector<Chunk>{kept, erased}).ok());
+    ASSERT_TRUE((*store)->Erase(std::vector<Hash256>{erased.hash()}).ok());
+  }
+  {
+    // A crash mid-erase tears the tombstone being appended: magic + a few
+    // bytes of hash, then nothing.
+    std::ofstream seg(dir_ + "/segment-0.fbc",
+                      std::ios::binary | std::ios::app);
+    const uint32_t magic = 0x46425431;  // tombstone magic
+    seg.write(reinterpret_cast<const char*>(&magic), 4);
+    seg.write("torn", 4);
+  }
+  auto reopened = FileChunkStore::Open(dir_, options);
+  ASSERT_TRUE(reopened.ok());
+  // The complete tombstone applied; the torn one vanished with the tail.
+  EXPECT_FALSE((*reopened)->Contains(erased.hash()));
+  auto got = (*reopened)->Get(kept.hash());
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->payload().ToString(), "kept-through-tear");
+  // The tail was truncated back to a record boundary: appends still work.
+  Chunk fresh = MakeTestChunk("post-tear append");
+  ASSERT_TRUE((*reopened)->Put(fresh).ok());
+  EXPECT_TRUE((*reopened)->Get(fresh.hash()).ok());
+}
+
+TEST_F(FileChunkStoreTest, ReadersSurviveBackgroundRewrites) {
+  // Background compaction moves records while readers chase locations they
+  // resolved before the move; the per-slot index re-check must heal every
+  // such race (no spurious IOError/NotFound for a live chunk).
+  FileChunkStore::Options options;
+  options.segment_bytes = 4096;
+  options.compact_live_ratio = 0.6;
+  options.background_compaction = true;
+  auto store_or = FileChunkStore::Open(dir_, options);
+  ASSERT_TRUE(store_or.ok());
+  auto& store = **store_or;
+
+  Rng rng(78);
+  std::vector<Hash256> survivors;
+  std::vector<Hash256> victims;
+  for (int i = 0; i < 200; ++i) {
+    Chunk c = MakeTestChunk(rng.NextBytes(200));
+    ASSERT_TRUE(store.Put(c).ok());
+    (i % 2 ? victims : survivors).push_back(c.hash());
+  }
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    Rng reader_rng(79);
+    while (!stop.load()) {
+      const Hash256& id = survivors[reader_rng.Uniform(survivors.size())];
+      auto got = store.Get(id);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      std::vector<Hash256> batch(survivors.begin(), survivors.begin() + 8);
+      for (auto& slot : store.GetMany(batch)) ASSERT_TRUE(slot.ok());
+    }
+  });
+  // Erase in small slices so rewrites keep firing under the reader.
+  for (size_t start = 0; start < victims.size(); start += 16) {
+    const size_t n = std::min<size_t>(16, victims.size() - start);
+    ASSERT_TRUE(
+        store.Erase(std::span<const Hash256>(victims.data() + start, n)).ok());
+  }
+  store.WaitForMaintenance();
+  stop.store(true);
+  reader.join();
+  for (const auto& id : survivors) EXPECT_TRUE(store.Get(id).ok());
+  for (const auto& id : victims) EXPECT_FALSE(store.Contains(id));
 }
 
 }  // namespace

@@ -314,5 +314,49 @@ TEST_F(CliTest, TieredFlagsRunTheWholeWorkloadOnTwoTiers) {
   std::filesystem::remove_all(cold);
 }
 
+TEST_F(CliTest, TierHotBudgetFlagBoundsTheHotTierAndShowsInStats) {
+  const std::string cold = ::testing::TempDir() + "/fb_cli_budget_cold";
+  std::filesystem::remove_all(cold);
+  auto tiered = [&](std::vector<std::string> args) {
+    args.insert(args.begin(), {"--tier-cold", cold, "--tier-policy",
+                               "write-back", "--tier-hot-budget-mb", "1"});
+    return args;
+  };
+  EXPECT_EQ(Run(tiered({"put", "doc", "bounded tier value"})), 0);
+  // The write-back stack journals its dirty set beside the hot segments.
+  EXPECT_TRUE(std::filesystem::exists(db_dir_ + "/dirty-manifest.fbm"));
+
+  std::string value;
+  EXPECT_EQ(Run(tiered({"get", "doc"}), &value), 0);
+  EXPECT_EQ(value, "bounded tier value\n");
+
+  // `stat` surfaces the tier section: budget, space, pinning, evictions.
+  std::string stats;
+  EXPECT_EQ(Run(tiered({"stat"}), &stats), 0);
+  EXPECT_NE(stats.find("tier_hot_budget: 1048576"), std::string::npos);
+  EXPECT_NE(stats.find("tier_hot_space:"), std::string::npos);
+  EXPECT_NE(stats.find("tier_pinned_dirty_bytes:"), std::string::npos);
+  EXPECT_NE(stats.find("tier_evictions:"), std::string::npos);
+  EXPECT_NE(stats.find("tier_demotions:"), std::string::npos);
+  // An untiered stat has no tier section.
+  stats.clear();
+  EXPECT_EQ(Run({"stat"}, &stats), 0);
+  EXPECT_EQ(stats.find("tier_hot_budget"), std::string::npos);
+
+  // A budget without a cold tier to evict to is a configuration error.
+  std::string err;
+  EXPECT_NE(Run({"--tier-hot-budget-mb", "1", "put", "x", "y"}, nullptr,
+                &err),
+            0);
+  EXPECT_NE(err.find("requires --tier-cold"), std::string::npos);
+  // And zero is rejected (omit the flag instead).
+  err.clear();
+  EXPECT_NE(Run(tiered({"--tier-hot-budget-mb", "0", "put", "x", "y"}),
+                nullptr, &err),
+            0);
+  EXPECT_NE(err.find("must be >= 1"), std::string::npos);
+  std::filesystem::remove_all(cold);
+}
+
 }  // namespace
 }  // namespace forkbase

@@ -374,7 +374,7 @@ TEST(PosTreeValidateTest, DetectsMissingChunk) {
   PosTree tree(&store, ChunkType::kMapLeaf, info->root);
   std::vector<Hash256> chunks;
   ASSERT_TRUE(tree.ReachableChunks(&chunks).ok());
-  ASSERT_TRUE(store.EraseForTesting(chunks.back()));
+  ASSERT_TRUE(store.Erase(std::vector<Hash256>{chunks.back()}).ok());
   EXPECT_FALSE(tree.Validate().ok());
 }
 

@@ -2,9 +2,11 @@
 //
 // Each test here is written against the ChunkStore interface only and is
 // instantiated over every store stack in the tree: Mem, File, Caching (over
-// File), Remote (simulated network over Mem), and Tiered (File hot tier
-// over a Remote cold backend, both write policies). A new backend earns its
-// place by adding a Traits struct to StoreTypes — nothing else.
+// File), Remote (simulated network over Mem), Tiered (File hot tier over a
+// Remote cold backend, both write policies), and TieredBoundedWriteBack (a
+// write-back tier under a deliberately tiny hot budget, so eviction,
+// demotion and the dirty manifest churn beneath every test). A new backend
+// earns its place by adding a Traits struct to StoreTypes — nothing else.
 //
 // Covered contract points: scalar round trips, kNotFound for absent ids,
 // GetMany slot ordering and per-slot missing ids, idempotent PutMany with
@@ -18,6 +20,7 @@
 #include <set>
 
 #include "chunk/caching_chunk_store.h"
+#include "chunk/dirty_manifest.h"
 #include "chunk/file_chunk_store.h"
 #include "chunk/mem_chunk_store.h"
 #include "chunk/remote_chunk_store.h"
@@ -47,7 +50,7 @@ std::shared_ptr<ChunkStore> OpenFile(const std::string& dir) {
   return std::shared_ptr<ChunkStore>(std::move(*store));
 }
 
-// ---- the five (six with both tier policies) store stacks ------------------
+// ---- the seven store stacks -----------------------------------------------
 
 struct MemStoreTraits {
   static constexpr const char* kName = "Mem";
@@ -108,10 +111,44 @@ struct TieredWriteBackTraits {
   }
 };
 
+struct TieredBoundedWriteBackTraits {
+  // The 7th stack: a bounded write-back tier under a budget so small that
+  // ordinary conformance traffic overflows it constantly — every test runs
+  // with background demotion, LRU eviction and segment rewrite churning
+  // underneath, plus the persistent dirty manifest journaling beside the
+  // hot segments. The contract must hold anyway: eviction changes
+  // placement, never content.
+  static constexpr const char* kName = "TieredBoundedWriteBack";
+  static std::shared_ptr<ChunkStore> Make(const std::string& dir) {
+    RemoteChunkStore::Options remote_options;
+    remote_options.connections = 1;
+    auto cold = std::make_shared<RemoteChunkStore>(OpenFile(dir + "/cold"),
+                                                   remote_options);
+    auto manifest = DirtyManifest::Open(dir + "/hot");
+    EXPECT_TRUE(manifest.ok());
+    TieredChunkStore::Options options;
+    options.policy = TierPolicy::kWriteBack;
+    options.background_demotion = true;
+    options.write_back_watermark = 8;
+    options.demote_batch = 8;
+    options.hot_bytes_budget = 4096;  // a handful of 64-byte chunks
+    options.evict_batch = 8;
+    options.dirty_manifest = std::shared_ptr<DirtyManifest>(
+        std::move(*manifest));
+    FileChunkStore::Options hot_options;
+    hot_options.segment_bytes = 2048;  // several segments inside the budget
+    auto hot = FileChunkStore::Open(dir + "/hot", hot_options);
+    EXPECT_TRUE(hot.ok());
+    return std::make_shared<TieredChunkStore>(
+        std::shared_ptr<ChunkStore>(std::move(*hot)), std::move(cold),
+        std::move(options));
+  }
+};
+
 using StoreTypes =
     ::testing::Types<MemStoreTraits, FileStoreTraits, CachingStoreTraits,
                      RemoteStoreTraits, TieredWriteThroughTraits,
-                     TieredWriteBackTraits>;
+                     TieredWriteBackTraits, TieredBoundedWriteBackTraits>;
 
 class TraitsNames {
  public:

@@ -6,7 +6,10 @@
 // cold backend.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
+#include <fstream>
+#include <map>
 #include <thread>
 
 #include "chunk/file_chunk_store.h"
@@ -364,7 +367,7 @@ TEST(TieredStoreTest, HotCopyVanishingAfterProbeFallsBackToCold) {
   ASSERT_TRUE(h.tiered->PutMany(chunks).ok());  // write-through: both tiers
 
   // Scalar.
-  ASSERT_TRUE(h.hot->EraseForTesting(chunks[0].hash()));
+  ASSERT_TRUE(h.hot->Erase(std::vector<Hash256>{chunks[0].hash()}).ok());
   auto scalar = h.tiered->Get(chunks[0].hash());
   ASSERT_TRUE(scalar.ok());
   EXPECT_EQ(scalar->bytes().ToString(), chunks[0].bytes().ToString());
@@ -374,7 +377,7 @@ TEST(TieredStoreTest, HotCopyVanishingAfterProbeFallsBackToCold) {
   // splits cold; erase between Split and the hot read is the same slot
   // shape as a kNotFound hot slot, which MergeTiers/ResolveHotMisses
   // handle identically — exercise both entry points).
-  ASSERT_TRUE(h.hot->EraseForTesting(chunks[1].hash()));
+  ASSERT_TRUE(h.hot->Erase(std::vector<Hash256>{chunks[1].hash()}).ok());
   std::vector<Hash256> ids;
   for (const auto& chunk : chunks) ids.push_back(chunk.hash());
   auto slots = h.tiered->GetMany(ids);
@@ -384,7 +387,7 @@ TEST(TieredStoreTest, HotCopyVanishingAfterProbeFallsBackToCold) {
   }
 
   // Async.
-  ASSERT_TRUE(h.hot->EraseForTesting(chunks[2].hash()));
+  ASSERT_TRUE(h.hot->Erase(std::vector<Hash256>{chunks[2].hash()}).ok());
   auto async_slots = h.tiered->GetManyAsync(ids).Take();
   for (size_t i = 0; i < ids.size(); ++i) {
     ASSERT_TRUE(async_slots[i].ok()) << i;
@@ -498,6 +501,283 @@ TEST(TieredStoreTest, ForEachCoversUnionOfTiers) {
   EXPECT_EQ(visited, 12u);
 }
 
+// ---- bounded hot tier: budget, eviction, pinning --------------------------
+
+TEST(TieredStoreTest, BudgetEvictsCleanLruChunksAndKeepsDataReadable) {
+  TieredChunkStore::Options options;  // write-through: everything clean
+  options.hot_bytes_budget = 1200;
+  options.evict_batch = 4;
+  TieredHarness h(options);
+  auto chunks = MakeChunks(64, 40);  // ~65 bytes each: ~4x the budget
+  for (const auto& chunk : chunks) {
+    ASSERT_TRUE(h.tiered->Put(chunk).ok());
+  }
+  // The hot tier (a MemChunkStore: space_used is exact and erase frees
+  // immediately) never ends a put over budget.
+  EXPECT_LE(h.hot->space_used(), options.hot_bytes_budget);
+  auto stats = h.tiered->tier_stats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LE(stats.hot_bytes, options.hot_bytes_budget);
+  EXPECT_EQ(stats.pinned_dirty_bytes, 0u);  // write-through pins nothing
+  // Every chunk still reads back bit-exact — evicted ones from the cold
+  // tier (and re-promote as they are touched).
+  for (const auto& chunk : chunks) {
+    auto got = h.tiered->Get(chunk.hash());
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got->bytes().ToString(), chunk.bytes().ToString());
+  }
+  EXPECT_GT(h.tiered->tier_stats().cold_hits, 0u);  // eviction really bit
+}
+
+TEST(TieredStoreTest, DirtyChunksArePinnedUntilDemotionLands) {
+  TieredChunkStore::Options options;
+  options.policy = TierPolicy::kWriteBack;
+  options.background_demotion = false;
+  options.hot_bytes_budget = 1000;
+  TieredHarness h(options);
+  auto chunks = MakeChunks(30, 41);  // ~2x the budget, all dirty
+  ASSERT_TRUE(h.tiered->PutMany(chunks).ok());
+
+  // Over budget, but every byte is pinned dirty: the evictor must not touch
+  // a chunk the cold tier does not hold yet.
+  auto stats = h.tiered->tier_stats();
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_GT(stats.hot_bytes, options.hot_bytes_budget);
+  EXPECT_EQ(stats.pinned_dirty_bytes, stats.hot_bytes);
+  for (const auto& chunk : chunks) {
+    EXPECT_TRUE(h.hot->Contains(chunk.hash()));
+    EXPECT_FALSE(h.cold_backend->Contains(chunk.hash()));
+  }
+
+  // Demotion unpins; the drain's completion runs the evictor itself.
+  ASSERT_TRUE(h.tiered->FlushColdTier().ok());
+  stats = h.tiered->tier_stats();
+  EXPECT_EQ(stats.pinned_dirty_bytes, 0u);
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LE(h.hot->space_used(), options.hot_bytes_budget);
+  for (const auto& chunk : chunks) {
+    EXPECT_TRUE(h.cold_backend->Contains(chunk.hash()));
+    auto got = h.tiered->Get(chunk.hash());
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got->bytes().ToString(), chunk.bytes().ToString());
+  }
+}
+
+TEST(TieredStoreTest, ExactUnionChunkCount) {
+  // The tiers hold disjoint sets: 5 hot-only (undemoted write-back) + 3
+  // cold-only (history). The old stats reported max(5, 3) = 5 — a
+  // documented lower bound; membership tracking makes the union exact.
+  TieredChunkStore::Options options;
+  options.policy = TierPolicy::kWriteBack;
+  options.background_demotion = false;
+  TieredHarness h(options);
+  auto hot_only = MakeChunks(5, 42);
+  auto cold_only = MakeChunks(3, 43);
+  ASSERT_TRUE(h.tiered->PutMany(hot_only).ok());
+  ASSERT_TRUE(h.cold_backend->PutMany(cold_only).ok());
+  EXPECT_EQ(h.tiered->stats().chunk_count, 8u);
+  // After the flush both tiers hold the 5; the union is still 8.
+  ASSERT_TRUE(h.tiered->FlushColdTier().ok());
+  EXPECT_EQ(h.tiered->stats().chunk_count, 8u);
+}
+
+TEST(TieredStoreTest, EraseClearsBothTiersAndThePipeline) {
+  TieredChunkStore::Options options;
+  options.policy = TierPolicy::kWriteBack;
+  options.background_demotion = false;
+  TieredHarness h(options);
+  auto chunks = MakeChunks(6, 44);
+  ASSERT_TRUE(h.tiered->PutMany(chunks).ok());
+  ASSERT_TRUE(h.tiered->FlushColdTier().ok());  // resident in both tiers
+  ASSERT_TRUE(h.tiered->Put(chunks[0]).ok());   // no-op re-put
+
+  std::vector<Hash256> victims{chunks[0].hash(), chunks[1].hash()};
+  ASSERT_TRUE(h.tiered->SupportsErase());
+  ASSERT_TRUE(h.tiered->Erase(victims).ok());
+  for (const auto& id : victims) {
+    EXPECT_FALSE(h.tiered->Contains(id));
+    EXPECT_TRUE(h.tiered->Get(id).status().IsNotFound());
+  }
+  EXPECT_EQ(h.tiered->stats().chunk_count, 4u);
+  // An erased id must not resurface via a later drain.
+  ASSERT_TRUE(h.tiered->FlushColdTier().ok());
+  for (const auto& id : victims) EXPECT_FALSE(h.cold_backend->Contains(id));
+}
+
+// ---- persistent dirty manifest --------------------------------------------
+
+class DirtyManifestTieredTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    hot_dir_ = ::testing::TempDir() + "/fb_manifest_hot";
+    cold_dir_ = ::testing::TempDir() + "/fb_manifest_cold";
+    std::filesystem::remove_all(hot_dir_);
+    std::filesystem::remove_all(cold_dir_);
+    faults_ = std::make_shared<FaultSchedule>();
+  }
+  void TearDown() override {
+    std::filesystem::remove_all(hot_dir_);
+    std::filesystem::remove_all(cold_dir_);
+  }
+
+  /// Persistent write-back stack: File hot (+ manifest beside it), File
+  /// cold behind a faultable Remote.
+  std::shared_ptr<TieredChunkStore> OpenStack(
+      TieredChunkStore::Options options = {}) {
+    auto hot_or = FileChunkStore::Open(hot_dir_);
+    EXPECT_TRUE(hot_or.ok());
+    auto cold_or = FileChunkStore::Open(cold_dir_);
+    EXPECT_TRUE(cold_or.ok());
+    RemoteChunkStore::Options remote_options;
+    remote_options.faults = faults_;
+    auto cold = std::make_shared<RemoteChunkStore>(
+        std::shared_ptr<ChunkStore>(std::move(*cold_or)), remote_options);
+    auto manifest_or = DirtyManifest::Open(hot_dir_);
+    EXPECT_TRUE(manifest_or.ok());
+    options.policy = TierPolicy::kWriteBack;
+    options.background_demotion = false;
+    options.dirty_manifest = std::move(*manifest_or);
+    return std::make_shared<TieredChunkStore>(
+        std::shared_ptr<ChunkStore>(std::move(*hot_or)), std::move(cold),
+        options);
+  }
+
+  std::string hot_dir_;
+  std::string cold_dir_;
+  std::shared_ptr<FaultSchedule> faults_;
+};
+
+TEST_F(DirtyManifestTieredTest, ReplayResumesDemotionAfterCrash) {
+  auto chunks = MakeChunks(40, 50);
+  {
+    auto tiered = OpenStack();
+    ASSERT_TRUE(tiered->PutMany(chunks).ok());
+    EXPECT_EQ(tiered->manifest()->dirty_count(), chunks.size());
+    // "Kill" the process before anything demotes: every cold write fails
+    // from here on, including the destructor's best-effort flush.
+    faults_->SetProbability(FaultSchedule::Op::kPutBatch, 1.0,
+                            {FaultSchedule::Kind::kTransient});
+  }
+  {
+    // Nothing demoted before the "kill": the cold backend is empty.
+    auto cold_or = FileChunkStore::Open(cold_dir_);
+    ASSERT_TRUE(cold_or.ok());
+    for (const auto& chunk : chunks) {
+      ASSERT_FALSE((*cold_or)->Contains(chunk.hash()));
+    }
+  }
+  faults_->Clear();
+
+  // Reopen: the manifest replays the full dirty set; demotion resumes and
+  // every previously-dirty chunk reaches the cold tier.
+  auto tiered = OpenStack();
+  EXPECT_EQ(tiered->tier_stats().dirty_pending, chunks.size());
+  ASSERT_TRUE(tiered->FlushColdTier().ok());
+  EXPECT_EQ(tiered->tier_stats().demotions, chunks.size());
+  EXPECT_EQ(tiered->manifest()->dirty_count(), 0u);
+  // Cold-tier round trip: the cold backend itself (bypassing the hot tier)
+  // serves every chunk bit-exact.
+  for (const auto& chunk : chunks) {
+    auto got = tiered->cold()->Get(chunk.hash());
+    ASSERT_TRUE(got.ok()) << chunk.hash().ToBase32();
+    EXPECT_EQ(got->bytes().ToString(), chunk.bytes().ToString());
+  }
+}
+
+TEST_F(DirtyManifestTieredTest, MissingManifestReconcilesFromTiers) {
+  // A pre-manifest store (or one whose manifest file was lost): the hot
+  // tier holds 20 chunks, only 8 of which ever reached the cold tier.
+  auto seeded = MakeChunks(20, 51);
+  {
+    auto hot_or = FileChunkStore::Open(hot_dir_);
+    ASSERT_TRUE(hot_or.ok());
+    ASSERT_TRUE((*hot_or)->PutMany(seeded).ok());
+    auto cold_or = FileChunkStore::Open(cold_dir_);
+    ASSERT_TRUE(cold_or.ok());
+    ASSERT_TRUE(
+        (*cold_or)
+            ->PutMany(std::span<const Chunk>(seeded.data(), 8))
+            .ok());
+  }
+  ASSERT_FALSE(std::filesystem::exists(hot_dir_ + "/dirty-manifest.fbm"));
+
+  auto tiered = OpenStack();
+  // Reconcile marked exactly the 12 cold-missing chunks dirty — and wrote
+  // them into the fresh manifest.
+  EXPECT_EQ(tiered->tier_stats().dirty_pending, 12u);
+  EXPECT_EQ(tiered->manifest()->dirty_count(), 12u);
+  ASSERT_TRUE(tiered->FlushColdTier().ok());
+  for (const auto& chunk : seeded) {
+    EXPECT_TRUE(tiered->cold()->Contains(chunk.hash()));
+  }
+  EXPECT_EQ(tiered->manifest()->dirty_count(), 0u);
+}
+
+TEST_F(DirtyManifestTieredTest, TornManifestTailKeepsGoodPrefix) {
+  auto chunks = MakeChunks(10, 52);
+  {
+    auto tiered = OpenStack();
+    ASSERT_TRUE(tiered->PutMany(chunks).ok());
+    faults_->SetProbability(FaultSchedule::Op::kPutBatch, 1.0,
+                            {FaultSchedule::Kind::kTransient});
+  }
+  faults_->Clear();
+  {
+    // The crash tore the manifest's tail mid-record.
+    std::ofstream manifest(hot_dir_ + "/dirty-manifest.fbm",
+                           std::ios::binary | std::ios::app);
+    const uint32_t magic = 0x46424d31;
+    manifest.write(reinterpret_cast<const char*>(&magic), 4);
+    manifest.write("D", 1);
+    manifest.write("torn", 4);
+  }
+  auto tiered = OpenStack();
+  EXPECT_EQ(tiered->tier_stats().dirty_pending, chunks.size());
+  ASSERT_TRUE(tiered->FlushColdTier().ok());
+  for (const auto& chunk : chunks) {
+    EXPECT_TRUE(tiered->cold()->Contains(chunk.hash()));
+  }
+}
+
+TEST(DirtyManifestTest, JournalCompactsOnceChurnDominates) {
+  const std::string dir = ::testing::TempDir() + "/fb_manifest_compact";
+  std::filesystem::remove_all(dir);
+  auto manifest_or = DirtyManifest::Open(dir);
+  ASSERT_TRUE(manifest_or.ok());
+  auto& manifest = **manifest_or;
+  EXPECT_FALSE(manifest.existed());
+
+  Rng rng(53);
+  std::vector<Hash256> live;
+  for (int i = 0; i < 4; ++i) live.push_back(Sha256(Slice(rng.NextBytes(8))));
+  ASSERT_TRUE(manifest.MarkDirty(live).ok());
+  // Churn far past the compaction threshold (records > 2*dirty + 1024).
+  for (int round = 0; round < 200; ++round) {
+    std::vector<Hash256> batch;
+    for (int i = 0; i < 4; ++i) {
+      batch.push_back(Sha256(Slice(rng.NextBytes(8))));
+    }
+    ASSERT_TRUE(manifest.MarkDirty(batch).ok());
+    ASSERT_TRUE(manifest.MarkClean(batch).ok());
+  }
+  EXPECT_GT(manifest.compactions(), 0u);
+  // The journal never outgrows the compaction threshold: churn since the
+  // last fold stays below 2*live + the floor.
+  EXPECT_LE(manifest.record_count(), 2 * manifest.dirty_count() + 1024);
+  EXPECT_EQ(manifest.dirty_count(), live.size());
+
+  // The compacted journal replays to exactly the live set.
+  manifest_or->reset();
+  auto reopened = DirtyManifest::Open(dir);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_TRUE((*reopened)->existed());
+  auto ids = (*reopened)->DirtyIds();
+  std::unordered_set<Hash256, Hash256Hasher> set(ids.begin(), ids.end());
+  EXPECT_EQ(set.size(), live.size());
+  for (const auto& id : live) EXPECT_TRUE(set.count(id));
+  std::filesystem::remove_all(dir);
+}
+
 // ---- end-to-end: the full workload suite on a tiered persistent stack -----
 
 class TieredForkBaseTest : public ::testing::Test {
@@ -582,6 +862,123 @@ TEST_F(TieredForkBaseTest, GroupCommitOnTieredWriteBackStack) {
     ASSERT_TRUE(history.ok());
     EXPECT_EQ(history->size(), 20u);
   }
+}
+
+TEST_F(TieredForkBaseTest, BoundedHotTierKeepsDiskWithinBudgetUnderWorkload) {
+  // The bounded-tier acceptance run: a put/scan/diff/GC workload several
+  // times the hot budget, on the real OpenPersistent write-back stack
+  // (budget + manifest + background demotion + segment rewrite). The hot
+  // directory's disk usage must stay within budget + one segment at every
+  // checkpoint (modulo in-flight background reclamation, which the
+  // checkpoint polls out), and every byte must read back bit-exact.
+  constexpr uint64_t kBudget = 2ull << 20;
+  constexpr uint64_t kSegment = 1ull << 20;  // OpenPersistent's clamp floor
+  ForkBase::OpenOptions open;
+  open.tier_cold_dir = cold_dir_;
+  open.tier_write_back = true;
+  open.hot_bytes_budget = kBudget;
+  open.cache_bytes = 256 << 10;  // small cache: reads actually hit the tiers
+  auto db_or = ForkBase::OpenPersistent(hot_dir_, open);
+  ASSERT_TRUE(db_or.ok()) << db_or.status().ToString();
+  ForkBase& db = **db_or;
+
+  auto hot_segment_bytes = [&]() -> uint64_t {
+    uint64_t total = 0;
+    for (const auto& entry : std::filesystem::directory_iterator(hot_dir_)) {
+      if (entry.path().extension() == ".fbc") {
+        total += std::filesystem::file_size(entry.path());
+      }
+    }
+    return total;
+  };
+  auto checkpoint = [&](const char* phase) {
+    // Background demotion, eviction and segment rewrite are asynchronous;
+    // give them a bounded window to catch up, then hold the line.
+    const uint64_t bound = kBudget + kSegment;
+    uint64_t disk = 0;
+    for (int spin = 0; spin < 400; ++spin) {
+      disk = hot_segment_bytes();
+      if (disk <= bound) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+    EXPECT_LE(disk, bound) << "hot tier over budget after " << phase;
+  };
+
+  Rng rng(60);
+  std::map<std::string, std::map<std::string, std::string>> shadow;
+  std::string blob_bytes;
+
+  // Phase 1: bulk puts — 4 maps x 2000 entries (~4x the budget with tree
+  // and commit overhead).
+  for (int m = 0; m < 4; ++m) {
+    const std::string key = "doc" + std::to_string(m);
+    std::vector<std::pair<std::string, std::string>> kvs;
+    std::map<std::string, std::string> content;
+    for (int i = 0; i < 2000; ++i) {
+      std::string k = "k" + std::to_string(i);
+      std::string v = rng.NextString(180);
+      content[k] = v;
+      kvs.emplace_back(std::move(k), std::move(v));
+    }
+    ASSERT_TRUE(db.PutMap(key, kvs).ok());
+    shadow[key] = std::move(content);
+  }
+  blob_bytes = rng.NextBytes(1 << 20);
+  ASSERT_TRUE(db.PutBlob("bin", blob_bytes).ok());
+  checkpoint("bulk puts");
+
+  // Phase 2: branch + edit + diff.
+  ASSERT_TRUE(db.Branch("doc0", "edit").ok());
+  ASSERT_TRUE(db.UpdateMap("doc0", {KeyedOp{"k42", "edited"}}, "edit").ok());
+  auto diff = db.Diff("doc0", "master", "edit");
+  ASSERT_TRUE(diff.ok());
+  EXPECT_EQ(diff->keyed.size(), 1u);
+  checkpoint("diff");
+
+  // Phase 3: full scans — every entry of every map, bit-exact against the
+  // shadow model (evicted chunks come back from the cold tier).
+  for (const auto& [key, content] : shadow) {
+    auto map = db.GetMap(key);
+    ASSERT_TRUE(map.ok()) << key;
+    auto entries = map->Entries();
+    ASSERT_TRUE(entries.ok());
+    ASSERT_EQ(entries->size(), content.size()) << key;
+    for (const auto& [k, v] : *entries) {
+      auto it = content.find(k);
+      ASSERT_NE(it, content.end()) << key << "/" << k;
+      ASSERT_EQ(it->second, v) << key << "/" << k;
+    }
+  }
+  {
+    auto blob = db.GetBlob("bin");
+    ASSERT_TRUE(blob.ok());
+    auto bytes = blob->ReadAll();
+    ASSERT_TRUE(bytes.ok());
+    EXPECT_EQ(*bytes, blob_bytes);
+  }
+  checkpoint("scans");
+
+  // Phase 4: GC copy-collect (sweeps the tier union) + verification.
+  MemChunkStore gc_dest;
+  auto gc = CopyLive(db, &gc_dest);
+  ASSERT_TRUE(gc.ok()) << gc.status().ToString();
+  EXPECT_GT(gc->live_chunks, 0u);
+  EXPECT_EQ(gc_dest.stats().chunk_count, gc->live_chunks);
+  for (const auto& [key, content] : shadow) {
+    (void)content;
+    ASSERT_TRUE(db.Verify(*db.Head(key)).ok()) << key;
+  }
+  checkpoint("gc");
+
+  // The budget really bit, dirty chunks never evicted: after a full flush
+  // nothing is pinned, and the evictor has done real work.
+  ASSERT_NE(db.tiered(), nullptr);
+  ASSERT_TRUE(db.tiered()->FlushColdTier().ok());
+  auto tier = db.tiered()->tier_stats();
+  EXPECT_GT(tier.evictions, 0u) << "workload never exceeded the budget?";
+  EXPECT_EQ(tier.pinned_dirty_bytes, 0u);
+  EXPECT_EQ(tier.dirty_pending, 0u);
+  checkpoint("final flush");
 }
 
 TEST_F(TieredForkBaseTest, LostHotTierRecoversFromColdBackend) {
