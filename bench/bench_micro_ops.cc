@@ -16,6 +16,7 @@
 #include "chunk/remote_chunk_store.h"
 #include "chunk/tiered_chunk_store.h"
 #include "postree/diff.h"
+#include "store/bundle.h"
 #include "store/forkbase.h"
 #include "util/rolling_hash.h"
 #include "util/sha256.h"
@@ -604,6 +605,72 @@ void BM_Verify(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Verify)->Arg(1000)->Arg(10000);
+
+// ---- sync export: full bundle vs. negotiated delta ----------------------
+//
+// The sync subsystem's win: after branch-head negotiation, a push exports
+// only the chunks past the receiver's frontier (ExportDeltaBundle) instead
+// of the head's whole closure (ExportBundle). The corpus is a map with a
+// 64-commit history; the delta covers the last commit only, the regime of
+// a steady-state replica that syncs every few commits.
+
+struct SyncCorpus {
+  std::shared_ptr<MemChunkStore> store;
+  Hash256 prev;  ///< the replica's frontier: one commit behind
+  Hash256 head;
+};
+
+const SyncCorpus& GetSyncCorpus() {
+  static SyncCorpus corpus = [] {
+    SyncCorpus c;
+    c.store = std::make_shared<MemChunkStore>();
+    ForkBase db(c.store);
+    auto kvs = RandomKvs(20000, 17);
+    std::vector<std::pair<std::string, std::string>> pairs(kvs.begin(),
+                                                           kvs.end());
+    (void)db.PutMap("k", pairs);
+    for (int i = 0; i < 62; ++i) {
+      (void)db.UpdateMap(
+          "k", {KeyedOp{"bench-key-" + std::to_string(i), std::string("v")}});
+    }
+    c.prev = *db.Head("k");
+    (void)db.UpdateMap("k", {KeyedOp{"bench-final", std::string("v")}});
+    c.head = *db.Head("k");
+    return c;
+  }();
+  return corpus;
+}
+
+void BM_SyncPushFull(benchmark::State& state) {
+  const SyncCorpus& corpus = GetSyncCorpus();
+  uint64_t bytes = 0;
+  for (auto _ : state) {
+    auto stats = ExportBundle(*corpus.store, corpus.head, [&](Slice b) {
+      bytes += b.size();
+      return Status::OK();
+    });
+    benchmark::DoNotOptimize(stats.ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  benchmark::DoNotOptimize(bytes);
+}
+BENCHMARK(BM_SyncPushFull);
+
+void BM_SyncPushDelta(benchmark::State& state) {
+  const SyncCorpus& corpus = GetSyncCorpus();
+  uint64_t bytes = 0;
+  for (auto _ : state) {
+    auto stats = ExportDeltaBundle(*corpus.store, {corpus.head},
+                                   {corpus.prev}, [&](Slice b) {
+                                     bytes += b.size();
+                                     return Status::OK();
+                                   });
+    benchmark::DoNotOptimize(stats.ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  benchmark::DoNotOptimize(bytes);
+}
+BENCHMARK(BM_SyncPushDelta);
 
 }  // namespace
 }  // namespace bench

@@ -69,6 +69,12 @@ TRACKED_PAIRS = [
      "BM_MapScanTieredColdSync/real_time", 0.5, False),
     ("CommitBench/FNodeCommit/1/real_time/threads:4",
      "CommitBench/FNodeCommit/0/real_time/threads:4", 1.0, False),
+    # Sync-subsystem criterion: after negotiation a steady-state push
+    # exports only the delta past the receiver's frontier, which must stay
+    # well ahead of re-exporting the head's whole closure. Both sides are
+    # CPU-bound closure walks over the same in-memory corpus, so the ratio
+    # travels across runners.
+    ("BM_SyncPushDelta", "BM_SyncPushFull", 2.0, True),
 ]
 
 

@@ -1,11 +1,19 @@
 #include "cli/cli.h"
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <fstream>
 #include <map>
 #include <sstream>
+#include <thread>
 
 #include "chunk/file_chunk_store.h"
 #include "chunk/tiered_chunk_store.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/sync.h"
+#include "net/transport.h"
 #include "store/forkbase.h"
 #include "store/bundle.h"
 #include "store/gc.h"
@@ -19,7 +27,7 @@ struct CliContext {
   std::string branch = ForkBase::kDefaultBranch;
   std::string author = "cli";
   std::string message;
-  ForkBase::OpenOptions open;  // I/O pipeline knobs
+  ForkBase::Config config;  // storage-stack knobs
   std::vector<std::string> positional;
 };
 
@@ -72,7 +80,7 @@ Status ParseArgs(const std::vector<std::string>& args, CliContext* ctx) {
       std::string v;
       FB_RETURN_IF_ERROR(next(&v));
       FB_ASSIGN_OR_RETURN(uint64_t n, ParseCount(a, v, 256));
-      ctx->open.prefetch_threads = static_cast<uint32_t>(n);
+      ctx->config.prefetch_threads = static_cast<uint32_t>(n);
     } else if (a == "--prefetch-depth") {
       std::string v;
       FB_RETURN_IF_ERROR(next(&v));
@@ -85,17 +93,17 @@ Status ParseArgs(const std::vector<std::string>& args, CliContext* ctx) {
       std::string v;
       FB_RETURN_IF_ERROR(next(&v));
       FB_ASSIGN_OR_RETURN(uint64_t n, ParseCount(a, v, 1u << 20));
-      ctx->open.cache_bytes = n << 20;
+      ctx->config.cache_bytes = n << 20;
     } else if (a == "--tier-cold") {
-      FB_RETURN_IF_ERROR(next(&ctx->open.tier_cold_dir));
+      FB_RETURN_IF_ERROR(next(&ctx->config.tier.cold_dir));
     } else if (a == "--tier-policy") {
       saw_tier_policy = true;
       std::string v;
       FB_RETURN_IF_ERROR(next(&v));
       if (v == "write-through") {
-        ctx->open.tier_write_back = false;
+        ctx->config.tier.write_back = false;
       } else if (v == "write-back") {
-        ctx->open.tier_write_back = true;
+        ctx->config.tier.write_back = true;
       } else {
         return Status::InvalidArgument(
             "--tier-policy expects write-through or write-back, got " + v);
@@ -109,22 +117,23 @@ Status ParseArgs(const std::vector<std::string>& args, CliContext* ctx) {
             "--tier-hot-budget-mb must be >= 1 (omit the flag for an "
             "unbounded hot tier)");
       }
-      ctx->open.hot_bytes_budget = n << 20;
+      ctx->config.tier.hot_bytes_budget = n << 20;
     } else if (a == "--group-commit") {
-      ctx->open.options.group_commit = true;
+      ctx->config.commit.group_commit = true;
     } else if (a == "--fsync") {
-      ctx->open.fsync = true;
+      ctx->config.fsync = true;
     } else if (a.rfind("--", 0) == 0) {
       return Status::InvalidArgument("unknown flag " + a);
     } else {
       ctx->positional.push_back(a);
     }
   }
-  if (saw_tier_policy && ctx->open.tier_cold_dir.empty()) {
+  if (saw_tier_policy && ctx->config.tier.cold_dir.empty()) {
     return Status::InvalidArgument(
         "--tier-policy requires --tier-cold DIR (no cold tier configured)");
   }
-  if (ctx->open.hot_bytes_budget > 0 && ctx->open.tier_cold_dir.empty()) {
+  if (ctx->config.tier.hot_bytes_budget > 0 &&
+      ctx->config.tier.cold_dir.empty()) {
     return Status::InvalidArgument(
         "--tier-hot-budget-mb requires --tier-cold DIR (an unbounded "
         "single-tier store has nowhere to evict to)");
@@ -147,6 +156,25 @@ Status WriteFile(const std::string& path, const std::string& content) {
   out.flush();
   if (!out) return Status::IOError("write failed for " + path);
   return Status::OK();
+}
+
+std::atomic<bool> g_shutdown_requested{false};
+
+void OnShutdownSignal(int) { g_shutdown_requested.store(true); }
+
+void PrintSyncStats(const SyncStats& stats, bool push, std::ostream& out) {
+  out << (push ? "pushed " : "pulled ") << stats.branches_updated
+      << " branch(es) (" << stats.branches_skipped << " up-to-date, "
+      << stats.branches_conflicted << " conflicted)\n";
+  if (push) {
+    out << "sent " << stats.chunks_sent << " chunks / " << stats.bytes_sent
+        << " bytes in " << stats.rounds << " round(s); peer stored "
+        << stats.remote_new_chunks << " new\n";
+  } else {
+    out << "received " << stats.chunks_received << " chunks / "
+        << stats.bytes_received << " bytes; stored "
+        << stats.remote_new_chunks << " new\n";
+  }
 }
 
 Status RunCommand(const std::string& cmd, CliContext& ctx, ForkBase& db,
@@ -266,27 +294,7 @@ Status RunCommand(const std::string& cmd, CliContext& ctx, ForkBase& db,
       return Status::InvalidArgument("diff KEY BRANCH_A BRANCH_B");
     }
     FB_ASSIGN_OR_RETURN(ObjectDiff diff, db.Diff(pos[1], pos[2], pos[3]));
-    if (diff.identical) {
-      out << "identical\n";
-      return Status::OK();
-    }
-    for (const auto& d : diff.keyed) {
-      out << (d.added() ? "+ " : d.removed() ? "- " : "~ ") << d.key << "\n";
-    }
-    for (const auto& d : diff.rows) {
-      out << (!d.left ? "+ " : !d.right ? "- " : "~ ") << d.key;
-      if (!d.changed_columns.empty()) {
-        out << " cols:";
-        for (size_t c : d.changed_columns) out << " " << c;
-      }
-      out << "\n";
-    }
-    if (diff.sequence) {
-      out << "~ [" << diff.sequence->left_start << ","
-          << diff.sequence->left_start + diff.sequence->left_count << ") -> ["
-          << diff.sequence->right_start << ","
-          << diff.sequence->right_start + diff.sequence->right_count << ")\n";
-    }
+    out << FormatObjectDiff(diff);
     return Status::OK();
   }
   if (cmd == "export") {
@@ -316,9 +324,55 @@ Status RunCommand(const std::string& cmd, CliContext& ctx, ForkBase& db,
     out << "OK " << uid.ToBase32() << "\n";
     return Status::OK();
   }
+  if (cmd == "serve") {
+    // serve ADDRESS — run the multi-client server until SIGINT/SIGTERM.
+    if (pos.size() != 2) return Status::InvalidArgument("serve ADDRESS");
+    ForkBaseServer::Options server_options;
+    const std::string branch_file = BranchFilePath(ctx);
+    server_options.after_mutation = [&db, branch_file]() {
+      (void)db.branches().SaveToFile(branch_file);
+    };
+    FB_ASSIGN_OR_RETURN(auto server,
+                        ForkBaseServer::Start(&db, pos[1], server_options));
+    g_shutdown_requested.store(false);
+    std::signal(SIGINT, OnShutdownSignal);
+    std::signal(SIGTERM, OnShutdownSignal);
+    out << "serving on " << server->address() << "\n";
+    out.flush();
+    while (!g_shutdown_requested.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    server->Stop();
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+    out << "shut down\n";
+    return Status::OK();
+  }
+  if (cmd == "push" && pos.size() >= 2 && IsNetworkAddress(pos[1])) {
+    // push ADDRESS [KEY] — sync local branch heads to a running server.
+    if (pos.size() > 3) return Status::InvalidArgument("push ADDRESS [KEY]");
+    FB_ASSIGN_OR_RETURN(auto client, ForkBaseClient::Connect(pos[1]));
+    SyncOptions sync_options;
+    if (pos.size() == 3) sync_options.keys.push_back(pos[2]);
+    FB_ASSIGN_OR_RETURN(SyncStats stats, SyncPush(&db, &client, sync_options));
+    PrintSyncStats(stats, /*push=*/true, out);
+    return Status::OK();
+  }
+  if (cmd == "pull" && pos.size() >= 2 && IsNetworkAddress(pos[1])) {
+    // pull ADDRESS [KEY] — sync a running server's branch heads into here.
+    if (pos.size() > 3) return Status::InvalidArgument("pull ADDRESS [KEY]");
+    FB_ASSIGN_OR_RETURN(auto client, ForkBaseClient::Connect(pos[1]));
+    SyncOptions sync_options;
+    if (pos.size() == 3) sync_options.keys.push_back(pos[2]);
+    FB_ASSIGN_OR_RETURN(SyncStats stats, SyncPull(&db, &client, sync_options));
+    PrintSyncStats(stats, /*push=*/false, out);
+    return Status::OK();
+  }
   if (cmd == "push") {
     // push KEY FILE — export the branch head's closure as a bundle file.
-    if (pos.size() != 3) return Status::InvalidArgument("push KEY FILE");
+    if (pos.size() != 3) {
+      return Status::InvalidArgument("push KEY FILE | push ADDRESS [KEY]");
+    }
     FB_ASSIGN_OR_RETURN(Hash256 head, db.Head(pos[1], ctx.branch));
     FB_ASSIGN_OR_RETURN(std::string bundle, ExportBundle(*db.store(), head));
     FB_RETURN_IF_ERROR(WriteFile(pos[2], bundle));
@@ -329,7 +383,9 @@ Status RunCommand(const std::string& cmd, CliContext& ctx, ForkBase& db,
   if (cmd == "pull") {
     // pull FILE — import a bundle; the head becomes the branch head of the
     // key recorded in its FNode.
-    if (pos.size() != 2) return Status::InvalidArgument("pull FILE");
+    if (pos.size() != 2) {
+      return Status::InvalidArgument("pull FILE | pull ADDRESS [KEY]");
+    }
     FB_ASSIGN_OR_RETURN(std::string bundle, ReadFile(pos[1]));
     FB_ASSIGN_OR_RETURN(ImportResult result,
                         ImportBundle(bundle, db.store()));
@@ -338,6 +394,34 @@ Status RunCommand(const std::string& cmd, CliContext& ctx, ForkBase& db,
     out << "pulled " << info.key << "@" << ctx.branch << " = "
         << result.head.ToBase32() << " (" << result.new_chunks << " new of "
         << result.chunks << " chunks)\n";
+    return Status::OK();
+  }
+  if (cmd == "rput") {
+    // rput ADDRESS KEY VALUE — commit a string on a remote server.
+    if (pos.size() != 4) {
+      return Status::InvalidArgument("rput ADDRESS KEY VALUE");
+    }
+    FB_ASSIGN_OR_RETURN(auto client, ForkBaseClient::Connect(pos[1]));
+    FB_ASSIGN_OR_RETURN(Hash256 uid,
+                        client.Put(pos[2], pos[3], ctx.branch, ctx.author,
+                                   ctx.message));
+    out << uid.ToBase32() << "\n";
+    return Status::OK();
+  }
+  if (cmd == "rget") {
+    // rget ADDRESS KEY — read a remote branch head value.
+    if (pos.size() != 3) return Status::InvalidArgument("rget ADDRESS KEY");
+    FB_ASSIGN_OR_RETURN(auto client, ForkBaseClient::Connect(pos[1]));
+    FB_ASSIGN_OR_RETURN(auto result, client.Get(pos[2], ctx.branch));
+    out << result.value << "\n";
+    return Status::OK();
+  }
+  if (cmd == "rstat") {
+    // rstat ADDRESS — remote instance statistics.
+    if (pos.size() != 2) return Status::InvalidArgument("rstat ADDRESS");
+    FB_ASSIGN_OR_RETURN(auto client, ForkBaseClient::Connect(pos[1]));
+    FB_ASSIGN_OR_RETURN(auto kvs, client.Stat());
+    for (const auto& [k, v] : kvs) out << k << ": " << v << "\n";
     return Status::OK();
   }
   if (cmd == "verify-all") {
@@ -386,27 +470,10 @@ Status RunCommand(const std::string& cmd, CliContext& ctx, ForkBase& db,
     return Status::OK();
   }
   if (cmd == "stat") {
-    ForkBaseStats stats = db.Stat();
-    out << "keys:            " << stats.keys << "\n"
-        << "branches:        " << stats.branches << "\n"
-        << "commits:         " << stats.commits << "\n"
-        << "chunks:          " << stats.chunks.chunk_count << "\n"
-        << "physical_bytes:  " << stats.chunks.physical_bytes << "\n"
-        << "logical_bytes:   " << stats.chunks.logical_bytes << "\n"
-        << "dedup_hits:      " << stats.chunks.dedup_hits << "\n"
-        << "dedup_ratio:     " << stats.chunks.DedupRatio() << "\n";
-    if (TieredChunkStore* tiered = db.tiered()) {
-      auto tier = tiered->tier_stats();
-      out << "tier_hot_space:  " << tiered->hot()->space_used() << "\n"
-          << "tier_hot_budget: " << ctx.open.hot_bytes_budget << "\n"
-          << "tier_hot_bytes:  " << tier.hot_bytes << "\n"
-          << "tier_pinned_dirty_bytes: " << tier.pinned_dirty_bytes << "\n"
-          << "tier_dirty_pending:      " << tier.dirty_pending << "\n"
-          << "tier_hot_hits:   " << tier.hot_hits << "\n"
-          << "tier_cold_hits:  " << tier.cold_hits << "\n"
-          << "tier_promotions: " << tier.promotions << "\n"
-          << "tier_demotions:  " << tier.demotions << "\n"
-          << "tier_evictions:  " << tier.evictions << "\n";
+    // Instance statistics: the same ToKeyValues surface the server's STAT
+    // verb serves, so local and remote stat render identically.
+    for (const auto& [k, v] : db.Stat().ToKeyValues()) {
+      out << k << ": " << v << "\n";
     }
     return Status::OK();
   }
@@ -444,7 +511,14 @@ std::string CliUsage() {
       "  verify UID|KEY         tamper-evidence check\n"
       "  verify-all             verify every branch head\n"
       "  gc DEST_DIR            copy-collect live chunks into DEST_DIR\n"
-      "  stat [KEY]             storage statistics / per-object statistics\n";
+      "  stat [KEY]             storage statistics / per-object statistics\n"
+      "network (ADDRESS is unix:PATH or tcp:HOST:PORT):\n"
+      "  serve ADDRESS          serve this database to clients until SIGINT\n"
+      "  push ADDRESS [KEY]     sync local branch heads to a server\n"
+      "  pull ADDRESS [KEY]     sync a server's branch heads into --db\n"
+      "  rput ADDRESS KEY VAL   commit a string on a remote server\n"
+      "  rget ADDRESS KEY       read a value from a remote server\n"
+      "  rstat ADDRESS          remote instance statistics\n";
 }
 
 int RunCli(const std::vector<std::string>& args, std::ostream& out,
@@ -459,7 +533,12 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
     out << CliUsage();
     return 0;
   }
-  auto db_or = ForkBase::OpenPersistent(ctx.db_dir, ctx.open);
+  if (ctx.positional[0] == "serve") {
+    // Concurrent sessions committing to one branch need the queue's
+    // linearized head chaining, not compare-and-fail.
+    ctx.config.commit.group_commit = true;
+  }
+  auto db_or = ForkBase::Open(ctx.db_dir, ctx.config);
   if (!db_or.ok()) {
     err << db_or.status().ToString() << "\n";
     return 1;

@@ -1,0 +1,275 @@
+#include "net/client.h"
+
+#include "net/wire.h"
+
+namespace forkbase {
+
+StatusOr<ForkBaseClient> ForkBaseClient::Connect(const std::string& address) {
+  FB_ASSIGN_OR_RETURN(auto stream, SocketStream::Connect(address));
+  return Attach(std::move(stream));
+}
+
+StatusOr<ForkBaseClient> ForkBaseClient::Attach(
+    std::unique_ptr<ByteStream> stream) {
+  ForkBaseClient client(std::move(stream));
+  FB_RETURN_IF_ERROR(client.Hello());
+  return StatusOr<ForkBaseClient>(std::move(client));
+}
+
+Status ForkBaseClient::Hello() {
+  std::string payload;
+  PutFixed32(&payload, kProtocolMagic);
+  PutVarint64(&payload, kProtocolVersion);
+  FB_ASSIGN_OR_RETURN(std::string reply, Call(Verb::kHello, Slice(payload)));
+  Decoder dec{Slice(reply)};
+  uint64_t version = 0;
+  if (!dec.GetVarint64(&version) || !dec.AtEnd()) {
+    return Status::Corruption("malformed HELLO reply");
+  }
+  if (version != kProtocolVersion) {
+    return Status::InvalidArgument("server speaks protocol version " +
+                                   std::to_string(version));
+  }
+  return Status::OK();
+}
+
+StatusOr<std::string> ForkBaseClient::Call(Verb verb, Slice payload) {
+  FB_RETURN_IF_ERROR(WriteFrame(stream_.get(), verb, payload));
+  FB_ASSIGN_OR_RETURN(Frame reply, ReadFrame(stream_.get()));
+  if (reply.verb == Verb::kError) {
+    return DecodeError(Slice(reply.payload));
+  }
+  if (reply.verb != Verb::kOk) {
+    return Status::Corruption("unexpected reply verb");
+  }
+  return std::move(reply.payload);
+}
+
+StatusOr<ForkBaseClient::GetResult> ForkBaseClient::Get(
+    const std::string& key, const std::string& branch) {
+  std::string payload;
+  PutLengthPrefixed(&payload, Slice(key));
+  PutLengthPrefixed(&payload, Slice(branch));
+  FB_ASSIGN_OR_RETURN(std::string reply, Call(Verb::kGet, Slice(payload)));
+  Decoder dec{Slice(reply)};
+  GetResult result;
+  Slice value;
+  if (!GetHash(&dec, &result.uid) || !dec.GetLengthPrefixed(&value) ||
+      !dec.AtEnd()) {
+    return Status::Corruption("malformed GET reply");
+  }
+  result.value = value.ToString();
+  return result;
+}
+
+namespace {
+void AppendPutFields(std::string* payload, const std::string& key,
+                     const std::string& branch, const std::string& author,
+                     const std::string& message, Slice value) {
+  PutLengthPrefixed(payload, Slice(key));
+  PutLengthPrefixed(payload, Slice(branch));
+  PutLengthPrefixed(payload, Slice(author));
+  PutLengthPrefixed(payload, Slice(message));
+  PutLengthPrefixed(payload, value);
+}
+
+StatusOr<Hash256> DecodeUidReply(const std::string& reply) {
+  Decoder dec{Slice(reply)};
+  Hash256 uid;
+  if (!GetHash(&dec, &uid) || !dec.AtEnd()) {
+    return Status::Corruption("malformed uid reply");
+  }
+  return uid;
+}
+}  // namespace
+
+StatusOr<Hash256> ForkBaseClient::Put(const std::string& key,
+                                      const std::string& value,
+                                      const std::string& branch,
+                                      const std::string& author,
+                                      const std::string& message) {
+  std::string payload;
+  AppendPutFields(&payload, key, branch, author, message, Slice(value));
+  FB_ASSIGN_OR_RETURN(std::string reply, Call(Verb::kPut, Slice(payload)));
+  return DecodeUidReply(reply);
+}
+
+StatusOr<Hash256> ForkBaseClient::PutBlob(const std::string& key, Slice bytes,
+                                          const std::string& branch,
+                                          const std::string& author,
+                                          const std::string& message) {
+  std::string payload;
+  AppendPutFields(&payload, key, branch, author, message, bytes);
+  FB_ASSIGN_OR_RETURN(std::string reply,
+                      Call(Verb::kPutBlob, Slice(payload)));
+  return DecodeUidReply(reply);
+}
+
+StatusOr<Hash256> ForkBaseClient::Commit(const std::string& key,
+                                         const std::string& value,
+                                         const std::string& branch,
+                                         const std::string& author,
+                                         const std::string& message,
+                                         const Hash256* expected) {
+  std::string payload;
+  AppendPutFields(&payload, key, branch, author, message, Slice(value));
+  payload.push_back(expected ? 1 : 0);
+  if (expected) AppendHash(&payload, *expected);
+  FB_ASSIGN_OR_RETURN(std::string reply, Call(Verb::kCommit, Slice(payload)));
+  return DecodeUidReply(reply);
+}
+
+Status ForkBaseClient::Branch(const std::string& key,
+                              const std::string& new_branch,
+                              const std::string& from_branch) {
+  std::string payload;
+  PutLengthPrefixed(&payload, Slice(key));
+  PutLengthPrefixed(&payload, Slice(new_branch));
+  PutLengthPrefixed(&payload, Slice(from_branch));
+  return Call(Verb::kBranch, Slice(payload)).status();
+}
+
+StatusOr<std::string> ForkBaseClient::Diff(const std::string& key,
+                                           const std::string& a,
+                                           const std::string& b) {
+  std::string payload;
+  PutLengthPrefixed(&payload, Slice(key));
+  PutLengthPrefixed(&payload, Slice(a));
+  PutLengthPrefixed(&payload, Slice(b));
+  FB_ASSIGN_OR_RETURN(std::string reply, Call(Verb::kDiff, Slice(payload)));
+  Decoder dec{Slice(reply)};
+  Slice text;
+  if (!dec.GetLengthPrefixed(&text) || !dec.AtEnd()) {
+    return Status::Corruption("malformed DIFF reply");
+  }
+  return text.ToString();
+}
+
+StatusOr<std::vector<std::pair<std::string, std::string>>>
+ForkBaseClient::Stat() {
+  FB_ASSIGN_OR_RETURN(std::string reply, Call(Verb::kStat, Slice()));
+  Decoder dec{Slice(reply)};
+  uint64_t count = 0;
+  if (!dec.GetVarint64(&count)) {
+    return Status::Corruption("malformed STAT reply");
+  }
+  std::vector<std::pair<std::string, std::string>> kvs;
+  kvs.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    Slice k, v;
+    if (!dec.GetLengthPrefixed(&k) || !dec.GetLengthPrefixed(&v)) {
+      return Status::Corruption("malformed STAT reply");
+    }
+    kvs.emplace_back(k.ToString(), v.ToString());
+  }
+  if (!dec.AtEnd()) return Status::Corruption("malformed STAT reply");
+  return kvs;
+}
+
+StatusOr<std::vector<ForkBaseClient::BranchHead>> ForkBaseClient::Heads() {
+  FB_ASSIGN_OR_RETURN(std::string reply, Call(Verb::kHeads, Slice()));
+  Decoder dec{Slice(reply)};
+  uint64_t count = 0;
+  if (!dec.GetVarint64(&count)) {
+    return Status::Corruption("malformed HEADS reply");
+  }
+  std::vector<BranchHead> heads;
+  heads.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    Slice key, branch;
+    BranchHead head;
+    if (!dec.GetLengthPrefixed(&key) || !dec.GetLengthPrefixed(&branch) ||
+        !GetHash(&dec, &head.uid)) {
+      return Status::Corruption("malformed HEADS reply");
+    }
+    head.key = key.ToString();
+    head.branch = branch.ToString();
+    heads.push_back(std::move(head));
+  }
+  if (!dec.AtEnd()) return Status::Corruption("malformed HEADS reply");
+  return heads;
+}
+
+StatusOr<std::vector<Hash256>> ForkBaseClient::Offer(
+    const std::vector<Hash256>& ids) {
+  std::string payload;
+  AppendHashList(&payload, ids);
+  FB_ASSIGN_OR_RETURN(std::string reply, Call(Verb::kOffer, Slice(payload)));
+  Decoder dec{Slice(reply)};
+  std::vector<Hash256> wanted;
+  if (!GetHashList(&dec, &wanted) || !dec.AtEnd()) {
+    return Status::Corruption("malformed OFFER reply");
+  }
+  return wanted;
+}
+
+Status ForkBaseClient::BeginBundle() {
+  // Fire-and-forget: the server stages silently; errors surface at End.
+  return WriteFrame(stream_.get(), Verb::kBundleBegin, Slice());
+}
+
+Status ForkBaseClient::SendBundlePart(Slice bytes) {
+  return WriteFrame(stream_.get(), Verb::kBundlePart, bytes);
+}
+
+StatusOr<ForkBaseClient::ImportCounts> ForkBaseClient::EndBundle() {
+  FB_ASSIGN_OR_RETURN(std::string reply, Call(Verb::kBundleEnd, Slice()));
+  Decoder dec{Slice(reply)};
+  ImportCounts counts;
+  if (!dec.GetVarint64(&counts.chunks) ||
+      !dec.GetVarint64(&counts.new_chunks) ||
+      !dec.GetVarint64(&counts.bytes) || !dec.AtEnd()) {
+    return Status::Corruption("malformed BUNDLE_END reply");
+  }
+  return counts;
+}
+
+StatusOr<bool> ForkBaseClient::UpdateHead(const std::string& key,
+                                          const std::string& branch,
+                                          const Hash256& uid) {
+  std::string payload;
+  PutLengthPrefixed(&payload, Slice(key));
+  PutLengthPrefixed(&payload, Slice(branch));
+  AppendHash(&payload, uid);
+  FB_ASSIGN_OR_RETURN(std::string reply,
+                      Call(Verb::kUpdateHead, Slice(payload)));
+  if (reply.size() != 1) {
+    return Status::Corruption("malformed UPDATE_HEAD reply");
+  }
+  return reply[0] != 0;
+}
+
+StatusOr<ForkBaseClient::DeltaBundle> ForkBaseClient::PullDelta(
+    const std::vector<Hash256>& want, const std::vector<Hash256>& have) {
+  std::string payload;
+  AppendHashList(&payload, want);
+  AppendHashList(&payload, have);
+  FB_RETURN_IF_ERROR(WriteFrame(stream_.get(), Verb::kPullDelta,
+                                Slice(payload)));
+  // The reply is a frame sequence: Begin, Part*, End — or kError anywhere.
+  FB_ASSIGN_OR_RETURN(Frame first, ReadFrame(stream_.get()));
+  if (first.verb == Verb::kError) return DecodeError(Slice(first.payload));
+  if (first.verb != Verb::kBundleBegin) {
+    return Status::Corruption("expected BUNDLE_BEGIN");
+  }
+  DeltaBundle delta;
+  for (;;) {
+    FB_ASSIGN_OR_RETURN(Frame frame, ReadFrame(stream_.get()));
+    if (frame.verb == Verb::kError) return DecodeError(Slice(frame.payload));
+    if (frame.verb == Verb::kBundlePart) {
+      delta.bundle.append(frame.payload);
+      continue;
+    }
+    if (frame.verb == Verb::kBundleEnd) {
+      Decoder dec{Slice(frame.payload)};
+      if (!dec.GetVarint64(&delta.chunks) || !dec.GetVarint64(&delta.bytes) ||
+          !dec.AtEnd()) {
+        return Status::Corruption("malformed BUNDLE_END");
+      }
+      return delta;
+    }
+    return Status::Corruption("unexpected verb inside a bundle stream");
+  }
+}
+
+}  // namespace forkbase

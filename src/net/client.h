@@ -1,0 +1,115 @@
+// ForkBaseClient — synchronous peer of ForkBaseServer.
+//
+// One connection, one request in flight: every call writes a frame and
+// blocks for the reply (kError frames come back as the Status they carry).
+// The sync verbs at the bottom are the building blocks SyncPush/SyncPull
+// (net/sync.h) compose; CLI remote verbs use the data-access ones.
+#ifndef FORKBASE_NET_CLIENT_H_
+#define FORKBASE_NET_CLIENT_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/frame.h"
+#include "util/sha256.h"
+
+namespace forkbase {
+
+class ForkBaseClient {
+ public:
+  /// Connects and runs the HELLO handshake.
+  static StatusOr<ForkBaseClient> Connect(const std::string& address);
+  /// Adopts an already-open stream (tests inject fault decorators here)
+  /// and runs the HELLO handshake.
+  static StatusOr<ForkBaseClient> Attach(std::unique_ptr<ByteStream> stream);
+
+  ForkBaseClient(ForkBaseClient&&) = default;
+  ForkBaseClient& operator=(ForkBaseClient&&) = default;
+
+  // -- Data access ----------------------------------------------------------
+
+  struct GetResult {
+    Hash256 uid;
+    std::string value;
+  };
+  StatusOr<GetResult> Get(const std::string& key, const std::string& branch);
+  StatusOr<Hash256> Put(const std::string& key, const std::string& value,
+                        const std::string& branch, const std::string& author,
+                        const std::string& message);
+  StatusOr<Hash256> PutBlob(const std::string& key, Slice bytes,
+                            const std::string& branch,
+                            const std::string& author,
+                            const std::string& message);
+  /// Conditional commit; `expected` null = plain Put semantics.
+  StatusOr<Hash256> Commit(const std::string& key, const std::string& value,
+                           const std::string& branch,
+                           const std::string& author,
+                           const std::string& message,
+                           const Hash256* expected);
+  Status Branch(const std::string& key, const std::string& new_branch,
+                const std::string& from_branch);
+  StatusOr<std::string> Diff(const std::string& key, const std::string& a,
+                             const std::string& b);
+  StatusOr<std::vector<std::pair<std::string, std::string>>> Stat();
+
+  // -- Sync -----------------------------------------------------------------
+
+  struct BranchHead {
+    std::string key;
+    std::string branch;
+    Hash256 uid;
+  };
+  /// Every branch head of the remote instance.
+  StatusOr<std::vector<BranchHead>> Heads();
+
+  /// Have/want round: offers chunk ids, returns the subset the remote
+  /// LACKS (i.e. what a push must ship).
+  StatusOr<std::vector<Hash256>> Offer(const std::vector<Hash256>& ids);
+
+  struct ImportCounts {
+    uint64_t chunks = 0;
+    uint64_t new_chunks = 0;
+    uint64_t bytes = 0;
+  };
+  /// Streamed bundle upload: Begin, any number of Parts, then End (which
+  /// imports remotely and returns the counters).
+  Status BeginBundle();
+  Status SendBundlePart(Slice bytes);
+  StatusOr<ImportCounts> EndBundle();
+
+  /// Fast-forwards the remote (key, branch) head to `uid` (which must
+  /// already be on the server). Returns true if the head moved, false if
+  /// it already pointed there. kMergeConflict when not a fast-forward.
+  StatusOr<bool> UpdateHead(const std::string& key, const std::string& branch,
+                            const Hash256& uid);
+
+  struct DeltaBundle {
+    std::string bundle;  ///< importable via ImportBundle
+    uint64_t chunks = 0;
+    uint64_t bytes = 0;
+  };
+  /// Asks the server for the closure of `want` minus the closure of
+  /// `have`, streamed back and reassembled here.
+  StatusOr<DeltaBundle> PullDelta(const std::vector<Hash256>& want,
+                                  const std::vector<Hash256>& have);
+
+  void Close() {
+    if (stream_) stream_->Close();
+  }
+
+ private:
+  explicit ForkBaseClient(std::unique_ptr<ByteStream> stream)
+      : stream_(std::move(stream)) {}
+  Status Hello();
+  /// Writes one frame, reads one reply; kError replies decode to their
+  /// Status, any other verb than kOk is a protocol corruption.
+  StatusOr<std::string> Call(Verb verb, Slice payload);
+
+  std::unique_ptr<ByteStream> stream_;
+};
+
+}  // namespace forkbase
+
+#endif  // FORKBASE_NET_CLIENT_H_

@@ -1,0 +1,112 @@
+#include "net/frame.h"
+
+#include "util/codec.h"
+
+namespace forkbase {
+
+bool IsKnownVerb(uint8_t verb) {
+  switch (static_cast<Verb>(verb)) {
+    case Verb::kHello:
+    case Verb::kOk:
+    case Verb::kError:
+    case Verb::kGet:
+    case Verb::kPut:
+    case Verb::kPutBlob:
+    case Verb::kCommit:
+    case Verb::kBranch:
+    case Verb::kDiff:
+    case Verb::kStat:
+    case Verb::kHeads:
+    case Verb::kOffer:
+    case Verb::kBundleBegin:
+    case Verb::kBundlePart:
+    case Verb::kBundleEnd:
+    case Verb::kUpdateHead:
+    case Verb::kPullDelta:
+      return true;
+  }
+  return false;
+}
+
+std::string EncodeFrame(Verb verb, Slice payload) {
+  std::string out;
+  out.reserve(5 + payload.size());
+  PutFixed32(&out, static_cast<uint32_t>(1 + payload.size()));
+  out.push_back(static_cast<char>(verb));
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+void FrameParser::Feed(Slice bytes) {
+  // Compact lazily: drop the consumed prefix once it dominates the buffer,
+  // so a session that trickles bytes doesn't reallocate per frame.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(bytes.data(), bytes.size());
+}
+
+StatusOr<std::optional<Frame>> FrameParser::Next() {
+  if (!error_.ok()) return error_;
+  const size_t avail = buffer_.size() - consumed_;
+  if (avail < 4) return std::optional<Frame>{};
+  uint32_t length = 0;
+  {
+    Decoder dec(Slice(buffer_.data() + consumed_, 4));
+    dec.GetFixed32(&length);
+  }
+  if (length == 0) {
+    error_ = Status::Corruption("frame with zero length");
+    return error_;
+  }
+  if (static_cast<uint64_t>(length) - 1 > max_payload_) {
+    error_ = Status::InvalidArgument(
+        "frame declares " + std::to_string(length - 1) +
+        " payload bytes, over the " + std::to_string(max_payload_) +
+        " cap");
+    return error_;
+  }
+  if (avail < 4ull + length) return std::optional<Frame>{};
+  const uint8_t verb = static_cast<uint8_t>(buffer_[consumed_ + 4]);
+  if (!IsKnownVerb(verb)) {
+    error_ = Status::Corruption("unknown verb " + std::to_string(verb));
+    return error_;
+  }
+  Frame frame;
+  frame.verb = static_cast<Verb>(verb);
+  frame.payload.assign(buffer_, consumed_ + 5, length - 1);
+  consumed_ += 4ull + length;
+  return std::optional<Frame>(std::move(frame));
+}
+
+Status WriteFrame(ByteStream* stream, Verb verb, Slice payload) {
+  return stream->WriteAll(Slice(EncodeFrame(verb, payload)));
+}
+
+StatusOr<Frame> ReadFrame(ByteStream* stream, uint64_t max_payload) {
+  char header[5];
+  FB_RETURN_IF_ERROR(ReadExact(stream, header, 5));
+  uint32_t length = 0;
+  {
+    Decoder dec(Slice(header, 4));
+    dec.GetFixed32(&length);
+  }
+  if (length == 0) return Status::Corruption("frame with zero length");
+  if (static_cast<uint64_t>(length) - 1 > max_payload) {
+    return Status::InvalidArgument("oversized frame");
+  }
+  const uint8_t verb = static_cast<uint8_t>(header[4]);
+  if (!IsKnownVerb(verb)) {
+    return Status::Corruption("unknown verb " + std::to_string(verb));
+  }
+  Frame frame;
+  frame.verb = static_cast<Verb>(verb);
+  frame.payload.resize(length - 1);
+  if (length > 1) {
+    FB_RETURN_IF_ERROR(ReadExact(stream, frame.payload.data(), length - 1));
+  }
+  return frame;
+}
+
+}  // namespace forkbase

@@ -1,0 +1,97 @@
+// Length-prefixed binary frames — the unit of the ForkBase wire protocol.
+//
+// Layout (all integers little-endian, matching util/codec.h):
+//   [u32 length][u8 verb][payload …]
+// where length = 1 + payload size (it covers the verb byte, so a frame is
+// never empty and a zero length is unambiguously garbage). Payload layouts
+// per verb are defined in net/wire.h and docs/protocol.md.
+//
+// FrameParser is the incremental half for the non-blocking server: feed it
+// whatever recv returned, pull complete frames out. ReadFrame is the
+// blocking half for the synchronous client.
+#ifndef FORKBASE_NET_FRAME_H_
+#define FORKBASE_NET_FRAME_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/transport.h"
+
+namespace forkbase {
+
+/// Handshake constants (kHello payload).
+constexpr uint32_t kProtocolMagic = 0x46424e50;  // "FBNP"
+constexpr uint32_t kProtocolVersion = 1;
+
+/// Frames larger than this are a protocol error, not an allocation. Bundles
+/// stream as bounded kBundlePart frames, so no legitimate frame approaches
+/// the cap.
+constexpr uint64_t kDefaultMaxFramePayload = 64ull << 20;
+
+enum class Verb : uint8_t {
+  // Session
+  kHello = 1,  ///< first frame on every connection: [magic][version]
+  kOk = 2,     ///< success reply; payload depends on the request verb
+  kError = 3,  ///< failure reply: [status code][message]
+  // Data access
+  kGet = 10,
+  kPut = 11,
+  kPutBlob = 12,
+  kCommit = 13,  ///< Put with an optional expected-head precondition
+  kBranch = 14,
+  kDiff = 15,
+  kStat = 16,
+  // Sync
+  kHeads = 20,       ///< all (key, branch, uid) heads of the instance
+  kOffer = 21,       ///< have/want round: ids offered → subset peer lacks
+  kBundleBegin = 22, ///< start of a streamed bundle upload
+  kBundlePart = 23,  ///< a run of bundle bytes
+  kBundleEnd = 24,   ///< commit the upload → import counters
+  kUpdateHead = 25,  ///< fast-forward a branch head to a shipped uid
+  kPullDelta = 26,   ///< want/have → server streams a delta bundle back
+};
+
+bool IsKnownVerb(uint8_t verb);
+
+struct Frame {
+  Verb verb = Verb::kError;
+  std::string payload;
+};
+
+/// [u32 length][u8 verb][payload].
+std::string EncodeFrame(Verb verb, Slice payload);
+
+/// Incremental decoder over an untrusted byte stream.
+class FrameParser {
+ public:
+  explicit FrameParser(uint64_t max_payload = kDefaultMaxFramePayload)
+      : max_payload_(max_payload) {}
+
+  /// Appends raw received bytes.
+  void Feed(Slice bytes);
+
+  /// Extracts the next complete frame. nullopt = need more bytes. Errors
+  /// (kInvalidArgument for an oversized declaration, kCorruption for a
+  /// zero length or unknown verb) are sticky: the stream is garbage from
+  /// here on and the connection should be dropped.
+  StatusOr<std::optional<Frame>> Next();
+
+  /// Bytes buffered but not yet consumed by Next().
+  size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  const uint64_t max_payload_;
+  std::string buffer_;
+  size_t consumed_ = 0;  ///< prefix of buffer_ already handed out
+  Status error_ = Status::OK();
+};
+
+/// Blocking frame I/O for synchronous peers (client, tests).
+Status WriteFrame(ByteStream* stream, Verb verb, Slice payload);
+StatusOr<Frame> ReadFrame(ByteStream* stream,
+                          uint64_t max_payload = kDefaultMaxFramePayload);
+
+}  // namespace forkbase
+
+#endif  // FORKBASE_NET_FRAME_H_

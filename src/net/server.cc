@@ -1,0 +1,660 @@
+#include "net/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <utility>
+#include <vector>
+
+#include "net/sync.h"
+#include "net/wire.h"
+#include "store/bundle.h"
+
+namespace forkbase {
+
+namespace {
+
+constexpr size_t kReadChunk = 64 * 1024;
+/// kBundlePart payload size for streamed PULL_DELTA replies.
+constexpr size_t kPartBytes = 1 << 20;
+constexpr int kUpdateHeadRetries = 16;
+
+Status SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::IOError(std::string("fcntl O_NONBLOCK: ") +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+struct ForkBaseServer::Session {
+  explicit Session(int fd_in, uint64_t max_payload)
+      : fd(fd_in), parser(max_payload) {}
+
+  const int fd;
+  // Loop-thread-only state: the loop never decodes while a request is in
+  // flight (busy), so the worker owns `bundle` for the duration of a
+  // kBundleEnd and nothing else races it.
+  FrameParser parser;
+  bool hello_done = false;
+  std::string bundle;
+  bool bundle_active = false;
+
+  std::atomic<bool> busy{false};     ///< one request in flight
+  std::atomic<bool> closing{false};  ///< close once the outbox drains
+
+  std::mutex mu;       ///< guards outbox (loop flushes, workers append)
+  std::string outbox;  ///< encoded frames awaiting the socket
+};
+
+ForkBaseServer::ForkBaseServer(ForkBase* db, const Options& options)
+    : db_(db), options_(options), pool_(options.worker_threads) {}
+
+StatusOr<std::unique_ptr<ForkBaseServer>> ForkBaseServer::Start(
+    ForkBase* db, const std::string& address) {
+  return Start(db, address, Options{});
+}
+
+StatusOr<std::unique_ptr<ForkBaseServer>> ForkBaseServer::Start(
+    ForkBase* db, const std::string& address, const Options& options) {
+  std::unique_ptr<ForkBaseServer> server(new ForkBaseServer(db, options));
+  FB_RETURN_IF_ERROR(server->Init(address));
+  return server;
+}
+
+Status ForkBaseServer::Init(const std::string& address) {
+  FB_ASSIGN_OR_RETURN(Endpoint ep, ParseAddress(address));
+  FB_ASSIGN_OR_RETURN(listen_fd_, ListenOn(address, &address_));
+  if (ep.kind == Endpoint::Kind::kUnix) unix_path_ = ep.path;
+  FB_RETURN_IF_ERROR(SetNonBlocking(listen_fd_));
+  if (::pipe(wake_fds_) != 0) {
+    return Status::IOError(std::string("pipe: ") + std::strerror(errno));
+  }
+  FB_RETURN_IF_ERROR(SetNonBlocking(wake_fds_[0]));
+  FB_RETURN_IF_ERROR(SetNonBlocking(wake_fds_[1]));
+  loop_ = std::thread([this] { LoopMain(); });
+  return Status::OK();
+}
+
+ForkBaseServer::~ForkBaseServer() { Stop(); }
+
+void ForkBaseServer::Stop() {
+  if (stop_.exchange(true)) return;
+  Wake();
+  if (loop_.joinable()) loop_.join();
+  // Runs any request still queued; replies land in outboxes that are never
+  // flushed, which is fine — the sockets are about to close.
+  pool_.Shutdown();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [fd, session] : sessions_) {
+      (void)session;
+      ::close(fd);
+    }
+    sessions_.clear();
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_fds_[0] >= 0) ::close(wake_fds_[0]);
+  if (wake_fds_[1] >= 0) ::close(wake_fds_[1]);
+  if (!unix_path_.empty()) ::unlink(unix_path_.c_str());
+}
+
+ForkBaseServer::Stats ForkBaseServer::stats() const {
+  Stats s;
+  s.sessions_accepted = sessions_accepted_.load();
+  s.sessions_closed = sessions_closed_.load();
+  s.frames_received = frames_received_.load();
+  s.requests_served = requests_served_.load();
+  s.protocol_errors = protocol_errors_.load();
+  return s;
+}
+
+void ForkBaseServer::Wake() {
+  const char byte = 'w';
+  ssize_t rc = ::write(wake_fds_[1], &byte, 1);
+  (void)rc;  // a full pipe already guarantees a pending wakeup
+}
+
+void ForkBaseServer::LoopMain() {
+  while (!stop_.load()) {
+    std::vector<pollfd> fds;
+    std::vector<std::shared_ptr<Session>> polled;
+    std::vector<int> to_close;
+    fds.push_back({listen_fd_, POLLIN, 0});
+    fds.push_back({wake_fds_[0], POLLIN, 0});
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (auto& [fd, session] : sessions_) {
+        // A worker finishing its request may have left decoded-but-
+        // unprocessed bytes in the parser; drain them before sleeping.
+        if (!session->busy.load() && !session->closing.load() &&
+            session->parser.buffered() > 0) {
+          ProcessFrames(session);
+        }
+        short events = 0;
+        if (!session->busy.load() && !session->closing.load()) {
+          events |= POLLIN;
+        }
+        bool outbox_empty;
+        {
+          std::lock_guard<std::mutex> session_lock(session->mu);
+          outbox_empty = session->outbox.empty();
+        }
+        if (!outbox_empty) events |= POLLOUT;
+        if (session->closing.load() && outbox_empty) {
+          to_close.push_back(fd);
+          continue;
+        }
+        if (events == 0) continue;  // busy: the wake pipe re-polls us
+        fds.push_back({fd, events, 0});
+        polled.push_back(session);
+      }
+    }
+    for (int fd : to_close) CloseSession(fd);
+    if (::poll(fds.data(), fds.size(), 500) < 0) {
+      if (errno == EINTR) continue;
+      break;  // poll itself failing is unrecoverable
+    }
+    if (stop_.load()) break;
+    if (fds[1].revents & POLLIN) {
+      char drain[256];
+      while (::read(wake_fds_[0], drain, sizeof(drain)) > 0) {
+      }
+    }
+    if (fds[0].revents & POLLIN) AcceptPending();
+    for (size_t i = 0; i < polled.size(); ++i) {
+      const short revents = fds[i + 2].revents;
+      if (revents & POLLOUT) FlushOutbox(polled[i]);
+      if (revents & POLLIN) ReadInput(polled[i]);
+      if (revents & (POLLERR | POLLNVAL)) polled[i]->closing.store(true);
+    }
+  }
+}
+
+void ForkBaseServer::AcceptPending() {
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN or transient accept failure: try next poll round
+    }
+    if (!SetNonBlocking(fd).ok()) {
+      ::close(fd);
+      continue;
+    }
+    auto session =
+        std::make_shared<Session>(fd, options_.max_frame_payload);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      sessions_.emplace(fd, std::move(session));
+    }
+    sessions_accepted_.fetch_add(1);
+  }
+}
+
+void ForkBaseServer::ReadInput(const std::shared_ptr<Session>& session) {
+  char buf[kReadChunk];
+  for (;;) {
+    ssize_t n = ::recv(session->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      session->parser.Feed(Slice(buf, static_cast<size_t>(n)));
+      if (static_cast<size_t>(n) < sizeof(buf)) break;
+      continue;
+    }
+    if (n == 0) {
+      session->closing.store(true);
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    session->closing.store(true);
+    break;
+  }
+  ProcessFrames(session);
+}
+
+void ForkBaseServer::ProcessFrames(const std::shared_ptr<Session>& session) {
+  while (!session->busy.load() && !session->closing.load()) {
+    auto next = session->parser.Next();
+    if (!next.ok()) {
+      FailSession(session, next.status());
+      return;
+    }
+    if (!next->has_value()) return;
+    frames_received_.fetch_add(1);
+    HandleFrame(session, std::move(**next));
+  }
+}
+
+void ForkBaseServer::HandleFrame(const std::shared_ptr<Session>& session,
+                                 Frame frame) {
+  if (!session->hello_done) {
+    if (frame.verb != Verb::kHello) {
+      FailSession(session,
+                  Status::Corruption("expected HELLO as the first frame"));
+      return;
+    }
+    Decoder dec{Slice(frame.payload)};
+    uint32_t magic = 0;
+    uint64_t version = 0;
+    if (!dec.GetFixed32(&magic) || magic != kProtocolMagic ||
+        !dec.GetVarint64(&version) || !dec.AtEnd()) {
+      FailSession(session, Status::Corruption("malformed HELLO"));
+      return;
+    }
+    if (version != kProtocolVersion) {
+      FailSession(session, Status::InvalidArgument(
+                               "protocol version " + std::to_string(version) +
+                               " unsupported; server speaks " +
+                               std::to_string(kProtocolVersion)));
+      return;
+    }
+    session->hello_done = true;
+    std::string payload;
+    PutVarint64(&payload, kProtocolVersion);
+    requests_served_.fetch_add(1);
+    EnqueueBytes(session, EncodeFrame(Verb::kOk, Slice(payload)));
+    return;
+  }
+  switch (frame.verb) {
+    case Verb::kHello:
+      FailSession(session, Status::Corruption("duplicate HELLO"));
+      return;
+    case Verb::kOk:
+    case Verb::kError:
+      FailSession(session,
+                  Status::Corruption("reply verb sent by the client"));
+      return;
+    case Verb::kBundleBegin:
+      // Inline (no reply): just resets the staging buffer.
+      session->bundle.clear();
+      session->bundle_active = true;
+      return;
+    case Verb::kBundlePart:
+      if (!session->bundle_active) {
+        FailSession(session,
+                    Status::Corruption("BUNDLE_PART outside an upload"));
+        return;
+      }
+      if (session->bundle.size() + frame.payload.size() >
+          options_.max_bundle_bytes) {
+        FailSession(session,
+                    Status::InvalidArgument(
+                        "bundle upload exceeds the " +
+                        std::to_string(options_.max_bundle_bytes) +
+                        "-byte cap"));
+        return;
+      }
+      session->bundle.append(frame.payload);
+      return;
+    default:
+      break;
+  }
+  // Reply-bearing request: park the session (its later frames stay in the
+  // parser) and run against the store on a worker.
+  session->busy.store(true);
+  pool_.Submit([this, session, frame = std::move(frame)]() mutable {
+    ExecuteRequest(session, std::move(frame));
+  });
+}
+
+void ForkBaseServer::ExecuteRequest(const std::shared_ptr<Session>& session,
+                                    Frame frame) {
+  if (frame.verb == Verb::kPullDelta) {
+    Decoder dec{Slice(frame.payload)};
+    Status status = HandlePullDelta(session, &dec);
+    if (!status.ok()) {
+      EnqueueBytes(session, EncodeFrame(Verb::kError, EncodeError(status)));
+    } else {
+      requests_served_.fetch_add(1);
+    }
+  } else {
+    EnqueueBytes(session, HandleRequest(session, frame));
+  }
+  session->busy.store(false);
+  Wake();
+}
+
+std::string ForkBaseServer::HandleRequest(
+    const std::shared_ptr<Session>& session, const Frame& frame) {
+  Decoder dec{Slice(frame.payload)};
+  std::string payload;
+  Status status = Status::OK();
+  bool mutated = false;
+
+  // Shared field parsers for the write verbs.
+  Slice key, branch, author, message, value;
+  auto parse_put_fields = [&]() {
+    return dec.GetLengthPrefixed(&key) && dec.GetLengthPrefixed(&branch) &&
+           dec.GetLengthPrefixed(&author) && dec.GetLengthPrefixed(&message) &&
+           dec.GetLengthPrefixed(&value);
+  };
+
+  switch (frame.verb) {
+    case Verb::kGet: {
+      if (!dec.GetLengthPrefixed(&key) || !dec.GetLengthPrefixed(&branch) ||
+          !dec.AtEnd()) {
+        status = Status::Corruption("malformed GET");
+        break;
+      }
+      auto uid = db_->Head(key.ToString(), branch.ToString());
+      if (!uid.ok()) {
+        status = uid.status();
+        break;
+      }
+      auto got = db_->GetVersion(*uid);
+      if (!got.ok()) {
+        status = got.status();
+        break;
+      }
+      AppendHash(&payload, *uid);
+      PutLengthPrefixed(&payload, Slice(got->ToString()));
+      break;
+    }
+    case Verb::kPut:
+    case Verb::kPutBlob: {
+      if (!parse_put_fields() || !dec.AtEnd()) {
+        status = Status::Corruption("malformed PUT");
+        break;
+      }
+      PutMeta meta{author.ToString(), message.ToString()};
+      auto uid = frame.verb == Verb::kPut
+                     ? db_->Put(key.ToString(), Value::String(value.ToString()),
+                                branch.ToString(), meta)
+                     : db_->PutBlob(key.ToString(), value, branch.ToString(),
+                                    meta);
+      if (!uid.ok()) {
+        status = uid.status();
+        break;
+      }
+      AppendHash(&payload, *uid);
+      mutated = true;
+      break;
+    }
+    case Verb::kCommit: {
+      Slice flag;
+      Hash256 expected;
+      bool has_expected = false;
+      if (!parse_put_fields() || !dec.GetRaw(1, &flag)) {
+        status = Status::Corruption("malformed COMMIT");
+        break;
+      }
+      has_expected = flag[0] != 0;
+      if ((has_expected && !GetHash(&dec, &expected)) || !dec.AtEnd()) {
+        status = Status::Corruption("malformed COMMIT");
+        break;
+      }
+      PutMeta meta{author.ToString(), message.ToString()};
+      auto uid =
+          has_expected
+              ? db_->PutIf(key.ToString(), Value::String(value.ToString()),
+                           expected, branch.ToString(), meta)
+              : db_->Put(key.ToString(), Value::String(value.ToString()),
+                         branch.ToString(), meta);
+      if (!uid.ok()) {
+        status = uid.status();
+        break;
+      }
+      AppendHash(&payload, *uid);
+      mutated = true;
+      break;
+    }
+    case Verb::kBranch: {
+      Slice new_branch, from;
+      if (!dec.GetLengthPrefixed(&key) ||
+          !dec.GetLengthPrefixed(&new_branch) ||
+          !dec.GetLengthPrefixed(&from) || !dec.AtEnd()) {
+        status = Status::Corruption("malformed BRANCH");
+        break;
+      }
+      status = db_->Branch(key.ToString(), new_branch.ToString(),
+                           from.ToString());
+      mutated = status.ok();
+      break;
+    }
+    case Verb::kDiff: {
+      Slice branch_a, branch_b;
+      if (!dec.GetLengthPrefixed(&key) || !dec.GetLengthPrefixed(&branch_a) ||
+          !dec.GetLengthPrefixed(&branch_b) || !dec.AtEnd()) {
+        status = Status::Corruption("malformed DIFF");
+        break;
+      }
+      auto diff = db_->Diff(key.ToString(), branch_a.ToString(),
+                            branch_b.ToString());
+      if (!diff.ok()) {
+        status = diff.status();
+        break;
+      }
+      PutLengthPrefixed(&payload, Slice(FormatObjectDiff(*diff)));
+      break;
+    }
+    case Verb::kStat: {
+      if (!dec.AtEnd()) {
+        status = Status::Corruption("malformed STAT");
+        break;
+      }
+      const auto kvs = db_->Stat().ToKeyValues();
+      PutVarint64(&payload, kvs.size());
+      for (const auto& [k, v] : kvs) {
+        PutLengthPrefixed(&payload, Slice(k));
+        PutLengthPrefixed(&payload, Slice(v));
+      }
+      break;
+    }
+    case Verb::kHeads: {
+      if (!dec.AtEnd()) {
+        status = Status::Corruption("malformed HEADS");
+        break;
+      }
+      std::string entries;
+      uint64_t count = 0;
+      for (const auto& k : db_->ListKeys()) {
+        auto heads = db_->Latest(k);
+        if (!heads.ok()) continue;  // key deleted between List and Latest
+        for (const auto& [b, uid] : *heads) {
+          PutLengthPrefixed(&entries, Slice(k));
+          PutLengthPrefixed(&entries, Slice(b));
+          AppendHash(&entries, uid);
+          ++count;
+        }
+      }
+      PutVarint64(&payload, count);
+      payload.append(entries);
+      break;
+    }
+    case Verb::kOffer: {
+      std::vector<Hash256> offered;
+      if (!GetHashList(&dec, &offered) || !dec.AtEnd()) {
+        status = Status::Corruption("malformed OFFER");
+        break;
+      }
+      std::vector<Hash256> wanted;
+      for (const auto& id : offered) {
+        if (!db_->store()->Contains(id)) wanted.push_back(id);
+      }
+      AppendHashList(&payload, wanted);
+      break;
+    }
+    case Verb::kBundleEnd: {
+      if (!dec.AtEnd() || !session->bundle_active) {
+        status = Status::Corruption("BUNDLE_END outside an upload");
+        break;
+      }
+      auto result = ImportBundle(Slice(session->bundle), db_->store());
+      session->bundle.clear();
+      session->bundle_active = false;
+      if (!result.ok()) {
+        status = result.status();
+        break;
+      }
+      PutVarint64(&payload, result->chunks);
+      PutVarint64(&payload, result->new_chunks);
+      PutVarint64(&payload, result->bytes);
+      break;
+    }
+    case Verb::kUpdateHead: {
+      status = HandleUpdateHead(&dec, &payload);
+      mutated = status.ok();
+      break;
+    }
+    default:
+      status = Status::Unimplemented("verb not handled");
+      break;
+  }
+
+  if (!status.ok()) {
+    return EncodeFrame(Verb::kError, EncodeError(status));
+  }
+  requests_served_.fetch_add(1);
+  if (mutated && options_.after_mutation) {
+    std::lock_guard<std::mutex> lock(mutation_mu_);
+    options_.after_mutation();
+  }
+  return EncodeFrame(Verb::kOk, Slice(payload));
+}
+
+Status ForkBaseServer::HandleUpdateHead(Decoder* dec,
+                                        std::string* reply_payload) {
+  Slice key_raw, branch_raw;
+  Hash256 uid;
+  if (!dec->GetLengthPrefixed(&key_raw) ||
+      !dec->GetLengthPrefixed(&branch_raw) || !GetHash(dec, &uid) ||
+      !dec->AtEnd()) {
+    return Status::Corruption("malformed UPDATE_HEAD");
+  }
+  const std::string key = key_raw.ToString();
+  const std::string branch = branch_raw.ToString();
+  auto meta = db_->Meta(uid);
+  if (!meta.ok()) {
+    return Status::NotFound(
+        "version not present on the server; push its bundle first");
+  }
+  if (meta->key != key) {
+    return Status::InvalidArgument("version belongs to key " + meta->key);
+  }
+  for (int attempt = 0; attempt < kUpdateHeadRetries; ++attempt) {
+    auto head = db_->Head(key, branch);
+    if (!head.ok()) {
+      Status created = db_->BranchFromVersion(key, branch, uid);
+      if (created.ok()) {
+        reply_payload->push_back(1);
+        return Status::OK();
+      }
+      if (created.code() == StatusCode::kAlreadyExists) continue;  // raced
+      return created;
+    }
+    if (*head == uid) {
+      reply_payload->push_back(0);  // already there — idempotent push
+      return Status::OK();
+    }
+    auto fast_forward = HistoryContains(*db_->store(), uid, *head);
+    if (!fast_forward.ok()) return fast_forward.status();
+    if (!*fast_forward) {
+      return Status::MergeConflict(
+          "remote branch has commits the pushed head does not include; "
+          "pull and merge first");
+    }
+    auto advanced = db_->AdvanceHead(key, branch, *head, uid);
+    if (advanced.ok()) {
+      reply_payload->push_back(1);
+      return Status::OK();
+    }
+    if (advanced.status().code() != StatusCode::kAlreadyExists) {
+      return advanced.status();
+    }
+    // The head moved while we checked ancestry — re-read and retry.
+  }
+  return Status::MergeConflict(
+      "update-head kept racing concurrent commits; retry");
+}
+
+Status ForkBaseServer::HandlePullDelta(
+    const std::shared_ptr<Session>& session, Decoder* dec) {
+  std::vector<Hash256> want, have;
+  if (!GetHashList(dec, &want) || !GetHashList(dec, &have) || !dec->AtEnd()) {
+    return Status::Corruption("malformed PULL_DELTA");
+  }
+  if (want.empty()) {
+    return Status::InvalidArgument("PULL_DELTA with no want heads");
+  }
+  // Stream the delta: frames go to the outbox as the export produces them,
+  // so the loop thread writes while the walk is still running and the
+  // server never holds a whole bundle for a pull.
+  EnqueueBytes(session, EncodeFrame(Verb::kBundleBegin, Slice()));
+  std::string buffer;
+  auto sink = [&](Slice bytes) -> Status {
+    buffer.append(bytes.data(), bytes.size());
+    while (buffer.size() >= kPartBytes) {
+      EnqueueBytes(session, EncodeFrame(Verb::kBundlePart,
+                                        Slice(buffer.data(), kPartBytes)));
+      buffer.erase(0, kPartBytes);
+    }
+    return Status::OK();
+  };
+  auto stats = ExportDeltaBundle(*db_->store(), want, have, sink);
+  if (!stats.ok()) return stats.status();  // client aborts on the kError
+  if (!buffer.empty()) {
+    EnqueueBytes(session, EncodeFrame(Verb::kBundlePart, Slice(buffer)));
+  }
+  std::string end;
+  PutVarint64(&end, stats->chunks);
+  PutVarint64(&end, stats->bytes);
+  EnqueueBytes(session, EncodeFrame(Verb::kBundleEnd, Slice(end)));
+  return Status::OK();
+}
+
+void ForkBaseServer::EnqueueBytes(const std::shared_ptr<Session>& session,
+                                  std::string bytes) {
+  {
+    std::lock_guard<std::mutex> lock(session->mu);
+    session->outbox.append(bytes);
+  }
+  Wake();
+}
+
+void ForkBaseServer::FailSession(const std::shared_ptr<Session>& session,
+                                 const Status& error) {
+  protocol_errors_.fetch_add(1);
+  EnqueueBytes(session, EncodeFrame(Verb::kError, EncodeError(error)));
+  session->closing.store(true);
+}
+
+void ForkBaseServer::FlushOutbox(const std::shared_ptr<Session>& session) {
+  std::lock_guard<std::mutex> lock(session->mu);
+  while (!session->outbox.empty()) {
+    ssize_t n = ::send(session->fd, session->outbox.data(),
+                       session->outbox.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      session->outbox.erase(0, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    // Peer vanished: drop what we cannot deliver and close.
+    session->outbox.clear();
+    session->closing.store(true);
+    break;
+  }
+}
+
+void ForkBaseServer::CloseSession(int fd) {
+  std::shared_ptr<Session> session;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(fd);
+    if (it == sessions_.end()) return;
+    session = it->second;
+    sessions_.erase(it);
+  }
+  ::close(fd);
+  sessions_closed_.fetch_add(1);
+}
+
+}  // namespace forkbase

@@ -1,0 +1,140 @@
+// ForkBaseServer — the multi-client front-end.
+//
+// One poll()-driven event-loop thread owns every socket: it accepts
+// connections, feeds received bytes through a per-session FrameParser, and
+// flushes queued reply bytes. Request execution happens on a WorkerPool so
+// a slow read (or a large delta export) never stalls other sessions' I/O.
+//
+// Concurrency model per session: one request in flight. The loop stops
+// decoding a session's frames while its request runs (clients are
+// synchronous, so pipelined bytes just wait in the parser) and resumes when
+// the worker posts the reply. Writes ride the existing store/commit-queue
+// stack: reads go straight to ForkBase's const surface, commits go through
+// Put/PutIf and therefore through the group-commit queue when the instance
+// has one — N sessions committing to one branch get the queue's linear
+// chaining, not last-writer-wins.
+//
+// Sync verbs (kHeads/kOffer/kBundle*/kUpdateHead/kPullDelta) make the same
+// server the replication peer: see net/sync.h for the client half.
+#ifndef FORKBASE_NET_SERVER_H_
+#define FORKBASE_NET_SERVER_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "net/frame.h"
+#include "store/forkbase.h"
+#include "util/worker_pool.h"
+
+namespace forkbase {
+
+class ForkBaseServer {
+ public:
+  struct Options {
+    /// Request-execution threads (per server, shared by all sessions).
+    size_t worker_threads = 4;
+    /// Per-frame payload cap enforced by the parser.
+    uint64_t max_frame_payload = kDefaultMaxFramePayload;
+    /// Cap on one streamed bundle upload (sum of kBundlePart payloads).
+    uint64_t max_bundle_bytes = 1ull << 30;
+    /// Invoked (serialized) after every successful mutating request — the
+    /// CLI persists the branch sidecar here so a crash after a client
+    /// commit cannot lose the head.
+    std::function<void()> after_mutation;
+  };
+
+  struct Stats {
+    uint64_t sessions_accepted = 0;
+    uint64_t sessions_closed = 0;
+    uint64_t frames_received = 0;
+    uint64_t requests_served = 0;
+    uint64_t protocol_errors = 0;
+  };
+
+  /// Binds `address` (see net/transport.h) and starts the loop thread.
+  /// `db` must outlive the server.
+  static StatusOr<std::unique_ptr<ForkBaseServer>> Start(
+      ForkBase* db, const std::string& address);
+  static StatusOr<std::unique_ptr<ForkBaseServer>> Start(
+      ForkBase* db, const std::string& address, const Options& options);
+
+  ~ForkBaseServer();
+  ForkBaseServer(const ForkBaseServer&) = delete;
+  ForkBaseServer& operator=(const ForkBaseServer&) = delete;
+
+  /// Stops accepting, joins the loop and the workers, closes every
+  /// session. Idempotent; the destructor calls it.
+  void Stop();
+
+  /// Concrete reconnectable address (resolves tcp:...:0 to the real port).
+  const std::string& address() const { return address_; }
+
+  Stats stats() const;
+
+ private:
+  struct Session;
+
+  ForkBaseServer(ForkBase* db, const Options& options);
+  Status Init(const std::string& address);
+
+  void LoopMain();
+  void Wake();
+  void AcceptPending();
+  /// recv()s whatever is ready and decodes frames; may mark the session
+  /// busy (request dispatched) or closing (protocol error / EOF).
+  void ReadInput(const std::shared_ptr<Session>& session);
+  /// Decodes buffered frames until the session goes busy or runs dry.
+  void ProcessFrames(const std::shared_ptr<Session>& session);
+  /// Handles one frame on the loop thread; dispatches reply-bearing verbs
+  /// to the worker pool.
+  void HandleFrame(const std::shared_ptr<Session>& session, Frame frame);
+  /// Worker-side: executes a request and posts the reply frame(s).
+  void ExecuteRequest(const std::shared_ptr<Session>& session, Frame frame);
+  std::string HandleRequest(const std::shared_ptr<Session>& session,
+                            const Frame& frame);
+  Status HandleUpdateHead(Decoder* dec, std::string* reply_payload);
+  Status HandlePullDelta(const std::shared_ptr<Session>& session,
+                         Decoder* dec);
+
+  /// Appends encoded frame bytes to the session's outbox and wakes poll.
+  void EnqueueBytes(const std::shared_ptr<Session>& session,
+                    std::string bytes);
+  /// Sends a protocol error and schedules the session for close-on-flush.
+  void FailSession(const std::shared_ptr<Session>& session,
+                   const Status& error);
+  /// Flushes as much outbox as the socket accepts without blocking.
+  void FlushOutbox(const std::shared_ptr<Session>& session);
+  void CloseSession(int fd);
+
+  ForkBase* const db_;
+  const Options options_;
+  std::string address_;
+  std::string unix_path_;  ///< socket file to unlink on Stop
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};
+
+  std::mutex mu_;  ///< guards sessions_; taken before any session mutex
+  std::map<int, std::shared_ptr<Session>> sessions_;
+
+  /// Serializes after_mutation callbacks across worker threads.
+  std::mutex mutation_mu_;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> sessions_accepted_{0};
+  std::atomic<uint64_t> sessions_closed_{0};
+  std::atomic<uint64_t> frames_received_{0};
+  std::atomic<uint64_t> requests_served_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+
+  WorkerPool pool_;
+  std::thread loop_;
+};
+
+}  // namespace forkbase
+
+#endif  // FORKBASE_NET_SERVER_H_

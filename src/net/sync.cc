@@ -1,0 +1,237 @@
+#include "net/sync.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <queue>
+#include <unordered_set>
+#include <utility>
+
+#include "store/bundle.h"
+#include "store/fnode.h"
+#include "store/gc.h"
+
+namespace forkbase {
+
+namespace {
+
+constexpr int kHeadRaceRetries = 16;
+
+struct Target {
+  std::string key;
+  std::string branch;
+  Hash256 uid;  ///< the head being published (local for push, remote for pull)
+};
+
+bool KeySelected(const SyncOptions& options, const std::string& key) {
+  if (options.keys.empty()) return true;
+  return std::find(options.keys.begin(), options.keys.end(), key) !=
+         options.keys.end();
+}
+
+/// Every local branch head — the receiver's "have" frontier.
+std::vector<Hash256> LocalHeads(ForkBase* db) {
+  std::unordered_set<Hash256, Hash256Hasher> seen;
+  std::vector<Hash256> heads;
+  for (const auto& key : db->ListKeys()) {
+    auto latest = db->Latest(key);
+    if (!latest.ok()) continue;
+    for (const auto& [branch, uid] : *latest) {
+      (void)branch;
+      if (seen.insert(uid).second) heads.push_back(uid);
+    }
+  }
+  return heads;
+}
+
+/// Fast-forwards the local (key, branch) head to `uid`, creating the
+/// branch if absent. Returns true=updated, false=already there;
+/// kMergeConflict when the local branch diverged.
+StatusOr<bool> FastForwardLocal(ForkBase* db, const Target& target) {
+  for (int attempt = 0; attempt < kHeadRaceRetries; ++attempt) {
+    auto head = db->Head(target.key, target.branch);
+    if (!head.ok()) {
+      Status created =
+          db->BranchFromVersion(target.key, target.branch, target.uid);
+      if (created.ok()) return true;
+      if (created.code() == StatusCode::kAlreadyExists) continue;  // raced
+      return created;
+    }
+    if (*head == target.uid) return false;
+    FB_ASSIGN_OR_RETURN(bool fast_forward,
+                        HistoryContains(*db->store(), target.uid, *head));
+    if (!fast_forward) {
+      return Status::MergeConflict("local branch " + target.key + "@" +
+                                   target.branch + " diverged");
+    }
+    auto advanced =
+        db->AdvanceHead(target.key, target.branch, *head, target.uid);
+    if (advanced.ok()) return true;
+    if (advanced.status().code() != StatusCode::kAlreadyExists) {
+      return advanced.status();
+    }
+  }
+  return Status::MergeConflict("head kept racing concurrent commits");
+}
+
+}  // namespace
+
+StatusOr<bool> HistoryContains(const ChunkStore& store, const Hash256& head,
+                               const Hash256& target) {
+  if (head == target) return true;
+  std::unordered_set<Hash256, Hash256Hasher> seen{head};
+  std::queue<Hash256> frontier;
+  frontier.push(head);
+  while (!frontier.empty()) {
+    Hash256 uid = frontier.front();
+    frontier.pop();
+    FB_ASSIGN_OR_RETURN(FNode node, FNode::Load(&store, uid));
+    for (const auto& base : node.bases) {
+      if (base == target) return true;
+      if (seen.insert(base).second) frontier.push(base);
+    }
+  }
+  return false;
+}
+
+StatusOr<SyncStats> SyncPush(ForkBase* db, ForkBaseClient* client,
+                             const SyncOptions& options) {
+  SyncStats stats;
+  FB_ASSIGN_OR_RETURN(auto remote_heads, client->Heads());
+  std::map<std::pair<std::string, std::string>, Hash256> remote;
+  for (const auto& h : remote_heads) {
+    remote[{h.key, h.branch}] = h.uid;
+  }
+
+  // Negotiate per-branch: local heads the peer does not already have.
+  std::vector<Target> targets;
+  std::vector<Hash256> want;
+  for (const auto& key : db->ListKeys()) {
+    if (!KeySelected(options, key)) continue;
+    auto latest = db->Latest(key);
+    if (!latest.ok()) continue;
+    for (const auto& [branch, uid] : *latest) {
+      ++stats.branches_considered;
+      auto it = remote.find({key, branch});
+      if (it != remote.end() && it->second == uid) {
+        ++stats.branches_skipped;
+        continue;
+      }
+      targets.push_back({key, branch, uid});
+      want.push_back(uid);
+    }
+  }
+  if (targets.empty()) return stats;
+
+  // The peer's frontier, as far as this store knows it: remote heads we
+  // also hold bound the delta closure below.
+  std::vector<Hash256> have;
+  for (const auto& h : remote_heads) {
+    if (db->store()->Contains(h.uid)) have.push_back(h.uid);
+  }
+  FB_ASSIGN_OR_RETURN(auto excluded, MarkLive(*db->store(), have));
+  FB_ASSIGN_OR_RETURN(auto delta, MarkLive(*db->store(), want, &excluded));
+  std::vector<Hash256> candidates(delta.begin(), delta.end());
+  std::sort(candidates.begin(), candidates.end());
+
+  // Have/want rounds: the head comparison bounds the closure, the Offer
+  // rounds make it exact — chunks shared through content addressing
+  // (dedup across unrelated branches) drop out here.
+  std::vector<Hash256> to_send;
+  for (size_t i = 0; i < candidates.size(); i += options.offer_batch) {
+    const size_t n = std::min(options.offer_batch, candidates.size() - i);
+    std::vector<Hash256> batch(candidates.begin() + i,
+                               candidates.begin() + i + n);
+    ++stats.rounds;
+    stats.chunks_offered += batch.size();
+    FB_ASSIGN_OR_RETURN(auto wanted, client->Offer(batch));
+    to_send.insert(to_send.end(), wanted.begin(), wanted.end());
+  }
+
+  if (!to_send.empty()) {
+    FB_RETURN_IF_ERROR(client->BeginBundle());
+    std::string buffer;
+    auto sink = [&](Slice bytes) -> Status {
+      buffer.append(bytes.data(), bytes.size());
+      while (buffer.size() >= options.part_bytes) {
+        FB_RETURN_IF_ERROR(client->SendBundlePart(
+            Slice(buffer.data(), options.part_bytes)));
+        buffer.erase(0, options.part_bytes);
+      }
+      return Status::OK();
+    };
+    FB_ASSIGN_OR_RETURN(auto bundle_stats,
+                        ExportBundleOfIds(*db->store(), want, to_send, sink));
+    if (!buffer.empty()) {
+      FB_RETURN_IF_ERROR(client->SendBundlePart(Slice(buffer)));
+    }
+    FB_ASSIGN_OR_RETURN(auto counts, client->EndBundle());
+    stats.chunks_sent = bundle_stats.chunks;
+    stats.bytes_sent = bundle_stats.bytes;
+    stats.remote_new_chunks = counts.new_chunks;
+  }
+
+  // Publish. A divergent remote branch is a conflict, not an error — the
+  // rest of the push still lands.
+  for (const auto& target : targets) {
+    auto updated = client->UpdateHead(target.key, target.branch, target.uid);
+    if (updated.ok()) {
+      *updated ? ++stats.branches_updated : ++stats.branches_skipped;
+      continue;
+    }
+    if (updated.status().code() == StatusCode::kMergeConflict) {
+      ++stats.branches_conflicted;
+      continue;
+    }
+    return updated.status();
+  }
+  return stats;
+}
+
+StatusOr<SyncStats> SyncPull(ForkBase* db, ForkBaseClient* client,
+                             const SyncOptions& options) {
+  SyncStats stats;
+  FB_ASSIGN_OR_RETURN(auto remote_heads, client->Heads());
+
+  std::vector<Target> targets;
+  std::vector<Hash256> want;
+  for (const auto& h : remote_heads) {
+    if (!KeySelected(options, h.key)) continue;
+    ++stats.branches_considered;
+    auto local = db->Head(h.key, h.branch);
+    if (local.ok() && *local == h.uid) {
+      ++stats.branches_skipped;
+      continue;
+    }
+    targets.push_back({h.key, h.branch, h.uid});
+    if (!db->store()->Contains(h.uid)) want.push_back(h.uid);
+  }
+  if (targets.empty()) return stats;
+
+  if (!want.empty()) {
+    // The server computes the delta against everything we already have.
+    FB_ASSIGN_OR_RETURN(auto delta,
+                        client->PullDelta(want, LocalHeads(db)));
+    stats.chunks_received = delta.chunks;
+    stats.bytes_received = delta.bytes;
+    FB_ASSIGN_OR_RETURN(auto imported,
+                        ImportBundle(Slice(delta.bundle), db->store()));
+    stats.remote_new_chunks = imported.new_chunks;
+  }
+
+  for (const auto& target : targets) {
+    auto updated = FastForwardLocal(db, target);
+    if (updated.ok()) {
+      *updated ? ++stats.branches_updated : ++stats.branches_skipped;
+      continue;
+    }
+    if (updated.status().code() == StatusCode::kMergeConflict) {
+      ++stats.branches_conflicted;
+      continue;
+    }
+    return updated.status();
+  }
+  return stats;
+}
+
+}  // namespace forkbase

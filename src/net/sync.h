@@ -1,0 +1,66 @@
+// Instance-to-instance branch sync over the wire protocol.
+//
+// Git-style negotiation: compare branch heads, run have/want rounds over
+// chunk ids so the sender ships only chunks the receiver is missing, move
+// the closure as a bundle, then fast-forward heads. Both directions drive
+// the same server verbs (net/server.h):
+//   SyncPush — local heads out: Offer rounds prune the delta closure, a
+//              streamed bundle upload ships it, UpdateHead publishes.
+//   SyncPull — remote heads in: PullDelta streams the missing closure
+//              back (the server computes the delta against our heads),
+//              ImportBundle lands it, local heads fast-forward.
+// Divergent branches are never clobbered: a non-fast-forward head counts
+// as a conflict in the stats and is left for a real merge.
+#ifndef FORKBASE_NET_SYNC_H_
+#define FORKBASE_NET_SYNC_H_
+
+#include <string>
+#include <vector>
+
+#include "net/client.h"
+#include "store/forkbase.h"
+
+namespace forkbase {
+
+struct SyncOptions {
+  /// Restrict the sync to these keys (empty = every key).
+  std::vector<std::string> keys;
+  /// Chunk ids per Offer round.
+  size_t offer_batch = 512;
+  /// kBundlePart payload size for the upload stream.
+  size_t part_bytes = 1 << 20;
+};
+
+struct SyncStats {
+  uint64_t branches_considered = 0;
+  uint64_t branches_updated = 0;    ///< heads moved (or created) on the peer
+  uint64_t branches_skipped = 0;    ///< already identical
+  uint64_t branches_conflicted = 0; ///< divergent; left untouched
+  uint64_t rounds = 0;              ///< have/want Offer rounds
+  uint64_t chunks_offered = 0;
+  uint64_t chunks_sent = 0;         ///< push: chunks shipped in the bundle
+  uint64_t bytes_sent = 0;
+  uint64_t chunks_received = 0;     ///< pull: chunks carried by the bundle
+  uint64_t bytes_received = 0;
+  /// Chunks the receiving side actually lacked (push: the server's import
+  /// counter; pull: ImportBundle's). chunks_sent == remote_new_chunks means
+  /// the negotiation shipped nothing redundant.
+  uint64_t remote_new_chunks = 0;
+};
+
+/// True iff `target` appears in the derivation history reachable from
+/// `head` (head == target counts). The fast-forward test on both ends.
+StatusOr<bool> HistoryContains(const ChunkStore& store, const Hash256& head,
+                               const Hash256& target);
+
+/// Pushes local branch heads to the peer behind `client`.
+StatusOr<SyncStats> SyncPush(ForkBase* db, ForkBaseClient* client,
+                             const SyncOptions& options = SyncOptions());
+
+/// Pulls the peer's branch heads into `db`.
+StatusOr<SyncStats> SyncPull(ForkBase* db, ForkBaseClient* client,
+                             const SyncOptions& options = SyncOptions());
+
+}  // namespace forkbase
+
+#endif  // FORKBASE_NET_SYNC_H_

@@ -1,0 +1,232 @@
+#include "net/transport.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace forkbase {
+
+namespace {
+
+constexpr const char* kUnixScheme = "unix:";
+constexpr const char* kTcpScheme = "tcp:";
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+/// AF_UNIX sockaddr for `path`; rejects paths that do not fit sun_path.
+StatusOr<sockaddr_un> UnixSockaddr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("unix socket path empty or longer than " +
+                                   std::to_string(sizeof(addr.sun_path) - 1) +
+                                   " bytes: " + path);
+  }
+  std::memcpy(addr.sun_path, path.data(), path.size());
+  return addr;
+}
+
+struct ResolvedTcp {
+  sockaddr_storage addr{};
+  socklen_t len = 0;
+  int family = AF_INET;
+};
+
+StatusOr<ResolvedTcp> ResolveTcp(const std::string& host, uint16_t port,
+                                 bool passive) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  if (passive) hints.ai_flags = AI_PASSIVE;
+  addrinfo* results = nullptr;
+  const std::string port_str = std::to_string(port);
+  int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                         port_str.c_str(), &hints, &results);
+  if (rc != 0) {
+    return Status::IOError("resolve " + host + ": " + gai_strerror(rc));
+  }
+  ResolvedTcp out;
+  std::memcpy(&out.addr, results->ai_addr, results->ai_addrlen);
+  out.len = static_cast<socklen_t>(results->ai_addrlen);
+  out.family = results->ai_family;
+  ::freeaddrinfo(results);
+  return out;
+}
+
+}  // namespace
+
+bool IsNetworkAddress(const std::string& address) {
+  return address.rfind(kUnixScheme, 0) == 0 ||
+         address.rfind(kTcpScheme, 0) == 0;
+}
+
+StatusOr<Endpoint> ParseAddress(const std::string& address) {
+  Endpoint ep;
+  if (address.rfind(kUnixScheme, 0) == 0) {
+    ep.kind = Endpoint::Kind::kUnix;
+    ep.path = address.substr(std::strlen(kUnixScheme));
+    if (ep.path.empty()) {
+      return Status::InvalidArgument("empty unix socket path: " + address);
+    }
+    return ep;
+  }
+  if (address.rfind(kTcpScheme, 0) == 0) {
+    ep.kind = Endpoint::Kind::kTcp;
+    const std::string rest = address.substr(std::strlen(kTcpScheme));
+    const size_t colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == rest.size()) {
+      return Status::InvalidArgument("expected tcp:HOST:PORT: " + address);
+    }
+    ep.host = rest.substr(0, colon);
+    const std::string port_str = rest.substr(colon + 1);
+    uint32_t port = 0;
+    for (char c : port_str) {
+      if (c < '0' || c > '9') {
+        return Status::InvalidArgument("bad port in " + address);
+      }
+      port = port * 10 + static_cast<uint32_t>(c - '0');
+      if (port > 65535) {
+        return Status::InvalidArgument("port out of range in " + address);
+      }
+    }
+    ep.port = static_cast<uint16_t>(port);
+    return ep;
+  }
+  return Status::InvalidArgument(
+      "address must start with unix: or tcp: — got " + address);
+}
+
+Status ReadExact(ByteStream* stream, char* buf, size_t n) {
+  size_t got = 0;
+  while (got < n) {
+    FB_ASSIGN_OR_RETURN(size_t k, stream->ReadSome(buf + got, n - got));
+    if (k == 0) {
+      return Status::IOError("connection closed mid-message");
+    }
+    got += k;
+  }
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<SocketStream>> SocketStream::Connect(
+    const std::string& address) {
+  FB_ASSIGN_OR_RETURN(Endpoint ep, ParseAddress(address));
+  int fd = -1;
+  if (ep.kind == Endpoint::Kind::kUnix) {
+    FB_ASSIGN_OR_RETURN(sockaddr_un addr, UnixSockaddr(ep.path));
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return Errno("socket");
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd);
+      return Errno("connect " + address);
+    }
+  } else {
+    FB_ASSIGN_OR_RETURN(ResolvedTcp dst,
+                        ResolveTcp(ep.host, ep.port, /*passive=*/false));
+    fd = ::socket(dst.family, SOCK_STREAM, 0);
+    if (fd < 0) return Errno("socket");
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&dst.addr), dst.len) != 0) {
+      ::close(fd);
+      return Errno("connect " + address);
+    }
+  }
+  return std::make_unique<SocketStream>(fd);
+}
+
+Status SocketStream::WriteAll(Slice bytes) {
+  const char* p = bytes.data();
+  size_t left = bytes.size();
+  while (left > 0) {
+    // MSG_NOSIGNAL: a dead peer yields EPIPE instead of killing the
+    // process — the server must survive any client disconnect.
+    ssize_t n = ::send(fd_, p, left, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+StatusOr<size_t> SocketStream::ReadSome(char* buf, size_t cap) {
+  for (;;) {
+    ssize_t n = ::recv(fd_, buf, cap, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    return static_cast<size_t>(n);
+  }
+}
+
+void SocketStream::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+StatusOr<int> ListenOn(const std::string& address,
+                       std::string* bound_address) {
+  FB_ASSIGN_OR_RETURN(Endpoint ep, ParseAddress(address));
+  int fd = -1;
+  if (ep.kind == Endpoint::Kind::kUnix) {
+    FB_ASSIGN_OR_RETURN(sockaddr_un addr, UnixSockaddr(ep.path));
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return Errno("socket");
+    // A previous server that died without cleanup leaves the socket file
+    // behind; bind would fail with EADDRINUSE forever. Unlinking is safe:
+    // connect() to a live server holds the inode open independently.
+    ::unlink(ep.path.c_str());
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd);
+      return Errno("bind " + address);
+    }
+    if (bound_address) *bound_address = address;
+  } else {
+    FB_ASSIGN_OR_RETURN(ResolvedTcp dst,
+                        ResolveTcp(ep.host, ep.port, /*passive=*/true));
+    fd = ::socket(dst.family, SOCK_STREAM, 0);
+    if (fd < 0) return Errno("socket");
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&dst.addr), dst.len) != 0) {
+      ::close(fd);
+      return Errno("bind " + address);
+    }
+    if (bound_address) {
+      // Report the concrete port (the kernel fills it in for :0).
+      sockaddr_storage actual{};
+      socklen_t len = sizeof(actual);
+      if (::getsockname(fd, reinterpret_cast<sockaddr*>(&actual), &len) != 0) {
+        ::close(fd);
+        return Errno("getsockname");
+      }
+      uint16_t port = 0;
+      if (actual.ss_family == AF_INET) {
+        port = ntohs(reinterpret_cast<sockaddr_in*>(&actual)->sin_port);
+      } else {
+        port = ntohs(reinterpret_cast<sockaddr_in6*>(&actual)->sin6_port);
+      }
+      *bound_address = "tcp:" + ep.host + ":" + std::to_string(port);
+    }
+  }
+  if (::listen(fd, 64) != 0) {
+    ::close(fd);
+    return Errno("listen " + address);
+  }
+  return fd;
+}
+
+}  // namespace forkbase

@@ -1,0 +1,82 @@
+// Byte transport under the ForkBase wire protocol.
+//
+// Addresses are explicit about their family so CLI verbs can distinguish a
+// network peer from a bundle file path:
+//   unix:/path/to/socket      — AF_UNIX stream socket
+//   tcp:host:port             — AF_INET/AF_INET6 via getaddrinfo
+//
+// ByteStream is the minimal seam between the frame codec and the OS (and
+// the fault-injection tests, which wrap one): ordered bytes in, ordered
+// bytes out, EOF. No timeouts or partial-write surface — WriteAll loops.
+#ifndef FORKBASE_NET_TRANSPORT_H_
+#define FORKBASE_NET_TRANSPORT_H_
+
+#include <memory>
+#include <string>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace forkbase {
+
+/// Parsed transport address.
+struct Endpoint {
+  enum class Kind { kUnix, kTcp };
+  Kind kind = Kind::kUnix;
+  std::string path;  ///< unix: socket path
+  std::string host;  ///< tcp: host (name or literal)
+  uint16_t port = 0; ///< tcp: port (0 = ephemeral, listen only)
+};
+
+/// True iff `address` carries a transport scheme ("unix:" / "tcp:") — how
+/// the CLI tells `push tcp:host:port` from the legacy `push KEY FILE`.
+bool IsNetworkAddress(const std::string& address);
+
+/// Parses "unix:PATH" or "tcp:HOST:PORT". kInvalidArgument on anything else.
+StatusOr<Endpoint> ParseAddress(const std::string& address);
+
+/// Blocking byte stream. Implementations: SocketStream (below) and the
+/// fault-injecting test decorators.
+class ByteStream {
+ public:
+  virtual ~ByteStream() = default;
+  /// Writes all of `bytes` (looping over short writes). kIOError on a
+  /// closed or failed peer.
+  virtual Status WriteAll(Slice bytes) = 0;
+  /// Reads up to `cap` bytes into `buf`; returns the count, 0 at EOF.
+  virtual StatusOr<size_t> ReadSome(char* buf, size_t cap) = 0;
+  virtual void Close() = 0;
+};
+
+/// Reads exactly `n` bytes; kIOError if the stream ends first.
+Status ReadExact(ByteStream* stream, char* buf, size_t n);
+
+/// A connected stream socket.
+class SocketStream : public ByteStream {
+ public:
+  /// Connects to `address` (see ParseAddress).
+  static StatusOr<std::unique_ptr<SocketStream>> Connect(
+      const std::string& address);
+  /// Adopts an already-connected fd (the server's accept path).
+  explicit SocketStream(int fd) : fd_(fd) {}
+  ~SocketStream() override { Close(); }
+  SocketStream(const SocketStream&) = delete;
+  SocketStream& operator=(const SocketStream&) = delete;
+
+  Status WriteAll(Slice bytes) override;
+  StatusOr<size_t> ReadSome(char* buf, size_t cap) override;
+  void Close() override;
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds + listens on `address`. For "tcp:host:0" the kernel picks a port;
+/// `*bound_address` always receives the concrete reconnectable address.
+/// A stale unix socket file at the path is unlinked first.
+StatusOr<int> ListenOn(const std::string& address, std::string* bound_address);
+
+}  // namespace forkbase
+
+#endif  // FORKBASE_NET_TRANSPORT_H_

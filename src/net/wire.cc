@@ -1,0 +1,78 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+namespace forkbase {
+
+void AppendHash(std::string* out, const Hash256& id) {
+  out->append(reinterpret_cast<const char*>(id.bytes.data()), 32);
+}
+
+bool GetHash(Decoder* dec, Hash256* id) {
+  Slice raw;
+  if (!dec->GetRaw(32, &raw)) return false;
+  std::memcpy(id->bytes.data(), raw.data(), 32);
+  return true;
+}
+
+void AppendHashList(std::string* out, const std::vector<Hash256>& ids) {
+  PutVarint64(out, ids.size());
+  for (const auto& id : ids) AppendHash(out, id);
+}
+
+bool GetHashList(Decoder* dec, std::vector<Hash256>* ids) {
+  uint64_t count = 0;
+  if (!dec->GetVarint64(&count)) return false;
+  // A hash list can never be larger than the frame that carries it, so an
+  // absurd count is caught here instead of by a bad_alloc.
+  if (count > dec->remaining() / 32) return false;
+  ids->clear();
+  ids->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    Hash256 id;
+    if (!GetHash(dec, &id)) return false;
+    ids->push_back(id);
+  }
+  return true;
+}
+
+std::string EncodeError(const Status& status) {
+  std::string out;
+  out.push_back(static_cast<char>(status.code()));
+  PutLengthPrefixed(&out, Slice(status.message()));
+  return out;
+}
+
+Status DecodeError(Slice payload) {
+  Decoder dec(payload);
+  Slice code_raw;
+  Slice message;
+  if (!dec.GetRaw(1, &code_raw) || !dec.GetLengthPrefixed(&message)) {
+    return Status::Corruption("malformed error frame");
+  }
+  const auto code = static_cast<StatusCode>(code_raw.data()[0]);
+  std::string text = message.ToString();
+  switch (code) {
+    case StatusCode::kOk:
+      return Status::Corruption("error frame carrying kOk");
+    case StatusCode::kNotFound:
+      return Status::NotFound(std::move(text));
+    case StatusCode::kAlreadyExists:
+      return Status::AlreadyExists(std::move(text));
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(std::move(text));
+    case StatusCode::kCorruption:
+      return Status::Corruption(std::move(text));
+    case StatusCode::kMergeConflict:
+      return Status::MergeConflict(std::move(text));
+    case StatusCode::kPermissionDenied:
+      return Status::PermissionDenied(std::move(text));
+    case StatusCode::kIOError:
+      return Status::IOError(std::move(text));
+    case StatusCode::kUnimplemented:
+      return Status::Unimplemented(std::move(text));
+  }
+  return Status::Corruption("error frame with unknown status code");
+}
+
+}  // namespace forkbase

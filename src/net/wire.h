@@ -1,0 +1,31 @@
+// Payload encode/decode helpers shared by client and server.
+//
+// Payloads compose three primitives from util/codec.h — fixed32/64,
+// varint64, length-prefixed strings — plus raw 32-byte chunk ids. Per-verb
+// layouts are documented in docs/protocol.md; both peers use exactly these
+// helpers, so the layouts cannot drift apart.
+#ifndef FORKBASE_NET_WIRE_H_
+#define FORKBASE_NET_WIRE_H_
+
+#include <string>
+#include <vector>
+
+#include "util/codec.h"
+#include "util/sha256.h"
+
+namespace forkbase {
+
+void AppendHash(std::string* out, const Hash256& id);
+bool GetHash(Decoder* dec, Hash256* id);
+
+/// [varint count][32B × count].
+void AppendHashList(std::string* out, const std::vector<Hash256>& ids);
+bool GetHashList(Decoder* dec, std::vector<Hash256>* ids);
+
+/// kError payload: [u8 StatusCode][length-prefixed message].
+std::string EncodeError(const Status& status);
+Status DecodeError(Slice payload);
+
+}  // namespace forkbase
+
+#endif  // FORKBASE_NET_WIRE_H_

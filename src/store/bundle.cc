@@ -1,49 +1,153 @@
 #include "store/bundle.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "util/codec.h"
 
 namespace forkbase {
 
 namespace {
-constexpr uint32_t kBundleMagic = 0x46424e44;  // "FBND"
+
+constexpr uint32_t kBundleMagic = 0x46424e44;    // "FBND" — v1, frozen
+constexpr uint32_t kBundleMagicV2 = 0x46424432;  // "FBD2" — multi-head delta
+
+/// Streams the length-prefixed records of `ids` (already sorted) through
+/// `sink`, verifying each chunk re-hashes to its id. Reads are batched (and
+/// pipelined on async stores) but emitted in id order: ForEachChunkBatch
+/// invokes the callback in global index order.
+Status EmitChunkRecords(const ChunkStore& store,
+                        const std::vector<Hash256>& ids,
+                        const BundleSink& sink, BundleStats* stats) {
+  std::string scratch;
+  return ForEachChunkBatch(
+      store, ids, kChunkSweepBatch,
+      [&](size_t index, StatusOr<Chunk>& chunk_or) -> Status {
+        if (!chunk_or.ok()) return chunk_or.status();
+        if (chunk_or->hash() != ids[index]) {
+          return Status::Corruption("chunk " + ids[index].ToBase32() +
+                                    " is tampered; refusing to export");
+        }
+        scratch.clear();
+        PutLengthPrefixed(&scratch, chunk_or->bytes());
+        FB_RETURN_IF_ERROR(sink(Slice(scratch)));
+        ++stats->chunks;
+        stats->bytes += scratch.size();
+        return Status::OK();
+      });
+}
+
+Status SinkString(const BundleSink& sink, const std::string& bytes,
+                  BundleStats* stats) {
+  FB_RETURN_IF_ERROR(sink(Slice(bytes)));
+  stats->bytes += bytes.size();
+  return Status::OK();
+}
+
 }  // namespace
 
-StatusOr<std::string> ExportBundle(const ChunkStore& store,
-                                   const Hash256& uid) {
+StatusOr<BundleStats> ExportBundle(const ChunkStore& store, const Hash256& uid,
+                                   const BundleSink& sink) {
   FB_ASSIGN_OR_RETURN(auto live, MarkLive(store, {uid}));
   // Deterministic bundle bytes: chunks sorted by id.
   std::vector<Hash256> ids(live.begin(), live.end());
   std::sort(ids.begin(), ids.end());
 
+  BundleStats stats;
+  std::string header;
+  PutFixed32(&header, kBundleMagic);
+  header.append(reinterpret_cast<const char*>(uid.bytes.data()), 32);
+  PutVarint64(&header, ids.size());
+  FB_RETURN_IF_ERROR(SinkString(sink, header, &stats));
+  FB_RETURN_IF_ERROR(EmitChunkRecords(store, ids, sink, &stats));
+  return stats;
+}
+
+StatusOr<std::string> ExportBundle(const ChunkStore& store,
+                                   const Hash256& uid) {
   std::string out;
-  PutFixed32(&out, kBundleMagic);
-  out.append(reinterpret_cast<const char*>(uid.bytes.data()), 32);
-  PutVarint64(&out, ids.size());
-  for (const auto& id : ids) {
-    FB_ASSIGN_OR_RETURN(Chunk chunk, store.Get(id));
-    if (chunk.hash() != id) {
-      return Status::Corruption("chunk " + id.ToBase32() +
-                                " is tampered; refusing to export");
-    }
-    PutLengthPrefixed(&out, chunk.bytes());
-  }
+  auto sink = [&out](Slice bytes) -> Status {
+    out.append(bytes.data(), bytes.size());
+    return Status::OK();
+  };
+  FB_RETURN_IF_ERROR(ExportBundle(store, uid, sink).status());
   return out;
+}
+
+StatusOr<BundleStats> ExportDeltaBundle(const ChunkStore& store,
+                                        const std::vector<Hash256>& want,
+                                        const std::vector<Hash256>& have,
+                                        const BundleSink& sink) {
+  // The receiver's closure, as far as this store can compute it: `have`
+  // heads the store never saw contribute nothing (and must not fail the
+  // walk — the receiver may be ahead on other branches).
+  std::vector<Hash256> have_present;
+  for (const auto& id : have) {
+    if (store.Contains(id)) have_present.push_back(id);
+  }
+  FB_ASSIGN_OR_RETURN(auto excluded, MarkLive(store, have_present));
+  FB_ASSIGN_OR_RETURN(auto live, MarkLive(store, want, &excluded));
+  std::vector<Hash256> ids(live.begin(), live.end());
+  std::sort(ids.begin(), ids.end());
+  return ExportBundleOfIds(store, want, ids, sink);
+}
+
+StatusOr<BundleStats> ExportBundleOfIds(const ChunkStore& store,
+                                        const std::vector<Hash256>& heads,
+                                        const std::vector<Hash256>& ids,
+                                        const BundleSink& sink) {
+  if (heads.empty()) {
+    return Status::InvalidArgument("bundle export needs at least one head");
+  }
+  std::vector<Hash256> sorted = ids;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+  BundleStats stats;
+  std::string header;
+  PutFixed32(&header, kBundleMagicV2);
+  PutVarint64(&header, heads.size());
+  for (const auto& head : heads) {
+    header.append(reinterpret_cast<const char*>(head.bytes.data()), 32);
+  }
+  PutVarint64(&header, sorted.size());
+  FB_RETURN_IF_ERROR(SinkString(sink, header, &stats));
+  FB_RETURN_IF_ERROR(EmitChunkRecords(store, sorted, sink, &stats));
+  return stats;
 }
 
 StatusOr<ImportResult> ImportBundle(Slice bundle, ChunkStore* dst) {
   Decoder dec(bundle);
   uint32_t magic = 0;
-  if (!dec.GetFixed32(&magic) || magic != kBundleMagic) {
+  if (!dec.GetFixed32(&magic) ||
+      (magic != kBundleMagic && magic != kBundleMagicV2)) {
     return Status::Corruption("not a ForkBase bundle");
   }
-  Slice head_bytes;
-  if (!dec.GetRaw(32, &head_bytes)) {
-    return Status::Corruption("bundle: missing head uid");
-  }
   ImportResult result;
-  std::memcpy(result.head.bytes.data(), head_bytes.data(), 32);
+  if (magic == kBundleMagic) {
+    Slice head_bytes;
+    if (!dec.GetRaw(32, &head_bytes)) {
+      return Status::Corruption("bundle: missing head uid");
+    }
+    Hash256 head;
+    std::memcpy(head.bytes.data(), head_bytes.data(), 32);
+    result.heads.push_back(head);
+  } else {
+    uint64_t n_heads = 0;
+    if (!dec.GetVarint64(&n_heads) || n_heads == 0) {
+      return Status::Corruption("bundle: missing head list");
+    }
+    for (uint64_t i = 0; i < n_heads; ++i) {
+      Slice head_bytes;
+      if (!dec.GetRaw(32, &head_bytes)) {
+        return Status::Corruption("bundle: truncated head list");
+      }
+      Hash256 head;
+      std::memcpy(head.bytes.data(), head_bytes.data(), 32);
+      result.heads.push_back(head);
+    }
+  }
+  result.head = result.heads.front();
   uint64_t count = 0;
   if (!dec.GetVarint64(&count)) {
     return Status::Corruption("bundle: missing chunk count");
@@ -52,7 +156,7 @@ StatusOr<ImportResult> ImportBundle(Slice bundle, ChunkStore* dst) {
   // Stage and verify every chunk before admitting any.
   std::vector<Chunk> staged;
   staged.reserve(count);
-  bool head_present = false;
+  std::unordered_set<Hash256, Hash256Hasher> staged_ids;
   for (uint64_t i = 0; i < count; ++i) {
     Slice raw;
     if (!dec.GetLengthPrefixed(&raw) || raw.empty()) {
@@ -60,14 +164,16 @@ StatusOr<ImportResult> ImportBundle(Slice bundle, ChunkStore* dst) {
     }
     Chunk chunk = Chunk::FromBytes(raw.ToString());
     // Self-verification: recompute the id from the bytes.
-    if (chunk.hash() == result.head) head_present = true;
+    staged_ids.insert(chunk.hash());
     staged.push_back(std::move(chunk));
   }
   if (!dec.AtEnd()) {
     return Status::Corruption("bundle: trailing bytes");
   }
-  if (!head_present && !dst->Contains(result.head)) {
-    return Status::Corruption("bundle does not contain its head uid");
+  for (const auto& head : result.heads) {
+    if (!staged_ids.count(head) && !dst->Contains(head)) {
+      return Status::Corruption("bundle does not contain its head uid");
+    }
   }
 
   for (const auto& chunk : staged) {
@@ -78,8 +184,8 @@ StatusOr<ImportResult> ImportBundle(Slice bundle, ChunkStore* dst) {
     if (!already) ++result.new_chunks;
   }
 
-  // Closure check: the head must now be fully traversable in dst.
-  auto closure = MarkLive(*dst, {result.head});
+  // Closure check: every head must now be fully traversable in dst.
+  auto closure = MarkLive(*dst, result.heads);
   if (!closure.ok()) {
     return Status::Corruption("bundle closure incomplete: " +
                               closure.status().message());

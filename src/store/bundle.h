@@ -5,33 +5,82 @@
 // version uid transitively references, so a branch can be pushed/pulled
 // between independent chunk stores without any network substrate. Content
 // addressing makes transfer self-verifying: every chunk must re-hash to its
-// declared id, and the requested uid must be present, before anything is
+// declared id, and the requested uids must be present, before anything is
 // admitted to the destination store.
+//
+// Two wire layouts, distinguished by magic:
+//   v1 "FBND": [magic][32B head][varint n][length-prefixed chunk bytes × n]
+//              — single head, full closure; byte layout frozen (tooling and
+//              tests poke fixed offsets).
+//   v2 "FBD2": [magic][varint n_heads][32B × n_heads][varint n_chunks]
+//              [length-prefixed chunk bytes × n_chunks]
+//              — multi-head deltas, the sync protocol's bundle. Chunk
+//              records may be any subset: the import closure check runs
+//              against bundle ∪ destination, which is what makes
+//              incremental push ship only missing chunks.
+// Both sort chunk records by id, so equal inputs give byte-equal bundles.
 #ifndef FORKBASE_STORE_BUNDLE_H_
 #define FORKBASE_STORE_BUNDLE_H_
 
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "store/gc.h"
 
 namespace forkbase {
 
+/// Output sink for streaming bundle export: called with consecutive byte
+/// ranges of the bundle, in order. Returning non-OK aborts the export with
+/// that status. The Slice is only valid for the duration of the call.
+using BundleSink = std::function<Status(Slice)>;
+
+/// Accounting for a streamed export.
+struct BundleStats {
+  uint64_t chunks = 0;  ///< chunk records written
+  uint64_t bytes = 0;   ///< total bundle bytes pushed through the sink
+};
+
 /// Serializes the closure of `uid` (value tree + full derivation history)
-/// from `store` into a self-contained byte bundle.
+/// from `store` through `sink`, in the frozen v1 layout.
+StatusOr<BundleStats> ExportBundle(const ChunkStore& store, const Hash256& uid,
+                                   const BundleSink& sink);
+
+/// String-building wrapper over the sink form (identical bytes).
 StatusOr<std::string> ExportBundle(const ChunkStore& store,
                                    const Hash256& uid);
 
+/// Delta closure export (v2): every chunk reachable from the `want` heads
+/// but not from the `have` heads — exactly what a receiver holding `have`
+/// is missing. `have` uids absent from `store` are ignored (the receiver
+/// may know versions this store never saw); `want` uids must resolve.
+StatusOr<BundleStats> ExportDeltaBundle(const ChunkStore& store,
+                                        const std::vector<Hash256>& want,
+                                        const std::vector<Hash256>& have,
+                                        const BundleSink& sink);
+
+/// Explicit-set export (v2): ships exactly `ids` (sorted, deduplicated)
+/// under the given heads. This is the sync push's post-negotiation pack:
+/// the have/want rounds already decided which chunks the peer lacks.
+/// Every id must resolve in `store` and re-hash to itself.
+StatusOr<BundleStats> ExportBundleOfIds(const ChunkStore& store,
+                                        const std::vector<Hash256>& heads,
+                                        const std::vector<Hash256>& ids,
+                                        const BundleSink& sink);
+
 /// Result of importing a bundle.
 struct ImportResult {
-  Hash256 head;              ///< the uid the bundle was exported for
-  uint64_t chunks = 0;       ///< chunks carried by the bundle
-  uint64_t new_chunks = 0;   ///< chunks the destination did not already have
+  Hash256 head;                ///< first head (the uid of a v1 bundle)
+  std::vector<Hash256> heads;  ///< all heads the bundle was exported for
+  uint64_t chunks = 0;         ///< chunks carried by the bundle
+  uint64_t new_chunks = 0;     ///< chunks the destination did not already have
   uint64_t bytes = 0;
 };
 
-/// Validates and imports a bundle into `dst`. Fails with kCorruption if any
-/// chunk's bytes do not hash to its declared id, if the head is missing, or
-/// if the closure is incomplete (a referenced chunk absent from bundle+dst).
+/// Validates and imports a bundle (either layout) into `dst`. Fails with
+/// kCorruption if any chunk's bytes do not hash to its declared id, if a
+/// head is missing from bundle ∪ dst, or if the closure is incomplete (a
+/// referenced chunk absent from bundle+dst).
 StatusOr<ImportResult> ImportBundle(Slice bundle, ChunkStore* dst);
 
 }  // namespace forkbase

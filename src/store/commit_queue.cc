@@ -35,6 +35,14 @@ StatusOr<Hash256> CommitQueue::AdvanceHead(const std::string& key,
   return Enqueue(std::move(entry));
 }
 
+CommitQueue::Stats CommitQueue::stats() const {
+  Stats s;
+  s.commits = landed_commits_.load();
+  s.batches = landed_batches_.load();
+  s.advances = landed_advances_.load();
+  return s;
+}
+
 StatusOr<Hash256> CommitQueue::Enqueue(std::unique_ptr<Entry> entry) {
   std::future<StatusOr<Hash256>> done = entry->done.get_future();
   bool schedule = false;
@@ -125,11 +133,17 @@ void CommitQueue::Drain() {
     // One record run, one flush for the whole group.
     Status landed = store_->PutMany(chunks);
     if (landed.ok()) {
+      landed_batches_.fetch_add(1);
       for (size_t i = 0; i < batch.size(); ++i) {
         if (!uids[i]) continue;  // raced advance: no head change
         branches_->SetHead(batch[i]->req.key, batch[i]->req.branch,
                            *uids[i]);
-        if (!batch[i]->advance) commits_->fetch_add(1);
+        if (batch[i]->advance) {
+          landed_advances_.fetch_add(1);
+        } else {
+          commits_->fetch_add(1);
+          landed_commits_.fetch_add(1);
+        }
       }
       for (size_t i = 0; i < batch.size(); ++i) {
         if (uids[i]) {

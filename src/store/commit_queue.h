@@ -78,6 +78,14 @@ class CommitQueue {
                                 const Hash256& expected,
                                 const Hash256& target);
 
+  /// Group-commit counters, folded into ForkBaseStats by ForkBase::Stat().
+  struct Stats {
+    uint64_t commits = 0;   ///< commit entries durably landed
+    uint64_t batches = 0;   ///< drain groups (PutMany runs) that landed
+    uint64_t advances = 0;  ///< AdvanceHead entries applied
+  };
+  Stats stats() const;
+
  private:
   struct Entry {
     Request req;
@@ -101,6 +109,10 @@ class CommitQueue {
   std::mutex mu_;
   std::deque<std::unique_ptr<Entry>> queue_;
   bool drain_scheduled_ = false;
+
+  std::atomic<uint64_t> landed_commits_{0};
+  std::atomic<uint64_t> landed_batches_{0};
+  std::atomic<uint64_t> landed_advances_{0};
 
   // Last member: its destructor runs first and executes any scheduled
   // drain before the queue state above can be torn down.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <queue>
+#include <sstream>
 #include <unordered_set>
 
 #include "chunk/caching_chunk_store.h"
@@ -26,52 +27,49 @@ ForkBase::ForkBase(std::shared_ptr<ChunkStore> store, const Options& options)
 
 ForkBase::~ForkBase() = default;
 
-StatusOr<std::unique_ptr<ForkBase>> ForkBase::OpenPersistent(
-    const std::string& dir, size_t cache_bytes) {
-  OpenOptions open_options;
-  open_options.cache_bytes = cache_bytes;
-  return OpenPersistent(dir, open_options);
+StatusOr<std::unique_ptr<ForkBase>> ForkBase::Open(const std::string& path) {
+  return Open(path, Config{});
 }
 
-StatusOr<std::unique_ptr<ForkBase>> ForkBase::OpenPersistent(
-    const std::string& dir, const OpenOptions& open_options) {
+StatusOr<std::unique_ptr<ForkBase>> ForkBase::Open(const std::string& path,
+                                                   const Config& config) {
   FileChunkStore::Options store_options;
-  store_options.prefetch_threads = open_options.prefetch_threads;
-  store_options.fsync_on_flush = open_options.fsync;
-  if (open_options.hot_bytes_budget > 0) {
+  store_options.prefetch_threads = config.prefetch_threads;
+  store_options.fsync_on_flush = config.fsync;
+  if (config.tier.hot_bytes_budget > 0) {
     // A bounded hot tier wants segments much smaller than the budget:
     // eviction reclaims disk at segment-rewrite granularity, and the
     // budget's slack is "one active segment". Keep several segments per
     // budget, within sane bounds.
     store_options.segment_bytes = std::clamp<uint64_t>(
-        open_options.hot_bytes_budget / 8, 1ull << 20, 64ull << 20);
+        config.tier.hot_bytes_budget / 8, 1ull << 20, 64ull << 20);
   }
   FB_ASSIGN_OR_RETURN(auto file_store,
-                      FileChunkStore::Open(dir, store_options));
+                      FileChunkStore::Open(path, store_options));
+  FileChunkStore* hot_raw = file_store.get();
   std::shared_ptr<ChunkStore> backing(std::move(file_store));
   std::shared_ptr<TieredChunkStore> tiered;
-  if (!open_options.tier_cold_dir.empty()) {
-    // Tiered stack: `dir` is the hot tier, tier_cold_dir the cold backend.
+  if (!config.tier.cold_dir.empty()) {
+    // Tiered stack: `path` is the hot tier, tier.cold_dir the cold backend.
     // The cold store keeps a prefetch worker even when the hot tier runs
     // synchronously — TieredChunkStore::GetMany overlaps the cold ranged
     // fetch with the hot read through it.
     FileChunkStore::Options cold_options;
     cold_options.prefetch_threads =
-        open_options.prefetch_threads > 0 ? open_options.prefetch_threads : 1;
-    cold_options.fsync_on_flush = open_options.fsync;
+        config.prefetch_threads > 0 ? config.prefetch_threads : 1;
+    cold_options.fsync_on_flush = config.fsync;
     FB_ASSIGN_OR_RETURN(
         auto cold_store,
-        FileChunkStore::Open(open_options.tier_cold_dir, cold_options));
+        FileChunkStore::Open(config.tier.cold_dir, cold_options));
     TieredChunkStore::Options tier_options;
-    tier_options.policy = open_options.tier_write_back
-                              ? TierPolicy::kWriteBack
-                              : TierPolicy::kWriteThrough;
-    tier_options.hot_bytes_budget = open_options.hot_bytes_budget;
-    if (open_options.tier_write_back) {
+    tier_options.policy = config.tier.write_back ? TierPolicy::kWriteBack
+                                                 : TierPolicy::kWriteThrough;
+    tier_options.hot_bytes_budget = config.tier.hot_bytes_budget;
+    if (config.tier.write_back) {
       // The persistent dirty manifest lives beside the hot segments: a
       // reopened write-back stack resumes demotion where the last process
       // stopped (crash included) instead of silently abandoning it.
-      FB_ASSIGN_OR_RETURN(auto manifest, DirtyManifest::Open(dir));
+      FB_ASSIGN_OR_RETURN(auto manifest, DirtyManifest::Open(path));
       tier_options.dirty_manifest = std::move(manifest);
     }
     tiered = std::make_shared<TieredChunkStore>(
@@ -80,10 +78,38 @@ StatusOr<std::unique_ptr<ForkBase>> ForkBase::OpenPersistent(
     backing = tiered;
   }
   auto cache = std::make_shared<CachingChunkStore>(std::move(backing),
-                                                   open_options.cache_bytes);
-  auto db = std::make_unique<ForkBase>(std::move(cache), open_options.options);
+                                                   config.cache_bytes);
+  CachingChunkStore* cache_raw = cache.get();
+  auto db = std::make_unique<ForkBase>(std::move(cache), config.commit);
   db->tiered_store_ = std::move(tiered);
+  db->cache_store_ = cache_raw;
+  db->hot_file_store_ = hot_raw;
+  db->config_ = config;
   return db;
+}
+
+ForkBase::Config ForkBase::OpenOptions::ToConfig() const {
+  Config config;
+  config.cache_bytes = cache_bytes;
+  config.prefetch_threads = prefetch_threads;
+  config.fsync = fsync;
+  config.tier.cold_dir = tier_cold_dir;
+  config.tier.write_back = tier_write_back;
+  config.tier.hot_bytes_budget = hot_bytes_budget;
+  config.commit = options;
+  return config;
+}
+
+StatusOr<std::unique_ptr<ForkBase>> ForkBase::OpenPersistent(
+    const std::string& dir, size_t cache_bytes) {
+  Config config;
+  config.cache_bytes = cache_bytes;
+  return Open(dir, config);
+}
+
+StatusOr<std::unique_ptr<ForkBase>> ForkBase::OpenPersistent(
+    const std::string& dir, const OpenOptions& open_options) {
+  return Open(dir, open_options.ToConfig());
 }
 
 StatusOr<Hash256> ForkBase::Commit(const std::string& key, const Value& value,
@@ -125,6 +151,40 @@ StatusOr<Hash256> ForkBase::Put(const std::string& key, const Value& value,
                                 const PutMeta& meta) {
   if (key.empty()) return Status::InvalidArgument("empty key");
   return Commit(key, value, std::nullopt, branch, meta);
+}
+
+StatusOr<Hash256> ForkBase::PutIf(const std::string& key, const Value& value,
+                                  const Hash256& expected_head,
+                                  const std::string& branch,
+                                  const PutMeta& meta) {
+  if (key.empty()) return Status::InvalidArgument("empty key");
+  if (!commit_queue_) {
+    // Scalar path: single-writer semantics, so checking before the write
+    // is exact (no drain can interleave).
+    auto head = branch_table_.Head(key, branch);
+    if (!head.ok() || *head != expected_head) {
+      return Status::AlreadyExists(
+          "head moved past the expected version; recompute and retry");
+    }
+  }
+  return Commit(key, value, std::vector<Hash256>{expected_head}, branch, meta,
+                expected_head);
+}
+
+StatusOr<Hash256> ForkBase::AdvanceHead(const std::string& key,
+                                        const std::string& branch,
+                                        const Hash256& expected,
+                                        const Hash256& target) {
+  if (commit_queue_) {
+    return commit_queue_->AdvanceHead(key, branch, expected, target);
+  }
+  auto head = branch_table_.Head(key, branch);
+  if (!head.ok() || *head != expected) {
+    return Status::AlreadyExists(
+        "head moved past the expected version; recompute and retry");
+  }
+  branch_table_.SetHead(key, branch, target);
+  return target;
 }
 
 StatusOr<Hash256> ForkBase::PutBlob(const std::string& key, Slice bytes,
@@ -484,18 +544,14 @@ StatusOr<Hash256> ForkBase::Merge(const std::string& key,
     FB_ASSIGN_OR_RETURN(Hash256 base_uid, CommonAncestor(dst_head, src_head));
     if (base_uid == src_head) return dst_head;  // src already in dst history
     if (base_uid == dst_head) {
-      // Fast-forward: dst is an ancestor of src.
-      if (commit_queue_) {
-        auto advanced =
-            commit_queue_->AdvanceHead(key, dst_branch, dst_head, src_head);
-        if (advanced.ok()) return *advanced;
-        if (advanced.status().code() != StatusCode::kAlreadyExists) {
-          return advanced.status();
-        }
-        continue;  // head moved underneath us: recompute the merge
+      // Fast-forward: dst is an ancestor of src. AdvanceHead is queue-
+      // ordered under group commit and a plain compare-and-set otherwise.
+      auto advanced = AdvanceHead(key, dst_branch, dst_head, src_head);
+      if (advanced.ok()) return *advanced;
+      if (advanced.status().code() != StatusCode::kAlreadyExists) {
+        return advanced.status();
       }
-      branch_table_.SetHead(key, dst_branch, src_head);
-      return src_head;
+      continue;  // head moved underneath us: recompute the merge
     }
     FB_ASSIGN_OR_RETURN(Value base_value, GetVersion(base_uid));
     FB_ASSIGN_OR_RETURN(Value dst_value, GetVersion(dst_head));
@@ -620,7 +676,128 @@ ForkBaseStats ForkBase::Stat() const {
     stats.branches += branch_table_.Branches(key).size();
   }
   stats.commits = commits_.load();
+  if (cache_store_) {
+    auto cs = cache_store_->cache_stats();
+    ForkBaseStats::Cache cache;
+    cache.hits = cs.hits;
+    cache.misses = cs.misses;
+    cache.evictions = cs.evictions;
+    cache.resident_bytes = cs.resident_bytes;
+    stats.cache = cache;
+  }
+  if (commit_queue_) {
+    auto qs = commit_queue_->stats();
+    ForkBaseStats::CommitQueueCounters queue;
+    queue.commits = qs.commits;
+    queue.batches = qs.batches;
+    queue.advances = qs.advances;
+    stats.commit_queue = queue;
+  }
+  if (hot_file_store_) {
+    auto ms = hot_file_store_->maintenance_stats();
+    ForkBaseStats::Maintenance maintenance;
+    maintenance.erased_chunks = ms.erased_chunks;
+    maintenance.tombstone_records = ms.tombstone_records;
+    maintenance.segments_rewritten = ms.segments_rewritten;
+    maintenance.rewritten_bytes = ms.rewritten_bytes;
+    maintenance.reclaimed_bytes = ms.reclaimed_bytes;
+    stats.maintenance = maintenance;
+  }
+  if (tiered_store_) {
+    auto ts = tiered_store_->tier_stats();
+    ForkBaseStats::Tier tier;
+    tier.hot_space = tiered_store_->hot()->space_used();
+    tier.hot_budget = config_.tier.hot_bytes_budget;
+    tier.hot_bytes = ts.hot_bytes;
+    tier.pinned_dirty_bytes = ts.pinned_dirty_bytes;
+    tier.dirty_pending = ts.dirty_pending;
+    tier.hot_hits = ts.hot_hits;
+    tier.cold_hits = ts.cold_hits;
+    tier.promotions = ts.promotions;
+    tier.demotions = ts.demotions;
+    tier.evictions = ts.evictions;
+    stats.tier = tier;
+  }
   return stats;
+}
+
+std::vector<std::pair<std::string, std::string>> ForkBaseStats::ToKeyValues()
+    const {
+  std::vector<std::pair<std::string, std::string>> kvs;
+  auto add = [&kvs](const char* k, uint64_t v) {
+    kvs.emplace_back(k, std::to_string(v));
+  };
+  add("keys", keys);
+  add("branches", branches);
+  add("commits", commits);
+  add("chunks", chunks.chunk_count);
+  add("physical_bytes", chunks.physical_bytes);
+  add("logical_bytes", chunks.logical_bytes);
+  add("dedup_hits", chunks.dedup_hits);
+  {
+    std::ostringstream ratio;
+    ratio << chunks.DedupRatio();
+    kvs.emplace_back("dedup_ratio", ratio.str());
+  }
+  add("get_calls", chunks.get_calls);
+  add("put_calls", chunks.put_calls);
+  if (cache) {
+    add("cache_hits", cache->hits);
+    add("cache_misses", cache->misses);
+    add("cache_evictions", cache->evictions);
+    add("cache_resident_bytes", cache->resident_bytes);
+  }
+  if (commit_queue) {
+    add("commit_queue_commits", commit_queue->commits);
+    add("commit_queue_batches", commit_queue->batches);
+    add("commit_queue_advances", commit_queue->advances);
+  }
+  if (maintenance) {
+    add("maintenance_erased_chunks", maintenance->erased_chunks);
+    add("maintenance_tombstone_records", maintenance->tombstone_records);
+    add("maintenance_segments_rewritten", maintenance->segments_rewritten);
+    add("maintenance_rewritten_bytes", maintenance->rewritten_bytes);
+    add("maintenance_reclaimed_bytes", maintenance->reclaimed_bytes);
+  }
+  if (tier) {
+    add("tier_hot_space", tier->hot_space);
+    add("tier_hot_budget", tier->hot_budget);
+    add("tier_hot_bytes", tier->hot_bytes);
+    add("tier_pinned_dirty_bytes", tier->pinned_dirty_bytes);
+    add("tier_dirty_pending", tier->dirty_pending);
+    add("tier_hot_hits", tier->hot_hits);
+    add("tier_cold_hits", tier->cold_hits);
+    add("tier_promotions", tier->promotions);
+    add("tier_demotions", tier->demotions);
+    add("tier_evictions", tier->evictions);
+  }
+  return kvs;
+}
+
+std::string FormatObjectDiff(const ObjectDiff& diff) {
+  std::ostringstream out;
+  if (diff.identical) {
+    out << "identical\n";
+    return out.str();
+  }
+  for (const auto& d : diff.keyed) {
+    out << (d.added() ? "+ " : d.removed() ? "- " : "~ ") << d.key << "\n";
+  }
+  for (const auto& d : diff.rows) {
+    out << (!d.left ? "+ " : !d.right ? "- " : "~ ") << d.key;
+    if (!d.changed_columns.empty()) {
+      out << " cols:";
+      for (size_t c : d.changed_columns) out << " " << c;
+    }
+    out << "\n";
+  }
+  if (diff.sequence) {
+    out << "~ [" << diff.sequence->left_start << ","
+        << diff.sequence->left_start + diff.sequence->left_count << ") -> ["
+        << diff.sequence->right_start << ","
+        << diff.sequence->right_start + diff.sequence->right_count << ")\n";
+  }
+  return out.str();
 }
 
 }  // namespace forkbase

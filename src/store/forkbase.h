@@ -61,73 +61,153 @@ struct ObjectDiff {
   DiffMetrics metrics;
 };
 
-/// Aggregate storage statistics (the demo's Stat view).
+/// Aggregate storage statistics (the demo's Stat view) — the single stats
+/// surface of a ForkBase instance. Per-layer sections (read cache, group-
+/// commit queue, file-store maintenance, tier) are present exactly when
+/// the instance has that layer; the CLI `stat` command and the server's
+/// STAT verb both render the one ToKeyValues() serialization.
 struct ForkBaseStats {
   ChunkStoreStats chunks;
   uint64_t keys = 0;
   uint64_t branches = 0;
   uint64_t commits = 0;  ///< FNodes written by this instance
+
+  struct Cache {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t resident_bytes = 0;
+  };
+  struct CommitQueueCounters {
+    uint64_t commits = 0;   ///< commit entries durably landed via the queue
+    uint64_t batches = 0;   ///< drain groups (PutMany runs)
+    uint64_t advances = 0;  ///< fast-forward head advances applied
+  };
+  struct Maintenance {
+    uint64_t erased_chunks = 0;
+    uint64_t tombstone_records = 0;
+    uint64_t segments_rewritten = 0;
+    uint64_t rewritten_bytes = 0;
+    uint64_t reclaimed_bytes = 0;
+  };
+  struct Tier {
+    uint64_t hot_space = 0;   ///< hot-tier disk bytes in use
+    uint64_t hot_budget = 0;  ///< configured budget (0 = unbounded)
+    uint64_t hot_bytes = 0;
+    uint64_t pinned_dirty_bytes = 0;
+    uint64_t dirty_pending = 0;
+    uint64_t hot_hits = 0;
+    uint64_t cold_hits = 0;
+    uint64_t promotions = 0;
+    uint64_t demotions = 0;
+    uint64_t evictions = 0;
+  };
+  std::optional<Cache> cache;
+  std::optional<CommitQueueCounters> commit_queue;
+  std::optional<Maintenance> maintenance;
+  std::optional<Tier> tier;
+
+  /// Flat, ordered (key, value) rendering of every section present. This
+  /// is the wire form of the server's STAT verb and the line format of the
+  /// CLI's `stat` command: one serialization, two consumers.
+  std::vector<std::pair<std::string, std::string>> ToKeyValues() const;
 };
 
+class CachingChunkStore;
 class CommitQueue;
+class FileChunkStore;
 class TieredChunkStore;
 
 class ForkBase {
  public:
   static constexpr const char* kDefaultBranch = "master";
 
-  struct Options {
-    /// Batch concurrent Commit/Put calls into single PutMany runs behind a
-    /// group-commit queue (see store/commit_queue.h). Off by default: the
-    /// scalar path keeps its existing single-threaded semantics and spawns
-    /// no thread. With the queue on, racing same-branch Puts chain into a
-    /// linear history instead of last-writer-wins.
-    bool group_commit = false;
-    /// Max FNodes landed per PutMany drain when group_commit is on.
-    size_t group_commit_max_batch = 128;
+  /// Unified configuration of a ForkBase instance — the one set of knobs
+  /// behind Open(), with the layer-specific sections nested. Replaces the
+  /// former Options/OpenOptions split.
+  struct Config {
+    size_t cache_bytes = 64ull << 20;  ///< sharded LRU read-cache budget
+    /// Background readers in the FileChunkStore (async scan prefetch);
+    /// 0 = fully synchronous I/O.
+    uint32_t prefetch_threads = 1;
+    /// fsync every append run (power-loss durability). Pair with
+    /// commit.group_commit so concurrent writers share one sync.
+    bool fsync = false;
+
+    /// Tiered-storage section. An empty cold_dir means a single tier.
+    struct Tier {
+      /// Non-empty = tiered storage: the open path becomes the hot tier
+      /// and a second FileChunkStore at this path the cold tier, composed
+      /// through a TieredChunkStore under the read cache. The cold store
+      /// gets its own prefetch worker so cold ranged fetches overlap hot
+      /// reads.
+      std::string cold_dir;
+      /// Cold-tier write policy: false = write-through (every commit
+      /// reaches both tiers before returning), true = write-back (commits
+      /// land hot and demote in batches at the watermark / on close).
+      /// Write-back stacks persist their dirty set in a manifest
+      /// journaled beside the hot segments, so a reopened store resumes
+      /// demotion where a crash left it.
+      bool write_back = false;
+      /// Hot-tier disk budget in bytes (0 = unbounded). Caps the hot
+      /// directory's segment usage: cold-resident clean chunks are
+      /// evicted LRU-first past the budget, dirty chunks stay pinned
+      /// until demoted. See TieredChunkStore::Options::hot_bytes_budget.
+      uint64_t hot_bytes_budget = 0;
+    };
+
+    /// Commit-pipeline section (also the direct-construction options).
+    struct Commit {
+      /// Batch concurrent Commit/Put calls into single PutMany runs
+      /// behind a group-commit queue (see store/commit_queue.h). Off by
+      /// default: the scalar path keeps its existing single-threaded
+      /// semantics and spawns no thread. With the queue on, racing
+      /// same-branch Puts chain into a linear history instead of
+      /// last-writer-wins.
+      bool group_commit = false;
+      /// Max FNodes landed per PutMany drain when group_commit is on.
+      size_t group_commit_max_batch = 128;
+    };
+
+    Tier tier;
+    Commit commit;
   };
+  /// Legacy name for the commit section, kept so direct construction
+  /// (`ForkBase(store, Options{...})`) compiles unchanged.
+  using Options = Config::Commit;
 
   /// @param store shared chunk storage (memory or file backed)
   explicit ForkBase(std::shared_ptr<ChunkStore> store);
   ForkBase(std::shared_ptr<ChunkStore> store, const Options& options);
   ~ForkBase();
 
-  /// Knobs for the persistent production stack (OpenPersistent).
+  /// Opens a production-shaped instance at `path`: a sharded-index
+  /// FileChunkStore (with async prefetch workers) under a sharded LRU
+  /// read cache, optionally tiered. This is the stack the CLI and the
+  /// server use, and the only non-deprecated open path; tests that need a
+  /// bare backend keep constructing ForkBase directly.
+  static StatusOr<std::unique_ptr<ForkBase>> Open(const std::string& path);
+  static StatusOr<std::unique_ptr<ForkBase>> Open(const std::string& path,
+                                                  const Config& config);
+
+  /// Deprecated spelling of Config, kept so existing callers compile.
   struct OpenOptions {
-    size_t cache_bytes = 64ull << 20;  ///< sharded LRU read-cache budget
-    /// Background readers in the FileChunkStore (async scan prefetch);
-    /// 0 = fully synchronous I/O.
+    size_t cache_bytes = 64ull << 20;
     uint32_t prefetch_threads = 1;
-    /// fsync every append run (power-loss durability). Pair with
-    /// options.group_commit so concurrent writers share one sync.
     bool fsync = false;
-    /// Non-empty = tiered storage: `dir` becomes the hot tier and a second
-    /// FileChunkStore at this path the cold tier, composed through a
-    /// TieredChunkStore under the read cache. The cold store gets its own
-    /// prefetch worker so cold ranged fetches overlap hot reads.
     std::string tier_cold_dir;
-    /// Cold-tier write policy: false = write-through (every commit reaches
-    /// both tiers before returning), true = write-back (commits land hot
-    /// and demote in batches at the watermark / on close). Write-back
-    /// stacks persist their dirty set in a manifest journaled beside the
-    /// hot segments, so a reopened store resumes demotion where a crash
-    /// left it.
     bool tier_write_back = false;
-    /// Hot-tier disk budget in bytes (tiered stacks only; 0 = unbounded).
-    /// Caps the hot directory's segment usage: cold-resident clean chunks
-    /// are evicted LRU-first past the budget, dirty chunks stay pinned
-    /// until demoted. See TieredChunkStore::Options::hot_bytes_budget.
     uint64_t hot_bytes_budget = 0;
     Options options;  ///< group-commit etc.
+
+    /// The equivalent unified Config.
+    Config ToConfig() const;
   };
 
-  /// Opens a production-shaped instance at `dir`: a sharded-index
-  /// FileChunkStore (with async prefetch workers) under a sharded LRU read
-  /// cache. This is the stack the CLI and any long-lived server should
-  /// use; tests that need a bare backend keep constructing ForkBase
-  /// directly.
+  [[deprecated("use ForkBase::Open(path, ForkBase::Config)")]]
   static StatusOr<std::unique_ptr<ForkBase>> OpenPersistent(
       const std::string& dir, size_t cache_bytes = 64ull << 20);
+  [[deprecated("use ForkBase::Open(path, ForkBase::Config)")]]
   static StatusOr<std::unique_ptr<ForkBase>> OpenPersistent(
       const std::string& dir, const OpenOptions& open_options);
 
@@ -147,6 +227,26 @@ class ForkBase {
   StatusOr<Hash256> Put(const std::string& key, const Value& value,
                         const std::string& branch = kDefaultBranch,
                         const PutMeta& meta = PutMeta{});
+
+  /// Conditional Put (compare-and-set): commits `value` with
+  /// `expected_head` as its parent iff the branch head still equals
+  /// `expected_head` at commit time (drain time under group commit).
+  /// kAlreadyExists when the head has moved — the server's COMMIT verb and
+  /// optimistic clients retry from a fresh head.
+  StatusOr<Hash256> PutIf(const std::string& key, const Value& value,
+                          const Hash256& expected_head,
+                          const std::string& branch = kDefaultBranch,
+                          const PutMeta& meta = PutMeta{});
+
+  /// Fast-forward publish: sets the head of (key, branch) to `target` iff
+  /// it still equals `expected` (queue-ordered under group commit, so it
+  /// cannot interleave with a drain). Returns `target` on success;
+  /// kAlreadyExists when the head moved. Used by Merge's fast-forward path
+  /// and by the sync server to apply pushed branch heads.
+  StatusOr<Hash256> AdvanceHead(const std::string& key,
+                                const std::string& branch,
+                                const Hash256& expected,
+                                const Hash256& target);
 
   /// Convenience typed writers: build the object, then Put.
   StatusOr<Hash256> PutBlob(const std::string& key, Slice bytes,
@@ -299,9 +399,15 @@ class ForkBase {
   Status VerifyValue(const Value& value) const;
 
   std::shared_ptr<ChunkStore> store_;
-  /// Set by OpenPersistent for tiered stacks; aliases a layer inside
-  /// store_'s decorator chain.
+  /// Set by Open for tiered stacks; aliases a layer inside store_'s
+  /// decorator chain.
   std::shared_ptr<TieredChunkStore> tiered_store_;
+  /// Raw aliases into store_'s decorator chain, set by Open so Stat() can
+  /// fold every layer's counters into one surface. Null for directly
+  /// constructed instances.
+  CachingChunkStore* cache_store_ = nullptr;
+  FileChunkStore* hot_file_store_ = nullptr;
+  Config config_;
   BranchTable branch_table_;
   std::atomic<uint64_t> clock_{0};
   std::atomic<uint64_t> commits_{0};
@@ -309,6 +415,11 @@ class ForkBase {
   // reach the store, branch table and counters above.
   std::unique_ptr<CommitQueue> commit_queue_;
 };
+
+/// Renders an ObjectDiff as the CLI's diff listing ("+ key", "- key",
+/// "~ key cols: ...", "~ [a,b) -> [c,d)"), one delta per line. Shared by
+/// the CLI `diff` command and the server's DIFF verb.
+std::string FormatObjectDiff(const ObjectDiff& diff);
 
 }  // namespace forkbase
 

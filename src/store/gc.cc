@@ -46,7 +46,8 @@ Status ExpandReferences(const Chunk& chunk, std::queue<Hash256>* frontier) {
 }  // namespace
 
 StatusOr<std::unordered_set<Hash256, Hash256Hasher>> MarkLive(
-    const ChunkStore& store, const std::vector<Hash256>& roots) {
+    const ChunkStore& store, const std::vector<Hash256>& roots,
+    const std::unordered_set<Hash256, Hash256Hasher>* exclude) {
   std::unordered_set<Hash256, Hash256Hasher> live;
   // BFS in waves: each wave's unseen ids are read in capped batches, with
   // the next batch's read in flight (on async stores) while the previous
@@ -57,6 +58,7 @@ StatusOr<std::unordered_set<Hash256, Hash256Hasher>> MarkLive(
     std::vector<Hash256> to_load;
     to_load.reserve(wave.size());
     for (const auto& id : wave) {
+      if (exclude && exclude->count(id)) continue;
       if (live.insert(id).second) to_load.push_back(id);
     }
     if (to_load.empty()) break;

@@ -32,8 +32,15 @@ struct GcStats {
 /// Computes every chunk reachable from `roots` in `store`: FNodes pull in
 /// their bases (history) and their value trees; trees pull in all pages;
 /// tables pull in header + row tree. Unknown root ids are an error.
+///
+/// `exclude` (optional) prunes the walk: ids in the set are neither
+/// loaded, expanded nor returned — the frontier stops at them. This is the
+/// delta-closure primitive behind bundle sync: marking `want` heads with
+/// the `have` closure excluded yields exactly the chunks the receiver is
+/// missing. Roots that are themselves excluded are skipped, not errors.
 StatusOr<std::unordered_set<Hash256, Hash256Hasher>> MarkLive(
-    const ChunkStore& store, const std::vector<Hash256>& roots);
+    const ChunkStore& store, const std::vector<Hash256>& roots,
+    const std::unordered_set<Hash256, Hash256Hasher>* exclude = nullptr);
 
 /// Marks from all branch heads of `db` (with full history) and copies the
 /// live set into `dst`. Returns accounting for both sides. `dst` may be
