@@ -55,6 +55,14 @@ Status RemoteChunkStore::MaybeFault(FaultSchedule::Op op,
             std::to_string(read_bytes) + " bytes)");
       }
       return Status::IOError("remote: connection closed mid-write");
+    case FaultSchedule::Kind::kStall:
+    case FaultSchedule::Kind::kSlowDrip:
+    case FaultSchedule::Kind::kDisconnectMidFrame:
+      // Transport-level fault classes; a storage backend has no wire to
+      // stall, so they degrade to the timeout behavior.
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(options_.timeout_us));
+      return Status::IOError("remote: transport fault (stalled connection)");
   }
   return Status::IOError("remote: unknown fault");
 }

@@ -28,6 +28,22 @@ struct CliContext {
   std::string author = "cli";
   std::string message;
   ForkBase::Config config;  // storage-stack knobs
+
+  // Network knobs. The serve timeouts use -1 = "keep the server default"
+  // so an explicit 0 can still mean "disable the check".
+  uint64_t max_outbox_kb = 0;          // 0 = server default
+  int64_t handshake_timeout_ms = -1;
+  int64_t idle_timeout_ms = -1;
+  int64_t request_timeout_ms = -1;
+  int64_t stall_timeout_ms = -1;
+  uint64_t session_rps = 0;            // 0 = unlimited
+  uint64_t global_rps = 0;
+  uint64_t max_sessions = 0;
+  uint64_t max_queued_requests = 0;
+  uint64_t retries = 3;                // client sync attempts (1 = no retry)
+  uint64_t connect_timeout_ms = 10'000;
+  uint64_t io_timeout_ms = 30'000;
+
   std::vector<std::string> positional;
 };
 
@@ -122,6 +138,56 @@ Status ParseArgs(const std::vector<std::string>& args, CliContext* ctx) {
       ctx->config.commit.group_commit = true;
     } else if (a == "--fsync") {
       ctx->config.fsync = true;
+    } else if (a == "--max-outbox-kb") {
+      std::string v;
+      FB_RETURN_IF_ERROR(next(&v));
+      FB_ASSIGN_OR_RETURN(uint64_t n, ParseCount(a, v, 1u << 20));
+      if (n == 0) {
+        return Status::InvalidArgument("--max-outbox-kb must be >= 1");
+      }
+      ctx->max_outbox_kb = n;
+    } else if (a == "--handshake-timeout-ms" || a == "--idle-timeout-ms" ||
+               a == "--request-timeout-ms" || a == "--stall-timeout-ms") {
+      std::string v;
+      FB_RETURN_IF_ERROR(next(&v));
+      FB_ASSIGN_OR_RETURN(uint64_t n, ParseCount(a, v, 86'400'000));
+      int64_t* dst = a == "--handshake-timeout-ms" ? &ctx->handshake_timeout_ms
+                     : a == "--idle-timeout-ms"    ? &ctx->idle_timeout_ms
+                     : a == "--request-timeout-ms" ? &ctx->request_timeout_ms
+                                                   : &ctx->stall_timeout_ms;
+      *dst = static_cast<int64_t>(n);
+    } else if (a == "--session-rps") {
+      std::string v;
+      FB_RETURN_IF_ERROR(next(&v));
+      FB_ASSIGN_OR_RETURN(ctx->session_rps, ParseCount(a, v, 1u << 20));
+    } else if (a == "--global-rps") {
+      std::string v;
+      FB_RETURN_IF_ERROR(next(&v));
+      FB_ASSIGN_OR_RETURN(ctx->global_rps, ParseCount(a, v, 1u << 20));
+    } else if (a == "--max-sessions") {
+      std::string v;
+      FB_RETURN_IF_ERROR(next(&v));
+      FB_ASSIGN_OR_RETURN(ctx->max_sessions, ParseCount(a, v, 1u << 20));
+    } else if (a == "--max-queued-requests") {
+      std::string v;
+      FB_RETURN_IF_ERROR(next(&v));
+      FB_ASSIGN_OR_RETURN(ctx->max_queued_requests, ParseCount(a, v, 1u << 20));
+    } else if (a == "--retries") {
+      std::string v;
+      FB_RETURN_IF_ERROR(next(&v));
+      FB_ASSIGN_OR_RETURN(ctx->retries, ParseCount(a, v, 100));
+      if (ctx->retries == 0) {
+        return Status::InvalidArgument("--retries must be >= 1");
+      }
+    } else if (a == "--connect-timeout-ms") {
+      std::string v;
+      FB_RETURN_IF_ERROR(next(&v));
+      FB_ASSIGN_OR_RETURN(ctx->connect_timeout_ms,
+                          ParseCount(a, v, 86'400'000));
+    } else if (a == "--io-timeout-ms") {
+      std::string v;
+      FB_RETURN_IF_ERROR(next(&v));
+      FB_ASSIGN_OR_RETURN(ctx->io_timeout_ms, ParseCount(a, v, 86'400'000));
     } else if (a.rfind("--", 0) == 0) {
       return Status::InvalidArgument("unknown flag " + a);
     } else {
@@ -175,6 +241,49 @@ void PrintSyncStats(const SyncStats& stats, bool push, std::ostream& out) {
         << stats.bytes_received << " bytes; stored "
         << stats.remote_new_chunks << " new\n";
   }
+}
+
+ForkBaseClient::Options ClientOptionsFrom(const CliContext& ctx) {
+  ForkBaseClient::Options options;
+  options.connect_timeout_millis = static_cast<int64_t>(ctx.connect_timeout_ms);
+  options.io_timeout_millis = static_cast<int64_t>(ctx.io_timeout_ms);
+  return options;
+}
+
+RetryPolicy RetryPolicyFrom(const CliContext& ctx) {
+  RetryPolicy policy;
+  policy.max_attempts = static_cast<int>(ctx.retries);
+  policy.connect_timeout_millis = static_cast<int64_t>(ctx.connect_timeout_ms);
+  policy.io_timeout_millis = static_cast<int64_t>(ctx.io_timeout_ms);
+  return policy;
+}
+
+Status RunRetryingSync(CliContext& ctx, ForkBase& db, SyncDirection direction,
+                       std::ostream& out) {
+  const auto& pos = ctx.positional;
+  SyncOptions sync_options;
+  if (pos.size() == 3) sync_options.keys.push_back(pos[2]);
+  SyncRetryReport report = SyncWithRetry(&db, direction, pos[1],
+                                         RetryPolicyFrom(ctx), sync_options);
+  if (report.attempts.size() > 1) {
+    out << (report.succeeded ? "succeeded after " : "gave up after ")
+        << report.attempts.size() << " attempts\n";
+  }
+  if (!report.succeeded) return report.final_status;
+  PrintSyncStats(report.stats, direction == SyncDirection::kPush, out);
+  return Status::OK();
+}
+
+void PrintServerStats(const ForkBaseServer::Stats& s, std::ostream& out) {
+  out << "sessions: " << s.sessions_accepted << " accepted, "
+      << s.sessions_closed << " closed, " << s.sessions_shed << " shed\n"
+      << "requests: " << s.requests_served << " served, " << s.requests_shed
+      << " shed, " << s.requests_rate_limited << " rate-limited\n"
+      << "disconnects: " << s.protocol_errors << " protocol, "
+      << s.deadline_disconnects << " deadline, " << s.stall_disconnects
+      << " write-stall\n"
+      << "peak bytes: " << s.peak_outbox_bytes << " outbox, "
+      << s.peak_staged_bytes << " bundle staging\n";
 }
 
 Status RunCommand(const std::string& cmd, CliContext& ctx, ForkBase& db,
@@ -332,6 +441,27 @@ Status RunCommand(const std::string& cmd, CliContext& ctx, ForkBase& db,
     server_options.after_mutation = [&db, branch_file]() {
       (void)db.branches().SaveToFile(branch_file);
     };
+    if (ctx.max_outbox_kb > 0) {
+      server_options.max_outbox_bytes = ctx.max_outbox_kb << 10;
+    }
+    if (ctx.handshake_timeout_ms >= 0) {
+      server_options.handshake_timeout_millis = ctx.handshake_timeout_ms;
+    }
+    if (ctx.idle_timeout_ms >= 0) {
+      server_options.idle_timeout_millis = ctx.idle_timeout_ms;
+    }
+    if (ctx.request_timeout_ms >= 0) {
+      server_options.request_timeout_millis = ctx.request_timeout_ms;
+    }
+    if (ctx.stall_timeout_ms >= 0) {
+      server_options.write_stall_timeout_millis = ctx.stall_timeout_ms;
+    }
+    server_options.session_requests_per_sec =
+        static_cast<double>(ctx.session_rps);
+    server_options.global_requests_per_sec =
+        static_cast<double>(ctx.global_rps);
+    server_options.max_sessions = ctx.max_sessions;
+    server_options.max_queued_requests = ctx.max_queued_requests;
     FB_ASSIGN_OR_RETURN(auto server,
                         ForkBaseServer::Start(&db, pos[1], server_options));
     g_shutdown_requested.store(false);
@@ -346,27 +476,19 @@ Status RunCommand(const std::string& cmd, CliContext& ctx, ForkBase& db,
     std::signal(SIGINT, SIG_DFL);
     std::signal(SIGTERM, SIG_DFL);
     out << "shut down\n";
+    PrintServerStats(server->stats(), out);
     return Status::OK();
   }
   if (cmd == "push" && pos.size() >= 2 && IsNetworkAddress(pos[1])) {
-    // push ADDRESS [KEY] — sync local branch heads to a running server.
+    // push ADDRESS [KEY] — sync local branch heads to a running server,
+    // reconnecting and resuming on transport faults / shed load.
     if (pos.size() > 3) return Status::InvalidArgument("push ADDRESS [KEY]");
-    FB_ASSIGN_OR_RETURN(auto client, ForkBaseClient::Connect(pos[1]));
-    SyncOptions sync_options;
-    if (pos.size() == 3) sync_options.keys.push_back(pos[2]);
-    FB_ASSIGN_OR_RETURN(SyncStats stats, SyncPush(&db, &client, sync_options));
-    PrintSyncStats(stats, /*push=*/true, out);
-    return Status::OK();
+    return RunRetryingSync(ctx, db, SyncDirection::kPush, out);
   }
   if (cmd == "pull" && pos.size() >= 2 && IsNetworkAddress(pos[1])) {
     // pull ADDRESS [KEY] — sync a running server's branch heads into here.
     if (pos.size() > 3) return Status::InvalidArgument("pull ADDRESS [KEY]");
-    FB_ASSIGN_OR_RETURN(auto client, ForkBaseClient::Connect(pos[1]));
-    SyncOptions sync_options;
-    if (pos.size() == 3) sync_options.keys.push_back(pos[2]);
-    FB_ASSIGN_OR_RETURN(SyncStats stats, SyncPull(&db, &client, sync_options));
-    PrintSyncStats(stats, /*push=*/false, out);
-    return Status::OK();
+    return RunRetryingSync(ctx, db, SyncDirection::kPull, out);
   }
   if (cmd == "push") {
     // push KEY FILE — export the branch head's closure as a bundle file.
@@ -401,7 +523,8 @@ Status RunCommand(const std::string& cmd, CliContext& ctx, ForkBase& db,
     if (pos.size() != 4) {
       return Status::InvalidArgument("rput ADDRESS KEY VALUE");
     }
-    FB_ASSIGN_OR_RETURN(auto client, ForkBaseClient::Connect(pos[1]));
+    FB_ASSIGN_OR_RETURN(auto client,
+                        ForkBaseClient::Connect(pos[1], ClientOptionsFrom(ctx)));
     FB_ASSIGN_OR_RETURN(Hash256 uid,
                         client.Put(pos[2], pos[3], ctx.branch, ctx.author,
                                    ctx.message));
@@ -411,7 +534,8 @@ Status RunCommand(const std::string& cmd, CliContext& ctx, ForkBase& db,
   if (cmd == "rget") {
     // rget ADDRESS KEY — read a remote branch head value.
     if (pos.size() != 3) return Status::InvalidArgument("rget ADDRESS KEY");
-    FB_ASSIGN_OR_RETURN(auto client, ForkBaseClient::Connect(pos[1]));
+    FB_ASSIGN_OR_RETURN(auto client,
+                        ForkBaseClient::Connect(pos[1], ClientOptionsFrom(ctx)));
     FB_ASSIGN_OR_RETURN(auto result, client.Get(pos[2], ctx.branch));
     out << result.value << "\n";
     return Status::OK();
@@ -419,10 +543,45 @@ Status RunCommand(const std::string& cmd, CliContext& ctx, ForkBase& db,
   if (cmd == "rstat") {
     // rstat ADDRESS — remote instance statistics.
     if (pos.size() != 2) return Status::InvalidArgument("rstat ADDRESS");
-    FB_ASSIGN_OR_RETURN(auto client, ForkBaseClient::Connect(pos[1]));
+    FB_ASSIGN_OR_RETURN(auto client,
+                        ForkBaseClient::Connect(pos[1], ClientOptionsFrom(ctx)));
     FB_ASSIGN_OR_RETURN(auto kvs, client.Stat());
     for (const auto& [k, v] : kvs) out << k << ": " << v << "\n";
     return Status::OK();
+  }
+  if (cmd == "net-hold") {
+    // net-hold ADDRESS MILLIS — chaos helper: open a connection and never
+    // speak, for at most MILLIS. A hardened server ends the hold early by
+    // enforcing its handshake deadline; reports what the server did.
+    if (pos.size() != 3) {
+      return Status::InvalidArgument("net-hold ADDRESS MILLIS");
+    }
+    FB_ASSIGN_OR_RETURN(uint64_t hold_millis,
+                        ParseCount("MILLIS", pos[2], 3'600'000));
+    FB_ASSIGN_OR_RETURN(
+        auto stream,
+        SocketStream::Connect(pos[1],
+                              static_cast<int64_t>(ctx.connect_timeout_ms)));
+    stream->SetIoTimeout(static_cast<int64_t>(hold_millis));
+    uint64_t received = 0;
+    for (;;) {
+      char buf[256];
+      auto n = stream->ReadSome(buf, sizeof buf);
+      if (!n.ok()) {
+        if (n.status().code() == StatusCode::kDeadlineExceeded) {
+          out << "held " << pos[1] << " for " << hold_millis
+              << " ms; connection still open\n";
+          return Status::OK();
+        }
+        return n.status();
+      }
+      if (*n == 0) {
+        out << "server closed the held connection (after " << received
+            << " byte(s), e.g. a deadline error frame)\n";
+        return Status::OK();
+      }
+      received += *n;
+    }
   }
   if (cmd == "verify-all") {
     // Tamper-evidence sweep over every branch head.
@@ -489,6 +648,11 @@ std::string CliUsage() {
       "             [--cache-mb N] [--group-commit] [--fsync]\n"
       "             [--tier-cold DIR] [--tier-policy write-through|write-back]\n"
       "             [--tier-hot-budget-mb N]\n"
+      "serve flags: [--max-outbox-kb N] [--handshake-timeout-ms N]\n"
+      "             [--idle-timeout-ms N] [--request-timeout-ms N]\n"
+      "             [--stall-timeout-ms N] [--session-rps N] [--global-rps N]\n"
+      "             [--max-sessions N] [--max-queued-requests N]\n"
+      "client flags: [--retries N] [--connect-timeout-ms N] [--io-timeout-ms N]\n"
       "             CMD ...\n"
       "  put KEY VALUE          commit a string value\n"
       "  put-blob KEY FILE      commit a file as a blob\n"
@@ -518,7 +682,8 @@ std::string CliUsage() {
       "  pull ADDRESS [KEY]     sync a server's branch heads into --db\n"
       "  rput ADDRESS KEY VAL   commit a string on a remote server\n"
       "  rget ADDRESS KEY       read a value from a remote server\n"
-      "  rstat ADDRESS          remote instance statistics\n";
+      "  rstat ADDRESS          remote instance statistics\n"
+      "  net-hold ADDRESS MS    chaos: hold a silent connection open\n";
 }
 
 int RunCli(const std::vector<std::string>& args, std::ostream& out,

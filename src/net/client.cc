@@ -5,7 +5,15 @@
 namespace forkbase {
 
 StatusOr<ForkBaseClient> ForkBaseClient::Connect(const std::string& address) {
-  FB_ASSIGN_OR_RETURN(auto stream, SocketStream::Connect(address));
+  return Connect(address, Options{});
+}
+
+StatusOr<ForkBaseClient> ForkBaseClient::Connect(const std::string& address,
+                                                 const Options& options) {
+  FB_ASSIGN_OR_RETURN(
+      auto stream,
+      SocketStream::Connect(address, options.connect_timeout_millis));
+  stream->SetIoTimeout(options.io_timeout_millis);
   return Attach(std::move(stream));
 }
 
@@ -37,7 +45,7 @@ StatusOr<std::string> ForkBaseClient::Call(Verb verb, Slice payload) {
   FB_RETURN_IF_ERROR(WriteFrame(stream_.get(), verb, payload));
   FB_ASSIGN_OR_RETURN(Frame reply, ReadFrame(stream_.get()));
   if (reply.verb == Verb::kError) {
-    return DecodeError(Slice(reply.payload));
+    return DecodeError(Slice(reply.payload), &last_retry_after_millis_);
   }
   if (reply.verb != Verb::kOk) {
     return Status::Corruption("unexpected reply verb");
@@ -248,14 +256,18 @@ StatusOr<ForkBaseClient::DeltaBundle> ForkBaseClient::PullDelta(
                                 Slice(payload)));
   // The reply is a frame sequence: Begin, Part*, End — or kError anywhere.
   FB_ASSIGN_OR_RETURN(Frame first, ReadFrame(stream_.get()));
-  if (first.verb == Verb::kError) return DecodeError(Slice(first.payload));
+  if (first.verb == Verb::kError) {
+    return DecodeError(Slice(first.payload), &last_retry_after_millis_);
+  }
   if (first.verb != Verb::kBundleBegin) {
     return Status::Corruption("expected BUNDLE_BEGIN");
   }
   DeltaBundle delta;
   for (;;) {
     FB_ASSIGN_OR_RETURN(Frame frame, ReadFrame(stream_.get()));
-    if (frame.verb == Verb::kError) return DecodeError(Slice(frame.payload));
+    if (frame.verb == Verb::kError) {
+      return DecodeError(Slice(frame.payload), &last_retry_after_millis_);
+    }
     if (frame.verb == Verb::kBundlePart) {
       delta.bundle.append(frame.payload);
       continue;

@@ -19,8 +19,18 @@ namespace forkbase {
 
 class ForkBaseClient {
  public:
+  struct Options {
+    /// Bound on connection establishment (0 = OS default, can be minutes).
+    int64_t connect_timeout_millis = 0;
+    /// Bound on every read/write of the session: a stalled server surfaces
+    /// as kDeadlineExceeded instead of a hung client (0 = unbounded).
+    int64_t io_timeout_millis = 0;
+  };
+
   /// Connects and runs the HELLO handshake.
   static StatusOr<ForkBaseClient> Connect(const std::string& address);
+  static StatusOr<ForkBaseClient> Connect(const std::string& address,
+                                          const Options& options);
   /// Adopts an already-open stream (tests inject fault decorators here)
   /// and runs the HELLO handshake.
   static StatusOr<ForkBaseClient> Attach(std::unique_ptr<ByteStream> stream);
@@ -99,6 +109,11 @@ class ForkBaseClient {
     if (stream_) stream_->Close();
   }
 
+  /// Retry-after hint from the most recent kError reply (0 when the server
+  /// sent none). A kUnavailable status plus this value is the server's
+  /// structured "back off and come back" — RetryPolicy honors it.
+  uint64_t last_retry_after_millis() const { return last_retry_after_millis_; }
+
  private:
   explicit ForkBaseClient(std::unique_ptr<ByteStream> stream)
       : stream_(std::move(stream)) {}
@@ -108,6 +123,7 @@ class ForkBaseClient {
   StatusOr<std::string> Call(Verb verb, Slice payload);
 
   std::unique_ptr<ByteStream> stream_;
+  uint64_t last_retry_after_millis_ = 0;
 };
 
 }  // namespace forkbase

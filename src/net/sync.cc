@@ -1,15 +1,18 @@
 #include "net/sync.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <optional>
 #include <queue>
+#include <thread>
 #include <unordered_set>
 #include <utility>
 
 #include "store/bundle.h"
 #include "store/fnode.h"
 #include "store/gc.h"
+#include "util/random.h"
 
 namespace forkbase {
 
@@ -97,6 +100,21 @@ StatusOr<bool> HistoryContains(const ChunkStore& store, const Hash256& head,
 StatusOr<SyncStats> SyncPush(ForkBase* db, ForkBaseClient* client,
                              const SyncOptions& options) {
   SyncStats stats;
+  FB_RETURN_IF_ERROR(SyncPushInto(db, client, options, &stats));
+  return stats;
+}
+
+StatusOr<SyncStats> SyncPull(ForkBase* db, ForkBaseClient* client,
+                             const SyncOptions& options) {
+  SyncStats stats;
+  FB_RETURN_IF_ERROR(SyncPullInto(db, client, options, &stats));
+  return stats;
+}
+
+Status SyncPushInto(ForkBase* db, ForkBaseClient* client,
+                    const SyncOptions& options, SyncStats* stats_out) {
+  *stats_out = SyncStats{};
+  SyncStats& stats = *stats_out;
   FB_ASSIGN_OR_RETURN(auto remote_heads, client->Heads());
   std::map<std::pair<std::string, std::string>, Hash256> remote;
   for (const auto& h : remote_heads) {
@@ -121,7 +139,7 @@ StatusOr<SyncStats> SyncPush(ForkBase* db, ForkBaseClient* client,
       want.push_back(uid);
     }
   }
-  if (targets.empty()) return stats;
+  if (targets.empty()) return Status::OK();
 
   // The peer's frontier, as far as this store knows it: remote heads we
   // also hold bound the delta closure below.
@@ -147,6 +165,10 @@ StatusOr<SyncStats> SyncPush(ForkBase* db, ForkBaseClient* client,
     FB_ASSIGN_OR_RETURN(auto wanted, client->Offer(batch));
     to_send.insert(to_send.end(), wanted.begin(), wanted.end());
   }
+  // Recorded before the upload: a dead connection mid-bundle still reports
+  // what this attempt had to ship, which is how a retry proves it resumed
+  // (its negotiation comes out strictly smaller).
+  stats.chunks_negotiated = to_send.size();
 
   if (!to_send.empty()) {
     FB_RETURN_IF_ERROR(client->BeginBundle());
@@ -185,12 +207,13 @@ StatusOr<SyncStats> SyncPush(ForkBase* db, ForkBaseClient* client,
     }
     return updated.status();
   }
-  return stats;
+  return Status::OK();
 }
 
-StatusOr<SyncStats> SyncPull(ForkBase* db, ForkBaseClient* client,
-                             const SyncOptions& options) {
-  SyncStats stats;
+Status SyncPullInto(ForkBase* db, ForkBaseClient* client,
+                    const SyncOptions& options, SyncStats* stats_out) {
+  *stats_out = SyncStats{};
+  SyncStats& stats = *stats_out;
   FB_ASSIGN_OR_RETURN(auto remote_heads, client->Heads());
 
   std::vector<Target> targets;
@@ -206,7 +229,7 @@ StatusOr<SyncStats> SyncPull(ForkBase* db, ForkBaseClient* client,
     targets.push_back({h.key, h.branch, h.uid});
     if (!db->store()->Contains(h.uid)) want.push_back(h.uid);
   }
-  if (targets.empty()) return stats;
+  if (targets.empty()) return Status::OK();
 
   if (!want.empty()) {
     // The server computes the delta against everything we already have.
@@ -231,7 +254,103 @@ StatusOr<SyncStats> SyncPull(ForkBase* db, ForkBaseClient* client,
     }
     return updated.status();
   }
-  return stats;
+  return Status::OK();
+}
+
+bool IsRetryableSyncError(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kIOError:           // transport died
+    case StatusCode::kDeadlineExceeded:  // peer stalled past a deadline
+    case StatusCode::kUnavailable:       // server shed the request
+    case StatusCode::kCorruption:        // torn frame / stream cut mid-read
+      return true;
+    default:
+      return false;
+  }
+}
+
+SyncRetryReport SyncWithRetry(ForkBase* db, SyncDirection direction,
+                              const StreamFactory& factory,
+                              const RetryPolicy& policy,
+                              const SyncOptions& options,
+                              const SleepFn& sleep_fn) {
+  SyncRetryReport report;
+  Rng jitter(policy.jitter_seed);
+  const int max_attempts = std::max(1, policy.max_attempts);
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    SyncAttempt record;
+    uint64_t retry_after_millis = 0;
+
+    auto stream = factory();
+    if (stream.ok()) {
+      auto client = ForkBaseClient::Attach(std::move(*stream));
+      if (client.ok()) {
+        record.status = direction == SyncDirection::kPush
+                            ? SyncPushInto(db, &*client, options, &record.stats)
+                            : SyncPullInto(db, &*client, options, &record.stats);
+        retry_after_millis = client->last_retry_after_millis();
+      } else {
+        record.status = client.status();
+      }
+    } else {
+      record.status = stream.status();
+    }
+
+    if (record.status.ok()) {
+      report.succeeded = true;
+      report.final_status = Status::OK();
+      report.stats = record.stats;
+      report.attempts.push_back(std::move(record));
+      return report;
+    }
+
+    report.final_status = record.status;
+    const bool give_up = attempt == max_attempts ||
+                         !IsRetryableSyncError(record.status);
+    if (give_up) {
+      report.attempts.push_back(std::move(record));
+      return report;
+    }
+
+    // Capped exponential backoff with uniform jitter in [backoff/2, backoff];
+    // a server retry-after hint is a floor, never shortened by jitter.
+    int64_t backoff = policy.initial_backoff_millis;
+    for (int i = 1; i < attempt && backoff < policy.max_backoff_millis; ++i) {
+      backoff *= 2;
+    }
+    backoff = std::min(backoff, policy.max_backoff_millis);
+    if (backoff > 0) {
+      backoff -= static_cast<int64_t>(
+          jitter.Uniform(static_cast<uint64_t>(backoff / 2 + 1)));
+    }
+    backoff = std::max(backoff, static_cast<int64_t>(retry_after_millis));
+    record.backoff_millis = backoff;
+    report.attempts.push_back(std::move(record));
+    if (backoff > 0) {
+      if (sleep_fn) {
+        sleep_fn(backoff);
+      } else {
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+      }
+    }
+  }
+  return report;  // unreachable; the loop always returns
+}
+
+SyncRetryReport SyncWithRetry(ForkBase* db, SyncDirection direction,
+                              const std::string& address,
+                              const RetryPolicy& policy,
+                              const SyncOptions& options,
+                              const SleepFn& sleep_fn) {
+  StreamFactory factory = [&address, &policy]()
+      -> StatusOr<std::unique_ptr<ByteStream>> {
+    FB_ASSIGN_OR_RETURN(
+        auto stream,
+        SocketStream::Connect(address, policy.connect_timeout_millis));
+    stream->SetIoTimeout(policy.io_timeout_millis);
+    return StatusOr<std::unique_ptr<ByteStream>>(std::move(stream));
+  };
+  return SyncWithRetry(db, direction, factory, policy, options, sleep_fn);
 }
 
 }  // namespace forkbase

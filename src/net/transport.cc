@@ -1,13 +1,17 @@
 #include "net/transport.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 namespace forkbase {
@@ -19,6 +23,17 @@ constexpr const char* kTcpScheme = "tcp:";
 
 Status Errno(const std::string& what) {
   return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+int64_t NowMillis() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
 }
 
 /// AF_UNIX sockaddr for `path`; rejects paths that do not fit sun_path.
@@ -117,40 +132,126 @@ Status ReadExact(ByteStream* stream, char* buf, size_t n) {
   return Status::OK();
 }
 
+namespace {
+
+/// Non-blocking connect bounded by `timeout_millis` (0 = unbounded). On
+/// success the fd stays non-blocking, which is what SocketStream wants.
+Status ConnectWithTimeout(int fd, const sockaddr* addr, socklen_t len,
+                          int64_t timeout_millis, const std::string& what) {
+  SetNonBlocking(fd);
+  if (::connect(fd, addr, len) == 0) return Status::OK();
+  if (errno != EINPROGRESS && errno != EAGAIN) return Errno(what);
+  const int64_t deadline =
+      timeout_millis > 0 ? NowMillis() + timeout_millis : -1;
+  for (;;) {
+    int wait = -1;
+    if (deadline >= 0) {
+      int64_t left = deadline - NowMillis();
+      if (left <= 0) {
+        return Status::DeadlineExceeded(what + ": connect timed out after " +
+                                        std::to_string(timeout_millis) +
+                                        "ms");
+      }
+      wait = static_cast<int>(std::min<int64_t>(left, 1 << 30));
+    }
+    pollfd pfd{fd, POLLOUT, 0};
+    int rc = ::poll(&pfd, 1, wait);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Errno("poll");
+    }
+    if (rc == 0) continue;  // re-check the deadline at the top
+    int err = 0;
+    socklen_t err_len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) != 0) {
+      return Errno("getsockopt");
+    }
+    if (err != 0) {
+      return Status::IOError(what + ": " + std::strerror(err));
+    }
+    return Status::OK();
+  }
+}
+
+}  // namespace
+
+SocketStream::SocketStream(int fd) : fd_(fd) { SetNonBlocking(fd_); }
+
 StatusOr<std::unique_ptr<SocketStream>> SocketStream::Connect(
-    const std::string& address) {
+    const std::string& address, int64_t connect_timeout_millis) {
   FB_ASSIGN_OR_RETURN(Endpoint ep, ParseAddress(address));
   int fd = -1;
   if (ep.kind == Endpoint::Kind::kUnix) {
     FB_ASSIGN_OR_RETURN(sockaddr_un addr, UnixSockaddr(ep.path));
     fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (fd < 0) return Errno("socket");
-    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status st = ConnectWithTimeout(fd, reinterpret_cast<sockaddr*>(&addr),
+                                   sizeof(addr), connect_timeout_millis,
+                                   "connect " + address);
+    if (!st.ok()) {
       ::close(fd);
-      return Errno("connect " + address);
+      return st;
     }
   } else {
     FB_ASSIGN_OR_RETURN(ResolvedTcp dst,
                         ResolveTcp(ep.host, ep.port, /*passive=*/false));
     fd = ::socket(dst.family, SOCK_STREAM, 0);
     if (fd < 0) return Errno("socket");
-    if (::connect(fd, reinterpret_cast<sockaddr*>(&dst.addr), dst.len) != 0) {
+    Status st = ConnectWithTimeout(fd, reinterpret_cast<sockaddr*>(&dst.addr),
+                                   dst.len, connect_timeout_millis,
+                                   "connect " + address);
+    if (!st.ok()) {
       ::close(fd);
-      return Errno("connect " + address);
+      return st;
     }
   }
   return std::make_unique<SocketStream>(fd);
 }
 
+int64_t SocketStream::Deadline() const {
+  return io_timeout_millis_ > 0 ? NowMillis() + io_timeout_millis_ : -1;
+}
+
+Status SocketStream::AwaitReady(short events, int64_t deadline_millis,
+                                const char* what) const {
+  for (;;) {
+    int wait = -1;
+    if (deadline_millis >= 0) {
+      int64_t left = deadline_millis - NowMillis();
+      if (left <= 0) {
+        return Status::DeadlineExceeded(
+            std::string(what) + " stalled past " +
+            std::to_string(io_timeout_millis_) + "ms deadline");
+      }
+      wait = static_cast<int>(std::min<int64_t>(left, 1 << 30));
+    }
+    pollfd pfd{fd_, events, 0};
+    int rc = ::poll(&pfd, 1, wait);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Errno("poll");
+    }
+    if (rc > 0) return Status::OK();
+    // rc == 0: poll timed out; loop re-checks the deadline.
+  }
+}
+
 Status SocketStream::WriteAll(Slice bytes) {
   const char* p = bytes.data();
   size_t left = bytes.size();
+  // One deadline spans the whole call: a peer that drains a byte every
+  // io_timeout-1 millis still cannot hold the writer hostage forever.
+  const int64_t deadline = Deadline();
   while (left > 0) {
     // MSG_NOSIGNAL: a dead peer yields EPIPE instead of killing the
     // process — the server must survive any client disconnect.
     ssize_t n = ::send(fd_, p, left, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        FB_RETURN_IF_ERROR(AwaitReady(POLLOUT, deadline, "send"));
+        continue;
+      }
       return Errno("send");
     }
     p += n;
@@ -160,10 +261,15 @@ Status SocketStream::WriteAll(Slice bytes) {
 }
 
 StatusOr<size_t> SocketStream::ReadSome(char* buf, size_t cap) {
+  const int64_t deadline = Deadline();
   for (;;) {
     ssize_t n = ::recv(fd_, buf, cap, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        FB_RETURN_IF_ERROR(AwaitReady(POLLIN, deadline, "recv"));
+        continue;
+      }
       return Errno("recv");
     }
     return static_cast<size_t>(n);

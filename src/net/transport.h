@@ -7,7 +7,9 @@
 //
 // ByteStream is the minimal seam between the frame codec and the OS (and
 // the fault-injection tests, which wrap one): ordered bytes in, ordered
-// bytes out, EOF. No timeouts or partial-write surface — WriteAll loops.
+// bytes out, EOF. Streams carry an optional I/O deadline — SetIoTimeout —
+// under which a stalled peer turns into kDeadlineExceeded instead of
+// blocking WriteAll/ReadSome forever.
 #ifndef FORKBASE_NET_TRANSPORT_H_
 #define FORKBASE_NET_TRANSPORT_H_
 
@@ -41,35 +43,56 @@ class ByteStream {
  public:
   virtual ~ByteStream() = default;
   /// Writes all of `bytes` (looping over short writes). kIOError on a
-  /// closed or failed peer.
+  /// closed or failed peer; kDeadlineExceeded if an I/O timeout is set and
+  /// the peer stops accepting bytes for that long.
   virtual Status WriteAll(Slice bytes) = 0;
   /// Reads up to `cap` bytes into `buf`; returns the count, 0 at EOF.
+  /// kDeadlineExceeded if an I/O timeout is set and no byte arrives in time.
   virtual StatusOr<size_t> ReadSome(char* buf, size_t cap) = 0;
+  /// Bounds each subsequent WriteAll/ReadSome call: once no progress is
+  /// possible for `millis`, the call fails with kDeadlineExceeded instead
+  /// of blocking. 0 restores the unbounded default. Decorators forward it;
+  /// the base no-op keeps purely in-memory test streams trivial.
+  virtual void SetIoTimeout(int64_t millis) { (void)millis; }
   virtual void Close() = 0;
 };
 
 /// Reads exactly `n` bytes; kIOError if the stream ends first.
 Status ReadExact(ByteStream* stream, char* buf, size_t n);
 
-/// A connected stream socket.
+/// A connected stream socket. The fd is kept non-blocking; WriteAll and
+/// ReadSome park in poll(2), bounded by the I/O timeout when one is set.
 class SocketStream : public ByteStream {
  public:
-  /// Connects to `address` (see ParseAddress).
+  /// Connects to `address` (see ParseAddress). A positive
+  /// `connect_timeout_millis` bounds connection establishment
+  /// (kDeadlineExceeded on expiry); 0 waits as long as the OS does.
   static StatusOr<std::unique_ptr<SocketStream>> Connect(
-      const std::string& address);
-  /// Adopts an already-connected fd (the server's accept path).
-  explicit SocketStream(int fd) : fd_(fd) {}
+      const std::string& address, int64_t connect_timeout_millis = 0);
+  /// Adopts an already-connected fd (the server's accept path). The fd is
+  /// switched to non-blocking mode.
+  explicit SocketStream(int fd);
   ~SocketStream() override { Close(); }
   SocketStream(const SocketStream&) = delete;
   SocketStream& operator=(const SocketStream&) = delete;
 
   Status WriteAll(Slice bytes) override;
   StatusOr<size_t> ReadSome(char* buf, size_t cap) override;
+  void SetIoTimeout(int64_t millis) override {
+    io_timeout_millis_ = millis > 0 ? millis : 0;
+  }
   void Close() override;
   int fd() const { return fd_; }
 
  private:
+  /// Parks in poll(2) until the fd is ready for `events` or the remaining
+  /// time until `deadline_millis` (steady clock; <0 = unbounded) runs out.
+  Status AwaitReady(short events, int64_t deadline_millis,
+                    const char* what) const;
+  int64_t Deadline() const;
+
   int fd_ = -1;
+  int64_t io_timeout_millis_ = 0;  ///< 0 = no deadline
 };
 
 /// Binds + listens on `address`. For "tcp:host:0" the kernel picks a port;

@@ -36,19 +36,25 @@ bool GetHashList(Decoder* dec, std::vector<Hash256>* ids) {
   return true;
 }
 
-std::string EncodeError(const Status& status) {
+std::string EncodeError(const Status& status, uint64_t retry_after_millis) {
   std::string out;
   out.push_back(static_cast<char>(status.code()));
   PutLengthPrefixed(&out, Slice(status.message()));
+  if (retry_after_millis > 0) PutVarint64(&out, retry_after_millis);
   return out;
 }
 
-Status DecodeError(Slice payload) {
+Status DecodeError(Slice payload, uint64_t* retry_after_millis) {
+  if (retry_after_millis != nullptr) *retry_after_millis = 0;
   Decoder dec(payload);
   Slice code_raw;
   Slice message;
   if (!dec.GetRaw(1, &code_raw) || !dec.GetLengthPrefixed(&message)) {
     return Status::Corruption("malformed error frame");
+  }
+  if (retry_after_millis != nullptr && !dec.AtEnd()) {
+    uint64_t millis = 0;
+    if (dec.GetVarint64(&millis)) *retry_after_millis = millis;
   }
   const auto code = static_cast<StatusCode>(code_raw.data()[0]);
   std::string text = message.ToString();
@@ -71,6 +77,10 @@ Status DecodeError(Slice payload) {
       return Status::IOError(std::move(text));
     case StatusCode::kUnimplemented:
       return Status::Unimplemented(std::move(text));
+    case StatusCode::kDeadlineExceeded:
+      return Status::DeadlineExceeded(std::move(text));
+    case StatusCode::kUnavailable:
+      return Status::Unavailable(std::move(text));
   }
   return Status::Corruption("error frame with unknown status code");
 }

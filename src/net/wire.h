@@ -22,9 +22,12 @@ bool GetHash(Decoder* dec, Hash256* id);
 void AppendHashList(std::string* out, const std::vector<Hash256>& ids);
 bool GetHashList(Decoder* dec, std::vector<Hash256>* ids);
 
-/// kError payload: [u8 StatusCode][length-prefixed message].
-std::string EncodeError(const Status& status);
-Status DecodeError(Slice payload);
+/// kError payload: [u8 StatusCode][length-prefixed message], optionally
+/// followed by [varint retry_after_millis] when the server sheds load and
+/// wants the client to back off for a specific interval. Old peers ignore
+/// the trailer; a missing trailer decodes as retry-after 0.
+std::string EncodeError(const Status& status, uint64_t retry_after_millis = 0);
+Status DecodeError(Slice payload, uint64_t* retry_after_millis = nullptr);
 
 }  // namespace forkbase
 

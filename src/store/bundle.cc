@@ -117,80 +117,145 @@ StatusOr<BundleStats> ExportBundleOfIds(const ChunkStore& store,
 }
 
 StatusOr<ImportResult> ImportBundle(Slice bundle, ChunkStore* dst) {
-  Decoder dec(bundle);
-  uint32_t magic = 0;
-  if (!dec.GetFixed32(&magic) ||
-      (magic != kBundleMagic && magic != kBundleMagicV2)) {
-    return Status::Corruption("not a ForkBase bundle");
-  }
-  ImportResult result;
-  if (magic == kBundleMagic) {
-    Slice head_bytes;
-    if (!dec.GetRaw(32, &head_bytes)) {
-      return Status::Corruption("bundle: missing head uid");
-    }
-    Hash256 head;
-    std::memcpy(head.bytes.data(), head_bytes.data(), 32);
-    result.heads.push_back(head);
-  } else {
-    uint64_t n_heads = 0;
-    if (!dec.GetVarint64(&n_heads) || n_heads == 0) {
-      return Status::Corruption("bundle: missing head list");
-    }
-    for (uint64_t i = 0; i < n_heads; ++i) {
-      Slice head_bytes;
-      if (!dec.GetRaw(32, &head_bytes)) {
-        return Status::Corruption("bundle: truncated head list");
+  BundleImporter importer(dst);
+  FB_RETURN_IF_ERROR(importer.Feed(bundle));
+  return importer.Finish();
+}
+
+namespace {
+
+// Parse-time sanity caps. A head list or chunk record larger than these is
+// not a plausible bundle; failing fast here turns a hostile length prefix
+// into kCorruption instead of an attempted giant allocation.
+constexpr uint64_t kMaxBundleHeads = 1u << 20;
+constexpr uint64_t kMaxChunkRecordBytes = 1u << 30;
+constexpr size_t kMaxVarintBytes = 10;
+
+}  // namespace
+
+Status BundleImporter::Fail(std::string message) {
+  error_ = Status::Corruption(std::move(message));
+  return error_;
+}
+
+Status BundleImporter::Feed(Slice bytes) {
+  if (!error_.ok()) return error_;
+  buffer_.append(bytes.data(), bytes.size());
+  return Parse();
+}
+
+Status BundleImporter::Parse() {
+  size_t pos = 0;
+  for (;;) {
+    Slice rest(buffer_.data() + pos, buffer_.size() - pos);
+    if (state_ == State::kMagic) {
+      if (rest.size() < 4) break;
+      Decoder dec(rest);
+      uint32_t magic = 0;
+      dec.GetFixed32(&magic);
+      if (magic != kBundleMagic && magic != kBundleMagicV2) {
+        return Fail("not a ForkBase bundle");
       }
+      pos += 4;
+      if (magic == kBundleMagic) {
+        heads_expected_ = 1;
+        state_ = State::kHeadList;
+      } else {
+        state_ = State::kHeadCount;
+      }
+    } else if (state_ == State::kHeadCount ||
+               state_ == State::kChunkCount) {
+      Decoder dec(rest);
+      uint64_t v = 0;
+      if (!dec.GetVarint64(&v)) {
+        // A varint never needs more than 10 bytes: with that many on hand
+        // a failed decode is malformed, not merely incomplete.
+        if (rest.size() >= kMaxVarintBytes) {
+          return Fail("bundle: malformed varint");
+        }
+        break;
+      }
+      pos += dec.position();
+      if (state_ == State::kHeadCount) {
+        if (v == 0) return Fail("bundle: missing head list");
+        if (v > kMaxBundleHeads) return Fail("bundle: absurd head count");
+        heads_expected_ = v;
+        state_ = State::kHeadList;
+      } else {
+        chunks_expected_ = v;
+        state_ = State::kRecords;
+      }
+    } else if (state_ == State::kHeadList) {
+      if (rest.size() < 32) break;
       Hash256 head;
-      std::memcpy(head.bytes.data(), head_bytes.data(), 32);
-      result.heads.push_back(head);
+      std::memcpy(head.bytes.data(), rest.data(), 32);
+      result_.heads.push_back(head);
+      pos += 32;
+      if (result_.heads.size() == heads_expected_) {
+        result_.head = result_.heads.front();
+        state_ = State::kChunkCount;
+      }
+    } else {  // State::kRecords
+      if (chunks_seen_ == chunks_expected_) {
+        if (!rest.empty()) return Fail("bundle: trailing bytes");
+        break;
+      }
+      Decoder dec(rest);
+      uint64_t len = 0;
+      if (!dec.GetVarint64(&len)) {
+        if (rest.size() >= kMaxVarintBytes) {
+          return Fail("bundle: malformed varint");
+        }
+        break;
+      }
+      if (len == 0) return Fail("bundle: truncated chunk record");
+      if (len > kMaxChunkRecordBytes) {
+        return Fail("bundle: absurd chunk record length");
+      }
+      if (dec.remaining() < len) break;
+      const size_t prefix = dec.position();
+      // Self-verification: the id is recomputed from the bytes, so a chunk
+      // can be admitted the moment its record completes — a record the wire
+      // corrupted simply lands under a different id and the closure check
+      // at Finish() reports the gap.
+      Chunk chunk =
+          Chunk::FromBytes(std::string(rest.data() + prefix, len));
+      const bool already = dst_->Contains(chunk.hash());
+      Status put = dst_->Put(chunk);
+      if (!put.ok()) {
+        error_ = put;
+        return error_;
+      }
+      ++result_.chunks;
+      result_.bytes += chunk.size();
+      if (!already) ++result_.new_chunks;
+      ++chunks_seen_;
+      pos += prefix + len;
     }
   }
-  result.head = result.heads.front();
-  uint64_t count = 0;
-  if (!dec.GetVarint64(&count)) {
-    return Status::Corruption("bundle: missing chunk count");
-  }
+  buffer_.erase(0, pos);
+  return Status::OK();
+}
 
-  // Stage and verify every chunk before admitting any.
-  std::vector<Chunk> staged;
-  staged.reserve(count);
-  std::unordered_set<Hash256, Hash256Hasher> staged_ids;
-  for (uint64_t i = 0; i < count; ++i) {
-    Slice raw;
-    if (!dec.GetLengthPrefixed(&raw) || raw.empty()) {
-      return Status::Corruption("bundle: truncated chunk record");
-    }
-    Chunk chunk = Chunk::FromBytes(raw.ToString());
-    // Self-verification: recompute the id from the bytes.
-    staged_ids.insert(chunk.hash());
-    staged.push_back(std::move(chunk));
+StatusOr<ImportResult> BundleImporter::Finish() {
+  if (!error_.ok()) return error_;
+  if (state_ != State::kRecords || chunks_seen_ != chunks_expected_ ||
+      !buffer_.empty()) {
+    return Fail("bundle: truncated");
   }
-  if (!dec.AtEnd()) {
-    return Status::Corruption("bundle: trailing bytes");
-  }
-  for (const auto& head : result.heads) {
-    if (!staged_ids.count(head) && !dst->Contains(head)) {
-      return Status::Corruption("bundle does not contain its head uid");
+  // Every bundle chunk is already in dst, so head presence in bundle ∪ dst
+  // collapses to a Contains probe.
+  for (const auto& head : result_.heads) {
+    if (!dst_->Contains(head)) {
+      return Fail("bundle does not contain its head uid");
     }
   }
-
-  for (const auto& chunk : staged) {
-    bool already = dst->Contains(chunk.hash());
-    FB_RETURN_IF_ERROR(dst->Put(chunk));
-    ++result.chunks;
-    result.bytes += chunk.size();
-    if (!already) ++result.new_chunks;
-  }
-
-  // Closure check: every head must now be fully traversable in dst.
-  auto closure = MarkLive(*dst, result.heads);
+  // Closure check: every head must be fully traversable in dst.
+  auto closure = MarkLive(*dst_, result_.heads);
   if (!closure.ok()) {
-    return Status::Corruption("bundle closure incomplete: " +
-                              closure.status().message());
+    return Fail("bundle closure incomplete: " + closure.status().message());
   }
-  return result;
+  return result_;
 }
 
 }  // namespace forkbase

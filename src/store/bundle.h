@@ -83,6 +83,55 @@ struct ImportResult {
 /// referenced chunk absent from bundle+dst).
 StatusOr<ImportResult> ImportBundle(Slice bundle, ChunkStore* dst);
 
+/// Streaming, incremental bundle import. Feed() accepts bundle bytes in
+/// arbitrary split points as they arrive off the wire; every chunk record
+/// that completes is hashed and written to `dst` immediately. Two
+/// consequences the network edge depends on:
+///
+///   * staging memory is bounded by the largest single record plus one
+///     transfer part, not by the bundle — pending_bytes() is the whole
+///     footprint;
+///   * chunks landed before a connection dies persist (content addressing
+///     makes them self-verifying in isolation), so a retried push
+///     re-negotiates and ships strictly less.
+///
+/// Finish() runs the head-presence and closure checks that one-shot
+/// ImportBundle runs, and returns the same accounting. Errors are sticky;
+/// an importer is single-use.
+class BundleImporter {
+ public:
+  explicit BundleImporter(ChunkStore* dst) : dst_(dst) {}
+
+  /// Consumes the next range of bundle bytes. kCorruption on a malformed
+  /// prefix (sticky).
+  Status Feed(Slice bytes);
+
+  /// Validates bundle completeness (no partial record, heads present in
+  /// bundle ∪ dst, closure traversable) and returns the accounting.
+  StatusOr<ImportResult> Finish();
+
+  /// Bytes buffered awaiting a complete parse unit — the importer's entire
+  /// staging footprint.
+  uint64_t pending_bytes() const { return buffer_.size(); }
+  uint64_t chunks_imported() const { return result_.chunks; }
+
+ private:
+  enum class State { kMagic, kHeadCount, kHeadList, kChunkCount, kRecords };
+
+  Status Fail(std::string message);
+  /// Parses as many complete units from buffer_ as possible.
+  Status Parse();
+
+  ChunkStore* dst_;
+  State state_ = State::kMagic;
+  std::string buffer_;
+  Status error_;
+  ImportResult result_;
+  uint64_t heads_expected_ = 0;
+  uint64_t chunks_expected_ = 0;
+  uint64_t chunks_seen_ = 0;
+};
+
 }  // namespace forkbase
 
 #endif  // FORKBASE_STORE_BUNDLE_H_

@@ -40,6 +40,11 @@ class FaultSchedule {
     kTransient,  ///< operation fails now, an immediate retry may succeed
     kTimeout,    ///< operation hangs for the backend's timeout, then fails
     kShortRead,  ///< read returns fewer bytes than the record holds (reads)
+    // Network-transport fault classes, interpreted by FaultyStream and the
+    // loopback harness rather than by storage backends:
+    kStall,             ///< peer stops moving bytes until a deadline fires
+    kSlowDrip,          ///< peer trickles one byte at a time with delays
+    kDisconnectMidFrame ///< connection drops after a partial frame write
   };
 
   struct Fault {

@@ -24,6 +24,8 @@ enum class StatusCode : int {
   kPermissionDenied = 6, ///< access control rejected the operation
   kIOError = 7,          ///< filesystem-level failure
   kUnimplemented = 8,    ///< operation not supported for this type
+  kDeadlineExceeded = 9, ///< operation outlived its deadline
+  kUnavailable = 10,     ///< transient overload; retry after backing off
 };
 
 /// Human-readable name of a status code (e.g. "NotFound").
@@ -62,6 +64,12 @@ class Status {
   static Status Unimplemented(std::string m) {
     return Status(StatusCode::kUnimplemented, std::move(m));
   }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -73,6 +81,10 @@ class Status {
   bool IsPermissionDenied() const {
     return code_ == StatusCode::kPermissionDenied;
   }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// Formats as "Code: message" ("OK" when successful).
   std::string ToString() const;

@@ -1,0 +1,46 @@
+#include "util/token_bucket.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace forkbase {
+
+TokenBucket::TokenBucket(double rate_per_sec, double burst)
+    : rate_per_sec_(rate_per_sec > 0.0 ? rate_per_sec : 0.0),
+      burst_(std::max(burst, 1.0)),
+      tokens_(std::max(burst, 1.0)) {}
+
+double TokenBucket::Filled(int64_t now_millis) const {
+  if (now_millis <= last_millis_) return tokens_;
+  double refill = rate_per_sec_ * double(now_millis - last_millis_) / 1000.0;
+  return std::min(burst_, tokens_ + refill);
+}
+
+bool TokenBucket::TryTake(double n, int64_t now_millis) {
+  if (!limited()) return true;
+  double filled = Filled(now_millis);
+  if (filled < n) {
+    // Refill is still applied so a later MillisUntil sees fresh state.
+    tokens_ = filled;
+    last_millis_ = std::max(last_millis_, now_millis);
+    return false;
+  }
+  tokens_ = filled - n;
+  last_millis_ = std::max(last_millis_, now_millis);
+  return true;
+}
+
+void TokenBucket::Charge(double n, int64_t now_millis) {
+  if (!limited()) return;
+  tokens_ = Filled(now_millis) - n;
+  last_millis_ = std::max(last_millis_, now_millis);
+}
+
+int64_t TokenBucket::MillisUntil(double n, int64_t now_millis) const {
+  if (!limited()) return 0;
+  double need = std::min(n, burst_) - Filled(now_millis);
+  if (need <= 0.0) return 0;
+  return static_cast<int64_t>(std::ceil(need / rate_per_sec_ * 1000.0));
+}
+
+}  // namespace forkbase

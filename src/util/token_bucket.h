@@ -1,0 +1,57 @@
+// TokenBucket — rate limiting for the network edge.
+//
+// Classic token bucket: tokens refill continuously at `rate_per_sec` up to
+// `burst`, and each admitted unit of work takes tokens. The bucket is
+// deliberately not thread-safe — the server consults all of its buckets
+// from the poll-loop thread only, which keeps the hot path lock-free. A
+// default-constructed bucket is unlimited, so call sites can treat
+// "rate limiting off" and "rate limiting on" uniformly.
+//
+// Time is passed in explicitly (steady-clock milliseconds) rather than read
+// inside, so one loop iteration charges every bucket against the same
+// instant and tests can drive the clock.
+#ifndef FORKBASE_UTIL_TOKEN_BUCKET_H_
+#define FORKBASE_UTIL_TOKEN_BUCKET_H_
+
+#include <cstdint>
+
+namespace forkbase {
+
+class TokenBucket {
+ public:
+  /// Unlimited: TryTake always succeeds, MillisUntil is always 0.
+  TokenBucket() = default;
+
+  /// `rate_per_sec` tokens accrue per second, capped at `burst` (which is
+  /// also the initial fill). Both must be > 0 for a limited bucket; a
+  /// non-positive rate means unlimited.
+  TokenBucket(double rate_per_sec, double burst);
+
+  bool limited() const { return rate_per_sec_ > 0.0; }
+
+  /// Takes `n` tokens if available at `now_millis`; false leaves the bucket
+  /// untouched.
+  bool TryTake(double n, int64_t now_millis);
+
+  /// Takes `n` tokens unconditionally, driving the balance negative if
+  /// needed — for charging work whose size is only known after the fact
+  /// (bytes already read off a socket). The deficit delays future takes.
+  void Charge(double n, int64_t now_millis);
+
+  /// Milliseconds until `n` tokens will be available (0 = available now).
+  /// For n > burst the answer is the time to fill the whole bucket — the
+  /// caller is asking for more than the bucket can ever hold at once.
+  int64_t MillisUntil(double n, int64_t now_millis) const;
+
+ private:
+  double Filled(int64_t now_millis) const;
+
+  double rate_per_sec_ = 0.0;  ///< <= 0 means unlimited
+  double burst_ = 0.0;
+  double tokens_ = 0.0;
+  int64_t last_millis_ = 0;
+};
+
+}  // namespace forkbase
+
+#endif  // FORKBASE_UTIL_TOKEN_BUCKET_H_

@@ -3,6 +3,9 @@
 // repo's substitution for the paper's distributed replication.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
+
 #include "chunk/mem_chunk_store.h"
 #include "store/bundle.h"
 #include "util/datagen.h"
@@ -215,6 +218,96 @@ TEST(BundleTest, DeltaBundleShipsOnlyNewChunks) {
   dst.branches().SetHead("ds", "master", *v2);
   ASSERT_TRUE(dst.Verify(*v2).ok());
   EXPECT_EQ(**dst.GetTable("ds")->GetCell("r00000600", 2), "edited");
+}
+
+// ------------------------------------------------ streaming importer --
+
+namespace {
+// Builds a moderately sized bundle (two commits, many chunks) and returns
+// (bundle bytes, head) for the streaming-importer tests.
+std::pair<std::string, Hash256> MakeTestBundle() {
+  auto store = std::make_shared<MemChunkStore>();
+  ForkBase src(store);
+  CsvGenOptions opts;
+  opts.num_rows = 400;
+  EXPECT_TRUE(src.PutTableFromCsv("ds", GenerateCsv(opts), 0, "master",
+                                  {"alice", "v1"})
+                  .ok());
+  EXPECT_TRUE(src.UpdateTableCell("ds", "r00000100", 2, "edited", "master",
+                                  {"alice", "v2"})
+                  .ok());
+  auto head = src.Head("ds");
+  EXPECT_TRUE(head.ok());
+  auto bundle = ExportBundle(*store, *head);
+  EXPECT_TRUE(bundle.ok());
+  return {*bundle, *head};
+}
+}  // namespace
+
+TEST(BundleTest, StreamingImporterMatchesOneShot) {
+  auto [bundle, head] = MakeTestBundle();
+
+  auto one_shot_store = std::make_shared<MemChunkStore>();
+  auto one_shot = ImportBundle(bundle, one_shot_store.get());
+  ASSERT_TRUE(one_shot.ok());
+
+  // Feed the same bytes in awkward, uneven slices — the importer must parse
+  // across every possible record boundary.
+  auto streamed_store = std::make_shared<MemChunkStore>();
+  BundleImporter importer(streamed_store.get());
+  const size_t steps[] = {1, 7, 13, 64, 4096};
+  size_t offset = 0, turn = 0;
+  while (offset < bundle.size()) {
+    size_t take = std::min(steps[turn++ % 5], bundle.size() - offset);
+    ASSERT_TRUE(importer.Feed(Slice(bundle.data() + offset, take)).ok());
+    offset += take;
+  }
+  auto streamed = importer.Finish();
+  ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+
+  EXPECT_EQ(streamed->head, one_shot->head);
+  EXPECT_EQ(streamed->chunks, one_shot->chunks);
+  EXPECT_EQ(streamed->new_chunks, one_shot->new_chunks);
+  EXPECT_EQ(importer.pending_bytes(), 0u);
+  EXPECT_TRUE(streamed_store->Contains(head));
+}
+
+TEST(BundleTest, StreamingImporterKeepsCompletedChunksOfATornUpload) {
+  auto [bundle, head] = MakeTestBundle();
+  (void)head;
+
+  auto dst = std::make_shared<MemChunkStore>();
+  BundleImporter importer(dst.get());
+  // Only half the stream arrives before the "connection" dies.
+  ASSERT_TRUE(importer.Feed(Slice(bundle.data(), bundle.size() / 2)).ok());
+  EXPECT_GT(importer.chunks_imported(), 0u)
+      << "complete records should land as they stream in";
+  auto result = importer.Finish();
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+  // The chunks that did land persist — this is what lets a retried push
+  // negotiate a strictly smaller delta.
+  EXPECT_GT(dst->stats().chunk_count, 0u);
+}
+
+TEST(BundleTest, StreamingImporterRejectsTamperedRecordMidStream) {
+  auto [bundle, head] = MakeTestBundle();
+  (void)head;
+  bundle[bundle.size() - 5] ^= 0x10;  // flip a bit inside the last record
+
+  auto dst = std::make_shared<MemChunkStore>();
+  BundleImporter importer(dst.get());
+  Status status = Status::OK();
+  size_t offset = 0;
+  while (offset < bundle.size() && status.ok()) {
+    size_t take = std::min<size_t>(512, bundle.size() - offset);
+    status = importer.Feed(Slice(bundle.data() + offset, take));
+    offset += take;
+  }
+  if (status.ok()) status = importer.Finish().status();
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+  // The error is sticky: the importer refuses everything after.
+  EXPECT_FALSE(importer.Feed(Slice(bundle.data(), 1)).ok());
 }
 
 // ------------------------------------------- typed update conveniences --

@@ -358,5 +358,32 @@ TEST_F(CliTest, TierHotBudgetFlagBoundsTheHotTierAndShowsInStats) {
   std::filesystem::remove_all(cold);
 }
 
+TEST_F(CliTest, NetworkFlagValidation) {
+  std::string err;
+  // Client retry knob: zero attempts is meaningless.
+  EXPECT_NE(Run({"--retries", "0", "keys"}, nullptr, &err), 0);
+  EXPECT_NE(err.find("--retries"), std::string::npos);
+
+  // Server outbox cap: zero would deadlock every streamed reply.
+  err.clear();
+  EXPECT_NE(Run({"--max-outbox-kb", "0", "keys"}, nullptr, &err), 0);
+  EXPECT_NE(err.find("--max-outbox-kb"), std::string::npos);
+
+  // Rate limits must be numbers.
+  err.clear();
+  EXPECT_NE(Run({"--session-rps", "abc", "keys"}, nullptr, &err), 0);
+
+  // net-hold needs ADDRESS and MILLIS.
+  err.clear();
+  EXPECT_NE(Run({"net-hold"}, nullptr, &err), 0);
+
+  // The new knobs are documented.
+  std::string out;
+  EXPECT_EQ(Run({"help"}, &out), 0);
+  EXPECT_NE(out.find("net-hold"), std::string::npos);
+  EXPECT_NE(out.find("--max-outbox-kb"), std::string::npos);
+  EXPECT_NE(out.find("--retries"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace forkbase

@@ -4,6 +4,7 @@
 // under a seeded FaultSchedule injected into the client transport.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <utility>
@@ -168,7 +169,10 @@ TEST(SyncTest, DivergedBranchConflictsWithoutClobbering) {
 
 // ByteStream decorator driving a FaultSchedule: writes consult kPut, reads
 // consult kGet. kTransient fails the call; kShortRead hangs up the socket
-// (the peer sees a torn frame / early EOF mid-conversation).
+// (the peer sees a torn frame / early EOF mid-conversation); kStall models a
+// deadline firing on a peer that stopped moving bytes; kDisconnectMidFrame
+// lets half a frame escape before the connection drops (the peer sees a torn
+// frame, this side an I/O error); kSlowDrip trickles one byte per read.
 class FaultyStream : public ByteStream {
  public:
   FaultyStream(std::unique_ptr<ByteStream> inner, FaultSchedule* faults)
@@ -176,19 +180,37 @@ class FaultyStream : public ByteStream {
 
   Status WriteAll(Slice bytes) override {
     if (auto fault = faults_->Draw(FaultSchedule::Op::kPut)) {
-      inner_->Close();
-      return Status::IOError("injected transport write fault");
+      switch (fault->kind) {
+        case FaultSchedule::Kind::kStall:
+          inner_->Close();
+          return Status::DeadlineExceeded("injected write stall");
+        case FaultSchedule::Kind::kDisconnectMidFrame:
+          (void)inner_->WriteAll(Slice(bytes.data(), bytes.size() / 2));
+          inner_->Close();
+          return Status::IOError("injected disconnect mid-frame");
+        default:
+          inner_->Close();
+          return Status::IOError("injected transport write fault");
+      }
     }
     return inner_->WriteAll(bytes);
   }
 
   StatusOr<size_t> ReadSome(char* buf, size_t cap) override {
     if (auto fault = faults_->Draw(FaultSchedule::Op::kGet)) {
-      inner_->Close();
-      if (fault->kind == FaultSchedule::Kind::kShortRead) {
-        return static_cast<size_t>(0);  // premature EOF
+      switch (fault->kind) {
+        case FaultSchedule::Kind::kShortRead:
+          inner_->Close();
+          return static_cast<size_t>(0);  // premature EOF
+        case FaultSchedule::Kind::kStall:
+          inner_->Close();
+          return Status::DeadlineExceeded("injected read stall");
+        case FaultSchedule::Kind::kSlowDrip:
+          return inner_->ReadSome(buf, std::min<size_t>(cap, 1));
+        default:
+          inner_->Close();
+          return Status::IOError("injected transport read fault");
       }
-      return Status::IOError("injected transport read fault");
     }
     return inner_->ReadSome(buf, cap);
   }
@@ -256,6 +278,115 @@ TEST(SyncTest, PushAndPullConvergeUnderTransportFaults) {
   ASSERT_TRUE(probe.ok());
   EXPECT_TRUE(probe->Heads().ok());
   (*server)->Stop();
+}
+
+// -- SyncWithRetry ------------------------------------------------------------
+
+TEST(SyncTest, SyncWithRetryResumesATornPush) {
+  ForkBase a(std::make_shared<MemChunkStore>());
+  CommitVersions(&a, "doc", "master", "m", 25);
+  ASSERT_TRUE(a.Branch("doc", "dev", "master").ok());
+  CommitVersions(&a, "doc", "dev", "d", 10);
+
+  ForkBase::Options options;
+  options.group_commit = true;
+  ForkBase b(std::make_shared<MemChunkStore>(), options);
+  auto server = ForkBaseServer::Start(&b, TestAddress("retry"));
+  ASSERT_TRUE(server.ok());
+
+  // One scripted fault: the connection drops mid-frame several writes into
+  // the first attempt — HELLO, HEADS, OFFER, BUNDLE_BEGIN take the first
+  // four, so write #9 lands inside the bundle-part stream.
+  FaultSchedule faults;
+  faults.InjectOnce(FaultSchedule::Op::kPut,
+                    {FaultSchedule::Kind::kDisconnectMidFrame}, /*skip=*/8);
+
+  StreamFactory factory = [&]() -> StatusOr<std::unique_ptr<ByteStream>> {
+    FB_ASSIGN_OR_RETURN(auto raw, SocketStream::Connect((*server)->address()));
+    return StatusOr<std::unique_ptr<ByteStream>>(
+        std::make_unique<FaultyStream>(std::move(raw), &faults));
+  };
+  RetryPolicy policy;
+  policy.initial_backoff_millis = 1;
+  policy.max_backoff_millis = 4;
+  SyncOptions sync_options;
+  sync_options.part_bytes = 2048;  // many small parts: the cut lands mid-upload
+  std::vector<int64_t> sleeps;
+  auto report =
+      SyncWithRetry(&a, SyncDirection::kPush, factory, policy, sync_options,
+                    [&](int64_t millis) { sleeps.push_back(millis); });
+
+  ASSERT_TRUE(report.succeeded) << report.final_status.ToString();
+  ASSERT_GE(report.attempts.size(), 2u);
+  EXPECT_TRUE(IsRetryableSyncError(report.attempts.front().status));
+  EXPECT_EQ(sleeps.size(), report.attempts.size() - 1);
+  EXPECT_GT(faults.injected_count(), 0u)
+      << "the schedule never fired; the test proved nothing";
+  ExpectConverged(&a, &b, "doc");
+
+  // The resumability proof: the torn attempt landed its completed chunks on
+  // the server (the streaming importer persists them), so the retry's
+  // negotiation shipped strictly fewer.
+  const SyncStats& first = report.attempts.front().stats;
+  EXPECT_GT(first.chunks_negotiated, 0u);
+  EXPECT_GT(report.stats.chunks_negotiated, 0u);
+  EXPECT_LT(report.stats.chunks_negotiated, first.chunks_negotiated);
+  (*server)->Stop();
+}
+
+TEST(SyncTest, SyncWithRetryStopsOnNonRetryableErrors) {
+  ForkBase a(std::make_shared<MemChunkStore>());
+  int factory_calls = 0;
+  StreamFactory factory = [&]() -> StatusOr<std::unique_ptr<ByteStream>> {
+    ++factory_calls;
+    return Status::InvalidArgument("no such transport");
+  };
+  auto report = SyncWithRetry(&a, SyncDirection::kPull, factory, RetryPolicy(),
+                              SyncOptions(), [](int64_t) {});
+  EXPECT_FALSE(report.succeeded);
+  EXPECT_EQ(factory_calls, 1);
+  EXPECT_EQ(report.attempts.size(), 1u);
+  EXPECT_EQ(report.final_status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SyncTest, SyncWithRetryBackoffIsCappedJitteredAndDeterministic) {
+  ForkBase a(std::make_shared<MemChunkStore>());
+  StreamFactory refused = []() -> StatusOr<std::unique_ptr<ByteStream>> {
+    return Status::IOError("connection refused");
+  };
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.initial_backoff_millis = 8;
+  policy.max_backoff_millis = 20;
+  policy.jitter_seed = 77;
+
+  auto run = [&]() {
+    std::vector<int64_t> sleeps;
+    auto report =
+        SyncWithRetry(&a, SyncDirection::kPush, refused, policy, SyncOptions(),
+                      [&](int64_t millis) { sleeps.push_back(millis); });
+    EXPECT_FALSE(report.succeeded);
+    EXPECT_EQ(report.attempts.size(), 5u);
+    EXPECT_EQ(report.final_status.code(), StatusCode::kIOError);
+    // Every non-final attempt records the backoff it then slept.
+    for (size_t i = 0; i + 1 < report.attempts.size(); ++i) {
+      EXPECT_EQ(report.attempts[i].backoff_millis, sleeps[i]);
+    }
+    EXPECT_EQ(report.attempts.back().backoff_millis, 0);
+    return sleeps;
+  };
+
+  const std::vector<int64_t> first = run();
+  ASSERT_EQ(first.size(), 4u);
+  // Exponential envelope 8, 16, 20, 20 (capped), each jittered down into
+  // [envelope/2, envelope] — never past the cap.
+  const int64_t envelope[] = {8, 16, 20, 20};
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_GE(first[i], envelope[i] / 2);
+    EXPECT_LE(first[i], envelope[i]);
+  }
+  // The jitter is seeded: a rerun replays the exact same sleeps.
+  EXPECT_EQ(run(), first);
 }
 
 }  // namespace

@@ -71,4 +71,83 @@ fi
 wait "$SERVER_PID" 2>/dev/null || true
 SERVER_PID=""
 grep -q 'serving on' "$WORK/serve.log"
+
+# ---------------------------------------------------------------- chaos --
+# 7. Overload scenario: a deliberately tiny hardened server must shed and
+# disconnect abusive connections while healthy traffic keeps working.
+SOCK2="$WORK/fb2.sock"
+"$CLI" --db "$WORK/hardened" --group-commit \
+    --max-outbox-kb 64 --handshake-timeout-ms 400 --stall-timeout-ms 2000 \
+    --max-sessions 8 --session-rps 200 \
+    serve "unix:$SOCK2" >"$WORK/serve2.log" 2>&1 &
+SERVER_PID=$!
+for _ in $(seq 1 100); do
+  [[ -S "$SOCK2" ]] && break
+  sleep 0.1
+done
+[[ -S "$SOCK2" ]] || { echo "FAIL: hardened server never bound"; exit 1; }
+
+# A silent connection must be dropped by the handshake deadline, well
+# before its own 5 s budget expires…
+HOLD="$("$CLI" net-hold "unix:$SOCK2" 5000)"
+if ! grep -q 'server closed the held connection' <<<"$HOLD"; then
+  echo "FAIL: handshake deadline never fired: $HOLD"
+  exit 1
+fi
+
+# …while concurrent healthy sessions are served bit-exact.
+HOLD_PIDS=()
+for i in $(seq 1 5); do
+  "$CLI" net-hold "unix:$SOCK2" 5000 >/dev/null &
+  HOLD_PIDS+=($!)
+done
+for i in $(seq 1 8); do
+  "$CLI" rput "unix:$SOCK2" "k$i" "value-$i" >/dev/null
+done
+for i in $(seq 1 8); do
+  [[ "$("$CLI" rget "unix:$SOCK2" "k$i")" == "value-$i" ]]
+done
+for pid in "${HOLD_PIDS[@]}"; do wait "$pid" 2>/dev/null || true; done
+
+# The hardening counters are observable over the wire.
+RSTAT="$("$CLI" rstat "unix:$SOCK2")"
+grep -q '^net_sessions_accepted: ' <<<"$RSTAT"
+DEADLINED="$(sed -n 's/^net_deadline_disconnects: //p' <<<"$RSTAT")"
+if [[ "${DEADLINED:-0}" -lt 1 ]]; then
+  echo "FAIL: expected >=1 deadline disconnect, rstat said '$DEADLINED'"
+  exit 1
+fi
+
+# 8. Retrying client: a push at a dead address backs off and gives up with
+# a clear message…
+"$CLI" --db "$WORK/local" put doc v4 >/dev/null
+if "$CLI" --db "$WORK/local" --retries 3 --connect-timeout-ms 200 \
+    push "unix:$WORK/nobody-home.sock" >"$WORK/push.log" 2>&1; then
+  echo "FAIL: push to a dead address reported success"
+  exit 1
+fi
+grep -q 'gave up after 3 attempts' "$WORK/push.log"
+
+# …then the same push against the live hardened server succeeds and the
+# replica converges (retry config does not distort a healthy sync).
+"$CLI" --db "$WORK/local" --retries 3 push "unix:$SOCK2" >/dev/null
+"$CLI" --db "$WORK/replica2" pull "unix:$SOCK2" >/dev/null
+[[ "$("$CLI" --db "$WORK/replica2" get doc)" == "v4" ]]
+[[ "$("$CLI" --db "$WORK/replica2" head doc)" == \
+   "$("$CLI" --db "$WORK/local" head doc)" ]]
+
+# 9. Clean shutdown of the hardened server; its exit stats must include
+# the shed/deadline accounting.
+kill -TERM "$SERVER_PID"
+for _ in $(seq 1 100); do
+  kill -0 "$SERVER_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$SERVER_PID" 2>/dev/null; then
+  echo "FAIL: hardened server $SERVER_PID leaked past SIGTERM"
+  exit 1
+fi
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+grep -q 'deadline' "$WORK/serve2.log"
 echo "serve smoke OK"
