@@ -175,7 +175,7 @@ AsyncChunkBatch CachingChunkStore::GetManyAsync(
       });
 }
 
-Status CachingChunkStore::Put(const Chunk& chunk) {
+Status CachingChunkStore::PutImpl(const Chunk& chunk) {
   FB_RETURN_IF_ERROR(base_->Put(chunk));
   Shard& shard = ShardFor(chunk.hash());
   std::lock_guard<std::mutex> lock(shard.mu);
@@ -183,7 +183,7 @@ Status CachingChunkStore::Put(const Chunk& chunk) {
   return Status::OK();
 }
 
-Status CachingChunkStore::PutMany(std::span<const Chunk> chunks) {
+Status CachingChunkStore::PutManyImpl(std::span<const Chunk> chunks) {
   FB_RETURN_IF_ERROR(base_->PutMany(chunks));
   for (const Chunk& chunk : chunks) {
     Shard& shard = ShardFor(chunk.hash());

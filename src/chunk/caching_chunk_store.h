@@ -46,8 +46,6 @@ class CachingChunkStore : public ChunkStore {
   /// base store's I/O pool.
   AsyncChunkBatch GetManyAsync(std::span<const Hash256> ids) const override;
   bool SupportsAsyncGet() const override { return base_->SupportsAsyncGet(); }
-  Status Put(const Chunk& chunk) override;
-  Status PutMany(std::span<const Chunk> chunks) override;
   bool Contains(const Hash256& id) const override;
   /// Erase passes through to the base store after dropping any cached
   /// copies, so the decorator never serves a chunk its backend reclaimed.
@@ -72,6 +70,10 @@ class CachingChunkStore : public ChunkStore {
   CacheStats cache_stats() const;
 
   size_t shard_count() const { return shards_.size(); }
+
+ protected:
+  Status PutImpl(const Chunk& chunk) override;
+  Status PutManyImpl(std::span<const Chunk> chunks) override;
 
  private:
   struct Shard {

@@ -26,11 +26,20 @@ AsyncChunkBatch ChunkStore::GetManyAsync(std::span<const Hash256> ids) const {
   return AsyncChunkBatch::Ready(GetMany(ids));
 }
 
-Status ChunkStore::PutMany(std::span<const Chunk> chunks) {
+Status ChunkStore::PutManyImpl(std::span<const Chunk> chunks) {
   for (const Chunk& chunk : chunks) {
-    FB_RETURN_IF_ERROR(Put(chunk));
+    // PutImpl, not Put: the public wrapper already recorded the whole batch
+    // into any active pin.
+    FB_RETURN_IF_ERROR(PutImpl(chunk));
   }
   return Status::OK();
+}
+
+void ChunkStore::RecordPinnedPuts(std::span<const Chunk> chunks) {
+  std::lock_guard<std::mutex> lock(pin_mu_);
+  for (PutPin* pin : pins_) {
+    for (const Chunk& chunk : chunks) pin->ids_.insert(chunk.hash());
+  }
 }
 
 Status ChunkStore::Erase(std::span<const Hash256> ids) {

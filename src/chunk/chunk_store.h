@@ -9,12 +9,15 @@
 #define FORKBASE_CHUNK_CHUNK_STORE_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
+#include <unordered_set>
 #include <vector>
 
 #include "chunk/chunk.h"
@@ -116,6 +119,12 @@ struct ChunkStoreStats {
 };
 
 /// Abstract content-addressed store. Implementations must be thread-safe.
+///
+/// Writes follow the non-virtual-interface pattern: the public Put/PutMany
+/// are thin wrappers that record the written ids into any registered PutPin
+/// (see below) before dispatching to the virtual PutImpl/PutManyImpl that
+/// backends implement. The wrapper costs one relaxed atomic load when no
+/// pin is active, so the hot path is unaffected outside a GC sweep.
 class ChunkStore {
  public:
   virtual ~ChunkStore() = default;
@@ -125,7 +134,12 @@ class ChunkStore {
   virtual StatusOr<Chunk> Get(const Hash256& id) const = 0;
 
   /// Stores a chunk. Idempotent; counts a dedup hit when already present.
-  virtual Status Put(const Chunk& chunk) = 0;
+  Status Put(const Chunk& chunk) {
+    if (pin_count_.load(std::memory_order_acquire) > 0) {
+      RecordPinnedPuts(std::span<const Chunk>(&chunk, 1));
+    }
+    return PutImpl(chunk);
+  }
 
   /// Batched fetch: one result slot per id, in request order. A missing id
   /// yields kNotFound in its slot (it does not fail the whole batch), so a
@@ -153,9 +167,82 @@ class ChunkStore {
   /// duplicates — whether already resident or repeated within the batch —
   /// count as dedup hits. Not atomic: on an I/O error a prefix of the batch
   /// may have been applied (harmless under content addressing; retry the
-  /// whole batch). Backends override this to write one segment run per
-  /// batch instead of one record per chunk.
-  virtual Status PutMany(std::span<const Chunk> chunks);
+  /// whole batch). Backends override PutManyImpl to write one segment run
+  /// per batch instead of one record per chunk.
+  Status PutMany(std::span<const Chunk> chunks) {
+    if (pin_count_.load(std::memory_order_acquire) > 0) {
+      RecordPinnedPuts(chunks);
+    }
+    return PutManyImpl(chunks);
+  }
+
+  /// RAII registration of a put pin: while alive, every id written through
+  /// the store's Put/PutMany — dedup hits included — is recorded. The
+  /// in-place GC sweep registers one before taking its mark snapshot, so a
+  /// chunk a racing commit (re-)puts after the snapshot is provably in the
+  /// pin set and is never erased, even when the mark walk cannot reach it
+  /// yet. Ids are recorded BEFORE the backend write runs: a pin may name a
+  /// chunk whose write later failed, which errs on the safe side (skipping
+  /// an erase), never the reverse.
+  class PutPin {
+   public:
+    explicit PutPin(ChunkStore& store) : store_(store) {
+      std::lock_guard<std::mutex> lock(store_.pin_mu_);
+      store_.pins_.push_back(this);
+      store_.pin_count_.store(static_cast<int>(store_.pins_.size()),
+                              std::memory_order_release);
+    }
+    ~PutPin() {
+      std::lock_guard<std::mutex> lock(store_.pin_mu_);
+      std::erase(store_.pins_, this);
+      store_.pin_count_.store(static_cast<int>(store_.pins_.size()),
+                              std::memory_order_release);
+    }
+    PutPin(const PutPin&) = delete;
+    PutPin& operator=(const PutPin&) = delete;
+
+    /// True when `id` was put since this pin was registered.
+    bool Contains(const Hash256& id) const {
+      std::lock_guard<std::mutex> lock(store_.pin_mu_);
+      return ids_.count(id) > 0;
+    }
+    size_t size() const {
+      std::lock_guard<std::mutex> lock(store_.pin_mu_);
+      return ids_.size();
+    }
+
+   private:
+    friend class ChunkStore;
+    ChunkStore& store_;
+    std::unordered_set<Hash256, Hash256Hasher> ids_;  // guarded by pin_mu_
+  };
+
+  /// True when `id` is recorded in ANY registered pin. The GC sweep checks
+  /// this (not just its own pin) before erasing, which turns every live
+  /// PutPin into a quarantine: a bundle upload that holds a pin across
+  /// "import chunks, then publish the head" keeps its not-yet-reachable
+  /// chunks safe from a sweep that starts mid-upload.
+  bool PutPinned(const Hash256& id) const {
+    std::lock_guard<std::mutex> lock(pin_mu_);
+    for (const PutPin* pin : pins_) {
+      if (pin->ids_.count(id) > 0) return true;
+    }
+    return false;
+  }
+
+  /// Records `ids` into every registered pin, as if they had just been put.
+  /// No-op when no pin is alive. This is how already-present chunks get the
+  /// same quarantine as fresh writes: a negotiation that answers "don't
+  /// send X, I have it" pins X, because the peer will publish a head whose
+  /// closure relies on X staying put. Callers racing a sweep must hold the
+  /// database write lease so the pin lands before the sweep's erase check.
+  void PinIds(std::span<const Hash256> ids) {
+    if (pin_count_.load(std::memory_order_acquire) == 0) return;
+    std::lock_guard<std::mutex> lock(pin_mu_);
+    for (PutPin* pin : pins_) {
+      pin->ids_.insert(ids.begin(), ids.end());
+    }
+  }
 
   virtual bool Contains(const Hash256& id) const = 0;
 
@@ -194,6 +281,21 @@ class ChunkStore {
   /// every index-backed store overrides it.
   virtual void ForEachId(
       const std::function<void(const Hash256&, uint64_t)>& fn) const;
+
+ protected:
+  /// Backend write, called by Put after pin recording.
+  virtual Status PutImpl(const Chunk& chunk) = 0;
+  /// Backend batched write; the default loops over PutImpl.
+  virtual Status PutManyImpl(std::span<const Chunk> chunks);
+
+ private:
+  void RecordPinnedPuts(std::span<const Chunk> chunks);
+
+  /// Mirrors pins_.size(); lets Put/PutMany skip the mutex when no sweep
+  /// is active.
+  std::atomic<int> pin_count_{0};
+  mutable std::mutex pin_mu_;
+  std::vector<PutPin*> pins_;  // guarded by pin_mu_
 };
 
 /// Default batch size for memory-capped sweeps over many ids.

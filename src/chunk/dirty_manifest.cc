@@ -130,8 +130,17 @@ Status DirtyManifest::MarkDirty(std::span<const Hash256> ids) {
 
 Status DirtyManifest::MarkClean(std::span<const Hash256> ids) {
   std::lock_guard<std::mutex> lock(mu_);
-  FB_RETURN_IF_ERROR(AppendLocked(kOpClear, ids, ids.size()));
-  for (const Hash256& id : ids) dirty_.erase(id);
+  // Journal only ids the manifest actually holds: a CLEAR for an id that
+  // was never marked would replay as a no-op but bloat the journal and
+  // skew the record count the compaction trigger below watches.
+  std::vector<Hash256> held;
+  held.reserve(ids.size());
+  for (const Hash256& id : ids) {
+    if (dirty_.count(id)) held.push_back(id);
+  }
+  if (held.empty()) return Status::OK();
+  FB_RETURN_IF_ERROR(AppendLocked(kOpClear, held, held.size()));
+  for (const Hash256& id : held) dirty_.erase(id);
   // Once MARK/CLEAR churn dominates the live set, fold the journal down to
   // the live marks. The floor keeps small stores from compacting on every
   // drain.

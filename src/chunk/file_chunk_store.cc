@@ -1,5 +1,6 @@
 #include "chunk/file_chunk_store.h"
 
+#include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -8,6 +9,7 @@
 #include <cstring>
 #include <filesystem>
 #include <optional>
+#include <thread>
 #include <unordered_set>
 
 namespace forkbase {
@@ -38,6 +40,16 @@ void AppendRecord(std::string* buf, const Hash256& id, Slice bytes) {
 }
 
 uint64_t RecordBytes(uint32_t len) { return kHeaderBytes + len; }
+
+// fsync by path, for callers that must not sit on append_mu_ while the
+// device syncs (any fd reaches the same inode's dirty pages).
+bool FsyncPath(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
 }  // namespace
 
 FileChunkStore::FileChunkStore(std::string dir, Options options)
@@ -45,7 +57,8 @@ FileChunkStore::FileChunkStore(std::string dir, Options options)
       options_(options),
       shards_(NormalizeShardCount(options.index_shards)),
       prefetch_pool_(options.prefetch_threads),
-      compact_pool_(options.background_compaction ? 1 : 0) {}
+      compact_pool_(options.background_compaction ? options.maintenance_threads
+                                                  : 0) {}
 
 FileChunkStore::~FileChunkStore() {
   // Scheduled rewrites still need the index and the append stream; run them
@@ -336,12 +349,12 @@ AsyncChunkBatch FileChunkStore::GetManyAsync(
       });
 }
 
-Status FileChunkStore::Put(const Chunk& chunk) {
+Status FileChunkStore::PutImpl(const Chunk& chunk) {
   const Chunk* one = &chunk;
-  return PutMany(std::span<const Chunk>(one, 1));
+  return PutManyImpl(std::span<const Chunk>(one, 1));
 }
 
-Status FileChunkStore::PutMany(std::span<const Chunk> chunks) {
+Status FileChunkStore::PutManyImpl(std::span<const Chunk> chunks) {
   for (const Chunk& chunk : chunks) {
     if (!chunk.valid()) return Status::InvalidArgument("invalid chunk");
   }
@@ -538,6 +551,7 @@ Status FileChunkStore::Erase(std::span<const Hash256> ids) {
   // record was appended under the same lock we now hold, and a tombstone
   // journaled after it would erase it on replay.
   Status journal;
+  std::vector<uint32_t> rolled;
   {
     std::lock_guard<std::mutex> lock(append_mu_);
     std::string buffer;
@@ -554,6 +568,15 @@ Status FileChunkStore::Erase(std::span<const Hash256> ids) {
       if (!append_file_) {
         return Status::IOError(
             "append segment unavailable after prior failure");
+      }
+      if (append_offset_ >= options_.segment_bytes) {
+        // Roll before journaling, like PutMany does per record. An
+        // erase-only workload (a GC sweep on a freshly reopened store)
+        // must still close an over-limit active segment — otherwise the
+        // garbage it holds stays exempt from compaction behind the
+        // never-rewrite-the-active-segment rule until some future Put.
+        rolled.push_back(append_segment_);
+        FB_RETURN_IF_ERROR(OpenSegmentForAppend(append_segment_ + 1));
       }
       if (std::fwrite(buffer.data(), 1, buffer.size(), append_file_) !=
               buffer.size() ||
@@ -578,6 +601,7 @@ Status FileChunkStore::Erase(std::span<const Hash256> ids) {
   // Even when the journal failed, the in-memory erase stands (a reopen may
   // resurrect the chunks — harmless, the evictor erases them again), and
   // the dead-space accounting below is true either way.
+  for (uint32_t seg : rolled) MaybeScheduleCompaction(seg);
 
   // Phase 3: the erased records are dead space in their segments; rewrite
   // any segment that crossed the threshold.
@@ -658,6 +682,14 @@ void FileChunkStore::CompactSegment(uint32_t segment) {
   const std::string path = SegmentPath(segment);
   bool aborted = false;
   uint64_t moved_live = 0;
+  // Segments the moved records landed in. Batches are flushed to the OS but
+  // NOT fsynced under append_mu_ — the old segment stays intact until the
+  // truncate below, so crash replay recovers the original records (replay
+  // keeps the first copy of a duplicated id). One by-path fsync per target
+  // segment right before the truncate, outside every lock, gives the same
+  // durability ordering at a fraction of the sync count — and keeps
+  // concurrent rewrites from serializing on the device behind append_mu_.
+  std::vector<uint32_t> new_homes;
   if (!entries.empty()) {
     std::FILE* f = std::fopen(path.c_str(), "rb");
     if (!f) {
@@ -704,9 +736,7 @@ void FileChunkStore::CompactSegment(uint32_t segment) {
         }
         if (std::fwrite(buffer.data(), 1, buffer.size(), append_file_) !=
                 buffer.size() ||
-            std::fflush(append_file_) != 0 ||
-            (options_.fsync_on_flush &&
-             ::fsync(fileno(append_file_)) != 0)) {
+            std::fflush(append_file_) != 0) {
           std::fclose(append_file_);
           append_file_ = nullptr;
           std::error_code ec;
@@ -715,6 +745,9 @@ void FileChunkStore::CompactSegment(uint32_t segment) {
           if (!ec) (void)OpenSegmentForAppend(append_segment_);
           aborted = true;
           break;
+        }
+        if (new_homes.empty() || new_homes.back() != append_segment_) {
+          new_homes.push_back(append_segment_);
         }
         uint64_t offset = append_offset_;
         append_offset_ += buffer.size();
@@ -745,6 +778,23 @@ void FileChunkStore::CompactSegment(uint32_t segment) {
         moved_live += batch_live;
       }
       std::fclose(f);
+    }
+  }
+
+  if (!aborted && options_.fsync_on_flush) {
+    // Durability ordering: the moved records must be on the device before
+    // the only other copy is truncated away. Runs without append_mu_, so a
+    // rewrite's sync never blocks writers (or other rewrites) — the device
+    // wait is exactly the blocked time parallel maintenance overlaps.
+    for (uint32_t seg : new_homes) {
+      if (options_.rewrite_sync_delay_for_testing.count() > 0) {
+        std::this_thread::sleep_for(options_.rewrite_sync_delay_for_testing);
+      }
+      if (!FsyncPath(SegmentPath(seg))) {
+        // Keep the old segment: both copies exist, replay keeps the first.
+        aborted = true;
+        break;
+      }
     }
   }
 
@@ -789,6 +839,34 @@ void FileChunkStore::WaitForMaintenance() {
   compact_cv_.wait(lock, [&] { return compactions_pending_ == 0; });
 }
 
+size_t FileChunkStore::CompactBelow(double live_ratio) {
+  const uint32_t active = active_segment_.load(std::memory_order_relaxed);
+  std::vector<uint32_t> targets;
+  {
+    std::lock_guard<std::mutex> lock(seg_mu_);
+    for (auto& [seg, space] : segments_) {
+      if (seg == active || space.compaction_scheduled) continue;
+      if (space.total_bytes == 0) continue;
+      if (static_cast<double>(space.live_bytes) >=
+          live_ratio * static_cast<double>(space.total_bytes)) {
+        continue;
+      }
+      space.compaction_scheduled = true;
+      ++compactions_pending_;
+      targets.push_back(seg);
+    }
+  }
+  for (uint32_t seg : targets) {
+    compact_pool_.Submit([this, seg] {
+      CompactSegment(seg);
+      std::lock_guard<std::mutex> lock(seg_mu_);
+      --compactions_pending_;
+      compact_cv_.notify_all();
+    });
+  }
+  return targets.size();
+}
+
 FileChunkStore::MaintenanceStats FileChunkStore::maintenance_stats() const {
   MaintenanceStats stats;
   stats.erased_chunks = erased_chunks_.load(std::memory_order_relaxed);
@@ -798,6 +876,10 @@ FileChunkStore::MaintenanceStats FileChunkStore::maintenance_stats() const {
       segments_rewritten_.load(std::memory_order_relaxed);
   stats.rewritten_bytes = rewritten_bytes_.load(std::memory_order_relaxed);
   stats.reclaimed_bytes = reclaimed_bytes_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(seg_mu_);
+    stats.pending_compactions = compactions_pending_;
+  }
   return stats;
 }
 

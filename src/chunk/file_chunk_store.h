@@ -39,6 +39,7 @@
 #define FORKBASE_CHUNK_FILE_CHUNK_STORE_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdio>
 #include <memory>
@@ -76,11 +77,22 @@ class FileChunkStore : public ChunkStore {
     /// compaction: Erase still drops index entries and appends tombstones,
     /// but disk space is never given back.
     double compact_live_ratio = 0.5;
-    /// Run segment rewrites on a background maintenance thread (spawned
+    /// Run segment rewrites on background maintenance threads (spawned
     /// lazily on the first rewrite). Off = rewrites run inline inside the
     /// Erase/PutMany call that crossed the threshold — deterministic for
     /// tests, and what keeps space_used() exact for tight budget loops.
     bool background_compaction = true;
+    /// Maintenance pool width: how many segment rewrites run concurrently
+    /// (each is a work item; excess queue). Rewrites block on cold device
+    /// reads and the pre-truncate fsync, so >1 pays off even on a single
+    /// core. 0 behaves like background_compaction = false (inline).
+    uint32_t maintenance_threads = 1;
+    /// Benchmark/testing hook: extra latency added to each pre-truncate
+    /// segment sync a rewrite performs, modeling a device with non-trivial
+    /// sync cost. The SlowDevice scan benches inject latency the same way
+    /// at the store API; this knob reaches the maintenance path, which a
+    /// wrapping store cannot. Must stay zero in production configurations.
+    std::chrono::microseconds rewrite_sync_delay_for_testing{0};
   };
 
   /// Opens (creating if needed) a store rooted at `dir`.
@@ -100,8 +112,6 @@ class FileChunkStore : public ChunkStore {
   bool SupportsAsyncGet() const override {
     return options_.prefetch_threads > 0;
   }
-  Status Put(const Chunk& chunk) override;
-  Status PutMany(std::span<const Chunk> chunks) override;
   bool Contains(const Hash256& id) const override;
   bool SupportsErase() const override { return true; }
   /// Tombstoned erase: drops each id's index entry and journals a tombstone
@@ -126,14 +136,27 @@ class FileChunkStore : public ChunkStore {
   /// callers about to measure disk) use this as the quiesce barrier.
   void WaitForMaintenance();
 
+  /// Administrative compaction sweep: queues a rewrite for every closed
+  /// segment whose live ratio is below `live_ratio`, regardless of the
+  /// configured compact_live_ratio (so it works on stores opened with
+  /// compaction disabled). live_ratio >= 1.0 rewrites every closed segment
+  /// with any dead space. Returns the number of rewrites queued; pair with
+  /// WaitForMaintenance() to run them out.
+  size_t CompactBelow(double live_ratio);
+
   struct MaintenanceStats {
     uint64_t erased_chunks = 0;      ///< ids dropped by Erase
     uint64_t tombstone_records = 0;  ///< tombstones appended (journal size)
     uint64_t segments_rewritten = 0;
     uint64_t rewritten_bytes = 0;    ///< live bytes moved by rewrites
     uint64_t reclaimed_bytes = 0;    ///< file bytes released by rewrites
+    uint64_t pending_compactions = 0;  ///< rewrites queued or running now
   };
   MaintenanceStats maintenance_stats() const;
+
+ protected:
+  Status PutImpl(const Chunk& chunk) override;
+  Status PutManyImpl(std::span<const Chunk> chunks) override;
 
  private:
   struct Location {

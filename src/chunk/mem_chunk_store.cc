@@ -29,7 +29,7 @@ std::vector<StatusOr<Chunk>> MemChunkStore::GetMany(
   return out;
 }
 
-Status MemChunkStore::Put(const Chunk& chunk) {
+Status MemChunkStore::PutImpl(const Chunk& chunk) {
   if (!chunk.valid()) return Status::InvalidArgument("invalid chunk");
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.put_calls;
@@ -46,7 +46,7 @@ Status MemChunkStore::Put(const Chunk& chunk) {
   return Status::OK();
 }
 
-Status MemChunkStore::PutMany(std::span<const Chunk> chunks) {
+Status MemChunkStore::PutManyImpl(std::span<const Chunk> chunks) {
   for (const Chunk& chunk : chunks) {
     if (!chunk.valid()) return Status::InvalidArgument("invalid chunk");
   }

@@ -22,8 +22,6 @@ class MemChunkStore : public ChunkStore {
   StatusOr<Chunk> Get(const Hash256& id) const override;
   std::vector<StatusOr<Chunk>> GetMany(
       std::span<const Hash256> ids) const override;
-  Status Put(const Chunk& chunk) override;
-  Status PutMany(std::span<const Chunk> chunks) override;
   bool Contains(const Hash256& id) const override;
   /// Erase support (the former test-only hook, promoted to the interface so
   /// capacity managers can reclaim memory): drops each present id and its
@@ -40,6 +38,10 @@ class MemChunkStore : public ChunkStore {
   /// chunk stored under `id`, leaving the index untouched. Returns false if
   /// the chunk is absent or the offset out of range.
   bool TamperForTesting(const Hash256& id, size_t offset, uint8_t xor_mask);
+
+ protected:
+  Status PutImpl(const Chunk& chunk) override;
+  Status PutManyImpl(std::span<const Chunk> chunks) override;
 
  private:
   mutable std::mutex mu_;

@@ -104,13 +104,13 @@ AsyncChunkBatch RemoteChunkStore::GetManyAsync(
       });
 }
 
-Status RemoteChunkStore::Put(const Chunk& chunk) {
+Status RemoteChunkStore::PutImpl(const Chunk& chunk) {
   SimulateTransfer(chunk.size());
   FB_RETURN_IF_ERROR(MaybeFault(FaultSchedule::Op::kPut, chunk.size()));
   return backend_->Put(chunk);
 }
 
-Status RemoteChunkStore::PutMany(std::span<const Chunk> chunks) {
+Status RemoteChunkStore::PutManyImpl(std::span<const Chunk> chunks) {
   uint64_t bytes = 0;
   for (const Chunk& chunk : chunks) bytes += chunk.size();
   SimulateTransfer(bytes);

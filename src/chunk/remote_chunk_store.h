@@ -63,8 +63,6 @@ class RemoteChunkStore : public ChunkStore {
       std::span<const Hash256> ids) const override;
   AsyncChunkBatch GetManyAsync(std::span<const Hash256> ids) const override;
   bool SupportsAsyncGet() const override { return options_.connections > 0; }
-  Status Put(const Chunk& chunk) override;
-  Status PutMany(std::span<const Chunk> chunks) override;
   /// Local index probe (the client-side manifest); no round trip simulated.
   bool Contains(const Hash256& id) const override;
   /// Administrative space reclamation (a server-side delete); bypasses the
@@ -82,6 +80,10 @@ class RemoteChunkStore : public ChunkStore {
       const std::function<void(const Hash256&, uint64_t)>& fn) const override {
     backend_->ForEachId(fn);
   }
+
+ protected:
+  Status PutImpl(const Chunk& chunk) override;
+  Status PutManyImpl(std::span<const Chunk> chunks) override;
 
  private:
   /// Sleeps out the round-trip latency plus the transfer time of

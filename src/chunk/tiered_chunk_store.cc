@@ -228,12 +228,12 @@ void TieredChunkStore::EnforceHotBudget() const {
 
 // ---- writes ---------------------------------------------------------------
 
-Status TieredChunkStore::Put(const Chunk& chunk) {
+Status TieredChunkStore::PutImpl(const Chunk& chunk) {
   const Chunk* one = &chunk;
-  return PutMany(std::span<const Chunk>(one, 1));
+  return PutManyImpl(std::span<const Chunk>(one, 1));
 }
 
-Status TieredChunkStore::PutMany(std::span<const Chunk> chunks) {
+Status TieredChunkStore::PutManyImpl(std::span<const Chunk> chunks) {
   FB_RETURN_IF_ERROR(hot_->PutMany(chunks));
   if (options_.policy == TierPolicy::kWriteThrough) {
     // Track hot residency before attempting the cold write: the chunks
@@ -378,13 +378,35 @@ Status TieredChunkStore::Erase(std::span<const Hash256> ids) {
   // re-write them to the cold tier — or, on failure, re-queue them —
   // after our erase), then clear the pipeline, then the tiers. Erase is
   // an administrative operation; pausing it behind a drain is fine.
+  //
+  // The dirty-set membership captured here is the tier policy for garbage:
+  // a dirty id that never reached the cold tier is evicted from the hot
+  // tier and unpinned from the manifest without ever touching the cold
+  // backend — demoting garbage just to delete it remotely would be a
+  // wasted round trip (and wasted cold-tier writes). A dirty id CAN have a
+  // cold copy (re-put of an already-demoted chunk re-marks it dirty), so
+  // the hot-only shortcut applies only when the cold tier confirms the id
+  // is absent; everything else joins the cold erase below.
+  std::vector<Hash256> dirty_garbage;
   {
     std::unique_lock<std::mutex> lock(dirty_mu_);
     demote_cv_.wait(lock, [&] { return demotions_in_flight_ == 0; });
-    for (const Hash256& id : ids) dirty_.erase(id);
+    for (const Hash256& id : ids) {
+      if (dirty_.erase(id) > 0) dirty_garbage.push_back(id);
+    }
   }
-  if (options_.dirty_manifest) {
-    (void)options_.dirty_manifest->MarkClean(ids);
+  if (options_.dirty_manifest && !dirty_garbage.empty()) {
+    // Unpin exactly the erased dirty ids — clean ids would only bloat the
+    // manifest journal with no-op records.
+    (void)options_.dirty_manifest->MarkClean(dirty_garbage);
+  }
+  // Hot-only candidates: dirty ids the cold tier has never seen. The
+  // Contains probe is an index lookup on file-backed cold tiers; for the
+  // handful of re-put ids it rejects, the cold erase below keeps the
+  // both-tiers-cleared contract.
+  std::unordered_set<Hash256, Hash256Hasher> hot_only;
+  for (const Hash256& id : dirty_garbage) {
+    if (!cold_->Contains(id)) hot_only.insert(id);
   }
   ForgetHot(ids);
   Status status;
@@ -392,8 +414,18 @@ Status TieredChunkStore::Erase(std::span<const Hash256> ids) {
     Status hot_status = hot_->Erase(ids);
     if (status.ok()) status = hot_status;
   }
-  if (cold_->SupportsErase()) {
-    Status cold_status = cold_->Erase(ids);
+  hot_only_erases_.fetch_add(hot_only.size(), std::memory_order_relaxed);
+  if (cold_->SupportsErase() && hot_only.size() < ids.size()) {
+    std::vector<Hash256> cold_ids;
+    if (hot_only.empty()) {
+      cold_ids.assign(ids.begin(), ids.end());
+    } else {
+      cold_ids.reserve(ids.size() - hot_only.size());
+      for (const Hash256& id : ids) {
+        if (!hot_only.count(id)) cold_ids.push_back(id);
+      }
+    }
+    Status cold_status = cold_->Erase(cold_ids);
     if (status.ok()) status = cold_status;
   }
   return status;
@@ -731,6 +763,7 @@ TieredChunkStore::TierStats TieredChunkStore::tier_stats() const {
   stats.promotions = promotions_.load(std::memory_order_relaxed);
   stats.demotions = demotions_.load(std::memory_order_relaxed);
   stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.hot_only_erases = hot_only_erases_.load(std::memory_order_relaxed);
   stats.hot_bytes = hot_bytes_.load(std::memory_order_relaxed);
   stats.pinned_dirty_bytes =
       pinned_dirty_bytes_.load(std::memory_order_relaxed);

@@ -134,8 +134,6 @@ class TieredChunkStore : public ChunkStore {
   bool SupportsAsyncGet() const override {
     return hot_->SupportsAsyncGet() || cold_->SupportsAsyncGet();
   }
-  Status Put(const Chunk& chunk) override;
-  Status PutMany(std::span<const Chunk> chunks) override;
   bool Contains(const Hash256& id) const override;
   bool SupportsErase() const override {
     return hot_->SupportsErase() || cold_->SupportsErase();
@@ -185,6 +183,9 @@ class TieredChunkStore : public ChunkStore {
     uint64_t dirty_pending = 0;
     /// Chunks erased from the hot tier by the budget evictor.
     uint64_t evictions = 0;
+    /// Erased ids that were dirty (never demoted): reclaimed from the hot
+    /// tier alone, no cold round trip — GC's evict-over-demote policy.
+    uint64_t hot_only_erases = 0;
     /// Tracked bytes of hot-resident chunks (0 when no budget is set —
     /// tracking only runs for bounded tiers).
     uint64_t hot_bytes = 0;
@@ -197,6 +198,10 @@ class TieredChunkStore : public ChunkStore {
   ChunkStore* hot() { return hot_.get(); }
   ChunkStore* cold() { return cold_.get(); }
   DirtyManifest* manifest() { return options_.dirty_manifest.get(); }
+
+ protected:
+  Status PutImpl(const Chunk& chunk) override;
+  Status PutManyImpl(std::span<const Chunk> chunks) override;
 
  private:
   /// Batch split: every id goes to exactly one tier's fetch, and each
@@ -284,6 +289,7 @@ class TieredChunkStore : public ChunkStore {
   mutable std::atomic<uint64_t> hot_bytes_{0};
   mutable std::atomic<uint64_t> pinned_dirty_bytes_{0};
   mutable std::atomic<uint64_t> evictions_{0};
+  mutable std::atomic<uint64_t> hot_only_erases_{0};
 
   mutable std::atomic<uint64_t> hot_hits_{0};
   mutable std::atomic<uint64_t> cold_hits_{0};

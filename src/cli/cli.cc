@@ -40,6 +40,7 @@ struct CliContext {
   uint64_t global_rps = 0;
   uint64_t max_sessions = 0;
   uint64_t max_queued_requests = 0;
+  bool gc_in_place = false;            // gc: sweep the store where it lives
   uint64_t retries = 3;                // client sync attempts (1 = no retry)
   uint64_t connect_timeout_ms = 10'000;
   uint64_t io_timeout_ms = 30'000;
@@ -138,6 +139,22 @@ Status ParseArgs(const std::vector<std::string>& args, CliContext* ctx) {
       ctx->config.commit.group_commit = true;
     } else if (a == "--fsync") {
       ctx->config.fsync = true;
+    } else if (a == "--maintenance-threads") {
+      std::string v;
+      FB_RETURN_IF_ERROR(next(&v));
+      FB_ASSIGN_OR_RETURN(uint64_t n, ParseCount(a, v, 256));
+      ctx->config.maintenance_threads = static_cast<uint32_t>(n);
+    } else if (a == "--segment-kb") {
+      std::string v;
+      FB_RETURN_IF_ERROR(next(&v));
+      FB_ASSIGN_OR_RETURN(uint64_t n, ParseCount(a, v, 1u << 20));
+      if (n == 0) {
+        return Status::InvalidArgument(
+            "--segment-kb must be >= 1 (omit the flag for the default)");
+      }
+      ctx->config.segment_bytes = n << 10;
+    } else if (a == "--in-place") {
+      ctx->gc_in_place = true;
     } else if (a == "--max-outbox-kb") {
       std::string v;
       FB_RETURN_IF_ERROR(next(&v));
@@ -549,6 +566,21 @@ Status RunCommand(const std::string& cmd, CliContext& ctx, ForkBase& db,
     for (const auto& [k, v] : kvs) out << k << ": " << v << "\n";
     return Status::OK();
   }
+  if (cmd == "rgc") {
+    // rgc ADDRESS — in-place GC sweep on a remote server, concurrent with
+    // its other sessions' traffic.
+    if (pos.size() != 2) return Status::InvalidArgument("rgc ADDRESS");
+    FB_ASSIGN_OR_RETURN(auto client,
+                        ForkBaseClient::Connect(pos[1], ClientOptionsFrom(ctx)));
+    FB_ASSIGN_OR_RETURN(auto stats, client.Gc());
+    out << "live:    " << stats.live_chunks << " chunks, "
+        << stats.live_bytes << " bytes\n"
+        << "swept:   " << stats.swept_chunks << " chunks, "
+        << stats.swept_bytes << " bytes reclaimed in place\n"
+        << "spared:  " << stats.pinned_skipped
+        << " chunks re-put by racing commits\n";
+    return Status::OK();
+  }
   if (cmd == "net-hold") {
     // net-hold ADDRESS MILLIS — chaos helper: open a connection and never
     // speak, for at most MILLIS. A hardened server ends the hold early by
@@ -602,9 +634,23 @@ Status RunCommand(const std::string& cmd, CliContext& ctx, ForkBase& db,
     if (failed > 0) return Status::Corruption("verification failures");
     return Status::OK();
   }
+  if (cmd == "gc" && ctx.gc_in_place) {
+    // gc --in-place — erase the garbage out of the store where it lives.
+    if (pos.size() != 1) return Status::InvalidArgument("gc --in-place");
+    FB_ASSIGN_OR_RETURN(GcStats stats, SweepInPlace(&db));
+    out << "live:    " << stats.live_chunks << " chunks, "
+        << stats.live_bytes << " bytes\n"
+        << "swept:   " << stats.swept_chunks << " chunks, "
+        << stats.swept_bytes << " bytes reclaimed in place\n"
+        << "spared:  " << stats.pinned_skipped
+        << " chunks re-put by racing commits\n";
+    return Status::OK();
+  }
   if (cmd == "gc") {
     // gc DEST_DIR — copy-collect live chunks into a fresh database dir.
-    if (pos.size() != 2) return Status::InvalidArgument("gc DEST_DIR");
+    if (pos.size() != 2) {
+      return Status::InvalidArgument("gc DEST_DIR | gc --in-place");
+    }
     FB_ASSIGN_OR_RETURN(auto dst_store, FileChunkStore::Open(pos[1]));
     FB_ASSIGN_OR_RETURN(GcStats stats, CopyLive(db, dst_store.get()));
     FB_RETURN_IF_ERROR(dst_store->Flush());
@@ -646,6 +692,7 @@ std::string CliUsage() {
       "forkbase_cli [--db DIR] [--branch B] [--author A] [-m MSG]\n"
       "             [--prefetch-threads N] [--prefetch-depth N]\n"
       "             [--cache-mb N] [--group-commit] [--fsync]\n"
+      "             [--maintenance-threads N] [--segment-kb N]\n"
       "             [--tier-cold DIR] [--tier-policy write-through|write-back]\n"
       "             [--tier-hot-budget-mb N]\n"
       "serve flags: [--max-outbox-kb N] [--handshake-timeout-ms N]\n"
@@ -675,6 +722,7 @@ std::string CliUsage() {
       "  verify UID|KEY         tamper-evidence check\n"
       "  verify-all             verify every branch head\n"
       "  gc DEST_DIR            copy-collect live chunks into DEST_DIR\n"
+      "  gc --in-place          erase garbage chunks out of --db in place\n"
       "  stat [KEY]             storage statistics / per-object statistics\n"
       "network (ADDRESS is unix:PATH or tcp:HOST:PORT):\n"
       "  serve ADDRESS          serve this database to clients until SIGINT\n"
@@ -683,6 +731,7 @@ std::string CliUsage() {
       "  rput ADDRESS KEY VAL   commit a string on a remote server\n"
       "  rget ADDRESS KEY       read a value from a remote server\n"
       "  rstat ADDRESS          remote instance statistics\n"
+      "  rgc ADDRESS            in-place GC sweep on a remote server\n"
       "  net-hold ADDRESS MS    chaos: hold a silent connection open\n";
 }
 

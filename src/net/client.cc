@@ -174,6 +174,23 @@ ForkBaseClient::Stat() {
   return kvs;
 }
 
+StatusOr<ForkBaseClient::RemoteGcStats> ForkBaseClient::Gc() {
+  FB_ASSIGN_OR_RETURN(std::string reply, Call(Verb::kGc, Slice()));
+  Decoder dec{Slice(reply)};
+  RemoteGcStats stats;
+  uint64_t* fields[] = {&stats.roots,        &stats.live_chunks,
+                        &stats.live_bytes,   &stats.total_chunks,
+                        &stats.total_bytes,  &stats.swept_chunks,
+                        &stats.swept_bytes,  &stats.pinned_skipped};
+  for (uint64_t* field : fields) {
+    if (!dec.GetVarint64(field)) {
+      return Status::Corruption("malformed GC reply");
+    }
+  }
+  if (!dec.AtEnd()) return Status::Corruption("malformed GC reply");
+  return stats;
+}
+
 StatusOr<std::vector<ForkBaseClient::BranchHead>> ForkBaseClient::Heads() {
   FB_ASSIGN_OR_RETURN(std::string reply, Call(Verb::kHeads, Slice()));
   Decoder dec{Slice(reply)};

@@ -64,6 +64,24 @@ class ForkBaseClient {
                              const std::string& b);
   StatusOr<std::vector<std::pair<std::string, std::string>>> Stat();
 
+  /// In-place GC sweep accounting, mirroring GcStats (store/gc.h) minus
+  /// the derived getters — kept protocol-local so the wire surface does
+  /// not depend on the store headers.
+  struct RemoteGcStats {
+    uint64_t roots = 0;
+    uint64_t live_chunks = 0;
+    uint64_t live_bytes = 0;
+    uint64_t total_chunks = 0;
+    uint64_t total_bytes = 0;
+    uint64_t swept_chunks = 0;
+    uint64_t swept_bytes = 0;
+    uint64_t pinned_skipped = 0;
+  };
+  /// Runs an in-place GC sweep on the server, concurrent with other
+  /// sessions' traffic (the server's sweep is safe against racing pushes).
+  /// kUnimplemented when the server's store cannot erase in place.
+  StatusOr<RemoteGcStats> Gc();
+
   // -- Sync -----------------------------------------------------------------
 
   struct BranchHead {

@@ -16,6 +16,7 @@ bool IsKnownVerb(uint8_t verb) {
     case Verb::kBranch:
     case Verb::kDiff:
     case Verb::kStat:
+    case Verb::kGc:
     case Verb::kHeads:
     case Verb::kOffer:
     case Verb::kBundleBegin:

@@ -42,6 +42,7 @@ enum class Verb : uint8_t {
   kBranch = 14,
   kDiff = 15,
   kStat = 16,
+  kGc = 17,  ///< run an in-place GC sweep on the server; replies with stats
   // Sync
   kHeads = 20,       ///< all (key, branch, uid) heads of the instance
   kOffer = 21,       ///< have/want round: ids offered → subset peer lacks

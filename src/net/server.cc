@@ -16,6 +16,7 @@
 #include "net/sync.h"
 #include "net/wire.h"
 #include "store/bundle.h"
+#include "store/gc.h"
 
 namespace forkbase {
 
@@ -64,6 +65,13 @@ struct ForkBaseServer::Session {
   FrameParser parser;
   bool hello_done = false;
   std::unique_ptr<BundleImporter> importer;  ///< live during an upload
+  /// GC quarantine for this connection's pushes: registered at the first
+  /// OFFER or BUNDLE_BEGIN and held until disconnect, it records every
+  /// chunk the connection lands (and every already-present chunk an OFFER
+  /// told the client not to resend), so an in-place sweep never erases
+  /// chunks a not-yet-published head will need. Holding it to disconnect
+  /// is deliberately conservative: sweeps skip more, never less.
+  std::unique_ptr<ChunkStore::PutPin> upload_pin;
   uint64_t bundle_bytes = 0;  ///< total part payload fed to the importer
   const int64_t connected_millis;   ///< for the handshake deadline
   int64_t last_activity_millis;     ///< last byte read (idle deadline)
@@ -471,6 +479,10 @@ void ForkBaseServer::HandleFrame(const std::shared_ptr<Session>& session,
       // Inline (no reply): arms a fresh streaming importer. Chunks land in
       // the store as their records complete, so staging memory stays
       // bounded and a torn upload keeps what it shipped.
+      if (!session->upload_pin) {
+        session->upload_pin =
+            std::make_unique<ChunkStore::PutPin>(*db_->store());
+      }
       session->importer = std::make_unique<BundleImporter>(db_->store());
       session->bundle_bytes = 0;
       return;
@@ -547,7 +559,14 @@ void ForkBaseServer::ExecuteRequest(const std::shared_ptr<Session>& session,
     // thread stays responsive. No reply; an import error fails the session
     // (the client discovers it at its next read).
     session->bundle_bytes += frame.payload.size();
-    Status fed = session->importer->Feed(Slice(frame.payload));
+    Status fed;
+    {
+      // Under the write lease, a put's pin record and its store write are
+      // atomic with respect to a sweep's check-and-erase sections — the
+      // upload pin alone guards across frames, the lease within one.
+      auto lease = db_->AcquireWriteLease();
+      fed = session->importer->Feed(Slice(frame.payload));
+    }
     AtomicMax(&peak_staged_bytes_, session->importer->pending_bytes());
     if (!fed.ok()) {
       session->importer.reset();
@@ -716,6 +735,27 @@ std::string ForkBaseServer::HandleRequest(
       }
       break;
     }
+    case Verb::kGc: {
+      if (!dec.AtEnd()) {
+        status = Status::Corruption("malformed GC");
+        break;
+      }
+      // Runs on this worker while other sessions keep committing and
+      // pushing: SweepInPlace is safe against racing writers (put pins,
+      // upload quarantine, per-batch head re-checks — see store/gc.h).
+      auto stats_or = SweepInPlace(db_);
+      if (!stats_or.ok()) {
+        status = stats_or.status();
+        break;
+      }
+      const GcStats& gc = *stats_or;
+      for (uint64_t v : {gc.roots, gc.live_chunks, gc.live_bytes,
+                         gc.total_chunks, gc.total_bytes, gc.swept_chunks,
+                         gc.swept_bytes, gc.pinned_skipped}) {
+        PutVarint64(&payload, v);
+      }
+      break;
+    }
     case Verb::kHeads: {
       if (!dec.AtEnd()) {
         status = Status::Corruption("malformed HEADS");
@@ -743,10 +783,25 @@ std::string ForkBaseServer::HandleRequest(
         status = Status::Corruption("malformed OFFER");
         break;
       }
-      std::vector<Hash256> wanted;
-      for (const auto& id : offered) {
-        if (!db_->store()->Contains(id)) wanted.push_back(id);
+      // Answering "already have it" is a promise the chunk stays put until
+      // the pushed head is published: quarantine the skipped ids in the
+      // session pin (and any active sweep's). The lease makes the
+      // Contains + PinIds pair atomic against a sweep's erase batches.
+      if (!session->upload_pin) {
+        session->upload_pin =
+            std::make_unique<ChunkStore::PutPin>(*db_->store());
       }
+      auto lease = db_->AcquireWriteLease();
+      std::vector<Hash256> wanted;
+      std::vector<Hash256> present;
+      for (const auto& id : offered) {
+        if (db_->store()->Contains(id)) {
+          present.push_back(id);
+        } else {
+          wanted.push_back(id);
+        }
+      }
+      db_->store()->PinIds(present);
       AppendHashList(&payload, wanted);
       break;
     }
@@ -755,7 +810,12 @@ std::string ForkBaseServer::HandleRequest(
         status = Status::Corruption("BUNDLE_END outside an upload");
         break;
       }
-      auto result = session->importer->Finish();
+      // Finish may still flush buffered records into the store; same
+      // lease rule as BUNDLE_PART.
+      auto result = [&] {
+        auto lease = db_->AcquireWriteLease();
+        return session->importer->Finish();
+      }();
       session->importer.reset();
       session->bundle_bytes = 0;
       if (!result.ok()) {

@@ -231,12 +231,20 @@ Status SyncPullInto(ForkBase* db, ForkBaseClient* client,
   }
   if (targets.empty()) return Status::OK();
 
+  // Quarantine the pull against a concurrent local sweep: chunks imported
+  // below are unreachable until FastForwardLocal publishes the heads, so
+  // the pin must span import→publish (the sweep's erase loop skips ids in
+  // any live pin). The write lease additionally makes each import write
+  // atomic against a sweep's erase batches; it is scoped to the import so
+  // the publish calls below can take their own leases.
+  ChunkStore::PutPin pull_pin(*db->store());
   if (!want.empty()) {
     // The server computes the delta against everything we already have.
     FB_ASSIGN_OR_RETURN(auto delta,
                         client->PullDelta(want, LocalHeads(db)));
     stats.chunks_received = delta.chunks;
     stats.bytes_received = delta.bytes;
+    auto lease = db->AcquireWriteLease();
     FB_ASSIGN_OR_RETURN(auto imported,
                         ImportBundle(Slice(delta.bundle), db->store()));
     stats.remote_new_chunks = imported.new_chunks;

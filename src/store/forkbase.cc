@@ -9,9 +9,36 @@
 #include "chunk/file_chunk_store.h"
 #include "chunk/tiered_chunk_store.h"
 #include "store/commit_queue.h"
+#include "store/gc.h"
 #include "store/merge_engine.h"
 
 namespace forkbase {
+
+namespace {
+
+/// ResurrectionGuard: a publish that re-points a branch at pre-existing
+/// history (nothing was put, so nothing is pin-protected) races an
+/// in-place sweep's erase batches. Under the write lease — which excludes
+/// the sweep's check-and-erase sections — walk the target's full closure
+/// and pin it: either every chunk is still present (pinned, the remaining
+/// batches spare them) or some were already erased (refuse the publish
+/// before it creates a dangling head).
+Status PinReachableForSweep(ChunkStore* store, const Hash256& target) {
+  auto live_or = MarkLive(*store, {target});
+  if (!live_or.ok()) {
+    if (live_or.status().code() == StatusCode::kNotFound) {
+      return Status::NotFound(
+          "version history was reclaimed by a concurrent GC sweep; "
+          "re-upload it or retry after the sweep");
+    }
+    return live_or.status();
+  }
+  std::vector<Hash256> ids(live_or->begin(), live_or->end());
+  store->PinIds(ids);
+  return Status::OK();
+}
+
+}  // namespace
 
 ForkBase::ForkBase(std::shared_ptr<ChunkStore> store)
     : ForkBase(std::move(store), Options{}) {}
@@ -36,6 +63,7 @@ StatusOr<std::unique_ptr<ForkBase>> ForkBase::Open(const std::string& path,
   FileChunkStore::Options store_options;
   store_options.prefetch_threads = config.prefetch_threads;
   store_options.fsync_on_flush = config.fsync;
+  store_options.maintenance_threads = config.maintenance_threads;
   if (config.tier.hot_bytes_budget > 0) {
     // A bounded hot tier wants segments much smaller than the budget:
     // eviction reclaims disk at segment-rewrite granularity, and the
@@ -44,9 +72,13 @@ StatusOr<std::unique_ptr<ForkBase>> ForkBase::Open(const std::string& path,
     store_options.segment_bytes = std::clamp<uint64_t>(
         config.tier.hot_bytes_budget / 8, 1ull << 20, 64ull << 20);
   }
+  if (config.segment_bytes > 0) {
+    store_options.segment_bytes = config.segment_bytes;
+  }
   FB_ASSIGN_OR_RETURN(auto file_store,
                       FileChunkStore::Open(path, store_options));
   FileChunkStore* hot_raw = file_store.get();
+  FileChunkStore* cold_raw = nullptr;
   std::shared_ptr<ChunkStore> backing(std::move(file_store));
   std::shared_ptr<TieredChunkStore> tiered;
   if (!config.tier.cold_dir.empty()) {
@@ -58,9 +90,14 @@ StatusOr<std::unique_ptr<ForkBase>> ForkBase::Open(const std::string& path,
     cold_options.prefetch_threads =
         config.prefetch_threads > 0 ? config.prefetch_threads : 1;
     cold_options.fsync_on_flush = config.fsync;
+    cold_options.maintenance_threads = config.maintenance_threads;
+    if (config.segment_bytes > 0) {
+      cold_options.segment_bytes = config.segment_bytes;
+    }
     FB_ASSIGN_OR_RETURN(
         auto cold_store,
         FileChunkStore::Open(config.tier.cold_dir, cold_options));
+    cold_raw = cold_store.get();
     TieredChunkStore::Options tier_options;
     tier_options.policy = config.tier.write_back ? TierPolicy::kWriteBack
                                                  : TierPolicy::kWriteThrough;
@@ -84,6 +121,7 @@ StatusOr<std::unique_ptr<ForkBase>> ForkBase::Open(const std::string& path,
   db->tiered_store_ = std::move(tiered);
   db->cache_store_ = cache_raw;
   db->hot_file_store_ = hot_raw;
+  db->cold_file_store_ = cold_raw;
   db->config_ = config;
   return db;
 }
@@ -149,6 +187,14 @@ StatusOr<Hash256> ForkBase::Commit(const std::string& key, const Value& value,
 StatusOr<Hash256> ForkBase::Put(const std::string& key, const Value& value,
                                 const std::string& branch,
                                 const PutMeta& meta) {
+  auto lease = AcquireWriteLease();
+  return PutLeased(key, value, branch, meta);
+}
+
+StatusOr<Hash256> ForkBase::PutLeased(const std::string& key,
+                                      const Value& value,
+                                      const std::string& branch,
+                                      const PutMeta& meta) {
   if (key.empty()) return Status::InvalidArgument("empty key");
   return Commit(key, value, std::nullopt, branch, meta);
 }
@@ -157,6 +203,7 @@ StatusOr<Hash256> ForkBase::PutIf(const std::string& key, const Value& value,
                                   const Hash256& expected_head,
                                   const std::string& branch,
                                   const PutMeta& meta) {
+  auto lease = AcquireWriteLease();
   if (key.empty()) return Status::InvalidArgument("empty key");
   if (!commit_queue_) {
     // Scalar path: single-writer semantics, so checking before the write
@@ -175,6 +222,21 @@ StatusOr<Hash256> ForkBase::AdvanceHead(const std::string& key,
                                         const std::string& branch,
                                         const Hash256& expected,
                                         const Hash256& target) {
+  auto lease = AcquireWriteLease();
+  // Unlike the commit path (whose targets were just put, hence pinned),
+  // this CAS can point at arbitrary pre-existing history — sync
+  // fast-forwards do exactly that with chunks the store may already hold
+  // as garbage.
+  if (gc_sweep_active()) {
+    FB_RETURN_IF_ERROR(PinReachableForSweep(store_.get(), target));
+  }
+  return AdvanceHeadLeased(key, branch, expected, target);
+}
+
+StatusOr<Hash256> ForkBase::AdvanceHeadLeased(const std::string& key,
+                                              const std::string& branch,
+                                              const Hash256& expected,
+                                              const Hash256& target) {
   if (commit_queue_) {
     return commit_queue_->AdvanceHead(key, branch, expected, target);
   }
@@ -190,32 +252,36 @@ StatusOr<Hash256> ForkBase::AdvanceHead(const std::string& key,
 StatusOr<Hash256> ForkBase::PutBlob(const std::string& key, Slice bytes,
                                     const std::string& branch,
                                     const PutMeta& meta) {
+  auto lease = AcquireWriteLease();
   FB_ASSIGN_OR_RETURN(FBlob blob, FBlob::Create(store_.get(), bytes));
-  return Put(key, Value::OfBlob(blob.root()), branch, meta);
+  return PutLeased(key, Value::OfBlob(blob.root()), branch, meta);
 }
 
 StatusOr<Hash256> ForkBase::PutMap(
     const std::string& key,
     std::vector<std::pair<std::string, std::string>> kvs,
     const std::string& branch, const PutMeta& meta) {
+  auto lease = AcquireWriteLease();
   FB_ASSIGN_OR_RETURN(FMap map, FMap::Create(store_.get(), std::move(kvs)));
-  return Put(key, Value::OfMap(map.root()), branch, meta);
+  return PutLeased(key, Value::OfMap(map.root()), branch, meta);
 }
 
 StatusOr<Hash256> ForkBase::PutSet(const std::string& key,
                                    std::vector<std::string> members,
                                    const std::string& branch,
                                    const PutMeta& meta) {
+  auto lease = AcquireWriteLease();
   FB_ASSIGN_OR_RETURN(FSet set, FSet::Create(store_.get(), std::move(members)));
-  return Put(key, Value::OfSet(set.root()), branch, meta);
+  return PutLeased(key, Value::OfSet(set.root()), branch, meta);
 }
 
 StatusOr<Hash256> ForkBase::PutList(const std::string& key,
                                     const std::vector<std::string>& elements,
                                     const std::string& branch,
                                     const PutMeta& meta) {
+  auto lease = AcquireWriteLease();
   FB_ASSIGN_OR_RETURN(FList list, FList::Create(store_.get(), elements));
-  return Put(key, Value::OfList(list.root()), branch, meta);
+  return PutLeased(key, Value::OfList(list.root()), branch, meta);
 }
 
 StatusOr<Hash256> ForkBase::PutTableFromCsv(const std::string& key,
@@ -223,18 +289,20 @@ StatusOr<Hash256> ForkBase::PutTableFromCsv(const std::string& key,
                                             size_t key_column,
                                             const std::string& branch,
                                             const PutMeta& meta) {
+  auto lease = AcquireWriteLease();
   FB_ASSIGN_OR_RETURN(FTable table,
                       FTable::FromCsv(store_.get(), doc, key_column));
-  return Put(key, Value::OfTable(table.id()), branch, meta);
+  return PutLeased(key, Value::OfTable(table.id()), branch, meta);
 }
 
 StatusOr<Hash256> ForkBase::UpdateMap(const std::string& key,
                                       std::vector<KeyedOp> ops,
                                       const std::string& branch,
                                       const PutMeta& meta) {
+  auto lease = AcquireWriteLease();
   FB_ASSIGN_OR_RETURN(FMap map, GetMap(key, branch));
   FB_ASSIGN_OR_RETURN(FMap updated, map.Apply(std::move(ops)));
-  return Put(key, Value::OfMap(updated.root()), branch, meta);
+  return PutLeased(key, Value::OfMap(updated.root()), branch, meta);
 }
 
 StatusOr<Hash256> ForkBase::UpdateTableCell(const std::string& key,
@@ -242,27 +310,30 @@ StatusOr<Hash256> ForkBase::UpdateTableCell(const std::string& key,
                                             const std::string& value,
                                             const std::string& branch,
                                             const PutMeta& meta) {
+  auto lease = AcquireWriteLease();
   FB_ASSIGN_OR_RETURN(FTable table, GetTable(key, branch));
   FB_ASSIGN_OR_RETURN(FTable updated,
                       table.UpdateCell(row_key, column, value));
-  return Put(key, Value::OfTable(updated.id()), branch, meta);
+  return PutLeased(key, Value::OfTable(updated.id()), branch, meta);
 }
 
 StatusOr<Hash256> ForkBase::AppendBlob(const std::string& key, Slice bytes,
                                        const std::string& branch,
                                        const PutMeta& meta) {
+  auto lease = AcquireWriteLease();
   FB_ASSIGN_OR_RETURN(FBlob blob, GetBlob(key, branch));
   FB_ASSIGN_OR_RETURN(FBlob appended, blob.Append(bytes));
-  return Put(key, Value::OfBlob(appended.root()), branch, meta);
+  return PutLeased(key, Value::OfBlob(appended.root()), branch, meta);
 }
 
 StatusOr<Hash256> ForkBase::AppendList(const std::string& key,
                                        const std::string& element,
                                        const std::string& branch,
                                        const PutMeta& meta) {
+  auto lease = AcquireWriteLease();
   FB_ASSIGN_OR_RETURN(FList list, GetList(key, branch));
   FB_ASSIGN_OR_RETURN(FList appended, list.Append(element));
-  return Put(key, Value::OfList(appended.root()), branch, meta);
+  return PutLeased(key, Value::OfList(appended.root()), branch, meta);
 }
 
 StatusOr<Value> ForkBase::Get(const std::string& key,
@@ -371,12 +442,14 @@ StatusOr<std::vector<VersionInfo>> ForkBase::History(const std::string& key,
 
 Status ForkBase::Branch(const std::string& key, const std::string& new_branch,
                         const std::string& from_branch) {
+  auto lease = AcquireWriteLease();
   return branch_table_.Fork(key, new_branch, from_branch);
 }
 
 Status ForkBase::BranchFromVersion(const std::string& key,
                                    const std::string& new_branch,
                                    const Hash256& uid) {
+  auto lease = AcquireWriteLease();
   if (branch_table_.Exists(key, new_branch)) {
     return Status::AlreadyExists("branch " + new_branch + " of key " + key);
   }
@@ -384,17 +457,22 @@ Status ForkBase::BranchFromVersion(const std::string& key,
   if (node.key != key) {
     return Status::InvalidArgument("version belongs to key " + node.key);
   }
+  if (gc_sweep_active()) {
+    FB_RETURN_IF_ERROR(PinReachableForSweep(store_.get(), uid));
+  }
   branch_table_.SetHead(key, new_branch, uid);
   return Status::OK();
 }
 
 Status ForkBase::RenameBranch(const std::string& key, const std::string& from,
                               const std::string& to) {
+  auto lease = AcquireWriteLease();
   return branch_table_.Rename(key, from, to);
 }
 
 Status ForkBase::DeleteBranch(const std::string& key,
                               const std::string& branch) {
+  auto lease = AcquireWriteLease();
   return branch_table_.Delete(key, branch);
 }
 
@@ -535,6 +613,7 @@ StatusOr<Hash256> ForkBase::Merge(const std::string& key,
   // advance; when it loses a race against a commit in the drain, the whole
   // merge is recomputed against the new head. Bounded retries: contention
   // this sustained means the caller should be merging less eagerly.
+  auto lease = AcquireWriteLease();
   constexpr int kMaxRaceRetries = 16;
   for (int attempt = 0; attempt < kMaxRaceRetries; ++attempt) {
     FB_ASSIGN_OR_RETURN(Hash256 dst_head, branch_table_.Head(key, dst_branch));
@@ -546,7 +625,7 @@ StatusOr<Hash256> ForkBase::Merge(const std::string& key,
     if (base_uid == dst_head) {
       // Fast-forward: dst is an ancestor of src. AdvanceHead is queue-
       // ordered under group commit and a plain compare-and-set otherwise.
-      auto advanced = AdvanceHead(key, dst_branch, dst_head, src_head);
+      auto advanced = AdvanceHeadLeased(key, dst_branch, dst_head, src_head);
       if (advanced.ok()) return *advanced;
       if (advanced.status().code() != StatusCode::kAlreadyExists) {
         return advanced.status();
@@ -667,6 +746,17 @@ StatusOr<ForkBase::ObjectStat> ForkBase::StatObject(
   return stat;
 }
 
+void ForkBase::WaitForMaintenance() {
+  if (hot_file_store_) hot_file_store_->WaitForMaintenance();
+  if (cold_file_store_) cold_file_store_->WaitForMaintenance();
+}
+
+void ForkBase::RecordGcSweep(uint64_t swept_chunks, uint64_t swept_bytes) {
+  gc_sweeps_.fetch_add(1);
+  gc_swept_chunks_.fetch_add(swept_chunks);
+  gc_swept_bytes_.fetch_add(swept_bytes);
+}
+
 ForkBaseStats ForkBase::Stat() const {
   ForkBaseStats stats;
   stats.chunks = store_->stats();
@@ -676,6 +766,9 @@ ForkBaseStats ForkBase::Stat() const {
     stats.branches += branch_table_.Branches(key).size();
   }
   stats.commits = commits_.load();
+  stats.gc_sweeps = gc_sweeps_.load();
+  stats.gc_swept_chunks = gc_swept_chunks_.load();
+  stats.gc_swept_bytes = gc_swept_bytes_.load();
   if (cache_store_) {
     auto cs = cache_store_->cache_stats();
     ForkBaseStats::Cache cache;
@@ -694,13 +787,20 @@ ForkBaseStats ForkBase::Stat() const {
     stats.commit_queue = queue;
   }
   if (hot_file_store_) {
-    auto ms = hot_file_store_->maintenance_stats();
+    // Fold both file stores' maintenance counters into one section: the
+    // operator question is "how much reclamation happened / is queued",
+    // not which tier did it.
     ForkBaseStats::Maintenance maintenance;
-    maintenance.erased_chunks = ms.erased_chunks;
-    maintenance.tombstone_records = ms.tombstone_records;
-    maintenance.segments_rewritten = ms.segments_rewritten;
-    maintenance.rewritten_bytes = ms.rewritten_bytes;
-    maintenance.reclaimed_bytes = ms.reclaimed_bytes;
+    for (FileChunkStore* fs : {hot_file_store_, cold_file_store_}) {
+      if (!fs) continue;
+      auto ms = fs->maintenance_stats();
+      maintenance.erased_chunks += ms.erased_chunks;
+      maintenance.tombstone_records += ms.tombstone_records;
+      maintenance.segments_rewritten += ms.segments_rewritten;
+      maintenance.rewritten_bytes += ms.rewritten_bytes;
+      maintenance.reclaimed_bytes += ms.reclaimed_bytes;
+      maintenance.pending_compactions += ms.pending_compactions;
+    }
     stats.maintenance = maintenance;
   }
   if (tiered_store_) {
@@ -716,6 +816,7 @@ ForkBaseStats ForkBase::Stat() const {
     tier.promotions = ts.promotions;
     tier.demotions = ts.demotions;
     tier.evictions = ts.evictions;
+    tier.hot_only_erases = ts.hot_only_erases;
     stats.tier = tier;
   }
   return stats;
@@ -741,6 +842,9 @@ std::vector<std::pair<std::string, std::string>> ForkBaseStats::ToKeyValues()
   }
   add("get_calls", chunks.get_calls);
   add("put_calls", chunks.put_calls);
+  add("gc_sweeps", gc_sweeps);
+  add("gc_swept_chunks", gc_swept_chunks);
+  add("gc_swept_bytes", gc_swept_bytes);
   if (cache) {
     add("cache_hits", cache->hits);
     add("cache_misses", cache->misses);
@@ -758,6 +862,7 @@ std::vector<std::pair<std::string, std::string>> ForkBaseStats::ToKeyValues()
     add("maintenance_segments_rewritten", maintenance->segments_rewritten);
     add("maintenance_rewritten_bytes", maintenance->rewritten_bytes);
     add("maintenance_reclaimed_bytes", maintenance->reclaimed_bytes);
+    add("maintenance_pending_compactions", maintenance->pending_compactions);
   }
   if (tier) {
     add("tier_hot_space", tier->hot_space);
@@ -770,6 +875,7 @@ std::vector<std::pair<std::string, std::string>> ForkBaseStats::ToKeyValues()
     add("tier_promotions", tier->promotions);
     add("tier_demotions", tier->demotions);
     add("tier_evictions", tier->evictions);
+    add("tier_hot_only_erases", tier->hot_only_erases);
   }
   return kvs;
 }

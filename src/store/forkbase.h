@@ -12,6 +12,7 @@
 #include <atomic>
 #include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -89,6 +90,7 @@ struct ForkBaseStats {
     uint64_t segments_rewritten = 0;
     uint64_t rewritten_bytes = 0;
     uint64_t reclaimed_bytes = 0;
+    uint64_t pending_compactions = 0;  ///< rewrites queued but not finished
   };
   struct Tier {
     uint64_t hot_space = 0;   ///< hot-tier disk bytes in use
@@ -101,7 +103,14 @@ struct ForkBaseStats {
     uint64_t promotions = 0;
     uint64_t demotions = 0;
     uint64_t evictions = 0;
+    /// Garbage erased from the hot tier only (dirty, never-demoted chunks
+    /// the sweeper reclaimed without a cold round trip).
+    uint64_t hot_only_erases = 0;
   };
+  /// In-place GC accounting (all zero until the first SweepInPlace).
+  uint64_t gc_sweeps = 0;
+  uint64_t gc_swept_chunks = 0;
+  uint64_t gc_swept_bytes = 0;
   std::optional<Cache> cache;
   std::optional<CommitQueueCounters> commit_queue;
   std::optional<Maintenance> maintenance;
@@ -133,6 +142,17 @@ class ForkBase {
     /// fsync every append run (power-loss durability). Pair with
     /// commit.group_commit so concurrent writers share one sync.
     bool fsync = false;
+    /// Worker threads for background segment rewrites, per file store
+    /// (hot and cold each get their own pool). Segment rewrites are
+    /// I/O-bound — cold device reads and the pre-truncate fsync — so
+    /// extra threads overlap blocked time even on one core. 0 = inline
+    /// (deterministic; what unit tests use).
+    uint32_t maintenance_threads = 1;
+    /// Segment roll size for the file store(s); 0 keeps the store default
+    /// (64 MiB; a bounded hot tier derives its own). Small segments make
+    /// GC reclaim fine-grained — space comes back per rewritten segment —
+    /// at the price of more files.
+    uint64_t segment_bytes = 0;
 
     /// Tiered-storage section. An empty cold_dir means a single tier.
     struct Tier {
@@ -374,6 +394,73 @@ class ForkBase {
   /// Storage + catalogue statistics.
   ForkBaseStats Stat() const;
 
+  // -- Maintenance ------------------------------------------------------------
+
+  /// GC write lease. Every writer (Put*, Update*, Append*, Merge, branch
+  /// mutations) holds the lease in shared mode across its whole
+  /// build→commit→publish span; the in-place sweeper (store/gc.h) takes it
+  /// exclusively as the mark barrier and around erase batches. Shared
+  /// acquisitions never block each other, so the lease costs writers one
+  /// uncontended atomic except while a sweep's exclusive section runs.
+  ///
+  /// External code that writes chunks directly into store() and only later
+  /// publishes them through ForkBase (e.g. bundle import) either holds the
+  /// lease across both steps or holds a ChunkStore::PutPin for the span —
+  /// the pin survives across threads and network frames where a lease
+  /// cannot (see net/sync.cc and the upload pin in net/server.cc).
+  std::shared_lock<std::shared_mutex> AcquireWriteLease() const {
+    return std::shared_lock<std::shared_mutex>(gc_mu_);
+  }
+  /// Exclusive side of the lease: blocks until every in-flight writer has
+  /// published, and holds out new writers until released.
+  std::unique_lock<std::shared_mutex> ExcludeWriters() const {
+    return std::unique_lock<std::shared_mutex>(gc_mu_);
+  }
+
+  /// Quiesces background segment maintenance: blocks until every scheduled
+  /// rewrite in the underlying file store(s) — hot and cold — has
+  /// completed. No-op for memory-backed instances.
+  void WaitForMaintenance();
+
+  /// Folds one in-place sweep's results into Stat() (called by
+  /// SweepInPlace; exposed so external sweep drivers can report too).
+  void RecordGcSweep(uint64_t swept_chunks, uint64_t swept_bytes);
+
+  /// Scopes an in-place sweep (RAII, set by SweepInPlace). While a sweep
+  /// is active, publishes that can re-point a branch at PRE-EXISTING
+  /// history — BranchFromVersion, and AdvanceHead outside the commit path
+  /// — validate that the target's full closure is still present and pin it
+  /// against the remaining erase batches (see ResurrectionGuard in
+  /// forkbase.cc). Commits never pay this: their targets are chunks they
+  /// just put, which the sweep's pin already protects.
+  class SweepScope {
+   public:
+    explicit SweepScope(ForkBase* db) : db_(db) {
+      db_->gc_active_.fetch_add(1, std::memory_order_acq_rel);
+    }
+    ~SweepScope() { db_->gc_active_.fetch_sub(1, std::memory_order_acq_rel); }
+    SweepScope(const SweepScope&) = delete;
+    SweepScope& operator=(const SweepScope&) = delete;
+
+   private:
+    ForkBase* db_;
+  };
+  bool gc_sweep_active() const {
+    return gc_active_.load(std::memory_order_acquire) > 0;
+  }
+
+  /// Lease-free bodies of Put/AdvanceHead for callers that ALREADY hold
+  /// AcquireWriteLease() — shared_mutex does not support recursive shared
+  /// locking (it can deadlock against a queued exclusive waiter), so code
+  /// holding the lease must call these instead of the locking verbs.
+  StatusOr<Hash256> PutLeased(const std::string& key, const Value& value,
+                              const std::string& branch = kDefaultBranch,
+                              const PutMeta& meta = PutMeta{});
+  StatusOr<Hash256> AdvanceHeadLeased(const std::string& key,
+                                      const std::string& branch,
+                                      const Hash256& expected,
+                                      const Hash256& target);
+
   /// Per-object statistics (the demo's Stat verb): value type, logical
   /// entry count and physical tree shape of a branch head.
   struct ObjectStat {
@@ -407,10 +494,19 @@ class ForkBase {
   /// constructed instances.
   CachingChunkStore* cache_store_ = nullptr;
   FileChunkStore* hot_file_store_ = nullptr;
+  FileChunkStore* cold_file_store_ = nullptr;
   Config config_;
   BranchTable branch_table_;
   std::atomic<uint64_t> clock_{0};
   std::atomic<uint64_t> commits_{0};
+  /// The GC write lease (see AcquireWriteLease). mutable: const readers
+  /// never take it, but the lease getters are const so a const ForkBase&
+  /// can still be swept against.
+  mutable std::shared_mutex gc_mu_;
+  std::atomic<int> gc_active_{0};  ///< in-place sweeps in progress
+  std::atomic<uint64_t> gc_sweeps_{0};
+  std::atomic<uint64_t> gc_swept_chunks_{0};
+  std::atomic<uint64_t> gc_swept_bytes_{0};
   // Declared last: destroyed first, so a draining group commit can still
   // reach the store, branch table and counters above.
   std::unique_ptr<CommitQueue> commit_queue_;

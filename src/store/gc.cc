@@ -43,11 +43,30 @@ Status ExpandReferences(const Chunk& chunk, std::queue<Hash256>* frontier) {
   }
 }
 
+// Every branch head of every key, unsorted. A key whose branches were all
+// deleted contributes nothing (that is exactly the state GC reclaims).
+StatusOr<std::vector<Hash256>> CollectRoots(const ForkBase& db) {
+  std::vector<Hash256> roots;
+  for (const auto& key : db.ListKeys()) {
+    auto heads = db.Latest(key);
+    if (!heads.ok()) {
+      if (heads.status().IsNotFound()) continue;  // no branches left
+      return heads.status();
+    }
+    for (const auto& [branch, uid] : *heads) {
+      (void)branch;
+      roots.push_back(uid);
+    }
+  }
+  return roots;
+}
+
 }  // namespace
 
 StatusOr<std::unordered_set<Hash256, Hash256Hasher>> MarkLive(
     const ChunkStore& store, const std::vector<Hash256>& roots,
-    const std::unordered_set<Hash256, Hash256Hasher>* exclude) {
+    const std::unordered_set<Hash256, Hash256Hasher>* exclude,
+    const std::function<Status(const Chunk&)>& visit) {
   std::unordered_set<Hash256, Hash256Hasher> live;
   // BFS in waves: each wave's unseen ids are read in capped batches, with
   // the next batch's read in flight (on async stores) while the previous
@@ -67,7 +86,9 @@ StatusOr<std::unordered_set<Hash256, Hash256Hasher>> MarkLive(
         store, to_load, kChunkSweepBatch,
         [&](size_t, StatusOr<Chunk>& chunk_or) -> Status {
           if (!chunk_or.ok()) return chunk_or.status();
-          return ExpandReferences(*chunk_or, &frontier);
+          FB_RETURN_IF_ERROR(ExpandReferences(*chunk_or, &frontier));
+          if (visit) return visit(*chunk_or);
+          return Status::OK();
         }));
     wave.clear();
     while (!frontier.empty()) {
@@ -80,22 +101,13 @@ StatusOr<std::unordered_set<Hash256, Hash256Hasher>> MarkLive(
 
 StatusOr<GcStats> CopyLive(const ForkBase& db, ChunkStore* dst) {
   const ChunkStore& src = *db.store();
-  std::vector<Hash256> roots;
-  for (const auto& key : db.ListKeys()) {
-    auto heads = db.Latest(key);
-    if (!heads.ok()) return heads.status();
-    for (const auto& [branch, uid] : *heads) {
-      (void)branch;
-      roots.push_back(uid);
-    }
-  }
-  FB_ASSIGN_OR_RETURN(auto live, MarkLive(src, roots));
+  FB_ASSIGN_OR_RETURN(std::vector<Hash256> roots, CollectRoots(db));
 
   GcStats stats;
   stats.roots = roots.size();
-  // Copy in batches: one GetMany from the source and one PutMany into the
-  // destination per wave of live ids.
-  std::vector<Hash256> live_ids(live.begin(), live.end());
+  // Copy during the mark itself: each live chunk is already in memory when
+  // the walk expands it, so the visitor batches it straight into the
+  // destination — the live set is read from the source exactly once.
   std::vector<Chunk> batch;
   batch.reserve(kChunkSweepBatch);
   auto flush_batch = [&]() -> Status {
@@ -104,40 +116,139 @@ StatusOr<GcStats> CopyLive(const ForkBase& db, ChunkStore* dst) {
     batch.clear();
     return Status::OK();
   };
-  FB_RETURN_IF_ERROR(ForEachChunkBatch(
-      src, live_ids, kChunkSweepBatch,
-      [&](size_t, StatusOr<Chunk>& chunk_or) -> Status {
-        if (!chunk_or.ok()) return chunk_or.status();
-        ++stats.live_chunks;
-        stats.live_bytes += chunk_or->size();
-        batch.push_back(std::move(*chunk_or));
-        if (batch.size() >= kChunkSweepBatch) return flush_batch();
-        return Status::OK();
-      }));
+  FB_ASSIGN_OR_RETURN(
+      auto live,
+      MarkLive(src, roots, /*exclude=*/nullptr,
+               [&](const Chunk& chunk) -> Status {
+                 ++stats.live_chunks;
+                 stats.live_bytes += chunk.size();
+                 batch.push_back(chunk);
+                 if (batch.size() >= kChunkSweepBatch) return flush_batch();
+                 return Status::OK();
+               }));
+  (void)live;
   FB_RETURN_IF_ERROR(flush_batch());
-  src.ForEach([&stats](const Hash256&, const Chunk& chunk) {
+  // Source totals via the index walk — no chunk bodies re-read.
+  src.ForEachId([&stats](const Hash256&, uint64_t size) {
     ++stats.total_chunks;
-    stats.total_bytes += chunk.size();
+    stats.total_bytes += size;
   });
   return stats;
 }
 
 StatusOr<std::vector<Hash256>> FindGarbage(const ForkBase& db) {
-  std::vector<Hash256> roots;
-  for (const auto& key : db.ListKeys()) {
-    auto heads = db.Latest(key);
-    if (!heads.ok()) return heads.status();
-    for (const auto& [branch, uid] : *heads) {
-      (void)branch;
-      roots.push_back(uid);
-    }
-  }
+  FB_ASSIGN_OR_RETURN(std::vector<Hash256> roots, CollectRoots(db));
   FB_ASSIGN_OR_RETURN(auto live, MarkLive(*db.store(), roots));
   std::vector<Hash256> garbage;
-  db.store()->ForEach([&](const Hash256& id, const Chunk&) {
+  db.store()->ForEachId([&](const Hash256& id, uint64_t) {
     if (!live.count(id)) garbage.push_back(id);
   });
   return garbage;
+}
+
+StatusOr<GcStats> SweepInPlace(ForkBase* db, const SweepOptions& options) {
+  ChunkStore* store = db->store();
+  if (!store->SupportsErase()) {
+    return Status::Unimplemented(
+        "store cannot erase in place; fall back to copy collection "
+        "(CopyLive into a fresh store)");
+  }
+  const size_t erase_batch = std::max<size_t>(1, options.erase_batch);
+
+  // Pin before anything else: every Put from here on — dedup hits included
+  // — is recorded, so a chunk re-put after the snapshot below can never be
+  // erased by this sweep. The sweep scope makes re-pointing publishes
+  // (BranchFromVersion, sync fast-forwards) validate + pin their target's
+  // closure for the duration (see PinReachableForSweep in forkbase.cc).
+  ChunkStore::PutPin pin(*store);
+  ForkBase::SweepScope sweep_scope(db);
+
+  // Epoch barrier: writers hold the write lease (shared) across their whole
+  // build→commit→publish span. Acquiring it exclusively once and releasing
+  // immediately means every writer that predates the pin has published its
+  // head (visible to the root collection below); any later put is
+  // pin-visible. Writers are blocked only for this instant, not the mark.
+  { auto barrier = db->ExcludeWriters(); }
+
+  // Candidate snapshot + totals: a pure index walk, no chunk reads.
+  std::vector<std::pair<Hash256, uint64_t>> candidates;
+  GcStats stats;
+  store->ForEachId([&](const Hash256& id, uint64_t size) {
+    candidates.emplace_back(id, size);
+    ++stats.total_chunks;
+    stats.total_bytes += size;
+  });
+
+  // Mark. Live accounting is the candidate ∩ live intersection so the
+  // total/live pair describes one snapshot (see GcStats).
+  FB_ASSIGN_OR_RETURN(std::vector<Hash256> roots, CollectRoots(*db));
+  stats.roots = roots.size();
+  FB_ASSIGN_OR_RETURN(auto live, MarkLive(*store, roots));
+  std::vector<std::pair<Hash256, uint64_t>> garbage;
+  for (const auto& [id, size] : candidates) {
+    if (live.count(id)) {
+      ++stats.live_chunks;
+      stats.live_bytes += size;
+    } else {
+      garbage.emplace_back(id, size);
+    }
+  }
+
+  // Erase in batches, each under the exclusive lease so no writer can
+  // publish between a batch's safety checks and its erase. Between batches
+  // writers run freely; anything they put is pinned, anything they
+  // re-point a branch at is caught by the head re-check below.
+  std::vector<Hash256> head_sig = std::move(roots);
+  std::sort(head_sig.begin(), head_sig.end());
+  std::vector<Hash256> batch;
+  batch.reserve(erase_batch);
+  for (size_t start = 0; start < garbage.size(); start += erase_batch) {
+    const size_t end = std::min(garbage.size(), start + erase_batch);
+    auto writers_excluded = db->ExcludeWriters();
+
+    // Branch mutations (BranchFromVersion, sync pushes) can resurrect
+    // history the mark saw as garbage without putting a single chunk. The
+    // heads changed ⇒ delta-mark the new roots with the known live set
+    // excluded; the walk touches only the newly reachable chunks.
+    FB_ASSIGN_OR_RETURN(std::vector<Hash256> now_roots, CollectRoots(*db));
+    std::sort(now_roots.begin(), now_roots.end());
+    if (now_roots != head_sig) {
+      FB_ASSIGN_OR_RETURN(auto delta, MarkLive(*store, now_roots, &live));
+      live.insert(delta.begin(), delta.end());
+      head_sig = std::move(now_roots);
+    }
+
+    batch.clear();
+    uint64_t batch_bytes = 0;
+    for (size_t i = start; i < end; ++i) {
+      const auto& [id, size] = garbage[i];
+      if (live.count(id)) continue;  // rescued by a head re-check
+      // ANY pin spares the id, not just this sweep's: an in-flight bundle
+      // upload's pin quarantines its not-yet-published chunks, and
+      // PinReachableForSweep marks resurrected closures here too. (A put
+      // that lands strictly AFTER this batch's erase simply re-inserts
+      // the bytes fresh — content addressing makes that safe.)
+      if (store->PutPinned(id)) {
+        ++stats.pinned_skipped;
+        continue;
+      }
+      batch.push_back(id);
+      batch_bytes += size;
+    }
+    if (batch.empty()) continue;
+    FB_RETURN_IF_ERROR(store->Erase(batch));
+    stats.swept_chunks += batch.size();
+    stats.swept_bytes += batch_bytes;
+  }
+
+  db->RecordGcSweep(stats.swept_chunks, stats.swept_bytes);
+  if (options.wait_for_maintenance) {
+    // The erases above made segments dead-heavy; their rewrites may still
+    // be running on the maintenance pool. Quiesce so space_used() reflects
+    // the reclaim when we return.
+    db->WaitForMaintenance();
+  }
+  return stats;
 }
 
 }  // namespace forkbase

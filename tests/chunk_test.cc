@@ -510,5 +510,164 @@ TEST_F(FileChunkStoreTest, ReadersSurviveBackgroundRewrites) {
   for (const auto& id : victims) EXPECT_FALSE(store.Contains(id));
 }
 
+TEST_F(FileChunkStoreTest, ParallelCompactionReclaimsEverySegment) {
+  // Segment rewrites are independent work items; with a 4-thread pool an
+  // administrative CompactBelow must queue one per eligible segment, run
+  // them all out, and leave the survivors bit-exact — also across reopen.
+  FileChunkStore::Options options;
+  options.segment_bytes = 4096;
+  options.compact_live_ratio = 0;  // no automatic rewrites: we queue them
+  options.background_compaction = true;
+  options.maintenance_threads = 4;
+  auto store_or = FileChunkStore::Open(dir_, options);
+  ASSERT_TRUE(store_or.ok());
+  auto& store = **store_or;
+
+  Rng rng(80);
+  std::vector<Hash256> ids;
+  std::vector<std::string> payloads;
+  for (int i = 0; i < 120; ++i) {
+    payloads.push_back(rng.NextBytes(256));
+    Chunk c = MakeTestChunk(payloads.back());
+    ASSERT_TRUE(store.Put(c).ok());
+    ids.push_back(c.hash());
+  }
+  std::vector<Hash256> victims;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i % 3 != 0) victims.push_back(ids[i]);
+  }
+  ASSERT_TRUE(store.Erase(victims).ok());
+  const uint64_t before = store.space_used();
+
+  const size_t queued = store.CompactBelow(1.0);
+  EXPECT_GT(queued, 1u) << "expected several independent segment rewrites";
+  store.WaitForMaintenance();
+
+  const auto mstats = store.maintenance_stats();
+  EXPECT_EQ(mstats.pending_compactions, 0u);
+  EXPECT_GE(mstats.segments_rewritten, queued);
+  EXPECT_LT(store.space_used(), before / 2)
+      << "parallel rewrites did not reclaim disk";
+  for (size_t i = 0; i < ids.size(); i += 3) {
+    auto got = store.Get(ids[i]);
+    ASSERT_TRUE(got.ok()) << i;
+    EXPECT_EQ(got->payload().ToString(), payloads[i]);
+  }
+  store_or->reset();
+  auto reopened = FileChunkStore::Open(dir_, options);
+  ASSERT_TRUE(reopened.ok());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i % 3 == 0) {
+      EXPECT_TRUE((*reopened)->Get(ids[i]).ok()) << i;
+    } else {
+      EXPECT_FALSE((*reopened)->Contains(ids[i])) << i;
+    }
+  }
+}
+
+TEST_F(FileChunkStoreTest, EraseOnlyWorkloadRollsOversizedActiveSegment) {
+  // A store that accumulated everything in one big active segment (opened
+  // under a larger segment limit — or simply never full) and is then only
+  // erased from, never put to, must still reclaim that segment: the
+  // tombstone journal has to roll it closed exactly like a put would, or
+  // the never-rewrite-the-active-segment rule exempts all its garbage
+  // until some future Put. This is precisely the `gc --in-place` process
+  // shape: reopen, sweep, exit.
+  Rng rng(81);
+  std::vector<Hash256> ids;
+  std::vector<std::string> payloads;
+  {
+    FileChunkStore::Options big;
+    big.segment_bytes = 64ull << 20;
+    auto store_or = FileChunkStore::Open(dir_, big);
+    ASSERT_TRUE(store_or.ok());
+    for (int i = 0; i < 64; ++i) {
+      payloads.push_back(rng.NextBytes(256));
+      Chunk c = MakeTestChunk(payloads.back());
+      ASSERT_TRUE((*store_or)->Put(c).ok());
+      ids.push_back(c.hash());
+    }
+  }
+
+  FileChunkStore::Options options;
+  options.segment_bytes = 4096;
+  options.compact_live_ratio = 0.5;
+  options.background_compaction = true;
+  options.maintenance_threads = 2;
+  auto reopened = FileChunkStore::Open(dir_, options);
+  ASSERT_TRUE(reopened.ok());
+  auto& store = **reopened;
+  const uint64_t before = store.space_used();
+
+  std::vector<Hash256> victims;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i % 8 != 0) victims.push_back(ids[i]);
+  }
+  ASSERT_TRUE(store.Erase(victims).ok());
+  store.WaitForMaintenance();
+
+  EXPECT_GE(store.maintenance_stats().segments_rewritten, 1u)
+      << "the over-limit ex-active segment was never compacted";
+  EXPECT_LT(store.space_used(), before / 2);
+  for (size_t i = 0; i < ids.size(); i += 8) {
+    auto got = store.Get(ids[i]);
+    ASSERT_TRUE(got.ok()) << i;
+    EXPECT_EQ(got->payload().ToString(), payloads[i]);
+  }
+}
+
+// ------------------------------------------------------------ put pins --
+
+TEST(PutPinTest, RecordsPutsDedupHitsAndExplicitPins) {
+  MemChunkStore store;
+  Chunk pre = MakeTestChunk("already present");
+  ASSERT_TRUE(store.Put(pre).ok());
+
+  // No pin registered: PinIds is a no-op and nothing is ever pinned.
+  const std::vector<Hash256> pre_ids{pre.hash()};
+  store.PinIds(pre_ids);
+  EXPECT_FALSE(store.PutPinned(pre.hash()));
+
+  Chunk fresh = MakeTestChunk("fresh during pin");
+  Chunk offered = MakeTestChunk("offer-reply pinned");
+  {
+    ChunkStore::PutPin pin(store);
+    EXPECT_EQ(pin.size(), 0u);
+    ASSERT_TRUE(store.Put(fresh).ok());  // new put: recorded
+    ASSERT_TRUE(store.Put(pre).ok());    // dedup re-put: recorded too
+    EXPECT_TRUE(pin.Contains(fresh.hash()));
+    EXPECT_TRUE(pin.Contains(pre.hash()));
+    EXPECT_TRUE(store.PutPinned(fresh.hash()));
+    EXPECT_TRUE(store.PutPinned(pre.hash()));
+    // Explicit quarantine (the offer-reply path): PinIds lands the id in
+    // every registered pin without any put.
+    const std::vector<Hash256> offer_ids{offered.hash()};
+    store.PinIds(offer_ids);
+    EXPECT_TRUE(store.PutPinned(offered.hash()));
+    EXPECT_EQ(pin.size(), 3u);
+
+    // A second pin only sees what happened after its registration, but
+    // PutPinned answers across ALL live pins.
+    ChunkStore::PutPin late(store);
+    EXPECT_FALSE(late.Contains(fresh.hash()));
+    EXPECT_TRUE(store.PutPinned(fresh.hash()));
+  }
+  // All pins destroyed: the quarantine is over.
+  EXPECT_FALSE(store.PutPinned(fresh.hash()));
+  EXPECT_FALSE(store.PutPinned(offered.hash()));
+}
+
+TEST(PutPinTest, PutManyRecordsWholeBatch) {
+  MemChunkStore store;
+  std::vector<Chunk> batch;
+  for (int i = 0; i < 5; ++i) {
+    batch.push_back(MakeTestChunk("batch-" + std::to_string(i)));
+  }
+  ChunkStore::PutPin pin(store);
+  ASSERT_TRUE(store.PutMany(batch).ok());
+  EXPECT_EQ(pin.size(), batch.size());
+  for (const auto& c : batch) EXPECT_TRUE(store.PutPinned(c.hash()));
+}
+
 }  // namespace
 }  // namespace forkbase

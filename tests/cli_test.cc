@@ -216,6 +216,60 @@ TEST_F(CliTest, GcCompactsIntoNewDirectory) {
   std::filesystem::remove_all(dest);
 }
 
+TEST_F(CliTest, GcInPlaceSweepsTheDatabaseWhereItLives) {
+  CsvGenOptions opts;
+  opts.num_rows = 300;
+  std::string csv_path = ::testing::TempDir() + "/cli_gc_inplace.csv";
+  {
+    std::ofstream f(csv_path);
+    f << WriteCsv(GenerateCsv(opts));
+  }
+  // Distinct content for the doomed key — shared chunks would stay live
+  // through "keep" and leave nothing to reclaim.
+  opts.seed = 99;
+  opts.num_rows = 1200;
+  std::string drop_csv_path = ::testing::TempDir() + "/cli_gc_inplace2.csv";
+  {
+    std::ofstream f(drop_csv_path);
+    f << WriteCsv(GenerateCsv(opts));
+  }
+  // Small segments so erases translate into rewritten (shrunk) files —
+  // the default 64 MiB store would keep everything in one active segment.
+  const std::vector<std::string> seg = {"--segment-kb", "4"};
+  auto run = [&](std::vector<std::string> args, std::string* out = nullptr,
+                 std::string* err = nullptr) {
+    args.insert(args.begin(), seg.begin(), seg.end());
+    return Run(std::move(args), out, err);
+  };
+  EXPECT_EQ(run({"put-csv", "keep", csv_path}), 0);
+  EXPECT_EQ(run({"put-csv", "drop", drop_csv_path}), 0);
+  EXPECT_EQ(run({"delete-branch", "drop", "master"}), 0);
+
+  auto db_bytes = [&] {
+    uint64_t total = 0;
+    for (const auto& entry :
+         std::filesystem::recursive_directory_iterator(db_dir_)) {
+      if (entry.is_regular_file()) total += entry.file_size();
+    }
+    return total;
+  };
+  const uint64_t before = db_bytes();
+  std::string out, err;
+  EXPECT_EQ(run({"gc", "--in-place"}, &out, &err), 0) << err;
+  EXPECT_NE(out.find("reclaimed in place"), std::string::npos);
+  EXPECT_LT(db_bytes(), before);
+
+  // The swept database stays fully usable, in the same directory.
+  EXPECT_EQ(run({"verify-all"}, &out), 0);
+  EXPECT_NE(out.find("1/1 heads verified"), std::string::npos);
+  // Deleted content can come back: re-put lands in reclaimed space.
+  EXPECT_EQ(run({"put-csv", "drop", drop_csv_path}), 0);
+  EXPECT_EQ(run({"verify-all"}, &out), 0);
+  EXPECT_NE(out.find("2/2 heads verified"), std::string::npos);
+  std::filesystem::remove(csv_path);
+  std::filesystem::remove(drop_csv_path);
+}
+
 TEST_F(CliTest, PushPullReplicatesBetweenDatabases) {
   EXPECT_EQ(Run({"put", "doc", "shared content"}), 0);
   EXPECT_EQ(Run({"put", "doc", "shared content v2"}), 0);

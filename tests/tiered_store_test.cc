@@ -604,6 +604,92 @@ TEST(TieredStoreTest, EraseClearsBothTiersAndThePipeline) {
   for (const auto& id : victims) EXPECT_FALSE(h.cold_backend->Contains(id));
 }
 
+TEST(TieredStoreTest, GcEvictsDirtyGarbageWithoutDemotion) {
+  // Evict-over-demote: garbage that is still dirty (never demoted) must be
+  // dropped from the hot tier directly — paying a cold round trip to write
+  // bytes we are about to delete would be absurd — and its write-back
+  // promise must be cancelled in the manifest. Garbage that already lives
+  // cold still needs the cold erase.
+  const std::string dir = ::testing::TempDir() + "/fb_gc_evict_manifest";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  auto manifest_or = DirtyManifest::Open(dir);
+  ASSERT_TRUE(manifest_or.ok());
+  std::shared_ptr<DirtyManifest> manifest(std::move(*manifest_or));
+  TieredChunkStore::Options options;
+  options.policy = TierPolicy::kWriteBack;
+  options.background_demotion = false;
+  options.dirty_manifest = manifest;
+  TieredHarness h(options);
+
+  auto demoted = MakeChunks(2, 45);      // cold-resident garbage
+  auto dirty = MakeChunks(4, 46);        // hot-only, never-flushed garbage
+  ASSERT_TRUE(h.tiered->PutMany(demoted).ok());
+  ASSERT_TRUE(h.tiered->FlushColdTier().ok());
+  ASSERT_TRUE(h.tiered->PutMany(dirty).ok());
+  ASSERT_EQ(h.tiered->tier_stats().dirty_pending, dirty.size());
+  ASSERT_EQ(manifest->dirty_count(), dirty.size());
+
+  // The cold round-trip counter proves "no demotion": any dirty chunk
+  // taking the demote path would bump the backend's put_calls.
+  const uint64_t cold_puts_before = h.cold_backend->stats().put_calls;
+  std::vector<Hash256> victims;
+  for (const auto& c : dirty) victims.push_back(c.hash());
+  for (const auto& c : demoted) victims.push_back(c.hash());
+  ASSERT_TRUE(h.tiered->Erase(victims).ok());
+
+  EXPECT_EQ(h.cold_backend->stats().put_calls, cold_puts_before)
+      << "dirty garbage must be evicted, never demoted";
+  EXPECT_EQ(h.tiered->tier_stats().hot_only_erases, dirty.size());
+  EXPECT_EQ(h.tiered->tier_stats().dirty_pending, 0u);
+  EXPECT_EQ(manifest->dirty_count(), 0u)
+      << "erased dirty chunks must be unpinned from the manifest";
+  for (const auto& id : victims) {
+    EXPECT_FALSE(h.tiered->Contains(id));
+    EXPECT_FALSE(h.cold_backend->Contains(id));
+  }
+  // A later drain must not resurrect anything.
+  ASSERT_TRUE(h.tiered->FlushColdTier().ok());
+  for (const auto& id : victims) EXPECT_FALSE(h.cold_backend->Contains(id));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TieredStoreTest, GcSweepSurvivesTransientColdFaults) {
+  // A sweep whose mark phase has to read evicted chunks from a flaky cold
+  // tier must fail cleanly — nothing erased on a failed mark, every head
+  // still verifiable — and succeed on retry once the fault passes.
+  TieredChunkStore::Options options;
+  options.policy = TierPolicy::kWriteBack;
+  options.background_demotion = false;
+  TieredHarness h(options);
+  ForkBase db(h.tiered);
+  ASSERT_TRUE(db.PutMap("keep", {{"a", "1"}, {"b", "2"}}).ok());
+  ASSERT_TRUE(db.PutMap("drop", {{"doomed", "payload"}}).ok());
+  ASSERT_TRUE(h.tiered->FlushColdTier().ok());
+  ASSERT_TRUE(db.DeleteBranch("drop", "master").ok());
+  // Evict the hot copies so the mark is forced through the cold tier.
+  std::vector<Hash256> all_hot;
+  h.hot->ForEachId([&](const Hash256& id, uint64_t) { all_hot.push_back(id); });
+  ASSERT_TRUE(h.hot->Erase(all_hot).ok());
+
+  h.faults->InjectOnce(FaultSchedule::Op::kGetBatch,
+                       {FaultSchedule::Kind::kTransient});
+  const uint64_t cold_before = h.cold_backend->stats().chunk_count;
+  auto failed = SweepInPlace(&db);
+  EXPECT_FALSE(failed.ok()) << "mark read through a faulted cold tier";
+  // A failed mark must not have erased anything.
+  EXPECT_EQ(h.cold_backend->stats().chunk_count, cold_before);
+  EXPECT_TRUE(db.Verify(*db.Head("keep")).ok());
+
+  // Fault drained: the retry reclaims the garbage and keeps the survivors.
+  auto stats = SweepInPlace(&db);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_GT(stats->swept_chunks, 0u);
+  EXPECT_LT(h.cold_backend->stats().chunk_count, cold_before);
+  EXPECT_TRUE(db.Verify(*db.Head("keep")).ok());
+  EXPECT_EQ(**db.GetMap("keep")->Get("b"), "2");
+}
+
 // ---- persistent dirty manifest --------------------------------------------
 
 class DirtyManifestTieredTest : public ::testing::Test {

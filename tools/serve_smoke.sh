@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # End-to-end smoke test of the server front-end: serve a database on a unix
 # socket, drive it with the remote client verbs, then sync a second instance
-# through network push/pull and check bit-exact convergence. Fails if the
-# server process outlives its SIGTERM.
+# through network push/pull and check bit-exact convergence. Also covers the
+# overload/chaos path against a deliberately tiny hardened server and an
+# in-place GC sweep (rgc) concurrent with live commits. Fails if a server
+# process outlives its SIGTERM.
 #
 # Usage: tools/serve_smoke.sh [path/to/forkbase_cli]
 set -euo pipefail
@@ -150,4 +152,80 @@ fi
 wait "$SERVER_PID" 2>/dev/null || true
 SERVER_PID=""
 grep -q 'deadline' "$WORK/serve2.log"
+
+# ------------------------------------------------------- gc under serve --
+# 10. In-place GC on a live server, concurrent with a client committing.
+# Seed a database whose deleted scratch branch left real garbage (tiny
+# segments so the reclaim is visible on disk), serve it, and sweep with
+# rgc while a pusher keeps landing commits. Nothing live may be lost.
+GCDB="$WORK/gcdb"
+SOCK3="$WORK/fb3.sock"
+"$CLI" --db "$GCDB" --segment-kb 4 put keep keep-v1 >/dev/null
+"$CLI" --db "$GCDB" --segment-kb 4 branch keep scratch >/dev/null
+for i in $(seq 1 24); do
+  "$CLI" --db "$GCDB" --segment-kb 4 --branch scratch \
+      put keep "scratch-garbage-$i-$(printf 'x%.0s' $(seq 1 600))" >/dev/null
+done
+"$CLI" --db "$GCDB" --segment-kb 4 delete-branch keep scratch >/dev/null
+BEFORE_BYTES="$(du -sb "$GCDB" | cut -f1)"
+
+"$CLI" --db "$GCDB" --segment-kb 4 --group-commit serve "unix:$SOCK3" \
+    >"$WORK/serve3.log" 2>&1 &
+SERVER_PID=$!
+for _ in $(seq 1 100); do
+  [[ -S "$SOCK3" ]] && break
+  sleep 0.1
+done
+[[ -S "$SOCK3" ]] || { echo "FAIL: gc server never bound"; exit 1; }
+
+(
+  for i in $(seq 1 12); do
+    "$CLI" rput "unix:$SOCK3" busy "busy-$i" >/dev/null
+  done
+) &
+PUSHER_PID=$!
+RGC_OUT="$("$CLI" rgc "unix:$SOCK3")"
+if ! grep -q 'reclaimed in place' <<<"$RGC_OUT"; then
+  echo "FAIL: rgc reported no in-place reclaim: $RGC_OUT"
+  exit 1
+fi
+SWEPT="$(sed -n 's/^swept: *\([0-9]*\) chunks.*/\1/p' <<<"$RGC_OUT")"
+if [[ "${SWEPT:-0}" -lt 1 ]]; then
+  echo "FAIL: rgc swept nothing: $RGC_OUT"
+  exit 1
+fi
+wait "$PUSHER_PID"
+
+# The swept server still serves everything live, and a replica pulled
+# through it converges bit-exact.
+[[ "$("$CLI" rget "unix:$SOCK3" keep)" == "keep-v1" ]]
+[[ "$("$CLI" rget "unix:$SOCK3" busy)" == "busy-12" ]]
+"$CLI" --db "$WORK/replica3" pull "unix:$SOCK3" >/dev/null
+"$CLI" --db "$WORK/replica3" verify-all >/dev/null
+
+kill -TERM "$SERVER_PID"
+for _ in $(seq 1 100); do
+  kill -0 "$SERVER_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$SERVER_PID" 2>/dev/null; then
+  echo "FAIL: gc server $SERVER_PID leaked past SIGTERM"
+  exit 1
+fi
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+
+# With the server down, the source store must verify clean, match the
+# replica head-for-head, and actually be smaller than before the sweep.
+"$CLI" --db "$GCDB" verify-all >/dev/null
+[[ "$("$CLI" --db "$GCDB" head keep)" == \
+   "$("$CLI" --db "$WORK/replica3" head keep)" ]]
+[[ "$("$CLI" --db "$GCDB" head busy)" == \
+   "$("$CLI" --db "$WORK/replica3" head busy)" ]]
+AFTER_BYTES="$(du -sb "$GCDB" | cut -f1)"
+if [[ "$AFTER_BYTES" -ge "$BEFORE_BYTES" ]]; then
+  echo "FAIL: sweep reclaimed nothing ($BEFORE_BYTES -> $AFTER_BYTES bytes)"
+  exit 1
+fi
+
 echo "serve smoke OK"
