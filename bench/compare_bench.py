@@ -84,6 +84,20 @@ TRACKED_PAIRS = [
     # runner's core count, so floor only, no baseline comparison.
     ("BM_CompactParallel/real_time", "BM_CompactSerial/real_time", 1.5,
      False),
+    # Encoded-storage criteria. The corpus pair is a deterministic size
+    # measurement (manual time pinned at 1s, items = physical bytes), so
+    # the ratio is exact and fully portable: a 64-commit versioned corpus
+    # stored compressed+delta must be <= 0.6x its raw footprint
+    # (raw/encoded >= 1.67). The scan pair bounds the read-side tax of
+    # compression on a cold scan (batched GetMany through the 150us
+    # SlowChunkStore device model): the decompression is CPU work riding a
+    # latency-bound sweep, and how much of it hides in the device wait
+    # moves with the runner's CPU, so floor only — the compressed scan must
+    # hold >= 0.8x raw throughput.
+    ("BM_VersionedCorpusBytesRaw/manual_time",
+     "BM_VersionedCorpusBytesEncoded/manual_time", 1.67, True),
+    ("BM_ScanCompressedStore/real_time", "BM_ScanRawStore/real_time",
+     0.8, False),
 ]
 
 

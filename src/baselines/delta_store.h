@@ -4,8 +4,13 @@
 // Datasets are row maps. The first version on a chain is a full snapshot;
 // subsequent versions store row-level forward deltas vs their parent, with
 // a periodic full snapshot every `snapshot_interval` versions to bound
-// reconstruction cost. Reads replay the delta chain — the classic
-// storage/latency trade-off ForkBase's structural sharing avoids.
+// reconstruction cost. Precisely: a chain carries at most
+// `snapshot_interval - 1` deltas between snapshots, so on a linear history
+// versions 1, N+1, 2N+1, ... are snapshots and reads replay at most N-1
+// deltas. The degenerate settings follow from the same rule: interval 1
+// (and 0) snapshots every version — a chain of "at most 0 deltas" — and
+// interval 2 alternates snapshot/delta. Reads replay the delta chain — the
+// classic storage/latency trade-off ForkBase's structural sharing avoids.
 #ifndef FORKBASE_BASELINES_DELTA_STORE_H_
 #define FORKBASE_BASELINES_DELTA_STORE_H_
 

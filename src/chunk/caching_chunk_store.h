@@ -51,6 +51,15 @@ class CachingChunkStore : public ChunkStore {
   /// copies, so the decorator never serves a chunk its backend reclaimed.
   bool SupportsErase() const override { return base_->SupportsErase(); }
   Status Erase(std::span<const Hash256> ids) override;
+  /// Physical-representation probes pass through: the cache holds logical
+  /// chunks only, the backend owns the stored form.
+  bool GetDeltaBase(const Hash256& id, Hash256* base) const override {
+    return base_->GetDeltaBase(id, base);
+  }
+  bool GetPhysicalRecord(const Hash256& id,
+                         PhysicalRecord* rec) const override {
+    return base_->GetPhysicalRecord(id, rec);
+  }
   uint64_t space_used() const override { return base_->space_used(); }
   ChunkStoreStats stats() const override;
   void ForEach(const std::function<void(const Hash256&, const Chunk&)>& fn)

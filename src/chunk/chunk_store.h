@@ -246,6 +246,48 @@ class ChunkStore {
 
   virtual bool Contains(const Hash256& id) const = 0;
 
+  /// How a backend physically encodes a chunk's payload on its medium.
+  /// Logical identity (the content address) never changes — Get always
+  /// returns the original bytes — but a store may hold them transformed.
+  enum class Encoding : uint8_t {
+    kRaw = 0,         ///< payload bytes verbatim
+    kCompressed = 1,  ///< LZ block (util/compress.h)
+    kDelta = 2,       ///< copy/insert delta against another resident chunk
+  };
+
+  /// One chunk's stored form: the physical payload plus what is needed to
+  /// rebuild the logical bytes from it. `delta_base` is meaningful only for
+  /// Encoding::kDelta. Sync's bundle exporter ships these verbatim so a
+  /// chain-resident chunk crosses the wire at its (smaller) disk footprint.
+  struct PhysicalRecord {
+    Encoding encoding = Encoding::kRaw;
+    uint64_t logical_length = 0;  ///< bytes Get would return
+    Hash256 delta_base{};
+    std::string payload;  ///< the physical bytes as stored
+  };
+
+  /// When `id` is stored as a delta against another chunk, fills `*base`
+  /// with the predecessor's id and returns true; false for raw/compressed/
+  /// absent chunks. GC expands its live set with these physical
+  /// dependencies (MarkLive), so a delta base is never erased from under a
+  /// live dependent. Decorators forward to the backend that holds the id.
+  virtual bool GetDeltaBase(const Hash256& id, Hash256* base) const {
+    (void)id;
+    (void)base;
+    return false;
+  }
+
+  /// Fills `*rec` with `id`'s stored form and returns true; false when the
+  /// id is absent or the backend has no transformed representation (callers
+  /// then fall back to Get's logical bytes). Never performs chain
+  /// resolution — the point is the raw physical record.
+  virtual bool GetPhysicalRecord(const Hash256& id,
+                                 PhysicalRecord* rec) const {
+    (void)id;
+    (void)rec;
+    return false;
+  }
+
   /// True when Erase() actually reclaims space. The base interface is
   /// append-only (content addressing never requires deletion); stores that
   /// can give space back — the memory store, the segment-file store — opt

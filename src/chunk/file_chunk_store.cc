@@ -8,16 +8,40 @@
 #include <cerrno>
 #include <cstring>
 #include <filesystem>
+#include <functional>
 #include <optional>
 #include <thread>
 #include <unordered_set>
 
+#include "util/compress.h"
+#include "util/delta_codec.h"
+
 namespace forkbase {
 
 namespace {
-constexpr uint32_t kRecordMagic = 0x46424331;     // "FBC1"
+constexpr uint32_t kRecordMagic = 0x46424331;     // "FBC1" raw chunk bytes
+constexpr uint32_t kRecordMagic2 = 0x46424332;    // "FBC2" encoded payload
 constexpr uint32_t kTombstoneMagic = 0x46425431;  // "FBT1"
 constexpr size_t kHeaderBytes = 4 + 32 + 4;       // magic + hash + len
+// FBC2 header: magic + hash + payload_len + enc + logical_len.
+constexpr size_t kHeader2Bytes = 4 + 32 + 4 + 1 + 4;
+
+constexpr uint8_t kEncRaw = 0;
+constexpr uint8_t kEncLz = 1;
+constexpr uint8_t kEncDelta = 2;
+
+// A delta payload is [32-byte base id][delta]; the smallest structurally
+// valid delta (varint target_len + one op + fixed32 checksum) is 5 bytes.
+constexpr uint32_t kMinDeltaPayload = 32 + 5;
+// Chunks below this size never delta: the 32-byte base reference plus
+// varint overhead eats any plausible saving.
+constexpr size_t kMinDeltaChunk = 128;
+// Hard ceiling on chain resolution depth. Write-time chains are bounded by
+// Options::delta_chain_depth; this guards reads against corrupt records
+// manufacturing a cycle.
+constexpr int kMaxChainHops = 128;
+// Delta cache budget: materialized base bytes kept for chain resolution.
+constexpr uint64_t kDeltaCacheBytes = 4ull << 20;
 
 uint32_t NormalizeShardCount(uint32_t requested) {
   uint32_t n = 1;
@@ -39,7 +63,16 @@ void AppendRecord(std::string* buf, const Hash256& id, Slice bytes) {
   buf->append(bytes.data(), bytes.size());
 }
 
-uint64_t RecordBytes(uint32_t len) { return kHeaderBytes + len; }
+void AppendHeader2(std::string* buf, const Hash256& id, uint32_t payload_len,
+                   uint8_t enc, uint32_t logical) {
+  uint8_t header[kHeader2Bytes];
+  std::memcpy(header, &kRecordMagic2, 4);
+  std::memcpy(header + 4, id.bytes.data(), 32);
+  std::memcpy(header + 36, &payload_len, 4);
+  header[40] = enc;
+  std::memcpy(header + 41, &logical, 4);
+  buf->append(reinterpret_cast<const char*>(header), kHeader2Bytes);
+}
 
 // fsync by path, for callers that must not sit on append_mu_ while the
 // device syncs (any fd reaches the same inode's dirty pages).
@@ -130,6 +163,12 @@ Status FileChunkStore::Recover() {
   std::lock_guard<std::mutex> lock(append_mu_);
   uint32_t last_segment = 0;
   bool any_segment = false;
+  // id -> base for ids whose FINAL record is a delta, maintained alongside
+  // the index through the replay (tombstones and superseding records drop
+  // entries). Chain depths are computed after the full scan: compaction can
+  // move a base to a later segment than its dependent, so no single-pass
+  // order sees bases first.
+  std::unordered_map<Hash256, Hash256, Hash256Hasher> delta_bases;
   for (uint32_t seg = 0;; ++seg) {
     const std::string path = SegmentPath(seg);
     std::FILE* f = std::fopen(path.c_str(), "rb");
@@ -140,15 +179,36 @@ Status FileChunkStore::Recover() {
     uint64_t valid_end = 0;
     std::string buf;
     for (;;) {
-      uint8_t header[kHeaderBytes];
-      size_t got = std::fread(header, 1, kHeaderBytes, f);
-      if (got < kHeaderBytes) break;  // torn tail or EOF
-      uint32_t magic = 0, len = 0;
+      // Sniff the magic first: record generations (FBC1 raw, FBC2 encoded,
+      // tombstones) mix freely within a segment and have different header
+      // sizes.
+      uint8_t header[kHeader2Bytes];
+      if (std::fread(header, 1, 4, f) < 4) break;  // torn tail or EOF
+      uint32_t magic = 0;
       std::memcpy(&magic, header, 4);
-      std::memcpy(&len, header + 36, 4);
-      if (magic != kRecordMagic && magic != kTombstoneMagic) break;
+      size_t header_size = 0;
+      if (magic == kRecordMagic || magic == kTombstoneMagic) {
+        header_size = kHeaderBytes;
+      } else if (magic == kRecordMagic2) {
+        header_size = kHeader2Bytes;
+      } else {
+        break;  // foreign bytes: treat as torn tail
+      }
+      if (std::fread(header + 4, 1, header_size - 4, f) < header_size - 4) {
+        break;  // torn header
+      }
       Hash256 id;
       std::memcpy(id.bytes.data(), header + 4, 32);
+      uint32_t len = 0;
+      std::memcpy(&len, header + 36, 4);
+      uint8_t enc = kEncRaw;
+      uint32_t logical = len;
+      if (magic == kRecordMagic2) {
+        enc = header[40];
+        std::memcpy(&logical, header + 41, 4);
+        if (enc > kEncDelta) break;  // unknown encoding: torn/corrupt tail
+        if (enc == kEncDelta && len < kMinDeltaPayload) break;
+      }
       buf.resize(len);
       if (std::fread(buf.data(), 1, len, f) < len) break;  // torn record
       Shard& shard = ShardFor(id);
@@ -163,17 +223,43 @@ Status FileChunkStore::Recover() {
                                     std::memory_order_relaxed);
           shard.index.erase(it);
         }
+        delta_bases.erase(id);
       } else {
-        Location loc{seg, offset + kHeaderBytes, len};
+        Location loc;
+        loc.segment = seg;
+        loc.offset = offset + header_size;
+        loc.length = len;
+        loc.logical = logical;
+        loc.enc = enc;
+        loc.header = static_cast<uint8_t>(header_size);
+        // Last copy wins: a later record supersedes an earlier one of the
+        // same id. Duplicates appear when a crash interrupts a segment
+        // rewrite or a dependent flatten — both append the replacement
+        // AFTER the original, and the replacement is the one whose
+        // encoding is still resolvable (a flattened record must shadow the
+        // delta it replaced, whose base may be tombstoned later in the
+        // log). Content addressing makes either copy's bytes correct.
         std::lock_guard<std::mutex> shard_lock(shard.mu);
-        auto [it, inserted] = shard.index.try_emplace(id, loc);
-        (void)it;
-        if (inserted) {
+        auto it = shard.index.find(id);
+        if (it == shard.index.end()) {
+          shard.index.emplace(id, loc);
           chunk_count_.fetch_add(1, std::memory_order_relaxed);
           physical_bytes_.fetch_add(len, std::memory_order_relaxed);
+        } else {
+          physical_bytes_.fetch_sub(it->second.length,
+                                    std::memory_order_relaxed);
+          physical_bytes_.fetch_add(len, std::memory_order_relaxed);
+          it->second = loc;
+        }
+        if (enc == kEncDelta) {
+          Hash256 base;
+          std::memcpy(base.bytes.data(), buf.data(), 32);
+          delta_bases[id] = base;
+        } else {
+          delta_bases.erase(id);
         }
       }
-      offset += kHeaderBytes + len;
+      offset += header_size + len;
       valid_end = offset;
     }
     std::fclose(f);
@@ -194,7 +280,31 @@ Status FileChunkStore::Recover() {
     std::lock_guard<std::mutex> seg_lock(seg_mu_);
     for (const auto& [id, loc] : shard.index) {
       (void)id;
-      segments_[loc.segment].live_bytes += RecordBytes(loc.length);
+      SegmentSpace& space = segments_[loc.segment];
+      space.live_bytes += loc.header + loc.length;
+      space.live_logical_bytes += loc.logical;
+    }
+  }
+  // Third pass: rebuild chain bookkeeping. Depths are memoized walks over
+  // the final base edges; the guard only trips on corrupt self-referential
+  // data (write paths cannot create cycles).
+  {
+    std::unordered_map<Hash256, uint32_t, Hash256Hasher> depth_memo;
+    std::function<uint32_t(const Hash256&, int)> depth_of =
+        [&](const Hash256& id, int guard) -> uint32_t {
+      auto base_it = delta_bases.find(id);
+      if (base_it == delta_bases.end()) return 0;
+      auto memo_it = depth_memo.find(id);
+      if (memo_it != depth_memo.end()) return memo_it->second;
+      uint32_t d = kMaxChainHops;
+      if (guard < kMaxChainHops) d = depth_of(base_it->second, guard + 1) + 1;
+      depth_memo[id] = d;
+      return d;
+    };
+    std::lock_guard<std::mutex> delta_lock(delta_mu_);
+    for (const auto& [id, base] : delta_bases) {
+      delta_info_[id] = DeltaInfo{base, depth_of(id, 0)};
+      delta_children_.emplace(base, id);
     }
   }
   const uint32_t seg = any_segment ? last_segment : 0;
@@ -220,16 +330,136 @@ Status FileChunkStore::OpenSegmentForAppend(uint32_t seg_no) {
   return Status::OK();
 }
 
+// ---- read path -------------------------------------------------------------
+
+bool FileChunkStore::CacheGet(const Hash256& id, std::string* bytes) const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  auto it = cache_map_.find(id);
+  if (it == cache_map_.end()) return false;
+  cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
+  *bytes = it->second->second;
+  return true;
+}
+
+void FileChunkStore::CachePut(const Hash256& id,
+                              const std::string& bytes) const {
+  if (bytes.size() > kDeltaCacheBytes / 4) return;  // oversized: not worth it
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  if (cache_map_.count(id)) return;
+  cache_lru_.emplace_front(id, bytes);
+  cache_map_[id] = cache_lru_.begin();
+  cache_bytes_ += bytes.size();
+  while (cache_bytes_ > kDeltaCacheBytes && !cache_lru_.empty()) {
+    auto& back = cache_lru_.back();
+    cache_bytes_ -= back.second.size();
+    cache_map_.erase(back.first);
+    cache_lru_.pop_back();
+  }
+}
+
+StatusOr<std::string> FileChunkStore::ReadPayloadWithRetry(
+    const Hash256& id, Location* loc) const {
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const std::string path = SegmentPath(loc->segment);
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f) {
+      std::string payload(loc->length, '\0');
+      const bool ok =
+          std::fseek(f, static_cast<long>(loc->offset), SEEK_SET) == 0 &&
+          std::fread(payload.data(), 1, loc->length, f) == loc->length;
+      std::fclose(f);
+      if (ok) return payload;
+    }
+    // A segment rewrite may have moved the record (and truncated its old
+    // segment) between lookup and read. Re-resolve once; if the id left the
+    // index entirely it was erased mid-read.
+    Location now;
+    if (!Lookup(id, &now)) {
+      return Status::NotFound("chunk " + id.ToBase32() + " (erased mid-read)");
+    }
+    if (now.segment == loc->segment && now.offset == loc->offset) {
+      return Status::IOError("short read from " + path);
+    }
+    *loc = now;
+  }
+  return Status::IOError("segment read failed twice for " + id.ToBase32());
+}
+
+StatusOr<std::string> FileChunkStore::DecodePayload(const Hash256& id,
+                                                    const Location& loc,
+                                                    std::string payload,
+                                                    int depth) const {
+  switch (loc.enc) {
+    case kEncRaw:
+      return payload;
+    case kEncLz: {
+      std::string logical;
+      if (!LzDecompressBlock(Slice(payload), &logical) ||
+          logical.size() != loc.logical) {
+        return Status::Corruption("compressed record for " + id.ToBase32() +
+                                  " does not decode");
+      }
+      return logical;
+    }
+    case kEncDelta: {
+      if (payload.size() < kMinDeltaPayload) {
+        return Status::Corruption("truncated delta record for " +
+                                  id.ToBase32());
+      }
+      Hash256 base;
+      std::memcpy(base.bytes.data(), payload.data(), 32);
+      FB_ASSIGN_OR_RETURN(std::string base_bytes,
+                          MaterializeLogical(base, depth + 1));
+      delta_chain_hops_.fetch_add(1, std::memory_order_relaxed);
+      std::string logical;
+      if (!ApplyDelta(Slice(base_bytes),
+                      Slice(payload.data() + 32, payload.size() - 32),
+                      &logical) ||
+          logical.size() != loc.logical) {
+        return Status::Corruption("delta record for " + id.ToBase32() +
+                                  " does not apply against base " +
+                                  base.ToBase32());
+      }
+      return logical;
+    }
+    default:
+      return Status::Corruption("unknown record encoding for " +
+                                id.ToBase32());
+  }
+}
+
+StatusOr<std::string> FileChunkStore::MaterializeLogical(const Hash256& id,
+                                                         int depth) const {
+  if (depth > kMaxChainHops) {
+    return Status::Corruption("delta chain exceeds " +
+                              std::to_string(kMaxChainHops) + " hops at " +
+                              id.ToBase32());
+  }
+  std::string cached;
+  if (CacheGet(id, &cached)) return cached;
+  Location loc;
+  if (!Lookup(id, &loc)) {
+    return Status::NotFound("delta base " + id.ToBase32() + " missing");
+  }
+  FB_ASSIGN_OR_RETURN(std::string payload, ReadPayloadWithRetry(id, &loc));
+  FB_ASSIGN_OR_RETURN(std::string logical,
+                      DecodePayload(id, loc, std::move(payload), depth));
+  CachePut(id, logical);
+  return logical;
+}
+
 StatusOr<Chunk> FileChunkStore::ReadRecord(std::FILE* f,
                                            const std::string& path,
                                            const Hash256& id,
                                            const Location& loc) const {
-  std::string bytes(loc.length, '\0');
+  std::string payload(loc.length, '\0');
   if (std::fseek(f, static_cast<long>(loc.offset), SEEK_SET) != 0 ||
-      std::fread(bytes.data(), 1, loc.length, f) != loc.length) {
+      std::fread(payload.data(), 1, loc.length, f) != loc.length) {
     return Status::IOError("short read from " + path);
   }
-  Chunk chunk = Chunk::FromBytes(std::move(bytes));
+  FB_ASSIGN_OR_RETURN(std::string logical,
+                      DecodePayload(id, loc, std::move(payload), 0));
+  Chunk chunk = Chunk::FromBytes(std::move(logical));
   if (options_.verify_on_get && chunk.hash() != id) {
     return Status::Corruption("chunk bytes do not match id " + id.ToBase32());
   }
@@ -349,6 +579,91 @@ AsyncChunkBatch FileChunkStore::GetManyAsync(
       });
 }
 
+// ---- write path ------------------------------------------------------------
+
+void FileChunkStore::WindowPush(const Hash256& id, const Chunk& chunk,
+                                uint32_t depth) {
+  if (options_.delta_chain_depth == 0 || options_.delta_window == 0) return;
+  window_.push_back(WindowEntry{id, chunk, depth});
+  while (window_.size() > options_.delta_window) window_.pop_front();
+}
+
+uint64_t FileChunkStore::SerializeRecord(const Chunk& chunk,
+                                         std::string* buffer,
+                                         PendingEntry* entry) {
+  const Hash256& id = chunk.hash();
+  const Slice raw = chunk.bytes();
+  const uint32_t logical = static_cast<uint32_t>(raw.size());
+  entry->id = id;
+  entry->loc.logical = logical;
+  entry->depth = 0;
+
+  // Delta attempt: best (smallest) delta against a window entry whose chain
+  // stays within bounds. Early-out once a delta reaches 1/4 of raw — more
+  // scanning cannot change the accept decision enough to matter.
+  std::string delta_payload;
+  uint32_t delta_depth = 0;
+  Hash256 delta_base{};
+  if (options_.delta_chain_depth > 0 && raw.size() >= kMinDeltaChunk) {
+    for (auto it = window_.rbegin(); it != window_.rend(); ++it) {
+      if (it->id == id) continue;
+      if (it->depth + 1 > options_.delta_chain_depth) continue;
+      std::string d;
+      d.append(reinterpret_cast<const char*>(it->id.bytes.data()), 32);
+      CreateDelta(it->chunk.bytes(), raw, &d);
+      if (delta_payload.empty() || d.size() < delta_payload.size()) {
+        delta_payload = std::move(d);
+        delta_base = it->id;
+        delta_depth = it->depth + 1;
+        if (delta_payload.size() <= raw.size() / 4) break;
+      }
+    }
+    // A delta must pay materially (<= 7/8 of raw): every chain link costs a
+    // base materialization on the read path.
+    if (!delta_payload.empty() &&
+        delta_payload.size() > raw.size() - raw.size() / 8) {
+      delta_payload.clear();
+    }
+  }
+
+  // Compression attempt: keep only a >= 1/16 saving, so incompressible
+  // payloads stay raw and readable without any codec.
+  std::string lz;
+  if (options_.compression == Compression::kLz) {
+    LzCompressBlock(raw, &lz);
+    if (lz.size() > raw.size() - raw.size() / 16) lz.clear();
+  }
+
+  if (!delta_payload.empty() &&
+      (lz.empty() || delta_payload.size() < lz.size())) {
+    AppendHeader2(buffer, id, static_cast<uint32_t>(delta_payload.size()),
+                  kEncDelta, logical);
+    buffer->append(delta_payload);
+    entry->loc.length = static_cast<uint32_t>(delta_payload.size());
+    entry->loc.enc = kEncDelta;
+    entry->loc.header = static_cast<uint8_t>(kHeader2Bytes);
+    entry->base = delta_base;
+    entry->depth = delta_depth;
+    return kHeader2Bytes + delta_payload.size();
+  }
+  if (!lz.empty()) {
+    AppendHeader2(buffer, id, static_cast<uint32_t>(lz.size()), kEncLz,
+                  logical);
+    buffer->append(lz);
+    entry->loc.length = static_cast<uint32_t>(lz.size());
+    entry->loc.enc = kEncLz;
+    entry->loc.header = static_cast<uint8_t>(kHeader2Bytes);
+    return kHeader2Bytes + lz.size();
+  }
+  // Raw records keep the legacy FBC1 layout (5 bytes smaller, and a store
+  // with the default options stays byte-identical to the pre-FBC2 format).
+  AppendRecord(buffer, id, raw);
+  entry->loc.length = logical;
+  entry->loc.enc = kEncRaw;
+  entry->loc.header = static_cast<uint8_t>(kHeaderBytes);
+  return kHeaderBytes + logical;
+}
+
 Status FileChunkStore::PutImpl(const Chunk& chunk) {
   const Chunk* one = &chunk;
   return PutManyImpl(std::span<const Chunk>(one, 1));
@@ -411,16 +726,20 @@ Status FileChunkStore::PutManyImpl(std::span<const Chunk> chunks) {
   // Phase 2: serialize the surviving records into one buffer and append it
   // with a single fwrite+fflush. Index entries are published only after the
   // flush succeeds, so readers never chase bytes still in the stdio buffer.
+  // The recency window is updated at serialize time, so a chunk can delta
+  // against an earlier chunk of the same batch (its base's record precedes
+  // it in the same buffer — a torn tail can never keep the dependent while
+  // losing the base).
   Status status;
   std::vector<uint32_t> rolled;
   {
     std::lock_guard<std::mutex> lock(append_mu_);
     std::string buffer;
-    std::vector<std::pair<Hash256, Location>> pending;
+    std::vector<PendingEntry> pending;
     {
       size_t projected = 0;
       for (const Chunk* chunk : candidates) {
-        projected += kHeaderBytes + chunk->size();
+        projected += kHeader2Bytes + chunk->size();
       }
       buffer.reserve(projected);
       pending.reserve(candidates.size());
@@ -444,7 +763,9 @@ Status FileChunkStore::PutManyImpl(std::span<const Chunk> chunks) {
         // record would be discarded by the next Recover. Truncate back to the
         // last published record boundary and reopen so a retry appends at a
         // consistent offset; if that fails too, poison the append stream
-        // (checked above) rather than corrupt locations.
+        // (checked above) rather than corrupt locations. The recency window
+        // may reference the discarded records — drop it wholesale.
+        window_.clear();
         std::fclose(append_file_);
         append_file_ = nullptr;
         std::error_code ec;
@@ -459,30 +780,51 @@ Status FileChunkStore::PutManyImpl(std::span<const Chunk> chunks) {
       // batch, not once per chunk: counting-sort the entry indices by stripe,
       // then walk each stripe's contiguous run under its lock.
       uint64_t batch_bytes = 0;
+      uint64_t batch_live_logical = 0;
       std::vector<uint32_t> counts(shards_.size() + 1, 0);
-      for (const auto& entry : pending) {
-        ++counts[ShardIndexOf(entry.first) + 1];
-        batch_bytes += entry.second.length;
+      for (const PendingEntry& entry : pending) {
+        ++counts[ShardIndexOf(entry.id) + 1];
+        batch_bytes += entry.loc.length;
+        batch_live_logical += entry.loc.logical;
       }
       for (size_t s = 1; s < counts.size(); ++s) counts[s] += counts[s - 1];
       std::vector<uint32_t> order(pending.size());
       {
         std::vector<uint32_t> cursor(counts.begin(), counts.end() - 1);
         for (uint32_t i = 0; i < pending.size(); ++i) {
-          order[cursor[ShardIndexOf(pending[i].first)]++] = i;
+          order[cursor[ShardIndexOf(pending[i].id)]++] = i;
         }
       }
       for (size_t s = 0; s < shards_.size(); ++s) {
         if (counts[s] == counts[s + 1]) continue;
         std::lock_guard<std::mutex> shard_lock(shards_[s].mu);
         for (uint32_t k = counts[s]; k < counts[s + 1]; ++k) {
-          const auto& entry = pending[order[k]];
-          shards_[s].index.emplace(entry.first, entry.second);
+          const PendingEntry& entry = pending[order[k]];
+          shards_[s].index.emplace(entry.id, entry.loc);
         }
+      }
+      // Chain bookkeeping and encoding counters, only for records that
+      // actually reached the file.
+      uint64_t deltas = 0, compressed = 0;
+      {
+        std::lock_guard<std::mutex> delta_lock(delta_mu_);
+        for (const PendingEntry& entry : pending) {
+          if (entry.loc.enc == kEncDelta) {
+            delta_info_[entry.id] = DeltaInfo{entry.base, entry.depth};
+            delta_children_.emplace(entry.base, entry.id);
+            ++deltas;
+          } else if (entry.loc.enc == kEncLz) {
+            ++compressed;
+          }
+        }
+      }
+      if (deltas) delta_records_.fetch_add(deltas, std::memory_order_relaxed);
+      if (compressed) {
+        compressed_records_.fetch_add(compressed, std::memory_order_relaxed);
       }
       chunk_count_.fetch_add(pending.size(), std::memory_order_relaxed);
       physical_bytes_.fetch_add(batch_bytes, std::memory_order_relaxed);
-      NoteAppend(append_segment_, flushed, flushed);
+      NoteAppend(append_segment_, flushed, flushed, batch_live_logical);
       buffer.clear();
       pending.clear();
       return Status::OK();
@@ -504,11 +846,13 @@ Status FileChunkStore::PutManyImpl(std::span<const Chunk> chunks) {
           FB_RETURN_IF_ERROR(OpenSegmentForAppend(append_segment_ + 1));
           offset = append_offset_;
         }
-        uint32_t len = static_cast<uint32_t>(chunk->size());
-        AppendRecord(&buffer, id, chunk->bytes());
-        pending.emplace_back(id, Location{append_segment_,
-                                          offset + kHeaderBytes, len});
-        offset += kHeaderBytes + len;
+        PendingEntry entry;
+        const uint64_t appended = SerializeRecord(*chunk, &buffer, &entry);
+        entry.loc.segment = append_segment_;
+        entry.loc.offset = offset + entry.loc.header;
+        WindowPush(id, *chunk, entry.depth);
+        pending.push_back(std::move(entry));
+        offset += appended;
       }
       return flush();
     }();
@@ -524,9 +868,238 @@ bool FileChunkStore::Contains(const Hash256& id) const {
   return Lookup(id, &loc);
 }
 
+bool FileChunkStore::GetDeltaBase(const Hash256& id, Hash256* base) const {
+  std::lock_guard<std::mutex> lock(delta_mu_);
+  auto it = delta_info_.find(id);
+  if (it == delta_info_.end()) return false;
+  *base = it->second.base;
+  return true;
+}
+
+bool FileChunkStore::GetPhysicalRecord(const Hash256& id,
+                                       PhysicalRecord* rec) const {
+  Location loc;
+  if (!Lookup(id, &loc)) return false;
+  auto payload = ReadPayloadWithRetry(id, &loc);
+  if (!payload.ok()) return false;
+  rec->logical_length = loc.logical;
+  switch (loc.enc) {
+    case kEncDelta:
+      if (payload->size() < kMinDeltaPayload) return false;
+      rec->encoding = Encoding::kDelta;
+      std::memcpy(rec->delta_base.bytes.data(), payload->data(), 32);
+      rec->payload.assign(payload->data() + 32, payload->size() - 32);
+      return true;
+    case kEncLz:
+      rec->encoding = Encoding::kCompressed;
+      rec->delta_base = Hash256{};
+      rec->payload = std::move(*payload);
+      return true;
+    default:
+      rec->encoding = Encoding::kRaw;
+      rec->delta_base = Hash256{};
+      rec->payload = std::move(*payload);
+      return true;
+  }
+}
+
 // ---- erase & segment rewrite ---------------------------------------------
 
+void FileChunkStore::ForgetDelta(const Hash256& id) {
+  std::lock_guard<std::mutex> lock(delta_mu_);
+  auto it = delta_info_.find(id);
+  if (it == delta_info_.end()) return;
+  auto [b, e] = delta_children_.equal_range(it->second.base);
+  for (auto child = b; child != e; ++child) {
+    if (child->second == id) {
+      delta_children_.erase(child);
+      break;
+    }
+  }
+  delta_info_.erase(it);
+}
+
+Status FileChunkStore::FlattenDependentsOf(std::span<const Hash256> ids) {
+  if (ids.empty()) return Status::OK();
+  std::unordered_set<Hash256, Hash256Hasher> dying(ids.begin(), ids.end());
+
+  // Purge the recency window first, under the append lock: once this
+  // returns, no concurrent PutMany can mint a NEW delta against a dying id
+  // (serialization and window reads both happen under append_mu_), so the
+  // dependent set collected below is complete.
+  {
+    std::lock_guard<std::mutex> lock(append_mu_);
+    window_.erase(std::remove_if(window_.begin(), window_.end(),
+                                 [&](const WindowEntry& w) {
+                                   return dying.count(w.id) > 0;
+                                 }),
+                  window_.end());
+  }
+
+  std::vector<Hash256> deps;
+  {
+    std::lock_guard<std::mutex> lock(delta_mu_);
+    for (const Hash256& id : ids) {
+      auto [b, e] = delta_children_.equal_range(id);
+      for (auto it = b; it != e; ++it) {
+        // A dependent that is itself being erased needs no flatten; ITS
+        // dependents are found under its own id in this same loop.
+        if (!dying.count(it->second)) deps.push_back(it->second);
+      }
+    }
+  }
+  if (deps.empty()) return Status::OK();
+
+  // Materialize each dependent's logical bytes while every record involved
+  // is still readable (nothing has been dropped yet). A dependent that
+  // meanwhile moved or stopped being a delta (a racing compaction flattened
+  // it) is skipped.
+  struct Flat {
+    Hash256 id;
+    Location old_loc;
+    std::string logical;
+  };
+  std::vector<Flat> flats;
+  flats.reserve(deps.size());
+  for (const Hash256& dep : deps) {
+    Location loc;
+    if (!Lookup(dep, &loc)) continue;
+    if (loc.enc != kEncDelta) continue;
+    auto payload = ReadPayloadWithRetry(dep, &loc);
+    if (!payload.ok()) {
+      if (payload.status().IsNotFound()) continue;  // erased concurrently
+      return payload.status();
+    }
+    if (loc.enc != kEncDelta) continue;  // retry landed on a flattened copy
+    auto logical = DecodePayload(dep, loc, std::move(*payload), 0);
+    // Failing to flatten a live dependent would strand its chain once the
+    // base is gone — refuse the erase instead.
+    FB_RETURN_IF_ERROR(logical.status());
+    flats.push_back(Flat{dep, loc, std::move(*logical)});
+  }
+  if (flats.empty()) return Status::OK();
+
+  // Re-append the dependents self-contained (raw or compressed — never as a
+  // delta), then repoint their index entries. The old delta records become
+  // dead space; on a crash before the erase's tombstones land, replay keeps
+  // the LAST copy of each id, i.e. the flattened one.
+  Status status;
+  std::vector<uint32_t> rolled;
+  {
+    std::lock_guard<std::mutex> lock(append_mu_);
+    std::string buffer;
+    struct Out {
+      size_t idx;
+      Location loc;
+    };
+    std::vector<Out> outs;
+    uint64_t offset = append_offset_;
+
+    auto flush = [&]() -> Status {
+      if (buffer.empty()) return Status::OK();
+      if (!append_file_) {
+        return Status::IOError(
+            "append segment unavailable after prior failure");
+      }
+      if (std::fwrite(buffer.data(), 1, buffer.size(), append_file_) !=
+              buffer.size() ||
+          std::fflush(append_file_) != 0 ||
+          (options_.fsync_on_flush && ::fsync(fileno(append_file_)) != 0)) {
+        Status err = Status::IOError("flatten append failed: " +
+                                     std::string(strerror(errno)));
+        window_.clear();
+        std::fclose(append_file_);
+        append_file_ = nullptr;
+        std::error_code ec;
+        std::filesystem::resize_file(SegmentPath(append_segment_),
+                                     append_offset_, ec);
+        if (!ec) (void)OpenSegmentForAppend(append_segment_);
+        return err;
+      }
+      append_offset_ = offset;
+      uint64_t live_phys = 0, live_logical = 0, count = 0;
+      for (const Out& out : outs) {
+        const Flat& fl = flats[out.idx];
+        bool repointed = false;
+        {
+          Shard& shard = ShardFor(fl.id);
+          std::lock_guard<std::mutex> shard_lock(shard.mu);
+          auto it = shard.index.find(fl.id);
+          if (it != shard.index.end() &&
+              it->second.segment == fl.old_loc.segment &&
+              it->second.offset == fl.old_loc.offset) {
+            it->second = out.loc;
+            repointed = true;
+          }
+        }
+        if (!repointed) continue;  // moved/erased meanwhile: copy is dead
+        live_phys += out.loc.header + out.loc.length;
+        live_logical += out.loc.logical;
+        NoteDead(fl.old_loc.segment,
+                 fl.old_loc.header + static_cast<uint64_t>(fl.old_loc.length),
+                 fl.old_loc.logical);
+        physical_bytes_.fetch_add(out.loc.length, std::memory_order_relaxed);
+        physical_bytes_.fetch_sub(fl.old_loc.length,
+                                  std::memory_order_relaxed);
+        ForgetDelta(fl.id);
+        ++count;
+      }
+      NoteAppend(append_segment_, buffer.size(), live_phys, live_logical);
+      flattened_chains_.fetch_add(count, std::memory_order_relaxed);
+      buffer.clear();
+      outs.clear();
+      return Status::OK();
+    };
+
+    status = [&]() -> Status {
+      for (size_t i = 0; i < flats.size(); ++i) {
+        if (offset >= options_.segment_bytes) {
+          FB_RETURN_IF_ERROR(flush());
+          rolled.push_back(append_segment_);
+          FB_RETURN_IF_ERROR(OpenSegmentForAppend(append_segment_ + 1));
+          offset = append_offset_;
+        }
+        const std::string& logical = flats[i].logical;
+        const Hash256& id = flats[i].id;
+        Location loc;
+        loc.segment = append_segment_;
+        loc.logical = static_cast<uint32_t>(logical.size());
+        std::string lz;
+        if (options_.compression == Compression::kLz) {
+          LzCompressBlock(Slice(logical), &lz);
+          if (lz.size() > logical.size() - logical.size() / 16) lz.clear();
+        }
+        if (!lz.empty()) {
+          AppendHeader2(&buffer, id, static_cast<uint32_t>(lz.size()), kEncLz,
+                        loc.logical);
+          buffer.append(lz);
+          loc.length = static_cast<uint32_t>(lz.size());
+          loc.enc = kEncLz;
+          loc.header = static_cast<uint8_t>(kHeader2Bytes);
+        } else {
+          AppendRecord(&buffer, id, Slice(logical));
+          loc.length = loc.logical;
+          loc.enc = kEncRaw;
+          loc.header = static_cast<uint8_t>(kHeaderBytes);
+        }
+        loc.offset = offset + loc.header;
+        outs.push_back(Out{i, loc});
+        offset += loc.header + loc.length;
+      }
+      return flush();
+    }();
+  }
+  for (uint32_t seg : rolled) MaybeScheduleCompaction(seg);
+  return status;
+}
+
 Status FileChunkStore::Erase(std::span<const Hash256> ids) {
+  // Phase 0: live delta dependents of the dying ids are re-appended
+  // self-contained. If this cannot be persisted the erase fails with the
+  // store unchanged (the re-appends are idempotent dead bytes at worst) —
+  // erasing anyway would leave chains that cannot be resolved.
+  FB_RETURN_IF_ERROR(FlattenDependentsOf(ids));
+
   // Phase 1: drop index entries. From here the chunks are unreadable; the
   // journal record below only makes that survive a reopen.
   std::vector<std::pair<Hash256, Location>> erased;
@@ -545,6 +1118,12 @@ Status FileChunkStore::Erase(std::span<const Hash256> ids) {
   chunk_count_.fetch_sub(erased.size(), std::memory_order_relaxed);
   physical_bytes_.fetch_sub(erased_bytes, std::memory_order_relaxed);
   erased_chunks_.fetch_add(erased.size(), std::memory_order_relaxed);
+  // The erased ids' own chain edges are dead (a delta that got erased, or a
+  // base whose dependents were flattened above).
+  for (const auto& [id, loc] : erased) {
+    (void)loc;
+    ForgetDelta(id);
+  }
 
   // Phase 2: journal one tombstone per erased id, in one append run. Ids
   // that were re-Put between phase 1 and here are skipped — their fresh
@@ -584,6 +1163,7 @@ Status FileChunkStore::Erase(std::span<const Hash256> ids) {
           (options_.fsync_on_flush && ::fsync(fileno(append_file_)) != 0)) {
         Status err = Status::IOError("tombstone append failed: " +
                                      std::string(strerror(errno)));
+        window_.clear();
         std::fclose(append_file_);
         append_file_ = nullptr;
         std::error_code ec;
@@ -593,7 +1173,7 @@ Status FileChunkStore::Erase(std::span<const Hash256> ids) {
         return err;
       }
       append_offset_ += buffer.size();
-      NoteAppend(append_segment_, buffer.size(), 0);  // tombstones are dead
+      NoteAppend(append_segment_, buffer.size(), 0, 0);  // tombstones: dead
       tombstone_records_.fetch_add(tombstones, std::memory_order_relaxed);
       return Status::OK();
     }();
@@ -608,7 +1188,8 @@ Status FileChunkStore::Erase(std::span<const Hash256> ids) {
   std::vector<uint32_t> affected;
   for (const auto& [id, loc] : erased) {
     (void)id;
-    NoteDead(loc.segment, RecordBytes(loc.length));
+    NoteDead(loc.segment, loc.header + static_cast<uint64_t>(loc.length),
+             loc.logical);
     if (std::find(affected.begin(), affected.end(), loc.segment) ==
         affected.end()) {
       affected.push_back(loc.segment);
@@ -619,19 +1200,23 @@ Status FileChunkStore::Erase(std::span<const Hash256> ids) {
 }
 
 void FileChunkStore::NoteAppend(uint32_t segment, uint64_t appended,
-                                uint64_t live) {
+                                uint64_t live, uint64_t live_logical) {
   std::lock_guard<std::mutex> lock(seg_mu_);
   SegmentSpace& space = segments_[segment];
   space.total_bytes += appended;
   space.live_bytes += live;
+  space.live_logical_bytes += live_logical;
 }
 
-void FileChunkStore::NoteDead(uint32_t segment, uint64_t record_bytes) {
+void FileChunkStore::NoteDead(uint32_t segment, uint64_t record_bytes,
+                              uint64_t logical_bytes) {
   std::lock_guard<std::mutex> lock(seg_mu_);
   auto it = segments_.find(segment);
   if (it == segments_.end()) return;
   it->second.live_bytes -=
       std::min<uint64_t>(it->second.live_bytes, record_bytes);
+  it->second.live_logical_bytes -=
+      std::min<uint64_t>(it->second.live_logical_bytes, logical_bytes);
 }
 
 bool FileChunkStore::BelowLiveRatio(const SegmentSpace& space) const {
@@ -684,11 +1269,12 @@ void FileChunkStore::CompactSegment(uint32_t segment) {
   uint64_t moved_live = 0;
   // Segments the moved records landed in. Batches are flushed to the OS but
   // NOT fsynced under append_mu_ — the old segment stays intact until the
-  // truncate below, so crash replay recovers the original records (replay
-  // keeps the first copy of a duplicated id). One by-path fsync per target
-  // segment right before the truncate, outside every lock, gives the same
-  // durability ordering at a fraction of the sync count — and keeps
-  // concurrent rewrites from serializing on the device behind append_mu_.
+  // truncate below, so crash replay recovers the records (replay keeps the
+  // last copy of a duplicated id, and both copies decode to the same
+  // bytes). One by-path fsync per target segment right before the truncate,
+  // outside every lock, gives the same durability ordering at a fraction of
+  // the sync count — and keeps concurrent rewrites from serializing on the
+  // device behind append_mu_.
   std::vector<uint32_t> new_homes;
   if (!entries.empty()) {
     std::FILE* f = std::fopen(path.c_str(), "rb");
@@ -696,19 +1282,30 @@ void FileChunkStore::CompactSegment(uint32_t segment) {
       aborted = true;
     } else {
       // Stream the live records in bounded batches (the same shape as GC's
-      // CopyLive sweep): read a run from the old file, append it to the
-      // active segment in one flushed run, then repoint the index entries
-      // that still reference their old location.
+      // CopyLive sweep): read a run from the old file, re-encode it (delta
+      // records are materialized self-contained — the rewrite is where
+      // chains die — and raw records pick up compression when the store
+      // has it on), append it to the active segment in one flushed run,
+      // then repoint the index entries that still reference their old
+      // location.
       const size_t kBatch = 128;
-      std::string payload;
+      struct Move {
+        size_t entry_idx;
+        uint8_t enc;
+        uint8_t header;
+        uint32_t length;
+        uint32_t logical;
+        bool flattened;
+      };
       for (size_t start = 0; start < entries.size() && !aborted;
            start += kBatch) {
         const size_t n = std::min(kBatch, entries.size() - start);
         std::string buffer;
-        std::vector<uint32_t> lens(n);
-        for (size_t i = 0; i < n; ++i) {
+        std::vector<Move> moves;
+        moves.reserve(n);
+        for (size_t i = 0; i < n && !aborted; ++i) {
           const auto& [id, loc] = entries[start + i];
-          payload.resize(loc.length);
+          std::string payload(loc.length, '\0');
           if (std::fseek(f, static_cast<long>(loc.offset), SEEK_SET) != 0 ||
               std::fread(payload.data(), 1, loc.length, f) != loc.length) {
             // Unreadable live record: leave the whole segment in place
@@ -716,10 +1313,69 @@ void FileChunkStore::CompactSegment(uint32_t segment) {
             aborted = true;
             break;
           }
-          lens[i] = loc.length;
-          AppendRecord(&buffer, id, Slice(payload));
+          Move mv{start + i, loc.enc, loc.header, loc.length, loc.logical,
+                  false};
+          if (loc.enc == kEncDelta) {
+            // Flatten: materialize and re-encode self-contained. If the
+            // chain cannot be resolved, distinguish "the record moved or
+            // was erased under us" (skip it — its copy would lose the
+            // repoint race anyway) from genuine corruption (abort, keep
+            // the segment).
+            auto logical = DecodePayload(id, loc, std::move(payload), 0);
+            if (!logical.ok()) {
+              Location now;
+              if (!Lookup(id, &now) || now.segment != loc.segment ||
+                  now.offset != loc.offset) {
+                continue;  // superseded meanwhile; nothing to move
+              }
+              aborted = true;
+              break;
+            }
+            mv.flattened = true;
+            payload = std::move(*logical);
+            std::string lz;
+            if (options_.compression == Compression::kLz) {
+              LzCompressBlock(Slice(payload), &lz);
+              if (lz.size() > payload.size() - payload.size() / 16) {
+                lz.clear();
+              }
+            }
+            if (!lz.empty()) {
+              mv.enc = kEncLz;
+              mv.header = static_cast<uint8_t>(kHeader2Bytes);
+              mv.length = static_cast<uint32_t>(lz.size());
+              AppendHeader2(&buffer, id, mv.length, kEncLz, mv.logical);
+              buffer.append(lz);
+            } else {
+              mv.enc = kEncRaw;
+              mv.header = static_cast<uint8_t>(kHeaderBytes);
+              mv.length = static_cast<uint32_t>(payload.size());
+              AppendRecord(&buffer, id, Slice(payload));
+            }
+          } else if (loc.enc == kEncRaw &&
+                     options_.compression == Compression::kLz) {
+            // The rewrite is a free shot at compressing legacy records.
+            std::string lz;
+            LzCompressBlock(Slice(payload), &lz);
+            if (lz.size() <= payload.size() - payload.size() / 16) {
+              mv.enc = kEncLz;
+              mv.header = static_cast<uint8_t>(kHeader2Bytes);
+              mv.length = static_cast<uint32_t>(lz.size());
+              AppendHeader2(&buffer, id, mv.length, kEncLz, mv.logical);
+              buffer.append(lz);
+            } else {
+              AppendRecord(&buffer, id, Slice(payload));
+            }
+          } else if (loc.enc == kEncRaw) {
+            AppendRecord(&buffer, id, Slice(payload));
+          } else {
+            // Compressed records move verbatim — no point re-coding.
+            AppendHeader2(&buffer, id, mv.length, mv.enc, mv.logical);
+            buffer.append(payload);
+          }
+          moves.push_back(mv);
         }
-        if (aborted) break;
+        if (aborted || buffer.empty()) continue;
 
         std::lock_guard<std::mutex> lock(append_mu_);
         if (!append_file_) {
@@ -737,6 +1393,7 @@ void FileChunkStore::CompactSegment(uint32_t segment) {
         if (std::fwrite(buffer.data(), 1, buffer.size(), append_file_) !=
                 buffer.size() ||
             std::fflush(append_file_) != 0) {
+          window_.clear();
           std::fclose(append_file_);
           append_file_ = nullptr;
           std::error_code ec;
@@ -752,30 +1409,59 @@ void FileChunkStore::CompactSegment(uint32_t segment) {
         uint64_t offset = append_offset_;
         append_offset_ += buffer.size();
         uint64_t batch_live = 0;
-        for (size_t i = 0; i < n; ++i) {
-          const auto& [id, old_loc] = entries[start + i];
-          Location fresh{append_segment_, offset + kHeaderBytes, lens[i]};
-          offset += RecordBytes(lens[i]);
-          Shard& shard = ShardFor(id);
-          std::lock_guard<std::mutex> shard_lock(shard.mu);
-          auto it = shard.index.find(id);
-          // Repoint only if the entry still references the record we
-          // copied; an id erased (or tombstoned-and-re-put) meanwhile
-          // leaves its copy as immediately-dead bytes in the new segment.
-          if (it != shard.index.end() &&
-              it->second.segment == old_loc.segment &&
-              it->second.offset == old_loc.offset) {
-            it->second = fresh;
-            batch_live += RecordBytes(lens[i]);
+        uint64_t batch_live_logical = 0;
+        uint64_t old_live = 0;
+        uint64_t old_live_logical = 0;
+        uint64_t flattened = 0;
+        for (const Move& mv : moves) {
+          const auto& [id, old_loc] = entries[mv.entry_idx];
+          Location fresh;
+          fresh.segment = append_segment_;
+          fresh.offset = offset + mv.header;
+          fresh.length = mv.length;
+          fresh.logical = mv.logical;
+          fresh.enc = mv.enc;
+          fresh.header = mv.header;
+          offset += static_cast<uint64_t>(mv.header) + mv.length;
+          bool repointed = false;
+          {
+            Shard& shard = ShardFor(id);
+            std::lock_guard<std::mutex> shard_lock(shard.mu);
+            auto it = shard.index.find(id);
+            // Repoint only if the entry still references the record we
+            // copied; an id erased (or tombstoned-and-re-put) meanwhile
+            // leaves its copy as immediately-dead bytes in the new segment.
+            if (it != shard.index.end() &&
+                it->second.segment == old_loc.segment &&
+                it->second.offset == old_loc.offset) {
+              it->second = fresh;
+              repointed = true;
+            }
+          }
+          if (!repointed) continue;
+          batch_live += static_cast<uint64_t>(mv.header) + mv.length;
+          batch_live_logical += mv.logical;
+          old_live += static_cast<uint64_t>(old_loc.header) + old_loc.length;
+          old_live_logical += old_loc.logical;
+          physical_bytes_.fetch_add(mv.length, std::memory_order_relaxed);
+          physical_bytes_.fetch_sub(old_loc.length,
+                                    std::memory_order_relaxed);
+          if (mv.flattened) {
+            ForgetDelta(id);
+            ++flattened;
           }
         }
-        NoteAppend(append_segment_, buffer.size(), batch_live);
+        NoteAppend(append_segment_, buffer.size(), batch_live,
+                   batch_live_logical);
         // The moved records are no longer live in the old segment. Keeping
         // its accounting honest batch-by-batch matters on the abort path:
         // an overcounted old segment could stop qualifying for rewrite
         // until a reopen recomputes live bytes.
-        NoteDead(segment, batch_live);
+        NoteDead(segment, old_live, old_live_logical);
         moved_live += batch_live;
+        if (flattened) {
+          flattened_chains_.fetch_add(flattened, std::memory_order_relaxed);
+        }
       }
       std::fclose(f);
     }
@@ -791,7 +1477,7 @@ void FileChunkStore::CompactSegment(uint32_t segment) {
         std::this_thread::sleep_for(options_.rewrite_sync_delay_for_testing);
       }
       if (!FsyncPath(SegmentPath(seg))) {
-        // Keep the old segment: both copies exist, replay keeps the first.
+        // Keep the old segment: both copies exist, replay keeps the last.
         aborted = true;
         break;
       }
@@ -876,9 +1562,19 @@ FileChunkStore::MaintenanceStats FileChunkStore::maintenance_stats() const {
       segments_rewritten_.load(std::memory_order_relaxed);
   stats.rewritten_bytes = rewritten_bytes_.load(std::memory_order_relaxed);
   stats.reclaimed_bytes = reclaimed_bytes_.load(std::memory_order_relaxed);
+  stats.delta_records = delta_records_.load(std::memory_order_relaxed);
+  stats.compressed_records =
+      compressed_records_.load(std::memory_order_relaxed);
+  stats.delta_chain_hops = delta_chain_hops_.load(std::memory_order_relaxed);
+  stats.flattened_chains = flattened_chains_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(seg_mu_);
     stats.pending_compactions = compactions_pending_;
+    for (const auto& [seg, space] : segments_) {
+      (void)seg;
+      stats.live_physical_bytes += space.live_bytes;
+      stats.live_logical_bytes += space.live_logical_bytes;
+    }
   }
   return stats;
 }

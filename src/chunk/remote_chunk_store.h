@@ -72,6 +72,15 @@ class RemoteChunkStore : public ChunkStore {
     return backend_->Erase(ids);
   }
   uint64_t space_used() const override { return backend_->space_used(); }
+  /// Physical-representation probes reach the backend directly (GC and
+  /// export planning run server-side); no round trip simulated.
+  bool GetDeltaBase(const Hash256& id, Hash256* base) const override {
+    return backend_->GetDeltaBase(id, base);
+  }
+  bool GetPhysicalRecord(const Hash256& id,
+                         PhysicalRecord* rec) const override {
+    return backend_->GetPhysicalRecord(id, rec);
+  }
   ChunkStoreStats stats() const override { return backend_->stats(); }
   /// Administrative sweep (GC, integrity checks); bypasses the network sim.
   void ForEach(const std::function<void(const Hash256&, const Chunk&)>& fn)

@@ -142,6 +142,20 @@ class TieredChunkStore : public ChunkStore {
   /// and the eviction tracker — an erased chunk is neither demoted nor
   /// counted again.
   Status Erase(std::span<const Hash256> ids) override;
+  /// Physical-representation probes ask the tier that holds the id's
+  /// record, hot first (the same precedence Get uses). Note a chunk the
+  /// hot tier stores raw may be chain-resident cold — callers asking
+  /// "what does THIS stack depend on" get the hot answer, which is the
+  /// copy reads resolve against.
+  bool GetDeltaBase(const Hash256& id, Hash256* base) const override {
+    if (hot_->Contains(id)) return hot_->GetDeltaBase(id, base);
+    return cold_->GetDeltaBase(id, base);
+  }
+  bool GetPhysicalRecord(const Hash256& id,
+                         PhysicalRecord* rec) const override {
+    if (hot_->Contains(id) && hot_->GetPhysicalRecord(id, rec)) return true;
+    return cold_->GetPhysicalRecord(id, rec);
+  }
   uint64_t space_used() const override {
     return hot_->space_used() + cold_->space_used();
   }

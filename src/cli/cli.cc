@@ -41,6 +41,7 @@ struct CliContext {
   uint64_t max_sessions = 0;
   uint64_t max_queued_requests = 0;
   bool gc_in_place = false;            // gc: sweep the store where it lives
+  bool verify_deep = false;            // verify: audit physical records too
   uint64_t retries = 3;                // client sync attempts (1 = no retry)
   uint64_t connect_timeout_ms = 10'000;
   uint64_t io_timeout_ms = 30'000;
@@ -153,6 +154,25 @@ Status ParseArgs(const std::vector<std::string>& args, CliContext* ctx) {
             "--segment-kb must be >= 1 (omit the flag for the default)");
       }
       ctx->config.segment_bytes = n << 10;
+    } else if (a == "--compress") {
+      ctx->config.compression = true;
+    } else if (a == "--delta-depth") {
+      std::string v;
+      FB_RETURN_IF_ERROR(next(&v));
+      FB_ASSIGN_OR_RETURN(uint64_t n, ParseCount(a, v, 128));
+      ctx->config.delta_chain_depth = static_cast<uint32_t>(n);
+    } else if (a == "--delta-window") {
+      std::string v;
+      FB_RETURN_IF_ERROR(next(&v));
+      FB_ASSIGN_OR_RETURN(uint64_t n, ParseCount(a, v, 1u << 10));
+      if (n == 0) {
+        return Status::InvalidArgument(
+            "--delta-window must be >= 1 (use --delta-depth 0 to disable "
+            "delta encoding)");
+      }
+      ctx->config.delta_window = static_cast<uint32_t>(n);
+    } else if (a == "--deep") {
+      ctx->verify_deep = true;
     } else if (a == "--in-place") {
       ctx->gc_in_place = true;
     } else if (a == "--max-outbox-kb") {
@@ -440,14 +460,57 @@ Status RunCommand(const std::string& cmd, CliContext& ctx, ForkBase& db,
     return WriteFile(pos[2], v.ToString());
   }
   if (cmd == "verify") {
-    if (pos.size() != 2) return Status::InvalidArgument("verify UID|KEY");
-    Hash256 uid;
-    if (!Hash256::FromBase32(pos[1], &uid)) {
-      // Treat as key: verify the branch head.
-      FB_ASSIGN_OR_RETURN(uid, db.Head(pos[1], ctx.branch));
+    if (pos.size() == 2) {
+      Hash256 uid;
+      if (!Hash256::FromBase32(pos[1], &uid)) {
+        // Treat as key: verify the branch head.
+        FB_ASSIGN_OR_RETURN(uid, db.Head(pos[1], ctx.branch));
+      }
+      FB_RETURN_IF_ERROR(db.Verify(uid));
+      out << "OK " << uid.ToBase32() << "\n";
+    } else if (pos.size() != 1 || !ctx.verify_deep) {
+      return Status::InvalidArgument("verify UID|KEY, or verify --deep");
     }
-    FB_RETURN_IF_ERROR(db.Verify(uid));
-    out << "OK " << uid.ToBase32() << "\n";
+    if (!ctx.verify_deep) return Status::OK();
+    // Deep audit: materialize every record in the store — resolving delta
+    // chains and decompressing along the way — and check the bytes re-hash
+    // to their id. This is the check that catches a stored-form bug
+    // (mis-applied delta, bad compression round trip) that logical-layer
+    // verification over one closure would only hit by luck.
+    ChunkStore* store = db.store();
+    std::vector<Hash256> ids;
+    uint64_t delta_records = 0;
+    uint64_t compressed_records = 0;
+    store->ForEachId([&](const Hash256& id, uint64_t) {
+      ids.push_back(id);
+      ChunkStore::PhysicalRecord rec;
+      if (store->GetPhysicalRecord(id, &rec)) {
+        if (rec.encoding == ChunkStore::Encoding::kDelta) ++delta_records;
+        if (rec.encoding == ChunkStore::Encoding::kCompressed) {
+          ++compressed_records;
+        }
+      }
+    });
+    uint64_t bad = 0;
+    FB_RETURN_IF_ERROR(ForEachChunkBatch(
+        *store, ids, kChunkSweepBatch,
+        [&](size_t index, StatusOr<Chunk>& chunk_or) -> Status {
+          if (!chunk_or.ok() || chunk_or->hash() != ids[index]) {
+            ++bad;
+            out << "BAD " << ids[index].ToBase32() << " "
+                << (chunk_or.ok() ? "hash mismatch"
+                                  : chunk_or.status().ToString())
+                << "\n";
+          }
+          return Status::OK();
+        }));
+    out << "deep: " << ids.size() << " records, " << delta_records
+        << " delta, " << compressed_records << " compressed, " << bad
+        << " bad\n";
+    if (bad > 0) {
+      return Status::Corruption(std::to_string(bad) +
+                                " record(s) failed the deep audit");
+    }
     return Status::OK();
   }
   if (cmd == "serve") {
@@ -695,6 +758,7 @@ std::string CliUsage() {
       "             [--maintenance-threads N] [--segment-kb N]\n"
       "             [--tier-cold DIR] [--tier-policy write-through|write-back]\n"
       "             [--tier-hot-budget-mb N]\n"
+      "             [--compress] [--delta-depth N] [--delta-window N]\n"
       "serve flags: [--max-outbox-kb N] [--handshake-timeout-ms N]\n"
       "             [--idle-timeout-ms N] [--request-timeout-ms N]\n"
       "             [--stall-timeout-ms N] [--session-rps N] [--global-rps N]\n"
@@ -720,6 +784,7 @@ std::string CliUsage() {
       "  push KEY FILE          export the branch head as a bundle\n"
       "  pull FILE              import a bundle and set the branch head\n"
       "  verify UID|KEY         tamper-evidence check\n"
+      "  verify [UID|KEY] --deep  also re-materialize every stored record\n"
       "  verify-all             verify every branch head\n"
       "  gc DEST_DIR            copy-collect live chunks into DEST_DIR\n"
       "  gc --in-place          erase garbage chunks out of --db in place\n"

@@ -8,10 +8,16 @@
 //
 // Two engineering bounds keep pages sane (standard practice in CDC systems):
 // a node never closes below `min_bytes`, and always closes at `max_bytes`.
+// The min clamp is load-bearing, not cosmetic: RollingHash::Roll can fire on
+// the very first full window (byte `window` of a node), so without it a
+// stream could open with a `window`-sized sliver chunk. The clamp must
+// therefore dominate the window — the constructor raises `min_bytes` to
+// `window` if a config says otherwise (both stock configs already do).
 // The rolling window resets at every node start, so boundary decisions
 // depend only on bytes within the current node — this is what lets an
 // incremental rebuild resynchronize with an existing chunk sequence at the
-// first coinciding boundary.
+// first coinciding boundary, and what makes cut points a pure function of
+// the byte stream regardless of how callers slice their writes.
 #ifndef FORKBASE_POSTREE_SPLITTER_H_
 #define FORKBASE_POSTREE_SPLITTER_H_
 
@@ -39,7 +45,11 @@ struct SplitConfig {
 class NodeSplitter {
  public:
   explicit NodeSplitter(const SplitConfig& cfg)
-      : cfg_(cfg), roller_(cfg.window, cfg.q_bits) {}
+      : cfg_(cfg), roller_(cfg.window, cfg.q_bits) {
+    // A pattern can fire as soon as the window first fills; min_bytes is the
+    // only thing standing between that and a sub-minimum chunk at node start.
+    if (cfg_.min_bytes < cfg_.window) cfg_.min_bytes = cfg_.window;
+  }
 
   /// Feeds one whole entry. Returns true iff the node must close after it.
   bool AddEntry(Slice entry) {

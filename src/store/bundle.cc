@@ -1,9 +1,12 @@
 #include "store/bundle.h"
 
 #include <algorithm>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "util/codec.h"
+#include "util/compress.h"
+#include "util/delta_codec.h"
 
 namespace forkbase {
 
@@ -11,6 +14,13 @@ namespace {
 
 constexpr uint32_t kBundleMagic = 0x46424e44;    // "FBND" — v1, frozen
 constexpr uint32_t kBundleMagicV2 = 0x46424432;  // "FBD2" — multi-head delta
+constexpr uint32_t kBundleMagicV3 = 0x46424433;  // "FBD3" — packed records
+// A v3 delta body is a 32-byte base id plus at least one delta byte.
+constexpr size_t kMinPackedDeltaBody = 33;
+// Ceiling on the in-bundle base chain the exporter will preserve. Longer
+// (or cyclic, which a healthy store cannot produce) chains are materialized
+// instead of shipped — the importer never needs more lookback than this.
+constexpr int kMaxBundleChainHops = 512;
 
 /// Streams the length-prefixed records of `ids` (already sorted) through
 /// `sink`, verifying each chunk re-hashes to its id. Reads are batched (and
@@ -116,6 +126,106 @@ StatusOr<BundleStats> ExportBundleOfIds(const ChunkStore& store,
   return stats;
 }
 
+StatusOr<BundleStats> ExportPackedBundleOfIds(
+    const ChunkStore& store, const std::vector<Hash256>& heads,
+    const std::vector<Hash256>& ids, const BundleSink& sink) {
+  if (heads.empty()) {
+    return Status::InvalidArgument("bundle export needs at least one head");
+  }
+  std::vector<Hash256> sorted = ids;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  const std::unordered_set<Hash256, Hash256Hasher> in_set(sorted.begin(),
+                                                          sorted.end());
+
+  // In-bundle chain depth of an id: how many GetDeltaBase hops stay inside
+  // the shipped set. Records sort by (depth, id), which is exactly the
+  // base-before-dependent order the importer relies on. A hop count past
+  // kMaxBundleChainHops marks the id for materialization (-1) — a healthy
+  // store never produces such a chain, so this is a corruption firewall,
+  // not a tuning knob.
+  auto chain_depth = [&](const Hash256& id) -> int {
+    int depth = 0;
+    Hash256 cur = id;
+    Hash256 base;
+    while (store.GetDeltaBase(cur, &base) && in_set.count(base)) {
+      if (++depth > kMaxBundleChainHops) return -1;
+      cur = base;
+    }
+    return depth;
+  };
+  std::vector<std::pair<int, Hash256>> order;
+  order.reserve(sorted.size());
+  for (const auto& id : sorted) order.emplace_back(chain_depth(id), id);
+  std::sort(order.begin(), order.end());
+
+  BundleStats stats;
+  std::string header;
+  PutFixed32(&header, kBundleMagicV3);
+  PutVarint64(&header, heads.size());
+  for (const auto& head : heads) {
+    header.append(reinterpret_cast<const char*>(head.bytes.data()), 32);
+  }
+  PutVarint64(&header, order.size());
+  FB_RETURN_IF_ERROR(SinkString(sink, header, &stats));
+
+  std::string body;
+  std::string record;
+  for (const auto& [depth, id] : order) {
+    body.clear();
+    uint8_t enc = 0;
+    ChunkStore::PhysicalRecord rec;
+    bool packed = depth >= 0 && store.GetPhysicalRecord(id, &rec);
+    if (packed) {
+      switch (rec.encoding) {
+        case ChunkStore::Encoding::kDelta:
+          if (in_set.count(rec.delta_base)) {
+            enc = 2;
+            body.append(reinterpret_cast<const char*>(rec.delta_base.bytes.data()),
+                        32);
+            body.append(rec.payload);
+          } else {
+            // The receiver cannot be assumed to hold the base; rebuild and
+            // re-encode below.
+            packed = false;
+          }
+          break;
+        case ChunkStore::Encoding::kCompressed:
+          enc = 1;
+          body = std::move(rec.payload);
+          break;
+        case ChunkStore::Encoding::kRaw:
+          enc = 0;
+          body = std::move(rec.payload);
+          break;
+      }
+    }
+    if (!packed) {
+      // Materialize fallback: stores without a reduced physical form (and
+      // delta records whose base stayed home) ship logical bytes verbatim.
+      // Deliberately no opportunistic wire compression here — the packed
+      // format forwards what the store already paid to encode; it does not
+      // introduce a second compression policy of its own.
+      FB_ASSIGN_OR_RETURN(Chunk chunk, store.Get(id));
+      if (chunk.hash() != id) {
+        return Status::Corruption("chunk " + id.ToBase32() +
+                                  " is tampered; refusing to export");
+      }
+      enc = 0;
+      body.assign(chunk.bytes().data(), chunk.size());
+    }
+    if (enc == 2) ++stats.delta_chunks;
+    if (enc == 1) ++stats.compressed_chunks;
+    record.clear();
+    PutVarint64(&record, body.size());
+    record.push_back(static_cast<char>(enc));
+    record.append(body);
+    FB_RETURN_IF_ERROR(SinkString(sink, record, &stats));
+    ++stats.chunks;
+  }
+  return stats;
+}
+
 StatusOr<ImportResult> ImportBundle(Slice bundle, ChunkStore* dst) {
   BundleImporter importer(dst);
   FB_RETURN_IF_ERROR(importer.Feed(bundle));
@@ -153,10 +263,12 @@ Status BundleImporter::Parse() {
       Decoder dec(rest);
       uint32_t magic = 0;
       dec.GetFixed32(&magic);
-      if (magic != kBundleMagic && magic != kBundleMagicV2) {
+      if (magic != kBundleMagic && magic != kBundleMagicV2 &&
+          magic != kBundleMagicV3) {
         return Fail("not a ForkBase bundle");
       }
       pos += 4;
+      packed_ = magic == kBundleMagicV3;
       if (magic == kBundleMagic) {
         heads_expected_ = 1;
         state_ = State::kHeadList;
@@ -212,14 +324,55 @@ Status BundleImporter::Parse() {
       if (len > kMaxChunkRecordBytes) {
         return Fail("bundle: absurd chunk record length");
       }
-      if (dec.remaining() < len) break;
-      const size_t prefix = dec.position();
+      // A packed (v3) record carries a 1-byte encoding tag between the
+      // length and the body.
+      const size_t body_extra = packed_ ? 1 : 0;
+      if (dec.remaining() < len + body_extra) break;
+      const size_t prefix = dec.position() + body_extra;
+      std::string chunk_bytes;
+      if (packed_) {
+        const uint8_t enc =
+            static_cast<uint8_t>(rest.data()[dec.position()]);
+        const Slice body(rest.data() + prefix, len);
+        if (enc == 0) {
+          chunk_bytes.assign(body.data(), body.size());
+        } else if (enc == 1) {
+          if (!LzDecompressBlock(body, &chunk_bytes)) {
+            return Fail("bundle: malformed compressed record");
+          }
+        } else if (enc == 2) {
+          // The exporter orders bases before dependents, so the base is
+          // already admitted to dst — resolve it there, not from staging.
+          if (body.size() < kMinPackedDeltaBody) {
+            return Fail("bundle: short delta record");
+          }
+          Hash256 base;
+          std::memcpy(base.bytes.data(), body.data(), 32);
+          auto base_chunk = dst_->Get(base);
+          if (!base_chunk.ok()) {
+            if (base_chunk.status().IsNotFound()) {
+              return Fail("bundle: delta base " + base.ToBase32() +
+                          " not resident at import time");
+            }
+            error_ = base_chunk.status();
+            return error_;
+          }
+          if (!ApplyDelta(base_chunk->bytes(),
+                          Slice(body.data() + 32, body.size() - 32),
+                          &chunk_bytes)) {
+            return Fail("bundle: delta record does not apply to its base");
+          }
+        } else {
+          return Fail("bundle: unknown record encoding");
+        }
+      } else {
+        chunk_bytes.assign(rest.data() + prefix, len);
+      }
       // Self-verification: the id is recomputed from the bytes, so a chunk
       // can be admitted the moment its record completes — a record the wire
-      // corrupted simply lands under a different id and the closure check
-      // at Finish() reports the gap.
-      Chunk chunk =
-          Chunk::FromBytes(std::string(rest.data() + prefix, len));
+      // corrupted simply lands under a different id (or fails its codec's
+      // own guards above) and the closure check at Finish() reports the gap.
+      Chunk chunk = Chunk::FromBytes(std::move(chunk_bytes));
       const bool already = dst_->Contains(chunk.hash());
       Status put = dst_->Put(chunk);
       if (!put.ok()) {

@@ -8,7 +8,7 @@
 // declared id, and the requested uids must be present, before anything is
 // admitted to the destination store.
 //
-// Two wire layouts, distinguished by magic:
+// Three wire layouts, distinguished by magic:
 //   v1 "FBND": [magic][32B head][varint n][length-prefixed chunk bytes × n]
 //              — single head, full closure; byte layout frozen (tooling and
 //              tests poke fixed offsets).
@@ -18,7 +18,25 @@
 //              records may be any subset: the import closure check runs
 //              against bundle ∪ destination, which is what makes
 //              incremental push ship only missing chunks.
-// Both sort chunk records by id, so equal inputs give byte-equal bundles.
+//   v3 "FBD3": header identical to v2, but each record is
+//              [varint body_len][u8 enc][body] where enc selects the body's
+//              form: 0 = raw chunk bytes, 1 = an LZ block of the chunk
+//              bytes (util/compress.h), 2 = [32B base id][delta bytes]
+//              (util/delta_codec.h) against a chunk that appears EARLIER in
+//              the same bundle. The exporter lifts these straight out of a
+//              delta-encoding store's physical records (no materialize +
+//              recompress round trip on the hot push path) and orders
+//              records base-before-dependent, so the importer can resolve
+//              every delta against chunks it has already admitted. A delta
+//              whose base is outside the shipped set is materialized and
+//              shipped raw instead — v3 bundles are always self-contained
+//              in their physical dependencies even when the logical closure
+//              is a subset.
+// v1/v2 sort chunk records by id, so equal inputs give byte-equal bundles.
+// v3 sorts by (delta chain depth within the bundle, id): byte-equal for
+// equal store states, but the same logical chunks can pack differently on
+// stores whose physical representation differs — ids, not bundle bytes, are
+// the canonical identity.
 #ifndef FORKBASE_STORE_BUNDLE_H_
 #define FORKBASE_STORE_BUNDLE_H_
 
@@ -39,6 +57,10 @@ using BundleSink = std::function<Status(Slice)>;
 struct BundleStats {
   uint64_t chunks = 0;  ///< chunk records written
   uint64_t bytes = 0;   ///< total bundle bytes pushed through the sink
+  /// v3 (packed) exports only: how many records went out in each reduced
+  /// form. `chunks - delta_chunks - compressed_chunks` shipped raw.
+  uint64_t delta_chunks = 0;
+  uint64_t compressed_chunks = 0;
 };
 
 /// Serializes the closure of `uid` (value tree + full derivation history)
@@ -67,6 +89,23 @@ StatusOr<BundleStats> ExportBundleOfIds(const ChunkStore& store,
                                         const std::vector<Hash256>& heads,
                                         const std::vector<Hash256>& ids,
                                         const BundleSink& sink);
+
+/// Packed explicit-set export (v3): same contract as ExportBundleOfIds, but
+/// records ship in the store's physical form where that is safe — an
+/// LZ-compressed record goes out as its compressed payload verbatim, and a
+/// delta record whose base is also in `ids` goes out as the stored delta,
+/// ordered after its base. Records the receiver could not reconstruct from
+/// the bundle alone (delta against an out-of-set base) are materialized and
+/// shipped raw. On a store without physical records (GetPhysicalRecord
+/// returns false for everything) every chunk is materialized and the export
+/// degenerates to "v3 framing, raw bodies" — a v2 pack plus one tag byte
+/// per record. End-to-end integrity moves to the importer: each record is
+/// rebuilt and re-hashed at the destination, so a corrupt payload fails the
+/// import rather than the export.
+StatusOr<BundleStats> ExportPackedBundleOfIds(const ChunkStore& store,
+                                              const std::vector<Hash256>& heads,
+                                              const std::vector<Hash256>& ids,
+                                              const BundleSink& sink);
 
 /// Result of importing a bundle.
 struct ImportResult {
@@ -124,6 +163,7 @@ class BundleImporter {
 
   ChunkStore* dst_;
   State state_ = State::kMagic;
+  bool packed_ = false;  ///< v3: records carry an encoding tag
   std::string buffer_;
   Status error_;
   ImportResult result_;

@@ -64,6 +64,11 @@ StatusOr<std::unique_ptr<ForkBase>> ForkBase::Open(const std::string& path,
   store_options.prefetch_threads = config.prefetch_threads;
   store_options.fsync_on_flush = config.fsync;
   store_options.maintenance_threads = config.maintenance_threads;
+  store_options.compression = config.compression
+                                  ? FileChunkStore::Compression::kLz
+                                  : FileChunkStore::Compression::kNone;
+  store_options.delta_chain_depth = config.delta_chain_depth;
+  store_options.delta_window = config.delta_window;
   if (config.tier.hot_bytes_budget > 0) {
     // A bounded hot tier wants segments much smaller than the budget:
     // eviction reclaims disk at segment-rewrite granularity, and the
@@ -91,6 +96,11 @@ StatusOr<std::unique_ptr<ForkBase>> ForkBase::Open(const std::string& path,
         config.prefetch_threads > 0 ? config.prefetch_threads : 1;
     cold_options.fsync_on_flush = config.fsync;
     cold_options.maintenance_threads = config.maintenance_threads;
+    cold_options.compression = config.compression
+                                   ? FileChunkStore::Compression::kLz
+                                   : FileChunkStore::Compression::kNone;
+    cold_options.delta_chain_depth = config.delta_chain_depth;
+    cold_options.delta_window = config.delta_window;
     if (config.segment_bytes > 0) {
       cold_options.segment_bytes = config.segment_bytes;
     }
@@ -800,6 +810,12 @@ ForkBaseStats ForkBase::Stat() const {
       maintenance.rewritten_bytes += ms.rewritten_bytes;
       maintenance.reclaimed_bytes += ms.reclaimed_bytes;
       maintenance.pending_compactions += ms.pending_compactions;
+      maintenance.delta_records += ms.delta_records;
+      maintenance.compressed_records += ms.compressed_records;
+      maintenance.delta_chain_hops += ms.delta_chain_hops;
+      maintenance.flattened_chains += ms.flattened_chains;
+      maintenance.live_physical_bytes += ms.live_physical_bytes;
+      maintenance.live_logical_bytes += ms.live_logical_bytes;
     }
     stats.maintenance = maintenance;
   }
@@ -863,6 +879,12 @@ std::vector<std::pair<std::string, std::string>> ForkBaseStats::ToKeyValues()
     add("maintenance_rewritten_bytes", maintenance->rewritten_bytes);
     add("maintenance_reclaimed_bytes", maintenance->reclaimed_bytes);
     add("maintenance_pending_compactions", maintenance->pending_compactions);
+    add("storage_delta_records", maintenance->delta_records);
+    add("storage_compressed_records", maintenance->compressed_records);
+    add("storage_delta_chain_hops", maintenance->delta_chain_hops);
+    add("storage_flattened_chains", maintenance->flattened_chains);
+    add("storage_live_physical_bytes", maintenance->live_physical_bytes);
+    add("storage_live_logical_bytes", maintenance->live_logical_bytes);
   }
   if (tier) {
     add("tier_hot_space", tier->hot_space);

@@ -91,6 +91,14 @@ struct ForkBaseStats {
     uint64_t rewritten_bytes = 0;
     uint64_t reclaimed_bytes = 0;
     uint64_t pending_compactions = 0;  ///< rewrites queued but not finished
+    /// Storage-representation counters (non-zero only with compression /
+    /// delta encoding enabled; see docs/storage.md).
+    uint64_t delta_records = 0;       ///< chunks currently stored as deltas
+    uint64_t compressed_records = 0;  ///< chunks currently stored LZ'd
+    uint64_t delta_chain_hops = 0;    ///< chain hops resolved by reads
+    uint64_t flattened_chains = 0;    ///< delta records rewritten raw/LZ
+    uint64_t live_physical_bytes = 0; ///< live record bytes on disk
+    uint64_t live_logical_bytes = 0;  ///< what those records decode to
   };
   struct Tier {
     uint64_t hot_space = 0;   ///< hot-tier disk bytes in use
@@ -153,6 +161,22 @@ class ForkBase {
     /// GC reclaim fine-grained — space comes back per rewritten segment —
     /// at the price of more files.
     uint64_t segment_bytes = 0;
+
+    /// Storage-representation section (see docs/storage.md). All three
+    /// default off/0, which keeps every segment record in the legacy raw
+    /// FBC1 form — byte-identical to what older builds wrote. The knobs
+    /// apply to hot and cold file stores alike; chunk ids and reads are
+    /// unaffected either way (content addresses hash logical bytes).
+    ///
+    /// LZ-compress record payloads that shrink by at least 1/16.
+    bool compression = false;
+    /// Max delta-chain length. 0 disables delta encoding entirely; N > 0
+    /// lets a chunk be stored as a copy/insert delta against a recent
+    /// similar chunk, at most N hops from a self-contained record.
+    uint32_t delta_chain_depth = 0;
+    /// How many recently written chunks are kept as candidate delta bases.
+    /// Only consulted when delta_chain_depth > 0.
+    uint32_t delta_window = 8;
 
     /// Tiered-storage section. An empty cold_dir means a single tier.
     struct Tier {

@@ -99,6 +99,28 @@ StatusOr<std::unordered_set<Hash256, Hash256Hasher>> MarkLive(
   return live;
 }
 
+size_t ExpandPhysicalBases(const ChunkStore& store,
+                           std::unordered_set<Hash256, Hash256Hasher>* live) {
+  // Chase base edges to a fixpoint: a base can itself be chain-resident.
+  // The wave starts as the whole live set (one cheap GetDeltaBase probe per
+  // id — no chunk bodies are read) and shrinks to just-added ids after.
+  size_t added = 0;
+  std::vector<Hash256> wave(live->begin(), live->end());
+  while (!wave.empty()) {
+    std::vector<Hash256> next;
+    for (const Hash256& id : wave) {
+      Hash256 base;
+      if (!store.GetDeltaBase(id, &base)) continue;
+      if (live->insert(base).second) {
+        ++added;
+        next.push_back(base);
+      }
+    }
+    wave = std::move(next);
+  }
+  return added;
+}
+
 StatusOr<GcStats> CopyLive(const ForkBase& db, ChunkStore* dst) {
   const ChunkStore& src = *db.store();
   FB_ASSIGN_OR_RETURN(std::vector<Hash256> roots, CollectRoots(db));
@@ -139,6 +161,9 @@ StatusOr<GcStats> CopyLive(const ForkBase& db, ChunkStore* dst) {
 StatusOr<std::vector<Hash256>> FindGarbage(const ForkBase& db) {
   FB_ASSIGN_OR_RETURN(std::vector<Hash256> roots, CollectRoots(db));
   FB_ASSIGN_OR_RETURN(auto live, MarkLive(*db.store(), roots));
+  // A chain base under a live dependent is not garbage even when logically
+  // unreachable: the store needs its record to resolve reads.
+  ExpandPhysicalBases(*db.store(), &live);
   std::vector<Hash256> garbage;
   db.store()->ForEachId([&](const Hash256& id, uint64_t) {
     if (!live.count(id)) garbage.push_back(id);
@@ -184,6 +209,12 @@ StatusOr<GcStats> SweepInPlace(ForkBase* db, const SweepOptions& options) {
   FB_ASSIGN_OR_RETURN(std::vector<Hash256> roots, CollectRoots(*db));
   stats.roots = roots.size();
   FB_ASSIGN_OR_RETURN(auto live, MarkLive(*store, roots));
+  // Physical retention: a delta base stays while any live dependent needs
+  // it, even when nothing logically reachable references it. Erasing one
+  // anyway would be survivable — the store flattens dependents at erase
+  // time — but that backstop turns a sweep into a rewrite storm; sparing
+  // the base is both cheaper and the accounting-honest choice.
+  ExpandPhysicalBases(*store, &live);
   std::vector<std::pair<Hash256, uint64_t>> garbage;
   for (const auto& [id, size] : candidates) {
     if (live.count(id)) {
@@ -215,6 +246,9 @@ StatusOr<GcStats> SweepInPlace(ForkBase* db, const SweepOptions& options) {
     if (now_roots != head_sig) {
       FB_ASSIGN_OR_RETURN(auto delta, MarkLive(*store, now_roots, &live));
       live.insert(delta.begin(), delta.end());
+      // Resurrected chunks may be chain-resident: re-expand so their bases
+      // leave the erase queue too.
+      ExpandPhysicalBases(*store, &live);
       head_sig = std::move(now_roots);
     }
 

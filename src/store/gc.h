@@ -92,6 +92,19 @@ StatusOr<std::unordered_set<Hash256, Hash256Hasher>> MarkLive(
     const std::unordered_set<Hash256, Hash256Hasher>* exclude = nullptr,
     const std::function<Status(const Chunk&)>& visit = nullptr);
 
+/// Adds to `live` every chunk some member of `live` PHYSICALLY depends on:
+/// delta-encoded stores resolve a chain-resident chunk through its base
+/// record, so erasing the base would force the store to rewrite every
+/// dependent at erase time (the flatten backstop) — or, absent that, strand
+/// the chain. Deliberately NOT part of MarkLive: physical bases are a
+/// property of one store's representation, not of logical reachability, and
+/// folding them into the mark would pollute the bundle/sync delta closures
+/// and CopyLive's copy set (a base's own children are not logically live).
+/// Returns the number of ids added. No-op (0) on stores without delta
+/// records.
+size_t ExpandPhysicalBases(const ChunkStore& store,
+                           std::unordered_set<Hash256, Hash256Hasher>* live);
+
 /// Marks from all branch heads of `db` (with full history) and copies the
 /// live set into `dst`. Returns accounting for both sides. `dst` may be
 /// non-empty; Put is idempotent. The live set is read exactly once (the

@@ -59,17 +59,32 @@ bool Decoder::GetFixed64(uint64_t* v) {
 }
 
 bool Decoder::GetVarint64(uint64_t* v) {
+  const size_t start = pos_;
   uint64_t r = 0;
   int shift = 0;
   while (pos_ < in_.size() && shift <= 63) {
     uint8_t b = in_.byte(pos_++);
     r |= static_cast<uint64_t>(b & 0x7f) << shift;
     if ((b & 0x80) == 0) {
+      // Canonical minimal form only (the codec.h contract): a zero final
+      // byte after a continuation byte is an overlong encoding of a value
+      // PutVarint64 would have emitted shorter, and the tenth byte can only
+      // carry bit 63. Accepting either would let two byte strings decode to
+      // one value — and desync VarintLength-based bookkeeping.
+      if (b == 0 && shift > 0) {
+        pos_ = start;
+        return false;
+      }
+      if (shift == 63 && b > 1) {
+        pos_ = start;
+        return false;
+      }
       *v = r;
       return true;
     }
     shift += 7;
   }
+  pos_ = start;
   return false;
 }
 

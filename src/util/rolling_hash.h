@@ -34,7 +34,9 @@ class RollingHash {
   void Reset();
 
   /// Feeds one byte; returns true iff the window is full and the pattern
-  /// fires at this position.
+  /// fires at this position. Note this can be true on the very first full
+  /// window (the `window`-th byte after Reset) — a minimum chunk size is the
+  /// caller's job (NodeSplitter clamps with min_bytes >= window).
   bool Roll(uint8_t b) {
     const bool full = filled_ >= window_;
     hash_ = Rotl1(hash_);

@@ -94,6 +94,43 @@ TEST(DeltaStoreTest, ReconstructionMatchesInput) {
   EXPECT_GT(store.stats().snapshots, 1u) << "periodic snapshots expected";
 }
 
+// Pins the interval semantics at the degenerate settings (the spot where an
+// off-by-one in `parent_chain + 1 >= snapshot_interval_` would hide): a
+// chain carries at most interval-1 deltas, so interval 1 snapshots EVERY
+// version and interval 2 alternates snapshot/delta.
+TEST(DeltaStoreTest, IntervalOneSnapshotsEveryVersion) {
+  DeltaStore store(/*snapshot_interval=*/1);
+  DeltaStore::RowMap rows = MakeRows(40, 9);
+  for (int v = 0; v < 6; ++v) {
+    rows["row0"] = "edit " + std::to_string(v);
+    ASSERT_TRUE(store.Put("ds", "master", rows).ok());
+  }
+  EXPECT_EQ(store.stats().snapshots, 6u);
+  EXPECT_EQ(store.stats().versions, 6u);
+  auto got = store.Get("ds", "master");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ((*got)["row0"], "edit 5");
+}
+
+TEST(DeltaStoreTest, IntervalTwoAlternatesSnapshotAndDelta) {
+  DeltaStore store(/*snapshot_interval=*/2);
+  DeltaStore::RowMap rows = MakeRows(40, 10);
+  std::vector<DeltaStore::RowMap> history;
+  for (int v = 0; v < 7; ++v) {
+    rows["row1"] = "edit " + std::to_string(v);
+    ASSERT_TRUE(store.Put("ds", "master", rows).ok());
+    history.push_back(rows);
+  }
+  // v1 snapshot, v2 delta, v3 snapshot, ... : ceil(7 / 2) snapshots.
+  EXPECT_EQ(store.stats().snapshots, 4u);
+  EXPECT_EQ(store.stats().versions, 7u);
+  for (size_t i = 0; i < history.size(); ++i) {
+    auto got = store.GetVersion(static_cast<DeltaStore::VersionId>(i + 1));
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, history[i]) << "version " << i + 1;
+  }
+}
+
 TEST(DeltaStoreTest, DeltasSmallerThanSnapshots) {
   DeltaStore store(/*snapshot_interval=*/1000);  // snapshot only the first
   DeltaStore::RowMap rows = MakeRows(1000, 3);

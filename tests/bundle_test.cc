@@ -4,11 +4,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
 #include <utility>
 
+#include "chunk/file_chunk_store.h"
 #include "chunk/mem_chunk_store.h"
 #include "store/bundle.h"
 #include "util/datagen.h"
+#include "util/random.h"
 
 namespace forkbase {
 namespace {
@@ -308,6 +311,166 @@ TEST(BundleTest, StreamingImporterRejectsTamperedRecordMidStream) {
   EXPECT_EQ(status.code(), StatusCode::kCorruption);
   // The error is sticky: the importer refuses everything after.
   EXPECT_FALSE(importer.Feed(Slice(bundle.data(), 1)).ok());
+}
+
+// ------------------------------------------------ packed (v3) bundles --
+
+TEST(PackedBundleTest, RawFallbackIsV2PlusOneTagBytePerRecord) {
+  auto store = std::make_shared<MemChunkStore>();
+  ForkBase db(store);
+  CsvGenOptions opts;
+  opts.num_rows = 500;
+  ASSERT_TRUE(db.PutTableFromCsv("ds", GenerateCsv(opts)).ok());
+  auto head = db.Head("ds");
+  ASSERT_TRUE(head.ok());
+  auto live = MarkLive(*store, {*head});
+  ASSERT_TRUE(live.ok());
+  std::vector<Hash256> ids(live->begin(), live->end());
+
+  std::string v2, v3;
+  auto collect = [](std::string* out) {
+    return [out](Slice bytes) {
+      out->append(bytes.data(), bytes.size());
+      return Status::OK();
+    };
+  };
+  auto s2 = ExportBundleOfIds(*store, {*head}, ids, collect(&v2));
+  auto s3 = ExportPackedBundleOfIds(*store, {*head}, ids, collect(&v3));
+  ASSERT_TRUE(s2.ok() && s3.ok());
+  EXPECT_EQ(s3->chunks, s2->chunks);
+  EXPECT_EQ(s3->delta_chunks, 0u) << "a MemChunkStore has no delta records";
+  EXPECT_EQ(s3->compressed_chunks, 0u);
+  // Identical header length, identical bodies, one encoding tag per record.
+  EXPECT_EQ(v3.size(), v2.size() + s2->chunks);
+
+  auto dst = std::make_shared<MemChunkStore>();
+  auto import = ImportBundle(Slice(v3), dst.get());
+  ASSERT_TRUE(import.ok()) << import.status().ToString();
+  EXPECT_EQ(import->chunks, s3->chunks);
+  EXPECT_EQ(import->head, *head);
+  ForkBase replica(dst);
+  replica.branches().SetHead("ds", "master", *head);
+  EXPECT_TRUE(replica.Verify(*head).ok());
+}
+
+TEST(PackedBundleTest, StreamingImporterHandlesPackedRecords) {
+  auto store = std::make_shared<MemChunkStore>();
+  ForkBase db(store);
+  ASSERT_TRUE(db.PutMap("k", {{"a", "1"}, {"b", "2"}, {"c", "3"}}).ok());
+  auto head = db.Head("k");
+  ASSERT_TRUE(head.ok());
+  auto live = MarkLive(*store, {*head});
+  ASSERT_TRUE(live.ok());
+  std::vector<Hash256> ids(live->begin(), live->end());
+  std::string packed;
+  ASSERT_TRUE(ExportPackedBundleOfIds(*store, {*head}, ids,
+                                      [&](Slice bytes) {
+                                        packed.append(bytes.data(),
+                                                      bytes.size());
+                                        return Status::OK();
+                                      })
+                  .ok());
+
+  // Byte-at-a-time feed: the tag byte must not confuse record framing.
+  auto dst = std::make_shared<MemChunkStore>();
+  BundleImporter importer(dst.get());
+  for (size_t i = 0; i < packed.size(); ++i) {
+    ASSERT_TRUE(importer.Feed(Slice(packed.data() + i, 1)).ok());
+  }
+  auto result = importer.Finish();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->chunks, ids.size());
+  EXPECT_TRUE(dst->Contains(*head));
+}
+
+TEST(PackedBundleTest, ShipsDeltaAndCompressedRecordsFromAnEncodedStore) {
+  // The payoff case: a source store that actually holds delta chains and LZ
+  // blocks exports them at their physical footprint, and the importer
+  // rebuilds every logical chunk bit-exactly on a store that knows nothing
+  // about the source's encoding.
+  const std::string dir =
+      ::testing::TempDir() + "/fb_bundle_encoded_src";
+  std::filesystem::remove_all(dir);
+  FileChunkStore::Options fopts;
+  fopts.compression = FileChunkStore::Compression::kLz;
+  fopts.delta_chain_depth = 3;
+  fopts.delta_window = 8;
+  auto fstore_or = FileChunkStore::Open(dir, fopts);
+  ASSERT_TRUE(fstore_or.ok());
+  auto& fstore = **fstore_or;
+
+  // A version chain (deltas) plus a repetitive chunk (compressed).
+  Rng rng(51);
+  std::string payload = rng.NextString(1024);
+  std::vector<Chunk> chunks;
+  for (int v = 0; v < 6; ++v) {
+    if (v > 0) payload[rng.Uniform(payload.size())] ^= 0x5a;
+    chunks.push_back(Chunk::Make(ChunkType::kCell, payload));
+  }
+  chunks.push_back(Chunk::Make(ChunkType::kCell,
+                               std::string(2048, 'z') + "unique tail"));
+  ASSERT_TRUE(fstore.PutMany(chunks).ok());
+
+  std::vector<Hash256> ids;
+  for (const auto& c : chunks) ids.push_back(c.hash());
+  std::string packed, raw;
+  auto collect = [](std::string* out) {
+    return [out](Slice bytes) {
+      out->append(bytes.data(), bytes.size());
+      return Status::OK();
+    };
+  };
+  auto sp = ExportPackedBundleOfIds(fstore, {chunks.front().hash()}, ids,
+                                    collect(&packed));
+  auto sr = ExportBundleOfIds(fstore, {chunks.front().hash()}, ids,
+                              collect(&raw));
+  ASSERT_TRUE(sp.ok() && sr.ok());
+  EXPECT_GT(sp->delta_chunks, 0u) << "the chain must cross the wire as deltas";
+  EXPECT_GT(sp->compressed_chunks, 0u);
+  EXPECT_LT(packed.size(), raw.size())
+      << "physical records must make the packed bundle smaller";
+
+  auto dst = std::make_shared<MemChunkStore>();
+  auto import = ImportBundle(Slice(packed), dst.get());
+  ASSERT_TRUE(import.ok()) << import.status().ToString();
+  EXPECT_EQ(import->chunks, chunks.size());
+  for (const auto& c : chunks) {
+    auto got = dst->Get(c.hash());
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got->bytes().ToString(), c.bytes().ToString());
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(PackedBundleTest, RejectsUnknownRecordEncoding) {
+  auto store = std::make_shared<MemChunkStore>();
+  ForkBase db(store);
+  ASSERT_TRUE(db.PutMap("k", {{"a", "1"}}).ok());
+  auto head = db.Head("k");
+  ASSERT_TRUE(head.ok());
+  auto live = MarkLive(*store, {*head});
+  ASSERT_TRUE(live.ok());
+  std::vector<Hash256> ids(live->begin(), live->end());
+  std::string packed;
+  ASSERT_TRUE(ExportPackedBundleOfIds(*store, {*head}, ids,
+                                      [&](Slice bytes) {
+                                        packed.append(bytes.data(),
+                                                      bytes.size());
+                                        return Status::OK();
+                                      })
+                  .ok());
+  // Header: magic(4) + varint(1 head) + 32 + varint(chunk count). The first
+  // record's tag byte sits right after its length varint; corrupt it.
+  size_t pos = 4 + 1 + 32;
+  while (static_cast<uint8_t>(packed[pos]) & 0x80) ++pos;  // chunk count
+  ++pos;
+  while (static_cast<uint8_t>(packed[pos]) & 0x80) ++pos;  // record length
+  ++pos;
+  packed[pos] = 0x7f;  // no such encoding
+  MemChunkStore dst;
+  auto import = ImportBundle(Slice(packed), &dst);
+  ASSERT_FALSE(import.ok());
+  EXPECT_TRUE(import.status().IsCorruption());
 }
 
 // ------------------------------------------- typed update conveniences --

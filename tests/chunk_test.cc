@@ -616,6 +616,229 @@ TEST_F(FileChunkStoreTest, EraseOnlyWorkloadRollsOversizedActiveSegment) {
   }
 }
 
+// ----------------------------------------- compressed / delta records --
+
+namespace {
+// A linear version history: v0 is random, each later version re-randomizes
+// a small span and appends a few bytes — near-identical neighbors, exactly
+// the shape PutMany's delta window is built to catch.
+std::vector<Chunk> MakeVersionChain(size_t versions, uint64_t seed,
+                                    size_t base_bytes = 1024) {
+  Rng rng(seed);
+  std::string payload = rng.NextString(base_bytes);
+  std::vector<Chunk> chain;
+  for (size_t v = 0; v < versions; ++v) {
+    if (v > 0) {
+      size_t off = rng.Uniform(payload.size() - 16);
+      for (size_t i = 0; i < 16; ++i) {
+        payload[off + i] = static_cast<char>(rng.Uniform(256));
+      }
+      payload += rng.NextString(4);
+    }
+    chain.push_back(MakeTestChunk(payload));
+  }
+  return chain;
+}
+}  // namespace
+
+TEST_F(FileChunkStoreTest, DeltaAndCompressionSurviveReopenBitExact) {
+  FileChunkStore::Options options;
+  options.compression = FileChunkStore::Compression::kLz;
+  options.delta_chain_depth = 3;
+  options.delta_window = 8;
+
+  auto chain = MakeVersionChain(8, 31);
+  Chunk compressible =
+      MakeTestChunk(std::string(4096, 'a') + "tail to make it unique");
+  {
+    auto store = FileChunkStore::Open(dir_, options);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->PutMany(chain).ok());
+    ASSERT_TRUE((*store)->Put(compressible).ok());
+    ASSERT_TRUE((*store)->Flush().ok());
+
+    auto ms = (*store)->maintenance_stats();
+    EXPECT_GT(ms.delta_records, 0u) << "near-identical versions must chain";
+    EXPECT_GT(ms.compressed_records, 0u);
+    EXPECT_LT(ms.live_physical_bytes, ms.live_logical_bytes)
+        << "encoding must actually shrink the on-disk footprint";
+
+    // At least one version is physically a delta with a resolvable base.
+    size_t delta_count = 0;
+    for (const auto& c : chain) {
+      ChunkStore::PhysicalRecord rec;
+      ASSERT_TRUE((*store)->GetPhysicalRecord(c.hash(), &rec));
+      if (rec.encoding == ChunkStore::Encoding::kDelta) {
+        ++delta_count;
+        Hash256 base;
+        EXPECT_TRUE((*store)->GetDeltaBase(c.hash(), &base));
+        EXPECT_TRUE((*store)->Contains(base));
+      }
+      EXPECT_EQ(rec.logical_length, c.size());
+    }
+    EXPECT_GT(delta_count, 0u);
+  }
+  // Reopen with the same options: every logical read is bit-exact and the
+  // physical encodings replayed from disk, not rebuilt.
+  {
+    auto store = FileChunkStore::Open(dir_, options);
+    ASSERT_TRUE(store.ok());
+    size_t delta_count = 0;
+    for (const auto& c : chain) {
+      auto got = (*store)->Get(c.hash());
+      ASSERT_TRUE(got.ok());
+      EXPECT_EQ(got->bytes().ToString(), c.bytes().ToString());
+      ChunkStore::PhysicalRecord rec;
+      ASSERT_TRUE((*store)->GetPhysicalRecord(c.hash(), &rec));
+      if (rec.encoding == ChunkStore::Encoding::kDelta) ++delta_count;
+    }
+    EXPECT_GT(delta_count, 0u) << "reopen must not silently flatten chains";
+    auto got = (*store)->Get(compressible.hash());
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got->bytes().ToString(), compressible.bytes().ToString());
+  }
+  // Reopen with DEFAULT options: decoding is driven by the record format on
+  // disk, not by the writing configuration of the current process.
+  {
+    auto store = FileChunkStore::Open(dir_);
+    ASSERT_TRUE(store.ok());
+    for (const auto& c : chain) {
+      auto got = (*store)->Get(c.hash());
+      ASSERT_TRUE(got.ok());
+      EXPECT_EQ(got->bytes().ToString(), c.bytes().ToString());
+    }
+  }
+}
+
+TEST_F(FileChunkStoreTest, TornTailMidDeltaRecordIsDiscardedOnReopen) {
+  FileChunkStore::Options options;
+  options.delta_chain_depth = 3;
+  auto chain = MakeVersionChain(2, 32);
+  {
+    auto store = FileChunkStore::Open(dir_, options);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->PutMany(chain).ok());
+    ASSERT_TRUE((*store)->Flush().ok());
+    // The file tail is v1's record, and v1 must be a delta against v0 for
+    // the truncation below to land mid-delta-record.
+    ChunkStore::PhysicalRecord rec;
+    ASSERT_TRUE((*store)->GetPhysicalRecord(chain[1].hash(), &rec));
+    ASSERT_EQ(rec.encoding, ChunkStore::Encoding::kDelta);
+  }
+  const std::string segment = dir_ + "/segment-0.fbc";
+  std::filesystem::resize_file(segment,
+                               std::filesystem::file_size(segment) - 3);
+
+  auto reopened = FileChunkStore::Open(dir_, options);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->stats().chunk_count, 1u);
+  auto v0 = (*reopened)->Get(chain[0].hash());
+  ASSERT_TRUE(v0.ok());
+  EXPECT_EQ(v0->bytes().ToString(), chain[0].bytes().ToString());
+  EXPECT_TRUE((*reopened)->Get(chain[1].hash()).status().IsNotFound());
+  // The store remains appendable after discarding the torn record.
+  Chunk after = MakeTestChunk("after mid-delta recovery");
+  ASSERT_TRUE((*reopened)->Put(after).ok());
+  EXPECT_TRUE((*reopened)->Get(after.hash()).ok());
+}
+
+TEST_F(FileChunkStoreTest, MixedFbc1AndFbc2SegmentsReplayTogether) {
+  // Phase A: a legacy-format store (defaults write FBC1 raw records).
+  std::vector<Chunk> legacy;
+  {
+    auto store = FileChunkStore::Open(dir_);
+    ASSERT_TRUE(store.ok());
+    Rng rng(33);
+    for (int i = 0; i < 8; ++i) {
+      legacy.push_back(MakeTestChunk(rng.NextBytes(200)));
+      ASSERT_TRUE((*store)->Put(legacy.back()).ok());
+    }
+    ASSERT_TRUE((*store)->Flush().ok());
+  }
+  // Phase B: the same directory reopened with encoding on appends FBC2
+  // records beside the old ones.
+  FileChunkStore::Options options;
+  options.compression = FileChunkStore::Compression::kLz;
+  options.delta_chain_depth = 3;
+  auto chain = MakeVersionChain(6, 34);
+  {
+    auto store = FileChunkStore::Open(dir_, options);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->PutMany(chain).ok());
+    ASSERT_TRUE((*store)->Flush().ok());
+    EXPECT_GT((*store)->maintenance_stats().delta_records, 0u);
+  }
+  // Phase C: a default-options reopen replays both record generations.
+  auto store = FileChunkStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ((*store)->stats().chunk_count, legacy.size() + chain.size());
+  for (const auto& c : legacy) {
+    auto got = (*store)->Get(c.hash());
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got->bytes().ToString(), c.bytes().ToString());
+  }
+  for (const auto& c : chain) {
+    auto got = (*store)->Get(c.hash());
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got->bytes().ToString(), c.bytes().ToString());
+  }
+}
+
+TEST_F(FileChunkStoreTest, CompactBelowFlattensChainsAndStopsHopAccrual) {
+  FileChunkStore::Options options;
+  options.segment_bytes = 4096;
+  options.delta_chain_depth = 4;
+  options.delta_window = 8;
+  options.compact_live_ratio = 0;  // only explicit CompactBelow rewrites
+
+  auto chain = MakeVersionChain(24, 35);
+  std::vector<Chunk> fillers;
+  {
+    auto store = FileChunkStore::Open(dir_, options);
+    ASSERT_TRUE(store.ok());
+    Rng rng(36);
+    for (const auto& c : chain) {
+      ASSERT_TRUE((*store)->Put(c).ok());
+      // One erasable filler per version, so every segment the history spans
+      // accrues dead space when the fillers go — CompactBelow's trigger.
+      fillers.push_back(MakeTestChunk(rng.NextBytes(600)));
+      ASSERT_TRUE((*store)->Put(fillers.back()).ok());
+    }
+    // Roll the active segment so the whole history sits in closed segments.
+    fillers.push_back(MakeTestChunk(Rng(37).NextString(8192)));
+    ASSERT_TRUE((*store)->Put(fillers.back()).ok());
+    ASSERT_TRUE((*store)->Flush().ok());
+  }
+
+  // Reopen (cold delta cache), then read the full history: chain hops.
+  auto reopened = FileChunkStore::Open(dir_, options);
+  ASSERT_TRUE(reopened.ok());
+  auto& store = **reopened;
+  for (const auto& c : chain) ASSERT_TRUE(store.Get(c.hash()).ok());
+  EXPECT_GT(store.maintenance_stats().delta_chain_hops, 0u)
+      << "a cold read of a chained history must materialize bases";
+
+  std::vector<Hash256> victims;
+  for (const auto& f : fillers) victims.push_back(f.hash());
+  ASSERT_TRUE(store.Erase(victims).ok());
+  ASSERT_GT(store.CompactBelow(1.0), 0u);
+  store.WaitForMaintenance();
+  EXPECT_GT(store.maintenance_stats().flattened_chains, 0u);
+
+  // Rewritten records are self-contained: re-reading the history is now
+  // hop-free, and still bit-exact.
+  const uint64_t hops_before = store.maintenance_stats().delta_chain_hops;
+  for (const auto& c : chain) {
+    auto got = store.Get(c.hash());
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got->bytes().ToString(), c.bytes().ToString());
+    ChunkStore::PhysicalRecord rec;
+    ASSERT_TRUE(store.GetPhysicalRecord(c.hash(), &rec));
+    EXPECT_NE(rec.encoding, ChunkStore::Encoding::kDelta);
+  }
+  EXPECT_EQ(store.maintenance_stats().delta_chain_hops, hops_before);
+}
+
 // ------------------------------------------------------------ put pins --
 
 TEST(PutPinTest, RecordsPutsDedupHitsAndExplicitPins) {

@@ -6,12 +6,14 @@
 #include <atomic>
 #include <filesystem>
 #include <thread>
+#include <unordered_set>
 
 #include "chunk/file_chunk_store.h"
 #include "chunk/mem_chunk_store.h"
 #include "chunk/tiered_chunk_store.h"
 #include "store/gc.h"
 #include "util/datagen.h"
+#include "util/random.h"
 
 namespace forkbase {
 namespace {
@@ -354,6 +356,140 @@ TEST(GcTest, SweepInPlaceReclaimsTieredWriteBackStack) {
   EXPECT_EQ(*table->NumRows(), 200u);
   std::filesystem::remove_all(hot_dir);
   std::filesystem::remove_all(cold_dir);
+}
+
+// ------------------------------------------------- delta-base liveness --
+
+TEST(GcTest, ExpandPhysicalBasesCoversTheWholeChain) {
+  const std::string dir = ::testing::TempDir() + "/fb_gc_expand_bases";
+  std::filesystem::remove_all(dir);
+  FileChunkStore::Options fopts;
+  fopts.delta_chain_depth = 4;
+  fopts.delta_window = 8;
+  auto fstore_or = FileChunkStore::Open(dir, fopts);
+  ASSERT_TRUE(fstore_or.ok());
+  auto& fstore = **fstore_or;
+
+  // A linear version history that the store stores as a delta chain.
+  Rng rng(41);
+  std::string payload = rng.NextString(1024);
+  std::vector<Chunk> chain;
+  for (int v = 0; v < 4; ++v) {
+    if (v > 0) payload[rng.Uniform(payload.size())] ^= 0x5a;
+    chain.push_back(Chunk::Make(ChunkType::kCell, payload));
+  }
+  ASSERT_TRUE(fstore.PutMany(chain).ok());
+  ChunkStore::PhysicalRecord rec;
+  ASSERT_TRUE(fstore.GetPhysicalRecord(chain.back().hash(), &rec));
+  ASSERT_EQ(rec.encoding, ChunkStore::Encoding::kDelta);
+
+  // Only the newest version is logically live; the expansion must pull in
+  // every transitive base, or erasing "garbage" would strand the chain.
+  std::unordered_set<Hash256, Hash256Hasher> live{chain.back().hash()};
+  size_t added = ExpandPhysicalBases(fstore, &live);
+  EXPECT_GT(added, 0u);
+  for (const auto& c : chain) {
+    EXPECT_TRUE(live.count(c.hash()))
+        << "base chain member missing from expanded live set";
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(GcTest, FindGarbageNeverReportsALiveChunksDeltaBase) {
+  const std::string dir = ::testing::TempDir() + "/fb_gc_delta_garbage";
+  std::filesystem::remove_all(dir);
+  FileChunkStore::Options fopts;
+  fopts.delta_chain_depth = 4;
+  fopts.delta_window = 16;
+  auto fstore_or = FileChunkStore::Open(dir, fopts);
+  ASSERT_TRUE(fstore_or.ok());
+  std::shared_ptr<FileChunkStore> fstore(std::move(*fstore_or));
+  ForkBase db(fstore);
+
+  // Two near-identical datasets written back-to-back, so the survivor's
+  // leaves may be delta-encoded against the doomed dataset's leaves.
+  CsvGenOptions opts;
+  opts.num_rows = 400;
+  CsvDocument csv = GenerateCsv(opts);
+  ASSERT_TRUE(db.PutTableFromCsv("dead", csv).ok());
+  ASSERT_TRUE(
+      db.PutTableFromCsv("keep", EditOneWord(csv, 200, 1, "edited")).ok());
+  ASSERT_TRUE(db.DeleteBranch("dead", "master").ok());
+
+  auto garbage = FindGarbage(db);
+  ASSERT_TRUE(garbage.ok());
+  std::unordered_set<Hash256, Hash256Hasher> garbage_set(garbage->begin(),
+                                                           garbage->end());
+  // The contract under test: no chunk that survives may have its delta base
+  // in the garbage set — whatever chains the writer happened to form.
+  fstore->ForEachId([&](const Hash256& id, size_t) {
+    if (garbage_set.count(id)) return;
+    Hash256 base;
+    if (fstore->GetDeltaBase(id, &base)) {
+      EXPECT_FALSE(garbage_set.count(base))
+          << "live chunk's delta base reported as garbage";
+    }
+  });
+
+  auto stats = SweepInPlace(&db);
+  ASSERT_TRUE(stats.ok());
+  fstore->WaitForMaintenance();
+  // After the sweep, every remaining delta record still resolves.
+  fstore->ForEachId([&](const Hash256& id, size_t) {
+    Hash256 base;
+    if (fstore->GetDeltaBase(id, &base)) {
+      EXPECT_TRUE(fstore->Contains(base)) << "stranded delta chain";
+    }
+  });
+  EXPECT_TRUE(db.Verify(*db.Head("keep")).ok());
+  auto table = db.GetTable("keep");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(*table->NumRows(), 400u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(GcTest, SweepInPlaceReclaimMatchesDiskOnEncodedStore) {
+  // The accounting acceptance check: on a compressed + delta store, disk
+  // after an in-place sweep + full compaction must approach the store's own
+  // live_physical_bytes figure — the two books have to agree.
+  const std::string dir = ::testing::TempDir() + "/fb_gc_encoded_reclaim";
+  std::filesystem::remove_all(dir);
+  FileChunkStore::Options fopts;
+  fopts.segment_bytes = 8192;
+  fopts.compression = FileChunkStore::Compression::kLz;
+  fopts.delta_chain_depth = 3;
+  fopts.maintenance_threads = 2;
+  auto fstore_or = FileChunkStore::Open(dir, fopts);
+  ASSERT_TRUE(fstore_or.ok());
+  std::shared_ptr<FileChunkStore> fstore(std::move(*fstore_or));
+  ForkBase db(fstore);
+
+  CsvGenOptions opts;
+  opts.num_rows = 300;
+  ASSERT_TRUE(db.PutTableFromCsv("keep", GenerateCsv(opts)).ok());
+  opts.seed = 7;
+  opts.num_rows = 2000;
+  ASSERT_TRUE(db.PutTableFromCsv("bulk", GenerateCsv(opts)).ok());
+  ASSERT_TRUE(db.DeleteBranch("bulk", "master").ok());
+  const uint64_t before = fstore->space_used();
+
+  auto stats = SweepInPlace(&db);
+  ASSERT_TRUE(stats.ok());
+  ASSERT_GT(stats->swept_chunks, 0u);
+  fstore->CompactBelow(1.0);
+  fstore->WaitForMaintenance();
+
+  const uint64_t after = fstore->space_used();
+  EXPECT_LT(after, before);
+  const auto ms = fstore->maintenance_stats();
+  EXPECT_LE(ms.live_physical_bytes, ms.live_logical_bytes);
+  // Segment files = live physical payloads + per-record headers + the
+  // not-yet-compacted slack of a few open/active segments.
+  EXPECT_LE(after, ms.live_physical_bytes + stats->live_chunks * 64 +
+                       4 * fopts.segment_bytes)
+      << "disk must track the store's own physical accounting";
+  EXPECT_TRUE(db.Verify(*db.Head("keep")).ok());
+  std::filesystem::remove_all(dir);
 }
 
 TEST(GcTest, SweepInPlaceRequiresErasableStore) {

@@ -60,6 +60,30 @@ TEST(FrameTest, TornFramesReassembleByteByByte) {
   EXPECT_EQ(parser.buffered(), 0u);
 }
 
+TEST(WireTest, ErrorFrameRetryAfterRoundTrips) {
+  std::string payload =
+      EncodeError(Status::Unavailable("shedding load"), /*retry_after=*/750);
+  uint64_t retry_after = 0;
+  Status decoded = DecodeError(Slice(payload), &retry_after);
+  EXPECT_EQ(decoded.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(retry_after, 750u);
+}
+
+// Regression for the varint canonicality fix: an error frame whose
+// retry-after trailer is an OVERLONG varint ("\xee\x00" pads 110 to two
+// bytes) must not decode to a backoff hint. Before the decoder enforced
+// minimal form this parsed as 110 — a hostile peer could steer client
+// backoff with bytes PutVarint64 can never emit; now the malformed trailer
+// is ignored and the hint stays 0 (the status itself still decodes).
+TEST(WireTest, OverlongRetryAfterTrailerIsIgnored) {
+  std::string payload = EncodeError(Status::Unavailable("shedding load"));
+  payload += std::string("\xee\x00", 2);  // overlong encoding of 110
+  uint64_t retry_after = 99;
+  Status decoded = DecodeError(Slice(payload), &retry_after);
+  EXPECT_EQ(decoded.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(retry_after, 0u) << "overlong trailer decoded to a hint";
+}
+
 TEST(FrameTest, OversizedDeclarationRejectedBeforeAllocation) {
   // Header declares a payload far over the cap; the parser must reject it
   // from the length alone rather than waiting for (or allocating) 1 GB.

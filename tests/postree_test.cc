@@ -3,6 +3,7 @@
 // tamper detection.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 
 #include "chunk/mem_chunk_store.h"
@@ -99,6 +100,122 @@ TEST(TreeBuilderTest, NodesRespectSizeBounds) {
   });
   EXPECT_EQ(oversize, 0u);
   EXPECT_GT(total, 10u);
+}
+
+// -------------------------------------------------------------- Splitter --
+
+// RollingHash::Roll may fire on the very first full window; the splitter's
+// min_bytes clamp is the only guard against a window-sized sliver chunk at
+// stream start. q_bits = 0 makes the pattern fire at EVERY full-window
+// position, so an unclamped splitter would close at byte `window`.
+TEST(NodeSplitterTest, FirstWindowFireIsClampedByMinBytes) {
+  NodeSplitter splitter(SplitConfig{32, 0, 256, 8192});
+  Rng rng(11);
+  std::string bytes = rng.NextString(1024);
+  size_t first_close = 0;
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    if (splitter.AddByte(static_cast<uint8_t>(bytes[i]))) {
+      first_close = i + 1;
+      break;
+    }
+  }
+  EXPECT_EQ(first_close, 256u)
+      << "pattern fires from byte 32 on, but min_bytes must hold the node";
+}
+
+TEST(NodeSplitterTest, MinBytesIsRaisedToTheWindow) {
+  // A config with min_bytes < window would re-open the sliver-chunk hole;
+  // the constructor repairs it.
+  NodeSplitter splitter(SplitConfig{64, 0, 8, 4096});
+  EXPECT_EQ(splitter.config().min_bytes, 64u);
+  Rng rng(12);
+  std::string bytes = rng.NextString(256);
+  size_t first_close = 0;
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    if (splitter.AddByte(static_cast<uint8_t>(bytes[i]))) {
+      first_close = i + 1;
+      break;
+    }
+  }
+  EXPECT_EQ(first_close, 64u);
+}
+
+namespace {
+// All cut offsets (exclusive end positions) the splitter chooses over
+// `bytes` starting from `from`, resetting at each cut.
+std::vector<size_t> CutPoints(const SplitConfig& cfg, const std::string& bytes,
+                              size_t from) {
+  NodeSplitter splitter(cfg);
+  std::vector<size_t> cuts;
+  for (size_t i = from; i < bytes.size(); ++i) {
+    if (splitter.AddByte(static_cast<uint8_t>(bytes[i]))) {
+      cuts.push_back(i + 1);
+      splitter.ResetNode();
+    }
+  }
+  return cuts;
+}
+}  // namespace
+
+TEST(NodeSplitterTest, CutPointsResynchronizeMidStream) {
+  // Boundary decisions depend only on bytes since the last cut, so a stream
+  // re-entered at any prior cut point must reproduce every later cut.
+  SplitConfig cfg = SplitConfig::Blob();
+  Rng rng(13);
+  std::string bytes = rng.NextString(96 * 1024);
+  auto full = CutPoints(cfg, bytes, 0);
+  ASSERT_GE(full.size(), 4u) << "stream too small to exercise resync";
+  for (size_t i = 0; i < full.size(); ++i) {
+    size_t gap = i == 0 ? full[0] : full[i] - full[i - 1];
+    EXPECT_GE(gap, cfg.min_bytes) << "cut " << i;
+    EXPECT_LE(gap, cfg.max_bytes) << "cut " << i;
+  }
+  auto resumed = CutPoints(cfg, bytes, full[1]);
+  std::vector<size_t> tail(full.begin() + 2, full.end());
+  EXPECT_EQ(resumed, tail);
+}
+
+TEST(TreeBuilderTest, BlobFeedGranularityDoesNotChangeChunks) {
+  // Same bytes, different AddBytes slicing ⇒ identical cut points, and so
+  // identical chunks and root. This is the property that makes blob ids a
+  // function of content alone, not of the writer's buffering.
+  Rng rng(14);
+  std::string bytes = rng.NextString(80 * 1024);
+
+  auto build = [&](size_t max_piece) -> TreeInfo {
+    MemChunkStore store;
+    TreeBuilder builder(&store, ChunkType::kBlobLeaf, TreeConfig::ForBlob());
+    Rng piece_rng(max_piece);
+    size_t off = 0;
+    while (off < bytes.size()) {
+      size_t n = max_piece <= 1
+                     ? 1
+                     : 1 + piece_rng.Uniform(
+                               std::min(max_piece, bytes.size() - off));
+      n = std::min(n, bytes.size() - off);
+      EXPECT_TRUE(builder.AddBytes(Slice(bytes.data() + off, n)).ok());
+      off += n;
+    }
+    auto info = builder.Finish();
+    EXPECT_TRUE(info.ok());
+    return *info;
+  };
+
+  TreeInfo whole;
+  {
+    MemChunkStore store;
+    TreeBuilder builder(&store, ChunkType::kBlobLeaf, TreeConfig::ForBlob());
+    ASSERT_TRUE(builder.AddBytes(bytes).ok());
+    auto info = builder.Finish();
+    ASSERT_TRUE(info.ok());
+    whole = *info;
+  }
+  TreeInfo byte_at_a_time = build(1);
+  TreeInfo ragged = build(4096);
+  EXPECT_EQ(whole.root, byte_at_a_time.root);
+  EXPECT_EQ(whole.root, ragged.root);
+  EXPECT_EQ(whole.nodes_written, byte_at_a_time.nodes_written);
+  EXPECT_EQ(whole.nodes_written, ragged.nodes_written);
 }
 
 // --------------------------------------------------------------- Lookup --

@@ -5,8 +5,10 @@
 // File), Remote (simulated network over Mem), Tiered (File hot tier over a
 // Remote cold backend, both write policies), and TieredBoundedWriteBack (a
 // write-back tier under a deliberately tiny hot budget, so eviction,
-// demotion and the dirty manifest churn beneath every test). A new backend
-// earns its place by adding a Traits struct to StoreTypes — nothing else.
+// demotion and the dirty manifest churn beneath every test), and
+// CompressedDeltaTieredWriteBack (both tiers writing LZ-compressed,
+// delta-encoded FBC2 records). A new backend earns its place by adding a
+// Traits struct to StoreTypes — nothing else.
 //
 // Covered contract points: scalar round trips, kNotFound for absent ids,
 // GetMany slot ordering and per-slot missing ids, idempotent PutMany with
@@ -50,7 +52,7 @@ std::shared_ptr<ChunkStore> OpenFile(const std::string& dir) {
   return std::shared_ptr<ChunkStore>(std::move(*store));
 }
 
-// ---- the seven store stacks -----------------------------------------------
+// ---- the eight store stacks -----------------------------------------------
 
 struct MemStoreTraits {
   static constexpr const char* kName = "Mem";
@@ -145,10 +147,39 @@ struct TieredBoundedWriteBackTraits {
   }
 };
 
+struct CompressedDeltaTieredTraits {
+  // The 8th stack: every storage-representation feature at once. The hot
+  // tier writes LZ-compressed and delta-encoded (FBC2) records under a
+  // write-back tiered store, so demotion reads chunks whose physical form
+  // is a chain link or a compressed block and forwards them to a cold
+  // FileChunkStore running the same encoding. The contract is the point:
+  // record encoding changes the bytes on disk, never the bytes a Get
+  // returns.
+  static constexpr const char* kName = "CompressedDeltaTieredWriteBack";
+  static std::shared_ptr<ChunkStore> Make(const std::string& dir) {
+    FileChunkStore::Options encoded;
+    encoded.segment_bytes = 2048;  // several segments even in small tests
+    encoded.compression = FileChunkStore::Compression::kLz;
+    encoded.delta_chain_depth = 3;
+    encoded.delta_window = 8;
+    auto cold = FileChunkStore::Open(dir + "/cold", encoded);
+    EXPECT_TRUE(cold.ok());
+    auto hot = FileChunkStore::Open(dir + "/hot", encoded);
+    EXPECT_TRUE(hot.ok());
+    TieredChunkStore::Options options;
+    options.policy = TierPolicy::kWriteBack;
+    options.background_demotion = false;
+    return std::make_shared<TieredChunkStore>(
+        std::shared_ptr<ChunkStore>(std::move(*hot)),
+        std::shared_ptr<ChunkStore>(std::move(*cold)), std::move(options));
+  }
+};
+
 using StoreTypes =
     ::testing::Types<MemStoreTraits, FileStoreTraits, CachingStoreTraits,
                      RemoteStoreTraits, TieredWriteThroughTraits,
-                     TieredWriteBackTraits, TieredBoundedWriteBackTraits>;
+                     TieredWriteBackTraits, TieredBoundedWriteBackTraits,
+                     CompressedDeltaTieredTraits>;
 
 class TraitsNames {
  public:

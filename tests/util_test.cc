@@ -6,7 +6,9 @@
 
 #include "util/base32.h"
 #include "util/codec.h"
+#include "util/compress.h"
 #include "util/csv.h"
+#include "util/delta_codec.h"
 #include "util/datagen.h"
 #include "util/random.h"
 #include "util/rolling_hash.h"
@@ -145,6 +147,150 @@ TEST(CodecTest, DecoderRejectsUnderflow) {
   uint64_t v;
   Decoder dec2(Slice("\xff\xff", 2));  // truncated varint
   EXPECT_FALSE(dec2.GetVarint64(&v));
+}
+
+// Regression: GetVarint64 once accepted overlong encodings — "\x80\x00"
+// decoded to the same 0 as "\x00". Two byte strings decoding to one value
+// desyncs every VarintLength-based offset computation (the network framer's
+// malformed-varint heuristic, the bundle importer's record scan), so the
+// decoder must enforce PutVarint64's canonical minimal form.
+TEST(CodecTest, DecoderRejectsOverlongVarint) {
+  const struct {
+    const char* bytes;
+    size_t len;
+  } overlong[] = {
+      {"\x80\x00", 2},                  // 0 padded to two bytes
+      {"\xff\x00", 2},                  // 127 padded to two bytes
+      {"\x80\x80\x80\x00", 4},          // 0 padded to four
+      {"\x81\x80\x80\x80\x80\x80\x80\x80\x80\x00", 10},  // 1 padded to ten
+  };
+  for (const auto& c : overlong) {
+    Decoder dec(Slice(c.bytes, c.len));
+    uint64_t v = 0;
+    EXPECT_FALSE(dec.GetVarint64(&v)) << "accepted overlong form";
+    // A failed decode must not consume bytes: callers retry with more data
+    // or bail, and either way the cursor has to still point at the varint.
+    EXPECT_EQ(dec.position(), 0u);
+  }
+}
+
+TEST(CodecTest, DecoderRejectsVarintOverflow) {
+  // Ten bytes whose final byte carries more than bit 63: the value would
+  // wrap past UINT64_MAX.
+  Decoder dec(Slice("\xff\xff\xff\xff\xff\xff\xff\xff\xff\x02", 10));
+  uint64_t v = 0;
+  EXPECT_FALSE(dec.GetVarint64(&v));
+  EXPECT_EQ(dec.position(), 0u);
+  // UINT64_MAX itself (final byte 0x01) stays accepted.
+  Decoder max_dec(Slice("\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01", 10));
+  ASSERT_TRUE(max_dec.GetVarint64(&v));
+  EXPECT_EQ(v, UINT64_MAX);
+}
+
+// ------------------------------------------------------------ LZ blocks --
+
+TEST(CompressTest, RoundTripsCompressibleAndRandomInput) {
+  Rng rng(7);
+  // Highly repetitive input compresses; the round trip is exact.
+  std::string repetitive;
+  for (int i = 0; i < 200; ++i) repetitive += "the quick brown fox ";
+  std::string packed;
+  LzCompressBlock(repetitive, &packed);
+  EXPECT_LT(packed.size(), repetitive.size() / 2);
+  EXPECT_EQ(LzDecompressedLength(packed), repetitive.size());
+  std::string back;
+  ASSERT_TRUE(LzDecompressBlock(packed, &back));
+  EXPECT_EQ(back, repetitive);
+
+  // Random input degenerates to literals but still round-trips.
+  std::string random_bytes;
+  for (int i = 0; i < 4096; ++i) {
+    random_bytes.push_back(static_cast<char>(rng.Uniform(256)));
+  }
+  packed.clear();
+  LzCompressBlock(random_bytes, &packed);
+  back.clear();
+  ASSERT_TRUE(LzDecompressBlock(packed, &back));
+  EXPECT_EQ(back, random_bytes);
+
+  // Empty input round-trips too.
+  packed.clear();
+  back.clear();
+  LzCompressBlock(Slice(""), &packed);
+  ASSERT_TRUE(LzDecompressBlock(packed, &back));
+  EXPECT_TRUE(back.empty());
+}
+
+TEST(CompressTest, RejectsTruncatedAndTamperedBlocks) {
+  std::string input(1000, 'a');
+  std::string packed;
+  LzCompressBlock(input, &packed);
+  std::string out;
+  EXPECT_FALSE(LzDecompressBlock(Slice(packed.data(), packed.size() / 2),
+                                 &out));
+  out.clear();
+  EXPECT_FALSE(LzDecompressBlock(Slice(""), &out));
+  // A length header promising more than the ops produce is malformed.
+  std::string short_block;
+  PutVarint64(&short_block, 50);  // promises 50 bytes, delivers none
+  out.clear();
+  EXPECT_FALSE(LzDecompressBlock(short_block, &out));
+}
+
+// ----------------------------------------------------------- delta codec --
+
+TEST(DeltaCodecTest, RoundTripsNearIdenticalInputs) {
+  std::string base;
+  for (int i = 0; i < 300; ++i) {
+    base += "row-" + std::to_string(i) + ":payload;";
+  }
+  std::string target = base;
+  target.replace(100, 7, "EDITED!");
+  target.insert(2000, "inserted run");
+
+  std::string delta;
+  CreateDelta(base, target, &delta);
+  EXPECT_LT(delta.size(), target.size() / 8)
+      << "near-identical versions must delta small";
+  EXPECT_EQ(DeltaTargetLength(delta), target.size());
+  std::string rebuilt;
+  ASSERT_TRUE(ApplyDelta(base, delta, &rebuilt));
+  EXPECT_EQ(rebuilt, target);
+}
+
+TEST(DeltaCodecTest, WrongBaseFailsTheChecksum) {
+  std::string base_a(2000, 'a'), base_b(2000, 'b');
+  std::string target = base_a + "tail";
+  std::string delta;
+  CreateDelta(base_a, target, &delta);
+  std::string rebuilt;
+  ASSERT_TRUE(ApplyDelta(base_a, delta, &rebuilt));
+  ASSERT_EQ(rebuilt, target);
+  // Same length, different content: COPY offsets stay structurally valid,
+  // so only the FNV trailer can catch the mixup — that is its whole job.
+  rebuilt.clear();
+  EXPECT_FALSE(ApplyDelta(base_b, delta, &rebuilt));
+}
+
+TEST(DeltaCodecTest, RejectsTamperedDelta) {
+  std::string base(1500, 'x');
+  std::string target = base;
+  target[700] = 'y';
+  std::string delta;
+  CreateDelta(base, target, &delta);
+  std::string rebuilt;
+  // Flip a byte in the middle (ops region) and in the trailer.
+  for (size_t flip : {delta.size() / 2, delta.size() - 1}) {
+    std::string bad = delta;
+    bad[flip] ^= 0x04;
+    rebuilt.clear();
+    EXPECT_FALSE(ApplyDelta(base, bad, &rebuilt))
+        << "tampered delta at byte " << flip << " was accepted";
+  }
+  rebuilt.clear();
+  EXPECT_FALSE(ApplyDelta(base, Slice(delta.data(), delta.size() - 5),
+                          &rebuilt))
+      << "truncated delta was accepted";
 }
 
 // --------------------------------------------------------------- SHA-256 --
