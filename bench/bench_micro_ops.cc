@@ -16,7 +16,9 @@
 #include "chunk/mem_chunk_store.h"
 #include "chunk/remote_chunk_store.h"
 #include "chunk/tiered_chunk_store.h"
+#include "postree/builder.h"
 #include "postree/diff.h"
+#include "postree/splitter.h"
 #include "store/bundle.h"
 #include "store/forkbase.h"
 #include "store/gc.h"
@@ -50,6 +52,137 @@ void BM_RollingHash(benchmark::State& state) {
                           static_cast<int64_t>(data.size()));
 }
 BENCHMARK(BM_RollingHash);
+
+// ---- hardware hashing & block-wise chunking (docs/hashing.md) ----
+//
+// The Scalar/Dispatched pair measures the SHA core swap in isolation; the
+// ChunkerOld/Blockwise pair measures the splitter rewrite in isolation (Old
+// reproduces the retired per-byte AddByte loop on the unchanged Roll());
+// BM_IngestBandwidth is the end-to-end blob ingest both feed into.
+
+void BM_Sha256ThroughputScalar(benchmark::State& state) {
+  std::string data = Rng(3).NextBytes(1 << 20);
+  for (auto _ : state) {
+    Sha256Hasher h(Sha256Backend::kScalar);
+    h.Update(data);
+    benchmark::DoNotOptimize(h.Finish());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_Sha256ThroughputScalar);
+
+void BM_Sha256ThroughputDispatched(benchmark::State& state) {
+  std::string data = Rng(3).NextBytes(1 << 20);
+  state.SetLabel(ActiveSha256BackendName());
+  for (auto _ : state) {
+    Sha256Hasher h;  // whatever cpu_features resolved for this host
+    h.Update(data);
+    benchmark::DoNotOptimize(h.Finish());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_Sha256ThroughputDispatched);
+
+void BM_HashManyBatched(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(4);
+  std::vector<std::string> bufs;
+  bufs.reserve(n);
+  int64_t total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    bufs.push_back(rng.NextBytes(4096));
+    total += 4096;
+  }
+  std::vector<Slice> spans(bufs.begin(), bufs.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256Many(spans, SharedHashPool()));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * total);
+}
+BENCHMARK(BM_HashManyBatched)->Arg(64)->Arg(512);
+
+void BM_ChunkerThroughputOld(benchmark::State& state) {
+  std::string data = Rng(5).NextBytes(8 << 20);
+  const SplitConfig cfg = SplitConfig::Blob();
+  for (auto _ : state) {
+    // The retired formulation: one Roll per byte, bounds checked per byte.
+    RollingHash roller(cfg.window, cfg.q_bits);
+    size_t node_bytes = 0;
+    uint64_t cuts = 0;
+    for (char c : data) {
+      const bool pattern = roller.Roll(static_cast<uint8_t>(c));
+      ++node_bytes;
+      if (node_bytes >= cfg.max_bytes ||
+          (pattern && node_bytes >= cfg.min_bytes)) {
+        ++cuts;
+        node_bytes = 0;
+        roller.Reset();
+      }
+    }
+    benchmark::DoNotOptimize(cuts);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_ChunkerThroughputOld);
+
+void BM_ChunkerThroughputBlockwise(benchmark::State& state) {
+  std::string data = Rng(5).NextBytes(8 << 20);
+  for (auto _ : state) {
+    NodeSplitter splitter(SplitConfig::Blob());
+    uint64_t cuts = 0;
+    const uint8_t* p = reinterpret_cast<const uint8_t*>(data.data());
+    size_t remaining = data.size();
+    while (remaining > 0) {
+      bool cut = false;
+      const size_t took = splitter.Feed(p, remaining, &cut);
+      p += took;
+      remaining -= took;
+      if (cut) {
+        ++cuts;
+        splitter.ResetNode();
+      }
+    }
+    benchmark::DoNotOptimize(cuts);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_ChunkerThroughputBlockwise);
+
+int64_t IngestOnce(const std::string& data) {
+  MemChunkStore store;
+  TreeBuilder builder(&store, ChunkType::kBlobLeaf, TreeConfig::ForBlob());
+  if (!builder.AddBytes(Slice(data)).ok()) return 0;
+  auto info = builder.Finish();
+  return info.ok() ? static_cast<int64_t>(info->nodes_written) : 0;
+}
+
+void BM_IngestBandwidth(benchmark::State& state) {
+  std::string data = Rng(6).NextBytes(8 << 20);
+  state.SetLabel(ActiveSha256BackendName());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IngestOnce(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_IngestBandwidth);
+
+void BM_IngestBandwidthScalarSha(benchmark::State& state) {
+  std::string data = Rng(6).NextBytes(8 << 20);
+  const Sha256Backend prev =
+      SetSha256BackendForTesting(Sha256Backend::kScalar);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IngestOnce(data));
+  }
+  SetSha256BackendForTesting(prev);
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_IngestBandwidthScalarSha);
 
 void BM_MapBuild(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));

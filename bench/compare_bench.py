@@ -98,6 +98,18 @@ TRACKED_PAIRS = [
      "BM_VersionedCorpusBytesEncoded/manual_time", 1.67, True),
     ("BM_ScanCompressedStore/real_time", "BM_ScanRawStore/real_time",
      0.8, False),
+    # Hardware-hashing criteria. All three are floor-only: the ratios hinge
+    # on whether the runner's CPU has SHA extensions, which the recording
+    # host can't speak for. The chunker pair is pure portable CPU work
+    # (same ISA on both sides) and must hold the 1.3x component floor; the
+    # SHA and ingest pairs degrade to ~1.0x on a runner without SHA-NI/CE
+    # (dispatch falls back to the very scalar core it is compared against),
+    # so their floors only assert "hardware dispatch never loses". On a
+    # SHA-capable host they run ~5x and ~2.5x respectively.
+    ("BM_ChunkerThroughputBlockwise", "BM_ChunkerThroughputOld", 1.3, False),
+    ("BM_Sha256ThroughputDispatched", "BM_Sha256ThroughputScalar", 0.95,
+     False),
+    ("BM_IngestBandwidth", "BM_IngestBandwidthScalarSha", 0.95, False),
 ]
 
 
@@ -108,7 +120,9 @@ def load_rates(path):
     for bench in doc.get("benchmarks", []):
         if bench.get("run_type") == "aggregate":
             continue
-        rate = bench.get("items_per_second")
+        # Throughput benches report one or the other; ratios are identical
+        # either way.
+        rate = bench.get("items_per_second") or bench.get("bytes_per_second")
         if rate:
             rates[bench["name"]] = rate
     return rates

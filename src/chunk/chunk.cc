@@ -1,5 +1,7 @@
 #include "chunk/chunk.h"
 
+#include <vector>
+
 namespace forkbase {
 
 const char* ChunkTypeToString(ChunkType t) {
@@ -56,6 +58,34 @@ const Hash256& Chunk::hash() const {
     }
   }
   return *h;
+}
+
+void Chunk::PrecomputeHashes(std::span<const Chunk> chunks, WorkerPool* pool) {
+  std::vector<size_t> missing;
+  std::vector<Slice> spans;
+  for (size_t i = 0; i < chunks.size(); ++i) {
+    const Chunk& c = chunks[i];
+    if (!c.rep_) continue;
+    if (c.rep_->hash.load(std::memory_order_acquire) == nullptr) {
+      missing.push_back(i);
+      spans.push_back(c.bytes());
+    }
+  }
+  if (missing.empty()) return;
+  const std::vector<Hash256> digests = Sha256Many(spans, pool);
+  for (size_t j = 0; j < missing.size(); ++j) {
+    const Chunk& c = chunks[missing[j]];
+    const Hash256* computed = new Hash256(digests[j]);
+    const Hash256* expected = nullptr;
+    // Same adoption rule as hash(): a concurrent hash() call may have won
+    // the install race while we were computing — its value is identical, so
+    // just drop ours.
+    if (!c.rep_->hash.compare_exchange_strong(expected, computed,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_acquire)) {
+      delete computed;
+    }
+  }
 }
 
 }  // namespace forkbase

@@ -9,12 +9,15 @@
 
 #include <atomic>
 #include <memory>
+#include <span>
 #include <string>
 
 #include "util/sha256.h"
 #include "util/slice.h"
 
 namespace forkbase {
+
+class WorkerPool;
 
 /// Persistent chunk kinds. The tag participates in the hash, so a map leaf
 /// and a set leaf with identical payloads have different identities.
@@ -69,6 +72,15 @@ class Chunk {
 
   /// Content identity: SHA-256 over bytes(). Computed once, cached.
   const Hash256& hash() const;
+
+  /// Computes and caches the hash of every chunk in `chunks` that does not
+  /// have one yet, in one Sha256Many batch (fanned across `pool` when given
+  /// — pass SharedHashPool() on hot paths). After this, hash() on any of
+  /// them is a cache read. Batch producers (PutMany, deep verify, bundle
+  /// import) call this so identity computation is batched instead of paid
+  /// one serial digest at a time inside per-chunk loops.
+  static void PrecomputeHashes(std::span<const Chunk> chunks,
+                               WorkerPool* pool = nullptr);
 
  private:
   struct Rep {

@@ -170,6 +170,10 @@ class ChunkStore {
   /// whole batch). Backends override PutManyImpl to write one segment run
   /// per batch instead of one record per chunk.
   Status PutMany(std::span<const Chunk> chunks) {
+    // Batch the identity computation up front (fanned across the shared
+    // hash pool) so pin recording and every backend's per-chunk hash()
+    // lookups below hit the cache instead of serially digesting.
+    Chunk::PrecomputeHashes(chunks, SharedHashPool());
     if (pin_count_.load(std::memory_order_acquire) > 0) {
       RecordPinnedPuts(chunks);
     }
@@ -343,6 +347,14 @@ class ChunkStore {
 /// Default batch size for memory-capped sweeps over many ids.
 inline constexpr size_t kChunkSweepBatch = 256;
 
+/// Whether ForEachChunkBatch should batch-compute chunk identities before
+/// handing a batch to the callback. Sweeps that re-hash every chunk (deep
+/// verification, bundle export) opt in so the digests fan across the shared
+/// hash pool instead of being computed one at a time inside the callback;
+/// sweeps that never look at hashes (GC marking, diff) keep the default and
+/// pay nothing.
+enum class BatchHashing : uint8_t { kNone = 0, kPrecompute = 1 };
+
 /// Reads `ids` in batches of `batch_size`, invoking `fn(index, slot)` for
 /// every id in order (`slot` is the id's StatusOr<Chunk>, movable). Stops
 /// and propagates the first non-OK status `fn` returns; slot errors are
@@ -360,7 +372,7 @@ inline constexpr size_t kChunkSweepBatch = 256;
 template <typename Fn>
 Status ForEachChunkBatch(const ChunkStore& store,
                          std::span<const Hash256> ids, size_t batch_size,
-                         Fn&& fn) {
+                         Fn&& fn, BatchHashing hashing = BatchHashing::kNone) {
   if (ids.empty()) return Status::OK();
   const bool pipelined = store.SupportsAsyncGet();
   auto slice = [&](size_t start) {
@@ -374,6 +386,16 @@ Status ForEachChunkBatch(const ChunkStore& store,
     const size_t next = start + n;
     if (pipelined && next < ids.size()) {
       pending = store.GetManyAsync(slice(next));
+    }
+    if (hashing == BatchHashing::kPrecompute) {
+      // Chunk copies share the identity cache with their slot, so hashing
+      // the copies primes hash() for the callback.
+      std::vector<Chunk> resident;
+      resident.reserve(n);
+      for (const auto& slot : chunks) {
+        if (slot.ok()) resident.push_back(*slot);
+      }
+      Chunk::PrecomputeHashes(resident, SharedHashPool());
     }
     for (size_t i = 0; i < n; ++i) {
       Status s = fn(start + i, chunks[i]);

@@ -503,7 +503,8 @@ Status RunCommand(const std::string& cmd, CliContext& ctx, ForkBase& db,
                 << "\n";
           }
           return Status::OK();
-        }));
+        },
+        BatchHashing::kPrecompute));
     out << "deep: " << ids.size() << " records, " << delta_records
         << " delta, " << compressed_records << " compressed, " << bad
         << " bad\n";

@@ -55,13 +55,21 @@ Status TreeBuilder::AddBytes(Slice bytes) {
     lv.splitter = std::make_unique<NodeSplitter>(config_.leaf);
     levels_.push_back(std::move(lv));
   }
-  for (size_t i = 0; i < bytes.size(); ++i) {
-    Level& lv = levels_[0];
-    lv.buffer.push_back(bytes[i]);
-    lv.buffer_count += 1;
-    ++lv.buffer_entries;
-    ++entries_added_;
-    if (lv.splitter->AddByte(bytes.byte(i))) {
+  // Block feed: the splitter consumes up to a cut decision per call, so the
+  // open node's bytes append in bulk instead of one push_back per byte.
+  const uint8_t* p = bytes.udata();
+  size_t remaining = bytes.size();
+  while (remaining > 0) {
+    Level& lv = levels_[0];  // re-fetch: CloseNode may grow levels_
+    bool cut = false;
+    const size_t took = lv.splitter->Feed(p, remaining, &cut);
+    lv.buffer.append(reinterpret_cast<const char*>(p), took);
+    lv.buffer_count += took;
+    lv.buffer_entries += took;
+    entries_added_ += took;
+    p += took;
+    remaining -= took;
+    if (cut) {
       FB_RETURN_IF_ERROR(CloseNode(0));
     }
   }

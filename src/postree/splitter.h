@@ -21,6 +21,7 @@
 #ifndef FORKBASE_POSTREE_SPLITTER_H_
 #define FORKBASE_POSTREE_SPLITTER_H_
 
+#include <algorithm>
 #include <cstddef>
 
 #include "util/rolling_hash.h"
@@ -42,6 +43,13 @@ struct SplitConfig {
 };
 
 /// Streaming splitter; feed entries (or raw bytes) in order, reset per node.
+///
+/// The byte path is block-wise: positions below min_bytes cannot close the
+/// node, so their bytes only need to pass through the rolling window's ring
+/// (RollingHash::SkipRoll — a memcpy, no hashing); positions from min_bytes
+/// to max_bytes are rolled with the unrolled buffer scan. Boundaries are
+/// bit-identical to byte-at-a-time Roll() calls in every case (see
+/// rolling_hash.h for why the reseeded hash matches the streamed one).
 class NodeSplitter {
  public:
   explicit NodeSplitter(const SplitConfig& cfg)
@@ -52,22 +60,73 @@ class NodeSplitter {
   }
 
   /// Feeds one whole entry. Returns true iff the node must close after it.
+  ///
+  /// The pattern flag is local to this entry (a fire in an earlier entry
+  /// does not arm a later close), and — matching the original per-byte
+  /// formulation — a fire anywhere inside the entry counts, even at a
+  /// position below min_bytes, as long as the entry END is at or past it.
+  /// Hence two regimes: entries ending below both bounds can't close the
+  /// node and their fires are discarded, so they skip-roll; any other entry
+  /// must be fully scanned.
   bool AddEntry(Slice entry) {
-    bool pattern = false;
-    for (size_t i = 0; i < entry.size(); ++i) {
-      if (roller_.Roll(entry.byte(i))) pattern = true;
+    const size_t end = node_bytes_ + entry.size();
+    if (end < cfg_.min_bytes && end < cfg_.max_bytes) {
+      roller_.SkipRoll(entry.udata(), entry.size());
+      node_bytes_ = end;
+      return false;
     }
-    node_bytes_ += entry.size();
+    const bool pattern = roller_.ScanAny(entry.udata(), entry.size());
+    node_bytes_ = end;
     if (node_bytes_ >= cfg_.max_bytes) return true;
     return pattern && node_bytes_ >= cfg_.min_bytes;
   }
 
   /// Feeds one raw byte (blob path). Returns true iff the node closes here.
   bool AddByte(uint8_t b) {
-    bool pattern = roller_.Roll(b);
-    ++node_bytes_;
-    if (node_bytes_ >= cfg_.max_bytes) return true;
-    return pattern && node_bytes_ >= cfg_.min_bytes;
+    bool cut = false;
+    Feed(&b, 1, &cut);
+    return cut;
+  }
+
+  /// Block-wise byte feed: consumes bytes from p[0..n) up to and including
+  /// the first position where the node closes, or all n bytes. Returns the
+  /// number of bytes consumed and sets *cut iff the node closes after them.
+  /// Callers loop: append the consumed bytes to the open node, close it when
+  /// *cut, repeat with the remainder. Cut positions are bit-identical to n
+  /// successive AddByte() calls.
+  size_t Feed(const uint8_t* p, size_t n, bool* cut) {
+    *cut = false;
+    if (n == 0) return 0;
+    size_t consumed = 0;
+    // No test below min(min,max): neither the min-gated pattern test nor the
+    // max clamp can fire, so the bytes only feed the ring.
+    const size_t first_testable =
+        cfg_.min_bytes < cfg_.max_bytes ? cfg_.min_bytes : cfg_.max_bytes;
+    if (node_bytes_ + 1 < first_testable) {
+      const size_t skip = std::min(n, first_testable - 1 - node_bytes_);
+      roller_.SkipRoll(p, skip);
+      node_bytes_ += skip;
+      consumed = skip;
+      if (consumed == n) return n;
+    }
+    // Test region: at most `room` bytes remain before max forces a close
+    // (clamped to one byte if the node somehow already sits at/past max —
+    // matching AddByte, which closed after every further byte).
+    const size_t room =
+        cfg_.max_bytes > node_bytes_ ? cfg_.max_bytes - node_bytes_ : 1;
+    const size_t span = std::min(n - consumed, room);
+    const size_t idx = roller_.Scan(p + consumed, span);
+    if (idx < span) {
+      // Pattern fired; node_bytes_ >= min_bytes here whenever min <= max,
+      // and when max < min the max clamp below covers the same position.
+      node_bytes_ += idx + 1;
+      *cut = true;
+      return consumed + idx + 1;
+    }
+    node_bytes_ += span;
+    consumed += span;
+    if (span == room) *cut = true;  // max_bytes reached
+    return consumed;
   }
 
   /// Starts a new node: clears size and window state.

@@ -44,7 +44,8 @@ Status EmitChunkRecords(const ChunkStore& store,
         ++stats->chunks;
         stats->bytes += scratch.size();
         return Status::OK();
-      });
+      },
+      BatchHashing::kPrecompute);
 }
 
 Status SinkString(const BundleSink& sink, const std::string& bytes,
@@ -348,6 +349,9 @@ Status BundleImporter::Parse() {
           }
           Hash256 base;
           std::memcpy(base.bytes.data(), body.data(), 32);
+          // The base may be a record staged earlier in this very feed —
+          // admit the backlog before looking it up.
+          FB_RETURN_IF_ERROR(FlushStaged());
           auto base_chunk = dst_->Get(base);
           if (!base_chunk.ok()) {
             if (base_chunk.status().IsNotFound()) {
@@ -373,25 +377,47 @@ Status BundleImporter::Parse() {
       // corrupted simply lands under a different id (or fails its codec's
       // own guards above) and the closure check at Finish() reports the gap.
       Chunk chunk = Chunk::FromBytes(std::move(chunk_bytes));
-      const bool already = dst_->Contains(chunk.hash());
-      Status put = dst_->Put(chunk);
-      if (!put.ok()) {
-        error_ = put;
-        return error_;
-      }
-      ++result_.chunks;
       result_.bytes += chunk.size();
-      if (!already) ++result_.new_chunks;
+      staged_.push_back(std::move(chunk));
+      ++result_.chunks;
       ++chunks_seen_;
+      if (staged_.size() >= kChunkSweepBatch) {
+        FB_RETURN_IF_ERROR(FlushStaged());
+      }
       pos += prefix + len;
     }
   }
   buffer_.erase(0, pos);
+  // One batched write per feed (bounded above by kChunkSweepBatch flushes):
+  // PutMany computes the batch's identities through the pooled hasher, so
+  // import rehashing rides the same fan-out as ingest.
+  return FlushStaged();
+}
+
+Status BundleImporter::FlushStaged() {
+  if (staged_.empty()) return Status::OK();
+  Chunk::PrecomputeHashes(staged_, SharedHashPool());
+  // new_chunks must count a chunk repeated within one batch only once, like
+  // the old record-at-a-time Contains-then-Put did.
+  std::unordered_set<Hash256, Hash256Hasher> batch_new;
+  for (const Chunk& chunk : staged_) {
+    const Hash256& id = chunk.hash();
+    if (!dst_->Contains(id) && batch_new.insert(id).second) {
+      ++result_.new_chunks;
+    }
+  }
+  Status put = dst_->PutMany(staged_);
+  staged_.clear();
+  if (!put.ok()) {
+    error_ = put;
+    return error_;
+  }
   return Status::OK();
 }
 
 StatusOr<ImportResult> BundleImporter::Finish() {
   if (!error_.ok()) return error_;
+  FB_RETURN_IF_ERROR(FlushStaged());
   if (state_ != State::kRecords || chunks_seen_ != chunks_expected_ ||
       !buffer_.empty()) {
     return Fail("bundle: truncated");

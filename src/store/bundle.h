@@ -160,11 +160,17 @@ class BundleImporter {
   Status Fail(std::string message);
   /// Parses as many complete units from buffer_ as possible.
   Status Parse();
+  /// Writes every staged chunk to dst in one PutMany batch (identities are
+  /// computed batched there). Called at each Parse boundary, when staging
+  /// fills, and before anything resolves a chunk out of dst that this very
+  /// feed may have carried (delta bases).
+  Status FlushStaged();
 
   ChunkStore* dst_;
   State state_ = State::kMagic;
   bool packed_ = false;  ///< v3: records carry an encoding tag
   std::string buffer_;
+  std::vector<Chunk> staged_;  ///< decoded, not yet written records
   Status error_;
   ImportResult result_;
   uint64_t heads_expected_ = 0;

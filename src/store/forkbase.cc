@@ -847,6 +847,9 @@ std::vector<std::pair<std::string, std::string>> ForkBaseStats::ToKeyValues()
   add("keys", keys);
   add("branches", branches);
   add("commits", commits);
+  // Which SHA-256 core computes chunk identities in this process — lets an
+  // operator confirm a deployment actually runs hardware-accelerated.
+  kvs.emplace_back("sha256_backend", ActiveSha256BackendName());
   add("chunks", chunks.chunk_count);
   add("physical_bytes", chunks.physical_bytes);
   add("logical_bytes", chunks.logical_bytes);

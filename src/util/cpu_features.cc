@@ -1,0 +1,164 @@
+#include "util/cpu_features.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#endif
+#if defined(__aarch64__) && defined(__linux__)
+#include <sys/auxv.h>
+#endif
+
+namespace forkbase {
+
+namespace {
+
+bool DetectShaNi() {
+#if defined(__x86_64__) || defined(__i386__)
+  // SHA extensions: CPUID.(EAX=7,ECX=0):EBX bit 29. The SHA-NI core also
+  // uses SSSE3 byte shuffles and SSE4.1 blends; gate on those too.
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (!__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) return false;
+  if (!(ebx & (1u << 29))) return false;
+  if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx)) return false;
+  const bool ssse3 = ecx & (1u << 9);
+  const bool sse41 = ecx & (1u << 19);
+  return ssse3 && sse41;
+#else
+  return false;
+#endif
+}
+
+bool DetectArmSha2() {
+#if defined(__aarch64__) && defined(__linux__)
+#ifndef HWCAP_SHA2
+#define HWCAP_SHA2 (1 << 6)
+#endif
+  return (getauxval(AT_HWCAP) & HWCAP_SHA2) != 0;
+#else
+  return false;
+#endif
+}
+
+bool CompiledIn(Sha256Backend backend) {
+  switch (backend) {
+    case Sha256Backend::kScalar:
+      return true;
+    case Sha256Backend::kShaNi:
+#if defined(FORKBASE_HAVE_SHANI)
+      return true;
+#else
+      return false;
+#endif
+    case Sha256Backend::kArmCe:
+#if defined(FORKBASE_HAVE_ARMCE)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+Sha256Backend BestAvailable() {
+  if (Sha256BackendAvailable(Sha256Backend::kShaNi)) {
+    return Sha256Backend::kShaNi;
+  }
+  if (Sha256BackendAvailable(Sha256Backend::kArmCe)) {
+    return Sha256Backend::kArmCe;
+  }
+  return Sha256Backend::kScalar;
+}
+
+Sha256Backend ResolveFromEnv() {
+  const char* env = std::getenv("FORKBASE_SHA256_BACKEND");
+  if (env == nullptr || env[0] == '\0') return BestAvailable();
+  Sha256Backend requested;
+  if (!ParseSha256BackendName(env, &requested)) return BestAvailable();
+  // An explicit request for a backend this host cannot run falls back to
+  // scalar (never silently to another accelerated backend): the point of
+  // the override is determinism.
+  return Sha256BackendAvailable(requested) ? requested
+                                           : Sha256Backend::kScalar;
+}
+
+// -1 = unresolved; otherwise holds a Sha256Backend value.
+std::atomic<int> g_active{-1};
+
+}  // namespace
+
+const char* Sha256BackendName(Sha256Backend backend) {
+  switch (backend) {
+    case Sha256Backend::kScalar:
+      return "scalar";
+    case Sha256Backend::kShaNi:
+      return "shani";
+    case Sha256Backend::kArmCe:
+      return "armce";
+  }
+  return "unknown";
+}
+
+bool ParseSha256BackendName(const char* name, Sha256Backend* out) {
+  if (std::strcmp(name, "scalar") == 0) {
+    *out = Sha256Backend::kScalar;
+  } else if (std::strcmp(name, "shani") == 0 ||
+             std::strcmp(name, "sha-ni") == 0) {
+    *out = Sha256Backend::kShaNi;
+  } else if (std::strcmp(name, "armce") == 0 ||
+             std::strcmp(name, "arm-ce") == 0) {
+    *out = Sha256Backend::kArmCe;
+  } else if (std::strcmp(name, "auto") == 0) {
+    *out = BestAvailable();
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool CpuHasShaNi() {
+  static const bool cached = DetectShaNi();
+  return cached;
+}
+
+bool CpuHasArmSha2() {
+  static const bool cached = DetectArmSha2();
+  return cached;
+}
+
+bool Sha256BackendAvailable(Sha256Backend backend) {
+  if (!CompiledIn(backend)) return false;
+  switch (backend) {
+    case Sha256Backend::kScalar:
+      return true;
+    case Sha256Backend::kShaNi:
+      return CpuHasShaNi();
+    case Sha256Backend::kArmCe:
+      return CpuHasArmSha2();
+  }
+  return false;
+}
+
+Sha256Backend ActiveSha256Backend() {
+  int v = g_active.load(std::memory_order_acquire);
+  if (v < 0) {
+    // Racing first resolutions compute the same value; last store wins.
+    v = static_cast<int>(ResolveFromEnv());
+    g_active.store(v, std::memory_order_release);
+  }
+  return static_cast<Sha256Backend>(v);
+}
+
+const char* ActiveSha256BackendName() {
+  return Sha256BackendName(ActiveSha256Backend());
+}
+
+Sha256Backend SetSha256BackendForTesting(Sha256Backend backend) {
+  Sha256Backend previous = ActiveSha256Backend();
+  g_active.store(static_cast<int>(backend), std::memory_order_release);
+  return previous;
+}
+
+}  // namespace forkbase

@@ -1,0 +1,59 @@
+// Runtime CPU-feature detection and SHA-256 backend selection.
+//
+// The hashing hot path (every chunk id, every dedup probe, every deep
+// verify) dispatches once per process to the fastest compiled-in SHA-256
+// core the running CPU supports: SHA-NI on x86, the ARMv8 crypto
+// extensions on aarch64, the portable scalar core everywhere else. The
+// decision is made lazily on first use and cached; tests and CI pin it
+// with the FORKBASE_SHA256_BACKEND environment variable (values: "auto",
+// "scalar", "shani", "armce" — an unavailable request falls back to
+// scalar so a forced-scalar CI leg runs identically on any host).
+#ifndef FORKBASE_UTIL_CPU_FEATURES_H_
+#define FORKBASE_UTIL_CPU_FEATURES_H_
+
+#include <cstdint>
+
+namespace forkbase {
+
+/// SHA-256 block-compression implementations, in dispatch-preference order.
+enum class Sha256Backend : uint8_t {
+  kScalar = 0,  ///< portable C++ core (universal fallback)
+  kShaNi = 1,   ///< x86 SHA-NI (+SSE4.1) intrinsics
+  kArmCe = 2,   ///< ARMv8 crypto-extension intrinsics
+};
+
+/// Short stable name ("scalar", "shani", "armce") — used by stats, the CLI
+/// `stat`/`rstat` surfaces, and the FORKBASE_SHA256_BACKEND override.
+const char* Sha256BackendName(Sha256Backend backend);
+
+/// Parses a backend name (or "auto"); returns false on an unknown string.
+/// "auto" parses to the best available backend, so the parse result is
+/// always directly usable.
+bool ParseSha256BackendName(const char* name, Sha256Backend* out);
+
+/// True when `backend` was both compiled into this binary and is supported
+/// by the running CPU. kScalar is always available.
+bool Sha256BackendAvailable(Sha256Backend backend);
+
+/// Raw CPU capability probes (independent of what was compiled in).
+bool CpuHasShaNi();
+bool CpuHasArmSha2();
+
+/// The backend every default-constructed Sha256Hasher uses. Resolved once:
+/// FORKBASE_SHA256_BACKEND if set (unavailable requests fall back to
+/// scalar), otherwise the best available backend for this CPU.
+Sha256Backend ActiveSha256Backend();
+
+/// Name of ActiveSha256Backend() — the string stats and CI print.
+const char* ActiveSha256BackendName();
+
+/// Swaps the process-wide active backend (tests/benches only: lets one
+/// binary measure scalar vs dispatched, and the cross-backend equivalence
+/// fuzz flip implementations). Returns the previous backend. Not
+/// synchronized with concurrent hashers being *constructed*; call from
+/// single-threaded setup code.
+Sha256Backend SetSha256BackendForTesting(Sha256Backend backend);
+
+}  // namespace forkbase
+
+#endif  // FORKBASE_UTIL_CPU_FEATURES_H_

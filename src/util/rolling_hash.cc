@@ -1,6 +1,8 @@
 #include "util/rolling_hash.h"
 
+#include <algorithm>
 #include <array>
+#include <cstring>
 
 namespace forkbase {
 
@@ -55,7 +57,153 @@ void RollingHash::Reset() {
   hash_ = 0;
   pos_ = 0;
   filled_ = 0;
+  hash_stale_ = false;
   std::fill(ring_.begin(), ring_.end(), 0);
+}
+
+void RollingHash::SkipRoll(const uint8_t* p, size_t n) {
+  if (n == 0) return;
+  hash_stale_ = true;
+  if (n >= window_) {
+    // Only the final window survives; lay it in from slot 0 (the hash is
+    // rotation-invariant in where the window starts, as long as pos_ marks
+    // the oldest byte — which slot 0 then is).
+    std::memcpy(ring_.data(), p + (n - window_), window_);
+    pos_ = 0;
+    filled_ = window_;
+    return;
+  }
+  const size_t first = std::min(n, window_ - pos_);
+  std::memcpy(ring_.data() + pos_, p, first);
+  if (n > first) std::memcpy(ring_.data(), p + first, n - first);
+  pos_ += n;
+  if (pos_ >= window_) pos_ -= window_;
+  filled_ = std::min(filled_ + n, window_);
+}
+
+void RollingHash::Reseed() {
+  if (!hash_stale_) return;
+  // Streaming invariant: after N fed bytes the hash is the XOR of the last
+  // min(N, window) bytes' Gamma values, each rotated by its age (0 for the
+  // newest). Rebuild exactly that from the ring; pos_ points one past the
+  // newest byte.
+  uint64_t h = 0;
+  size_t idx = pos_;
+  for (size_t age = 0; age < filled_; ++age) {
+    idx = (idx == 0 ? window_ : idx) - 1;
+    h ^= RotlN(table_[ring_[idx]], static_cast<unsigned>(age));
+  }
+  hash_ = h;
+  hash_stale_ = false;
+}
+
+size_t RollingHash::Scan(const uint8_t* p, size_t n) {
+  if (hash_stale_) Reseed();
+  size_t i = 0;
+  // Window fill (rare: only when a splitter's min_bytes equals the window)
+  // keeps the full/not-full branch out of the block loop below.
+  while (i < n && filled_ < window_) {
+    if (Roll(p[i])) return i;
+    ++i;
+  }
+  if (i == n) return n;
+  uint64_t h = hash_;
+  size_t pos = pos_;
+  uint8_t* ring = ring_.data();
+  const uint64_t* t = table_;
+  const uint64_t* tk = table_k_;
+  const uint64_t mask = mask_;
+  while (i < n) {
+    // Process one linear stretch of the ring at a time so the eviction read
+    // and admission write are plain pointer walks (no wrap test per byte).
+    size_t run = window_ - pos;
+    if (run > n - i) run = n - i;
+    const uint8_t* src = p + i;
+    uint8_t* slot = ring + pos;
+    size_t j = 0;
+#define FB_ROLL_STEP(K)                             \
+  {                                                 \
+    const uint8_t in = src[j + (K)];                \
+    h = Rotl1(h) ^ tk[slot[j + (K)]] ^ t[in];       \
+    slot[j + (K)] = in;                             \
+    if ((h & mask) == 0) {                          \
+      hash_ = h;                                    \
+      pos_ = pos + j + (K) + 1;                     \
+      if (pos_ == window_) pos_ = 0;                \
+      return i + j + (K);                           \
+    }                                               \
+  }
+    for (const size_t run8 = run & ~static_cast<size_t>(7); j < run8; j += 8) {
+      FB_ROLL_STEP(0)
+      FB_ROLL_STEP(1)
+      FB_ROLL_STEP(2)
+      FB_ROLL_STEP(3)
+      FB_ROLL_STEP(4)
+      FB_ROLL_STEP(5)
+      FB_ROLL_STEP(6)
+      FB_ROLL_STEP(7)
+    }
+    for (; j < run; ++j) {
+      FB_ROLL_STEP(0)
+    }
+#undef FB_ROLL_STEP
+    i += run;
+    pos += run;
+    if (pos == window_) pos = 0;
+  }
+  hash_ = h;
+  pos_ = pos;
+  return n;
+}
+
+bool RollingHash::ScanAny(const uint8_t* p, size_t n) {
+  if (hash_stale_) Reseed();
+  size_t i = 0;
+  bool any = false;
+  while (i < n && filled_ < window_) {
+    any |= Roll(p[i]);
+    ++i;
+  }
+  uint64_t h = hash_;
+  size_t pos = pos_;
+  uint8_t* ring = ring_.data();
+  const uint64_t* t = table_;
+  const uint64_t* tk = table_k_;
+  const uint64_t mask = mask_;
+  while (i < n) {
+    size_t run = window_ - pos;
+    if (run > n - i) run = n - i;
+    const uint8_t* src = p + i;
+    uint8_t* slot = ring + pos;
+    size_t j = 0;
+#define FB_ROLL_STEP(K)                       \
+  {                                           \
+    const uint8_t in = src[j + (K)];          \
+    h = Rotl1(h) ^ tk[slot[j + (K)]] ^ t[in]; \
+    slot[j + (K)] = in;                       \
+    any |= (h & mask) == 0;                   \
+  }
+    for (const size_t run8 = run & ~static_cast<size_t>(7); j < run8; j += 8) {
+      FB_ROLL_STEP(0)
+      FB_ROLL_STEP(1)
+      FB_ROLL_STEP(2)
+      FB_ROLL_STEP(3)
+      FB_ROLL_STEP(4)
+      FB_ROLL_STEP(5)
+      FB_ROLL_STEP(6)
+      FB_ROLL_STEP(7)
+    }
+    for (; j < run; ++j) {
+      FB_ROLL_STEP(0)
+    }
+#undef FB_ROLL_STEP
+    i += run;
+    pos += run;
+    if (pos == window_) pos = 0;
+  }
+  hash_ = h;
+  pos_ = pos;
+  return any;
 }
 
 }  // namespace forkbase

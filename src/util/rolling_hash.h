@@ -13,9 +13,25 @@
 // The table Gamma is a compile-time deterministic PRNG expansion so that
 // chunk boundaries — and therefore every chunk id in the system — are stable
 // across processes and machines.
+//
+// Two call protocols share the state machine, and produce bit-identical
+// hash sequences:
+//   * Roll(b) — the textbook one-byte step (kept for tests and reference
+//     paths).
+//   * the block protocol — SkipRoll() advances the window over stream
+//     regions where the caller knows no boundary test is needed (below a
+//     splitter's min_bytes: only the ring needs the bytes, so it is a
+//     memcpy, no hashing), and Scan()/ScanAny() roll whole buffers with
+//     the per-byte branches hoisted and the loop unrolled. After SkipRoll
+//     the hash value is stale; Scan/ScanAny reseed it from the ring
+//     (Reseed()) before testing — the reseeded value equals what
+//     byte-at-a-time rolling would have produced, because a cyclic-
+//     polynomial hash over a full window depends only on the window's
+//     bytes and their ages.
 #ifndef FORKBASE_UTIL_ROLLING_HASH_H_
 #define FORKBASE_UTIL_ROLLING_HASH_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -37,6 +53,7 @@ class RollingHash {
   /// fires at this position. Note this can be true on the very first full
   /// window (the `window`-th byte after Reset) — a minimum chunk size is the
   /// caller's job (NodeSplitter clamps with min_bytes >= window).
+  /// Must not be interleaved with SkipRoll without an intervening Reseed().
   bool Roll(uint8_t b) {
     const bool full = filled_ >= window_;
     hash_ = Rotl1(hash_);
@@ -50,6 +67,29 @@ class RollingHash {
     pos_ = pos_ + 1 == window_ ? 0 : pos_ + 1;
     return filled_ >= window_ && (hash_ & mask_) == 0;
   }
+
+  /// Advances the window over `n` bytes without computing hash values —
+  /// ring content and position end up exactly as `n` Roll() calls would
+  /// leave them, but the hash is marked stale (at most `window` bytes are
+  /// copied, so this is O(min(n, window)) regardless of `n`). Valid only
+  /// for stream regions where the caller tests no boundaries.
+  void SkipRoll(const uint8_t* p, size_t n);
+
+  /// Recomputes the hash from the ring after SkipRoll. Idempotent; cheap
+  /// (one pass over at most `window` bytes). Scan/ScanAny call it
+  /// implicitly.
+  void Reseed();
+
+  /// Rolls over p[0..n) testing every position: returns the index of the
+  /// first byte whose Roll() would have returned true, or `n` when none
+  /// fires. State afterwards matches Roll() calls up to and including the
+  /// returned index (or all n bytes).
+  size_t Scan(const uint8_t* p, size_t n);
+
+  /// Rolls over all of p[0..n) and reports whether ANY position fired —
+  /// the entry-path variant, where a node closes only at entry ends but a
+  /// pattern anywhere inside the entry arms the close.
+  bool ScanAny(const uint8_t* p, size_t n);
 
   uint64_t hash() const { return hash_; }
   size_t window() const { return window_; }
@@ -65,6 +105,7 @@ class RollingHash {
   uint64_t hash_;
   size_t pos_;
   size_t filled_;
+  bool hash_stale_ = false;  ///< set by SkipRoll, cleared by Reseed
   std::vector<uint8_t> ring_;
   const uint64_t* table_;    // Gamma
   uint64_t table_k_[256];    // delta^k(Gamma(b)) precomputed per byte

@@ -1,5 +1,12 @@
-// SHA-256 (FIPS 180-4), implemented from scratch, plus the 32-byte Hash256
+// SHA-256 (FIPS 180-4) with hardware dispatch, plus the 32-byte Hash256
 // identity used for every chunk id and version uid in ForkBase.
+//
+// The block compressor is selected once per process (see util/cpu_features.h):
+// SHA-NI on x86, the ARMv8 crypto extensions on aarch64, a portable scalar
+// core everywhere else. All backends are bit-identical; FORKBASE_SHA256_BACKEND
+// pins the choice for tests and CI. Sha256Many() fans large batches of
+// independent digests across a worker pool — the PutMany/verify/import hot
+// paths hash whole batches through it instead of one buffer at a time.
 #ifndef FORKBASE_UTIL_SHA256_H_
 #define FORKBASE_UTIL_SHA256_H_
 
@@ -7,11 +14,16 @@
 #include <cstdint>
 #include <cstring>
 #include <functional>
+#include <span>
 #include <string>
+#include <vector>
 
+#include "util/cpu_features.h"
 #include "util/slice.h"
 
 namespace forkbase {
+
+class WorkerPool;
 
 /// A 32-byte content hash. Value type; compares byte-wise.
 struct Hash256 {
@@ -52,27 +64,64 @@ struct Hash256Hasher {
 };
 
 /// Incremental SHA-256 hasher.
+///
+/// Finish() is idempotent: the first call pads, finalizes and caches the
+/// digest; further calls return the same digest. Update() after Finish()
+/// (without a Reset()) is a programming error and aborts loudly — the old
+/// behavior silently mixed padding bytes into the stream and returned a
+/// wrong digest on the next Finish().
 class Sha256Hasher {
  public:
-  Sha256Hasher() { Reset(); }
+  /// Uses the process-wide dispatched backend (ActiveSha256Backend()).
+  Sha256Hasher();
+  /// Forces a specific backend — tests and benches compare cores with this.
+  /// The backend must be available (Sha256BackendAvailable()); an
+  /// unavailable request silently uses scalar.
+  explicit Sha256Hasher(Sha256Backend backend);
 
   void Reset();
   void Update(Slice data);
-  /// Finalizes and returns the digest. The hasher must be Reset() before
-  /// reuse.
+  /// Finalizes and returns the digest. Idempotent; Reset() rearms the
+  /// hasher for a fresh stream.
   Hash256 Finish();
 
- private:
-  void ProcessBlock(const uint8_t* block);
+  /// Multi-block compression entry point: advances `state` over `nblocks`
+  /// 64-byte blocks. Exposed as a type so backends are plain functions.
+  using BlocksFn = void (*)(uint32_t* state, const uint8_t* blocks,
+                            size_t nblocks);
 
+ private:
+  void ProcessBlocks(const uint8_t* blocks, size_t nblocks) {
+    blocks_fn_(state_, blocks, nblocks);
+  }
+
+  BlocksFn blocks_fn_;
   uint32_t state_[8];
   uint64_t bit_count_;
   uint8_t buffer_[64];
   size_t buffer_len_;
+  bool finished_ = false;
+  Hash256 digest_;  ///< cached by the first Finish()
 };
 
-/// One-shot digest.
+/// One-shot digest through the dispatched backend.
 Hash256 Sha256(Slice data);
+
+/// Batched one-shot digests: out[i] == Sha256(spans[i]) for every i.
+///
+/// With a non-null `pool` (of at least one thread) and a batch big enough
+/// to amortize the handoff, the spans are sharded across the pool's workers
+/// and hashed concurrently — each digest is independent, so this is the
+/// natural fan-out for ingest batches (PutMany), deep verification and
+/// bundle import. A null/0-thread pool or a small batch hashes inline.
+/// Blocks until every digest is computed.
+std::vector<Hash256> Sha256Many(std::span<const Slice> spans,
+                                WorkerPool* pool = nullptr);
+
+/// Process-wide pool for Sha256Many fan-out, sized to the host
+/// (hardware_concurrency - 1, capped at 8; 0 threads on a 1-core host, in
+/// which case Sha256Many degrades to the inline loop). Lazily constructed.
+WorkerPool* SharedHashPool();
 
 }  // namespace forkbase
 

@@ -1,0 +1,62 @@
+// SHA-256 block compression via the ARMv8 crypto extensions.
+//
+// Compiled with -march=armv8-a+crypto (see CMakeLists.txt); the exported
+// symbol is only called after cpu_features.cc confirms HWCAP_SHA2. The
+// vsha256h/h2 pair advances four rounds per issue over the two state
+// quadwords, and vsha256su0/su1 run the four-lane message schedule; the
+// group loop below is fully unrollable by the compiler (constant trip
+// count, constant lane indices).
+#include "util/sha256_backends.h"
+
+#if defined(FORKBASE_HAVE_ARMCE) && defined(__aarch64__) && \
+    (defined(__ARM_FEATURE_CRYPTO) || defined(__ARM_FEATURE_SHA2))
+
+#include <arm_neon.h>
+
+namespace forkbase {
+namespace internal {
+
+void Sha256BlocksArmCe(uint32_t state[8], const uint8_t* blocks,
+                       size_t nblocks) {
+  uint32x4_t state0 = vld1q_u32(&state[0]);  // a b c d
+  uint32x4_t state1 = vld1q_u32(&state[4]);  // e f g h
+
+  const uint8_t* p = blocks;
+  while (nblocks-- > 0) {
+    const uint32x4_t save0 = state0;
+    const uint32x4_t save1 = state1;
+
+    // Big-endian schedule loads.
+    uint32x4_t msg[4];
+    msg[0] = vreinterpretq_u32_u8(vrev32q_u8(vld1q_u8(p + 0)));
+    msg[1] = vreinterpretq_u32_u8(vrev32q_u8(vld1q_u8(p + 16)));
+    msg[2] = vreinterpretq_u32_u8(vrev32q_u8(vld1q_u8(p + 32)));
+    msg[3] = vreinterpretq_u32_u8(vrev32q_u8(vld1q_u8(p + 48)));
+
+    for (int g = 0; g < 16; ++g) {
+      const uint32x4_t kw = vaddq_u32(msg[g & 3], vld1q_u32(&kSha256K[g * 4]));
+      const uint32x4_t prev0 = state0;
+      state0 = vsha256hq_u32(state0, state1, kw);
+      state1 = vsha256h2q_u32(state1, prev0, kw);
+      if (g < 12) {
+        // Extend the schedule four lanes: W[t] from W[t-16], W[t-15],
+        // W[t-7], W[t-2] — su0 folds the small sigmas, su1 the rest.
+        msg[g & 3] = vsha256su1q_u32(
+            vsha256su0q_u32(msg[g & 3], msg[(g + 1) & 3]), msg[(g + 2) & 3],
+            msg[(g + 3) & 3]);
+      }
+    }
+
+    state0 = vaddq_u32(state0, save0);
+    state1 = vaddq_u32(state1, save1);
+    p += 64;
+  }
+
+  vst1q_u32(&state[0], state0);
+  vst1q_u32(&state[4], state1);
+}
+
+}  // namespace internal
+}  // namespace forkbase
+
+#endif  // FORKBASE_HAVE_ARMCE && aarch64 crypto

@@ -1,0 +1,45 @@
+// Internal: per-ISA SHA-256 block-compression cores.
+//
+// Each core advances `state` (the eight 32-bit working variables, FIPS
+// 180-4 notation) over `nblocks` consecutive 64-byte message blocks at
+// `blocks`. The cores are pure block compressors — padding, length
+// bookkeeping and digest serialization live in Sha256Hasher, so every
+// backend is interchangeable behind one function pointer.
+//
+// The accelerated cores live in their own translation units compiled with
+// target-specific flags (see CMakeLists.txt): sha256_x86_shani.cc with
+// -msha, sha256_arm_ce.cc with -march=armv8-a+crypto. Their symbols exist
+// exactly when the matching FORKBASE_HAVE_* macro is defined, which is
+// how cpu_features.cc reports compiled-in availability.
+#ifndef FORKBASE_UTIL_SHA256_BACKENDS_H_
+#define FORKBASE_UTIL_SHA256_BACKENDS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace forkbase {
+namespace internal {
+
+/// Portable core — the universal fallback, unrolled 8 rounds per step.
+void Sha256BlocksScalar(uint32_t state[8], const uint8_t* blocks,
+                        size_t nblocks);
+
+#if defined(FORKBASE_HAVE_SHANI)
+/// x86 SHA-NI core (requires SHA + SSSE3 + SSE4.1 at runtime).
+void Sha256BlocksShaNi(uint32_t state[8], const uint8_t* blocks,
+                       size_t nblocks);
+#endif
+
+#if defined(FORKBASE_HAVE_ARMCE)
+/// ARMv8 crypto-extension core (requires HWCAP_SHA2 at runtime).
+void Sha256BlocksArmCe(uint32_t state[8], const uint8_t* blocks,
+                       size_t nblocks);
+#endif
+
+/// The round constants, shared by every core.
+extern const uint32_t kSha256K[64];
+
+}  // namespace internal
+}  // namespace forkbase
+
+#endif  // FORKBASE_UTIL_SHA256_BACKENDS_H_

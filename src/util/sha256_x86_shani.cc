@@ -1,0 +1,137 @@
+// SHA-256 block compression via x86 SHA-NI (the SHA New Instructions).
+//
+// This translation unit is compiled with -msha -msse4.1 -mssse3 (see
+// CMakeLists.txt), so it must contain nothing that runs unconditionally on
+// a non-SHA-NI machine: the single exported symbol is only ever called
+// after cpu_features.cc has confirmed CPUID support. The structure is the
+// standard two-lane formulation: the eight working variables live in two
+// xmm registers as ABEF / CDGH, each sha256rnds2 advances four rounds (two
+// per invocation across the register pair), and sha256msg1/msg2 run the
+// message schedule four lanes at a time.
+#include "util/sha256_backends.h"
+
+#if defined(FORKBASE_HAVE_SHANI) && defined(__SHA__) && \
+    (defined(__x86_64__) || defined(__i386__))
+
+#include <immintrin.h>
+
+namespace forkbase {
+namespace internal {
+
+namespace {
+inline __m128i LoadK(int i) {
+  return _mm_loadu_si128(reinterpret_cast<const __m128i*>(&kSha256K[i]));
+}
+}  // namespace
+
+// Four rounds in the steady state (rounds 12..51): consume M0's schedule
+// words, extend the schedule one register ahead (M1 += tail of M0, folded by
+// msg2), and pre-mix M3 for the group after next (msg1).
+#define FB_QROUND(M0, M1, M3, KI)                      \
+  MSG = _mm_add_epi32(M0, LoadK(KI));                  \
+  STATE1 = _mm_sha256rnds2_epu32(STATE1, STATE0, MSG); \
+  TMP = _mm_alignr_epi8(M0, M3, 4);                    \
+  M1 = _mm_add_epi32(M1, TMP);                         \
+  M1 = _mm_sha256msg2_epu32(M1, M0);                   \
+  MSG = _mm_shuffle_epi32(MSG, 0x0E);                  \
+  STATE0 = _mm_sha256rnds2_epu32(STATE0, STATE1, MSG); \
+  M3 = _mm_sha256msg1_epu32(M3, M0);
+
+// Four rounds near the tail (rounds 52..59): schedule extension without the
+// msg1 pre-mix (no group far enough ahead remains).
+#define FB_QROUND_TAIL(M0, M1, M3, KI)                 \
+  MSG = _mm_add_epi32(M0, LoadK(KI));                  \
+  STATE1 = _mm_sha256rnds2_epu32(STATE1, STATE0, MSG); \
+  TMP = _mm_alignr_epi8(M0, M3, 4);                    \
+  M1 = _mm_add_epi32(M1, TMP);                         \
+  M1 = _mm_sha256msg2_epu32(M1, M0);                   \
+  MSG = _mm_shuffle_epi32(MSG, 0x0E);                  \
+  STATE0 = _mm_sha256rnds2_epu32(STATE0, STATE1, MSG);
+
+// Four rounds with no schedule work (rounds 0..3 and 60..63).
+#define FB_QROUND_PLAIN(M0, KI)                        \
+  MSG = _mm_add_epi32(M0, LoadK(KI));                  \
+  STATE1 = _mm_sha256rnds2_epu32(STATE1, STATE0, MSG); \
+  MSG = _mm_shuffle_epi32(MSG, 0x0E);                  \
+  STATE0 = _mm_sha256rnds2_epu32(STATE0, STATE1, MSG);
+
+void Sha256BlocksShaNi(uint32_t state[8], const uint8_t* blocks,
+                       size_t nblocks) {
+  const __m128i kShuffle =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bULL, 0x0405060700010203ULL);
+
+  // Repack a,b,c,d / e,f,g,h into the ABEF / CDGH layout the instructions
+  // expect.
+  __m128i TMP = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[0]));
+  __m128i STATE1 =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[4]));
+  TMP = _mm_shuffle_epi32(TMP, 0xB1);        // CDAB
+  STATE1 = _mm_shuffle_epi32(STATE1, 0x1B);  // EFGH
+  __m128i STATE0 = _mm_alignr_epi8(TMP, STATE1, 8);     // ABEF
+  STATE1 = _mm_blend_epi16(STATE1, TMP, 0xF0);          // CDGH
+
+  const uint8_t* p = blocks;
+  while (nblocks-- > 0) {
+    const __m128i ABEF_SAVE = STATE0;
+    const __m128i CDGH_SAVE = STATE1;
+
+    __m128i MSG;
+    __m128i MSG0 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 0)), kShuffle);
+    __m128i MSG1 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 16)), kShuffle);
+    __m128i MSG2 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 32)), kShuffle);
+    __m128i MSG3 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 48)), kShuffle);
+
+    FB_QROUND_PLAIN(MSG0, 0);
+    // Rounds 4-11: plain rounds plus the first msg1 pre-mixes.
+    MSG = _mm_add_epi32(MSG1, LoadK(4));
+    STATE1 = _mm_sha256rnds2_epu32(STATE1, STATE0, MSG);
+    MSG = _mm_shuffle_epi32(MSG, 0x0E);
+    STATE0 = _mm_sha256rnds2_epu32(STATE0, STATE1, MSG);
+    MSG0 = _mm_sha256msg1_epu32(MSG0, MSG1);
+
+    MSG = _mm_add_epi32(MSG2, LoadK(8));
+    STATE1 = _mm_sha256rnds2_epu32(STATE1, STATE0, MSG);
+    MSG = _mm_shuffle_epi32(MSG, 0x0E);
+    STATE0 = _mm_sha256rnds2_epu32(STATE0, STATE1, MSG);
+    MSG1 = _mm_sha256msg1_epu32(MSG1, MSG2);
+
+    FB_QROUND(MSG3, MSG0, MSG2, 12);
+    FB_QROUND(MSG0, MSG1, MSG3, 16);
+    FB_QROUND(MSG1, MSG2, MSG0, 20);
+    FB_QROUND(MSG2, MSG3, MSG1, 24);
+    FB_QROUND(MSG3, MSG0, MSG2, 28);
+    FB_QROUND(MSG0, MSG1, MSG3, 32);
+    FB_QROUND(MSG1, MSG2, MSG0, 36);
+    FB_QROUND(MSG2, MSG3, MSG1, 40);
+    FB_QROUND(MSG3, MSG0, MSG2, 44);
+    FB_QROUND(MSG0, MSG1, MSG3, 48);
+    FB_QROUND_TAIL(MSG1, MSG2, MSG0, 52);
+    FB_QROUND_TAIL(MSG2, MSG3, MSG1, 56);
+    FB_QROUND_PLAIN(MSG3, 60);
+
+    STATE0 = _mm_add_epi32(STATE0, ABEF_SAVE);
+    STATE1 = _mm_add_epi32(STATE1, CDGH_SAVE);
+    p += 64;
+  }
+
+  // Repack ABEF / CDGH back to a..h.
+  TMP = _mm_shuffle_epi32(STATE0, 0x1B);     // FEBA
+  STATE1 = _mm_shuffle_epi32(STATE1, 0xB1);  // DCHG
+  STATE0 = _mm_blend_epi16(TMP, STATE1, 0xF0);        // DCBA
+  STATE1 = _mm_alignr_epi8(STATE1, TMP, 8);           // HGFE
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[0]), STATE0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[4]), STATE1);
+}
+
+#undef FB_QROUND
+#undef FB_QROUND_TAIL
+#undef FB_QROUND_PLAIN
+
+}  // namespace internal
+}  // namespace forkbase
+
+#endif  // FORKBASE_HAVE_SHANI && __SHA__ && x86

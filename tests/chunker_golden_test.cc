@@ -1,0 +1,158 @@
+// Chunk-boundary stability: the block-wise splitter must cut a fixed seeded
+// corpus at exactly the positions the original byte-at-a-time splitter did.
+// The digests below were captured from the pre-rewrite implementation; every
+// chunk id in every existing store depends on these cut positions, so any
+// drift here is a data-compatibility break, not a tuning change.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "postree/splitter.h"
+#include "util/random.h"
+#include "util/sha256.h"
+
+namespace forkbase {
+namespace {
+
+constexpr uint64_t kCorpusSeed = 0x8d1b5ull;
+constexpr size_t kCorpusBytes = 8 << 20;
+
+std::string GoldenCorpus() {
+  Rng rng(kCorpusSeed);
+  return rng.NextBytes(kCorpusBytes);
+}
+
+// SHA-256 of the cut positions serialized as little-endian u64s — one value
+// pins the whole boundary sequence.
+std::string CutDigest(const std::vector<uint64_t>& cuts) {
+  std::string ser;
+  ser.reserve(cuts.size() * 8);
+  for (uint64_t c : cuts) {
+    for (int b = 0; b < 8; ++b) ser.push_back(static_cast<char>(c >> (8 * b)));
+  }
+  return Sha256(Slice(ser)).ToHex();
+}
+
+std::vector<uint64_t> CutsByByte(const SplitConfig& cfg, const std::string& s) {
+  NodeSplitter splitter(cfg);
+  std::vector<uint64_t> cuts;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (splitter.AddByte(static_cast<uint8_t>(s[i]))) {
+      cuts.push_back(i + 1);  // boundary after byte i
+      splitter.ResetNode();
+    }
+  }
+  return cuts;
+}
+
+std::vector<uint64_t> CutsByFeed(const SplitConfig& cfg, const std::string& s,
+                                 size_t granularity) {
+  NodeSplitter splitter(cfg);
+  std::vector<uint64_t> cuts;
+  uint64_t consumed_total = 0;
+  size_t off = 0;
+  while (off < s.size()) {
+    const uint8_t* p = reinterpret_cast<const uint8_t*>(s.data()) + off;
+    size_t remaining = std::min(granularity, s.size() - off);
+    while (remaining > 0) {
+      bool cut = false;
+      const size_t took = splitter.Feed(p, remaining, &cut);
+      if (took == 0) {  // must always make progress; avoid looping forever
+        ADD_FAILURE() << "Feed consumed nothing";
+        return cuts;
+      }
+      consumed_total += took;
+      p += took;
+      remaining -= took;
+      if (cut) {
+        cuts.push_back(consumed_total);
+        splitter.ResetNode();
+      }
+    }
+    off += std::min(granularity, s.size() - off);
+  }
+  return cuts;
+}
+
+TEST(ChunkerGoldenTest, BlobConfigMatchesPinnedBoundaries) {
+  const std::string corpus = GoldenCorpus();
+  const std::vector<uint64_t> cuts = CutsByByte(SplitConfig::Blob(), corpus);
+  ASSERT_EQ(cuts.size(), 1677u);
+  EXPECT_EQ(CutDigest(cuts),
+            "d59f867f20c0ec03b5f24083d72a67402a283d90af491658e6bd2b89f86481e3");
+  const std::vector<uint64_t> expect_first = {9102,  17533, 28206, 44590,
+                                              48295, 49407, 50719, 54177};
+  for (size_t i = 0; i < expect_first.size(); ++i) {
+    EXPECT_EQ(cuts[i], expect_first[i]) << i;
+  }
+  EXPECT_EQ(cuts[cuts.size() - 4], 8367236u);
+  EXPECT_EQ(cuts.back(), 8388494u);
+}
+
+TEST(ChunkerGoldenTest, EntriesConfigMatchesPinnedBoundaries) {
+  const std::string corpus = GoldenCorpus();
+  const std::vector<uint64_t> cuts = CutsByByte(SplitConfig::Entries(), corpus);
+  ASSERT_EQ(cuts.size(), 3663u);
+  EXPECT_EQ(CutDigest(cuts),
+            "7be26b583367b9999b7e9cca986a099b1943d1ded3e3dfe7435ac6581d4c3bee");
+  const std::vector<uint64_t> expect_first = {1030,  4535,  5394,  13586,
+                                              15224, 20518, 24420, 25220};
+  for (size_t i = 0; i < expect_first.size(); ++i) {
+    EXPECT_EQ(cuts[i], expect_first[i]) << i;
+  }
+}
+
+// Zero bytes never fire the pattern, so every cut is the max_bytes clamp.
+TEST(ChunkerGoldenTest, AllZerosCutAtMaxBytes) {
+  const std::string zeros(1 << 20, '\0');
+  const std::vector<uint64_t> cuts = CutsByByte(SplitConfig::Blob(), zeros);
+  ASSERT_EQ(cuts.size(), 64u);
+  for (size_t i = 0; i < cuts.size(); ++i) {
+    EXPECT_EQ(cuts[i], (i + 1) * SplitConfig::Blob().max_bytes);
+  }
+}
+
+// The entry path: pattern is per-entry local and gated on the entry END
+// reaching min_bytes — the skip/scan split in AddEntry must preserve that.
+TEST(ChunkerGoldenTest, EntryPathMatchesPinnedBoundaries) {
+  Rng rng(0x77aabb01ull);
+  NodeSplitter splitter(SplitConfig::Entries());
+  std::vector<uint64_t> cuts;
+  uint64_t pos = 0;
+  for (int i = 0; i < 200000; ++i) {
+    const std::string e = rng.NextBytes(8 + rng.Uniform(57));
+    pos += e.size();
+    if (splitter.AddEntry(Slice(e))) {
+      cuts.push_back(pos);
+      splitter.ResetNode();
+    }
+  }
+  ASSERT_EQ(pos, 7189852u);
+  ASSERT_EQ(cuts.size(), 3247u);
+  EXPECT_EQ(CutDigest(cuts),
+            "7de83b4ea3987d64c7ad968c6f3ca3e55891a0bca4a124ceef82e436c3f6d082");
+  const std::vector<uint64_t> expect_first = {1603,  3558,  8651,  12416,
+                                              16052, 19950, 20833, 21428};
+  for (size_t i = 0; i < expect_first.size(); ++i) {
+    EXPECT_EQ(cuts[i], expect_first[i]) << i;
+  }
+}
+
+// Cut points are a pure function of the byte stream: the same corpus fed at
+// 1-byte, 7-byte and 64-KiB granularity must produce identical boundaries
+// (and identical to the AddByte reference).
+TEST(ChunkerGoldenTest, FeedGranularityInvariance) {
+  const std::string corpus = GoldenCorpus();
+  for (const SplitConfig& cfg :
+       {SplitConfig::Blob(), SplitConfig::Entries()}) {
+    const std::vector<uint64_t> reference = CutsByByte(cfg, corpus);
+    for (size_t granularity : {size_t{1}, size_t{7}, size_t{64 << 10}}) {
+      SCOPED_TRACE(granularity);
+      EXPECT_EQ(CutsByFeed(cfg, corpus, granularity), reference);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace forkbase

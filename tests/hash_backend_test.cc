@@ -1,0 +1,225 @@
+// SHA-256 backend conformance: FIPS 180-4 known-answer vectors against every
+// compiled backend, randomized cross-backend equivalence, and the Finish()
+// contract (idempotent; Update-after-Finish aborts).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "util/cpu_features.h"
+#include "util/random.h"
+#include "util/sha256.h"
+#include "util/worker_pool.h"
+
+namespace forkbase {
+namespace {
+
+struct Kat {
+  const char* name;
+  std::string message;
+  const char* hex;
+};
+
+// Boundary-straddling messages matter most: 56 B and beyond force the padding
+// into a second block, 64 B is an exact block, 65 B starts a third regime,
+// and the million-'a' NIST vector exercises the multi-block bulk loop.
+std::vector<Kat> Vectors() {
+  return {
+      {"empty", std::string(),
+       "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"},
+      {"abc", "abc",
+       "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"},
+      {"nist-56B",
+       "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+       "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"},
+      {"a*64", std::string(64, 'a'),
+       "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb"},
+      {"a*65", std::string(65, 'a'),
+       "635361c48bb9eab14198e76ea8ab7f1a41685d6ad62aa9146d301d4f17eb0ae0"},
+      {"a*1e6", std::string(1000000, 'a'),
+       "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"},
+  };
+}
+
+std::vector<Sha256Backend> AvailableBackends() {
+  std::vector<Sha256Backend> out;
+  for (Sha256Backend be : {Sha256Backend::kScalar, Sha256Backend::kShaNi,
+                           Sha256Backend::kArmCe}) {
+    if (Sha256BackendAvailable(be)) out.push_back(be);
+  }
+  return out;
+}
+
+TEST(Sha256BackendTest, NistVectorsEveryBackend) {
+  for (Sha256Backend be : AvailableBackends()) {
+    SCOPED_TRACE(Sha256BackendName(be));
+    for (const Kat& kat : Vectors()) {
+      SCOPED_TRACE(kat.name);
+      Sha256Hasher h(be);
+      h.Update(Slice(kat.message));
+      EXPECT_EQ(h.Finish().ToHex(), kat.hex);
+    }
+  }
+}
+
+TEST(Sha256BackendTest, SeqMebibyteEveryBackend) {
+  std::string buf(1 << 20, '\0');
+  for (size_t i = 0; i < buf.size(); ++i) {
+    buf[i] = static_cast<char>(i & 0xFF);
+  }
+  for (Sha256Backend be : AvailableBackends()) {
+    SCOPED_TRACE(Sha256BackendName(be));
+    Sha256Hasher h(be);
+    h.Update(Slice(buf));
+    EXPECT_EQ(h.Finish().ToHex(),
+              "fbbab289f7f94b25736c58be46a994c441fd02552cc6022352e3d86d2fab7c83");
+  }
+}
+
+// Randomized equivalence: every backend, every split of the stream into
+// Update() calls, and the one-shot helper all agree on random inputs whose
+// lengths sweep the padding boundaries.
+TEST(Sha256BackendTest, CrossBackendSplitUpdateFuzz) {
+  Rng rng(0x5ac1f00dull);
+  const auto backends = AvailableBackends();
+  for (int iter = 0; iter < 200; ++iter) {
+    const size_t len = static_cast<size_t>(rng.Uniform(300)) +
+                       (iter % 4 == 0 ? 64 * (iter / 4) : 0);
+    const std::string msg = rng.NextBytes(len);
+    const Hash256 want = Sha256(Slice(msg));
+    for (Sha256Backend be : backends) {
+      SCOPED_TRACE(Sha256BackendName(be));
+      Sha256Hasher oneshot(be);
+      oneshot.Update(Slice(msg));
+      EXPECT_EQ(oneshot.Finish(), want) << "len=" << len;
+
+      Sha256Hasher split(be);
+      size_t off = 0;
+      while (off < msg.size()) {
+        const size_t take =
+            std::min<size_t>(msg.size() - off, 1 + rng.Uniform(97));
+        split.Update(Slice(msg.data() + off, take));
+        off += take;
+      }
+      EXPECT_EQ(split.Finish(), want) << "len=" << len;
+    }
+  }
+}
+
+TEST(Sha256BackendTest, FinishIsIdempotent) {
+  for (Sha256Backend be : AvailableBackends()) {
+    SCOPED_TRACE(Sha256BackendName(be));
+    Sha256Hasher h(be);
+    h.Update(Slice("abc", 3));
+    const Hash256 first = h.Finish();
+    // The old implementation mixed the padding into the stream again here
+    // and returned a different digest.
+    EXPECT_EQ(h.Finish(), first);
+    EXPECT_EQ(h.Finish(), first);
+    EXPECT_EQ(
+        first.ToHex(),
+        "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  }
+}
+
+TEST(Sha256BackendTest, ResetRearmsAfterFinish) {
+  Sha256Hasher h;
+  h.Update(Slice("abc", 3));
+  const Hash256 abc = h.Finish();
+  h.Reset();
+  h.Update(Slice("abc", 3));
+  EXPECT_EQ(h.Finish(), abc);
+  h.Reset();
+  EXPECT_EQ(
+      h.Finish().ToHex(),
+      "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+#if GTEST_HAS_DEATH_TEST
+TEST(Sha256BackendDeathTest, UpdateAfterFinishAborts) {
+  EXPECT_DEATH(
+      {
+        Sha256Hasher h;
+        h.Update(Slice("abc", 3));
+        (void)h.Finish();
+        h.Update(Slice("more", 4));
+      },
+      "Update\\(\\) after Finish\\(\\)");
+}
+#endif
+
+// Visible in `ctest -V` (CI's backend-report step greps for it), and pins
+// the contract of the FORKBASE_SHA256_BACKEND override: when the env var
+// names an available backend, dispatch must obey it — this is what makes
+// the CI forced-scalar leg actually test the scalar core.
+TEST(Sha256BackendTest, PrintsDetectedBackend) {
+  std::printf("[ SHA-256 backend: %s ]\n", ActiveSha256BackendName());
+  const char* pinned = std::getenv("FORKBASE_SHA256_BACKEND");
+  if (pinned != nullptr) {
+    Sha256Backend want;
+    if (ParseSha256BackendName(pinned, &want) &&
+        Sha256BackendAvailable(want)) {
+      EXPECT_EQ(ActiveSha256Backend(), want);
+    }
+  }
+}
+
+TEST(Sha256BackendTest, BackendNameRoundTrip) {
+  EXPECT_STREQ(Sha256BackendName(Sha256Backend::kScalar), "scalar");
+  EXPECT_STREQ(Sha256BackendName(Sha256Backend::kShaNi), "shani");
+  EXPECT_STREQ(Sha256BackendName(Sha256Backend::kArmCe), "armce");
+  Sha256Backend be;
+  EXPECT_TRUE(ParseSha256BackendName("scalar", &be));
+  EXPECT_EQ(be, Sha256Backend::kScalar);
+  EXPECT_TRUE(ParseSha256BackendName("sha-ni", &be));
+  EXPECT_EQ(be, Sha256Backend::kShaNi);
+  EXPECT_TRUE(ParseSha256BackendName("armce", &be));
+  EXPECT_EQ(be, Sha256Backend::kArmCe);
+  EXPECT_FALSE(ParseSha256BackendName("quantum", &be));
+  // Scalar must exist everywhere: it is the fallback every dispatch
+  // decision can rely on.
+  EXPECT_TRUE(Sha256BackendAvailable(Sha256Backend::kScalar));
+}
+
+TEST(Sha256BackendTest, ForcedBackendOverride) {
+  const Sha256Backend prev = SetSha256BackendForTesting(Sha256Backend::kScalar);
+  EXPECT_EQ(ActiveSha256Backend(), Sha256Backend::kScalar);
+  Sha256Hasher h;  // default ctor follows the active backend
+  h.Update(Slice("abc", 3));
+  EXPECT_EQ(
+      h.Finish().ToHex(),
+      "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  SetSha256BackendForTesting(prev);
+  EXPECT_EQ(ActiveSha256Backend(), prev);
+}
+
+TEST(Sha256ManyTest, MatchesSerialLoopInlineAndPooled) {
+  Rng rng(0xba7c4ull);
+  std::vector<std::string> bufs;
+  std::vector<Slice> spans;
+  for (int i = 0; i < 64; ++i) {
+    bufs.push_back(rng.NextBytes(rng.Uniform(4096)));
+  }
+  for (const std::string& b : bufs) spans.emplace_back(b);
+
+  const std::vector<Hash256> inline_digests =
+      Sha256Many(spans, /*pool=*/nullptr);
+  ASSERT_EQ(inline_digests.size(), spans.size());
+  for (size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(inline_digests[i], Sha256(spans[i])) << i;
+  }
+
+  WorkerPool pool(3);
+  const std::vector<Hash256> pooled = Sha256Many(spans, &pool);
+  EXPECT_EQ(pooled, inline_digests);
+
+  const std::vector<Hash256> shared = Sha256Many(spans, SharedHashPool());
+  EXPECT_EQ(shared, inline_digests);
+
+  EXPECT_TRUE(Sha256Many({}, &pool).empty());
+}
+
+}  // namespace
+}  // namespace forkbase
